@@ -1,0 +1,37 @@
+// Shared plumbing for the experiment binaries: guarded main, table output.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "study/cli.hpp"
+#include "study/report.hpp"
+
+namespace altroute::bench {
+
+/// Parses the CLI, runs `body`, and converts exceptions into a non-zero
+/// exit with a message on stderr.
+inline int guarded_main(int argc, char** argv,
+                        const std::function<void(const study::CliOptions&)>& body) {
+  try {
+    body(study::parse_cli(argc, argv));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << (argc > 0 ? argv[0] : "bench") << ": " << e.what() << '\n';
+    return 1;
+  }
+}
+
+/// Prints a titled table to stdout and, when --csv was given, writes the
+/// CSV alongside.
+inline void emit(const study::TextTable& table, const study::CliOptions& cli,
+                 const std::string& title) {
+  std::cout << "# " << title << '\n' << table.str() << '\n';
+  if (cli.csv) {
+    study::write_file(*cli.csv, table.csv());
+    std::cout << "(csv written to " << *cli.csv << ")\n\n";
+  }
+}
+
+}  // namespace altroute::bench

@@ -1,0 +1,118 @@
+// Bistability / hysteresis of uncontrolled alternate routing -- the
+// phenomenon behind the paper's references [10] (Gibbens, Hunt & Kelly,
+// "Bistability in communication networks") and [1] (Akinpelu).
+//
+// Near the critical load a symmetric network with free overflow has TWO
+// quasi-stable regimes: a low-blocking one where most calls are direct,
+// and a high-blocking one where alternate-routed calls occupy two circuits
+// each and crowd out directs.  Which one the network lives in depends on
+// where it starts.  The probe: run the same measurement window twice, once
+// from an idle ("cold") network and once "hot" -- preceded by a 30-unit
+// overload burst at 1.4x the target that fills the mesh with two-link
+// calls -- and compare.  A hysteresis gap (hot >> cold) is the bistability
+// signature; the Eq.-15 control is designed to erase it.
+//
+// N = 10 fully-connected, C = 120 per link, two-link alternates (H = 2):
+// the classic setting of the bistability literature.
+#include "bench_common.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "erlang/state_protection.hpp"
+#include "erlang/symmetric_overflow.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const int n = 10;
+  const int capacity = 120;
+  const net::Graph g = net::full_mesh(n, capacity);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, cli.hops.value_or(2));
+  const double burst = 30.0;  // hot-start overload phase
+
+  study::TextTable table({"E_per_pair", "scheme", "cold_start", "hot_start",
+                          "hysteresis_gap"});
+  const std::vector<double> loads =
+      cli.loads.value_or(std::vector<double>{85, 88, 91, 94, 97, 100, 103});
+  for (const double load : loads) {
+    const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(n, load);
+    const net::TrafficMatrix overload = net::TrafficMatrix::uniform(n, 1.4 * load);
+    const auto reservations = core::protection_levels_from_lambda(
+        g, routing::primary_link_loads(g, routes, traffic), 2);
+
+    loss::UncontrolledAlternatePolicy uncontrolled;
+    core::ControlledAlternatePolicy controlled;
+    struct Scheme {
+      loss::RoutingPolicy* policy;
+      bool use_reservations;
+    };
+    for (const Scheme scheme : {Scheme{&uncontrolled, false}, Scheme{&controlled, true}}) {
+      sim::RunningStats cold;
+      sim::RunningStats hot;
+      for (int s = 1; s <= shape.seeds; ++s) {
+        const auto seed = static_cast<std::uint64_t>(s);
+        // Both runs measure the SAME steady segment (common random
+        // numbers); only the 30-unit lead-in differs -- target-load
+        // traffic from idle (cold) vs a 1.4x overload burst (hot).
+        const sim::CallTrace steady = sim::generate_trace(traffic, shape.measure, seed);
+        const sim::CallTrace cold_trace = sim::concatenate_traces(
+            sim::generate_trace(traffic, burst, seed + 2000), steady);
+        const sim::CallTrace hot_trace = sim::concatenate_traces(
+            sim::generate_trace(overload, burst, seed + 1000), steady);
+        loss::EngineOptions options;
+        options.warmup = burst;  // measure [burst, burst + measure)
+        options.link_stats = false;
+        if (scheme.use_reservations) options.reservations = reservations;
+        cold.add(loss::run_trace(g, routes, *scheme.policy, cold_trace, options).blocking());
+        hot.add(loss::run_trace(g, routes, *scheme.policy, hot_trace, options).blocking());
+      }
+      table.add_row({study::fmt(load, 0), std::string(scheme.policy->name()),
+                     study::fmt(cold.mean(), 4), study::fmt(hot.mean(), 4),
+                     study::fmt(hot.mean() - cold.mean(), 4)});
+    }
+  }
+  bench::emit(table, cli,
+              "Hysteresis probe on a 10-node full mesh (C = 120, H = 2): hot starts "
+              "follow a 30-unit 1.4x overload burst; a positive gap for the "
+              "uncontrolled scheme is the bistability signature of refs [10]/[1]");
+
+  // The analytic face of the same phenomenon: the symmetric reduced-load
+  // fixed point solved from a cold start (B = 0) and a hot start (B = 1).
+  // Two distinct solutions = bistability; the Eq.-15 reservation restores
+  // a unique (low) fixed point.
+  study::TextTable analytic({"E_per_pair", "r", "fp_cold", "fp_hot", "fp_gap"});
+  for (const double load : loads) {
+    for (const int r :
+         {0, erlang::min_state_protection(load, capacity, 2)}) {
+      erlang::SymmetricOverflowModel model;
+      model.nodes = n;
+      model.capacity = capacity;
+      model.direct_load = load;
+      model.reservation = r;
+      const auto cold_fp = erlang::solve_symmetric_overflow(model, 0.0);
+      const auto hot_fp = erlang::solve_symmetric_overflow(model, 1.0);
+      analytic.add_row({study::fmt(load, 0), std::to_string(r),
+                        study::fmt(cold_fp.call_blocking, 4),
+                        study::fmt(hot_fp.call_blocking, 4),
+                        study::fmt(hot_fp.call_blocking - cold_fp.call_blocking, 4)});
+    }
+  }
+  study::CliOptions no_csv = cli;
+  no_csv.csv.reset();
+  bench::emit(analytic, no_csv,
+              "Analytic fixed points of the symmetric reduced-load model (cold vs hot "
+              "start): two solutions with r = 0 in the critical window, one with the "
+              "Eq.-15 r");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,66 @@
+// Section 3.2: channel borrowing in cellular telephony.  The co-cell set
+// has 3 cells, so the prescription is the Eq.-15 reservation level with
+// H = 3: controlled borrowing is then guaranteed to improve on no
+// borrowing, while staying clear of the locking avalanche that uncontrolled
+// borrowing triggers at high loads.
+#include "bench_common.hpp"
+#include "cellular/borrowing_sim.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const cellular::CellGrid grid(6, 6);
+  const std::vector<double> loads =
+      cli.loads.value_or(std::vector<double>{30, 38, 42, 46, 50, 55, 60});
+
+  study::TextTable table({"erlangs_per_cell", "no_borrowing", "uncontrolled", "controlled",
+                          "controlled_r", "borrow_share_unc", "borrow_share_ctl"});
+  for (const double load : loads) {
+    cellular::BorrowingConfig config;
+    config.channels_per_cell = 50;
+    config.offered = {load};
+    config.measure = shape.measure;
+    config.warmup = shape.warmup;
+
+    sim::RunningStats none;
+    sim::RunningStats uncontrolled;
+    sim::RunningStats controlled;
+    long long borrowed_unc = 0;
+    long long borrowed_ctl = 0;
+    long long carried_unc = 0;
+    long long carried_ctl = 0;
+    int reservation = 0;
+    for (int s = 0; s < shape.seeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s + 1);
+      config.mode = cellular::BorrowingMode::kNone;
+      none.add(cellular::run_borrowing(grid, config, seed).blocking());
+      config.mode = cellular::BorrowingMode::kUncontrolled;
+      const auto u = cellular::run_borrowing(grid, config, seed);
+      uncontrolled.add(u.blocking());
+      borrowed_unc += u.borrowed_calls;
+      carried_unc += u.offered_calls - u.blocked_calls;
+      config.mode = cellular::BorrowingMode::kControlled;
+      const auto c = cellular::run_borrowing(grid, config, seed);
+      controlled.add(c.blocking());
+      borrowed_ctl += c.borrowed_calls;
+      carried_ctl += c.offered_calls - c.blocked_calls;
+      reservation = c.reservations.front();
+    }
+    table.add_row(
+        {study::fmt(load, 0), study::fmt(none.mean(), 4), study::fmt(uncontrolled.mean(), 4),
+         study::fmt(controlled.mean(), 4), std::to_string(reservation),
+         study::fmt(carried_unc > 0 ? static_cast<double>(borrowed_unc) / carried_unc : 0.0, 3),
+         study::fmt(carried_ctl > 0 ? static_cast<double>(borrowed_ctl) / carried_ctl : 0.0, 3)});
+  }
+  bench::emit(table, cli,
+              "Section 3.2: channel borrowing on a 6x6 hex torus, C = 50 channels/cell, "
+              "co-cell set = 3 (H = 3)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

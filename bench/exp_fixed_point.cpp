@@ -1,0 +1,51 @@
+// Analytic vs simulated single-path blocking: the Erlang fixed-point
+// (reduced-load) approximation against the call-by-call engine, across the
+// NSFNet load sweep.  Validates both the analytic module and the engine,
+// and quantifies the independent-link error on a sparse mesh.
+#include "bench_common.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/fixed_point.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const net::TrafficMatrix& nominal = study::nsfnet_nominal_traffic();
+
+  study::TextTable table(
+      {"load", "fixed_point", "simulated", "sim_ci95", "fp_iterations"});
+  loss::SinglePathPolicy policy;
+  for (const double load : cli.loads.value_or(std::vector<double>{6, 8, 10, 12, 14, 16})) {
+    const net::TrafficMatrix traffic = nominal.scaled(load / 10.0);
+    const auto fp = routing::erlang_fixed_point(g, routes, traffic);
+    sim::RunningStats blocking;
+    for (int s = 1; s <= shape.seeds; ++s) {
+      const sim::CallTrace trace = sim::generate_trace(
+          traffic, shape.measure + shape.warmup, static_cast<std::uint64_t>(s));
+      loss::EngineOptions options;
+      options.warmup = shape.warmup;
+      options.link_stats = false;
+      blocking.add(loss::run_trace(g, routes, policy, trace, options).blocking());
+    }
+    table.add_row({study::fmt(load, 0), study::fmt(fp.network_blocking, 4),
+                   study::fmt(blocking.mean(), 4), study::fmt(blocking.ci95_halfwidth(), 4),
+                   std::to_string(fp.iterations)});
+  }
+  bench::emit(table, cli,
+              "Reduced-load fixed point vs simulation, single-path routing on NSFNet "
+              "(Load = 10 nominal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

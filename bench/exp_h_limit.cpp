@@ -1,0 +1,54 @@
+// Section 4.2.2, "We have also investigated the effect of limiting the
+// length of the alternate paths": H = 6 vs H = 11 on the NSFNet model.
+// The paper reports a small improvement for the controlled scheme (smaller
+// r values, nearly all useful alternates retained) and little change for
+// single-path and uncontrolled routing.
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const std::vector<double> paper_loads =
+      cli.loads.value_or(std::vector<double>{8, 10, 12, 14});
+
+  study::TextTable table({"load", "single_H6", "single_H11", "uncontrolled_H6",
+                          "uncontrolled_H11", "controlled_H6", "controlled_H11"});
+  std::vector<study::SweepResult> results;
+  for (const int h : {6, 11}) {
+    study::SweepOptions options;
+    options.load_factors.clear();
+    for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
+    options.seeds = shape.seeds;
+    options.measure = shape.measure;
+    options.warmup = shape.warmup;
+    options.max_alt_hops = h;
+    options.erlang_bound = false;
+    results.push_back(study::run_sweep(
+        net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+         study::PolicyKind::kControlledAlternate},
+        options));
+  }
+  for (std::size_t i = 0; i < paper_loads.size(); ++i) {
+    table.add_row({study::fmt(paper_loads[i], 0),
+                   study::fmt(results[0].curves[0].mean_blocking[i], 4),
+                   study::fmt(results[1].curves[0].mean_blocking[i], 4),
+                   study::fmt(results[0].curves[1].mean_blocking[i], 4),
+                   study::fmt(results[1].curves[1].mean_blocking[i], 4),
+                   study::fmt(results[0].curves[2].mean_blocking[i], 4),
+                   study::fmt(results[1].curves[2].mean_blocking[i], 4)});
+  }
+  bench::emit(table, cli,
+              "Section 4.2.2: effect of the H limit (H=6 vs H=11) on NSFNet blocking "
+              "(Load = 10 nominal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

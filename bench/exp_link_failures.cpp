@@ -1,0 +1,59 @@
+// Section 4.2.2, "Link failures": disable the duplex facilities 2<->3 and
+// then 7<->9 on the NSFNet model.  The paper reports higher blocking
+// overall but an unchanged relative ordering of the three schemes.
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const std::vector<double> paper_loads = cli.loads.value_or(std::vector<double>{8, 10, 12});
+
+  struct Scenario {
+    const char* name;
+    int fail_a;
+    int fail_b;
+  };
+  const Scenario scenarios[] = {
+      {"intact", -1, -1}, {"fail 2<->3", 2, 3}, {"fail 7<->9", 7, 9}};
+
+  study::TextTable table(
+      {"scenario", "load", "single-path", "uncontrolled-alt", "controlled-alt"});
+  for (const Scenario& scenario : scenarios) {
+    net::Graph g = net::nsfnet_t3();
+    if (scenario.fail_a >= 0) {
+      g.fail_duplex(net::NodeId(scenario.fail_a), net::NodeId(scenario.fail_b));
+    }
+    study::SweepOptions options;
+    options.load_factors.clear();
+    for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
+    options.seeds = shape.seeds;
+    options.measure = shape.measure;
+    options.warmup = shape.warmup;
+    options.max_alt_hops = cli.hops.value_or(11);
+    options.erlang_bound = false;
+    const study::SweepResult r = study::run_sweep(
+        g, study::nsfnet_nominal_traffic(),
+        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+         study::PolicyKind::kControlledAlternate},
+        options);
+    for (std::size_t i = 0; i < paper_loads.size(); ++i) {
+      table.add_row({scenario.name, study::fmt(paper_loads[i], 0),
+                     study::fmt(r.curves[0].mean_blocking[i], 4),
+                     study::fmt(r.curves[1].mean_blocking[i], 4),
+                     study::fmt(r.curves[2].mean_blocking[i], 4)});
+    }
+  }
+  bench::emit(table, cli,
+              "Section 4.2.2: link failures keep the relative ordering of the schemes "
+              "(Load = 10 nominal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

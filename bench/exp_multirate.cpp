@@ -1,0 +1,121 @@
+// Multi-rate extension (the paper's named future work): two call classes
+// -- 1-circuit "audio" and 5-circuit "video" -- on the quadrangle, under
+// the three routing schemes.  The reservation levels come from Eq. 15 on
+// the total circuit demand (audio Erlangs + 5 x video Erlangs), the
+// pragmatic generalization documented in DESIGN.md.
+//
+// Also prints the single-link Kaufman-Roberts cross-check: simulated
+// per-class blocking on an isolated link vs the product-form values.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "erlang/kaufman_roberts.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void kaufman_roberts_check(const study::CliOptions& cli, const study::RunShape& shape) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 100);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  std::vector<sim::TrafficClass> classes(2);
+  classes[0].offered = net::TrafficMatrix(2);
+  classes[0].offered.set(net::NodeId(0), net::NodeId(1), 50.0);
+  classes[0].bandwidth = 1;
+  classes[1].offered = net::TrafficMatrix(2);
+  classes[1].offered.set(net::NodeId(0), net::NodeId(1), 8.0);
+  classes[1].bandwidth = 5;
+
+  loss::SinglePathPolicy policy;
+  sim::RunningStats narrow;
+  sim::RunningStats wide;
+  for (int s = 1; s <= shape.seeds; ++s) {
+    const sim::CallTrace trace = sim::generate_multirate_trace(
+        classes, shape.measure + shape.warmup, static_cast<std::uint64_t>(s));
+    loss::EngineOptions options;
+    options.warmup = shape.warmup;
+    options.link_stats = false;
+    const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+    narrow.add(run.per_class[0].blocking());
+    wide.add(run.per_class[1].blocking());
+  }
+  const auto kr = erlang::kaufman_roberts_blocking({{50.0, 1}, {8.0, 5}}, 100);
+  study::TextTable table({"class", "simulated", "kaufman_roberts"});
+  table.add_row({"1-circuit @50E", study::fmt(narrow.mean(), 4), study::fmt(kr[0], 4)});
+  table.add_row({"5-circuit @8E", study::fmt(wide.mean(), 4), study::fmt(kr[1], 4)});
+  study::CliOptions no_csv = cli;
+  no_csv.csv.reset();
+  bench::emit(table, no_csv,
+              "Single-link validation: engine vs Kaufman-Roberts (C = 100)");
+}
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  kaufman_roberts_check(cli, shape);
+
+  const net::Graph g = net::full_mesh(4, 100);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+
+  study::TextTable table({"audio_E", "video_E", "policy", "blocking", "audio_B", "video_B",
+                          "alt_fraction"});
+  for (const double scale : cli.loads.value_or(std::vector<double>{0.8, 1.0, 1.2})) {
+    std::vector<sim::TrafficClass> classes(2);
+    classes[0].offered = net::TrafficMatrix::uniform(4, 50.0 * scale);
+    classes[0].bandwidth = 1;
+    classes[1].offered = net::TrafficMatrix::uniform(4, 8.0 * scale);
+    classes[1].bandwidth = 5;
+    // Circuit demand per pair: 50 + 5*8 = 90 at scale 1 -> Eq. 15 on the
+    // direct-primary link load in circuit units.
+    const double circuit_load = (50.0 + 5.0 * 8.0) * scale;
+    const auto reservations = core::protection_levels_from_lambda(
+        g, std::vector<double>(static_cast<std::size_t>(g.link_count()), circuit_load), 3);
+
+    loss::SinglePathPolicy single;
+    loss::UncontrolledAlternatePolicy uncontrolled;
+    core::ControlledAlternatePolicy controlled;
+    struct Entry {
+      loss::RoutingPolicy* policy;
+      bool use_reservations;
+    };
+    const Entry entries[] = {{&single, false}, {&uncontrolled, false}, {&controlled, true}};
+    for (const Entry& entry : entries) {
+      sim::RunningStats blocking;
+      sim::RunningStats audio;
+      sim::RunningStats video;
+      sim::RunningStats alt;
+      for (int s = 1; s <= shape.seeds; ++s) {
+        const sim::CallTrace trace = sim::generate_multirate_trace(
+            classes, shape.measure + shape.warmup, static_cast<std::uint64_t>(s));
+        loss::EngineOptions options;
+        options.warmup = shape.warmup;
+        options.link_stats = false;
+        if (entry.use_reservations) options.reservations = reservations;
+        const loss::RunResult run = loss::run_trace(g, routes, *entry.policy, trace, options);
+        blocking.add(run.blocking());
+        audio.add(run.per_class[0].blocking());
+        video.add(run.per_class[1].blocking());
+        alt.add(run.alternate_fraction());
+      }
+      table.add_row({study::fmt(50.0 * scale, 0), study::fmt(8.0 * scale, 1),
+                     std::string(entry.policy->name()), study::fmt(blocking.mean(), 4),
+                     study::fmt(audio.mean(), 4), study::fmt(video.mean(), 4),
+                     study::fmt(alt.mean(), 3)});
+    }
+  }
+  bench::emit(table, cli,
+              "Multi-rate quadrangle: 1-circuit audio + 5-circuit video, C = 100 "
+              "(controlled levels from Eq. 15 on total circuit demand)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

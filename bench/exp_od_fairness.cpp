@@ -1,0 +1,50 @@
+// Section 4.2.2, "Blocking on an O-D pair basis": the skewness of per-pair
+// blocking probabilities across the 132 ordered pairs of the NSFNet model
+// (H = 6).  The paper: most skewed for single-path, least skewed for
+// uncontrolled alternate routing -- the fairness property of alternate
+// routing.
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  study::SweepOptions options;
+  const std::vector<double> paper_loads = cli.loads.value_or(std::vector<double>{10, 12});
+  options.load_factors.clear();
+  for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
+  options.seeds = shape.seeds;
+  options.measure = shape.measure;
+  options.warmup = shape.warmup;
+  options.max_alt_hops = cli.hops.value_or(6);
+  options.erlang_bound = false;
+  options.fairness = true;
+  const study::SweepResult r = study::run_sweep(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+       study::PolicyKind::kControlledAlternate},
+      options);
+
+  study::TextTable table({"load", "policy", "mean_pair_blocking", "stddev", "cv",
+                          "skewness", "max_pair_blocking"});
+  for (std::size_t i = 0; i < paper_loads.size(); ++i) {
+    for (const study::PolicyCurve& curve : r.curves) {
+      const auto& s = curve.pair_blocking[i];
+      table.add_row({study::fmt(paper_loads[i], 0), curve.name, study::fmt(s.mean, 4),
+                     study::fmt(s.stddev, 4), study::fmt(s.cv, 3), study::fmt(s.skewness, 3),
+                     study::fmt(s.max, 4)});
+    }
+  }
+  bench::emit(table, cli,
+              "Section 4.2.2: per-O-D-pair blocking dispersion, H = 6 (paper: single-path "
+              "most skewed, uncontrolled least)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,59 @@
+// The optimality gap of the Eq.-15 control, measured EXACTLY.
+//
+// On the canonical overflow system (direct link + one two-hop alternate
+// with background primary traffic; see study/optimal_overflow.hpp) every
+// policy's long-run loss rate is computed from the stationary distribution
+// of the full chain -- no simulation noise -- and compared against the true
+// optimal routing policy from relative value iteration.
+//
+// Expected shape: uncontrolled wins at light background and collapses past
+// it; controlled tracks single-path's guarantee while capturing most of
+// the overflow gain; the optimal policy's margin over controlled is the
+// "price of locality" the paper's scheme pays for needing no global state.
+#include "bench_common.hpp"
+#include "study/optimal_overflow.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  study::TextTable table({"target_E", "background_E", "single", "uncontrolled",
+                          "controlled(r)", "optimal", "gap_ctl_vs_opt%"});
+  const std::vector<double> targets = cli.loads.value_or(std::vector<double>{4, 6, 8, 10});
+  for (const double target : targets) {
+    for (const double background : {1.5, 3.5, 5.5}) {
+      study::OverflowSystem system;
+      system.direct_capacity = 6;
+      system.via_a_capacity = 6;
+      system.via_b_capacity = 6;
+      system.target_rate = target;
+      system.background_a_rate = background;
+      system.background_b_rate = background;
+      const auto single =
+          study::evaluate_overflow_policy(system, study::OverflowPolicy::kSinglePath);
+      const auto uncontrolled =
+          study::evaluate_overflow_policy(system, study::OverflowPolicy::kUncontrolled);
+      const auto controlled =
+          study::evaluate_overflow_policy(system, study::OverflowPolicy::kControlled);
+      const auto optimal =
+          study::evaluate_overflow_policy(system, study::OverflowPolicy::kOptimal);
+      const double gap =
+          optimal.loss_rate > 0.0
+              ? 100.0 * (controlled.loss_rate - optimal.loss_rate) / optimal.loss_rate
+              : 0.0;
+      table.add_row({study::fmt(target, 1), study::fmt(background, 1),
+                     study::fmt(single.loss_rate, 4), study::fmt(uncontrolled.loss_rate, 4),
+                     study::fmt(controlled.loss_rate, 4) + " (" +
+                         std::to_string(controlled.reservation_a) + ")",
+                     study::fmt(optimal.loss_rate, 4), study::fmt(gap, 1)});
+    }
+  }
+  bench::emit(table, cli,
+              "Exact loss rates on the canonical overflow system (C = 6/6/6, "
+              "losses in calls per unit time; gap = controlled excess over optimal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

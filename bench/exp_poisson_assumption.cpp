@@ -1,0 +1,63 @@
+// How Poisson is the overflow?  Quantifying assumption A1.
+//
+// Theorem 1 assumes alternate-routed calls arrive at a link as a (state-
+// dependent) Poisson process.  Real overflow is peaked: it appears exactly
+// while some primary link is full, in bursts.  Classical overflow theory
+// measures the burstiness: on the symmetric quadrangle, the stream
+// overflowing a direct link has Wilkinson peakedness Z > 1, and a link
+// receiving primary traffic PLUS that overflow sees more blocking than a
+// Poisson stream of the same mean would produce (Hayward's correction).
+//
+// This bench prints, per load: the overflow moments, the combined-stream
+// peakedness at an alternate link, and Poisson-assumed vs Hayward-corrected
+// blocking -- the size and direction of the A1 idealization.  (The scheme's
+// GUARANTEE is not at stake -- Eq. 15 keeps alternates from mattering when
+// links are hot -- but absolute blocking predictions built on A1 are
+// optimistic by the gap shown here.)
+#include "bench_common.hpp"
+#include "erlang/erlang_b.hpp"
+#include "erlang/overflow_moments.hpp"
+#include "erlang/symmetric_overflow.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const int capacity = 100;
+  study::TextTable table({"E_per_pair", "B_direct", "overflow_mean", "Z_overflow",
+                          "Z_combined", "B_poisson(A1)", "B_hayward", "excess%"});
+  for (const double load :
+       cli.loads.value_or(std::vector<double>{70, 80, 85, 90, 95, 100})) {
+    // Overflow of one direct link of the quadrangle.
+    const erlang::OverflowMoments overflow = erlang::overflow_moments(load, capacity);
+    // Share of that overflow actually offered to a given alternate link:
+    // the uncontrolled symmetric fixed point's xi (N = 4, r = 0).
+    erlang::SymmetricOverflowModel model;
+    model.nodes = 4;
+    model.capacity = capacity;
+    model.direct_load = load;
+    model.reservation = 0;
+    const auto fp = erlang::solve_symmetric_overflow(model, 0.0);
+    const double xi = fp.overflow_rate;
+    // Combined stream at an alternate link: Poisson primary `load` plus
+    // overflow of mean xi carrying the direct overflow's peakedness.
+    const double combined_mean = load + xi;
+    const double combined_variance = load + xi * overflow.peakedness;
+    const double combined_z = combined_mean > 0.0 ? combined_variance / combined_mean : 1.0;
+    const double poisson_b = erlang::erlang_b(combined_mean, capacity);
+    const double hayward_b = erlang::hayward_blocking(combined_mean, combined_z, capacity);
+    table.add_row(
+        {study::fmt(load, 0), study::fmt(erlang::erlang_b(load, capacity), 4),
+         study::fmt(xi, 2), study::fmt(overflow.peakedness, 2), study::fmt(combined_z, 3),
+         study::fmt(poisson_b, 4), study::fmt(hayward_b, 4),
+         study::fmt(poisson_b > 0.0 ? 100.0 * (hayward_b - poisson_b) / poisson_b : 0.0, 1)});
+  }
+  bench::emit(table, cli,
+              "Assumption A1 on the quadrangle (C = 100): peakedness of the overflow "
+              "and the Hayward correction to an alternate link's blocking");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

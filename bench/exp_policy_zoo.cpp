@@ -1,0 +1,66 @@
+// Policy zoo: the paper's schemes next to the classic telephony
+// alternatives its related-work section discusses.
+//
+//   first-fit order (the paper)     vs  least-busy alternative (LBA/ALBA)
+//   sequential probing (the paper)  vs  sticky random (Gibbens-Kelly DAR)
+//   each with and without the Eq.-15 state protection.
+//
+// Two regimes: the fully-connected quadrangle (where LBA/DAR were born)
+// and the sparse NSFNet mesh (the paper's argument for local control).
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+const std::vector<study::PolicyKind> kZoo = {
+    study::PolicyKind::kSinglePath,
+    study::PolicyKind::kUncontrolledAlternate,
+    study::PolicyKind::kControlledAlternate,
+    study::PolicyKind::kLeastBusy,
+    study::PolicyKind::kLeastBusyProtected,
+    study::PolicyKind::kStickyRandom,
+    study::PolicyKind::kStickyRandomProtected,
+};
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+
+  {
+    study::SweepOptions options;
+    options.load_factors = cli.loads.value_or(std::vector<double>{80, 90, 100, 110});
+    options.seeds = shape.seeds;
+    options.measure = shape.measure;
+    options.warmup = shape.warmup;
+    options.max_alt_hops = 2;  // the classic one-overflow-hop setting
+    options.erlang_bound = false;
+    const study::SweepResult r = study::run_sweep(
+        net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0), kZoo, options);
+    bench::emit(study::sweep_table(r), cli,
+                "Policy zoo on the quadrangle (H = 2, load = Erlangs/pair)");
+  }
+  {
+    study::SweepOptions options;
+    options.load_factors.clear();
+    for (const double load : {8.0, 10.0, 12.0}) options.load_factors.push_back(load / 10.0);
+    options.seeds = shape.seeds;
+    options.measure = shape.measure;
+    options.warmup = shape.warmup;
+    options.max_alt_hops = cli.hops.value_or(11);
+    options.erlang_bound = false;
+    study::SweepResult r =
+        study::run_sweep(net::nsfnet_t3(), study::nsfnet_nominal_traffic(), kZoo, options);
+    r.load_factors = {8.0, 10.0, 12.0};
+    study::CliOptions no_csv = cli;
+    no_csv.csv.reset();
+    bench::emit(study::sweep_table(r), no_csv,
+                "Policy zoo on NSFNet (H = 11, Load = 10 nominal)");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

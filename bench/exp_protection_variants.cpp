@@ -1,0 +1,98 @@
+// Ablation: three provably-safe ways to set the state-protection levels.
+//
+//   global-H     -- the paper's Eq. 15 with the network-wide H (baseline);
+//   per-link-H^k -- footnote 5's refinement: each link uses the longest
+//                   alternate that actually traverses it;
+//   per-length   -- each alternate call of length h faces r(lambda, C, h),
+//                   so short detours are admitted far more freely.
+//
+// All three retain the never-worse-than-single-path guarantee; the
+// question is how much of uncontrolled routing's low-load gain each one
+// recovers.  Run on the quadrangle (where per-length is maximally
+// different: 2-hop vs 3-hop alternates) and on NSFNet.
+#include "bench_common.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "core/variants.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+struct Row {
+  double single{0};
+  double uncontrolled{0};
+  double global_h{0};
+  double per_link_h{0};
+  double per_length{0};
+};
+
+Row run_point(const net::Graph& g, const net::TrafficMatrix& traffic, int global_h,
+              int seeds, double measure) {
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, global_h);
+  const auto lambda = routing::primary_link_loads(g, routes, traffic);
+  const auto r_global = core::protection_levels_from_lambda(g, lambda, global_h);
+  const auto r_local = core::protection_levels_per_link_h(g, routes, traffic);
+
+  loss::SinglePathPolicy single;
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  core::ControlledAlternatePolicy controlled;
+  core::PerLengthControlledPolicy per_length(g, lambda, global_h);
+
+  sim::RunningStats stats[5];
+  for (int s = 1; s <= seeds; ++s) {
+    const sim::CallTrace trace =
+        sim::generate_trace(traffic, measure + 10.0, static_cast<std::uint64_t>(s));
+    loss::EngineOptions plain;
+    plain.link_stats = false;
+    stats[0].add(loss::run_trace(g, routes, single, trace, plain).blocking());
+    stats[1].add(loss::run_trace(g, routes, uncontrolled, trace, plain).blocking());
+    loss::EngineOptions with_global = plain;
+    with_global.reservations = r_global;
+    stats[2].add(loss::run_trace(g, routes, controlled, trace, with_global).blocking());
+    loss::EngineOptions with_local = plain;
+    with_local.reservations = r_local;
+    stats[3].add(loss::run_trace(g, routes, controlled, trace, with_local).blocking());
+    stats[4].add(loss::run_trace(g, routes, per_length, trace, plain).blocking());
+  }
+  return Row{stats[0].mean(), stats[1].mean(), stats[2].mean(), stats[3].mean(),
+             stats[4].mean()};
+}
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+
+  study::TextTable quad({"E_per_pair", "single", "uncontrolled", "ctl_globalH",
+                         "ctl_perlinkH", "ctl_perlength"});
+  for (const double load : cli.loads.value_or(std::vector<double>{80, 85, 90, 95, 105})) {
+    const Row row = run_point(net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, load), 3,
+                              shape.seeds, shape.measure);
+    quad.add_row({study::fmt(load, 0), study::fmt(row.single, 4),
+                  study::fmt(row.uncontrolled, 4), study::fmt(row.global_h, 4),
+                  study::fmt(row.per_link_h, 4), study::fmt(row.per_length, 4)});
+  }
+  bench::emit(quad, cli, "Protection variants on the quadrangle (C = 100, H = 3)");
+
+  study::TextTable nsf({"load", "single", "uncontrolled", "ctl_globalH", "ctl_perlinkH",
+                        "ctl_perlength"});
+  for (const double load : {8.0, 10.0, 12.0}) {
+    const Row row =
+        run_point(net::nsfnet_t3(), study::nsfnet_nominal_traffic().scaled(load / 10.0), 11,
+                  shape.seeds, shape.measure);
+    nsf.add_row({study::fmt(load, 0), study::fmt(row.single, 4),
+                 study::fmt(row.uncontrolled, 4), study::fmt(row.global_h, 4),
+                 study::fmt(row.per_link_h, 4), study::fmt(row.per_length, 4)});
+  }
+  study::CliOptions no_csv = cli;
+  no_csv.csv.reset();
+  bench::emit(nsf, no_csv, "Protection variants on NSFNet (H = 11, Load = 10 nominal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,115 @@
+// Time-varying load: a diurnal swing through the critical region.
+//
+// The quadrangle's offered load swings sinusoidally between 60 and 110
+// Erlangs/pair (period 50 holding times, two periods simulated), crossing
+// the ~85-95 E crossover twice per cycle.  Compared schemes:
+//   single-path, uncontrolled, controlled with r from the MEAN load,
+//   controlled with r from the PEAK load, and the adaptive policy that
+//   re-estimates Lambda online.
+// The paper argues state protection is robust to load mis-estimates; here
+// that means the mean- and peak-engineered r perform nearly alike, and the
+// adaptive scheme matches them without being told the profile at all.
+#include "bench_common.hpp"
+#include "core/adaptive_policy.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/load_profile.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const net::Graph g = net::full_mesh(4, 100);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 1.0);
+  const double period = 50.0;
+  const sim::LoadProfile profile = sim::LoadProfile::diurnal(period, 60.0, 110.0, 24);
+  const double horizon = shape.warmup + 2.0 * period;
+
+  const auto levels_for = [&](double erlangs) {
+    return core::protection_levels_from_lambda(
+        g, std::vector<double>(static_cast<std::size_t>(g.link_count()), erlangs), 3);
+  };
+  const auto r_mean = levels_for(profile.mean_factor());
+  const auto r_peak = levels_for(profile.max_factor());
+
+  struct Scheme {
+    const char* name;
+    sim::RunningStats blocking;
+    std::vector<long long> bin_offered;
+    std::vector<long long> bin_blocked;
+  };
+  const int bins = 8;  // quarter-period resolution over two periods
+  std::vector<Scheme> schemes;
+  for (const char* name : {"single-path", "uncontrolled", "controlled-r(mean)",
+                           "controlled-r(peak)", "adaptive"}) {
+    schemes.push_back(Scheme{name, {}, std::vector<long long>(bins, 0),
+                             std::vector<long long>(bins, 0)});
+  }
+
+  for (int s = 1; s <= shape.seeds; ++s) {
+    const sim::CallTrace trace =
+        sim::generate_profiled_trace(nominal, profile, horizon, static_cast<std::uint64_t>(s));
+    loss::SinglePathPolicy single;
+    loss::UncontrolledAlternatePolicy uncontrolled;
+    core::ControlledAlternatePolicy controlled;
+    core::AdaptiveOptions adaptive_options;
+    adaptive_options.max_alt_hops = 3;
+    adaptive_options.window = 2.0;
+    adaptive_options.ewma_weight = 0.4;
+    core::AdaptiveControlledPolicy adaptive(g, adaptive_options);
+
+    for (std::size_t k = 0; k < schemes.size(); ++k) {
+      loss::EngineOptions options;
+      options.warmup = shape.warmup;
+      options.link_stats = false;
+      options.time_bins = bins;
+      loss::RoutingPolicy* policy = nullptr;
+      switch (k) {
+        case 0: policy = &single; break;
+        case 1: policy = &uncontrolled; break;
+        case 2: policy = &controlled; options.reservations = r_mean; break;
+        case 3: policy = &controlled; options.reservations = r_peak; break;
+        case 4: policy = &adaptive; break;
+      }
+      const loss::RunResult result = loss::run_trace(g, routes, *policy, trace, options);
+      schemes[k].blocking.add(result.blocking());
+      for (int b = 0; b < bins; ++b) {
+        schemes[k].bin_offered[static_cast<std::size_t>(b)] +=
+            result.bin_offered[static_cast<std::size_t>(b)];
+        schemes[k].bin_blocked[static_cast<std::size_t>(b)] +=
+            result.bin_blocked[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+
+  study::TextTable table({"scheme", "overall_blocking", "ci95", "trough_bins", "peak_bins"});
+  for (const Scheme& scheme : schemes) {
+    // Bins 0/3/4/7 straddle the troughs, 1/2/5/6 the peaks, for a profile
+    // starting at the trough.
+    long long trough_o = 0, trough_b = 0, peak_o = 0, peak_b = 0;
+    for (int b = 0; b < bins; ++b) {
+      const bool peak = (b % 4 == 1) || (b % 4 == 2);
+      (peak ? peak_o : trough_o) += scheme.bin_offered[static_cast<std::size_t>(b)];
+      (peak ? peak_b : trough_b) += scheme.bin_blocked[static_cast<std::size_t>(b)];
+    }
+    table.add_row({scheme.name, study::fmt(scheme.blocking.mean(), 4),
+                   study::fmt(scheme.blocking.ci95_halfwidth(), 4),
+                   study::fmt(trough_o > 0 ? static_cast<double>(trough_b) / trough_o : 0.0, 4),
+                   study::fmt(peak_o > 0 ? static_cast<double>(peak_b) / peak_o : 0.0, 4)});
+  }
+  bench::emit(table, cli,
+              "Diurnal load 60-110 E/pair on the quadrangle (period 50, two periods): "
+              "robustness of the control to load mis-estimation");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

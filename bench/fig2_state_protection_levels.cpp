@@ -1,0 +1,39 @@
+// Figure 2: state-protection level r^k versus primary load Lambda^k for a
+// link of capacity C = 100, drawn for H = 2, 6 and 120 -- plus the text's
+// H in [1000, 2000] claim (r in [10, 20] at 50 Erlangs).
+//
+// Pure Eq.-15 computation; no simulation.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "erlang/state_protection.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const int capacity = 100;
+  study::TextTable table({"lambda", "r_H2", "r_H6", "r_H120"});
+  for (int lambda = 0; lambda <= capacity; lambda += 2) {
+    table.add_row({std::to_string(lambda),
+                   std::to_string(erlang::min_state_protection(lambda, capacity, 2)),
+                   std::to_string(erlang::min_state_protection(lambda, capacity, 6)),
+                   std::to_string(erlang::min_state_protection(lambda, capacity, 120))});
+  }
+  bench::emit(table, cli,
+              "Figure 2: r^k vs Lambda^k, C = 100, H = 2 / 6 / 120 (paper Section 3.1)");
+
+  study::TextTable huge({"H", "r at lambda=50 (paper: 10..20)"});
+  for (const int h : {1000, 1250, 1500, 1750, 2000}) {
+    huge.add_row({std::to_string(h),
+                  std::to_string(erlang::min_state_protection(50.0, capacity, h))});
+  }
+  study::CliOptions no_csv = cli;
+  no_csv.csv.reset();
+  bench::emit(huge, no_csv, "Section 3.1 text: H in [1000, 2000] at 50 Erlangs");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,39 @@
+// Figure 3: average network blocking versus offered load on the
+// fully-connected symmetric 4-node network (linear scale; the crossover
+// region around 85-95 Erlangs/pair is where the controlled scheme beats
+// both single-path and uncontrolled alternate routing).
+//
+// Protocol as in Section 4: 10 seeds x (10 warm-up + 100 measured) time
+// units, identical call traces across policies, C = 100 per directional
+// link, per-pair load on the x-axis.
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  study::SweepOptions options;
+  // Nominal = 1 Erlang/pair, so a load factor IS the per-pair Erlang load.
+  options.load_factors =
+      cli.loads.value_or(std::vector<double>{60, 70, 75, 80, 85, 90, 95, 100, 105, 110, 120});
+  options.seeds = shape.seeds;
+  options.measure = shape.measure;
+  options.warmup = shape.warmup;
+  options.max_alt_hops = cli.hops.value_or(3);  // all loop-free paths on K4
+  const study::SweepResult result = study::run_sweep(
+      net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0),
+      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+       study::PolicyKind::kControlledAlternate},
+      options);
+  bench::emit(study::sweep_table(result, /*scientific=*/false), cli,
+              "Figure 3: blocking for a fully-connected quadrangle "
+              "(load_factor = Erlangs per ordered pair, C = 100)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,38 @@
+// Figure 5: the NSFNet T3 Backbone map (Fall 1992), reconstructed from
+// Table 1's link list, plus the Section 4.2 route-set census ("on the
+// average each node pair had about 9 alternate paths, with a maximum of 15
+// and a minimum of 5").
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "netgraph/dot.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const net::Graph g = net::nsfnet_t3();
+  std::cout << "# Figure 5: NSFNet T3 Backbone model (12 Core Nodal Switching Subsystems)\n\n";
+  std::cout << net::to_adjacency_text(g) << '\n';
+  std::cout << "# Graphviz DOT (render with `dot -Tpng`):\n"
+            << net::to_dot(g, "NSFNet T3 Backbone, Fall 1992") << '\n';
+
+  study::TextTable census({"H", "pairs", "mean_alternates", "min", "max"});
+  for (const int h : {cli.hops.value_or(11), 6}) {
+    const routing::RouteCensus c = routing::census(routing::build_min_hop_routes(g, h));
+    census.add_row({std::to_string(h), std::to_string(c.pairs),
+                    study::fmt(c.mean_alternates, 2), std::to_string(c.min_alternates),
+                    std::to_string(c.max_alternates)});
+  }
+  bench::emit(census, cli,
+              "Route-set census (paper at H=11: mean ~9, min 5, max 15; our literal "
+              "<=H-link reading at H=6 differs from the paper's H=6 census -- see "
+              "EXPERIMENTS.md)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,46 @@
+// Figure 6: average network blocking versus load on the NSFNet T3 model
+// with unlimited (H = 11) alternate path lengths, linear scale.
+//
+// The x-axis follows the paper: Load = 10 is the nominal traffic matrix,
+// other points scale it linearly.  Curves: single-path, uncontrolled,
+// controlled, plus the Erlang Bound; the Ott-Krishnan comparator discussed
+// in the same section has its own bench (exp_ott_krishnan).
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  study::SweepOptions options;
+  // Paper's "Load" axis: nominal corresponds to Load = 10.  We keep the
+  // same units by treating a load value L as factor L / 10.
+  const std::vector<double> paper_loads =
+      cli.loads.value_or(std::vector<double>{6, 8, 9, 10, 11, 12, 13, 14, 16});
+  options.load_factors.clear();
+  for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
+  options.seeds = shape.seeds;
+  options.measure = shape.measure;
+  options.warmup = shape.warmup;
+  options.max_alt_hops = cli.hops.value_or(11);
+  study::SweepResult result = study::run_sweep(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+       study::PolicyKind::kControlledAlternate},
+      options);
+  // Relabel the factor column in the paper's Load units.
+  for (std::size_t i = 0; i < result.load_factors.size(); ++i) {
+    result.load_factors[i] = paper_loads[i];
+  }
+  bench::emit(study::sweep_table(result, /*scientific=*/false), cli,
+              "Figure 6: Internet model (NSFNet T3), unlimited alternate path lengths "
+              "(Load = 10 is the nominal matrix)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

@@ -1,0 +1,39 @@
+// Figure 7: the NSFNet experiment of Figure 6 on a log scale, with a finer
+// low-load grid -- the view that shows uncontrolled/controlled alternate
+// routing hugging the Erlang Bound while single-path blocking is orders of
+// magnitude higher at modest loads.
+#include "bench_common.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  study::SweepOptions options;
+  const std::vector<double> paper_loads =
+      cli.loads.value_or(std::vector<double>{4, 5, 6, 7, 8, 9, 10, 11, 12});
+  options.load_factors.clear();
+  for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
+  options.seeds = shape.seeds;
+  options.measure = shape.measure;
+  options.warmup = shape.warmup;
+  options.max_alt_hops = cli.hops.value_or(11);
+  study::SweepResult result = study::run_sweep(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+       study::PolicyKind::kControlledAlternate},
+      options);
+  for (std::size_t i = 0; i < result.load_factors.size(); ++i) {
+    result.load_factors[i] = paper_loads[i];
+  }
+  bench::emit(study::sweep_table(result, /*scientific=*/true), cli,
+              "Figure 7: Internet model, log-scale view (Load = 10 nominal)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return altroute::bench::guarded_main(argc, argv, run); }

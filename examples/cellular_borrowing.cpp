@@ -1,0 +1,52 @@
+// Channel borrowing with a rush-hour hot spot (Section 3.2 application).
+//
+// A 6x6 hex-torus cellular network carries 30 Erlangs per cell on 50
+// channels -- comfortable everywhere, except one downtown cell that spikes
+// to 70 Erlangs.  Borrowing lets the hot cell tap its neighbors' idle
+// channels; the state-protection rule with H = 3 (the co-cell set size)
+// keeps the lending cells from starving their own users.
+#include <iostream>
+
+#include "cellular/borrowing_sim.hpp"
+#include "sim/stats.hpp"
+#include "study/report.hpp"
+
+using namespace altroute;
+
+int main() {
+  const cellular::CellGrid grid(6, 6);
+  const cellular::CellId hot_cell = 14;
+
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 50;
+  config.offered.assign(static_cast<std::size_t>(grid.cell_count()), 30.0);
+  config.offered[hot_cell] = 70.0;
+  config.measure = 100.0;
+
+  std::cout << "6x6 hex torus, 50 channels/cell, 30 E/cell with a 70 E hot spot\n\n";
+  study::TextTable table(
+      {"scheme", "network_blocking", "hot_cell_blocking", "borrowed_calls"});
+  for (const auto mode : {cellular::BorrowingMode::kNone, cellular::BorrowingMode::kUncontrolled,
+                          cellular::BorrowingMode::kControlled}) {
+    config.mode = mode;
+    sim::RunningStats network;
+    sim::RunningStats hot;
+    long long borrowed = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const cellular::BorrowingResult run = cellular::run_borrowing(grid, config, seed);
+      network.add(run.blocking());
+      hot.add(run.per_cell_blocking[hot_cell]);
+      borrowed += run.borrowed_calls;
+    }
+    const char* name = mode == cellular::BorrowingMode::kNone           ? "no borrowing"
+                       : mode == cellular::BorrowingMode::kUncontrolled ? "uncontrolled"
+                                                                        : "controlled (H=3)";
+    table.add_row({name, study::fmt(network.mean(), 4), study::fmt(hot.mean(), 4),
+                   std::to_string(borrowed)});
+  }
+  std::cout << table.str();
+  std::cout << "\nControlled borrowing relieves the hot spot while the Eq.-15 thresholds\n"
+               "(computed by each cell from its own load, with H = 3) guarantee the\n"
+               "network never does worse than the no-borrowing baseline.\n";
+  return 0;
+}

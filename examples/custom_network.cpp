@@ -1,0 +1,116 @@
+// Bring your own network: the file-based workflow.
+//
+// Writes a small metro network and its traffic forecast in the altroute
+// text formats, loads them back (exactly what an operator would do with
+// hand-maintained files), and runs the full controlled-alternate-routing
+// analysis: protection levels, analytic single-path blocking via the
+// reduced-load fixed point, and a simulated three-scheme comparison.
+//
+//   usage: custom_network [network.txt traffic.txt]
+//   (with no arguments a built-in 6-node example is written to the
+//   system temp directory first)
+#include <cstdio>
+#include <iostream>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/io.hpp"
+#include "routing/fixed_point.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+#include "study/report.hpp"
+
+using namespace altroute;
+
+namespace {
+
+void write_builtin_example(const std::string& net_path, const std::string& traffic_path) {
+  study::write_file(net_path,
+                    "# Metro ring with two express chords\n"
+                    "network 1\n"
+                    "node 0 Harbor\n"
+                    "node 1 Downtown\n"
+                    "node 2 University\n"
+                    "node 3 Airport\n"
+                    "node 4 Stadium\n"
+                    "node 5 TechPark\n"
+                    "link 0 1 60\nlink 1 0 60\n"
+                    "link 1 2 60\nlink 2 1 60\n"
+                    "link 2 3 60\nlink 3 2 60\n"
+                    "link 3 4 60\nlink 4 3 60\n"
+                    "link 4 5 60\nlink 5 4 60\n"
+                    "link 5 0 60\nlink 0 5 60\n"
+                    "link 1 4 40\nlink 4 1 40\n"
+                    "link 2 5 40\nlink 5 2 40\n");
+  study::write_file(traffic_path,
+                    "traffic 1\n"
+                    "nodes 6\n"
+                    "demand 0 1 18\ndemand 1 0 18\n"
+                    "demand 1 2 14\ndemand 2 1 14\n"
+                    "demand 0 3 11\ndemand 3 0 11\n"
+                    "demand 2 5 16\ndemand 5 2 16\n"
+                    "demand 1 4 13\ndemand 4 1 13\n"
+                    "demand 3 5 7\ndemand 5 3 7\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_path;
+  std::string traffic_path;
+  if (argc == 3) {
+    net_path = argv[1];
+    traffic_path = argv[2];
+  } else if (argc == 1) {
+    net_path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+               "/altroute_example_net.txt";
+    traffic_path = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                   "/altroute_example_traffic.txt";
+    write_builtin_example(net_path, traffic_path);
+    std::cout << "(wrote example files " << net_path << " and " << traffic_path << ")\n\n";
+  } else {
+    std::cerr << "usage: custom_network [network.txt traffic.txt]\n";
+    return 1;
+  }
+
+  try {
+    const net::Graph g = net::load_network(net_path);
+    const net::TrafficMatrix traffic = net::load_traffic(traffic_path);
+    std::cout << "Loaded " << g.node_count() << " nodes, " << g.link_count()
+              << " directed links, " << study::fmt(traffic.total(), 1)
+              << " Erlangs of demand\n\n";
+
+    const core::Controller controller(g, traffic, core::ControllerConfig{5});
+    std::cout << "State-protection levels (H = 5):\n";
+    for (const core::LinkReport& row : controller.link_report()) {
+      if (row.reservation == 0) continue;
+      std::cout << "  " << g.node_name(row.src) << " -> " << g.node_name(row.dst)
+                << ": Lambda = " << study::fmt(row.lambda, 1) << " E, r = " << row.reservation
+                << '\n';
+    }
+
+    const auto fp = routing::erlang_fixed_point(g, controller.routes(), traffic);
+    std::cout << "\nAnalytic single-path blocking (reduced-load fixed point): "
+              << study::fmt(fp.network_blocking, 4) << '\n';
+
+    loss::SinglePathPolicy single;
+    loss::UncontrolledAlternatePolicy uncontrolled;
+    core::ControlledAlternatePolicy controlled;
+    loss::RoutingPolicy* policies[] = {&single, &uncontrolled, &controlled};
+    std::cout << "\nSimulated blocking (10 seeds, 100 measured units):\n";
+    for (loss::RoutingPolicy* policy : policies) {
+      sim::RunningStats blocking;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        blocking.add(
+            controller.run(*policy, sim::generate_trace(traffic, 110.0, seed)).blocking());
+      }
+      std::cout << "  " << policy->name() << ": " << study::fmt(blocking.mean(), 4) << " +- "
+                << study::fmt(blocking.ci95_halfwidth(), 4) << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,161 @@
+#include "cellular/borrowing_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "erlang/state_protection.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::cellular {
+
+namespace {
+
+// A carried call occupies one channel in 1 cell (home) or 3 cells (borrow).
+struct ActiveCall {
+  std::array<CellId, 3> cells{-1, -1, -1};
+  int cell_count{1};
+};
+
+struct Arrival {
+  double time;
+  double holding;
+  CellId cell;
+};
+
+}  // namespace
+
+BorrowingResult run_borrowing(const CellGrid& grid, const BorrowingConfig& config,
+                              std::uint64_t seed) {
+  const int cells = grid.cell_count();
+  std::vector<double> offered = config.offered;
+  if (offered.size() == 1) offered.assign(static_cast<std::size_t>(cells), offered[0]);
+  if (offered.size() != static_cast<std::size_t>(cells)) {
+    throw std::invalid_argument("run_borrowing: offered size must be 1 or cell_count");
+  }
+  if (config.channels_per_cell <= 0) {
+    throw std::invalid_argument("run_borrowing: channels_per_cell <= 0");
+  }
+  if (!(config.measure > 0.0) || !(config.warmup >= 0.0)) {
+    throw std::invalid_argument("run_borrowing: bad horizon");
+  }
+  const double horizon = config.warmup + config.measure;
+
+  // Per-cell thresholds for the controlled mode: each cell computes its own
+  // r from its own offered load, exactly as a link computes Eq. 15.
+  std::vector<int> reservation(static_cast<std::size_t>(cells), 0);
+  if (config.mode == BorrowingMode::kControlled) {
+    for (int c = 0; c < cells; ++c) {
+      reservation[static_cast<std::size_t>(c)] = erlang::min_state_protection(
+          offered[static_cast<std::size_t>(c)], config.channels_per_cell,
+          config.max_resource_sets);
+    }
+  }
+
+  // Pre-generate arrivals per cell (mode-independent, common random numbers).
+  std::vector<Arrival> arrivals;
+  for (int c = 0; c < cells; ++c) {
+    const double rate = offered[static_cast<std::size_t>(c)];
+    if (rate <= 0.0) continue;
+    sim::Rng rng(seed, static_cast<std::uint64_t>(c) + 1);
+    double t = rng.exponential(rate);
+    while (t < horizon) {
+      arrivals.push_back(Arrival{t, rng.exponential(1.0), c});
+      t += rng.exponential(rate);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(), [](const Arrival& a, const Arrival& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.cell < b.cell;
+  });
+
+  std::vector<int> busy(static_cast<std::size_t>(cells), 0);  // busy + locked channels
+  sim::EventQueue<ActiveCall> departures;
+
+  BorrowingResult result;
+  result.per_cell_blocking.assign(static_cast<std::size_t>(cells), 0.0);
+  result.reservations =
+      (config.mode == BorrowingMode::kControlled) ? reservation : std::vector<int>{};
+  std::vector<long long> cell_offered(static_cast<std::size_t>(cells), 0);
+  std::vector<long long> cell_blocked(static_cast<std::size_t>(cells), 0);
+
+  const int capacity = config.channels_per_cell;
+  const auto admits_borrow = [&](CellId c) {
+    if (busy[static_cast<std::size_t>(c)] >= capacity) return false;
+    if (config.mode == BorrowingMode::kControlled &&
+        busy[static_cast<std::size_t>(c)] >= capacity - reservation[static_cast<std::size_t>(c)]) {
+      return false;
+    }
+    return true;
+  };
+
+  for (const Arrival& arrival : arrivals) {
+    while (!departures.empty() && departures.next_time() <= arrival.time) {
+      const auto [t, call] = departures.pop();
+      for (int i = 0; i < call.cell_count; ++i) {
+        --busy[static_cast<std::size_t>(call.cells[static_cast<std::size_t>(i)])];
+      }
+    }
+
+    const bool measured = arrival.time >= config.warmup;
+    if (measured) {
+      ++result.offered_calls;
+      ++cell_offered[static_cast<std::size_t>(arrival.cell)];
+    }
+
+    ActiveCall call;
+    bool accepted = false;
+    if (busy[static_cast<std::size_t>(arrival.cell)] < capacity) {
+      call.cells[0] = arrival.cell;
+      call.cell_count = 1;
+      accepted = true;
+    } else if (config.mode != BorrowingMode::kNone) {
+      // Borrow from the least-busy admitting neighbor (smallest id ties).
+      CellId best = -1;
+      for (const CellId nb : grid.neighbors(arrival.cell)) {
+        if (!admits_borrow(nb)) continue;
+        if (best < 0 || busy[static_cast<std::size_t>(nb)] < busy[static_cast<std::size_t>(best)] ||
+            (busy[static_cast<std::size_t>(nb)] == busy[static_cast<std::size_t>(best)] && nb < best)) {
+          best = nb;
+        }
+      }
+      if (best >= 0) {
+        const auto locked = grid.borrow_lock_set(arrival.cell, best);
+        bool all_admit = true;
+        for (const CellId c : locked) {
+          if (!admits_borrow(c)) {
+            all_admit = false;
+            break;
+          }
+        }
+        if (all_admit) {
+          call.cells = locked;
+          call.cell_count = 3;
+          accepted = true;
+          if (measured) ++result.borrowed_calls;
+        }
+      }
+    }
+
+    if (accepted) {
+      for (int i = 0; i < call.cell_count; ++i) {
+        ++busy[static_cast<std::size_t>(call.cells[static_cast<std::size_t>(i)])];
+      }
+      departures.schedule(arrival.time + arrival.holding, call);
+    } else if (measured) {
+      ++result.blocked_calls;
+      ++cell_blocked[static_cast<std::size_t>(arrival.cell)];
+    }
+  }
+
+  for (int c = 0; c < cells; ++c) {
+    const auto idx = static_cast<std::size_t>(c);
+    if (cell_offered[idx] > 0) {
+      result.per_cell_blocking[idx] =
+          static_cast<double>(cell_blocked[idx]) / static_cast<double>(cell_offered[idx]);
+    }
+  }
+  return result;
+}
+
+}  // namespace altroute::cellular

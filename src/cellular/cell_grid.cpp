@@ -1,0 +1,75 @@
+#include "cellular/cell_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace altroute::cellular {
+
+CellGrid::CellGrid(int rows, int cols) : rows_(rows), cols_(cols) {
+  // Even row count keeps the odd-r offset parity consistent across the row
+  // wrap; the >= 4 minimums keep all six neighbors distinct on the torus.
+  if (rows < 4 || rows % 2 != 0 || cols < 4) {
+    throw std::invalid_argument("CellGrid: need even rows >= 4 and cols >= 4");
+  }
+  neighbors_.resize(static_cast<std::size_t>(rows * cols));
+  const auto id = [this](int r, int c) {
+    const int rr = ((r % rows_) + rows_) % rows_;
+    const int cc = ((c % cols_) + cols_) % cols_;
+    return rr * cols_ + cc;
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Odd-r offset hex neighborhood, clockwise from "east".
+      std::array<CellId, 6> nb{};
+      if (r % 2 == 0) {
+        nb = {id(r, c + 1),     id(r + 1, c),     id(r + 1, c - 1),
+              id(r, c - 1),     id(r - 1, c - 1), id(r - 1, c)};
+      } else {
+        nb = {id(r, c + 1),     id(r + 1, c + 1), id(r + 1, c),
+              id(r, c - 1),     id(r - 1, c),     id(r - 1, c + 1)};
+      }
+      neighbors_[static_cast<std::size_t>(id(r, c))] = nb;
+    }
+  }
+  // Torus sanity: all six neighbors of every cell must be distinct and
+  // different from the cell itself.
+  for (int cell = 0; cell < cell_count(); ++cell) {
+    auto nb = neighbors_[static_cast<std::size_t>(cell)];
+    std::sort(nb.begin(), nb.end());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      if (nb[i] == cell || (i > 0 && nb[i] == nb[i - 1])) {
+        throw std::logic_error("CellGrid: degenerate torus neighborhood");
+      }
+    }
+  }
+}
+
+bool CellGrid::adjacent(CellId a, CellId b) const {
+  const auto& nb = neighbors(a);
+  return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+std::array<CellId, 3> CellGrid::borrow_lock_set(CellId borrower, CellId lender) const {
+  if (!adjacent(borrower, lender)) {
+    throw std::invalid_argument("borrow_lock_set: cells are not adjacent");
+  }
+  const auto& nb_borrower = neighbors(borrower);
+  const auto& nb_lender = neighbors(lender);
+  std::array<CellId, 3> locked{lender, -1, -1};
+  std::size_t found = 1;
+  for (const CellId x : nb_borrower) {
+    if (x == lender) continue;
+    if (std::find(nb_lender.begin(), nb_lender.end(), x) != nb_lender.end()) {
+      if (found >= locked.size()) {
+        throw std::logic_error("borrow_lock_set: more than two common neighbors");
+      }
+      locked[found++] = x;
+    }
+  }
+  if (found != locked.size()) {
+    throw std::logic_error("borrow_lock_set: fewer than two common neighbors");
+  }
+  return locked;
+}
+
+}  // namespace altroute::cellular

@@ -1,0 +1,51 @@
+// Hexagonal cellular layout for the channel-borrowing application of
+// Section 3.2.
+//
+// Cells live on a rows x cols hex grid with wrap-around (a torus, so every
+// cell has exactly six neighbors and no boundary effects).  When cell o
+// borrows a channel from neighbor b, that channel is locked in the co-cell
+// set of the borrow: the lender b plus the two cells adjacent to BOTH o and
+// b (on a hex grid an adjacent pair shares exactly two common neighbors).
+// A borrowed call therefore consumes capacity in |co-cell set| = 3 cells --
+// the cellular analog of a 3-hop alternate path, which is why the paper
+// prescribes the Eq.-15 reservation level with H = 3.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace altroute::cellular {
+
+/// Index of a cell in row-major order.
+using CellId = int;
+
+class CellGrid {
+ public:
+  /// rows >= 3 and cols >= 3 (and cols even, for periodic hex alignment)
+  /// keep the six neighbors of every cell distinct under wrap-around.
+  CellGrid(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int cell_count() const { return rows_ * cols_; }
+
+  /// The six hex neighbors of `cell`, in a fixed clockwise order.
+  [[nodiscard]] const std::array<CellId, 6>& neighbors(CellId cell) const {
+    return neighbors_[static_cast<std::size_t>(cell)];
+  }
+
+  /// True when a and b are hex-adjacent.
+  [[nodiscard]] bool adjacent(CellId a, CellId b) const;
+
+  /// The co-cell set of a borrow by `borrower` from adjacent `lender`:
+  /// {lender, common neighbor 1, common neighbor 2}, always size 3.
+  /// Throws std::invalid_argument when the cells are not adjacent.
+  [[nodiscard]] std::array<CellId, 3> borrow_lock_set(CellId borrower, CellId lender) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::array<CellId, 6>> neighbors_;
+};
+
+}  // namespace altroute::cellular

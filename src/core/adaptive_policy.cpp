@@ -1,0 +1,91 @@
+#include "core/adaptive_policy.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/protection.hpp"
+#include "erlang/state_protection.hpp"
+
+namespace altroute::core {
+
+AdaptiveControlledPolicy::AdaptiveControlledPolicy(const net::Graph& graph,
+                                                   const AdaptiveOptions& options)
+    : capacity_(link_capacities(graph)), options_(options) {
+  if (!(options.window > 0.0)) throw std::invalid_argument("AdaptiveOptions: window <= 0");
+  if (!(options.ewma_weight > 0.0) || options.ewma_weight > 1.0) {
+    throw std::invalid_argument("AdaptiveOptions: ewma_weight out of (0, 1]");
+  }
+  if (options.max_alt_hops < 1) throw std::invalid_argument("AdaptiveOptions: H < 1");
+  if (!(options.initial_lambda >= 0.0)) {
+    throw std::invalid_argument("AdaptiveOptions: negative initial lambda");
+  }
+  lambda_.assign(capacity_.size(), options.initial_lambda);
+  window_count_.assign(capacity_.size(), 0);
+  reservation_.resize(capacity_.size());
+  for (std::size_t k = 0; k < capacity_.size(); ++k) {
+    reservation_[k] =
+        erlang::min_state_protection(lambda_[k], capacity_[k], options_.max_alt_hops);
+  }
+}
+
+void AdaptiveControlledPolicy::roll_windows(double now) {
+  while (now >= window_start_ + options_.window) {
+    for (std::size_t k = 0; k < lambda_.size(); ++k) {
+      const double window_rate = static_cast<double>(window_count_[k]) / options_.window;
+      lambda_[k] = (1.0 - options_.ewma_weight) * lambda_[k] +
+                   options_.ewma_weight * window_rate;
+      window_count_[k] = 0;
+      reservation_[k] =
+          erlang::min_state_protection(lambda_[k], capacity_[k], options_.max_alt_hops);
+    }
+    window_start_ += options_.window;
+  }
+}
+
+void AdaptiveControlledPolicy::observe_primary_demand(const routing::Path& primary) {
+  // Every primary set-up counts toward the demand of every link on the
+  // primary path, whether or not the call completes: Lambda^k is offered
+  // primary load, not carried load (Eq. 1).
+  for (const net::LinkId id : primary.links) ++window_count_[id.index()];
+}
+
+bool AdaptiveControlledPolicy::alternate_admissible(const loss::RoutingContext& ctx,
+                                                    const routing::Path& path) const {
+  // Local admission test against the policy's own reservation levels (the
+  // engine's NetworkState carries the a-priori levels, which this policy
+  // deliberately ignores: its links trust only their own estimates).
+  for (const net::LinkId id : path.links) {
+    const loss::LinkState& link = ctx.state.link(id);
+    if (link.occupancy() + ctx.bandwidth > link.capacity()) return false;
+    if (link.occupancy() + ctx.bandwidth > link.capacity() - reservation_[id.index()]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+loss::RouteDecision AdaptiveControlledPolicy::route(const loss::RoutingContext& ctx) {
+  roll_windows(ctx.now);
+  loss::RouteDecision d;
+  const std::size_t p = loss::pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  observe_primary_demand(primary);
+  if (ctx.state.path_admissible(primary, loss::CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = loss::CallClass::kPrimary;
+    return d;
+  }
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    if (alternate_admissible(ctx, alt)) {
+      d.path = &alt;
+      d.call_class = loss::CallClass::kAlternate;
+      return d;
+    }
+  }
+  return d;
+}
+
+}  // namespace altroute::core

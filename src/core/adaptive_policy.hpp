@@ -1,0 +1,61 @@
+// Controlled alternate routing with ONLINE Lambda estimation.
+//
+// The paper's experiments assume each link knows its primary demand
+// Lambda^k a priori and leaves the estimation procedure open ("the estimate
+// can be found from the primary call set-ups that fly past the link, or
+// from measurements of established calls").  This extension closes that
+// loop: each link counts the primary set-ups that traverse it over fixed
+// estimation windows, smooths the windowed rates with an EWMA, and
+// recomputes its own Eq.-15 protection level whenever the estimate moves.
+// Because state protection is robust to Lambda errors (Key, Section 2.2 of
+// [21]), the adaptive scheme converges to the a-priori scheme's behavior --
+// a property tests/test_adaptive.cpp verifies.
+#pragma once
+
+#include <vector>
+
+#include "loss/policy.hpp"
+#include "netgraph/graph.hpp"
+
+namespace altroute::core {
+
+struct AdaptiveOptions {
+  /// Length of one counting window, in units of mean holding time.
+  double window{5.0};
+  /// EWMA weight given to the newest window's rate.
+  double ewma_weight{0.3};
+  /// Maximum alternate hop count H for the Eq.-15 recomputation.
+  int max_alt_hops{6};
+  /// Starting Lambda estimate for every link (Erlangs).  A pessimistic
+  /// (high) start makes early reservations conservative, protecting primary
+  /// traffic while the estimator learns.
+  double initial_lambda{0.0};
+};
+
+class AdaptiveControlledPolicy final : public loss::RoutingPolicy {
+ public:
+  AdaptiveControlledPolicy(const net::Graph& graph, const AdaptiveOptions& options);
+
+  [[nodiscard]] loss::RouteDecision route(const loss::RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "adaptive-controlled-alt"; }
+
+  /// Current per-link Lambda estimates (Erlangs).
+  [[nodiscard]] const std::vector<double>& lambda_estimates() const { return lambda_; }
+  /// Current per-link protection levels derived from the estimates.
+  [[nodiscard]] const std::vector<int>& reservations() const { return reservation_; }
+
+ private:
+  void roll_windows(double now);
+  void observe_primary_demand(const routing::Path& primary);
+  [[nodiscard]] bool alternate_admissible(const loss::RoutingContext& ctx,
+                                          const routing::Path& path) const;
+
+  std::vector<int> capacity_;
+  AdaptiveOptions options_;
+  std::vector<double> lambda_;          // EWMA estimate per link
+  std::vector<long long> window_count_; // primary set-ups seen this window
+  std::vector<int> reservation_;        // locally recomputed r^k
+  double window_start_{0.0};
+};
+
+}  // namespace altroute::core

@@ -1,0 +1,29 @@
+#include "core/controlled_policy.hpp"
+
+#include <limits>
+
+namespace altroute::core {
+
+loss::RouteDecision ControlledAlternatePolicy::route(const loss::RoutingContext& ctx) {
+  loss::RouteDecision d;
+  const std::size_t p = loss::pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, loss::CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = loss::CallClass::kPrimary;
+    return d;
+  }
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    if (ctx.state.path_admissible(alt, loss::CallClass::kAlternate, ctx.bandwidth)) {
+      d.path = &alt;
+      d.call_class = loss::CallClass::kAlternate;
+      return d;
+    }
+  }
+  return d;
+}
+
+}  // namespace altroute::core

@@ -1,0 +1,26 @@
+// Controlled alternate routing -- the paper's contribution.
+//
+// Tier 1: the call tries its SI primary path; admission needs only a free
+// circuit per link.  Tier 2: if the primary is blocked, loop-free alternate
+// paths of at most H hops are probed in order of increasing length, and a
+// link admits the alternate-class set-up only while its occupancy is below
+// C^k - r^k.  With r^k chosen per Eq. 15 (see core/protection.hpp), every
+// accepted alternate call improves on single-path routing in expectation.
+//
+// The reservation levels live in NetworkState (each link "computes its own
+// threshold"); this policy simply probes alternates under the
+// alternate-call admission rule, which is the entirety of the distributed
+// control -- no global state, no link-state advertisement.
+#pragma once
+
+#include "loss/policy.hpp"
+
+namespace altroute::core {
+
+class ControlledAlternatePolicy final : public loss::RoutingPolicy {
+ public:
+  [[nodiscard]] loss::RouteDecision route(const loss::RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "controlled-alt"; }
+};
+
+}  // namespace altroute::core

@@ -1,0 +1,68 @@
+#include "core/controller.hpp"
+
+#include <utility>
+
+#include "core/variants.hpp"
+#include "erlang/state_protection.hpp"
+
+namespace altroute::core {
+
+Controller::Controller(net::Graph graph, net::TrafficMatrix nominal, ControllerConfig config)
+    : graph_(std::move(graph)),
+      nominal_(std::move(nominal)),
+      config_(config),
+      routes_(routing::build_min_hop_routes(graph_, config_.max_alt_hops,
+                                            config_.max_paths_per_pair)) {
+  retarget(nominal_);
+}
+
+Controller::Controller(net::Graph graph, net::TrafficMatrix nominal,
+                       routing::RouteTable routes, ControllerConfig config)
+    : graph_(std::move(graph)),
+      nominal_(std::move(nominal)),
+      config_(config),
+      routes_(std::move(routes)) {
+  retarget(nominal_);
+}
+
+void Controller::retarget(const net::TrafficMatrix& traffic) {
+  lambda_ = routing::primary_link_loads(graph_, routes_, traffic);
+  if (config_.per_link_h) {
+    const std::vector<int> h = per_link_max_alt_hops(graph_, routes_);
+    const std::vector<int> capacity = link_capacities(graph_);
+    reservations_.resize(lambda_.size());
+    for (std::size_t k = 0; k < lambda_.size(); ++k) {
+      reservations_[k] = erlang::min_state_protection(lambda_[k], capacity[k], h[k]);
+    }
+  } else {
+    reservations_ = protection_levels_from_lambda(graph_, lambda_, config_.max_alt_hops);
+  }
+}
+
+loss::EngineOptions Controller::engine_options(double warmup,
+                                               std::uint64_t policy_seed) const {
+  loss::EngineOptions options;
+  options.warmup = warmup;
+  options.policy_seed = policy_seed;
+  options.reservations = reservations_;
+  return options;
+}
+
+loss::RunResult Controller::run(loss::RoutingPolicy& policy, const sim::CallTrace& trace,
+                                double warmup) const {
+  return loss::run_trace(graph_, routes_, policy, trace, engine_options(warmup));
+}
+
+std::vector<LinkReport> Controller::link_report() const {
+  std::vector<LinkReport> rows;
+  rows.reserve(static_cast<std::size_t>(graph_.link_count()));
+  for (int k = 0; k < graph_.link_count(); ++k) {
+    const net::LinkId id(k);
+    const net::Link& l = graph_.link(id);
+    rows.push_back(LinkReport{id, l.src, l.dst, l.capacity, lambda_[id.index()],
+                              reservations_[id.index()]});
+  }
+  return rows;
+}
+
+}  // namespace altroute::core

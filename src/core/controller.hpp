@@ -1,0 +1,87 @@
+// High-level facade: assembles topology + traffic into a ready-to-run
+// controlled-alternate-routing deployment.
+//
+// This is the entry point a downstream user starts from (see
+// examples/quickstart.cpp): given a Graph and a nominal TrafficMatrix it
+// computes the unique min-hop primaries, the ordered alternate lists capped
+// at H hops, the per-link primary demands (Eq. 1), and the per-link
+// state-protection levels (Eq. 15), and hands out engine options that apply
+// those levels to a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protection.hpp"
+#include "loss/engine.hpp"
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::core {
+
+struct ControllerConfig {
+  /// Maximum alternate path hop count H (design parameter of Section 3.1).
+  int max_alt_hops{6};
+  /// Safety cap on alternate enumeration per ordered pair.
+  std::size_t max_paths_per_pair{100000};
+  /// Footnote-5 variant: compute each link's protection from the longest
+  /// alternate that actually traverses it (H^k) instead of the global H.
+  /// Never reserves more than the global-H rule; see core/variants.hpp.
+  bool per_link_h{false};
+};
+
+/// Per-link summary row (the columns of the paper's Table 1).
+struct LinkReport {
+  net::LinkId link;
+  net::NodeId src;
+  net::NodeId dst;
+  int capacity{0};
+  double lambda{0.0};  ///< primary demand, Eq. 1
+  int reservation{0};  ///< r^k from Eq. 15 at the controller's H
+};
+
+class Controller {
+ public:
+  /// Builds routes/loads/levels for min-hop primaries.  The graph and
+  /// matrix are copied; the controller is self-contained afterwards.
+  Controller(net::Graph graph, net::TrafficMatrix nominal, ControllerConfig config = {});
+
+  /// Same, but with an externally supplied primary/alternate program (e.g.
+  /// the bifurcated output of routing::optimize_min_loss_primaries).
+  Controller(net::Graph graph, net::TrafficMatrix nominal, routing::RouteTable routes,
+             ControllerConfig config = {});
+
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+  [[nodiscard]] const net::TrafficMatrix& nominal_traffic() const { return nominal_; }
+  [[nodiscard]] const routing::RouteTable& routes() const { return routes_; }
+  [[nodiscard]] const std::vector<double>& primary_loads() const { return lambda_; }
+  [[nodiscard]] const std::vector<int>& reservations() const { return reservations_; }
+  [[nodiscard]] int max_alt_hops() const { return config_.max_alt_hops; }
+
+  /// Recomputes Lambda and the protection levels for a scaled load (the
+  /// levels are functions of the traffic matrix in force).  Section 4
+  /// recomputes them per load point when sweeping.
+  void retarget(const net::TrafficMatrix& traffic);
+
+  /// Engine options carrying this controller's reservation levels.
+  [[nodiscard]] loss::EngineOptions engine_options(double warmup = 10.0,
+                                                   std::uint64_t policy_seed = 0x5eed) const;
+
+  /// Runs one policy over one trace with this controller's levels applied.
+  [[nodiscard]] loss::RunResult run(loss::RoutingPolicy& policy, const sim::CallTrace& trace,
+                                    double warmup = 10.0) const;
+
+  /// Table-1-style per-link rows at the current traffic.
+  [[nodiscard]] std::vector<LinkReport> link_report() const;
+
+ private:
+  net::Graph graph_;
+  net::TrafficMatrix nominal_;
+  ControllerConfig config_;
+  routing::RouteTable routes_;
+  std::vector<double> lambda_;
+  std::vector<int> reservations_;
+};
+
+}  // namespace altroute::core

@@ -1,0 +1,26 @@
+#include "core/protection.hpp"
+
+#include "erlang/state_protection.hpp"
+
+namespace altroute::core {
+
+std::vector<int> link_capacities(const net::Graph& graph) {
+  std::vector<int> caps;
+  caps.reserve(static_cast<std::size_t>(graph.link_count()));
+  for (const net::Link& l : graph.links()) caps.push_back(l.capacity);
+  return caps;
+}
+
+std::vector<int> protection_levels(const net::Graph& graph, const routing::RouteTable& routes,
+                                   const net::TrafficMatrix& traffic, int max_alt_hops) {
+  const std::vector<double> lambda = routing::primary_link_loads(graph, routes, traffic);
+  return protection_levels_from_lambda(graph, lambda, max_alt_hops);
+}
+
+std::vector<int> protection_levels_from_lambda(const net::Graph& graph,
+                                               const std::vector<double>& lambda,
+                                               int max_alt_hops) {
+  return erlang::state_protection_levels(lambda, link_capacities(graph), max_alt_hops);
+}
+
+}  // namespace altroute::core

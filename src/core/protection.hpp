@@ -1,0 +1,32 @@
+// Network-wide state-protection tables (Eq. 15 applied per link).
+#pragma once
+
+#include <vector>
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::core {
+
+/// Per-link capacities of a graph, indexed by LinkId.
+[[nodiscard]] std::vector<int> link_capacities(const net::Graph& graph);
+
+/// Computes every link's smallest admissible reservation level from the
+/// primary demands Lambda^k implied by (routes, traffic) via Eq. 1, for the
+/// given maximum alternate hop count H.  This is exactly the computation
+/// each link would perform locally from its own Lambda estimate -- done
+/// here centrally for the simulator, as in the paper's experiments ("we
+/// simply assumed that a link knew Lambda^k a priori").
+[[nodiscard]] std::vector<int> protection_levels(const net::Graph& graph,
+                                                 const routing::RouteTable& routes,
+                                                 const net::TrafficMatrix& traffic,
+                                                 int max_alt_hops);
+
+/// Same, but from an explicit Lambda vector (e.g. one produced by the
+/// online estimator).
+[[nodiscard]] std::vector<int> protection_levels_from_lambda(const net::Graph& graph,
+                                                             const std::vector<double>& lambda,
+                                                             int max_alt_hops);
+
+}  // namespace altroute::core

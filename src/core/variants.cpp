@@ -1,0 +1,103 @@
+#include "core/variants.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/protection.hpp"
+#include "erlang/state_protection.hpp"
+
+namespace altroute::core {
+
+std::vector<int> per_link_max_alt_hops(const net::Graph& graph,
+                                       const routing::RouteTable& routes) {
+  if (routes.nodes() != graph.node_count()) {
+    throw std::invalid_argument("per_link_max_alt_hops: size mismatch");
+  }
+  std::vector<int> h(static_cast<std::size_t>(graph.link_count()), 1);
+  for (int i = 0; i < graph.node_count(); ++i) {
+    for (int j = 0; j < graph.node_count(); ++j) {
+      if (i == j) continue;
+      const routing::RouteSet& set = routes.at(net::NodeId(i), net::NodeId(j));
+      for (const routing::Path& alt : set.alternates) {
+        const bool is_primary =
+            std::find(set.primaries.begin(), set.primaries.end(), alt) != set.primaries.end();
+        if (is_primary) continue;
+        for (const net::LinkId k : alt.links) {
+          h[k.index()] = std::max(h[k.index()], alt.hops());
+        }
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<int> protection_levels_per_link_h(const net::Graph& graph,
+                                              const routing::RouteTable& routes,
+                                              const net::TrafficMatrix& traffic) {
+  const std::vector<double> lambda = routing::primary_link_loads(graph, routes, traffic);
+  const std::vector<int> h = per_link_max_alt_hops(graph, routes);
+  const std::vector<int> capacity = link_capacities(graph);
+  std::vector<int> r(lambda.size());
+  for (std::size_t k = 0; k < lambda.size(); ++k) {
+    r[k] = erlang::min_state_protection(lambda[k], capacity[k], h[k]);
+  }
+  return r;
+}
+
+PerLengthControlledPolicy::PerLengthControlledPolicy(const net::Graph& graph,
+                                                     const std::vector<double>& lambda,
+                                                     int max_alt_hops) {
+  if (lambda.size() != static_cast<std::size_t>(graph.link_count())) {
+    throw std::invalid_argument("PerLengthControlledPolicy: lambda size mismatch");
+  }
+  if (max_alt_hops < 1) throw std::invalid_argument("PerLengthControlledPolicy: H < 1");
+  const std::vector<int> capacity = link_capacities(graph);
+  r_by_h_.resize(static_cast<std::size_t>(max_alt_hops) + 1);
+  for (int h = 1; h <= max_alt_hops; ++h) {
+    auto& row = r_by_h_[static_cast<std::size_t>(h)];
+    row.resize(lambda.size());
+    for (std::size_t k = 0; k < lambda.size(); ++k) {
+      row[k] = erlang::min_state_protection(lambda[k], capacity[k], h);
+    }
+  }
+  // Index 0 is never used (alternates have >= 1 hop); keep it empty-safe.
+  r_by_h_[0] = r_by_h_[1];
+}
+
+bool PerLengthControlledPolicy::admissible(const loss::RoutingContext& ctx,
+                                           const routing::Path& path) const {
+  const auto h = static_cast<std::size_t>(path.hops());
+  if (h >= r_by_h_.size()) return false;  // longer than the configured H: refuse
+  const std::vector<int>& r = r_by_h_[h];
+  for (const net::LinkId id : path.links) {
+    const loss::LinkState& link = ctx.state.link(id);
+    if (link.occupancy() + ctx.bandwidth > link.capacity()) return false;
+    if (link.occupancy() + ctx.bandwidth > link.capacity() - r[id.index()]) return false;
+  }
+  return true;
+}
+
+loss::RouteDecision PerLengthControlledPolicy::route(const loss::RoutingContext& ctx) {
+  loss::RouteDecision d;
+  const std::size_t p = loss::pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, loss::CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = loss::CallClass::kPrimary;
+    return d;
+  }
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    if (admissible(ctx, alt)) {
+      d.path = &alt;
+      d.call_class = loss::CallClass::kAlternate;
+      return d;
+    }
+  }
+  return d;
+}
+
+}  // namespace altroute::core

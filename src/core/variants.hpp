@@ -1,0 +1,66 @@
+// Provably-safe variants of the state-protection control.
+//
+// The paper's baseline uses one network-wide H (the maximum alternate hop
+// count) in Eq. 15.  Two refinements keep the Theorem-1 guarantee while
+// reserving less:
+//
+//  * Per-link H^k (the paper's footnote 5): link k only ever carries
+//    alternate calls of at most H^k = max hops over the alternates that
+//    actually traverse k, so it may protect with bound 1/H^k >= 1/H.
+//
+//  * Per-call-length thresholds: an alternate call on an h-hop path
+//    displaces at most h * max-per-link-bound primary calls, so each link
+//    on the path only needs its bound below 1/h for THIS call.  Shorter
+//    alternates then see much smaller reservations -- without the
+//    inflation the paper warns about for schemes that additionally
+//    prioritize short paths against long ones (here no alternate protects
+//    against another; links still only distinguish primary vs alternate,
+//    plus the set-up packet's hop count, which it carries anyway).
+#pragma once
+
+#include <vector>
+
+#include "loss/policy.hpp"
+#include "netgraph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::core {
+
+/// H^k per link: the maximum hop count over all alternate paths in
+/// `routes` that traverse link k, excluding paths identical to their
+/// pair's primary (those travel as primary-class calls).  Links traversed
+/// by no alternate get 1 (Eq. 15 then yields r = 0).
+[[nodiscard]] std::vector<int> per_link_max_alt_hops(const net::Graph& graph,
+                                                     const routing::RouteTable& routes);
+
+/// Eq. 15 levels using the per-link H^k instead of a global H.
+[[nodiscard]] std::vector<int> protection_levels_per_link_h(const net::Graph& graph,
+                                                            const routing::RouteTable& routes,
+                                                            const net::TrafficMatrix& traffic);
+
+/// Controlled alternate routing with per-call-length thresholds: an
+/// alternate call whose path has h hops is admitted at a link only while
+/// occupancy < C - r(lambda, C, h).  The r tables for every h in
+/// [1, max_alt_hops] are precomputed at construction.
+class PerLengthControlledPolicy final : public loss::RoutingPolicy {
+ public:
+  /// `lambda` is the per-link primary demand (Eq. 1); thresholds follow.
+  PerLengthControlledPolicy(const net::Graph& graph, const std::vector<double>& lambda,
+                            int max_alt_hops);
+
+  [[nodiscard]] loss::RouteDecision route(const loss::RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "controlled-alt-perlen"; }
+
+  /// Reservation applied to an alternate of `hops` hops at `link`
+  /// (exposed for tests).
+  [[nodiscard]] int reservation(net::LinkId link, int hops) const {
+    return r_by_h_[static_cast<std::size_t>(hops)][link.index()];
+  }
+
+ private:
+  [[nodiscard]] bool admissible(const loss::RoutingContext& ctx, const routing::Path& path) const;
+
+  std::vector<std::vector<int>> r_by_h_;  // [hop count][link]
+};
+
+}  // namespace altroute::core

@@ -1,0 +1,112 @@
+#include "erlang/birth_death.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace altroute::erlang {
+
+namespace {
+
+void check_rates(const std::vector<double>& birth, const std::vector<double>& death) {
+  if (birth.size() != death.size()) {
+    throw std::invalid_argument("birth_death: birth/death size mismatch");
+  }
+  if (birth.empty()) throw std::invalid_argument("birth_death: empty chain");
+  for (const double b : birth) {
+    if (!(b >= 0.0)) throw std::invalid_argument("birth_death: negative birth rate");
+  }
+  for (const double d : death) {
+    if (!(d > 0.0)) throw std::invalid_argument("birth_death: death rates must be > 0");
+  }
+}
+
+}  // namespace
+
+std::vector<double> stationary_distribution(const std::vector<double>& birth,
+                                            const std::vector<double>& death) {
+  check_rates(birth, death);
+  const std::size_t c = birth.size();
+  // Detailed balance: pi[s+1] = pi[s] * birth[s] / death[s].  Accumulate the
+  // unnormalized weights and rescale on the fly to avoid overflow for large
+  // chains (weights can span hundreds of orders of magnitude).
+  std::vector<double> pi(c + 1);
+  pi[0] = 1.0;
+  double scale = 1.0;
+  for (std::size_t s = 0; s < c; ++s) {
+    pi[s + 1] = pi[s] * (birth[s] / death[s]);
+    if (pi[s + 1] > 1e200) {
+      const double shrink = 1e-200;
+      for (std::size_t t = 0; t <= s + 1; ++t) pi[t] *= shrink;
+      scale *= shrink;
+    }
+  }
+  (void)scale;
+  double total = 0.0;
+  for (const double p : pi) total += p;
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+double generalized_erlang_b(const std::vector<double>& birth) {
+  if (birth.empty()) return 1.0;  // zero-capacity link blocks everything
+  std::vector<double> death(birth.size());
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+  return stationary_distribution(birth, death).back();
+}
+
+std::vector<double> accepted_arrivals_to_next_state(const std::vector<double>& birth,
+                                                    const std::vector<double>& death) {
+  check_rates(birth, death);
+  for (const double b : birth) {
+    if (!(b > 0.0)) {
+      throw std::invalid_argument("accepted_arrivals_to_next_state: birth rates must be > 0");
+    }
+  }
+  const std::size_t c = birth.size();
+  std::vector<double> x(c);
+  x[0] = 1.0;
+  for (std::size_t s = 1; s < c; ++s) {
+    x[s] = 1.0 + (death[s - 1] / birth[s]) * x[s - 1];
+  }
+  return x;
+}
+
+std::vector<double> mean_passage_time_up(const std::vector<double>& birth,
+                                         const std::vector<double>& death) {
+  check_rates(birth, death);
+  for (const double b : birth) {
+    if (!(b > 0.0)) {
+      throw std::invalid_argument("mean_passage_time_up: birth rates must be > 0");
+    }
+  }
+  const std::size_t c = birth.size();
+  std::vector<double> m(c);
+  m[0] = 1.0 / birth[0];
+  for (std::size_t s = 1; s < c; ++s) {
+    m[s] = (1.0 + death[s - 1] * m[s - 1]) / birth[s];
+  }
+  return m;
+}
+
+std::vector<double> protected_link_births(double nu, const std::vector<double>& overflow,
+                                          int capacity, int reservation) {
+  if (!(nu >= 0.0)) throw std::invalid_argument("protected_link_births: nu must be >= 0");
+  if (capacity <= 0) throw std::invalid_argument("protected_link_births: capacity must be > 0");
+  if (reservation < 0 || reservation > capacity) {
+    throw std::invalid_argument("protected_link_births: reservation out of [0, capacity]");
+  }
+  std::vector<double> birth(static_cast<std::size_t>(capacity), nu);
+  const int protect_from = capacity - reservation;  // states >= C-r refuse overflow
+  for (int s = 0; s < protect_from; ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (idx < overflow.size()) {
+      if (!(overflow[idx] >= 0.0)) {
+        throw std::invalid_argument("protected_link_births: negative overflow rate");
+      }
+      birth[idx] += overflow[idx];
+    }
+  }
+  return birth;
+}
+
+}  // namespace altroute::erlang

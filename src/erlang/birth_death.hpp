@@ -1,0 +1,52 @@
+// Finite birth-death chains: stationary distributions, the paper's
+// generalized Erlang blocking function, and first-passage quantities used to
+// validate Theorem 1 exactly.
+//
+// A chain on states 0..C is described by birth rates lambda[s] (rate of the
+// s -> s+1 transition, for s = 0..C-1) and death rates mu[s] (rate of the
+// s -> s-1 transition, for s = 1..C).  The paper's link model (Figure 1) has
+// mu[s] = s (exponential unit-mean holding, one departure per call) and
+// lambda[s] = nu + overflow(s) below the protection threshold, nu above it.
+#pragma once
+
+#include <vector>
+
+namespace altroute::erlang {
+
+/// Stationary distribution pi[0..C] of the birth-death chain with the given
+/// birth (size C) and death (size C) rate vectors; death[s-1] is the rate of
+/// the s -> s-1 transition.  All rates must be strictly positive except that
+/// trailing zero birth rates are allowed (truncated chain).  Throws on
+/// inconsistent sizes or negative rates.
+[[nodiscard]] std::vector<double> stationary_distribution(
+    const std::vector<double>& birth, const std::vector<double>& death);
+
+/// The paper's generalized Erlang blocking function B(lambda_vec, C): the
+/// stationary probability that the chain with state-dependent birth rates
+/// `birth[s]` (s = 0..C-1) and death rates mu[s] = s sits in its top state C.
+/// By PASTA this is exactly the blocking probability experienced by any
+/// state-INdependent Poisson substream sharing the link.  C = birth.size().
+[[nodiscard]] double generalized_erlang_b(const std::vector<double>& birth);
+
+/// Expected number of *accepted arrivals* between the instant the chain sits
+/// in state s and the first time it reaches s+1 -- the X_{s,s+1} of the
+/// paper's Eq. 4/5, computed by the exact first-step recursion
+///     X_{s,s+1} = 1 + death[s]/birth[s] * X_{s-1,s},  X_{0,1} = 1.
+/// Returns the vector X_{s,s+1} for s = 0..C-1.
+[[nodiscard]] std::vector<double> accepted_arrivals_to_next_state(
+    const std::vector<double>& birth, const std::vector<double>& death);
+
+/// Expected *time* for the chain to first reach state s+1 starting from
+/// state s, for s = 0..C-1 (standard birth-death first-passage recursion
+///     m_0 = 1/birth[0],  m_s = (1 + death[s] * m_{s-1}) / birth[s]).
+[[nodiscard]] std::vector<double> mean_passage_time_up(
+    const std::vector<double>& birth, const std::vector<double>& death);
+
+/// Birth-rate vector for the paper's protected link of Figure 1: primary
+/// Poisson rate `nu` in every state, plus state-dependent overflow rates
+/// `overflow[s]` admitted only in states s < C - r.  overflow may be shorter
+/// than C; missing entries are treated as zero.  Result has size C.
+[[nodiscard]] std::vector<double> protected_link_births(
+    double nu, const std::vector<double>& overflow, int capacity, int reservation);
+
+}  // namespace altroute::erlang

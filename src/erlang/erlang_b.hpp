@@ -1,0 +1,51 @@
+// Erlang-B blocking function and relatives.
+//
+// B(a, c) is the probability that a Poisson stream of offered load `a`
+// Erlangs finds all `c` circuits of a loss system busy.  Everything here is
+// computed with the numerically stable *inverse* recursion the paper relies
+// on (its Eq. 12, citing Jagerman):
+//
+//     y_0 = 1,   y_x = 1 + (x / a) * y_{x-1},   B(a, x) = 1 / y_x
+//
+// which never overflows and is exact to rounding for any practical (a, c).
+#pragma once
+
+#include <vector>
+
+namespace altroute::erlang {
+
+/// Erlang-B blocking probability B(a, c) for offered load `a` >= 0 Erlangs
+/// and integer capacity `c` >= 0 circuits.  B(a, 0) == 1; B(0, c>0) == 0.
+/// Throws std::invalid_argument on negative arguments.
+[[nodiscard]] double erlang_b(double a, int c);
+
+/// The inverse-blocking sequence y_x = 1 / B(a, x) for x = 0..c, i.e. the
+/// vector [y_0, y_1, ..., y_c].  This is the workhorse for the Eq.-15
+/// state-protection search, which needs ratios B(a,C)/B(a,C-r) = y_{C-r}/y_C
+/// for many r at once.  For a == 0 the sequence is y_0 = 1 and +infinity
+/// afterwards (blocking is exactly zero).
+[[nodiscard]] std::vector<double> inverse_erlang_sequence(double a, int c);
+
+/// dB/da: sensitivity of Erlang-B blocking to offered load, via the closed
+/// form dB/da = B * (c/a + B - 1).  Continuous at a == 0 (limit 1 for c==1,
+/// 0 otherwise).
+[[nodiscard]] double erlang_b_dload(double a, int c);
+
+/// Carried load a * (1 - B(a, c)) in Erlangs.
+[[nodiscard]] double carried_load(double a, int c);
+
+/// Loss rate a * B(a, c): the expected number of calls lost per unit time.
+/// Krishnan proved this convex in `a` (the property the min-loss primary
+/// routing of Section 4 relies on).
+[[nodiscard]] double loss_rate(double a, int c);
+
+/// d(loss_rate)/da = B + a * dB/da.  Gradient for the min-loss optimizer.
+[[nodiscard]] double loss_rate_dload(double a, int c);
+
+/// Continuous-capacity extension of Erlang-B via the integral representation
+///     1 / B(a, x) = integral_0^inf a * e^(-a*t) * (1 + t)^x dt,
+/// valid for real x >= 0.  Agrees with erlang_b() at integer x.  Used for
+/// fractional-capacity what-if analyses; accurate to ~1e-10 relative.
+[[nodiscard]] double erlang_b_continuous(double a, double x);
+
+}  // namespace altroute::erlang

@@ -1,0 +1,69 @@
+#include "erlang/erlang_bound.hpp"
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::erlang {
+
+CutBound erlang_bound(const net::Graph& graph, const net::TrafficMatrix& traffic) {
+  const int n = graph.node_count();
+  if (n < 2) throw std::invalid_argument("erlang_bound: need at least 2 nodes");
+  if (n > 24) throw std::invalid_argument("erlang_bound: exhaustive cut search capped at 24 nodes");
+  if (traffic.size() != n) throw std::invalid_argument("erlang_bound: traffic size mismatch");
+
+  const double total_traffic = traffic.total();
+  CutBound best;
+  if (total_traffic <= 0.0) return best;
+
+  // Per-link endpoint masks let each cut be scored in O(links + n^2).
+  const auto links = graph.links();
+
+  const std::uint32_t limit = 1u << (n - 1);  // node 0 pinned in S
+  const std::uint32_t full = (1u << n) - 1u;
+  for (std::uint32_t half_mask = 0; half_mask < limit; ++half_mask) {
+    const std::uint32_t mask = (half_mask << 1) | 1u;  // include node 0
+    if (mask == full) continue;                        // S must be proper
+
+    double fwd_traffic = 0.0;
+    double rev_traffic = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const bool i_in = (mask >> i) & 1u;
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const bool j_in = (mask >> j) & 1u;
+        if (i_in == j_in) continue;
+        const double t = traffic.at(net::NodeId(i), net::NodeId(j));
+        if (i_in) {
+          fwd_traffic += t;
+        } else {
+          rev_traffic += t;
+        }
+      }
+    }
+
+    int fwd_cap = 0;
+    int rev_cap = 0;
+    for (const net::Link& l : links) {
+      if (!l.enabled) continue;
+      const bool s_in = (mask >> l.src.value) & 1u;
+      const bool d_in = (mask >> l.dst.value) & 1u;
+      if (s_in && !d_in) fwd_cap += l.capacity;
+      if (!s_in && d_in) rev_cap += l.capacity;
+    }
+
+    const double value = (fwd_traffic / total_traffic) * erlang_b(fwd_traffic, fwd_cap) +
+                         (rev_traffic / total_traffic) * erlang_b(rev_traffic, rev_cap);
+    if (value > best.bound) {
+      best.bound = value;
+      best.cut_mask = mask;
+      best.forward_traffic = fwd_traffic;
+      best.reverse_traffic = rev_traffic;
+      best.forward_capacity = fwd_cap;
+      best.reverse_capacity = rev_cap;
+    }
+  }
+  return best;
+}
+
+}  // namespace altroute::erlang

@@ -1,0 +1,33 @@
+// The cut-set Erlang Bound of Section 4: a lower bound on the average
+// network blocking probability of ANY routing scheme (even one allowed to
+// re-pack calls), used as the reference curve in Figures 3/4/6/7.
+//
+// For every node subset S, the traffic that must cross the directed cut
+// (S -> complement) cannot see less blocking than an Erlang-B system whose
+// capacity is the total capacity of the cut; likewise for the reverse cut.
+// The bound is the maximum, over all cuts, of the traffic-weighted sum of
+// those two Erlang-B terms.
+#pragma once
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+
+namespace altroute::erlang {
+
+/// Detail of the best (most binding) cut found by erlang_bound().
+struct CutBound {
+  double bound{0.0};             ///< lower bound on average network blocking
+  std::uint32_t cut_mask{0};     ///< bit i set <=> node i in S
+  double forward_traffic{0.0};   ///< sum of T(i,j), i in S, j not in S
+  double reverse_traffic{0.0};   ///< sum of T(i,j), i not in S, j in S
+  int forward_capacity{0};       ///< total capacity of enabled S -> S^c links
+  int reverse_capacity{0};       ///< total capacity of enabled S^c -> S links
+};
+
+/// Evaluates the Erlang Bound by exhaustive enumeration of all 2^(N-1) - 1
+/// distinct cuts (node 0 is pinned inside S; a cut and its complement give
+/// the same value).  Requires N <= 24 nodes and a traffic matrix of matching
+/// size.  Returns the binding cut and its bound; bound == 0 for zero traffic.
+[[nodiscard]] CutBound erlang_bound(const net::Graph& graph, const net::TrafficMatrix& traffic);
+
+}  // namespace altroute::erlang

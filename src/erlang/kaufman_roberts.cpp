@@ -1,0 +1,163 @@
+#include "erlang/kaufman_roberts.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace altroute::erlang {
+
+namespace {
+
+void check_classes(const std::vector<RateClass>& classes, int capacity) {
+  if (classes.empty()) throw std::invalid_argument("kaufman_roberts: no classes");
+  if (capacity < 0) throw std::invalid_argument("kaufman_roberts: capacity < 0");
+  for (const RateClass& c : classes) {
+    if (c.bandwidth < 1) throw std::invalid_argument("kaufman_roberts: bandwidth < 1");
+    if (!(c.offered >= 0.0)) throw std::invalid_argument("kaufman_roberts: offered < 0");
+  }
+}
+
+}  // namespace
+
+std::vector<double> kaufman_roberts_distribution(const std::vector<RateClass>& classes,
+                                                 int capacity) {
+  check_classes(classes, capacity);
+  std::vector<double> q(static_cast<std::size_t>(capacity) + 1, 0.0);
+  q[0] = 1.0;
+  double total = 1.0;
+  for (int j = 1; j <= capacity; ++j) {
+    double value = 0.0;
+    for (const RateClass& c : classes) {
+      if (j - c.bandwidth >= 0) {
+        value += c.offered * c.bandwidth * q[static_cast<std::size_t>(j - c.bandwidth)];
+      }
+    }
+    value /= static_cast<double>(j);
+    q[static_cast<std::size_t>(j)] = value;
+    total += value;
+    // Rescale on the fly if the unnormalized weights explode (heavy load).
+    if (total > 1e280) {
+      for (int t = 0; t <= j; ++t) q[static_cast<std::size_t>(t)] /= total;
+      total = 1.0;
+    }
+  }
+  for (double& value : q) value /= total;
+  return q;
+}
+
+std::vector<double> kaufman_roberts_blocking(const std::vector<RateClass>& classes,
+                                             int capacity) {
+  const std::vector<double> q = kaufman_roberts_distribution(classes, capacity);
+  std::vector<double> blocking(classes.size(), 0.0);
+  for (std::size_t s = 0; s < classes.size(); ++s) {
+    double sum = 0.0;
+    for (int j = capacity - classes[s].bandwidth + 1; j <= capacity; ++j) {
+      if (j >= 0) sum += q[static_cast<std::size_t>(j)];
+    }
+    blocking[s] = sum;
+  }
+  return blocking;
+}
+
+std::vector<double> multirate_reservation_blocking(const std::vector<RateClass>& classes,
+                                                   int capacity,
+                                                   const std::vector<int>& reservation) {
+  check_classes(classes, capacity);
+  if (reservation.size() != classes.size()) {
+    throw std::invalid_argument("multirate_reservation_blocking: reservation size mismatch");
+  }
+  for (std::size_t s = 0; s < reservation.size(); ++s) {
+    if (reservation[s] < 0 || reservation[s] > capacity) {
+      throw std::invalid_argument("multirate_reservation_blocking: reservation out of range");
+    }
+  }
+  const std::size_t n_classes = classes.size();
+
+  // Enumerate feasible states (n_1..n_S) with sum n_s * b_s <= C.
+  std::vector<std::vector<int>> states;
+  std::map<std::vector<int>, std::size_t> index;
+  {
+    std::vector<int> current(n_classes, 0);
+    // Iterative odometer enumeration.
+    for (;;) {
+      int used = 0;
+      for (std::size_t s = 0; s < n_classes; ++s) used += current[s] * classes[s].bandwidth;
+      if (used <= capacity) {
+        index.emplace(current, states.size());
+        states.push_back(current);
+        if (states.size() > 2000000) {
+          throw std::invalid_argument("multirate_reservation_blocking: state space too large");
+        }
+      }
+      // Advance the odometer; skip over infeasible suffixes cheaply by
+      // incrementing the lowest class first.
+      std::size_t s = 0;
+      for (; s < n_classes; ++s) {
+        ++current[s];
+        int new_used = 0;
+        for (std::size_t t = 0; t < n_classes; ++t) new_used += current[t] * classes[t].bandwidth;
+        if (new_used <= capacity) break;
+        current[s] = 0;
+      }
+      if (s == n_classes) break;
+    }
+  }
+
+  const auto occupancy_of = [&](const std::vector<int>& state) {
+    int used = 0;
+    for (std::size_t s = 0; s < n_classes; ++s) used += state[s] * classes[s].bandwidth;
+    return used;
+  };
+  const auto admits = [&](int occupancy, std::size_t s) {
+    return occupancy + classes[s].bandwidth <= capacity - reservation[s];
+  };
+
+  // Uniformized power iteration for the stationary distribution.
+  double max_rate = 0.0;
+  for (const RateClass& c : classes) max_rate += c.offered;
+  max_rate += static_cast<double>(capacity);  // at most C calls in progress
+  std::vector<double> pi(states.size(), 1.0 / static_cast<double>(states.size()));
+  std::vector<double> next(states.size());
+  std::vector<int> neighbor(n_classes);
+  for (int iter = 0; iter < 200000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const std::vector<int>& state = states[i];
+      const int occupancy = occupancy_of(state);
+      double stay = max_rate;
+      for (std::size_t s = 0; s < n_classes; ++s) {
+        if (admits(occupancy, s)) {
+          neighbor = state;
+          ++neighbor[s];
+          next[index.at(neighbor)] += pi[i] * classes[s].offered;
+          stay -= classes[s].offered;
+        }
+        if (state[s] > 0) {
+          neighbor = state;
+          --neighbor[s];
+          next[index.at(neighbor)] += pi[i] * static_cast<double>(state[s]);
+          stay -= static_cast<double>(state[s]);
+        }
+      }
+      next[i] += pi[i] * stay;
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      next[i] /= max_rate;
+      delta = std::max(delta, std::abs(next[i] - pi[i]));
+    }
+    pi.swap(next);
+    if (delta < 1e-13) break;
+  }
+
+  std::vector<double> blocking(n_classes, 0.0);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const int occupancy = occupancy_of(states[i]);
+    for (std::size_t s = 0; s < n_classes; ++s) {
+      if (!admits(occupancy, s)) blocking[s] += pi[i];
+    }
+  }
+  return blocking;
+}
+
+}  // namespace altroute::erlang

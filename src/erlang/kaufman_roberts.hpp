@@ -1,0 +1,47 @@
+// Kaufman-Roberts recursion: multi-rate Erlang blocking on one link.
+//
+// The paper's model is explicitly single-rate ("In this preliminary study
+// we assume calls of identical statistics") and names multiple call types
+// as future work.  This module supplies the analytic foundation for the
+// library's multi-rate extension: S independent Poisson classes, class s
+// offering a_s Erlangs of b_s-unit calls on a C-unit link, share the link
+// in product form, and the total-occupancy distribution q(j) obeys
+//
+//     j * q(j) = sum_s a_s * b_s * q(j - b_s),       q(j < 0) = 0,
+//
+// from which class s blocks with probability sum_{j > C - b_s} q(j).
+#pragma once
+
+#include <vector>
+
+namespace altroute::erlang {
+
+/// One traffic class on a link.
+struct RateClass {
+  double offered{0.0};  ///< Erlangs (arrival rate x mean holding)
+  int bandwidth{1};     ///< circuits seized per call (b_s >= 1)
+};
+
+/// Occupancy distribution q(0..capacity) by the Kaufman-Roberts recursion.
+/// Throws on empty classes, non-positive bandwidth, negative load, or
+/// capacity < 0.
+[[nodiscard]] std::vector<double> kaufman_roberts_distribution(
+    const std::vector<RateClass>& classes, int capacity);
+
+/// Per-class blocking probabilities (same order as `classes`).
+[[nodiscard]] std::vector<double> kaufman_roberts_blocking(
+    const std::vector<RateClass>& classes, int capacity);
+
+/// Per-class blocking when the link additionally refuses class s whenever
+/// the post-admission occupancy would exceed capacity - reservation[s]
+/// (bandwidth-and-reservation admission, the multi-rate generalization of
+/// the paper's trunk-reservation rule).  The occupancy process is no
+/// longer product-form, so this solves the multi-dimensional Markov chain
+/// EXACTLY by iterative global balance -- exponential in the class count;
+/// intended for validation at small capacities (C * ... state space is
+/// prod_s (C/b_s + 1), capped internally at ~2e6 states).
+[[nodiscard]] std::vector<double> multirate_reservation_blocking(
+    const std::vector<RateClass>& classes, int capacity,
+    const std::vector<int>& reservation);
+
+}  // namespace altroute::erlang

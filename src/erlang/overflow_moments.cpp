@@ -1,0 +1,56 @@
+#include "erlang/overflow_moments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::erlang {
+
+OverflowMoments overflow_moments(double offered, int capacity) {
+  if (!(offered >= 0.0)) throw std::invalid_argument("overflow_moments: offered < 0");
+  if (capacity < 0) throw std::invalid_argument("overflow_moments: capacity < 0");
+  OverflowMoments m;
+  if (offered == 0.0) return m;  // empty stream: mean 0, Z defined as 1
+  const double b = erlang_b(offered, capacity);
+  m.mean = offered * b;
+  if (m.mean <= 0.0) {
+    m.variance = 0.0;
+    m.peakedness = 1.0;
+    return m;
+  }
+  // Riordan: V = alpha * (1 - alpha + a / (c + 1 - a + alpha)).
+  m.variance =
+      m.mean *
+      (1.0 - m.mean + offered / (static_cast<double>(capacity) + 1.0 - offered + m.mean));
+  m.peakedness = m.variance / m.mean;
+  return m;
+}
+
+double hayward_blocking(double mean, double peakedness, int capacity) {
+  if (!(mean >= 0.0)) throw std::invalid_argument("hayward_blocking: mean < 0");
+  if (!(peakedness > 0.0)) throw std::invalid_argument("hayward_blocking: peakedness <= 0");
+  if (capacity < 0) throw std::invalid_argument("hayward_blocking: capacity < 0");
+  if (mean == 0.0) return 0.0;
+  return erlang_b_continuous(mean / peakedness,
+                             static_cast<double>(capacity) / peakedness);
+}
+
+EquivalentRandom rapp_equivalent(double mean, double variance) {
+  if (!(mean > 0.0)) throw std::invalid_argument("rapp_equivalent: mean <= 0");
+  if (!(variance >= mean)) {
+    throw std::invalid_argument("rapp_equivalent: variance < mean (not overflow-like)");
+  }
+  const double z = variance / mean;
+  EquivalentRandom eq;
+  // Rapp's approximation for the equivalent offered load...
+  eq.offered = variance + 3.0 * z * (z - 1.0);
+  // ...and the circuit count that makes the overflow mean come out right:
+  //     mean = a* B(a*, c*)  =>  c* from the exact relation
+  //     c* = a* (mean + z) / (mean + z - 1) - mean - 1.
+  eq.circuits = eq.offered * (mean + z) / (mean + z - 1.0) - mean - 1.0;
+  if (eq.circuits < 0.0) eq.circuits = 0.0;
+  return eq;
+}
+
+}  // namespace altroute::erlang

@@ -1,0 +1,51 @@
+// Overflow traffic moments: Wilkinson's Equivalent Random Theory.
+//
+// The paper's assumption A1 treats the alternate-routed (overflow) traffic
+// arriving at a link as Poisson.  Real overflow is BURSTIER than Poisson:
+// calls overflow exactly when the primary link is full, so they arrive in
+// clumps.  Classic teletraffic quantifies this with the first two moments
+// of the overflow from an Erlang system (Riordan's formulas), the
+// peakedness Z = variance/mean (Z = 1 for Poisson, > 1 for overflow), and
+// approximations for the blocking such peaked traffic sees:
+//
+//  * Hayward: a (M, Z)-stream on C circuits blocks like a Poisson M/Z
+//    stream on C/Z circuits (fractional capacity via the continuous
+//    Erlang-B extension);
+//  * Rapp: the inverse map from (M, V) back to an equivalent random
+//    system (a*, c*), the heart of ERT dimensioning.
+//
+// These tools measure how conservative/optimistic A1 is, and extend the
+// library toward classical overflow engineering.
+#pragma once
+
+namespace altroute::erlang {
+
+/// First two moments of the traffic overflowing an Erlang system of
+/// `capacity` circuits offered `offered` Erlangs.
+struct OverflowMoments {
+  double mean{0.0};        ///< alpha = a * B(a, c)
+  double variance{0.0};    ///< Riordan's formula
+  double peakedness{1.0};  ///< Z = variance / mean (1 when mean == 0)
+};
+
+/// Riordan/Wilkinson overflow moments.  capacity == 0 returns the offered
+/// stream itself (Z = 1).  Throws on negative arguments.
+[[nodiscard]] OverflowMoments overflow_moments(double offered, int capacity);
+
+/// Hayward's approximation: blocking experienced by a stream of mean `mean`
+/// and peakedness `peakedness` offered to `capacity` circuits,
+/// B(mean / Z, capacity / Z) with fractional capacity.  peakedness >= some
+/// small positive value; Z = 1 reduces exactly to Erlang-B.
+[[nodiscard]] double hayward_blocking(double mean, double peakedness, int capacity);
+
+/// Rapp's two-moment fit: an "equivalent random" system whose overflow has
+/// (approximately) the given mean and variance.  Returns offered load a*
+/// and continuous circuit count c* (the standard dimensioning
+/// intermediate).  Requires mean > 0 and variance >= mean.
+struct EquivalentRandom {
+  double offered{0.0};
+  double circuits{0.0};
+};
+[[nodiscard]] EquivalentRandom rapp_equivalent(double mean, double variance);
+
+}  // namespace altroute::erlang

@@ -1,0 +1,24 @@
+#include "erlang/shadow_price.hpp"
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::erlang {
+
+std::vector<double> link_shadow_prices(double a, int capacity) {
+  if (!(a >= 0.0)) throw std::invalid_argument("link_shadow_prices: load < 0");
+  if (capacity <= 0) throw std::invalid_argument("link_shadow_prices: capacity <= 0");
+  std::vector<double> d(static_cast<std::size_t>(capacity), 0.0);
+  if (a == 0.0) return d;
+  const double b = erlang_b(a, capacity);
+  const double g = a * b;  // long-run loss rate (calls per unit time)
+  d[0] = b;
+  for (int j = 1; j < capacity; ++j) {
+    d[static_cast<std::size_t>(j)] =
+        (g + static_cast<double>(j) * d[static_cast<std::size_t>(j - 1)]) / a;
+  }
+  return d;
+}
+
+}  // namespace altroute::erlang

@@ -1,0 +1,27 @@
+// Ott-Krishnan separable link shadow prices.
+//
+// For an M/M/C/C link with Poisson offered load `a` (unit-mean holding), the
+// shadow price d(j) is the expected increase in the number of calls lost on
+// the link, over an infinite horizon, caused by raising its occupancy from j
+// to j+1.  Ott & Krishnan route a call on the feasible path minimizing the
+// SUM of link shadow prices (the separability approximation) and block it if
+// that minimum exceeds the call's revenue (1 for single-class traffic).
+//
+// d solves the average-cost relative-value equations of the birth-death
+// chain with loss rate a*1{j==C}:
+//     d(0) = B(a, C),            d(j) = (g + j * d(j-1)) / a,   g = a*B(a,C)
+// and satisfies d(C-1) = (a - g)/C = a*(1 - B)/C as a consistency identity.
+// The paper uses these prices with UNREDUCED primary loads as its
+// state-dependent comparison baseline (Section 4.2.2).
+#pragma once
+
+#include <vector>
+
+namespace altroute::erlang {
+
+/// Shadow-price vector d(j) for j = 0..C-1 of an M/M/C/C link with offered
+/// load `a` Erlangs.  d is increasing in j and contained in [0, 1].
+/// For a == 0 the prices are all zero.  Throws on a < 0 or capacity <= 0.
+[[nodiscard]] std::vector<double> link_shadow_prices(double a, int capacity);
+
+}  // namespace altroute::erlang

@@ -1,0 +1,56 @@
+#include "erlang/state_protection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::erlang {
+
+int min_state_protection(double lambda, int capacity, int max_alt_hops) {
+  if (!(lambda >= 0.0)) throw std::invalid_argument("min_state_protection: lambda < 0");
+  if (capacity <= 0) throw std::invalid_argument("min_state_protection: capacity <= 0");
+  if (max_alt_hops < 1) throw std::invalid_argument("min_state_protection: H < 1");
+  if (lambda == 0.0) return 0;  // B(0, c) == 0 for all c >= 1: bound is 0/0 -> no risk
+  // In terms of the inverse sequence y_x = 1/B(lambda, x), Eq. 15 reads
+  //     y_{C-r} / y_C <= 1/H   <=>   y_{C-r} <= y_C / H,
+  // and y is increasing in x, so the smallest admissible r is found by
+  // scanning r upward (equivalently C-r downward).
+  const std::vector<double> y = inverse_erlang_sequence(lambda, capacity);
+  const double target = y[static_cast<std::size_t>(capacity)] / static_cast<double>(max_alt_hops);
+  for (int r = 0; r < capacity; ++r) {
+    if (y[static_cast<std::size_t>(capacity - r)] <= target) return r;
+  }
+  // r == capacity would compare against y_0 == 1; even if that satisfied the
+  // inequality the link has no state in which it admits alternates, so the
+  // distinction is moot -- but keep it mathematically exact:
+  if (y[0] <= target) return capacity;
+  return capacity;  // unsatisfiable: disable alternate-routed calls
+}
+
+double theorem1_bound(double lambda, int capacity, int reservation) {
+  if (!(lambda >= 0.0)) throw std::invalid_argument("theorem1_bound: lambda < 0");
+  if (capacity <= 0) throw std::invalid_argument("theorem1_bound: capacity <= 0");
+  if (reservation < 0 || reservation > capacity) {
+    throw std::invalid_argument("theorem1_bound: reservation out of range");
+  }
+  const double denom = erlang_b(lambda, capacity - reservation);
+  if (denom == 0.0) return std::numeric_limits<double>::infinity();
+  return erlang_b(lambda, capacity) / denom;
+}
+
+std::vector<int> state_protection_levels(const std::vector<double>& lambda,
+                                         const std::vector<int>& capacity,
+                                         int max_alt_hops) {
+  if (lambda.size() != capacity.size()) {
+    throw std::invalid_argument("state_protection_levels: size mismatch");
+  }
+  std::vector<int> r(lambda.size());
+  for (std::size_t k = 0; k < lambda.size(); ++k) {
+    r[k] = min_state_protection(lambda[k], capacity[k], max_alt_hops);
+  }
+  return r;
+}
+
+}  // namespace altroute::erlang

@@ -1,0 +1,41 @@
+// State-protection (trunk-reservation) level selection -- the paper's Eq. 15.
+//
+// Theorem 1 bounds the expected number of extra primary calls lost at link k
+// when one alternate-routed call is accepted:
+//
+//     L^k  <=  B(Lambda^k, C^k) / B(Lambda^k, C^k - r^k)
+//
+// If every link on an alternate path of at most H hops keeps this bound
+// below 1/H, accepting the alternate call (worth one carried call) can cost
+// at most H * (1/H) = 1 expected primary call: the controlled scheme then
+// never does worse than single-path routing.  The control picks, per link,
+// the SMALLEST r that achieves the bound, so that alternate routing is as
+// free as the guarantee allows.
+#pragma once
+
+#include <vector>
+
+namespace altroute::erlang {
+
+/// Smallest reservation level r in [0, capacity] such that
+///     B(lambda, capacity) / B(lambda, capacity - r) <= 1 / max_alt_hops.
+/// Returns `capacity` when no r satisfies the inequality (heavily loaded
+/// link: alternate-routed calls are shut out entirely, reproducing the
+/// r = C = 100 entries of the paper's Table 1).
+///
+/// `lambda` is the link's primary traffic demand Lambda^k in Erlangs
+/// (Eq. 1); `max_alt_hops` is the network-wide design constant H >= 1.
+[[nodiscard]] int min_state_protection(double lambda, int capacity, int max_alt_hops);
+
+/// The Theorem-1 bound B(lambda, c) / B(lambda, c - r) itself, i.e. the
+/// guaranteed ceiling on expected extra primary losses per accepted
+/// alternate call.  +infinity when B(lambda, c - r) == 0 (lambda == 0).
+[[nodiscard]] double theorem1_bound(double lambda, int capacity, int reservation);
+
+/// min_state_protection() applied element-wise: entry k pairs lambda[k] with
+/// capacity[k].  Convenience for whole-network threshold tables.
+[[nodiscard]] std::vector<int> state_protection_levels(const std::vector<double>& lambda,
+                                                       const std::vector<int>& capacity,
+                                                       int max_alt_hops);
+
+}  // namespace altroute::erlang

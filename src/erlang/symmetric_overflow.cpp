@@ -1,0 +1,74 @@
+#include "erlang/symmetric_overflow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "erlang/birth_death.hpp"
+
+namespace altroute::erlang {
+
+SymmetricFixedPoint solve_symmetric_overflow(const SymmetricOverflowModel& model,
+                                             double initial_blocking) {
+  if (model.nodes < 3) throw std::invalid_argument("symmetric_overflow: nodes < 3");
+  if (model.capacity < 1) throw std::invalid_argument("symmetric_overflow: capacity < 1");
+  if (!(model.direct_load >= 0.0)) {
+    throw std::invalid_argument("symmetric_overflow: negative load");
+  }
+  if (model.reservation < 0 || model.reservation > model.capacity) {
+    throw std::invalid_argument("symmetric_overflow: reservation out of range");
+  }
+  if (!(model.damping > 0.0) || model.damping > 1.0 || model.max_iterations < 1 ||
+      !(model.tolerance > 0.0)) {
+    throw std::invalid_argument("symmetric_overflow: bad solver options");
+  }
+  if (!(initial_blocking >= 0.0) || initial_blocking > 1.0) {
+    throw std::invalid_argument("symmetric_overflow: initial blocking out of [0, 1]");
+  }
+
+  const int c = model.capacity;
+  const int threshold = c - model.reservation;  // alternates admitted while s < threshold
+  const double a = model.direct_load;
+  const int k_alternates = model.nodes - 2;
+
+  SymmetricFixedPoint fp;
+  fp.link_blocking = initial_blocking;
+  // A consistent with the starting B: crude but only seeds the iteration.
+  fp.alternate_admission = 1.0 - initial_blocking;
+
+  std::vector<double> death(static_cast<std::size_t>(c));
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+
+  for (int iter = 1; iter <= model.max_iterations; ++iter) {
+    fp.iterations = iter;
+    // Overflow offered so that accepted overflow matches carried overflow.
+    const double q = fp.alternate_admission * fp.alternate_admission;
+    const double rescued = 1.0 - std::pow(1.0 - q, k_alternates);
+    const double carried_overflow_per_link = 2.0 * a * fp.link_blocking * rescued;
+    const double xi = fp.alternate_admission > 1e-12
+                          ? carried_overflow_per_link / fp.alternate_admission
+                          : 0.0;
+    // Link birth-death under (a, xi, threshold).
+    std::vector<double> birth(static_cast<std::size_t>(c), a);
+    for (int s = 0; s < threshold; ++s) birth[static_cast<std::size_t>(s)] += xi;
+    const std::vector<double> pi = stationary_distribution(birth, death);
+    double admit = 0.0;
+    for (int s = 0; s < threshold; ++s) admit += pi[static_cast<std::size_t>(s)];
+    const double fresh_b = pi.back();
+
+    const double delta_b = fresh_b - fp.link_blocking;
+    const double delta_a = admit - fp.alternate_admission;
+    fp.link_blocking += model.damping * delta_b;
+    fp.alternate_admission += model.damping * delta_a;
+    fp.overflow_rate = xi;
+    if (std::abs(delta_b) < model.tolerance && std::abs(delta_a) < model.tolerance) {
+      fp.converged = true;
+      break;
+    }
+  }
+  const double q = fp.alternate_admission * fp.alternate_admission;
+  fp.call_blocking = fp.link_blocking * std::pow(1.0 - q, k_alternates);
+  return fp;
+}
+
+}  // namespace altroute::erlang

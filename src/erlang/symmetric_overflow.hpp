@@ -1,0 +1,52 @@
+// Reduced-load fixed point for SYMMETRIC fully-connected networks with
+// two-link alternate routing and trunk reservation -- the analytic model
+// of the Mitra-Gibbens / Gibbens-Hunt-Kelly line the paper builds on.
+//
+// Every ordered pair offers `direct_load` Erlangs to its one-hop primary;
+// a blocked call tries the N-2 two-link alternates sequentially, and a
+// link admits an alternate only below C - r.  Under the standard
+// independence assumptions each link is a birth-death chain with primary
+// rate a everywhere and Poisson overflow rate xi below the threshold,
+// closed by consistency:
+//
+//     B = P(link full),   A = P(link occupancy < C - r),
+//     q = A^2 (a two-link path admits), K = N - 2,
+//     carried overflow per link = 2 a B (1 - (1-q)^K)  =  xi * A.
+//
+// The fixed point is solved by damped substitution.  Its FAMOUS property,
+// exposed here deliberately: for r = 0 near the critical load the map has
+// multiple fixed points -- the low-blocking and high-blocking network
+// states whose coexistence is the analytic face of the bistability that
+// bench/exp_bistability demonstrates by simulation, and which a large
+// enough r provably removes.
+#pragma once
+
+namespace altroute::erlang {
+
+struct SymmetricOverflowModel {
+  int nodes{10};          ///< N >= 3 (K = N - 2 alternates per pair)
+  int capacity{120};      ///< C per directed link
+  double direct_load{90}; ///< a, Erlangs per ordered pair
+  int reservation{0};     ///< trunk-reservation level r in [0, C]
+  int max_iterations{100000};
+  double damping{0.3};    ///< in (0, 1]
+  double tolerance{1e-12};
+};
+
+struct SymmetricFixedPoint {
+  double link_blocking{0.0};        ///< B at the fixed point
+  double alternate_admission{0.0};  ///< A at the fixed point
+  double overflow_rate{0.0};        ///< xi, offered overflow per link
+  double call_blocking{0.0};        ///< end-to-end: B * (1 - A^2)^(N-2)
+  bool converged{false};
+  int iterations{0};
+};
+
+/// Solves the fixed point by damped substitution starting from
+/// B = initial_blocking (0 probes the cold/low state, 1 the hot/high
+/// state; different answers from the two starts = bistability).  Throws on
+/// malformed models.
+[[nodiscard]] SymmetricFixedPoint solve_symmetric_overflow(const SymmetricOverflowModel& model,
+                                                           double initial_blocking = 0.0);
+
+}  // namespace altroute::erlang

@@ -1,0 +1,105 @@
+#include "loss/dynamic_policies.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace altroute::loss {
+
+namespace {
+
+constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+
+// Free circuits at the path's bottleneck link.
+int bottleneck_free(const RoutingContext& ctx, const routing::Path& path) {
+  int least = std::numeric_limits<int>::max();
+  for (const net::LinkId id : path.links) {
+    least = std::min(least, ctx.state.link(id).free_circuits());
+  }
+  return least;
+}
+
+}  // namespace
+
+RouteDecision LeastBusyAlternatePolicy::route(const RoutingContext& ctx) {
+  RouteDecision d;
+  const std::size_t p = pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == kUnset) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = CallClass::kPrimary;
+    return d;
+  }
+  const routing::Path* best = nullptr;
+  int best_free = -1;
+  int best_hops = std::numeric_limits<int>::max();
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    if (!ctx.state.path_admissible(alt, alt_class_, ctx.bandwidth)) continue;
+    const int free = bottleneck_free(ctx, alt);
+    if (free > best_free || (free == best_free && alt.hops() < best_hops)) {
+      best = &alt;
+      best_free = free;
+      best_hops = alt.hops();
+    }
+  }
+  if (best != nullptr) {
+    d.path = best;
+    d.call_class = CallClass::kAlternate;
+  }
+  return d;
+}
+
+StickyRandomPolicy::StickyRandomPolicy(int nodes, std::uint64_t seed,
+                                       bool protected_alternates)
+    : nodes_(nodes),
+      alt_class_(protected_alternates ? CallClass::kAlternate : CallClass::kPrimary),
+      rng_(seed, 0xDA12),
+      sticky_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), kUnset) {
+  if (nodes < 1) throw std::invalid_argument("StickyRandomPolicy: nodes < 1");
+}
+
+RouteDecision StickyRandomPolicy::route(const RoutingContext& ctx) {
+  RouteDecision d;
+  const std::size_t p = pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == kUnset) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = CallClass::kPrimary;
+    return d;
+  }
+  // Candidate alternates exclude the primary itself.
+  std::size_t candidates = 0;
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (!(alt == primary)) ++candidates;
+  }
+  if (candidates == 0) return d;
+  const auto nth_candidate = [&](std::size_t n) -> const routing::Path& {
+    for (const routing::Path& alt : ctx.routes.alternates) {
+      if (alt == primary) continue;
+      if (n == 0) return alt;
+      --n;
+    }
+    return ctx.routes.alternates.front();  // unreachable by construction
+  };
+
+  std::size_t& remembered = sticky_[pair_index(ctx.src, ctx.dst)];
+  if (remembered == kUnset || remembered >= candidates) {
+    remembered = rng_.below(candidates);
+  }
+  const routing::Path& attempt = nth_candidate(remembered);
+  ++d.alternates_probed;
+  if (ctx.state.path_admissible(attempt, alt_class_, ctx.bandwidth)) {
+    d.path = &attempt;  // success: the choice sticks
+    d.call_class = CallClass::kAlternate;
+    return d;
+  }
+  // Failure: lose the call and re-point the pair at a fresh random
+  // alternate for its next overflow (DAR's reset rule).
+  remembered = rng_.below(candidates);
+  return d;
+}
+
+}  // namespace altroute::loss

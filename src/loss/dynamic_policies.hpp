@@ -1,0 +1,77 @@
+// Classic state-dependent alternate-selection rules from the telephony
+// literature the paper builds on, adapted to general meshes.  Both pick
+// WHICH alternate to use differently from the paper's fixed
+// increasing-length order; both respect the same per-link admission rules
+// (including state protection when their calls probe as kAlternate), so
+// they compose with the Eq.-15 control.
+//
+//  * Least-busy alternative (the LBA/ALBA family of Mitra & Gibbens):
+//    among the admissible alternates, carry the call on the one whose
+//    bottleneck link has the most free circuits (ties: shortest, then
+//    route-table order).  Needs global state at decision time -- exactly
+//    the requirement the paper's scheme avoids -- so it serves as an
+//    informed upper-comparison.
+//
+//  * Sticky random routing (Gibbens & Kelly's Dynamic Alternative
+//    Routing): each ordered pair remembers one current alternate; a call
+//    blocked on its primary tries just that alternate.  On success the
+//    choice sticks; on failure the call is lost and the pair resets to a
+//    RANDOM alternate for the next overflow.  Local state only, one probe
+//    per overflow -- cheaper signaling than the paper's sequential probing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "loss/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::loss {
+
+class LeastBusyAlternatePolicy final : public RoutingPolicy {
+ public:
+  /// `protected_alternates` selects the admission class alternates probe
+  /// with: true = kAlternate (subject to state protection), false =
+  /// kPrimary (uncontrolled).
+  explicit LeastBusyAlternatePolicy(bool protected_alternates)
+      : alt_class_(protected_alternates ? CallClass::kAlternate : CallClass::kPrimary) {}
+
+  [[nodiscard]] RouteDecision route(const RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override {
+    return alt_class_ == CallClass::kAlternate ? "least-busy-alt-protected"
+                                               : "least-busy-alt";
+  }
+
+ private:
+  CallClass alt_class_;
+};
+
+class StickyRandomPolicy final : public RoutingPolicy {
+ public:
+  /// `nodes` sizes the per-pair memory; `seed` drives the random resets;
+  /// `protected_alternates` as in LeastBusyAlternatePolicy.
+  StickyRandomPolicy(int nodes, std::uint64_t seed, bool protected_alternates);
+
+  [[nodiscard]] RouteDecision route(const RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override {
+    return alt_class_ == CallClass::kAlternate ? "sticky-random-protected" : "sticky-random";
+  }
+
+  /// Currently remembered alternate index for a pair (for tests); SIZE_MAX
+  /// when unset.
+  [[nodiscard]] std::size_t current_alternate(net::NodeId src, net::NodeId dst) const {
+    return sticky_[pair_index(src, dst)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t pair_index(net::NodeId src, net::NodeId dst) const {
+    return src.index() * static_cast<std::size_t>(nodes_) + dst.index();
+  }
+
+  int nodes_;
+  CallClass alt_class_;
+  sim::Rng rng_;
+  std::vector<std::size_t> sticky_;
+};
+
+}  // namespace altroute::loss

@@ -1,0 +1,167 @@
+#include "loss/engine.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::loss {
+
+std::vector<double> RunResult::pair_blocking_probabilities() const {
+  std::vector<double> out;
+  for (const PairCounters& pc : per_pair) {
+    if (pc.offered > 0) out.push_back(pc.blocking());
+  }
+  return out;
+}
+
+RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
+                    RoutingPolicy& policy, const sim::CallTrace& trace,
+                    const EngineOptions& options) {
+  if (routes.nodes() != graph.node_count()) {
+    throw std::invalid_argument("run_trace: route table size mismatch");
+  }
+  if (!(options.warmup >= 0.0) || options.warmup >= trace.horizon) {
+    throw std::invalid_argument("run_trace: warmup must lie in [0, horizon)");
+  }
+
+  const int n = graph.node_count();
+  const std::size_t link_count = static_cast<std::size_t>(graph.link_count());
+
+  NetworkState state(graph);
+  if (!options.reservations.empty()) state.set_reservations(options.reservations);
+  sim::Rng engine_rng(options.policy_seed, 0xA17E72A7E);
+
+  RunResult result;
+  result.node_count = n;
+  result.per_pair.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
+  result.primary_losses_at_link.assign(link_count, 0);
+
+  // Time-weighted link occupancy over the measurement window.
+  std::vector<double> occupancy_integral(link_count, 0.0);
+  std::vector<double> last_change(link_count, options.warmup);
+  const auto account = [&](const routing::Path& path, double now) {
+    if (!options.link_stats) return;
+    for (const net::LinkId id : path.links) {
+      const double from = last_change[id.index()];
+      if (now > from) {
+        occupancy_integral[id.index()] +=
+            static_cast<double>(state.link(id).occupancy()) * (now - from);
+        last_change[id.index()] = now;
+      }
+    }
+  };
+
+  // Departures carry the booked path (pointers into the RouteTable are
+  // stable for the duration of the run) and the call's circuit width.
+  struct Departure {
+    const routing::Path* path;
+    int units;
+  };
+  sim::EventQueue<Departure> departures;
+
+  // Per-bandwidth counters keyed by width (tiny maps; widths are few).
+  std::map<int, ClassCounters> per_class;
+
+  if (options.time_bins > 0) {
+    result.bin_offered.assign(static_cast<std::size_t>(options.time_bins), 0);
+    result.bin_blocked.assign(static_cast<std::size_t>(options.time_bins), 0);
+  }
+  const double bin_width = options.time_bins > 0
+                               ? (trace.horizon - options.warmup) / options.time_bins
+                               : 0.0;
+  const auto bin_of = [&](double t) {
+    const auto bin = static_cast<std::size_t>((t - options.warmup) / bin_width);
+    return std::min(bin, static_cast<std::size_t>(options.time_bins - 1));
+  };
+
+  for (const sim::CallRecord& call : trace.calls) {
+    // Release every call that ends at or before this arrival.
+    while (!departures.empty() && departures.next_time() <= call.arrival) {
+      const auto [t, done] = departures.pop();
+      account(*done.path, t);
+      state.release(*done.path, done.units);
+    }
+
+    const routing::RouteSet& routes_for_pair = routes.at(call.src, call.dst);
+    const RoutingContext ctx{graph,           state,
+                             call.src,        call.dst,
+                             routes_for_pair, engine_rng.uniform01(),
+                             call.arrival,    call.bandwidth};
+    const RouteDecision decision = policy.route(ctx);
+
+    const bool measured = call.arrival >= options.warmup;
+    PairCounters& pair =
+        result.per_pair[call.src.index() * static_cast<std::size_t>(n) + call.dst.index()];
+    ClassCounters& cls = per_class[call.bandwidth];
+    cls.bandwidth = call.bandwidth;
+    if (measured) {
+      ++result.offered;
+      ++pair.offered;
+      ++cls.offered;
+      if (options.time_bins > 0) ++result.bin_offered[bin_of(call.arrival)];
+    }
+
+    if (decision.accepted()) {
+      account(*decision.path, call.arrival);
+      state.book(*decision.path, call.bandwidth);
+      departures.schedule(call.arrival + call.holding, Departure{decision.path, call.bandwidth});
+      if (measured) {
+        if (decision.call_class == CallClass::kPrimary) {
+          ++result.carried_primary;
+          ++pair.carried_primary;
+        } else {
+          ++result.carried_alternate;
+          ++pair.carried_alternate;
+        }
+        const auto hops = static_cast<std::size_t>(decision.path->hops());
+        if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
+        ++result.carried_by_hops[hops];
+      }
+    } else {
+      if (measured) {
+        ++result.blocked;
+        ++pair.blocked;
+        ++cls.blocked;
+        if (options.time_bins > 0) ++result.bin_blocked[bin_of(call.arrival)];
+        // Attribute the loss to the first blocking link of the primary the
+        // call would have probed (paper's convention).
+        if (routes_for_pair.reachable()) {
+          const std::size_t p = pick_primary(routes_for_pair, ctx.primary_pick);
+          const routing::Path& primary = routes_for_pair.primaries[p];
+          const int idx = state.first_blocking_link(primary, CallClass::kPrimary, call.bandwidth);
+          if (idx >= 0) {
+            ++result.primary_losses_at_link[primary.links[static_cast<std::size_t>(idx)].index()];
+          }
+        }
+      }
+    }
+  }
+
+  // Drain departures up to the horizon so occupancy integrals close cleanly.
+  while (!departures.empty() && departures.next_time() <= trace.horizon) {
+    const auto [t, done] = departures.pop();
+    account(*done.path, t);
+    state.release(*done.path, done.units);
+  }
+  for (const auto& [bandwidth, counters] : per_class) {
+    result.per_class.push_back(counters);
+  }
+
+  if (options.link_stats) {
+    result.mean_link_occupancy.assign(link_count, 0.0);
+    const double window = trace.horizon - options.warmup;
+    for (std::size_t k = 0; k < link_count; ++k) {
+      // Close each link's integral at the horizon.
+      const double from = last_change[k];
+      occupancy_integral[k] +=
+          static_cast<double>(state.link(net::LinkId(static_cast<std::int32_t>(k))).occupancy()) *
+          (trace.horizon - from);
+      result.mean_link_occupancy[k] = occupancy_integral[k] / window;
+    }
+  }
+  return result;
+}
+
+}  // namespace altroute::loss

@@ -1,0 +1,119 @@
+// Call-by-call simulation engine.
+//
+// Replays a pre-generated CallTrace against one routing policy: for each
+// arrival the policy is consulted, accepted calls book circuits on every
+// link of the chosen path and release them after the call's holding time.
+// Measurement starts after the warm-up period (the paper warms up for 10
+// time units from an idle network and measures for 100).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "loss/policy.hpp"
+#include "netgraph/graph.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+namespace altroute::loss {
+
+struct EngineOptions {
+  /// Calls arriving before this time are routed but not counted.
+  double warmup{10.0};
+  /// Seed of the engine-side RNG stream (bifurcated-primary sampling).
+  /// Keep equal across policies for common random numbers.
+  std::uint64_t policy_seed{0x5eed};
+  /// Collect per-link mean occupancy (small extra cost).
+  bool link_stats{true};
+  /// Per-link state-protection levels applied to the network state before
+  /// the run (empty = all zero).  Policies that probe alternates with
+  /// CallClass::kAlternate are subject to them; single-path and
+  /// uncontrolled policies ignore them by construction.
+  std::vector<int> reservations;
+  /// When > 0, the measurement window [warmup, horizon) is split into this
+  /// many equal bins and offered/blocked are also counted per bin
+  /// (time-varying-load experiments).
+  int time_bins{0};
+};
+
+/// Counters for one ordered O-D pair (post-warm-up).
+struct PairCounters {
+  long long offered{0};
+  long long blocked{0};
+  long long carried_primary{0};
+  long long carried_alternate{0};
+
+  [[nodiscard]] double blocking() const {
+    return offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0;
+  }
+};
+
+/// Post-warm-up counters for one bandwidth class (multi-rate extension).
+struct ClassCounters {
+  int bandwidth{1};
+  long long offered{0};
+  long long blocked{0};
+
+  [[nodiscard]] double blocking() const {
+    return offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0;
+  }
+};
+
+/// Aggregate outcome of one simulation run.
+struct RunResult {
+  long long offered{0};
+  long long blocked{0};
+  long long carried_primary{0};
+  long long carried_alternate{0};
+  /// Per-bandwidth-class counters, ascending bandwidth; a single entry
+  /// {1, offered, blocked} for the paper's single-rate traces.
+  std::vector<ClassCounters> per_class;
+  /// Post-warm-up per-pair counters, indexed src * n + dst.
+  std::vector<PairCounters> per_pair;
+  /// Post-warm-up blocked-primary-probe count per link (loss attributed to
+  /// the first blocking link, the paper's convention).
+  std::vector<long long> primary_losses_at_link;
+  /// Time-averaged occupancy per link over the measurement window
+  /// (empty when EngineOptions::link_stats is false).
+  std::vector<double> mean_link_occupancy;
+  /// Offered/blocked per time bin (empty unless EngineOptions::time_bins).
+  std::vector<long long> bin_offered;
+  std::vector<long long> bin_blocked;
+  /// carried_by_hops[h] = carried calls whose path had h links (index 0
+  /// unused).  The resource-cost fingerprint of alternate routing: the
+  /// mean carried hop count rises exactly when calls overflow onto longer
+  /// paths.
+  std::vector<long long> carried_by_hops;
+  int node_count{0};
+
+  /// Average network blocking probability: blocked / offered.
+  [[nodiscard]] double blocking() const {
+    return offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0;
+  }
+  /// Fraction of carried calls that used an alternate path.
+  [[nodiscard]] double alternate_fraction() const {
+    const long long carried = carried_primary + carried_alternate;
+    return carried > 0 ? static_cast<double>(carried_alternate) / static_cast<double>(carried)
+                       : 0.0;
+  }
+  /// Mean links per carried call -- circuits consumed per carried Erlang.
+  [[nodiscard]] double mean_carried_hops() const {
+    long long calls = 0;
+    long long hops = 0;
+    for (std::size_t h = 0; h < carried_by_hops.size(); ++h) {
+      calls += carried_by_hops[h];
+      hops += carried_by_hops[h] * static_cast<long long>(h);
+    }
+    return calls > 0 ? static_cast<double>(hops) / static_cast<double>(calls) : 0.0;
+  }
+  /// Per-pair blocking probabilities for pairs with offered > 0.
+  [[nodiscard]] std::vector<double> pair_blocking_probabilities() const;
+};
+
+/// Replays `trace` against `policy` and returns the measured counters.
+/// Throws when routes/graph/trace disagree on the node count.
+[[nodiscard]] RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
+                                  RoutingPolicy& policy, const sim::CallTrace& trace,
+                                  const EngineOptions& options = {});
+
+}  // namespace altroute::loss

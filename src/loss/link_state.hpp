@@ -1,0 +1,82 @@
+// Per-link admission state.
+#pragma once
+
+#include <stdexcept>
+
+namespace altroute::loss {
+
+/// Class of an admitted or probing call at a link, as carried by the call
+/// set-up packet's primary flag.
+enum class CallClass {
+  kPrimary,    ///< call probing/using its SI primary path
+  kAlternate,  ///< call overflowed onto an alternate path
+};
+
+/// Occupancy and admission logic of one directed link.
+///
+/// Occupancy is measured in circuits (bandwidth units); the paper's
+/// single-rate model has every call seize one unit, and the multi-rate
+/// extension seizes `units` per call.  A primary-class call is admitted
+/// whenever its units fit.  An alternate-class call is additionally
+/// subject to state protection: it is refused unless its units fit below
+/// the protection boundary, occupancy + units <= C - r -- for unit calls
+/// exactly the paper's "refused in the top r+1 states C-r .. C".
+class LinkState {
+ public:
+  LinkState() = default;
+  LinkState(int capacity, int reservation) : capacity_(capacity), reservation_(reservation) {
+    if (capacity < 0) throw std::invalid_argument("LinkState: negative capacity");
+    check_reservation(reservation);
+  }
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int occupancy() const { return occupancy_; }
+  [[nodiscard]] int reservation() const { return reservation_; }
+  [[nodiscard]] int free_circuits() const { return capacity_ - occupancy_; }
+
+  /// Updates the state-protection level (recomputed when Lambda estimates
+  /// or H change).
+  void set_reservation(int reservation) {
+    check_reservation(reservation);
+    reservation_ = reservation;
+  }
+
+  /// Would a call of the given class and width be admitted right now?
+  [[nodiscard]] bool admits(CallClass cls, int units = 1) const {
+    if (units < 1) throw std::invalid_argument("LinkState::admits: units < 1");
+    if (occupancy_ + units > capacity_) return false;
+    if (cls == CallClass::kAlternate && occupancy_ + units > capacity_ - reservation_) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Seizes `units` circuits.  Throws std::logic_error when they do not
+  /// fit: callers must probe with admits() first (the two-phase set-up of
+  /// the paper).
+  void seize(int units = 1) {
+    if (units < 1) throw std::invalid_argument("LinkState::seize: units < 1");
+    if (occupancy_ + units > capacity_) throw std::logic_error("LinkState::seize: link full");
+    occupancy_ += units;
+  }
+
+  /// Releases `units` circuits.  Throws std::logic_error on underflow.
+  void release(int units = 1) {
+    if (units < 1) throw std::invalid_argument("LinkState::release: units < 1");
+    if (occupancy_ < units) throw std::logic_error("LinkState::release: not that busy");
+    occupancy_ -= units;
+  }
+
+ private:
+  void check_reservation(int reservation) const {
+    if (reservation < 0 || reservation > capacity_) {
+      throw std::invalid_argument("LinkState: reservation out of [0, capacity]");
+    }
+  }
+
+  int capacity_{0};
+  int occupancy_{0};
+  int reservation_{0};
+};
+
+}  // namespace altroute::loss

@@ -1,0 +1,49 @@
+#include "loss/network_state.hpp"
+
+#include <stdexcept>
+
+namespace altroute::loss {
+
+NetworkState::NetworkState(const net::Graph& graph) {
+  links_.reserve(static_cast<std::size_t>(graph.link_count()));
+  for (const net::Link& l : graph.links()) {
+    links_.emplace_back(l.capacity, 0);
+  }
+}
+
+void NetworkState::set_reservations(const std::vector<int>& reservations) {
+  if (reservations.size() != links_.size()) {
+    throw std::invalid_argument("NetworkState::set_reservations: size mismatch");
+  }
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    links_[k].set_reservation(reservations[k]);
+  }
+}
+
+bool NetworkState::path_admissible(const routing::Path& path, CallClass cls, int units) const {
+  return first_blocking_link(path, cls, units) < 0;
+}
+
+int NetworkState::first_blocking_link(const routing::Path& path, CallClass cls,
+                                      int units) const {
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    if (!links_[path.links[i].index()].admits(cls, units)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void NetworkState::book(const routing::Path& path, int units) {
+  for (const net::LinkId id : path.links) links_[id.index()].seize(units);
+}
+
+void NetworkState::release(const routing::Path& path, int units) {
+  for (const net::LinkId id : path.links) links_[id.index()].release(units);
+}
+
+long long NetworkState::total_occupancy() const {
+  long long total = 0;
+  for (const LinkState& l : links_) total += l.occupancy();
+  return total;
+}
+
+}  // namespace altroute::loss

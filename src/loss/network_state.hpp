@@ -1,0 +1,66 @@
+// Whole-network admission state: one LinkState per directed link.
+#pragma once
+
+#include <vector>
+
+#include "loss/link_state.hpp"
+#include "netgraph/graph.hpp"
+#include "routing/path.hpp"
+
+namespace altroute::loss {
+
+/// Aggregate of every link's occupancy/reservation, plus path-level
+/// admission (the call set-up probe) and booking/release.
+class NetworkState {
+ public:
+  /// Initializes idle links with the graph's capacities and zero
+  /// reservation levels.
+  explicit NetworkState(const net::Graph& graph);
+
+  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+
+  [[nodiscard]] const LinkState& link(net::LinkId id) const { return links_[id.index()]; }
+
+  /// Sets one link's state-protection level.
+  void set_reservation(net::LinkId id, int reservation) {
+    links_[id.index()].set_reservation(reservation);
+  }
+
+  /// Sets every link's state-protection level from a per-link vector.
+  void set_reservations(const std::vector<int>& reservations);
+
+  /// The set-up probe: true when every link of `path` admits a call of the
+  /// given class and width under the current state.
+  [[nodiscard]] bool path_admissible(const routing::Path& path, CallClass cls,
+                                     int units = 1) const;
+
+  /// Index into `path.links` of the first link that refuses the call, or -1
+  /// when the whole path admits it.  The paper's loss-attribution
+  /// convention: a call is lost at the first blocking link.
+  [[nodiscard]] int first_blocking_link(const routing::Path& path, CallClass cls,
+                                        int units = 1) const;
+
+  /// Books `units` circuits on every link of the path (the set-up packet's
+  /// return leg).  Throws std::logic_error if they do not fit; callers
+  /// probe first, and in this single-threaded simulator the state cannot
+  /// change between probe and booking.
+  void book(const routing::Path& path, int units = 1);
+
+  /// Releases `units` circuits on every link of the path (call
+  /// termination).
+  void release(const routing::Path& path, int units = 1);
+
+  /// Books `units` circuits on a single link (hop-by-hop signaling).
+  void book_link(net::LinkId id, int units = 1) { links_[id.index()].seize(units); }
+
+  /// Releases `units` circuits on a single link (crankback).
+  void release_link(net::LinkId id, int units = 1) { links_[id.index()].release(units); }
+
+  /// Total circuits in use across all links (each call counts once per hop).
+  [[nodiscard]] long long total_occupancy() const;
+
+ private:
+  std::vector<LinkState> links_;
+};
+
+}  // namespace altroute::loss

@@ -1,0 +1,117 @@
+#include "loss/policies.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "erlang/shadow_price.hpp"
+
+namespace altroute::loss {
+
+std::size_t pick_primary(const routing::RouteSet& routes, double primary_pick) {
+  if (routes.primaries.empty()) return std::numeric_limits<std::size_t>::max();
+  if (routes.primaries.size() == 1) return 0;
+  double cumulative = 0.0;
+  for (std::size_t p = 0; p < routes.primaries.size(); ++p) {
+    cumulative += routes.primary_probs[p];
+    if (primary_pick < cumulative) return p;
+  }
+  return routes.primaries.size() - 1;  // guard against rounding in the probs
+}
+
+RouteDecision SinglePathPolicy::route(const RoutingContext& ctx) {
+  RouteDecision d;
+  const std::size_t p = pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = CallClass::kPrimary;
+  }
+  return d;
+}
+
+RouteDecision UncontrolledAlternatePolicy::route(const RoutingContext& ctx) {
+  RouteDecision d;
+  const std::size_t p = pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = CallClass::kPrimary;
+    return d;
+  }
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    // No state protection: an alternate call needs only free circuits.
+    // Admission still uses kPrimary-class checks because the uncontrolled
+    // scheme ignores reservation levels by definition.
+    if (ctx.state.path_admissible(alt, CallClass::kPrimary, ctx.bandwidth)) {
+      d.path = &alt;
+      d.call_class = CallClass::kAlternate;
+      return d;
+    }
+  }
+  return d;
+}
+
+OttKrishnanPolicy::OttKrishnanPolicy(const std::vector<double>& lambda,
+                                     const std::vector<int>& capacity) {
+  if (lambda.size() != capacity.size()) {
+    throw std::invalid_argument("OttKrishnanPolicy: lambda/capacity size mismatch");
+  }
+  prices_.reserve(lambda.size());
+  for (std::size_t k = 0; k < lambda.size(); ++k) {
+    prices_.push_back(erlang::link_shadow_prices(lambda[k], capacity[k]));
+  }
+}
+
+RouteDecision OttKrishnanPolicy::route(const RoutingContext& ctx) {
+  RouteDecision d;
+  const std::size_t p = pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+
+  // Price of seizing `bandwidth` circuits on a link in state s is the sum
+  // of the unit prices d(s), d(s+1), ..., d(s+b-1) -- adding the call one
+  // circuit at a time.  Feasibility (s + b <= C) is checked separately.
+  const auto path_price = [&](const routing::Path& path) {
+    double total = 0.0;
+    for (const net::LinkId id : path.links) {
+      const int occupancy = ctx.state.link(id).occupancy();
+      for (int unit = 0; unit < ctx.bandwidth; ++unit) {
+        total += prices_[id.index()][static_cast<std::size_t>(occupancy + unit)];
+      }
+    }
+    return total;
+  };
+
+  const routing::Path* best = nullptr;
+  double best_price = std::numeric_limits<double>::infinity();
+  bool best_is_primary = false;
+  if (ctx.state.path_admissible(primary, CallClass::kPrimary, ctx.bandwidth)) {
+    best = &primary;
+    best_price = path_price(primary);
+    best_is_primary = true;
+  }
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (alt == primary) continue;
+    ++d.alternates_probed;
+    if (!ctx.state.path_admissible(alt, CallClass::kPrimary, ctx.bandwidth)) continue;
+    const double price = path_price(alt);
+    if (price < best_price) {
+      best_price = price;
+      best = &alt;
+      best_is_primary = false;
+    }
+  }
+  // Revenue scales with the call's bandwidth (a b-circuit call is worth b
+  // unit calls): accept only profitable routings.
+  if (best != nullptr && best_price <= static_cast<double>(ctx.bandwidth)) {
+    d.path = best;
+    d.call_class = best_is_primary ? CallClass::kPrimary : CallClass::kAlternate;
+  }
+  return d;
+}
+
+}  // namespace altroute::loss

@@ -1,0 +1,56 @@
+// The state-independent and uncontrolled policies of the paper, plus the
+// Ott-Krishnan separable shadow-price comparator.  The paper's contribution
+// (controlled alternate routing) lives in core/controlled_policy.hpp.
+#pragma once
+
+#include <vector>
+
+#include "loss/policy.hpp"
+
+namespace altroute::loss {
+
+/// Single-path (pure SI) routing: the call completes on its primary path or
+/// is lost.  With bifurcated primaries the path is sampled per call, state
+/// independently, and is still the only path tried ("single-path ... in a
+/// loose fashion", Section 1).
+class SinglePathPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] RouteDecision route(const RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "single-path"; }
+};
+
+/// Uncontrolled alternate routing: when the primary is blocked, alternates
+/// are tried in order of increasing length and the call completes on the
+/// first one with free capacity on every link -- no state protection.
+class UncontrolledAlternatePolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] RouteDecision route(const RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "uncontrolled-alt"; }
+};
+
+/// Ott-Krishnan separable state-dependent routing (Section 4.2.2 baseline):
+/// the call is carried on the feasible candidate path (primary or
+/// alternate) minimizing the sum of per-link shadow prices d_k(s_k), and is
+/// blocked when that minimum exceeds the call's revenue (1).  Shadow-price
+/// tables are precomputed per link from the UNREDUCED primary loads, as the
+/// paper chose to do.
+class OttKrishnanPolicy final : public RoutingPolicy {
+ public:
+  /// `lambda` is the per-link primary demand (Eq. 1) used to build the
+  /// price tables; `capacity` the per-link circuit counts.
+  OttKrishnanPolicy(const std::vector<double>& lambda, const std::vector<int>& capacity);
+
+  [[nodiscard]] RouteDecision route(const RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "ott-krishnan"; }
+
+  /// Price of putting one more call on link `k` at occupancy `s` (exposed
+  /// for tests).
+  [[nodiscard]] double price(net::LinkId k, int occupancy) const {
+    return prices_[k.index()][static_cast<std::size_t>(occupancy)];
+  }
+
+ private:
+  std::vector<std::vector<double>> prices_;  // [link][occupancy 0..C-1]
+};
+
+}  // namespace altroute::loss

@@ -1,0 +1,72 @@
+// Routing policy interface.
+//
+// A policy sees one call request at a time, together with the O-D pair's
+// route program and the current network state, and decides which path (if
+// any) carries the call.  Policies are stateless with respect to calls in
+// flight -- all dynamic state lives in NetworkState -- so a policy object
+// can be shared across runs.
+#pragma once
+
+#include <string_view>
+
+#include "loss/network_state.hpp"
+#include "netgraph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::loss {
+
+/// Everything a policy may look at when routing one call.
+struct RoutingContext {
+  const net::Graph& graph;
+  const NetworkState& state;
+  net::NodeId src;
+  net::NodeId dst;
+  const routing::RouteSet& routes;
+  /// Common uniform variate in [0,1) used to sample among bifurcated
+  /// primaries.  Drawn once per call by the engine from its own stream, so
+  /// every policy replaying the same trace samples the same primary
+  /// (common-random-numbers discipline).
+  double primary_pick;
+  /// Simulation clock at the call's arrival (adaptive policies use it to
+  /// advance their estimation windows).
+  double now{0.0};
+  /// Circuits the call seizes per link (1 in the paper's single-rate
+  /// model; the multi-rate extension sets the class bandwidth here).
+  int bandwidth{1};
+};
+
+/// A policy's verdict for one call.
+struct RouteDecision {
+  /// Chosen path, or nullptr to block the call.  Must point into
+  /// ctx.routes (storage owned by the RouteTable, stable for the run).
+  const routing::Path* path{nullptr};
+  /// Class the call is admitted under (decides later interactions only via
+  /// metrics; the admission checks already happened inside the policy).
+  CallClass call_class{CallClass::kPrimary};
+  /// Number of alternate paths probed before the decision (diagnostics).
+  int alternates_probed{0};
+
+  [[nodiscard]] bool accepted() const { return path != nullptr; }
+};
+
+/// Interface implemented by the four routing schemes studied in the paper.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Routes one call under the current state.  Must not mutate network
+  /// state -- the engine performs the booking -- but a policy may update
+  /// internal learning state (e.g. online Lambda estimates), hence
+  /// non-const.
+  [[nodiscard]] virtual RouteDecision route(const RoutingContext& ctx) = 0;
+
+  /// Display name for experiment tables.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Samples the primary path index from the route set's bifurcation
+/// probabilities using the engine-provided uniform variate.  Helper shared
+/// by all policies.  Returns SIZE_MAX for an empty route set.
+[[nodiscard]] std::size_t pick_primary(const routing::RouteSet& routes, double primary_pick);
+
+}  // namespace altroute::loss

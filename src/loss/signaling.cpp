@@ -1,0 +1,211 @@
+#include "loss/signaling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "loss/policy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::loss {
+
+namespace {
+
+// One in-flight call: its identity, the route program, and the progress of
+// the current set-up attempt.
+struct Setup {
+  const routing::RouteSet* routes{nullptr};
+  std::size_t primary_index{0};
+  // Attempt 0 is the sampled primary; attempt k >= 1 is alternates[k-1]
+  // skipping any entry equal to the primary.
+  int attempt{-1};
+  const routing::Path* path{nullptr};
+  CallClass call_class{CallClass::kPrimary};
+  double arrival{0.0};
+  double holding{0.0};
+  int bandwidth{1};
+  bool measured{false};
+  // Booking progress: hops [booked_from, hops) currently hold circuits.
+  int booked_from{0};
+};
+
+struct Event {
+  enum class Kind { kCheck, kBook, kRelease } kind{Kind::kCheck};
+  std::size_t setup{0};  // index into the setups arena (kCheck/kBook)
+  int hop{0};
+  // kRelease carries its own payload (the call may be long gone from the
+  // arena by then -- the arena is append-only within a run, so an index
+  // would still work, but keeping the path avoids any aliasing doubts).
+  const routing::Path* path{nullptr};
+  int units{1};
+};
+
+}  // namespace
+
+SignalingResult run_signaling(const net::Graph& graph, const routing::RouteTable& routes,
+                              const sim::CallTrace& trace, const SignalingOptions& options) {
+  if (routes.nodes() != graph.node_count()) {
+    throw std::invalid_argument("run_signaling: route table size mismatch");
+  }
+  if (!(options.hop_delay >= 0.0)) {
+    throw std::invalid_argument("run_signaling: negative hop delay");
+  }
+  if (!(options.warmup >= 0.0) || options.warmup >= trace.horizon) {
+    throw std::invalid_argument("run_signaling: warmup must lie in [0, horizon)");
+  }
+
+  NetworkState state(graph);
+  if (!options.reservations.empty()) state.set_reservations(options.reservations);
+  sim::Rng engine_rng(options.policy_seed, 0xA17E72A7E);
+
+  SignalingResult result;
+  double setup_delay_sum = 0.0;
+  long long carried = 0;
+
+  std::vector<Setup> setups;
+  setups.reserve(trace.calls.size());
+  sim::EventQueue<Event> events;
+
+  const double d = options.hop_delay;
+  const CallClass alt_class = options.mode == SignalingMode::kControlled
+                                  ? CallClass::kAlternate
+                                  : CallClass::kPrimary;
+
+  // Starts the next path attempt of `setup` at time `now`, or records the
+  // call as blocked when the program is exhausted.
+  const auto try_next = [&](std::size_t id, double now) {
+    Setup& setup = setups[id];
+    const routing::RouteSet& set = *setup.routes;
+    const routing::Path& primary = set.primaries[setup.primary_index];
+    for (;;) {
+      ++setup.attempt;
+      if (setup.attempt == 0) {
+        setup.path = &primary;
+        setup.call_class = CallClass::kPrimary;
+        break;
+      }
+      if (options.mode == SignalingMode::kSinglePath) {
+        setup.path = nullptr;
+        break;
+      }
+      const std::size_t alt = static_cast<std::size_t>(setup.attempt - 1);
+      if (alt >= set.alternates.size()) {
+        setup.path = nullptr;
+        break;
+      }
+      if (set.alternates[alt] == primary) continue;  // counted as the primary attempt
+      setup.path = &set.alternates[alt];
+      setup.call_class = alt_class;
+      break;
+    }
+    if (setup.path == nullptr) {
+      if (setup.measured) ++result.blocked;
+      return;
+    }
+    ++result.attempts;
+    setup.booked_from = setup.path->hops();
+    events.schedule(now, Event{Event::Kind::kCheck, id, 0, nullptr, 0});
+  };
+
+  const auto handle_event = [&](double now, const Event& event) {
+    switch (event.kind) {
+      case Event::Kind::kRelease: {
+        state.release(*event.path, event.units);
+        break;
+      }
+      case Event::Kind::kCheck: {
+        Setup& setup = setups[event.setup];
+        const routing::Path& path = *setup.path;
+        const net::LinkId link = path.links[static_cast<std::size_t>(event.hop)];
+        if (!state.link(link).admits(setup.call_class, setup.bandwidth)) {
+          // Failure notice travels back to the origin.
+          try_next(event.setup, now + d * event.hop);
+          break;
+        }
+        if (event.hop + 1 < path.hops()) {
+          events.schedule(now + d, Event{Event::Kind::kCheck, event.setup, event.hop + 1,
+                                         nullptr, 0});
+        } else {
+          // All checks passed; book on the way back, starting at the last
+          // link one hop-delay later (destination processing).
+          events.schedule(now + d, Event{Event::Kind::kBook, event.setup, path.hops() - 1,
+                                         nullptr, 0});
+        }
+        break;
+      }
+      case Event::Kind::kBook: {
+        Setup& setup = setups[event.setup];
+        const routing::Path& path = *setup.path;
+        const net::LinkId link = path.links[static_cast<std::size_t>(event.hop)];
+        if (!state.link(link).admits(setup.call_class, setup.bandwidth)) {
+          // Race: the link changed since the forward check.  Crank back the
+          // circuits already booked downstream and try the next path.
+          ++result.booking_races;
+          for (int hop = setup.booked_from; hop < path.hops(); ++hop) {
+            state.release_link(path.links[static_cast<std::size_t>(hop)], setup.bandwidth);
+          }
+          try_next(event.setup, now + d * event.hop);
+          break;
+        }
+        state.book_link(link, setup.bandwidth);
+        setup.booked_from = event.hop;
+        if (event.hop > 0) {
+          events.schedule(now + d, Event{Event::Kind::kBook, event.setup, event.hop - 1,
+                                         nullptr, 0});
+        } else {
+          // Confirmation reaches the origin: the call is up.  Accounting
+          // goes by which attempt succeeded (attempt 0 = primary path);
+          // setup.call_class is the ADMISSION class, which the
+          // uncontrolled mode keeps at kPrimary even for alternates.
+          if (setup.measured) {
+            if (setup.attempt == 0) {
+              ++result.carried_primary;
+            } else {
+              ++result.carried_alternate;
+            }
+            setup_delay_sum += now - setup.arrival;
+            ++carried;
+          }
+          events.schedule(now + setup.holding, Event{Event::Kind::kRelease, 0, 0,
+                                                     setup.path, setup.bandwidth});
+        }
+        break;
+      }
+    }
+  };
+
+  for (const sim::CallRecord& call : trace.calls) {
+    while (!events.empty() && events.next_time() <= call.arrival) {
+      const auto [t, event] = events.pop();
+      handle_event(t, event);
+    }
+    const double primary_pick = engine_rng.uniform01();
+    const routing::RouteSet& set = routes.at(call.src, call.dst);
+    const bool measured = call.arrival >= options.warmup;
+    if (measured) ++result.offered;
+    if (!set.reachable()) {
+      if (measured) ++result.blocked;
+      continue;
+    }
+    Setup setup;
+    setup.routes = &set;
+    setup.primary_index = pick_primary(set, primary_pick);
+    setup.arrival = call.arrival;
+    setup.holding = call.holding;
+    setup.bandwidth = call.bandwidth;
+    setup.measured = measured;
+    setups.push_back(setup);
+    try_next(setups.size() - 1, call.arrival);
+  }
+  // Drain everything: set-ups in flight at the horizon must still resolve
+  // (conservation), and late releases are harmless.
+  while (!events.empty()) {
+    const auto [t, event] = events.pop();
+    handle_event(t, event);
+  }
+
+  result.mean_setup_delay = carried > 0 ? setup_delay_sum / static_cast<double>(carried) : 0.0;
+  return result;
+}
+
+}  // namespace altroute::loss

@@ -1,0 +1,55 @@
+#include "netgraph/dot.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace altroute::net {
+
+std::string to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream out;
+  out << "graph \"" << title << "\" {\n";
+  out << "  node [shape=circle];\n";
+  for (int i = 0; i < g.node_count(); ++i) {
+    out << "  " << i << " [label=\"" << i << "\\n" << g.node_name(NodeId(i)) << "\"];\n";
+  }
+  std::vector<char> drawn(static_cast<std::size_t>(g.link_count()), 0);
+  for (int k = 0; k < g.link_count(); ++k) {
+    if (drawn[static_cast<std::size_t>(k)]) continue;
+    const Link& l = g.link(LinkId(k));
+    // Look for the unrendered reverse twin to collapse into one edge.
+    int twin = -1;
+    for (int m = k + 1; m < g.link_count(); ++m) {
+      const Link& r = g.link(LinkId(m));
+      if (!drawn[static_cast<std::size_t>(m)] && r.src == l.dst && r.dst == l.src &&
+          r.capacity == l.capacity && r.enabled == l.enabled) {
+        twin = m;
+        break;
+      }
+    }
+    out << "  " << l.src.value << " -- " << l.dst.value << " [label=\"C=" << l.capacity
+        << "\"";
+    if (twin < 0) out << ", dir=forward";
+    if (!l.enabled) out << ", style=dashed";
+    out << "];\n";
+    drawn[static_cast<std::size_t>(k)] = 1;
+    if (twin >= 0) drawn[static_cast<std::size_t>(twin)] = 1;
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_adjacency_text(const Graph& g) {
+  std::ostringstream out;
+  for (int i = 0; i < g.node_count(); ++i) {
+    const NodeId n(i);
+    out << i << " (" << g.node_name(n) << "):";
+    for (const LinkId id : g.out_links(n)) {
+      const Link& l = g.link(id);
+      out << ' ' << l.dst.value << "[C=" << l.capacity << (l.enabled ? "" : ",down") << ']';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace altroute::net

@@ -1,0 +1,18 @@
+// Graphviz / text rendering of a Graph (used by the Figure 5 bench).
+#pragma once
+
+#include <string>
+
+#include "netgraph/graph.hpp"
+
+namespace altroute::net {
+
+/// Renders the graph in Graphviz DOT syntax.  Duplex pairs (opposite links
+/// of equal capacity) are collapsed into a single undirected edge; odd
+/// directed links are drawn with arrowheads.  Disabled links are dashed.
+[[nodiscard]] std::string to_dot(const Graph& g, const std::string& title = "altroute");
+
+/// Renders a plain-text adjacency listing, one node per line.
+[[nodiscard]] std::string to_adjacency_text(const Graph& g);
+
+}  // namespace altroute::net

@@ -1,0 +1,123 @@
+#include "netgraph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace altroute::net {
+
+Graph::Graph(int n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative node count");
+  names_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) add_node("n" + std::to_string(i));
+}
+
+NodeId Graph::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return NodeId(static_cast<std::int32_t>(names_.size() - 1));
+}
+
+void Graph::check_node(NodeId n, const char* what) const {
+  if (!n.valid() || n.value >= node_count()) {
+    throw std::invalid_argument(std::string("Graph: invalid node for ") + what);
+  }
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst, int capacity) {
+  check_node(src, "add_link src");
+  check_node(dst, "add_link dst");
+  if (src == dst) throw std::invalid_argument("Graph: self-loop not allowed");
+  if (capacity <= 0) throw std::invalid_argument("Graph: capacity must be positive");
+  const LinkId id(static_cast<std::int32_t>(links_.size()));
+  links_.push_back(Link{src, dst, capacity, true});
+  out_[src.index()].push_back(id);
+  in_[dst.index()].push_back(id);
+  return id;
+}
+
+std::pair<LinkId, LinkId> Graph::add_duplex(NodeId a, NodeId b, int capacity) {
+  const LinkId fwd = add_link(a, b, capacity);
+  const LinkId rev = add_link(b, a, capacity);
+  return {fwd, rev};
+}
+
+std::optional<LinkId> Graph::find_link(NodeId src, NodeId dst) const {
+  check_node(src, "find_link src");
+  check_node(dst, "find_link dst");
+  for (const LinkId id : out_[src.index()]) {
+    const Link& l = links_[id.index()];
+    if (l.enabled && l.dst == dst) return id;
+  }
+  return std::nullopt;
+}
+
+int Graph::fail_duplex(NodeId a, NodeId b) {
+  check_node(a, "fail_duplex a");
+  check_node(b, "fail_duplex b");
+  int changed = 0;
+  for (Link& l : links_) {
+    if (((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) && l.enabled) {
+      l.enabled = false;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId n) const {
+  check_node(n, "neighbors");
+  std::vector<NodeId> out;
+  for (const LinkId id : out_[n.index()]) {
+    const Link& l = links_[id.index()];
+    if (l.enabled) out.push_back(l.dst);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Graph::strongly_connected() const {
+  const int n = node_count();
+  if (n <= 1) return true;
+  // BFS from node 0 forwards and backwards; strong connectivity on a graph
+  // this small does not warrant Tarjan.
+  const auto reachable = [&](bool forward) {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::queue<NodeId> q;
+    q.push(NodeId(0));
+    seen[0] = 1;
+    int count = 1;
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      const auto& edges = forward ? out_[u.index()] : in_[u.index()];
+      for (const LinkId id : edges) {
+        const Link& l = links_[id.index()];
+        if (!l.enabled) continue;
+        const NodeId v = forward ? l.dst : l.src;
+        if (!seen[v.index()]) {
+          seen[v.index()] = 1;
+          ++count;
+          q.push(v);
+        }
+      }
+    }
+    return count == n;
+  };
+  return reachable(true) && reachable(false);
+}
+
+int Graph::capacity_between(NodeId src, NodeId dst) const {
+  check_node(src, "capacity_between src");
+  check_node(dst, "capacity_between dst");
+  int total = 0;
+  for (const LinkId id : out_[src.index()]) {
+    const Link& l = links_[id.index()];
+    if (l.enabled && l.dst == dst) total += l.capacity;
+  }
+  return total;
+}
+
+}  // namespace altroute::net

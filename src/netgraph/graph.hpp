@@ -1,0 +1,99 @@
+// Directed capacitated multigraph used as the network substrate.
+//
+// The Graph owns node names and directed links; each link carries an integer
+// circuit capacity (the number of unit-bandwidth calls it can hold at once,
+// per the paper's single-call-class model).  The structure is immutable in
+// spirit: links may be added and administratively disabled (for the link
+// failure experiments) but never removed, so NodeId/LinkId stay dense and
+// stable for the lifetime of the graph.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netgraph/ids.hpp"
+
+namespace altroute::net {
+
+/// A directed link: src -> dst with an integer circuit capacity.
+struct Link {
+  NodeId src;
+  NodeId dst;
+  int capacity{0};
+  /// Administrative state; disabled links carry no traffic and are skipped
+  /// by all routing computations (Section 4.2.2 "Link failures").
+  bool enabled{true};
+};
+
+/// Directed capacitated graph.  Nodes and links are created once and indexed
+/// densely; per-node and per-link data elsewhere in the library is stored in
+/// plain vectors indexed by NodeId::index() / LinkId::index().
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` anonymous nodes ("n0", "n1", ...).
+  explicit Graph(int n);
+
+  /// Adds a node with the given display name; returns its id.
+  NodeId add_node(std::string name);
+
+  /// Adds a directed link src->dst with the given capacity; returns its id.
+  /// Throws std::invalid_argument on bad endpoints, self-loop, or capacity<=0.
+  LinkId add_link(NodeId src, NodeId dst, int capacity);
+
+  /// Adds a pair of opposite directed links with equal capacity (an
+  /// undirected facility); returns {forward, reverse}.
+  std::pair<LinkId, LinkId> add_duplex(NodeId a, NodeId b, int capacity);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id.index()]; }
+  [[nodiscard]] std::string_view node_name(NodeId id) const { return names_[id.index()]; }
+
+  /// All directed links (including disabled ones; check Link::enabled).
+  [[nodiscard]] std::span<const Link> links() const { return links_; }
+
+  /// Ids of links leaving `n`, in insertion order (includes disabled links).
+  [[nodiscard]] std::span<const LinkId> out_links(NodeId n) const {
+    return out_[n.index()];
+  }
+
+  /// Ids of links entering `n`, in insertion order (includes disabled links).
+  [[nodiscard]] std::span<const LinkId> in_links(NodeId n) const {
+    return in_[n.index()];
+  }
+
+  /// First *enabled* directed link src->dst, if any.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId src, NodeId dst) const;
+
+  /// Administratively disables / re-enables a link (failure experiments).
+  void set_link_enabled(LinkId id, bool enabled) { links_[id.index()].enabled = enabled; }
+
+  /// Disables both directions between a and b; returns how many links changed.
+  int fail_duplex(NodeId a, NodeId b);
+
+  /// Out-neighbors of `n` over enabled links, deduplicated, ascending.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+
+  /// True if every node can reach every other node over enabled links.
+  [[nodiscard]] bool strongly_connected() const;
+
+  /// Sum of capacities over enabled links src->dst (0 when disconnected).
+  /// This is the C(i,j) of the paper's Erlang Bound formula.
+  [[nodiscard]] int capacity_between(NodeId src, NodeId dst) const;
+
+ private:
+  void check_node(NodeId n, const char* what) const;
+
+  std::vector<std::string> names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+};
+
+}  // namespace altroute::net

@@ -1,0 +1,67 @@
+// Strong identifier types for nodes and links.
+//
+// Nodes and directed links are referred to by dense indices assigned by the
+// Graph that owns them.  Using distinct wrapper types (rather than raw
+// integers) prevents the classic bug of passing a node index where a link
+// index is expected; the wrappers are trivially copyable and cost nothing.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace altroute::net {
+
+/// Index of a node within a Graph.  Dense, starting at 0.
+struct NodeId {
+  std::int32_t value{-1};
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::int32_t v) : value(v) {}
+
+  /// True when the id refers to a real node (ids are invalid by default).
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+  /// Dense index for use with std::vector-backed per-node tables.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Index of a *directed* link within a Graph.  Dense, starting at 0.
+/// An undirected transmission facility is modeled as two directed links.
+struct LinkId {
+  std::int32_t value{-1};
+
+  constexpr LinkId() = default;
+  constexpr explicit LinkId(std::int32_t v) : value(v) {}
+
+  /// True when the id refers to a real link (ids are invalid by default).
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+  /// Dense index for use with std::vector-backed per-link tables.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr auto operator<=>(LinkId, LinkId) = default;
+};
+
+}  // namespace altroute::net
+
+template <>
+struct std::hash<altroute::net::NodeId> {
+  std::size_t operator()(altroute::net::NodeId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<altroute::net::LinkId> {
+  std::size_t operator()(altroute::net::LinkId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,204 @@
+#include "netgraph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace altroute::net {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+// Splits off the first whitespace-delimited token; returns false when the
+// line is blank or a comment.
+bool directive(const std::string& line, std::string& head, std::istringstream& rest) {
+  rest.clear();
+  rest.str(line);
+  if (!(rest >> head)) return false;
+  if (head[0] == '#') return false;
+  return true;
+}
+
+int expect_int(std::istringstream& rest, int line, const char* what) {
+  long long value = 0;
+  if (!(rest >> value)) fail(line, std::string("expected integer ") + what);
+  return static_cast<int>(value);
+}
+
+double expect_double(std::istringstream& rest, int line, const char* what) {
+  double value = 0.0;
+  if (!(rest >> value)) fail(line, std::string("expected number ") + what);
+  return value;
+}
+
+}  // namespace
+
+void write_network(std::ostream& out, const Graph& graph) {
+  out << "network 1\n";
+  for (int i = 0; i < graph.node_count(); ++i) {
+    out << "node " << i << ' ' << graph.node_name(NodeId(i)) << '\n';
+  }
+  for (int k = 0; k < graph.link_count(); ++k) {
+    const Link& l = graph.link(LinkId(k));
+    out << "link " << l.src.value << ' ' << l.dst.value << ' ' << l.capacity;
+    if (!l.enabled) out << " down";
+    out << '\n';
+  }
+}
+
+Graph read_network(std::istream& in) {
+  Graph graph;
+  bool seen_header = false;
+  std::string line;
+  std::string head;
+  std::istringstream rest;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!directive(line, head, rest)) continue;
+    if (head == "network") {
+      if (seen_header) fail(line_no, "duplicate network header");
+      const int version = expect_int(rest, line_no, "version");
+      if (version != 1) fail(line_no, "unsupported network version");
+      seen_header = true;
+    } else if (head == "node") {
+      if (!seen_header) fail(line_no, "node before network header");
+      const int id = expect_int(rest, line_no, "node id");
+      if (id != graph.node_count()) fail(line_no, "node ids must be dense and in order");
+      std::string name;
+      std::getline(rest, name);
+      const std::size_t start = name.find_first_not_of(" \t");
+      name = (start == std::string::npos) ? ("n" + std::to_string(id)) : name.substr(start);
+      graph.add_node(name);
+    } else if (head == "link") {
+      if (!seen_header) fail(line_no, "link before network header");
+      const int src = expect_int(rest, line_no, "link src");
+      const int dst = expect_int(rest, line_no, "link dst");
+      const int capacity = expect_int(rest, line_no, "link capacity");
+      if (src < 0 || src >= graph.node_count() || dst < 0 || dst >= graph.node_count()) {
+        fail(line_no, "link endpoint out of range");
+      }
+      LinkId id;
+      try {
+        id = graph.add_link(NodeId(src), NodeId(dst), capacity);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      std::string flag;
+      if (rest >> flag) {
+        if (flag == "down") {
+          graph.set_link_enabled(id, false);
+        } else if (flag[0] != '#') {
+          fail(line_no, "unknown link flag '" + flag + "'");
+        }
+      }
+    } else {
+      fail(line_no, "unknown directive '" + head + "'");
+    }
+  }
+  if (!seen_header) throw std::invalid_argument("missing 'network 1' header");
+  return graph;
+}
+
+void write_traffic(std::ostream& out, const TrafficMatrix& traffic) {
+  // max_digits10 keeps demands bit-exact across a round trip (seeded
+  // simulations depend on exact rates).
+  const auto old_precision = out.precision(17);
+  out << "traffic 1\n";
+  out << "nodes " << traffic.size() << '\n';
+  for (int i = 0; i < traffic.size(); ++i) {
+    for (int j = 0; j < traffic.size(); ++j) {
+      if (i == j) continue;
+      const double demand = traffic.at(NodeId(i), NodeId(j));
+      if (demand > 0.0) out << "demand " << i << ' ' << j << ' ' << demand << '\n';
+    }
+  }
+  out.precision(old_precision);
+}
+
+TrafficMatrix read_traffic(std::istream& in) {
+  TrafficMatrix traffic;
+  bool seen_header = false;
+  bool seen_nodes = false;
+  std::string line;
+  std::string head;
+  std::istringstream rest;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!directive(line, head, rest)) continue;
+    if (head == "traffic") {
+      if (seen_header) fail(line_no, "duplicate traffic header");
+      if (expect_int(rest, line_no, "version") != 1) {
+        fail(line_no, "unsupported traffic version");
+      }
+      seen_header = true;
+    } else if (head == "nodes") {
+      if (!seen_header) fail(line_no, "nodes before traffic header");
+      if (seen_nodes) fail(line_no, "duplicate nodes directive");
+      const int n = expect_int(rest, line_no, "node count");
+      if (n < 0) fail(line_no, "negative node count");
+      traffic = TrafficMatrix(n);
+      seen_nodes = true;
+    } else if (head == "demand") {
+      if (!seen_nodes) fail(line_no, "demand before nodes directive");
+      const int src = expect_int(rest, line_no, "demand src");
+      const int dst = expect_int(rest, line_no, "demand dst");
+      const double erlangs = expect_double(rest, line_no, "demand value");
+      if (src < 0 || src >= traffic.size() || dst < 0 || dst >= traffic.size()) {
+        fail(line_no, "demand endpoint out of range");
+      }
+      try {
+        traffic.set(NodeId(src), NodeId(dst), erlangs);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive '" + head + "'");
+    }
+  }
+  if (!seen_header) throw std::invalid_argument("missing 'traffic 1' header");
+  if (!seen_nodes) throw std::invalid_argument("missing 'nodes' directive");
+  return traffic;
+}
+
+namespace {
+
+template <typename Writer>
+void save_file(const std::string& path, Writer writer) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  writer(out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::ifstream open_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+void save_network(const std::string& path, const Graph& graph) {
+  save_file(path, [&](std::ostream& out) { write_network(out, graph); });
+}
+
+Graph load_network(const std::string& path) {
+  std::ifstream in = open_file(path);
+  return read_network(in);
+}
+
+void save_traffic(const std::string& path, const TrafficMatrix& traffic) {
+  save_file(path, [&](std::ostream& out) { write_traffic(out, traffic); });
+}
+
+TrafficMatrix load_traffic(const std::string& path) {
+  std::ifstream in = open_file(path);
+  return read_traffic(in);
+}
+
+}  // namespace altroute::net

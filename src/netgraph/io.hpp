@@ -1,0 +1,47 @@
+// Plain-text serialization of networks and traffic matrices.
+//
+// A deliberately simple line format so deployments can describe their own
+// topologies without code changes:
+//
+//   # comments and blank lines are ignored
+//   network 1              <- format tag + version
+//   node <id> <name...>    <- ids must appear densely, 0..N-1, in order
+//   link <src> <dst> <capacity> [down]
+//
+//   traffic 1
+//   nodes <n>
+//   demand <src> <dst> <erlangs>
+//
+// Parsing is strict: unknown directives, duplicate nodes, dangling
+// endpoints, or malformed numbers throw std::invalid_argument with a line
+// number in the message.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+
+namespace altroute::net {
+
+/// Writes `graph` in the network format (including disabled links).
+void write_network(std::ostream& out, const Graph& graph);
+
+/// Parses a network; throws std::invalid_argument on malformed input.
+[[nodiscard]] Graph read_network(std::istream& in);
+
+/// Writes `traffic` in the traffic format (positive demands only).
+void write_traffic(std::ostream& out, const TrafficMatrix& traffic);
+
+/// Parses a traffic matrix; throws std::invalid_argument on malformed input.
+[[nodiscard]] TrafficMatrix read_traffic(std::istream& in);
+
+/// Convenience wrappers over files; throw std::runtime_error when the file
+/// cannot be opened and std::invalid_argument on malformed content.
+void save_network(const std::string& path, const Graph& graph);
+[[nodiscard]] Graph load_network(const std::string& path);
+void save_traffic(const std::string& path, const TrafficMatrix& traffic);
+[[nodiscard]] TrafficMatrix load_traffic(const std::string& path);
+
+}  // namespace altroute::net

@@ -1,0 +1,133 @@
+#include "netgraph/topologies.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace altroute::net {
+
+namespace {
+
+// Local splitmix64; topology generation must not depend on the sim library.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Graph full_mesh(int n, int capacity) {
+  if (n < 2) throw std::invalid_argument("full_mesh: need at least 2 nodes");
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) g.add_link(NodeId(i), NodeId(j), capacity);
+    }
+  }
+  return g;
+}
+
+Graph ring(int n, int capacity) {
+  if (n < 3) throw std::invalid_argument("ring: need at least 3 nodes");
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.add_duplex(NodeId(i), NodeId((i + 1) % n), capacity);
+  }
+  return g;
+}
+
+Graph star(int n, int capacity) {
+  if (n < 2) throw std::invalid_argument("star: need at least 2 nodes");
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_duplex(NodeId(0), NodeId(i), capacity);
+  return g;
+}
+
+Graph grid(int rows, int cols, int capacity) {
+  if (rows < 1 || cols < 1 || rows * cols < 2) {
+    throw std::invalid_argument("grid: need at least 2 nodes");
+  }
+  Graph g(rows * cols);
+  const auto id = [cols](int r, int c) { return NodeId(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_duplex(id(r, c), id(r, c + 1), capacity);
+      if (r + 1 < rows) g.add_duplex(id(r, c), id(r + 1, c), capacity);
+    }
+  }
+  return g;
+}
+
+Graph erdos_renyi(int n, double p, int capacity, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("erdos_renyi: need at least 3 nodes");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p out of [0,1]");
+  std::uint64_t state = seed;
+  // Random ring for strong connectivity: Fisher-Yates permutation.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = static_cast<int>(splitmix64(state) % static_cast<std::uint64_t>(i + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  Graph g(n);
+  std::vector<std::vector<char>> present(static_cast<std::size_t>(n),
+                                         std::vector<char>(static_cast<std::size_t>(n), 0));
+  const auto connect = [&](int a, int b) {
+    if (present[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) return;
+    g.add_duplex(NodeId(a), NodeId(b), capacity);
+    present[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
+    present[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
+  };
+  for (int i = 0; i < n; ++i) {
+    connect(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>((i + 1) % n)]);
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (uniform01(state) < p) connect(a, b);
+    }
+  }
+  return g;
+}
+
+const std::vector<NsfnetTable1Row>& nsfnet_table1() {
+  // Transcribed from Table 1 of the paper (capacity and loads in Erlangs;
+  // primary loads rounded to the nearest integer as printed).
+  static const std::vector<NsfnetTable1Row> rows = {
+      {0, 1, 100, 74, 7, 10},    {0, 11, 100, 77, 8, 12},  {1, 0, 100, 71, 6, 8},
+      {1, 2, 100, 37, 2, 3},     {1, 5, 100, 46, 3, 4},    {2, 1, 100, 34, 2, 3},
+      {2, 3, 100, 16, 1, 2},     {3, 2, 100, 16, 1, 2},    {3, 4, 100, 49, 3, 4},
+      {4, 3, 100, 54, 3, 4},     {4, 5, 100, 63, 4, 6},    {4, 11, 100, 103, 56, 100},
+      {5, 1, 100, 49, 3, 4},     {5, 4, 100, 65, 5, 6},    {5, 6, 100, 81, 11, 15},
+      {6, 5, 100, 87, 16, 26},   {6, 7, 100, 74, 7, 10},   {7, 6, 100, 73, 7, 9},
+      {7, 8, 100, 71, 6, 8},     {7, 9, 100, 43, 3, 3},    {8, 7, 100, 76, 8, 11},
+      {8, 10, 100, 124, 100, 100}, {9, 7, 100, 39, 2, 3},  {9, 10, 100, 49, 3, 4},
+      {10, 8, 100, 107, 70, 100}, {10, 9, 100, 48, 3, 4},  {10, 11, 100, 167, 100, 100},
+      {11, 0, 100, 85, 14, 22},  {11, 4, 100, 104, 60, 100}, {11, 10, 100, 154, 100, 100},
+  };
+  return rows;
+}
+
+Graph nsfnet_t3() {
+  // Names are indicative of the Fall-1992 configuration; the paper numbers
+  // the Core Nodal Switching Subsystems 0..11 and so do we.
+  static const std::array<const char*, 12> kNames = {
+      "Seattle",   "Palo Alto", "San Diego", "Houston",  "Atlanta",  "Denver",
+      "Lincoln",   "Champaign", "Pittsburgh", "Ann Arbor", "Princeton", "Chicago"};
+  Graph g;
+  for (const char* name : kNames) g.add_node(name);
+  // Add directed links in exactly the Table 1 row order so LinkId k maps to
+  // the k-th row of the table.
+  for (const NsfnetTable1Row& row : nsfnet_table1()) {
+    g.add_link(NodeId(row.src), NodeId(row.dst), row.capacity);
+  }
+  return g;
+}
+
+}  // namespace altroute::net

@@ -1,0 +1,53 @@
+// Topology builders, including the NSFNet T3 Backbone model of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netgraph/graph.hpp"
+
+namespace altroute::net {
+
+/// Fully-connected directed mesh on n nodes; every ordered pair gets a
+/// directed link of the given capacity.  full_mesh(4, 100) is the paper's
+/// "fully-connected quadrangle" (Section 4.1).
+[[nodiscard]] Graph full_mesh(int n, int capacity);
+
+/// Bidirectional ring on n nodes (n >= 3).
+[[nodiscard]] Graph ring(int n, int capacity);
+
+/// Star: node 0 is the hub, connected by duplex links to nodes 1..n-1.
+[[nodiscard]] Graph star(int n, int capacity);
+
+/// Rectangular grid with duplex links between 4-neighbors.
+[[nodiscard]] Graph grid(int rows, int cols, int capacity);
+
+/// G(n, p) random graph made strongly connected: a random bidirectional ring
+/// is laid down first, then each remaining unordered pair gets a duplex link
+/// with probability p.  Deterministic in `seed`.
+[[nodiscard]] Graph erdos_renyi(int n, double p, int capacity, std::uint64_t seed);
+
+/// One row of the paper's Table 1: a directed NSFNet link with its capacity,
+/// primary load under the nominal traffic matrix, and the state-protection
+/// levels the paper reports for H = 6 and H = 11.
+struct NsfnetTable1Row {
+  int src;
+  int dst;
+  int capacity;     ///< C^k (Erlangs / simultaneous calls)
+  double lambda;    ///< Lambda^k, primary load, rounded in the paper
+  int r_h6;         ///< r^k for H = 6
+  int r_h11;        ///< r^k for H = 11
+};
+
+/// The 30 directed links of Table 1, in the paper's row order.
+[[nodiscard]] const std::vector<NsfnetTable1Row>& nsfnet_table1();
+
+/// The 12-node NSFNet T3 Backbone model (Figure 5): 15 duplex facilities,
+/// i.e. 30 directed links, each of capacity 100 calls (155 Mb/s with
+/// 100 Mb/s allocated to rate-based traffic, 1 Mb/s per prototype video
+/// call).  Node names are indicative of the Fall-1992 core nodal switching
+/// subsystems; the paper identifies nodes only by number, which is what all
+/// computations use.
+[[nodiscard]] Graph nsfnet_t3();
+
+}  // namespace altroute::net

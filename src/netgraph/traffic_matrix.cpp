@@ -1,0 +1,77 @@
+#include "netgraph/traffic_matrix.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace altroute::net {
+
+TrafficMatrix::TrafficMatrix(int n) : n_(n) {
+  if (n < 0) throw std::invalid_argument("TrafficMatrix: negative size");
+  data_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+}
+
+void TrafficMatrix::set(NodeId i, NodeId j, double erlangs) {
+  if (!i.valid() || !j.valid() || i.value >= n_ || j.value >= n_) {
+    throw std::invalid_argument("TrafficMatrix::set: index out of range");
+  }
+  if (erlangs < 0.0) throw std::invalid_argument("TrafficMatrix::set: negative demand");
+  if (i == j && erlangs != 0.0) {
+    throw std::invalid_argument("TrafficMatrix::set: diagonal must be zero");
+  }
+  data_[i.index() * static_cast<std::size_t>(n_) + j.index()] = erlangs;
+}
+
+double TrafficMatrix::total() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+int TrafficMatrix::active_pairs() const {
+  int count = 0;
+  for (const double v : data_) count += (v > 0.0) ? 1 : 0;
+  return count;
+}
+
+TrafficMatrix TrafficMatrix::scaled(double factor) const {
+  if (factor < 0.0) throw std::invalid_argument("TrafficMatrix::scaled: negative factor");
+  TrafficMatrix out(n_);
+  for (std::size_t k = 0; k < data_.size(); ++k) out.data_[k] = data_[k] * factor;
+  return out;
+}
+
+TrafficMatrix TrafficMatrix::uniform(int n, double erlangs) {
+  if (erlangs < 0.0) throw std::invalid_argument("TrafficMatrix::uniform: negative demand");
+  TrafficMatrix t(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) t.set(NodeId(i), NodeId(j), erlangs);
+    }
+  }
+  return t;
+}
+
+TrafficMatrix TrafficMatrix::gravity(const std::vector<double>& weights,
+                                     double total_erlangs) {
+  const int n = static_cast<int>(weights.size());
+  if (total_erlangs < 0.0) throw std::invalid_argument("gravity: negative total");
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("gravity: negative weight");
+  }
+  TrafficMatrix t(n);
+  double norm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) norm += weights[static_cast<std::size_t>(i)] * weights[static_cast<std::size_t>(j)];
+    }
+  }
+  if (norm <= 0.0) return t;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w = weights[static_cast<std::size_t>(i)] * weights[static_cast<std::size_t>(j)];
+      t.set(NodeId(i), NodeId(j), total_erlangs * w / norm);
+    }
+  }
+  return t;
+}
+
+}  // namespace altroute::net

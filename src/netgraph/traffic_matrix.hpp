@@ -1,0 +1,56 @@
+// Traffic demand matrices.
+//
+// T(i, j) is the offered load, in Erlangs, of calls originating at node i
+// and destined for node j (ordered pairs; the diagonal is zero).  With unit
+// mean holding time the Erlang value doubles as the Poisson arrival rate.
+#pragma once
+
+#include <vector>
+
+#include "netgraph/ids.hpp"
+
+namespace altroute::net {
+
+/// Square matrix of offered loads in Erlangs, indexed by ordered node pair.
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+
+  /// Creates an n-by-n all-zero matrix.
+  explicit TrafficMatrix(int n);
+
+  [[nodiscard]] int size() const { return n_; }
+
+  /// Offered load (Erlangs) from i to j.  The diagonal is always zero.
+  [[nodiscard]] double at(NodeId i, NodeId j) const {
+    return data_[i.index() * static_cast<std::size_t>(n_) + j.index()];
+  }
+
+  /// Sets the offered load from i to j.  Throws on negative demand or on a
+  /// non-zero diagonal entry.
+  void set(NodeId i, NodeId j, double erlangs);
+
+  /// Total offered load over all ordered pairs (Erlangs).
+  [[nodiscard]] double total() const;
+
+  /// Number of ordered pairs with strictly positive demand.
+  [[nodiscard]] int active_pairs() const;
+
+  /// Returns a copy with every entry multiplied by `factor` (load scaling
+  /// used for the x-axes of Figures 3/4/6/7).  Throws on negative factor.
+  [[nodiscard]] TrafficMatrix scaled(double factor) const;
+
+  /// Uniform demand: `erlangs` between every ordered pair of distinct nodes.
+  [[nodiscard]] static TrafficMatrix uniform(int n, double erlangs);
+
+  /// Gravity model: T(i,j) proportional to weight[i]*weight[j], normalized
+  /// so the matrix total equals `total_erlangs`.
+  [[nodiscard]] static TrafficMatrix gravity(const std::vector<double>& weights,
+                                             double total_erlangs);
+
+ private:
+  int n_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace altroute::net

@@ -1,0 +1,106 @@
+#include "routing/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::routing {
+
+FixedPointResult erlang_fixed_point(const net::Graph& graph,
+                                    const routing::RouteTable& routes,
+                                    const net::TrafficMatrix& traffic,
+                                    const FixedPointOptions& options) {
+  const int n = graph.node_count();
+  if (routes.nodes() != n || traffic.size() != n) {
+    throw std::invalid_argument("erlang_fixed_point: size mismatch");
+  }
+  if (options.max_iterations < 1 || !(options.tolerance > 0.0) ||
+      !(options.damping > 0.0) || options.damping > 1.0) {
+    throw std::invalid_argument("erlang_fixed_point: bad options");
+  }
+  const std::size_t links = static_cast<std::size_t>(graph.link_count());
+
+  // Flatten the primary streams once: (path links, offered load).
+  struct Stream {
+    const routing::Path* path;
+    double offered;
+    std::size_t src;
+    std::size_t dst;
+  };
+  std::vector<Stream> streams;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double demand = traffic.at(net::NodeId(i), net::NodeId(j));
+      if (demand <= 0.0) continue;
+      const routing::RouteSet& set = routes.at(net::NodeId(i), net::NodeId(j));
+      for (std::size_t p = 0; p < set.primaries.size(); ++p) {
+        streams.push_back(Stream{&set.primaries[p], demand * set.primary_probs[p],
+                                 static_cast<std::size_t>(i), static_cast<std::size_t>(j)});
+      }
+    }
+  }
+
+  std::vector<int> capacity(links);
+  for (std::size_t k = 0; k < links; ++k) {
+    capacity[k] = graph.link(net::LinkId(static_cast<std::int32_t>(k))).capacity;
+  }
+
+  FixedPointResult result;
+  result.link_blocking.assign(links, 0.0);
+  result.reduced_load.assign(links, 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Reduced loads from the current blocking estimates.
+    std::fill(result.reduced_load.begin(), result.reduced_load.end(), 0.0);
+    for (const Stream& stream : streams) {
+      for (const net::LinkId k : stream.path->links) {
+        double thinned = stream.offered;
+        for (const net::LinkId j : stream.path->links) {
+          if (j != k) thinned *= 1.0 - result.link_blocking[j.index()];
+        }
+        result.reduced_load[k.index()] += thinned;
+      }
+    }
+    // Damped blocking update.
+    double delta = 0.0;
+    for (std::size_t k = 0; k < links; ++k) {
+      const double fresh = erlang::erlang_b(result.reduced_load[k], capacity[k]);
+      const double next = (1.0 - options.damping) * result.link_blocking[k] +
+                          options.damping * fresh;
+      delta = std::max(delta, std::abs(next - result.link_blocking[k]));
+      result.link_blocking[k] = next;
+    }
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // End-to-end blocking per pair and the traffic-weighted average.
+  result.pair_blocking.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  double lost = 0.0;
+  double offered = 0.0;
+  // A pair's blocking averages its primaries' path blocking by probability;
+  // accumulate stream-by-stream.
+  for (const Stream& stream : streams) {
+    double through = 1.0;
+    for (const net::LinkId k : stream.path->links) {
+      through *= 1.0 - result.link_blocking[k.index()];
+    }
+    const double path_blocking = 1.0 - through;
+    result.pair_blocking[stream.src * static_cast<std::size_t>(n) + stream.dst] +=
+        path_blocking * stream.offered /
+        traffic.at(net::NodeId(static_cast<std::int32_t>(stream.src)),
+                   net::NodeId(static_cast<std::int32_t>(stream.dst)));
+    lost += stream.offered * path_blocking;
+    offered += stream.offered;
+  }
+  result.network_blocking = offered > 0.0 ? lost / offered : 0.0;
+  return result;
+}
+
+}  // namespace altroute::routing

@@ -1,0 +1,54 @@
+// Erlang fixed-point (reduced-load) approximation for single-path routing.
+//
+// The classic analytic companion to call-by-call simulation (Kelly 1991,
+// and the machinery behind the reduced-load variant of Ott-Krishnan that
+// Section 4.2.2 mentions).  Under the independent-link assumption, the
+// blocking probability B_k of link k and the thinned (reduced) load
+// offered to it satisfy the fixed point
+//
+//     a_k = sum over primary paths p through k of
+//             T_p * prod_{j in p, j != k} (1 - B_j),
+//     B_k = ErlangB(a_k, C_k),
+//
+// and a pair's end-to-end blocking is 1 - prod_{k in p} (1 - B_k).
+// Repeated substitution converges for loss networks of this kind; we
+// additionally damp the update for robustness at deep overload.
+#pragma once
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::routing {
+
+struct FixedPointOptions {
+  int max_iterations{10000};
+  /// Convergence threshold on the largest per-link blocking change.
+  double tolerance{1e-12};
+  /// Damping factor in (0, 1]: B <- (1-d)*B_old + d*B_new.
+  double damping{0.5};
+};
+
+struct FixedPointResult {
+  /// Per-link blocking probabilities at the fixed point.
+  std::vector<double> link_blocking;
+  /// Per-link reduced offered loads at the fixed point.
+  std::vector<double> reduced_load;
+  /// Traffic-weighted average end-to-end blocking over all pairs.
+  double network_blocking{0.0};
+  /// Per-ordered-pair end-to-end blocking, indexed src * n + dst.
+  std::vector<double> pair_blocking;
+  int iterations{0};
+  bool converged{false};
+};
+
+/// Solves the reduced-load fixed point for the SINGLE-PATH routing scheme
+/// over `routes` (bifurcated primaries supported: each primary path is a
+/// separate thinned stream weighted by its probability).  Throws on size
+/// mismatches or bad options.
+[[nodiscard]] FixedPointResult erlang_fixed_point(const net::Graph& graph,
+                                                  const routing::RouteTable& routes,
+                                                  const net::TrafficMatrix& traffic,
+                                                  const FixedPointOptions& options = {});
+
+}  // namespace altroute::routing

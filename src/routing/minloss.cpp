@@ -1,0 +1,184 @@
+#include "routing/minloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "routing/shortest_paths.hpp"
+
+namespace altroute::routing {
+
+namespace {
+
+struct Commodity {
+  net::NodeId src;
+  net::NodeId dst;
+  double demand{0.0};
+  std::vector<Path> candidates;
+  std::vector<double> flow;  // per candidate, sums to demand
+};
+
+double objective(const std::vector<double>& loads, const std::vector<int>& capacity) {
+  double f = 0.0;
+  for (std::size_t k = 0; k < loads.size(); ++k) {
+    f += erlang::loss_rate(loads[k], capacity[k]);
+  }
+  return f;
+}
+
+std::vector<double> link_loads(const std::vector<Commodity>& commodities, std::size_t links) {
+  std::vector<double> loads(links, 0.0);
+  for (const Commodity& c : commodities) {
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      if (c.flow[p] <= 0.0) continue;
+      for (const net::LinkId id : c.candidates[p].links) loads[id.index()] += c.flow[p];
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+MinLossResult optimize_min_loss_primaries(const net::Graph& graph,
+                                          const net::TrafficMatrix& traffic,
+                                          const MinLossOptions& options) {
+  if (traffic.size() != graph.node_count()) {
+    throw std::invalid_argument("optimize_min_loss_primaries: traffic size mismatch");
+  }
+  if (options.candidate_paths < 1 || options.max_iterations < 1) {
+    throw std::invalid_argument("optimize_min_loss_primaries: bad options");
+  }
+  const std::size_t links = static_cast<std::size_t>(graph.link_count());
+  std::vector<int> capacity(links);
+  for (std::size_t k = 0; k < links; ++k) capacity[k] = graph.link(net::LinkId(static_cast<std::int32_t>(k))).capacity;
+
+  // Collect commodities: one per ordered pair with positive demand.
+  std::vector<Commodity> commodities;
+  for (int i = 0; i < graph.node_count(); ++i) {
+    for (int j = 0; j < graph.node_count(); ++j) {
+      if (i == j) continue;
+      const double demand = traffic.at(net::NodeId(i), net::NodeId(j));
+      if (demand <= 0.0) continue;
+      Commodity c;
+      c.src = net::NodeId(i);
+      c.dst = net::NodeId(j);
+      c.demand = demand;
+      c.candidates = k_shortest_paths(graph, c.src, c.dst,
+                                      static_cast<std::size_t>(options.candidate_paths));
+      if (c.candidates.empty()) {
+        throw std::invalid_argument("optimize_min_loss_primaries: demand on unreachable pair");
+      }
+      c.flow.assign(c.candidates.size(), 0.0);
+      c.flow[0] = demand;  // start all-on-min-hop
+      commodities.push_back(std::move(c));
+    }
+  }
+
+  MinLossResult result;
+  std::vector<double> loads = link_loads(commodities, links);
+  double f = objective(loads, capacity);
+  result.initial_loss_rate = f;
+  int iterations = 0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++iterations;
+    // Gradient of F with respect to each link load.
+    std::vector<double> grad(links);
+    for (std::size_t k = 0; k < links; ++k) {
+      grad[k] = erlang::loss_rate_dload(loads[k], capacity[k]);
+    }
+    // All-or-nothing target: each commodity moves to its cheapest candidate.
+    std::vector<double> target_loads(links, 0.0);
+    std::vector<std::size_t> best_path(commodities.size(), 0);
+    for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
+      const Commodity& c = commodities[ci];
+      double best_cost = 0.0;
+      std::size_t best = 0;
+      for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+        double cost = 0.0;
+        for (const net::LinkId id : c.candidates[p].links) cost += grad[id.index()];
+        if (p == 0 || cost < best_cost) {
+          best_cost = cost;
+          best = p;
+        }
+      }
+      best_path[ci] = best;
+      for (const net::LinkId id : c.candidates[best].links) {
+        target_loads[id.index()] += c.demand;
+      }
+    }
+    // Line search over alpha in [0,1] on the load segment (F depends on the
+    // flows only through the link loads, which are affine in alpha).
+    const auto f_alpha = [&](double alpha) {
+      double value = 0.0;
+      for (std::size_t k = 0; k < links; ++k) {
+        const double load = loads[k] + alpha * (target_loads[k] - loads[k]);
+        value += erlang::loss_rate(load, capacity[k]);
+      }
+      return value;
+    };
+    constexpr double kGolden = 0.6180339887498949;
+    double lo = 0.0;
+    double hi = 1.0;
+    double x1 = hi - kGolden * (hi - lo);
+    double x2 = lo + kGolden * (hi - lo);
+    double f1 = f_alpha(x1);
+    double f2 = f_alpha(x2);
+    for (int e = 0; e < options.line_search_evals; ++e) {
+      if (f1 < f2) {
+        hi = x2;
+        x2 = x1;
+        f2 = f1;
+        x1 = hi - kGolden * (hi - lo);
+        f1 = f_alpha(x1);
+      } else {
+        lo = x1;
+        x1 = x2;
+        f1 = f2;
+        x2 = lo + kGolden * (hi - lo);
+        f2 = f_alpha(x2);
+      }
+    }
+    const double alpha = 0.5 * (lo + hi);
+    const double f_new = f_alpha(alpha);
+    if (alpha <= 0.0 || f_new >= f) break;
+    // Converged?  Check BEFORE applying: at negligible loads the "optimal"
+    // direction spreads flow onto long paths to shave loss that is already
+    // ~0, which would be a pointless (and alternate-routing-hostile)
+    // bifurcation.
+    if (f - f_new < options.tolerance * std::max(1.0, f)) break;
+    // Apply the step to per-path flows and refresh loads exactly.
+    for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
+      Commodity& c = commodities[ci];
+      for (std::size_t p = 0; p < c.flow.size(); ++p) {
+        const double target = (p == best_path[ci]) ? c.demand : 0.0;
+        c.flow[p] += alpha * (target - c.flow[p]);
+      }
+    }
+    loads = link_loads(commodities, links);
+    f = objective(loads, capacity);
+  }
+
+  result.expected_loss_rate = f;
+  result.iterations = iterations;
+
+  // Assemble the bifurcated route table.
+  result.routes = RouteTable(graph.node_count());
+  for (const Commodity& c : commodities) {
+    RouteSet& set = result.routes.at(c.src, c.dst);
+    double kept = 0.0;
+    for (std::size_t p = 0; p < c.candidates.size(); ++p) {
+      const double prob = c.flow[p] / c.demand;
+      if (prob < options.prune_probability) continue;
+      set.primaries.push_back(c.candidates[p]);
+      set.primary_probs.push_back(prob);
+      kept += prob;
+    }
+    for (double& prob : set.primary_probs) prob /= kept;
+    set.alternates = all_simple_paths(graph, c.src, c.dst, options.max_alt_hops);
+  }
+  return result;
+}
+
+}  // namespace altroute::routing

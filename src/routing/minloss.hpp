@@ -1,0 +1,50 @@
+// Min-loss state-independent primary routing (Section 4, "Primary paths
+// chosen to minimize link loss").
+//
+// Chooses primary flows to minimize the expected total link loss rate
+//     F(x) = sum over links k of  Lambda_k(x) * B(Lambda_k(x), C_k)
+// under the independent-link assumption.  The per-link loss rate is convex
+// in its load (Krishnan), so the problem is a convex multicommodity flow
+// over each pair's candidate paths and is solved here by the Frank-Wolfe
+// (flow deviation) method with exact golden-section line search -- the same
+// family of conditional-gradient methods as the conjugate-gradient scheme
+// the paper cites from Bertsekas & Tsitsiklis.  The result is in general a
+// BIFURCATED primary program: a pair splits its traffic over several
+// primaries with fixed probabilities (still state-independent).
+#pragma once
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::routing {
+
+struct MinLossOptions {
+  /// Candidate paths per ordered pair (the k of k-shortest enumeration).
+  int candidate_paths{8};
+  /// Frank-Wolfe iteration cap.
+  int max_iterations{200};
+  /// Stop when the relative objective improvement falls below this.
+  double tolerance{1e-9};
+  /// Golden-section evaluations per line search.
+  int line_search_evals{48};
+  /// Primary-path probabilities below this are dropped and renormalized.
+  double prune_probability{1e-6};
+  /// Hop cap H for the alternate lists attached to the resulting table.
+  int max_alt_hops{16};
+};
+
+struct MinLossResult {
+  RouteTable routes;             ///< bifurcated primaries + ordered alternates
+  double expected_loss_rate{0};  ///< F at the returned flows (calls lost / unit time)
+  double initial_loss_rate{0};   ///< F of the all-on-min-hop starting point
+  int iterations{0};             ///< Frank-Wolfe iterations performed
+};
+
+/// Runs the optimizer.  Throws when the traffic matrix size mismatches the
+/// graph or a pair with positive demand is unreachable.
+[[nodiscard]] MinLossResult optimize_min_loss_primaries(const net::Graph& graph,
+                                                        const net::TrafficMatrix& traffic,
+                                                        const MinLossOptions& options = {});
+
+}  // namespace altroute::routing

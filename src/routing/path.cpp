@@ -1,0 +1,30 @@
+#include "routing/path.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace altroute::routing {
+
+Path make_path(const net::Graph& graph, const std::vector<net::NodeId>& nodes) {
+  if (nodes.size() < 2) throw std::invalid_argument("make_path: need at least 2 nodes");
+  std::unordered_set<net::NodeId> seen;
+  Path p;
+  p.nodes = nodes;
+  p.links.reserve(nodes.size() - 1);
+  for (const net::NodeId n : nodes) {
+    if (!seen.insert(n).second) throw std::invalid_argument("make_path: path revisits a node");
+  }
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const auto link = graph.find_link(nodes[i], nodes[i + 1]);
+    if (!link) throw std::invalid_argument("make_path: missing or disabled link on path");
+    p.links.push_back(*link);
+  }
+  return p;
+}
+
+bool path_order(const Path& a, const Path& b) {
+  if (a.hops() != b.hops()) return a.hops() < b.hops();
+  return a.nodes < b.nodes;
+}
+
+}  // namespace altroute::routing

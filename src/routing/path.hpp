@@ -1,0 +1,37 @@
+// Path representation shared by all routing code.
+#pragma once
+
+#include <vector>
+
+#include "netgraph/graph.hpp"
+
+namespace altroute::routing {
+
+/// A loop-free directed path: the node sequence plus the resolved link ids
+/// (links[i] goes from nodes[i] to nodes[i+1]).
+struct Path {
+  std::vector<net::NodeId> nodes;
+  std::vector<net::LinkId> links;
+
+  /// Number of links; 0 for an empty/invalid path.
+  [[nodiscard]] int hops() const { return static_cast<int>(links.size()); }
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+
+  [[nodiscard]] net::NodeId origin() const { return nodes.front(); }
+  [[nodiscard]] net::NodeId destination() const { return nodes.back(); }
+
+  friend bool operator==(const Path& a, const Path& b) { return a.nodes == b.nodes; }
+};
+
+/// Resolves a node sequence to a Path over enabled links.  Throws
+/// std::invalid_argument when the sequence is shorter than 2 nodes, revisits
+/// a node, or uses a missing/disabled link.
+[[nodiscard]] Path make_path(const net::Graph& graph, const std::vector<net::NodeId>& nodes);
+
+/// True when `a` precedes `b` in the paper's alternate-path order:
+/// increasing hop count, ties broken by lexicographic node sequence (the
+/// deterministic order in which blocked calls try alternates).
+[[nodiscard]] bool path_order(const Path& a, const Path& b);
+
+}  // namespace altroute::routing

@@ -1,0 +1,90 @@
+#include "routing/route_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "routing/shortest_paths.hpp"
+
+namespace altroute::routing {
+
+RouteTable::RouteTable(int nodes) : n_(nodes) {
+  if (nodes < 0) throw std::invalid_argument("RouteTable: negative node count");
+  sets_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes));
+}
+
+RouteTable build_min_hop_routes(const net::Graph& graph, int max_alt_hops,
+                                std::size_t max_paths_per_pair) {
+  if (max_alt_hops < 1) throw std::invalid_argument("build_min_hop_routes: H < 1");
+  RouteTable table(graph.node_count());
+  for (int i = 0; i < graph.node_count(); ++i) {
+    for (int j = 0; j < graph.node_count(); ++j) {
+      if (i == j) continue;
+      const net::NodeId src(i);
+      const net::NodeId dst(j);
+      auto primary = min_hop_path(graph, src, dst);
+      if (!primary) continue;  // unreachable pair: empty route set
+      RouteSet& set = table.at(src, dst);
+      set.primaries.push_back(std::move(*primary));
+      set.primary_probs.push_back(1.0);
+      set.alternates = all_simple_paths(graph, src, dst, max_alt_hops, max_paths_per_pair);
+    }
+  }
+  return table;
+}
+
+std::vector<double> primary_link_loads(const net::Graph& graph, const RouteTable& routes,
+                                       const net::TrafficMatrix& traffic) {
+  if (routes.nodes() != graph.node_count() || traffic.size() != graph.node_count()) {
+    throw std::invalid_argument("primary_link_loads: size mismatch");
+  }
+  std::vector<double> lambda(static_cast<std::size_t>(graph.link_count()), 0.0);
+  for (int i = 0; i < graph.node_count(); ++i) {
+    for (int j = 0; j < graph.node_count(); ++j) {
+      if (i == j) continue;
+      const net::NodeId src(i);
+      const net::NodeId dst(j);
+      const double demand = traffic.at(src, dst);
+      if (demand <= 0.0) continue;
+      const RouteSet& set = routes.at(src, dst);
+      for (std::size_t p = 0; p < set.primaries.size(); ++p) {
+        const double share = demand * set.primary_probs[p];
+        for (const net::LinkId k : set.primaries[p].links) {
+          lambda[k.index()] += share;
+        }
+      }
+    }
+  }
+  return lambda;
+}
+
+RouteCensus census(const RouteTable& routes) {
+  RouteCensus c;
+  long long total = 0;
+  bool first = true;
+  for (int i = 0; i < routes.nodes(); ++i) {
+    for (int j = 0; j < routes.nodes(); ++j) {
+      if (i == j) continue;
+      const RouteSet& set = routes.at(net::NodeId(i), net::NodeId(j));
+      if (!set.reachable()) continue;
+      int alternates = 0;
+      for (const Path& p : set.alternates) {
+        const bool is_primary =
+            std::find(set.primaries.begin(), set.primaries.end(), p) != set.primaries.end();
+        if (!is_primary) ++alternates;
+      }
+      ++c.pairs;
+      total += alternates;
+      if (first) {
+        c.min_alternates = c.max_alternates = alternates;
+        first = false;
+      } else {
+        c.min_alternates = std::min(c.min_alternates, alternates);
+        c.max_alternates = std::max(c.max_alternates, alternates);
+      }
+    }
+  }
+  if (c.pairs > 0) c.mean_alternates = static_cast<double>(total) / c.pairs;
+  return c;
+}
+
+}  // namespace altroute::routing

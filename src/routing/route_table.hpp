@@ -1,0 +1,82 @@
+// Per-O-D route programs: the SI primary tier plus the ordered alternate
+// list used by the SD tier (computed DALFAR-style from hop counts).
+#pragma once
+
+#include <vector>
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/path.hpp"
+
+namespace altroute::routing {
+
+/// Routes available to one ordered node pair.
+///
+/// `primaries` holds one path with probability 1 for deterministic SI rules
+/// (min-hop), or several with probabilities summing to 1 for bifurcated SI
+/// rules (the min-loss optimizer of Section 4).  `alternates` is the full
+/// list of loop-free paths of at most H hops in the paper's order
+/// (increasing hops, lexicographic ties); it may contain paths equal to a
+/// primary -- policies skip the primary they actually tried.
+struct RouteSet {
+  std::vector<Path> primaries;
+  std::vector<double> primary_probs;
+  std::vector<Path> alternates;
+
+  [[nodiscard]] bool reachable() const { return !primaries.empty(); }
+};
+
+/// All route sets of a network, indexed by ordered pair.
+class RouteTable {
+ public:
+  RouteTable() = default;
+  explicit RouteTable(int nodes);
+
+  [[nodiscard]] int nodes() const { return n_; }
+
+  [[nodiscard]] const RouteSet& at(net::NodeId src, net::NodeId dst) const {
+    return sets_[pair_index(src, dst)];
+  }
+  [[nodiscard]] RouteSet& at(net::NodeId src, net::NodeId dst) {
+    return sets_[pair_index(src, dst)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t pair_index(net::NodeId src, net::NodeId dst) const {
+    return src.index() * static_cast<std::size_t>(n_) + dst.index();
+  }
+
+  int n_{0};
+  std::vector<RouteSet> sets_;
+};
+
+/// Builds the paper's demonstration routing program: unique min-hop primary
+/// per ordered pair, alternates = all loop-free paths of at most `max_alt_hops`
+/// links (H), ordered by (hops, lexicographic).  Unreachable pairs get empty
+/// route sets.  `max_paths_per_pair` caps alternate enumeration.
+[[nodiscard]] RouteTable build_min_hop_routes(const net::Graph& graph, int max_alt_hops,
+                                              std::size_t max_paths_per_pair = 100000);
+
+/// Primary traffic demand per link, the paper's Eq. 1:
+///     Lambda^k = sum over pairs whose primary traverses k of T(i, j),
+/// with bifurcated primaries weighted by their probabilities.  Indexed by
+/// LinkId.
+[[nodiscard]] std::vector<double> primary_link_loads(const net::Graph& graph,
+                                                     const RouteTable& routes,
+                                                     const net::TrafficMatrix& traffic);
+
+/// Census of alternate-route availability (the Section 4.2.2 numbers:
+/// "on the average each node pair had about 9 alternate paths, with a
+/// maximum of 15 and a minimum of 5").
+struct RouteCensus {
+  double mean_alternates{0.0};
+  int min_alternates{0};
+  int max_alternates{0};
+  int pairs{0};  ///< ordered pairs counted (reachable, src != dst)
+};
+
+/// Counts alternates per reachable ordered pair, excluding paths identical
+/// to a primary (those are not "alternates" from the pair's point of view).
+[[nodiscard]] RouteCensus census(const RouteTable& routes);
+
+}  // namespace altroute::routing

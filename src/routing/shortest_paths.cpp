@@ -1,0 +1,258 @@
+#include "routing/shortest_paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace altroute::routing {
+
+namespace {
+
+// Reverse BFS honoring per-node / per-link bans; returns hop distances to
+// dst (-1 when unreachable).  Banned vectors may be empty (no bans).
+std::vector<int> banned_distances_to(const net::Graph& graph, net::NodeId dst,
+                                     const std::vector<char>& banned_node,
+                                     const std::vector<char>& banned_link) {
+  std::vector<int> dist(static_cast<std::size_t>(graph.node_count()), -1);
+  if (!banned_node.empty() && banned_node[dst.index()]) return dist;
+  dist[dst.index()] = 0;
+  std::queue<net::NodeId> q;
+  q.push(dst);
+  while (!q.empty()) {
+    const net::NodeId v = q.front();
+    q.pop();
+    for (const net::LinkId id : graph.in_links(v)) {
+      const net::Link& l = graph.link(id);
+      if (!l.enabled) continue;
+      if (!banned_link.empty() && banned_link[id.index()]) continue;
+      if (!banned_node.empty() && banned_node[l.src.index()]) continue;
+      if (dist[l.src.index()] < 0) {
+        dist[l.src.index()] = dist[v.index()] + 1;
+        q.push(l.src);
+      }
+    }
+  }
+  return dist;
+}
+
+// Greedy forward walk along a distance-to-destination field: from each node
+// choose the smallest-id successor one hop closer to dst.  Produces the
+// lexicographically smallest minimum-hop path.
+std::optional<Path> walk_min_hop(const net::Graph& graph, net::NodeId src, net::NodeId dst,
+                                 const std::vector<int>& dist,
+                                 const std::vector<char>& banned_node,
+                                 const std::vector<char>& banned_link) {
+  if (dist[src.index()] < 0) return std::nullopt;
+  if (!banned_node.empty() && banned_node[src.index()]) return std::nullopt;
+  Path p;
+  p.nodes.push_back(src);
+  net::NodeId u = src;
+  while (u != dst) {
+    net::NodeId best_node;
+    net::LinkId best_link;
+    for (const net::LinkId id : graph.out_links(u)) {
+      const net::Link& l = graph.link(id);
+      if (!l.enabled) continue;
+      if (!banned_link.empty() && banned_link[id.index()]) continue;
+      if (!banned_node.empty() && banned_node[l.dst.index()]) continue;
+      if (dist[l.dst.index()] != dist[u.index()] - 1) continue;
+      if (!best_node.valid() || l.dst < best_node) {
+        best_node = l.dst;
+        best_link = id;
+      }
+    }
+    if (!best_node.valid()) return std::nullopt;  // cannot happen with consistent dist
+    p.nodes.push_back(best_node);
+    p.links.push_back(best_link);
+    u = best_node;
+  }
+  return p;
+}
+
+std::optional<Path> restricted_min_hop(const net::Graph& graph, net::NodeId src,
+                                       net::NodeId dst, const std::vector<char>& banned_node,
+                                       const std::vector<char>& banned_link) {
+  const std::vector<int> dist = banned_distances_to(graph, dst, banned_node, banned_link);
+  return walk_min_hop(graph, src, dst, dist, banned_node, banned_link);
+}
+
+}  // namespace
+
+std::vector<int> hop_distances_to(const net::Graph& graph, net::NodeId dst) {
+  return banned_distances_to(graph, dst, {}, {});
+}
+
+std::optional<Path> min_hop_path(const net::Graph& graph, net::NodeId src, net::NodeId dst) {
+  if (src == dst) throw std::invalid_argument("min_hop_path: src == dst");
+  return restricted_min_hop(graph, src, dst, {}, {});
+}
+
+std::optional<Path> weighted_shortest_path(const net::Graph& graph, net::NodeId src,
+                                           net::NodeId dst,
+                                           const std::vector<double>& weights) {
+  if (src == dst) throw std::invalid_argument("weighted_shortest_path: src == dst");
+  if (weights.size() != static_cast<std::size_t>(graph.link_count())) {
+    throw std::invalid_argument("weighted_shortest_path: weight vector size mismatch");
+  }
+  for (const double w : weights) {
+    if (!(w >= 0.0)) throw std::invalid_argument("weighted_shortest_path: negative weight");
+  }
+  // Reverse Dijkstra: cost-to-destination field, then a greedy forward walk
+  // (smallest next node among tight links) for lexicographic determinism.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(static_cast<std::size_t>(graph.node_count()), kInf);
+  cost[dst.index()] = 0.0;
+  using Item = std::pair<double, net::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, dst);
+  while (!pq.empty()) {
+    const auto [c, v] = pq.top();
+    pq.pop();
+    if (c > cost[v.index()]) continue;
+    for (const net::LinkId id : graph.in_links(v)) {
+      const net::Link& l = graph.link(id);
+      if (!l.enabled) continue;
+      const double nc = c + weights[id.index()];
+      if (nc < cost[l.src.index()]) {
+        cost[l.src.index()] = nc;
+        pq.emplace(nc, l.src);
+      }
+    }
+  }
+  if (cost[src.index()] == kInf) return std::nullopt;
+
+  Path p;
+  p.nodes.push_back(src);
+  net::NodeId u = src;
+  // Tolerance for "link is on a shortest path" comparisons.
+  const double eps = 1e-9 * (1.0 + cost[src.index()]);
+  std::vector<char> visited(static_cast<std::size_t>(graph.node_count()), 0);
+  visited[src.index()] = 1;
+  while (u != dst) {
+    net::NodeId best_node;
+    net::LinkId best_link;
+    for (const net::LinkId id : graph.out_links(u)) {
+      const net::Link& l = graph.link(id);
+      if (!l.enabled || visited[l.dst.index()]) continue;
+      if (std::abs(weights[id.index()] + cost[l.dst.index()] - cost[u.index()]) > eps) continue;
+      if (!best_node.valid() || l.dst < best_node) {
+        best_node = l.dst;
+        best_link = id;
+      }
+    }
+    if (!best_node.valid()) return std::nullopt;
+    visited[best_node.index()] = 1;
+    p.nodes.push_back(best_node);
+    p.links.push_back(best_link);
+    u = best_node;
+  }
+  return p;
+}
+
+std::vector<Path> all_simple_paths(const net::Graph& graph, net::NodeId src, net::NodeId dst,
+                                   int max_hops, std::size_t max_paths) {
+  if (src == dst) throw std::invalid_argument("all_simple_paths: src == dst");
+  if (max_hops < 1) return {};
+  const std::vector<int> dist_to = hop_distances_to(graph, dst);
+  std::vector<Path> out;
+  std::vector<char> visited(static_cast<std::size_t>(graph.node_count()), 0);
+  Path current;
+  current.nodes.push_back(src);
+  visited[src.index()] = 1;
+
+  // Iterative DFS with explicit work stack of (node, link-used-to-reach) and
+  // depth markers would obscure the invariant; the recursion depth is
+  // bounded by the node count, so plain recursion is safe here.
+  const std::function<void(net::NodeId)> dfs = [&](net::NodeId u) {
+    if (out.size() >= max_paths) return;
+    for (const net::LinkId id : graph.out_links(u)) {
+      const net::Link& l = graph.link(id);
+      if (!l.enabled || visited[l.dst.index()]) continue;
+      const int depth = current.hops() + 1;
+      if (depth > max_hops) continue;
+      // Prune branches that cannot reach dst within the hop budget (the
+      // unconstrained hop distance is a valid lower bound on the remainder).
+      if (dist_to[l.dst.index()] < 0 || depth + dist_to[l.dst.index()] > max_hops) continue;
+      current.nodes.push_back(l.dst);
+      current.links.push_back(id);
+      if (l.dst == dst) {
+        out.push_back(current);
+      } else {
+        visited[l.dst.index()] = 1;
+        dfs(l.dst);
+        visited[l.dst.index()] = 0;
+      }
+      current.nodes.pop_back();
+      current.links.pop_back();
+      if (out.size() >= max_paths) return;
+    }
+  };
+  dfs(src);
+  std::sort(out.begin(), out.end(), path_order);
+  return out;
+}
+
+std::vector<Path> k_shortest_paths(const net::Graph& graph, net::NodeId src, net::NodeId dst,
+                                   std::size_t k) {
+  if (src == dst) throw std::invalid_argument("k_shortest_paths: src == dst");
+  std::vector<Path> result;
+  if (k == 0) return result;
+  const auto first = min_hop_path(graph, src, dst);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Candidate pool ordered by the paper's path order; std::set keeps
+  // deduplication and ordered extraction in one structure.
+  const auto cmp = [](const Path& a, const Path& b) { return path_order(a, b); };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  std::vector<char> banned_node(static_cast<std::size_t>(graph.node_count()), 0);
+  std::vector<char> banned_link(static_cast<std::size_t>(graph.link_count()), 0);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    for (std::size_t spur_idx = 0; spur_idx + 1 < prev.nodes.size(); ++spur_idx) {
+      const net::NodeId spur_node = prev.nodes[spur_idx];
+      // Root = prev.nodes[0..spur_idx].
+      std::fill(banned_node.begin(), banned_node.end(), 0);
+      std::fill(banned_link.begin(), banned_link.end(), 0);
+      for (std::size_t i = 0; i < spur_idx; ++i) banned_node[prev.nodes[i].index()] = 1;
+      // Ban the next link of every accepted path sharing this root.
+      for (const Path& p : result) {
+        if (p.nodes.size() <= spur_idx) continue;
+        if (!std::equal(p.nodes.begin(), p.nodes.begin() + static_cast<std::ptrdiff_t>(spur_idx) + 1,
+                        prev.nodes.begin())) {
+          continue;
+        }
+        banned_link[p.links[spur_idx].index()] = 1;
+      }
+      const auto spur = restricted_min_hop(graph, spur_node, dst, banned_node, banned_link);
+      if (!spur) continue;
+      Path total;
+      total.nodes.assign(prev.nodes.begin(),
+                         prev.nodes.begin() + static_cast<std::ptrdiff_t>(spur_idx));
+      total.links.assign(prev.links.begin(),
+                         prev.links.begin() + static_cast<std::ptrdiff_t>(spur_idx));
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(), spur->nodes.end());
+      total.links.insert(total.links.end(), spur->links.begin(), spur->links.end());
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    // Smallest candidate not already accepted becomes the next path.
+    auto it = candidates.begin();
+    while (it != candidates.end() &&
+           std::find(result.begin(), result.end(), *it) != result.end()) {
+      it = candidates.erase(it);
+    }
+    if (it == candidates.end()) break;
+    result.push_back(*it);
+    candidates.erase(it);
+  }
+  return result;
+}
+
+}  // namespace altroute::routing

@@ -1,0 +1,51 @@
+// Shortest-path computations over enabled links.
+//
+// Minimum-hop paths are the paper's demonstration SI (state-independent)
+// primary routing rule; they are attractive precisely because they are
+// computable in a distributed fashion.  Ties are broken toward the
+// lexicographically smallest node sequence so that every ordered pair has a
+// UNIQUE, reproducible primary path P*(i,j), as the paper assumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netgraph/graph.hpp"
+#include "routing/path.hpp"
+
+namespace altroute::routing {
+
+/// Hop distance from every node to `dst` over enabled links (reverse BFS);
+/// unreachable nodes get -1.  This is the per-destination table a
+/// distributed distance-vector computation would hold.
+[[nodiscard]] std::vector<int> hop_distances_to(const net::Graph& graph, net::NodeId dst);
+
+/// The unique minimum-hop path src -> dst (lexicographically smallest node
+/// sequence among minimum-hop paths), or nullopt when unreachable.
+[[nodiscard]] std::optional<Path> min_hop_path(const net::Graph& graph, net::NodeId src,
+                                               net::NodeId dst);
+
+/// Dijkstra over per-link weights (size = link_count; disabled links are
+/// skipped regardless of weight; weights must be >= 0).  Ties broken toward
+/// lexicographically smallest node sequence.  nullopt when unreachable.
+[[nodiscard]] std::optional<Path> weighted_shortest_path(const net::Graph& graph,
+                                                         net::NodeId src, net::NodeId dst,
+                                                         const std::vector<double>& weights);
+
+/// All loop-free (simple) paths src -> dst with at most `max_hops` links,
+/// in the paper's alternate order (hops, then lexicographic).  `max_paths`
+/// caps the result as a safety valve for dense graphs; enumeration stops
+/// once the cap is hit (the returned paths are still the first ones in DFS
+/// order, then sorted).  Throws if src == dst.
+[[nodiscard]] std::vector<Path> all_simple_paths(const net::Graph& graph, net::NodeId src,
+                                                 net::NodeId dst, int max_hops,
+                                                 std::size_t max_paths = 100000);
+
+/// Yen's algorithm: the k shortest loop-free paths by hop count (ties
+/// lexicographic), fewer if the graph has fewer.  Equivalent to the first k
+/// entries of all_simple_paths() with unlimited hops, but polynomial per
+/// path; provided for graphs where exhaustive enumeration is infeasible.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const net::Graph& graph, net::NodeId src,
+                                                 net::NodeId dst, std::size_t k);
+
+}  // namespace altroute::routing

@@ -1,0 +1,45 @@
+#include "sim/batch_means.hpp"
+
+#include <stdexcept>
+
+#include "sim/stats.hpp"
+
+namespace altroute::sim {
+
+BatchMeansResult batch_means(const std::vector<double>& observations, std::size_t batches) {
+  if (batches < 2) throw std::invalid_argument("batch_means: need at least 2 batches");
+  const std::size_t batch_size = observations.size() / batches;
+  if (batch_size == 0) throw std::invalid_argument("batch_means: not enough observations");
+
+  std::vector<double> means(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sum += observations[b * batch_size + i];
+    }
+    means[b] = sum / static_cast<double>(batch_size);
+  }
+
+  RunningStats stats;
+  for (const double m : means) stats.add(m);
+
+  BatchMeansResult result;
+  result.batches = batches;
+  result.mean = stats.mean();
+  result.ci95_halfwidth = stats.ci95_halfwidth();
+
+  // Lag-1 autocorrelation of the batch-mean series.
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const double d = means[b] - result.mean;
+    denominator += d * d;
+    if (b + 1 < batches) {
+      numerator += d * (means[b + 1] - result.mean);
+    }
+  }
+  result.lag1_autocorrelation = denominator > 0.0 ? numerator / denominator : 0.0;
+  return result;
+}
+
+}  // namespace altroute::sim

@@ -1,0 +1,32 @@
+// Batch-means confidence intervals for single long runs.
+//
+// The paper's protocol averages 10 independent replications; for very long
+// single runs (cheaper per measured unit once warmed up) the method of
+// non-overlapping batch means gives a CI from one run: split the
+// observation series into k batches, treat the batch means as approximately
+// independent normals, and report a Student-t interval.  The lag-1
+// autocorrelation of the batch means is exposed so callers can detect
+// batches that are still too short.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace altroute::sim {
+
+struct BatchMeansResult {
+  std::size_t batches{0};
+  double mean{0.0};
+  double ci95_halfwidth{0.0};
+  /// Lag-1 autocorrelation of the batch means; |value| well under ~0.2
+  /// indicates the batches are long enough to be treated as independent.
+  double lag1_autocorrelation{0.0};
+};
+
+/// Computes batch means over `observations` split into `batches` equal
+/// groups (trailing remainder dropped).  Throws when fewer than 2 batches
+/// or batches of size 0 would result.
+[[nodiscard]] BatchMeansResult batch_means(const std::vector<double>& observations,
+                                           std::size_t batches = 20);
+
+}  // namespace altroute::sim

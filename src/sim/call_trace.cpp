@@ -1,0 +1,108 @@
+#include "sim/call_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace altroute::sim {
+
+CallTrace generate_trace(const net::TrafficMatrix& traffic, double horizon,
+                         std::uint64_t seed) {
+  if (!(horizon > 0.0)) throw std::invalid_argument("generate_trace: horizon must be > 0");
+  CallTrace trace;
+  trace.horizon = horizon;
+  const int n = traffic.size();
+  // Reserve using the expected call count to avoid repeated growth.
+  trace.calls.reserve(static_cast<std::size_t>(traffic.total() * horizon * 1.1) + 64);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double rate = traffic.at(net::NodeId(i), net::NodeId(j));
+      if (rate <= 0.0) continue;
+      // Stream id derived from the ordered pair; stable across matrices of
+      // the same size.
+      Rng rng(seed, static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) +
+                        static_cast<std::uint64_t>(j) + 1);
+      double t = rng.exponential(rate);
+      while (t < horizon) {
+        trace.calls.push_back(
+            CallRecord{t, rng.exponential(1.0), net::NodeId(i), net::NodeId(j), 1});
+        t += rng.exponential(rate);
+      }
+    }
+  }
+  std::sort(trace.calls.begin(), trace.calls.end(),
+            [](const CallRecord& a, const CallRecord& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return trace;
+}
+
+CallTrace generate_multirate_trace(const std::vector<TrafficClass>& classes, double horizon,
+                                   std::uint64_t seed) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("generate_multirate_trace: horizon must be > 0");
+  }
+  if (classes.empty()) throw std::invalid_argument("generate_multirate_trace: no classes");
+  const int n = classes.front().offered.size();
+  for (const TrafficClass& c : classes) {
+    if (c.offered.size() != n) {
+      throw std::invalid_argument("generate_multirate_trace: node count mismatch");
+    }
+    if (c.bandwidth < 1) throw std::invalid_argument("generate_multirate_trace: bandwidth < 1");
+    if (!(c.mean_holding > 0.0)) {
+      throw std::invalid_argument("generate_multirate_trace: mean holding <= 0");
+    }
+  }
+  CallTrace trace;
+  trace.horizon = horizon;
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const TrafficClass& cls = classes[ci];
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double erlangs = cls.offered.at(net::NodeId(i), net::NodeId(j));
+        if (erlangs <= 0.0) continue;
+        const double rate = erlangs / cls.mean_holding;  // calls per unit time
+        // Substream keyed by (class, pair) so classes never interact.
+        Rng rng(seed, (ci + 1) * 0x10000ULL +
+                          static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) +
+                          static_cast<std::uint64_t>(j) + 1);
+        double t = rng.exponential(rate);
+        while (t < horizon) {
+          trace.calls.push_back(CallRecord{t, rng.exponential(1.0 / cls.mean_holding),
+                                           net::NodeId(i), net::NodeId(j), cls.bandwidth});
+          t += rng.exponential(rate);
+        }
+      }
+    }
+  }
+  std::sort(trace.calls.begin(), trace.calls.end(),
+            [](const CallRecord& a, const CallRecord& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src != b.src) return a.src < b.src;
+              if (a.dst != b.dst) return a.dst < b.dst;
+              return a.bandwidth < b.bandwidth;
+            });
+  return trace;
+}
+
+CallTrace concatenate_traces(const CallTrace& first, const CallTrace& second) {
+  if (!(first.horizon > 0.0) || !(second.horizon > 0.0)) {
+    throw std::invalid_argument("concatenate_traces: horizons must be > 0");
+  }
+  CallTrace out;
+  out.horizon = first.horizon + second.horizon;
+  out.calls.reserve(first.calls.size() + second.calls.size());
+  out.calls = first.calls;
+  for (CallRecord call : second.calls) {
+    call.arrival += first.horizon;
+    out.calls.push_back(call);
+  }
+  return out;
+}
+
+}  // namespace altroute::sim

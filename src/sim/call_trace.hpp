@@ -1,0 +1,69 @@
+// Pre-generated call traces for common-random-number policy comparison.
+//
+// The paper evaluates every routing algorithm "with identical call arrivals
+// and call holding times".  We realize that by sampling, per experiment
+// seed, one trace of (arrival time, origin, destination, holding time)
+// records from the traffic matrix's independent Poisson processes, and
+// replaying the same trace against each policy.  Differences between
+// policies are then purely due to routing, not sampling noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netgraph/ids.hpp"
+#include "netgraph/traffic_matrix.hpp"
+
+namespace altroute::sim {
+
+/// One call request in a trace.
+struct CallRecord {
+  double arrival;     ///< absolute arrival time
+  double holding;     ///< holding time (Exp with the class's mean)
+  net::NodeId src;    ///< origin node
+  net::NodeId dst;    ///< destination node
+  int bandwidth{1};   ///< circuits seized per link (1 = the paper's model)
+};
+
+/// A time-sorted sequence of call requests over [0, horizon).
+struct CallTrace {
+  std::vector<CallRecord> calls;
+  double horizon{0.0};
+
+  /// Offered load realized by the trace: number of calls / horizon equals
+  /// the matrix total in expectation.
+  [[nodiscard]] std::size_t size() const { return calls.size(); }
+};
+
+/// Samples a trace over [0, horizon) from independent Poisson streams, one
+/// per ordered pair with positive demand (rate = T(i,j); holding Exp(1)).
+/// Each pair gets its own RNG substream, so the trace for a pair is
+/// unchanged when other entries of the matrix change (variance reduction
+/// across load points that share unscaled pairs).  Deterministic in `seed`.
+[[nodiscard]] CallTrace generate_trace(const net::TrafficMatrix& traffic, double horizon,
+                                       std::uint64_t seed);
+
+/// One call class of the multi-rate extension: its own demand matrix (in
+/// Erlangs of CALLS, i.e. arrival rate x mean holding), per-call circuit
+/// width, and mean holding time.
+struct TrafficClass {
+  net::TrafficMatrix offered;
+  int bandwidth{1};
+  double mean_holding{1.0};
+};
+
+/// Multi-rate trace: the superposition of every class's independent
+/// Poisson streams, time-sorted.  Class c's pair (i,j) draws from RNG
+/// substream (c, i, j), so adding a class never perturbs another class's
+/// arrivals.  All matrices must share one node count.  Deterministic in
+/// `seed`.
+[[nodiscard]] CallTrace generate_multirate_trace(const std::vector<TrafficClass>& classes,
+                                                 double horizon, std::uint64_t seed);
+
+/// Plays `second` after `first`: every arrival of `second` is shifted by
+/// first.horizon and the result's horizon is the sum.  Used to build
+/// phase-change scenarios (load steps, hot-start hysteresis probes) from
+/// stationary segments.  Throws if either horizon is non-positive.
+[[nodiscard]] CallTrace concatenate_traces(const CallTrace& first, const CallTrace& second);
+
+}  // namespace altroute::sim

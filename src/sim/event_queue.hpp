@@ -1,0 +1,89 @@
+// Discrete-event future event list.
+//
+// A binary min-heap keyed by (time, insertion sequence).  The sequence
+// number makes simultaneous events pop in insertion order, so simulations
+// are deterministic even in the presence of ties (e.g. a departure and an
+// arrival scheduled at exactly the same instant).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace altroute::sim {
+
+/// Priority queue of timed events carrying an arbitrary payload.
+/// Pops in nondecreasing time order; ties break by insertion order (FIFO).
+template <typename Payload>
+class EventQueue {
+ public:
+  /// Schedules `payload` at absolute time `time` (must be finite, >= 0).
+  void schedule(double time, Payload payload) {
+    if (!(time >= 0.0)) throw std::invalid_argument("EventQueue: negative or NaN time");
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.  Queue must be non-empty.
+  [[nodiscard]] double next_time() const { return heap_.front().time; }
+
+  /// Removes and returns the earliest event's (time, payload).
+  std::pair<double, Payload> pop() {
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return {top.time, std::move(top.payload)};
+  }
+
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      if (left < n && heap_[left].before(heap_[smallest])) smallest = left;
+      if (right < n && heap_[right].before(heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace altroute::sim

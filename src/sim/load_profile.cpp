@@ -1,0 +1,118 @@
+#include "sim/load_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace altroute::sim {
+
+LoadProfile::LoadProfile(std::vector<double> times, std::vector<double> factors, bool periodic,
+                         double period)
+    : times_(std::move(times)), factors_(std::move(factors)), periodic_(periodic),
+      period_(period) {
+  if (times_.empty() || times_.size() != factors_.size()) {
+    throw std::invalid_argument("LoadProfile: times/factors must be non-empty and equal size");
+  }
+  if (times_.front() != 0.0) throw std::invalid_argument("LoadProfile: times must start at 0");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("LoadProfile: times must increase strictly");
+    }
+  }
+  for (const double f : factors_) {
+    if (!(f >= 0.0)) throw std::invalid_argument("LoadProfile: negative factor");
+  }
+  if (periodic_ && !(period_ > times_.back())) {
+    throw std::invalid_argument("LoadProfile: period must exceed the last breakpoint");
+  }
+  max_factor_ = *std::max_element(factors_.begin(), factors_.end());
+}
+
+LoadProfile LoadProfile::constant(double factor) {
+  return LoadProfile({0.0}, {factor});
+}
+
+LoadProfile LoadProfile::diurnal(double period, double low, double high, int steps) {
+  if (!(period > 0.0)) throw std::invalid_argument("LoadProfile::diurnal: period <= 0");
+  if (!(low >= 0.0) || !(high >= low)) {
+    throw std::invalid_argument("LoadProfile::diurnal: need 0 <= low <= high");
+  }
+  if (steps < 2) throw std::invalid_argument("LoadProfile::diurnal: steps < 2");
+  std::vector<double> times;
+  std::vector<double> factors;
+  const double mid = 0.5 * (low + high);
+  const double amplitude = 0.5 * (high - low);
+  for (int i = 0; i < steps; ++i) {
+    const double t = period * static_cast<double>(i) / steps;
+    const double t_mid = period * (static_cast<double>(i) + 0.5) / steps;
+    times.push_back(t);
+    // Trough at t = 0, peak at t = period / 2.
+    factors.push_back(mid - amplitude * std::cos(2.0 * std::numbers::pi * t_mid / period));
+  }
+  return LoadProfile(std::move(times), std::move(factors), /*periodic=*/true, period);
+}
+
+double LoadProfile::factor_at(double t) const {
+  if (!(t >= 0.0)) throw std::invalid_argument("LoadProfile::factor_at: negative time");
+  double local = t;
+  if (periodic_) local = std::fmod(t, period_);
+  // Last segment whose breakpoint is <= local.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), local);
+  const std::size_t index = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return factors_[index];
+}
+
+double LoadProfile::mean_factor() const {
+  const double span = periodic_ ? period_ : times_.back();
+  if (span <= 0.0) return factors_.front();
+  double integral = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double end = (i + 1 < times_.size()) ? times_[i + 1] : span;
+    integral += factors_[i] * (end - times_[i]);
+  }
+  return integral / span;
+}
+
+CallTrace generate_profiled_trace(const net::TrafficMatrix& nominal,
+                                  const LoadProfile& profile, double horizon,
+                                  std::uint64_t seed) {
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument("generate_profiled_trace: horizon must be > 0");
+  }
+  CallTrace trace;
+  trace.horizon = horizon;
+  const int n = nominal.size();
+  const double ceiling = profile.max_factor();
+  if (ceiling <= 0.0) return trace;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double base_rate = nominal.at(net::NodeId(i), net::NodeId(j));
+      if (base_rate <= 0.0) continue;
+      Rng rng(seed, 0x9D0F11E0ULL + static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) +
+                        static_cast<std::uint64_t>(j));
+      const double envelope = base_rate * ceiling;
+      double t = rng.exponential(envelope);
+      while (t < horizon) {
+        // Thinning: keep with probability factor(t) / ceiling.
+        if (rng.uniform01() * ceiling < profile.factor_at(t)) {
+          trace.calls.push_back(
+              CallRecord{t, rng.exponential(1.0), net::NodeId(i), net::NodeId(j), 1});
+        }
+        t += rng.exponential(envelope);
+      }
+    }
+  }
+  std::sort(trace.calls.begin(), trace.calls.end(),
+            [](const CallRecord& a, const CallRecord& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return trace;
+}
+
+}  // namespace altroute::sim

@@ -1,0 +1,62 @@
+// Time-varying offered load: piecewise-constant scaling profiles and
+// non-homogeneous Poisson trace generation by thinning.
+//
+// The paper evaluates stationary loads; real networks breathe (the AT&T
+// Thanksgiving-day overloads of its introduction are the extreme case).
+// A LoadProfile scales a nominal traffic matrix over time, so experiments
+// can drive the schemes through load swings and test how the control -- and
+// the online Lambda estimator -- cope with non-stationarity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/call_trace.hpp"
+
+namespace altroute::sim {
+
+/// Piecewise-constant, optionally periodic, non-negative scaling factor of
+/// time.  Segment i spans [times[i], times[i+1]) with value factors[i];
+/// the final segment extends to infinity (aperiodic) or wraps (periodic
+/// with period = times.back() + last segment length implied by times[0]).
+class LoadProfile {
+ public:
+  /// `times` must start at 0 and increase strictly; factors must be
+  /// non-negative, one per breakpoint.  When `periodic`, `period` must
+  /// exceed the last breakpoint and the profile repeats with that period.
+  LoadProfile(std::vector<double> times, std::vector<double> factors, bool periodic = false,
+              double period = 0.0);
+
+  /// Constant profile.
+  [[nodiscard]] static LoadProfile constant(double factor);
+
+  /// Sinusoid-like diurnal swing between `low` and `high`, approximated by
+  /// `steps` piecewise-constant segments per period, repeating forever.
+  [[nodiscard]] static LoadProfile diurnal(double period, double low, double high,
+                                           int steps = 12);
+
+  [[nodiscard]] double factor_at(double t) const;
+  [[nodiscard]] double max_factor() const { return max_factor_; }
+
+  /// Mean factor over one period (periodic) or over the breakpoint span
+  /// plus the final value (aperiodic profiles: the time-average as t->inf
+  /// is just the last factor; this returns the average over [0, last)).
+  [[nodiscard]] double mean_factor() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> factors_;
+  bool periodic_;
+  double period_;
+  double max_factor_;
+};
+
+/// Samples a trace whose pair (i,j) arrives as a non-homogeneous Poisson
+/// process with rate T(i,j) * profile.factor_at(t), by thinning a
+/// homogeneous process at rate T(i,j) * profile.max_factor().
+/// Deterministic in `seed`; holding times stay Exp(1).
+[[nodiscard]] CallTrace generate_profiled_trace(const net::TrafficMatrix& nominal,
+                                                const LoadProfile& profile, double horizon,
+                                                std::uint64_t seed);
+
+}  // namespace altroute::sim

@@ -1,0 +1,49 @@
+#include "sim/mser.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace altroute::sim {
+
+MserResult mser_truncation(const std::vector<double>& observations, int batch_size) {
+  if (batch_size < 1) throw std::invalid_argument("mser_truncation: batch_size < 1");
+  const std::size_t batches = observations.size() / static_cast<std::size_t>(batch_size);
+  if (batches < 2) {
+    throw std::invalid_argument("mser_truncation: need at least 2 full batches");
+  }
+  std::vector<double> means(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (int i = 0; i < batch_size; ++i) {
+      sum += observations[b * static_cast<std::size_t>(batch_size) +
+                          static_cast<std::size_t>(i)];
+    }
+    means[b] = sum / batch_size;
+  }
+
+  // Suffix sums let every candidate truncation be scored in O(1).
+  std::vector<double> suffix_sum(batches + 1, 0.0);
+  std::vector<double> suffix_sq(batches + 1, 0.0);
+  for (std::size_t b = batches; b-- > 0;) {
+    suffix_sum[b] = suffix_sum[b + 1] + means[b];
+    suffix_sq[b] = suffix_sq[b + 1] + means[b] * means[b];
+  }
+
+  MserResult result;
+  result.batches = batches;
+  result.statistic = std::numeric_limits<double>::infinity();
+  const std::size_t max_cut = batches / 2;  // standard guard
+  for (std::size_t d = 0; d <= max_cut; ++d) {
+    const double count = static_cast<double>(batches - d);
+    const double mean = suffix_sum[d] / count;
+    const double sq = suffix_sq[d] - count * mean * mean;
+    const double statistic = (sq > 0.0 ? sq : 0.0) / (count * count);
+    if (statistic < result.statistic) {
+      result.statistic = statistic;
+      result.truncation_batches = d;
+    }
+  }
+  return result;
+}
+
+}  // namespace altroute::sim

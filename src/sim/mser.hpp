@@ -1,0 +1,36 @@
+// MSER-5 warm-up (initial-transient) detection.
+//
+// The paper states that a 10-unit warm-up from an idle network "was found
+// to be sufficient"; the Marginal Standard Error Rule (White/Franklin)
+// makes that check objective.  Observations are grouped into batches of 5,
+// and the truncation point d* minimizes
+//
+//     MSER(d) = sum_{i > d} (y_i - mean_{i > d})^2 / (n - d)^2
+//
+// over the batch-mean series y, i.e. it trades bias (keeping transient
+// batches) against variance (throwing data away).  The search is capped at
+// half the series, the standard guard against degenerate tails.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace altroute::sim {
+
+struct MserResult {
+  /// Chosen truncation, in batches (multiply by batch size for
+  /// observations).
+  std::size_t truncation_batches{0};
+  /// The minimized MSER statistic.
+  double statistic{0.0};
+  /// Number of batch means the rule saw.
+  std::size_t batches{0};
+};
+
+/// Runs MSER on the batch means of `observations` (batch size 5 gives the
+/// classic MSER-5).  Throws when observations are fewer than 2 batches or
+/// batch_size < 1.
+[[nodiscard]] MserResult mser_truncation(const std::vector<double>& observations,
+                                         int batch_size = 5);
+
+}  // namespace altroute::sim

@@ -1,0 +1,70 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace altroute::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix seed and stream through splitmix64 so that nearby pairs (0,0), (0,1),
+  // (1,0)... still produce uncorrelated xoshiro states.
+  std::uint64_t sm = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zero
+  // outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform01_open_low() {
+  // (0, 1]: complement of [0, 1) keeps 53-bit granularity without zero.
+  return 1.0 - uniform01();
+}
+
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  return -std::log(uniform01_open_low()) / rate;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t x = (*this)();
+    if (x >= threshold) return x % n;
+  }
+}
+
+}  // namespace altroute::sim

@@ -1,0 +1,45 @@
+// Deterministic random number generation for the simulator.
+//
+// xoshiro256++ seeded through splitmix64, with an explicit (seed, stream)
+// pair so that independent substreams (one per experiment seed, per traffic
+// pair, ...) are reproducible bit-for-bit across platforms and runs.  The
+// library never touches std::random_device: every simulation result in the
+// repository can be regenerated exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace altroute::sim {
+
+/// xoshiro256++ PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from a (seed, stream) pair; distinct pairs give
+  /// statistically independent sequences.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in (0, 1] -- never zero, safe for -log().
+  double uniform01_open_low();
+
+  /// Exponential variate with the given rate (mean 1/rate).  rate > 0.
+  double exponential(double rate);
+
+  /// Uniform integer in [0, n).  n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace altroute::sim

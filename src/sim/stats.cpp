@@ -1,0 +1,109 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace altroute::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return t_critical_95(n_ - 1) * stderr_mean();
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean = mean_ + delta * static_cast<double>(other.n_) / total;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+  mean_ = new_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double t_critical_95(std::size_t degrees_of_freedom) {
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degrees_of_freedom == 0) return 0.0;
+  if (degrees_of_freedom < kTable.size()) return kTable[degrees_of_freedom];
+  return 1.960;
+}
+
+void TimeWeighted::observe(double value, double duration) {
+  if (!(duration >= 0.0)) throw std::invalid_argument("TimeWeighted: negative duration");
+  weighted_sum_ += value * duration;
+  elapsed_ += duration;
+}
+
+double TimeWeighted::average() const {
+  if (elapsed_ <= 0.0) return 0.0;
+  return weighted_sum_ / elapsed_;
+}
+
+SampleSummary summarize(const std::vector<double>& data) {
+  SampleSummary s;
+  s.count = data.size();
+  if (data.empty()) return s;
+  RunningStats rs;
+  for (const double x : data) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 != 0) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  s.cv = (s.mean != 0.0) ? s.stddev / s.mean : 0.0;
+  if (n >= 3 && s.stddev > 0.0) {
+    double m3 = 0.0;
+    for (const double x : data) {
+      const double d = x - s.mean;
+      m3 += d * d * d;
+    }
+    m3 /= static_cast<double>(n);
+    const double g1 = m3 / std::pow(s.stddev * std::sqrt((static_cast<double>(n) - 1.0) /
+                                                         static_cast<double>(n)),
+                                    3.0);
+    const double nn = static_cast<double>(n);
+    s.skewness = g1 * std::sqrt(nn * (nn - 1.0)) / (nn - 2.0);
+  }
+  return s;
+}
+
+}  // namespace altroute::sim

@@ -1,0 +1,79 @@
+// Statistics helpers for simulation output analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace altroute::sim {
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long runs.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than 2 observations.
+  [[nodiscard]] double variance() const;
+  /// sqrt(variance()).
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 with fewer than 2 observations.
+  [[nodiscard]] double stderr_mean() const;
+  /// Half-width of the two-sided 95% Student-t confidence interval for the
+  /// mean; 0 with fewer than 2 observations.
+  [[nodiscard]] double ci95_halfwidth() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Two-sided 95% Student-t critical value for the given degrees of freedom
+/// (exact table through 30 df, 1.960 beyond).
+[[nodiscard]] double t_critical_95(std::size_t degrees_of_freedom);
+
+/// Time-weighted average of a piecewise-constant signal, e.g. link
+/// occupancy: feed (value, duration) segments via observe(); read average().
+class TimeWeighted {
+ public:
+  /// Accounts `value` held for `duration` time units (duration >= 0).
+  void observe(double value, double duration);
+  /// Total accounted time.
+  [[nodiscard]] double elapsed() const { return elapsed_; }
+  /// Time average; 0 when no time accounted.
+  [[nodiscard]] double average() const;
+
+ private:
+  double weighted_sum_{0.0};
+  double elapsed_{0.0};
+};
+
+/// Descriptive summary of a sample (used for the O-D fairness experiment).
+struct SampleSummary {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double max{0.0};
+  double median{0.0};
+  /// Coefficient of variation stddev/mean; 0 when mean == 0.
+  double cv{0.0};
+  /// Adjusted Fisher-Pearson sample skewness; 0 with fewer than 3 samples.
+  double skewness{0.0};
+};
+
+/// Computes a SampleSummary (sorts a copy of the data for the median).
+[[nodiscard]] SampleSummary summarize(const std::vector<double>& data);
+
+}  // namespace altroute::sim

@@ -1,0 +1,90 @@
+#include "study/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace altroute::study {
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": expected a number, got '" + value + "'");
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument(flag + ": trailing junk in '" + value + "'");
+  }
+  return out;
+}
+
+int parse_int(const std::string& flag, const std::string& value) {
+  const double d = parse_double(flag, value);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    throw std::invalid_argument(flag + ": expected an integer, got '" + value + "'");
+  }
+  return i;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  const auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) throw std::invalid_argument(flag + ": missing value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds") {
+      options.seeds = parse_int(arg, need_value(i, arg));
+      if (*options.seeds < 1) throw std::invalid_argument("--seeds: must be >= 1");
+    } else if (arg == "--measure") {
+      options.measure = parse_double(arg, need_value(i, arg));
+      if (!(*options.measure > 0.0)) throw std::invalid_argument("--measure: must be > 0");
+    } else if (arg == "--warmup") {
+      options.warmup = parse_double(arg, need_value(i, arg));
+      if (!(*options.warmup >= 0.0)) throw std::invalid_argument("--warmup: must be >= 0");
+    } else if (arg == "--loads") {
+      std::vector<double> loads;
+      std::stringstream ss(need_value(i, arg));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) loads.push_back(parse_double(arg, item));
+      }
+      if (loads.empty()) throw std::invalid_argument("--loads: empty list");
+      options.loads = std::move(loads);
+    } else if (arg == "--hops") {
+      options.hops = parse_int(arg, need_value(i, arg));
+      if (*options.hops < 1) throw std::invalid_argument("--hops: must be >= 1");
+    } else if (arg == "--csv") {
+      options.csv = need_value(i, arg);
+    } else if (arg == "--fast") {
+      options.fast = true;
+    } else {
+      throw std::invalid_argument(
+          "unknown flag '" + arg +
+          "' (known: --seeds --measure --warmup --loads --hops --csv --fast)");
+    }
+  }
+  return options;
+}
+
+RunShape shape_from_cli(const CliOptions& cli, RunShape defaults) {
+  RunShape shape = defaults;
+  if (cli.fast) {
+    shape.seeds = std::max(2, shape.seeds / 5);
+    shape.measure = std::max(10.0, shape.measure / 2.0);
+  }
+  if (cli.seeds) shape.seeds = *cli.seeds;
+  if (cli.measure) shape.measure = *cli.measure;
+  if (cli.warmup) shape.warmup = *cli.warmup;
+  return shape;
+}
+
+}  // namespace altroute::study

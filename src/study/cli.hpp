@@ -1,0 +1,42 @@
+// Tiny command-line parser shared by the bench/experiment binaries.
+//
+// Supported flags (all optional; benches supply paper defaults):
+//   --seeds N        replications per load point
+//   --measure T      measured time units (paper: 100)
+//   --warmup T       warm-up time units (paper: 10)
+//   --loads a,b,c    load factors / offered loads, comma separated
+//   --hops H         maximum alternate hop count
+//   --csv PATH       also write the main table as CSV
+//   --fast           shrink seeds/horizon for a quick smoke run
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace altroute::study {
+
+struct CliOptions {
+  std::optional<int> seeds;
+  std::optional<double> measure;
+  std::optional<double> warmup;
+  std::optional<std::vector<double>> loads;
+  std::optional<int> hops;
+  std::optional<std::string> csv;
+  bool fast{false};
+};
+
+/// Parses argv; throws std::invalid_argument (with a usage hint) on unknown
+/// flags or malformed values.
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv);
+
+/// Applies --seeds/--measure/--warmup/--fast to a value set of paper
+/// defaults.  --fast divides seeds by 5 (min 2) and halves the horizon.
+struct RunShape {
+  int seeds{10};
+  double measure{100.0};
+  double warmup{10.0};
+};
+[[nodiscard]] RunShape shape_from_cli(const CliOptions& cli, RunShape defaults = {});
+
+}  // namespace altroute::study

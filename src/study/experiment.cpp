@@ -1,0 +1,181 @@
+#include "study/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/adaptive_policy.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "core/variants.hpp"
+#include "erlang/erlang_bound.hpp"
+#include "loss/dynamic_policies.hpp"
+#include "loss/policies.hpp"
+#include "sim/call_trace.hpp"
+
+namespace altroute::study {
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kSinglePath:
+      return "single-path";
+    case PolicyKind::kUncontrolledAlternate:
+      return "uncontrolled-alt";
+    case PolicyKind::kControlledAlternate:
+      return "controlled-alt";
+    case PolicyKind::kOttKrishnan:
+      return "ott-krishnan";
+    case PolicyKind::kAdaptiveControlled:
+      return "adaptive-controlled-alt";
+    case PolicyKind::kPerLengthControlled:
+      return "controlled-alt-perlen";
+    case PolicyKind::kLeastBusy:
+      return "least-busy-alt";
+    case PolicyKind::kLeastBusyProtected:
+      return "least-busy-alt-protected";
+    case PolicyKind::kStickyRandom:
+      return "sticky-random";
+    case PolicyKind::kStickyRandomProtected:
+      return "sticky-random-protected";
+  }
+  throw std::invalid_argument("policy_name: unknown kind");
+}
+
+namespace {
+
+SweepResult run_with_controller(core::Controller& controller, const net::Graph& graph,
+                                const net::TrafficMatrix& nominal,
+                                const std::vector<PolicyKind>& policies,
+                                const SweepOptions& options) {
+  if (policies.empty()) throw std::invalid_argument("run_sweep: no policies");
+  if (options.seeds < 1) throw std::invalid_argument("run_sweep: seeds < 1");
+  if (!(options.measure > 0.0) || !(options.warmup >= 0.0)) {
+    throw std::invalid_argument("run_sweep: bad horizon");
+  }
+  const double horizon = options.warmup + options.measure;
+  const int n = graph.node_count();
+  const std::size_t pair_count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+
+  SweepResult result;
+  result.load_factors = options.load_factors;
+  result.curves.resize(policies.size());
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    result.curves[pi].name = policy_name(policies[pi]);
+  }
+
+  for (const double factor : options.load_factors) {
+    const net::TrafficMatrix traffic = nominal.scaled(factor);
+    result.offered_erlangs.push_back(traffic.total());
+    controller.retarget(traffic);
+
+    if (options.erlang_bound) {
+      result.erlang_bound.push_back(erlang::erlang_bound(graph, traffic).bound);
+    }
+
+    std::vector<sim::RunningStats> blocking(policies.size());
+    std::vector<sim::RunningStats> alt_fraction(policies.size());
+    // Per-pair blocked/offered accumulated over seeds (ratio-of-sums keeps
+    // rarely-offered pairs stable), one vector per policy.
+    std::vector<std::vector<long long>> pair_offered;
+    std::vector<std::vector<long long>> pair_blocked;
+    if (options.fairness) {
+      pair_offered.assign(policies.size(), std::vector<long long>(pair_count, 0));
+      pair_blocked.assign(policies.size(), std::vector<long long>(pair_count, 0));
+    }
+
+    for (int s = 0; s < options.seeds; ++s) {
+      const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
+      const sim::CallTrace trace = sim::generate_trace(traffic, horizon, seed);
+
+      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        std::unique_ptr<loss::RoutingPolicy> policy;
+        switch (policies[pi]) {
+          case PolicyKind::kSinglePath:
+            policy = std::make_unique<loss::SinglePathPolicy>();
+            break;
+          case PolicyKind::kUncontrolledAlternate:
+            policy = std::make_unique<loss::UncontrolledAlternatePolicy>();
+            break;
+          case PolicyKind::kControlledAlternate:
+            policy = std::make_unique<core::ControlledAlternatePolicy>();
+            break;
+          case PolicyKind::kOttKrishnan:
+            policy = std::make_unique<loss::OttKrishnanPolicy>(
+                controller.primary_loads(), core::link_capacities(graph));
+            break;
+          case PolicyKind::kAdaptiveControlled: {
+            core::AdaptiveOptions adaptive;
+            adaptive.max_alt_hops = options.max_alt_hops;
+            policy = std::make_unique<core::AdaptiveControlledPolicy>(graph, adaptive);
+            break;
+          }
+          case PolicyKind::kPerLengthControlled:
+            policy = std::make_unique<core::PerLengthControlledPolicy>(
+                graph, controller.primary_loads(), options.max_alt_hops);
+            break;
+          case PolicyKind::kLeastBusy:
+            policy = std::make_unique<loss::LeastBusyAlternatePolicy>(false);
+            break;
+          case PolicyKind::kLeastBusyProtected:
+            policy = std::make_unique<loss::LeastBusyAlternatePolicy>(true);
+            break;
+          case PolicyKind::kStickyRandom:
+            policy = std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, false);
+            break;
+          case PolicyKind::kStickyRandomProtected:
+            policy = std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, true);
+            break;
+        }
+        loss::EngineOptions engine = controller.engine_options(options.warmup, seed);
+        engine.link_stats = false;
+        const loss::RunResult run =
+            loss::run_trace(graph, controller.routes(), *policy, trace, engine);
+        blocking[pi].add(run.blocking());
+        alt_fraction[pi].add(run.alternate_fraction());
+        if (options.fairness) {
+          for (std::size_t q = 0; q < pair_count; ++q) {
+            pair_offered[pi][q] += run.per_pair[q].offered;
+            pair_blocked[pi][q] += run.per_pair[q].blocked;
+          }
+        }
+      }
+    }
+
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      result.curves[pi].mean_blocking.push_back(blocking[pi].mean());
+      result.curves[pi].ci95.push_back(blocking[pi].ci95_halfwidth());
+      result.curves[pi].alternate_fraction.push_back(alt_fraction[pi].mean());
+      if (options.fairness) {
+        std::vector<double> per_pair;
+        for (std::size_t q = 0; q < pair_count; ++q) {
+          if (pair_offered[pi][q] > 0) {
+            per_pair.push_back(static_cast<double>(pair_blocked[pi][q]) /
+                               static_cast<double>(pair_offered[pi][q]));
+          }
+        }
+        result.curves[pi].pair_blocking.push_back(sim::summarize(per_pair));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const net::Graph& graph, const net::TrafficMatrix& nominal,
+                      const std::vector<PolicyKind>& policies, const SweepOptions& options) {
+  // Routes depend only on the graph and H: computed once and reused across
+  // load points and seeds.
+  core::Controller controller(graph, nominal, core::ControllerConfig{options.max_alt_hops});
+  return run_with_controller(controller, graph, nominal, policies, options);
+}
+
+SweepResult run_sweep_with_routes(const net::Graph& graph, const net::TrafficMatrix& nominal,
+                                  const routing::RouteTable& routes,
+                                  const std::vector<PolicyKind>& policies,
+                                  const SweepOptions& options) {
+  core::Controller controller(graph, nominal, routes,
+                              core::ControllerConfig{options.max_alt_hops});
+  return run_with_controller(controller, graph, nominal, policies, options);
+}
+
+}  // namespace altroute::study

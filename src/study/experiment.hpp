@@ -1,0 +1,95 @@
+// Multi-seed, multi-load, multi-policy sweep harness -- the machinery
+// behind every blocking-vs-load figure in the paper.
+//
+// The measurement protocol follows Section 4: each sample run covers 100
+// time units after a 10-unit warm-up from an idle network, is repeated for
+// 10 seeds, and every policy is replayed against the SAME per-seed call
+// trace (common random numbers).  For the controlled scheme the protection
+// levels are recomputed per load point from that load's traffic matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+#include "sim/stats.hpp"
+
+namespace altroute::study {
+
+/// Which routing schemes a sweep compares.
+enum class PolicyKind {
+  kSinglePath,
+  kUncontrolledAlternate,
+  kControlledAlternate,
+  kOttKrishnan,
+  kAdaptiveControlled,
+  /// Per-call-length protection variant (core::PerLengthControlledPolicy).
+  kPerLengthControlled,
+  /// Mitra-Gibbens-style least-busy alternative, unprotected / protected.
+  kLeastBusy,
+  kLeastBusyProtected,
+  /// Gibbens-Kelly sticky random (DAR), unprotected / protected.
+  kStickyRandom,
+  kStickyRandomProtected,
+};
+
+/// Human-readable policy name (matches RoutingPolicy::name()).
+[[nodiscard]] std::string policy_name(PolicyKind kind);
+
+struct SweepOptions {
+  /// Multipliers applied to the nominal traffic matrix, one per load point.
+  std::vector<double> load_factors{1.0};
+  /// Independent replications per load point.
+  int seeds{10};
+  /// Measured time units per replication (after warm-up).
+  double measure{100.0};
+  /// Warm-up time units from an idle network.
+  double warmup{10.0};
+  /// Maximum alternate hop count H.
+  int max_alt_hops{6};
+  /// Base RNG seed; replication s uses seed base + s.
+  std::uint64_t base_seed{1};
+  /// Also evaluate the cut-set Erlang Bound per load point.
+  bool erlang_bound{true};
+  /// Collect per-O-D fairness summaries (costs one extra pass per run).
+  bool fairness{false};
+};
+
+/// One policy's curve across the sweep's load points.
+struct PolicyCurve {
+  std::string name;
+  std::vector<double> mean_blocking;       ///< mean over seeds
+  std::vector<double> ci95;                ///< +- half-width, Student-t
+  std::vector<double> alternate_fraction;  ///< mean share of carried calls on alternates
+  /// Per-load-point dispersion of per-pair blocking (mean over seeds per
+  /// pair, then summarized across pairs); empty unless options.fairness.
+  std::vector<sim::SampleSummary> pair_blocking;
+};
+
+struct SweepResult {
+  std::vector<double> load_factors;
+  std::vector<double> offered_erlangs;  ///< total offered load per point
+  std::vector<PolicyCurve> curves;      ///< one per requested policy, same order
+  std::vector<double> erlang_bound;     ///< empty unless options.erlang_bound
+};
+
+/// Runs the sweep on `graph` with nominal matrix `nominal`, using the
+/// standard min-hop primary program.
+[[nodiscard]] SweepResult run_sweep(const net::Graph& graph,
+                                    const net::TrafficMatrix& nominal,
+                                    const std::vector<PolicyKind>& policies,
+                                    const SweepOptions& options);
+
+/// Same, but with an externally supplied route program (e.g. the
+/// bifurcated min-loss primaries of Section 4.2.2); options.max_alt_hops
+/// still governs the protection levels.
+[[nodiscard]] SweepResult run_sweep_with_routes(const net::Graph& graph,
+                                                const net::TrafficMatrix& nominal,
+                                                const routing::RouteTable& routes,
+                                                const std::vector<PolicyKind>& policies,
+                                                const SweepOptions& options);
+
+}  // namespace altroute::study

@@ -1,0 +1,128 @@
+#include "study/nsfnet_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "routing/shortest_paths.hpp"
+
+namespace altroute::study {
+
+namespace {
+
+struct Reconstruction {
+  net::TrafficMatrix traffic;
+  ReconstructionQuality quality;
+};
+
+Reconstruction reconstruct() {
+  const net::Graph graph = net::nsfnet_t3();
+  const auto& table = net::nsfnet_table1();
+  const int n = graph.node_count();
+  const std::size_t links = static_cast<std::size_t>(graph.link_count());
+
+  // Pair list and incidence: rows(A) = links, cols(A) = ordered pairs; the
+  // column of a pair holds 1 for every link on its min-hop primary.
+  struct Pair {
+    net::NodeId src;
+    net::NodeId dst;
+    std::vector<net::LinkId> primary_links;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto path = routing::min_hop_path(graph, net::NodeId(i), net::NodeId(j));
+      pairs.push_back(Pair{net::NodeId(i), net::NodeId(j), path ? path->links : std::vector<net::LinkId>{}});
+    }
+  }
+
+  std::vector<double> target(links, 0.0);
+  for (std::size_t k = 0; k < links; ++k) target[k] = table[k].lambda;
+
+  // Projected gradient descent on f(t) = ||A t - target||^2 / 2, t >= 0.
+  // Step size 1 / ||A||^2 upper-bounded via ||A||_2^2 <= ||A||_1 * ||A||_inf.
+  std::vector<int> pairs_per_link(links, 0);
+  std::size_t max_hops = 1;
+  for (const Pair& p : pairs) {
+    max_hops = std::max(max_hops, p.primary_links.size());
+    for (const net::LinkId id : p.primary_links) ++pairs_per_link[id.index()];
+  }
+  const int max_pairs_on_link = *std::max_element(pairs_per_link.begin(), pairs_per_link.end());
+  const double step = 1.0 / (static_cast<double>(max_pairs_on_link) * static_cast<double>(max_hops));
+
+  // Start from an even split of each link's target over the pairs crossing
+  // it (a crude but strictly feasible warm start).
+  std::vector<double> t(pairs.size(), 0.0);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    double share = 0.0;
+    for (const net::LinkId id : pairs[p].primary_links) {
+      share += target[id.index()] / pairs_per_link[id.index()];
+    }
+    if (!pairs[p].primary_links.empty()) {
+      t[p] = share / static_cast<double>(pairs[p].primary_links.size());
+    }
+  }
+
+  std::vector<double> loads(links);
+  const auto compute_loads = [&] {
+    std::fill(loads.begin(), loads.end(), 0.0);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      for (const net::LinkId id : pairs[p].primary_links) loads[id.index()] += t[p];
+    }
+  };
+
+  const int kMaxIterations = 200000;
+  int used = kMaxIterations;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    compute_loads();
+    double sq = 0.0;
+    for (std::size_t k = 0; k < links; ++k) {
+      const double r = loads[k] - target[k];
+      sq += r * r;
+    }
+    if (sq < 1e-16) {
+      used = iter;
+      break;
+    }
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      double g = 0.0;
+      for (const net::LinkId id : pairs[p].primary_links) {
+        g += loads[id.index()] - target[id.index()];
+      }
+      t[p] = std::max(0.0, t[p] - step * g);
+    }
+  }
+
+  Reconstruction out{net::TrafficMatrix(n), {}};
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (t[p] > 1e-9) out.traffic.set(pairs[p].src, pairs[p].dst, t[p]);
+  }
+  compute_loads();
+  double sq = 0.0;
+  double worst = 0.0;
+  for (std::size_t k = 0; k < links; ++k) {
+    const double r = std::abs(loads[k] - target[k]);
+    worst = std::max(worst, r);
+    sq += r * r;
+  }
+  out.quality.max_abs_residual = worst;
+  out.quality.rms_residual = std::sqrt(sq / static_cast<double>(links));
+  out.quality.iterations = used;
+  return out;
+}
+
+const Reconstruction& cached() {
+  static const Reconstruction instance = reconstruct();
+  return instance;
+}
+
+}  // namespace
+
+const net::TrafficMatrix& nsfnet_nominal_traffic() { return cached().traffic; }
+
+const ReconstructionQuality& nsfnet_reconstruction_quality() { return cached().quality; }
+
+}  // namespace altroute::study

@@ -1,0 +1,61 @@
+// Exact analysis of the canonical overflow system -- and the true optimum.
+//
+// The smallest network exhibiting the paper's whole phenomenology: target
+// traffic from O to D with a direct link (the primary), one two-hop
+// alternate via T whose links also carry their own background primary
+// traffic, everything Poisson/Exp(1):
+//
+//        target rate t            background a         background b
+//     O =============== D      O ----link a---- T    T ----link b---- D
+//         direct, C_d               C_a                   C_b
+//
+// A target call may be carried direct (1 circuit), carried on the
+// alternate (1 circuit on EACH of a and b -- the extra resource cost that
+// drives the avalanche), or lost.  Background calls are ordinary primary
+// traffic on a and b: admitted whenever their link has room, lost
+// otherwise.  The full state (d, x, a, b) is a tiny CTMC, so every policy
+// can be evaluated EXACTLY (stationary distribution -> loss rates, no
+// simulation noise), and the true minimum-loss routing policy can be
+// computed by relative value iteration over the same state space.
+//
+// This module answers two questions the paper's references circle around
+// (Nguyen [33] on the optimality of trunk reservation, Ott-Krishnan [34]):
+// how much does Eq.-15 control give up against the exact optimum, and is
+// the guarantee (controlled <= single-path) visible in exact arithmetic?
+#pragma once
+
+namespace altroute::study {
+
+struct OverflowSystem {
+  int direct_capacity{6};
+  int via_a_capacity{6};
+  int via_b_capacity{6};
+  double target_rate{5.0};       ///< Erlangs O -> D
+  double background_a_rate{3.0}; ///< Erlangs of link-a primary traffic
+  double background_b_rate{3.0}; ///< Erlangs of link-b primary traffic
+};
+
+enum class OverflowPolicy {
+  kSinglePath,    ///< direct or lost
+  kUncontrolled,  ///< overflow whenever both alternate links have room
+  kControlled,    ///< overflow below the Eq.-15 thresholds (H = 2)
+  kOptimal,       ///< minimum total loss rate, by relative value iteration
+};
+
+struct OverflowEvaluation {
+  double loss_rate{0.0};            ///< total lost calls per unit time
+  double target_blocking{0.0};      ///< P(target call lost)
+  double background_blocking{0.0};  ///< P(background call lost), both links pooled
+  double overflow_fraction{0.0};    ///< share of carried target calls on the alternate
+  int reservation_a{0};             ///< r used on link a (controlled only)
+  int reservation_b{0};             ///< r used on link b (controlled only)
+};
+
+/// Exact evaluation of one policy on the system.  For kOptimal the optimal
+/// stationary policy is computed first (value iteration to 1e-12) and then
+/// evaluated like the fixed rules.  Throws on non-positive capacities or
+/// negative rates.
+[[nodiscard]] OverflowEvaluation evaluate_overflow_policy(const OverflowSystem& system,
+                                                          OverflowPolicy policy);
+
+}  // namespace altroute::study

@@ -1,0 +1,108 @@
+#include "study/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace altroute::study {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string fmt_sci(double value) {
+  if (value == 0.0) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2e", value);
+  return buffer;
+}
+
+TextTable sweep_table(const SweepResult& result, bool scientific) {
+  std::vector<std::string> headers{"load_factor", "offered_E"};
+  for (const PolicyCurve& curve : result.curves) {
+    headers.push_back(curve.name);
+    headers.push_back(curve.name + "_ci95");
+  }
+  if (!result.erlang_bound.empty()) headers.emplace_back("erlang_bound");
+  TextTable table(std::move(headers));
+  for (std::size_t i = 0; i < result.load_factors.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(fmt(result.load_factors[i], 3));
+    row.push_back(fmt(result.offered_erlangs[i], 1));
+    for (const PolicyCurve& curve : result.curves) {
+      row.push_back(scientific ? fmt_sci(curve.mean_blocking[i])
+                               : fmt(curve.mean_blocking[i], 4));
+      row.push_back(scientific ? fmt_sci(curve.ci95[i]) : fmt(curve.ci95[i], 4));
+    }
+    if (!result.erlang_bound.empty()) {
+      row.push_back(scientific ? fmt_sci(result.erlang_bound[i])
+                               : fmt(result.erlang_bound[i], 4));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace altroute::study

@@ -1,0 +1,48 @@
+// Text-table and CSV rendering of experiment results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "study/experiment.hpp"
+
+namespace altroute::study {
+
+/// Fixed-width text table builder: set headers, append rows of cells,
+/// render with aligned columns.  Used by every bench binary so all paper
+/// reproductions share one look.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with 2-space gutters and a dash rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our cells).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of significant decimals.
+[[nodiscard]] std::string fmt(double value, int decimals = 4);
+
+/// Formats a blocking probability for log-style tables: scientific with 3
+/// significant digits ("2.31e-04"), or "0" when exactly zero.
+[[nodiscard]] std::string fmt_sci(double value);
+
+/// Builds the standard blocking-vs-load table of a sweep: one row per load
+/// point, one column per policy (mean +- ci), optional Erlang Bound column.
+/// `scientific` selects fmt_sci for the log-scale figures.
+[[nodiscard]] TextTable sweep_table(const SweepResult& result, bool scientific = false);
+
+/// Writes `content` to `path`, creating/truncating; throws on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace altroute::study

@@ -1,0 +1,102 @@
+// Online Lambda estimation extension: convergence to the a-priori scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/adaptive_policy.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "erlang/state_protection.hpp"
+#include "loss/engine.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+namespace net = altroute::net;
+namespace core = altroute::core;
+namespace loss = altroute::loss;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(AdaptivePolicy, OptionValidation) {
+  const net::Graph g = net::full_mesh(3, 10);
+  core::AdaptiveOptions bad;
+  bad.window = 0.0;
+  EXPECT_THROW((void)core::AdaptiveControlledPolicy(g, bad), std::invalid_argument);
+  bad = {};
+  bad.ewma_weight = 0.0;
+  EXPECT_THROW((void)core::AdaptiveControlledPolicy(g, bad), std::invalid_argument);
+  bad = {};
+  bad.ewma_weight = 1.5;
+  EXPECT_THROW((void)core::AdaptiveControlledPolicy(g, bad), std::invalid_argument);
+  bad = {};
+  bad.max_alt_hops = 0;
+  EXPECT_THROW((void)core::AdaptiveControlledPolicy(g, bad), std::invalid_argument);
+  bad = {};
+  bad.initial_lambda = -1.0;
+  EXPECT_THROW((void)core::AdaptiveControlledPolicy(g, bad), std::invalid_argument);
+}
+
+TEST(AdaptivePolicy, InitialReservationsComeFromInitialLambda) {
+  const net::Graph g = net::full_mesh(3, 100);
+  core::AdaptiveOptions options;
+  options.initial_lambda = 74.0;
+  options.max_alt_hops = 6;
+  const core::AdaptiveControlledPolicy policy(g, options);
+  for (const int r : policy.reservations()) {
+    EXPECT_EQ(r, 7);  // Table 1: lambda 74, C 100, H 6 -> r 7
+  }
+}
+
+TEST(AdaptivePolicy, LambdaEstimatesConvergeToTrueDemand) {
+  // Quadrangle at 20 E/pair: every primary is the 1-hop direct link, so
+  // the true Lambda on every link is 20.
+  const net::Graph g = net::full_mesh(4, 100);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 20.0);
+  const sim::CallTrace trace = sim::generate_trace(t, 400.0, 31);
+  core::AdaptiveOptions options;
+  options.window = 5.0;
+  options.ewma_weight = 0.3;
+  core::AdaptiveControlledPolicy policy(g, options);
+  loss::EngineOptions engine;
+  engine.warmup = 10.0;
+  engine.link_stats = false;
+  (void)loss::run_trace(g, routes, policy, trace, engine);
+  for (const double lambda : policy.lambda_estimates()) {
+    EXPECT_NEAR(lambda, 20.0, 3.0);
+  }
+  // Converged thresholds match the a-priori computation within +-1 (the
+  // estimate hovers around the truth).
+  const int expected = altroute::erlang::min_state_protection(20.0, 100, 6);
+  for (const int r : policy.reservations()) {
+    EXPECT_NEAR(static_cast<double>(r), static_cast<double>(expected), 1.0);
+  }
+}
+
+TEST(AdaptivePolicy, BlockingComparableToAPrioriControlled) {
+  // With converged estimates the adaptive scheme should perform within
+  // noise of the a-priori controlled scheme (the robustness property that
+  // justifies local estimation).
+  const net::Graph g = net::full_mesh(4, 50);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 45.0);
+  core::Controller controller(g, t, core::ControllerConfig{3});
+  const sim::CallTrace trace = sim::generate_trace(t, 210.0, 77);
+
+  core::ControlledAlternatePolicy apriori;
+  const loss::RunResult fixed = controller.run(apriori, trace);
+
+  core::AdaptiveOptions options;
+  options.max_alt_hops = 3;
+  core::AdaptiveControlledPolicy adaptive(g, options);
+  loss::EngineOptions engine;
+  engine.link_stats = false;
+  const loss::RunResult learned = loss::run_trace(g, controller.routes(), adaptive, trace, engine);
+
+  EXPECT_NEAR(learned.blocking(), fixed.blocking(), 0.03);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Birth-death machinery: stationary distributions, the generalized Erlang
+// blocking function, and the first-passage quantities behind Theorem 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "erlang/birth_death.hpp"
+#include "erlang/erlang_b.hpp"
+
+namespace e = altroute::erlang;
+
+namespace {
+
+TEST(StationaryDistribution, TwoStateChain) {
+  // birth 2, death 3: pi = (3/5, 2/5).
+  const auto pi = e::stationary_distribution({2.0}, {3.0});
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.6, 1e-12);
+  EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(StationaryDistribution, SumsToOneAndNonNegative) {
+  const std::vector<double> birth = {3.0, 2.5, 2.0, 1.5, 1.0};
+  const std::vector<double> death = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto pi = e::stationary_distribution(birth, death);
+  ASSERT_EQ(pi.size(), 6u);
+  double total = 0.0;
+  for (const double p : pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StationaryDistribution, DetailedBalanceHolds) {
+  const std::vector<double> birth = {4.0, 3.0, 5.0, 1.0};
+  const std::vector<double> death = {2.0, 2.0, 6.0, 3.0};
+  const auto pi = e::stationary_distribution(birth, death);
+  for (std::size_t s = 0; s < birth.size(); ++s) {
+    EXPECT_NEAR(pi[s] * birth[s], pi[s + 1] * death[s], 1e-12) << s;
+  }
+}
+
+TEST(StationaryDistribution, SurvivesHugeStateSpacesWithoutOverflow) {
+  // M/M/c/c with a = 50, c = 2000: unnormalized weights overflow a double
+  // without rescaling.
+  std::vector<double> birth(2000, 50.0);
+  std::vector<double> death(2000);
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+  const auto pi = e::stationary_distribution(birth, death);
+  const double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mode of the Poisson-shaped distribution sits near a = 50.
+  EXPECT_GT(pi[50], pi[100]);
+  EXPECT_GT(pi[50], pi[10]);
+}
+
+TEST(StationaryDistribution, InputValidation) {
+  EXPECT_THROW((void)e::stationary_distribution({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)e::stationary_distribution({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)e::stationary_distribution({-1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)e::stationary_distribution({1.0}, {0.0}), std::invalid_argument);
+}
+
+class GeneralizedErlang : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GeneralizedErlang, ConstantBirthsReduceToErlangB) {
+  const auto [a, c] = GetParam();
+  const std::vector<double> birth(static_cast<std::size_t>(c), a);
+  EXPECT_NEAR(e::generalized_erlang_b(birth), e::erlang_b(a, c), 1e-10)
+      << "a=" << a << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, GeneralizedErlang,
+                         ::testing::Combine(::testing::Values(0.5, 4.0, 25.0, 110.0),
+                                            ::testing::Values(1, 3, 20, 100)));
+
+TEST(GeneralizedErlangB, StateDependentOverflowRaisesBlocking) {
+  // Adding overflow traffic in low states can only push the chain higher.
+  const int c = 20;
+  std::vector<double> plain(static_cast<std::size_t>(c), 10.0);
+  std::vector<double> loaded = plain;
+  for (std::size_t s = 0; s < 10; ++s) loaded[s] += 5.0;
+  EXPECT_GT(e::generalized_erlang_b(loaded), e::generalized_erlang_b(plain));
+}
+
+TEST(GeneralizedErlangB, EmptyChainBlocksEverything) {
+  EXPECT_DOUBLE_EQ(e::generalized_erlang_b({}), 1.0);
+}
+
+TEST(AcceptedArrivals, SingleStateIsOne) {
+  // X_{0,1} = 1 always: the first accepted arrival moves 0 -> 1.
+  const auto x = e::accepted_arrivals_to_next_state({7.0}, {1.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(AcceptedArrivals, MatchesPaperRecursion) {
+  // Eq. 5: X_{s,s+1} = 1 + (s / birth_s) X_{s-1,s} with death rate s.
+  const std::vector<double> birth = {5.0, 4.0, 3.0, 2.0};
+  std::vector<double> death(birth.size());
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+  const auto x = e::accepted_arrivals_to_next_state(birth, death);
+  double expected = 1.0;
+  EXPECT_DOUBLE_EQ(x[0], expected);
+  for (std::size_t s = 1; s < birth.size(); ++s) {
+    expected = 1.0 + (static_cast<double>(s) / birth[s]) * expected;
+    EXPECT_NEAR(x[s], expected, 1e-12) << s;
+  }
+}
+
+TEST(AcceptedArrivals, EqualsInverseBlockingOfTheoremChain) {
+  // The proof's key identity (Eq. 6): X_{s,s+1} is the inverse blocking of
+  // the chain M with births [b_1..b_{s}] appended...  For the CONSTANT
+  // birth-rate case M equals an Erlang chain shifted by one state, so
+  // X_{s,s+1} = 1 / B(nu, s) exactly.
+  const double nu = 9.0;
+  std::vector<double> birth(12, nu);
+  std::vector<double> death(12);
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+  const auto x = e::accepted_arrivals_to_next_state(birth, death);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    EXPECT_NEAR(x[s], 1.0 / e::erlang_b(nu, static_cast<int>(s)), 1e-9) << s;
+  }
+}
+
+TEST(MeanPassageTimeUp, MM1StyleClosedForm) {
+  // Birth b, death rates d*s... simplest check: pure birth chain (deaths
+  // never fire from state 0) with constant rates: m_0 = 1/b; with death d
+  // in state 1: m_1 = (1 + d m_0)/b.
+  const auto m = e::mean_passage_time_up({2.0, 4.0}, {3.0, 5.0});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_NEAR(m[0], 0.5, 1e-12);
+  EXPECT_NEAR(m[1], (1.0 + 3.0 * 0.5) / 4.0, 1e-12);
+}
+
+TEST(MeanPassageTimeUp, BoundUsedInTheoremOneProof) {
+  // E[tau] <= 1 / (B(lambda_vec, s+1) * nu) when the inter-arrival time is
+  // below 1/nu (Eq. 10): verify numerically for an Erlang chain.
+  const double nu = 6.0;
+  const int c = 15;
+  std::vector<double> birth(static_cast<std::size_t>(c), nu);
+  std::vector<double> death(static_cast<std::size_t>(c));
+  for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+  const auto m = e::mean_passage_time_up(birth, death);
+  for (int s = 0; s < c; ++s) {
+    const double bound = 1.0 / (e::erlang_b(nu, s + 1) * nu);
+    EXPECT_LE(m[static_cast<std::size_t>(s)], bound * (1.0 + 1e-9)) << s;
+  }
+}
+
+TEST(ProtectedLinkBirths, AppliesOverflowOnlyBelowThreshold) {
+  const auto birth = e::protected_link_births(3.0, {1.0, 1.0, 1.0, 1.0, 1.0}, 5, 2);
+  // C = 5, r = 2: overflow admitted in states 0..2 only.
+  ASSERT_EQ(birth.size(), 5u);
+  EXPECT_DOUBLE_EQ(birth[0], 4.0);
+  EXPECT_DOUBLE_EQ(birth[1], 4.0);
+  EXPECT_DOUBLE_EQ(birth[2], 4.0);
+  EXPECT_DOUBLE_EQ(birth[3], 3.0);
+  EXPECT_DOUBLE_EQ(birth[4], 3.0);
+}
+
+TEST(ProtectedLinkBirths, ShortOverflowVectorTreatedAsZeros) {
+  const auto birth = e::protected_link_births(2.0, {5.0}, 4, 0);
+  EXPECT_DOUBLE_EQ(birth[0], 7.0);
+  EXPECT_DOUBLE_EQ(birth[1], 2.0);
+  EXPECT_DOUBLE_EQ(birth[2], 2.0);
+  EXPECT_DOUBLE_EQ(birth[3], 2.0);
+}
+
+TEST(ProtectedLinkBirths, Validation) {
+  EXPECT_THROW((void)e::protected_link_births(-1.0, {}, 5, 0), std::invalid_argument);
+  EXPECT_THROW((void)e::protected_link_births(1.0, {}, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)e::protected_link_births(1.0, {}, 5, 6), std::invalid_argument);
+  EXPECT_THROW((void)e::protected_link_births(1.0, {-2.0}, 5, 0), std::invalid_argument);
+}
+
+}  // namespace

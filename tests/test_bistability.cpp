@@ -1,0 +1,94 @@
+// Trace concatenation and the bistability/hysteresis phenomenon the
+// paper's control is built to prevent (its refs [1]/[10]/[25]).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+namespace net = altroute::net;
+namespace sim = altroute::sim;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+
+namespace {
+
+TEST(ConcatenateTraces, ShiftsAndPreservesOrder) {
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 5.0);
+  const sim::CallTrace a = sim::generate_trace(t, 20.0, 1);
+  const sim::CallTrace b = sim::generate_trace(t, 30.0, 2);
+  const sim::CallTrace joined = sim::concatenate_traces(a, b);
+  EXPECT_DOUBLE_EQ(joined.horizon, 50.0);
+  ASSERT_EQ(joined.size(), a.size() + b.size());
+  double prev = 0.0;
+  for (const sim::CallRecord& c : joined.calls) {
+    EXPECT_GE(c.arrival, prev);
+    prev = c.arrival;
+  }
+  // The b-portion is exactly b shifted by 20.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(joined.calls[a.size() + i].arrival, b.calls[i].arrival + 20.0);
+    EXPECT_DOUBLE_EQ(joined.calls[a.size() + i].holding, b.calls[i].holding);
+  }
+}
+
+TEST(ConcatenateTraces, Validation) {
+  sim::CallTrace empty;
+  sim::CallTrace ok;
+  ok.horizon = 1.0;
+  EXPECT_THROW((void)sim::concatenate_traces(empty, ok), std::invalid_argument);
+  EXPECT_THROW((void)sim::concatenate_traces(ok, empty), std::invalid_argument);
+}
+
+TEST(Bistability, HotStartTrapsUncontrolledButNotControlled) {
+  // Just below the uncontrolled critical load of a 10-node full mesh
+  // (C = 120, H = 2), a cold-started network blocks essentially nothing
+  // while a network kicked into the overflow regime by a 30-unit overload
+  // burst stays stuck there -- the bistability of the paper's refs [10]
+  // and [1].  The Eq.-15 control must show no such memory.
+  const int n = 10;
+  const net::Graph g = net::full_mesh(n, 120);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  const double load = 96.0;
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(n, load);
+  const auto reservations = core::protection_levels_from_lambda(
+      g, routing::primary_link_loads(g, routes, traffic), 2);
+
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  core::ControlledAlternatePolicy controlled;
+  double unc_cold = 0.0;
+  double unc_hot = 0.0;
+  double ctl_cold = 0.0;
+  double ctl_hot = 0.0;
+  const int seeds = 2;
+  for (int s = 1; s <= seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s);
+    const sim::CallTrace steady = sim::generate_trace(traffic, 40.0, seed);
+    const sim::CallTrace cold = sim::concatenate_traces(
+        sim::generate_trace(traffic, 30.0, seed + 2000), steady);
+    const sim::CallTrace hot = sim::concatenate_traces(
+        sim::generate_trace(traffic.scaled(1.4), 30.0, seed + 1000), steady);
+    loss::EngineOptions options;
+    options.warmup = 30.0;
+    options.link_stats = false;
+    unc_cold += loss::run_trace(g, routes, uncontrolled, cold, options).blocking() / seeds;
+    unc_hot += loss::run_trace(g, routes, uncontrolled, hot, options).blocking() / seeds;
+    options.reservations = reservations;
+    ctl_cold += loss::run_trace(g, routes, controlled, cold, options).blocking() / seeds;
+    ctl_hot += loss::run_trace(g, routes, controlled, hot, options).blocking() / seeds;
+  }
+  EXPECT_LT(unc_cold, 0.01);                 // cold: the good regime
+  EXPECT_GT(unc_hot, unc_cold + 0.03);       // hot: trapped high -- hysteresis
+  EXPECT_LT(ctl_hot - ctl_cold, 0.005);      // control: no memory of the burst
+  EXPECT_LT(ctl_hot, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Cellular channel borrowing (Section 3.2 application).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cellular/borrowing_sim.hpp"
+#include "cellular/cell_grid.hpp"
+#include "erlang/erlang_b.hpp"
+#include "sim/stats.hpp"
+
+namespace cellular = altroute::cellular;
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(CellGrid, SixDistinctNeighborsOnTorus) {
+  const cellular::CellGrid grid(6, 6);
+  EXPECT_EQ(grid.cell_count(), 36);
+  for (int c = 0; c < grid.cell_count(); ++c) {
+    auto nb = grid.neighbors(c);
+    std::sort(nb.begin(), nb.end());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], c);
+      if (i > 0) {
+        EXPECT_NE(nb[i], nb[i - 1]);
+      }
+      EXPECT_GE(nb[i], 0);
+      EXPECT_LT(nb[i], grid.cell_count());
+    }
+  }
+}
+
+TEST(CellGrid, AdjacencyIsSymmetric) {
+  const cellular::CellGrid grid(6, 8);
+  for (int a = 0; a < grid.cell_count(); ++a) {
+    for (const cellular::CellId b : grid.neighbors(a)) {
+      EXPECT_TRUE(grid.adjacent(b, a)) << a << " " << b;
+    }
+  }
+}
+
+TEST(CellGrid, BorrowLockSetHasLenderPlusTwoCommonNeighbors) {
+  const cellular::CellGrid grid(6, 6);
+  for (int o = 0; o < grid.cell_count(); ++o) {
+    for (const cellular::CellId lender : grid.neighbors(o)) {
+      const auto locked = grid.borrow_lock_set(o, lender);
+      EXPECT_EQ(locked[0], lender);
+      for (const cellular::CellId c : locked) {
+        EXPECT_NE(c, o);  // borrower not in its own lock set
+        EXPECT_TRUE(grid.adjacent(o, c)) << "lock set must surround the borrower";
+      }
+      EXPECT_NE(locked[1], locked[2]);
+      EXPECT_TRUE(grid.adjacent(lender, locked[1]));
+      EXPECT_TRUE(grid.adjacent(lender, locked[2]));
+    }
+  }
+}
+
+TEST(CellGrid, Validation) {
+  EXPECT_THROW((void)cellular::CellGrid(3, 6), std::invalid_argument);  // odd rows
+  EXPECT_THROW((void)cellular::CellGrid(4, 3), std::invalid_argument);
+  const cellular::CellGrid grid(4, 4);
+  // Cell 10 = (2, 2) is not hex-adjacent to cell 0 = (0, 0) on a 4x4 torus.
+  ASSERT_FALSE(grid.adjacent(0, 10));
+  EXPECT_THROW((void)grid.borrow_lock_set(0, 10), std::invalid_argument);
+}
+
+TEST(Borrowing, NoBorrowingMatchesErlangB) {
+  // Every cell is an isolated M/M/C/C system under kNone.
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 20;
+  config.offered = {16.0};
+  config.measure = 200.0;
+  config.mode = cellular::BorrowingMode::kNone;
+  sim::RunningStats blocking;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    blocking.add(cellular::run_borrowing(grid, config, seed).blocking());
+  }
+  EXPECT_NEAR(blocking.mean(), altroute::erlang::erlang_b(16.0, 20),
+              3.0 * blocking.stderr_mean() + 0.01);
+}
+
+TEST(Borrowing, CommonRandomNumbersAcrossModes) {
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 10;
+  config.offered = {9.0};
+  config.measure = 50.0;
+  config.mode = cellular::BorrowingMode::kNone;
+  const auto a = cellular::run_borrowing(grid, config, 3);
+  config.mode = cellular::BorrowingMode::kControlled;
+  const auto b = cellular::run_borrowing(grid, config, 3);
+  EXPECT_EQ(a.offered_calls, b.offered_calls);  // identical arrivals
+  EXPECT_EQ(a.borrowed_calls, 0);
+  EXPECT_FALSE(b.reservations.empty());
+}
+
+TEST(Borrowing, ControlledImprovesOnNoBorrowingAtModerateLoad) {
+  // The paper's Section 3.2 guarantee, checked per seed at a load where
+  // borrowing matters but hot spots are absent (symmetric load).
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 50;
+  config.offered = {45.0};
+  config.measure = 100.0;
+  // The guarantee is in expectation, so compare totals over the seeds
+  // (common random numbers make the comparison sharp).
+  long long blocked_none = 0;
+  long long blocked_controlled = 0;
+  long long borrowed = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    config.mode = cellular::BorrowingMode::kNone;
+    blocked_none += cellular::run_borrowing(grid, config, seed).blocked_calls;
+    config.mode = cellular::BorrowingMode::kControlled;
+    const auto controlled = cellular::run_borrowing(grid, config, seed);
+    blocked_controlled += controlled.blocked_calls;
+    borrowed += controlled.borrowed_calls;
+  }
+  EXPECT_LE(blocked_controlled, blocked_none);
+  EXPECT_GT(borrowed, 0);
+}
+
+TEST(Borrowing, HotSpotReliefFlowsFromIdleNeighbors) {
+  // One overloaded cell amid idle neighbors: borrowing should cut the hot
+  // cell's blocking dramatically under either borrowing mode.
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 20;
+  config.offered.assign(16, 2.0);
+  config.offered[5] = 30.0;  // hot spot
+  config.measure = 100.0;
+  config.mode = cellular::BorrowingMode::kNone;
+  const auto none = cellular::run_borrowing(grid, config, 11);
+  config.mode = cellular::BorrowingMode::kControlled;
+  const auto controlled = cellular::run_borrowing(grid, config, 11);
+  EXPECT_LT(controlled.per_cell_blocking[5], none.per_cell_blocking[5] * 0.5);
+}
+
+TEST(Borrowing, UncontrolledBorrowsAtLeastAsMuch) {
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.channels_per_cell = 30;
+  config.offered = {29.0};
+  config.measure = 100.0;
+  config.mode = cellular::BorrowingMode::kUncontrolled;
+  const auto uncontrolled = cellular::run_borrowing(grid, config, 5);
+  config.mode = cellular::BorrowingMode::kControlled;
+  const auto controlled = cellular::run_borrowing(grid, config, 5);
+  EXPECT_GE(uncontrolled.borrowed_calls, controlled.borrowed_calls);
+}
+
+TEST(Borrowing, Validation) {
+  const cellular::CellGrid grid(4, 4);
+  cellular::BorrowingConfig config;
+  config.offered = {1.0, 2.0};  // neither 1 nor 16 entries
+  EXPECT_THROW((void)cellular::run_borrowing(grid, config, 1), std::invalid_argument);
+  config.offered = {1.0};
+  config.channels_per_cell = 0;
+  EXPECT_THROW((void)cellular::run_borrowing(grid, config, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Interaction tests: features that were added independently must compose.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "core/variants.hpp"
+#include "loss/dynamic_policies.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "loss/signaling.hpp"
+#include "netgraph/io.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/fixed_point.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/load_profile.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+namespace study = altroute::study;
+
+namespace {
+
+TEST(CrossFeatures, MultirateThroughTheSignalingEngine) {
+  // Wide calls must book/crankback their full width per hop.
+  const net::Graph g = net::full_mesh(4, 40);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  std::vector<sim::TrafficClass> classes(2);
+  classes[0].offered = net::TrafficMatrix::uniform(4, 20.0);
+  classes[0].bandwidth = 1;
+  classes[1].offered = net::TrafficMatrix::uniform(4, 4.0);
+  classes[1].bandwidth = 4;
+  const sim::CallTrace trace = sim::generate_multirate_trace(classes, 60.0, 11);
+
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kUncontrolled;
+  options.hop_delay = 0.01;
+  const loss::SignalingResult with_delay = loss::run_signaling(g, routes, trace, options);
+  EXPECT_EQ(with_delay.offered,
+            with_delay.blocked + with_delay.carried_primary + with_delay.carried_alternate);
+
+  // Zero delay must again equal the atomic engine, multirate included.
+  options.hop_delay = 0.0;
+  const loss::SignalingResult atomic_like = loss::run_signaling(g, routes, trace, options);
+  loss::UncontrolledAlternatePolicy policy;
+  const loss::RunResult atomic = loss::run_trace(g, routes, policy, trace, {});
+  EXPECT_EQ(atomic_like.blocked, atomic.blocked);
+  EXPECT_EQ(atomic_like.carried_alternate, atomic.carried_alternate);
+}
+
+TEST(CrossFeatures, NsfnetSurvivesIoRoundTripIdentically) {
+  // Serialize graph + reconstructed traffic, reload, and verify the
+  // controller derives byte-identical protection levels and an identical
+  // simulation outcome.
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  std::stringstream net_buffer;
+  std::stringstream traffic_buffer;
+  net::write_network(net_buffer, g);
+  net::write_traffic(traffic_buffer, t);
+  const net::Graph g2 = net::read_network(net_buffer);
+  const net::TrafficMatrix t2 = net::read_traffic(traffic_buffer);
+
+  const core::Controller a(g, t, core::ControllerConfig{6});
+  const core::Controller b(g2, t2, core::ControllerConfig{6});
+  EXPECT_EQ(a.reservations(), b.reservations());
+
+  core::ControlledAlternatePolicy policy;
+  const sim::CallTrace trace = sim::generate_trace(t, 40.0, 5);
+  const sim::CallTrace trace2 = sim::generate_trace(t2, 40.0, 5);
+  ASSERT_EQ(trace.size(), trace2.size());
+  EXPECT_EQ(a.run(policy, trace).blocked, b.run(policy, trace2).blocked);
+}
+
+TEST(CrossFeatures, FixedPointTracksLinkFailures) {
+  // Disabling a facility must reroute the analytic loads too (routes are
+  // rebuilt on the failed graph).
+  net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  const routing::RouteTable before = routing::build_min_hop_routes(g, 6);
+  const double b_before = routing::erlang_fixed_point(g, before, t).network_blocking;
+  g.fail_duplex(net::NodeId(7), net::NodeId(9));
+  const routing::RouteTable after = routing::build_min_hop_routes(g, 6);
+  const double b_after = routing::erlang_fixed_point(g, after, t).network_blocking;
+  EXPECT_GT(b_after, b_before);
+}
+
+TEST(CrossFeatures, ProfiledTraceThroughSignaling) {
+  const net::Graph g = net::full_mesh(4, 60);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  const sim::LoadProfile profile = sim::LoadProfile::diurnal(40.0, 30.0, 60.0);
+  const sim::CallTrace trace = sim::generate_profiled_trace(
+      net::TrafficMatrix::uniform(4, 1.0), profile, 80.0, 3);
+  loss::SignalingOptions options;
+  options.hop_delay = 0.005;
+  options.mode = loss::SignalingMode::kControlled;
+  options.reservations.assign(static_cast<std::size_t>(g.link_count()), 4);
+  const loss::SignalingResult r = loss::run_signaling(g, routes, trace, options);
+  EXPECT_EQ(r.offered, r.blocked + r.carried_primary + r.carried_alternate);
+  EXPECT_GT(r.offered, 0);
+}
+
+TEST(CrossFeatures, SweepRunsEveryPolicyKindTogether) {
+  const net::Graph g = net::full_mesh(4, 25);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 24.0);
+  study::SweepOptions options;
+  options.load_factors = {1.0};
+  options.seeds = 2;
+  options.measure = 15.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 2;
+  options.erlang_bound = false;
+  const std::vector<study::PolicyKind> all = {
+      study::PolicyKind::kSinglePath,
+      study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate,
+      study::PolicyKind::kOttKrishnan,
+      study::PolicyKind::kAdaptiveControlled,
+      study::PolicyKind::kPerLengthControlled,
+      study::PolicyKind::kLeastBusy,
+      study::PolicyKind::kLeastBusyProtected,
+      study::PolicyKind::kStickyRandom,
+      study::PolicyKind::kStickyRandomProtected,
+  };
+  const study::SweepResult r = study::run_sweep(g, nominal, all, options);
+  ASSERT_EQ(r.curves.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(r.curves[i].name, study::policy_name(all[i])) << i;
+    EXPECT_GE(r.curves[i].mean_blocking[0], 0.0) << i;
+    EXPECT_LE(r.curves[i].mean_blocking[0], 1.0) << i;
+  }
+}
+
+TEST(CrossFeatures, MultirateControlledOnNsfnet) {
+  // The full stack at once: NSFNet topology, reconstructed matrix split
+  // into two bandwidth classes, Eq.-15 thresholds from circuit demand,
+  // controlled policy.  Invariants must hold and per-class accounting must
+  // reconcile.
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const net::TrafficMatrix& nominal = study::nsfnet_nominal_traffic();
+  std::vector<sim::TrafficClass> classes(2);
+  classes[0].offered = nominal.scaled(0.6);
+  classes[0].bandwidth = 1;
+  classes[1].offered = nominal.scaled(0.08);
+  classes[1].bandwidth = 5;
+  // Circuit demand: 0.6 + 5 * 0.08 = 1.0 x nominal.
+  const auto lambda = routing::primary_link_loads(g, routes, nominal);
+  const auto reservations = core::protection_levels_from_lambda(g, lambda, 6);
+
+  const sim::CallTrace trace = sim::generate_multirate_trace(classes, 40.0, 21);
+  core::ControlledAlternatePolicy policy;
+  loss::EngineOptions options;
+  options.reservations = reservations;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+  EXPECT_EQ(run.offered, run.blocked + run.carried_primary + run.carried_alternate);
+  ASSERT_EQ(run.per_class.size(), 2u);
+  EXPECT_EQ(run.per_class[0].offered + run.per_class[1].offered, run.offered);
+  // Wide calls block more than narrow ones under identical conditions.
+  EXPECT_GE(run.per_class[1].blocking(), run.per_class[0].blocking());
+}
+
+TEST(CrossFeatures, LeastBusyRespectsMultirateWidths) {
+  const net::Graph g = net::full_mesh(3, 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  loss::NetworkState state(g);
+  const routing::Path direct = routing::make_path(g, {net::NodeId(0), net::NodeId(1)});
+  for (int i = 0; i < 10; ++i) state.book(direct);
+  // Alternate links have 3 free circuits each.
+  for (const net::Link& l : g.links()) {
+    if (l.src == net::NodeId(0) && l.dst == net::NodeId(1)) continue;
+    const routing::Path hop = routing::make_path(g, {l.src, l.dst});
+    for (int i = 0; i < 7; ++i) state.book(hop);
+  }
+  loss::LeastBusyAlternatePolicy policy(false);
+  const routing::RouteSet& set = routes.at(net::NodeId(0), net::NodeId(1));
+  const loss::RoutingContext narrow{g, state, net::NodeId(0), net::NodeId(1), set, 0.0, 0.0, 3};
+  const loss::RoutingContext wide{g, state, net::NodeId(0), net::NodeId(1), set, 0.0, 0.0, 4};
+  EXPECT_TRUE(policy.route(narrow).accepted());   // 3 units fit
+  EXPECT_FALSE(policy.route(wide).accepted());    // 4 do not
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Least-busy-alternative and sticky-random (DAR) comparison policies.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "loss/dynamic_policies.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+
+namespace {
+
+class DynamicPolicyTest : public ::testing::Test {
+ protected:
+  DynamicPolicyTest()
+      : graph_(net::full_mesh(4, 10)),
+        routes_(routing::build_min_hop_routes(graph_, 2)),
+        state_(graph_) {}
+
+  loss::RoutingContext ctx(int src, int dst) {
+    return loss::RoutingContext{graph_,
+                                state_,
+                                net::NodeId(src),
+                                net::NodeId(dst),
+                                routes_.at(net::NodeId(src), net::NodeId(dst)),
+                                0.0,
+                                0.0,
+                                1};
+  }
+
+  void fill_link(int src, int dst, int calls) {
+    const routing::Path p =
+        routing::make_path(graph_, {net::NodeId(src), net::NodeId(dst)});
+    for (int i = 0; i < calls; ++i) state_.book(p);
+  }
+
+  net::Graph graph_;
+  routing::RouteTable routes_;
+  loss::NetworkState state_;
+};
+
+TEST_F(DynamicPolicyTest, LeastBusyPicksTheWidestBottleneck) {
+  loss::LeastBusyAlternatePolicy policy(false);
+  fill_link(0, 1, 10);  // primary 0->1 blocked
+  // Alternates 0-2-1 and 0-3-1: load the 2-route harder.
+  fill_link(0, 2, 7);
+  fill_link(0, 3, 2);
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kAlternate);
+  ASSERT_EQ(d.path->nodes.size(), 3u);
+  EXPECT_EQ(d.path->nodes[1], net::NodeId(3));  // the less busy detour
+}
+
+TEST_F(DynamicPolicyTest, LeastBusyTiesPreferShorterThenFirst) {
+  loss::LeastBusyAlternatePolicy policy(false);
+  fill_link(0, 1, 10);
+  // Both 2-hop alternates equally free: route-table order (via node 2)
+  // wins among equal-length, equal-bottleneck candidates.
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.path->hops(), 2);
+  EXPECT_EQ(d.path->nodes[1], net::NodeId(2));
+}
+
+TEST_F(DynamicPolicyTest, LeastBusyProtectedHonorsReservations) {
+  loss::LeastBusyAlternatePolicy unprotected(false);
+  loss::LeastBusyAlternatePolicy protected_policy(true);
+  std::vector<int> r(static_cast<std::size_t>(graph_.link_count()), 10);
+  state_.set_reservations(r);
+  fill_link(0, 1, 10);
+  EXPECT_TRUE(unprotected.route(ctx(0, 1)).accepted());
+  EXPECT_FALSE(protected_policy.route(ctx(0, 1)).accepted());
+}
+
+TEST_F(DynamicPolicyTest, StickyRandomTriesExactlyOneAlternate) {
+  loss::StickyRandomPolicy policy(4, 7, false);
+  fill_link(0, 1, 10);
+  const auto d = policy.route(ctx(0, 1));
+  EXPECT_EQ(d.alternates_probed, 1);
+  ASSERT_TRUE(d.accepted());
+  const std::size_t remembered = policy.current_alternate(net::NodeId(0), net::NodeId(1));
+  // Success sticks: the same alternate is used again.
+  const auto d2 = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d2.accepted());
+  EXPECT_EQ(policy.current_alternate(net::NodeId(0), net::NodeId(1)), remembered);
+  EXPECT_EQ(d.path, d2.path);
+}
+
+TEST_F(DynamicPolicyTest, StickyRandomResetsOnFailure) {
+  loss::StickyRandomPolicy policy(4, 7, false);
+  fill_link(0, 1, 10);
+  // Prime the memory.
+  (void)policy.route(ctx(0, 1));
+  // Saturate the whole network: the sticky attempt must fail and reset.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j && !(i == 0 && j == 1)) fill_link(i, j, 10);
+    }
+  }
+  bool saw_reset = false;
+  std::size_t before = policy.current_alternate(net::NodeId(0), net::NodeId(1));
+  // The reset draws a random candidate; iterate a few calls so the draw
+  // differs from `before` at least once (5 candidates on K4 at H=2... 2
+  // two-hop alternates: draw space is small but resets re-randomize).
+  for (int i = 0; i < 16; ++i) {
+    const auto d = policy.route(ctx(0, 1));
+    EXPECT_FALSE(d.accepted());
+    const std::size_t now = policy.current_alternate(net::NodeId(0), net::NodeId(1));
+    if (now != before) saw_reset = true;
+    before = now;
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST_F(DynamicPolicyTest, StickyRandomUnsetForPairsNeverOverflowed) {
+  const loss::StickyRandomPolicy policy(4, 7, false);
+  EXPECT_EQ(policy.current_alternate(net::NodeId(2), net::NodeId(3)),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(DynamicPolicies, EndToEndComparisonIsSane) {
+  // Below the critical load every alternate scheme beats single-path, and
+  // the least-busy rule (more information) does at least as well as
+  // first-fit uncontrolled routing.  (42 E/pair on C = 50 would already be
+  // past the uncontrolled crossover -- 38 E is safely below it.)
+  const net::Graph g = net::full_mesh(4, 50);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 38.0);
+
+  loss::SinglePathPolicy single;
+  loss::UncontrolledAlternatePolicy first_fit;
+  loss::LeastBusyAlternatePolicy least_busy(false);
+  double b_single = 0.0;
+  double b_first = 0.0;
+  double b_least = 0.0;
+  const int seeds = 5;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(t, 70.0, seed);
+    b_single += loss::run_trace(g, routes, single, trace, {}).blocking() / seeds;
+    b_first += loss::run_trace(g, routes, first_fit, trace, {}).blocking() / seeds;
+    loss::StickyRandomPolicy sticky(4, seed, false);
+    b_least += loss::run_trace(g, routes, least_busy, trace, {}).blocking() / seeds;
+    (void)loss::run_trace(g, routes, sticky, trace, {});  // smoke: must not throw
+  }
+  EXPECT_LT(b_first, b_single);
+  EXPECT_LT(b_least, b_single);
+  EXPECT_LE(b_least, b_first + 0.01);
+}
+
+TEST(DynamicPolicies, Validation) {
+  EXPECT_THROW((void)loss::StickyRandomPolicy(0, 1, false), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Simulation engine: analytic cross-checks and accounting invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/controlled_policy.hpp"
+#include "erlang/erlang_b.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+
+namespace {
+
+// Two nodes, one duplex link: the 0->1 direction is an M/M/C/C system.
+struct SingleLinkFixture {
+  SingleLinkFixture(int capacity, double offered) : graph(2) {
+    graph.add_duplex(net::NodeId(0), net::NodeId(1), capacity);
+    routes = routing::build_min_hop_routes(graph, 1);
+    traffic = net::TrafficMatrix(2);
+    traffic.set(net::NodeId(0), net::NodeId(1), offered);
+  }
+  net::Graph graph;
+  routing::RouteTable routes;
+  net::TrafficMatrix traffic;
+};
+
+TEST(Engine, SingleLinkBlockingMatchesErlangB) {
+  // M/M/10/10 at 7 Erlangs: B = 7.87e-2.  Average 20 seeds of 100 units.
+  SingleLinkFixture fx(10, 7.0);
+  loss::SinglePathPolicy policy;
+  sim::RunningStats blocking;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(fx.traffic, 110.0, seed);
+    const loss::RunResult run = loss::run_trace(fx.graph, fx.routes, policy, trace, {});
+    blocking.add(run.blocking());
+  }
+  const double analytic = altroute::erlang::erlang_b(7.0, 10);
+  EXPECT_NEAR(blocking.mean(), analytic, 3.0 * blocking.stderr_mean() + 0.005);
+}
+
+TEST(Engine, SingleLinkHeavyLoadMatchesErlangB) {
+  SingleLinkFixture fx(10, 15.0);
+  loss::SinglePathPolicy policy;
+  sim::RunningStats blocking;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(fx.traffic, 110.0, seed);
+    blocking.add(loss::run_trace(fx.graph, fx.routes, policy, trace, {}).blocking());
+  }
+  EXPECT_NEAR(blocking.mean(), altroute::erlang::erlang_b(15.0, 10),
+              3.0 * blocking.stderr_mean() + 0.01);
+}
+
+TEST(Engine, ConservationOfferedEqualsCarriedPlusBlocked) {
+  const net::Graph g = net::full_mesh(4, 20);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 25.0);
+  const sim::CallTrace trace = sim::generate_trace(t, 60.0, 7);
+  loss::UncontrolledAlternatePolicy policy;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, {});
+  EXPECT_EQ(run.offered, run.blocked + run.carried_primary + run.carried_alternate);
+  long long pair_offered = 0;
+  long long pair_blocked = 0;
+  for (const loss::PairCounters& pc : run.per_pair) {
+    pair_offered += pc.offered;
+    pair_blocked += pc.blocked;
+    EXPECT_EQ(pc.offered, pc.blocked + pc.carried_primary + pc.carried_alternate);
+  }
+  EXPECT_EQ(pair_offered, run.offered);
+  EXPECT_EQ(pair_blocked, run.blocked);
+  EXPECT_GT(run.offered, 0);
+}
+
+TEST(Engine, WarmupCallsExcludedFromCounters) {
+  SingleLinkFixture fx(5, 3.0);
+  loss::SinglePathPolicy policy;
+  const sim::CallTrace trace = sim::generate_trace(fx.traffic, 50.0, 3);
+  loss::EngineOptions options;
+  options.warmup = 25.0;
+  const loss::RunResult run = loss::run_trace(fx.graph, fx.routes, policy, trace, options);
+  long long expected = 0;
+  for (const sim::CallRecord& c : trace.calls) {
+    if (c.arrival >= 25.0) ++expected;
+  }
+  EXPECT_EQ(run.offered, expected);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const sim::CallTrace trace =
+      sim::generate_trace(net::TrafficMatrix::uniform(4, 28.0), 80.0, 11);
+  core::ControlledAlternatePolicy policy;
+  loss::EngineOptions options;
+  options.reservations.assign(static_cast<std::size_t>(g.link_count()), 2);
+  const loss::RunResult a = loss::run_trace(g, routes, policy, trace, options);
+  const loss::RunResult b = loss::run_trace(g, routes, policy, trace, options);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.carried_alternate, b.carried_alternate);
+  EXPECT_EQ(a.mean_link_occupancy, b.mean_link_occupancy);
+}
+
+TEST(Engine, MeanOccupancyMatchesCarriedLoadOnSingleLink) {
+  // Little's law on the 0->1 link: time-average occupancy equals the
+  // carried load (accepted calls per unit time x unit mean holding).
+  SingleLinkFixture fx(10, 6.0);
+  loss::SinglePathPolicy policy;
+  const sim::CallTrace trace = sim::generate_trace(fx.traffic, 210.0, 5);
+  loss::EngineOptions options;
+  options.warmup = 10.0;
+  const loss::RunResult run = loss::run_trace(fx.graph, fx.routes, policy, trace, options);
+  const double carried_rate =
+      static_cast<double>(run.carried_primary) / (trace.horizon - options.warmup);
+  ASSERT_EQ(run.mean_link_occupancy.size(), 2u);
+  EXPECT_NEAR(run.mean_link_occupancy[0], carried_rate, 0.35);
+  EXPECT_DOUBLE_EQ(run.mean_link_occupancy[1], 0.0);  // reverse direction idle
+}
+
+TEST(Engine, PrimaryLossesAttributedToFirstBlockingLink) {
+  SingleLinkFixture fx(2, 40.0);  // tiny link, heavy load: plenty of blocking
+  loss::SinglePathPolicy policy;
+  const sim::CallTrace trace = sim::generate_trace(fx.traffic, 30.0, 2);
+  const loss::RunResult run = loss::run_trace(fx.graph, fx.routes, policy, trace, {});
+  EXPECT_GT(run.blocked, 0);
+  EXPECT_EQ(run.primary_losses_at_link[0], run.blocked);
+  EXPECT_EQ(run.primary_losses_at_link[1], 0);
+}
+
+TEST(Engine, ReservationsChangeControlledButNotUncontrolledResults) {
+  const net::Graph g = net::full_mesh(4, 15);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  const sim::CallTrace trace =
+      sim::generate_trace(net::TrafficMatrix::uniform(4, 16.0), 60.0, 9);
+  loss::EngineOptions no_res;
+  loss::EngineOptions with_res;
+  with_res.reservations.assign(static_cast<std::size_t>(g.link_count()), 5);
+
+  core::ControlledAlternatePolicy controlled;
+  const auto c0 = loss::run_trace(g, routes, controlled, trace, no_res);
+  const auto c1 = loss::run_trace(g, routes, controlled, trace, with_res);
+  EXPECT_NE(c0.carried_alternate, c1.carried_alternate);
+  EXPECT_GT(c0.carried_alternate, c1.carried_alternate);
+
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  const auto u0 = loss::run_trace(g, routes, uncontrolled, trace, no_res);
+  const auto u1 = loss::run_trace(g, routes, uncontrolled, trace, with_res);
+  EXPECT_EQ(u0.blocked, u1.blocked);
+  EXPECT_EQ(u0.carried_alternate, u1.carried_alternate);
+}
+
+TEST(Engine, ControlledWithZeroReservationEqualsUncontrolled) {
+  const net::Graph g = net::full_mesh(4, 15);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const sim::CallTrace trace =
+      sim::generate_trace(net::TrafficMatrix::uniform(4, 14.0), 70.0, 21);
+  core::ControlledAlternatePolicy controlled;
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  const auto a = loss::run_trace(g, routes, controlled, trace, {});
+  const auto b = loss::run_trace(g, routes, uncontrolled, trace, {});
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.carried_primary, b.carried_primary);
+  EXPECT_EQ(a.carried_alternate, b.carried_alternate);
+}
+
+TEST(Engine, PolicySeedDrivesBifurcationSampling) {
+  // With bifurcated primaries the engine's policy_seed stream decides
+  // which primary each call samples: equal seeds reproduce the run
+  // exactly, different seeds shift the per-primary split.
+  net::Graph g(4);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  g.add_duplex(net::NodeId(1), net::NodeId(3), 10);
+  g.add_duplex(net::NodeId(0), net::NodeId(2), 10);
+  g.add_duplex(net::NodeId(2), net::NodeId(3), 10);
+  routing::RouteTable routes(4);
+  routing::RouteSet& set = routes.at(net::NodeId(0), net::NodeId(3));
+  set.primaries.push_back(
+      routing::make_path(g, {net::NodeId(0), net::NodeId(1), net::NodeId(3)}));
+  set.primaries.push_back(
+      routing::make_path(g, {net::NodeId(0), net::NodeId(2), net::NodeId(3)}));
+  set.primary_probs = {0.5, 0.5};
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(0), net::NodeId(3), 9.0);
+  const sim::CallTrace trace = sim::generate_trace(t, 80.0, 4);
+  loss::SinglePathPolicy policy;
+  loss::EngineOptions options;
+  options.policy_seed = 1;
+  const loss::RunResult a = loss::run_trace(g, routes, policy, trace, options);
+  const loss::RunResult b = loss::run_trace(g, routes, policy, trace, options);
+  EXPECT_EQ(a.mean_link_occupancy, b.mean_link_occupancy);
+  options.policy_seed = 2;
+  const loss::RunResult c = loss::run_trace(g, routes, policy, trace, options);
+  EXPECT_NE(a.mean_link_occupancy, c.mean_link_occupancy);
+  // Both splits remain near 50/50 in carried load across the two branches.
+  const auto l01 = g.find_link(net::NodeId(0), net::NodeId(1));
+  const auto l02 = g.find_link(net::NodeId(0), net::NodeId(2));
+  EXPECT_NEAR(a.mean_link_occupancy[l01->index()], a.mean_link_occupancy[l02->index()],
+              1.5);
+}
+
+TEST(Engine, Validation) {
+  SingleLinkFixture fx(5, 2.0);
+  loss::SinglePathPolicy policy;
+  const sim::CallTrace trace = sim::generate_trace(fx.traffic, 20.0, 1);
+  loss::EngineOptions options;
+  options.warmup = 20.0;  // == horizon: empty measurement window
+  EXPECT_THROW((void)loss::run_trace(fx.graph, fx.routes, policy, trace, options),
+               std::invalid_argument);
+  const routing::RouteTable wrong_size(3);
+  EXPECT_THROW((void)loss::run_trace(fx.graph, wrong_size, policy, trace, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

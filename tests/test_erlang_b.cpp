@@ -1,0 +1,235 @@
+// Erlang-B function: exact small cases, recursion identities, analytic
+// derivative, monotonicity/convexity properties, continuous extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+#include "erlang/erlang_b.hpp"
+
+namespace e = altroute::erlang;
+
+namespace {
+
+// Direct evaluation from the defining sum, usable for small c only:
+// B = (a^c / c!) / sum_{k=0..c} a^k / k!
+double erlang_b_direct(double a, int c) {
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k <= c; ++k) {
+    term *= a / k;
+    sum += term;
+  }
+  return term / sum;
+}
+
+TEST(ErlangB, ZeroCapacityBlocksEverything) {
+  EXPECT_DOUBLE_EQ(e::erlang_b(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b(5.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b(1000.0, 0), 1.0);
+}
+
+TEST(ErlangB, ZeroLoadNeverBlocks) {
+  EXPECT_DOUBLE_EQ(e::erlang_b(0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b(0.0, 100), 0.0);
+}
+
+TEST(ErlangB, SingleServerClosedForm) {
+  // B(a, 1) = a / (1 + a).
+  for (const double a : {0.1, 0.5, 1.0, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(e::erlang_b(a, 1), a / (1.0 + a), 1e-12) << "a=" << a;
+  }
+}
+
+TEST(ErlangB, TwoServerClosedForm) {
+  // B(a, 2) = a^2 / (2 + 2a + a^2).
+  for (const double a : {0.1, 1.0, 3.0, 12.0}) {
+    EXPECT_NEAR(e::erlang_b(a, 2), a * a / (2.0 + 2.0 * a + a * a), 1e-12) << "a=" << a;
+  }
+}
+
+TEST(ErlangB, MatchesDirectSummationForModerateSizes) {
+  for (int c = 1; c <= 30; ++c) {
+    for (const double a : {0.5, 2.0, 7.5, 20.0, 40.0}) {
+      EXPECT_NEAR(e::erlang_b(a, c), erlang_b_direct(a, c), 1e-10)
+          << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(ErlangB, EngineeringTableInverseLookups) {
+  // Classic dimensioning facts: the offered load sustaining 1% blocking on
+  // 10 (resp. 20) circuits is ~4.46 (resp. ~12.0) Erlangs.  Invert B by
+  // bisection and check the known windows.
+  const auto load_for = [](int c, double target) {
+    double lo = 0.0;
+    double hi = 3.0 * c;
+    for (int i = 0; i < 200; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (e::erlang_b(mid, c) < target ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  EXPECT_NEAR(load_for(10, 0.01), 4.46, 0.02);
+  EXPECT_NEAR(load_for(20, 0.01), 12.03, 0.05);
+  // Heavy-traffic sanity: B(a, c) -> 1 - c/a for a >> c.
+  EXPECT_NEAR(e::erlang_b(1000.0, 100), 1.0 - 100.0 / 1000.0, 2e-2);
+}
+
+TEST(ErlangB, RejectsNegativeArguments) {
+  EXPECT_THROW((void)e::erlang_b(-1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)e::erlang_b(1.0, -1), std::invalid_argument);
+  EXPECT_THROW((void)e::erlang_b(std::numeric_limits<double>::quiet_NaN(), 5),
+               std::invalid_argument);
+}
+
+TEST(ErlangB, TinyLoadUnderflowsToZeroNotNan) {
+  const double b = e::erlang_b(1e-12, 400);
+  EXPECT_GE(b, 0.0);
+  EXPECT_LT(b, 1e-30);
+  EXPECT_FALSE(std::isnan(b));
+}
+
+class ErlangBMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErlangBMonotone, DecreasingInCapacity) {
+  const double a = GetParam();
+  double prev = e::erlang_b(a, 0);
+  for (int c = 1; c <= 150; ++c) {
+    const double b = e::erlang_b(a, c);
+    if (prev > 0.0) {
+      EXPECT_LT(b, prev) << "a=" << a << " c=" << c;
+    } else {
+      // Once blocking underflows to exactly zero it stays there.
+      EXPECT_DOUBLE_EQ(b, 0.0) << "a=" << a << " c=" << c;
+    }
+    prev = b;
+  }
+}
+
+TEST_P(ErlangBMonotone, IncreasingInLoad) {
+  const double a = GetParam();
+  for (const int c : {1, 5, 20, 100}) {
+    EXPECT_LT(e::erlang_b(a, c), e::erlang_b(a * 1.1 + 0.01, c)) << "a=" << a << " c=" << c;
+  }
+}
+
+TEST_P(ErlangBMonotone, InUnitInterval) {
+  const double a = GetParam();
+  for (const int c : {0, 1, 7, 60, 200}) {
+    const double b = e::erlang_b(a, c);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ErlangBMonotone,
+                         ::testing::Values(0.25, 1.0, 5.0, 20.0, 75.0, 120.0, 400.0));
+
+TEST(InverseErlangSequence, MatchesPointwiseEvaluations) {
+  const double a = 37.5;
+  const auto y = e::inverse_erlang_sequence(a, 60);
+  ASSERT_EQ(y.size(), 61u);
+  for (int x = 0; x <= 60; ++x) {
+    EXPECT_NEAR(1.0 / y[static_cast<std::size_t>(x)], e::erlang_b(a, x), 1e-12) << x;
+  }
+}
+
+TEST(InverseErlangSequence, SatisfiesJagermanRecursion) {
+  // y_x = 1 + (x/a) y_{x-1}, the paper's Eq. 12.
+  const double a = 11.0;
+  const auto y = e::inverse_erlang_sequence(a, 40);
+  for (int x = 1; x <= 40; ++x) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(x)],
+                1.0 + (x / a) * y[static_cast<std::size_t>(x - 1)], 1e-9)
+        << x;
+  }
+}
+
+TEST(InverseErlangSequence, ZeroLoadIsInfiniteAboveZero) {
+  const auto y = e::inverse_erlang_sequence(0.0, 5);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  for (std::size_t x = 1; x < y.size(); ++x) EXPECT_TRUE(std::isinf(y[x]));
+}
+
+TEST(ErlangBDerivative, MatchesFiniteDifference) {
+  for (const double a : {0.5, 3.0, 20.0, 80.0, 115.0}) {
+    for (const int c : {1, 2, 10, 50, 100}) {
+      const double h = 1e-6 * std::max(1.0, a);
+      const double fd = (e::erlang_b(a + h, c) - e::erlang_b(a - h, c)) / (2.0 * h);
+      EXPECT_NEAR(e::erlang_b_dload(a, c), fd, 1e-5 * std::max(1.0, std::abs(fd)))
+          << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(ErlangBDerivative, ZeroLoadLimits) {
+  EXPECT_DOUBLE_EQ(e::erlang_b_dload(0.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b_dload(0.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b_dload(0.0, 0), 0.0);
+}
+
+TEST(CarriedLoad, NeverExceedsCapacityOrOffered) {
+  for (const double a : {1.0, 10.0, 100.0, 1000.0}) {
+    for (const int c : {1, 10, 100}) {
+      const double carried = e::carried_load(a, c);
+      EXPECT_LE(carried, static_cast<double>(c) + 1e-9);
+      EXPECT_LE(carried, a + 1e-9);
+      EXPECT_GE(carried, 0.0);
+    }
+  }
+}
+
+TEST(LossRate, ConvexInLoad) {
+  // Krishnan's convexity property underpinning the min-loss optimizer:
+  // check the discrete second difference is nonnegative over a dense grid.
+  for (const int c : {1, 5, 20, 100}) {
+    for (double a = 0.5; a < 200.0; a += 0.5) {
+      const double h = 0.25;
+      const double second_difference =
+          e::loss_rate(a + h, c) - 2.0 * e::loss_rate(a, c) + e::loss_rate(a - h, c);
+      EXPECT_GE(second_difference, -1e-9) << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(LossRateDerivative, MatchesFiniteDifference) {
+  for (const double a : {2.0, 30.0, 95.0}) {
+    for (const int c : {1, 10, 100}) {
+      const double h = 1e-6 * std::max(1.0, a);
+      const double fd = (e::loss_rate(a + h, c) - e::loss_rate(a - h, c)) / (2.0 * h);
+      EXPECT_NEAR(e::loss_rate_dload(a, c), fd, 1e-5 * std::max(1.0, std::abs(fd)));
+    }
+  }
+}
+
+TEST(ErlangBContinuous, AgreesWithIntegerCapacity) {
+  for (const double a : {1.0, 8.0, 40.0, 90.0}) {
+    for (const int c : {1, 5, 25, 100}) {
+      EXPECT_NEAR(e::erlang_b_continuous(a, static_cast<double>(c)), e::erlang_b(a, c),
+                  1e-8 * std::max(1e-6, e::erlang_b(a, c)))
+          << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(ErlangBContinuous, InterpolatesMonotonically) {
+  const double a = 20.0;
+  double prev = e::erlang_b_continuous(a, 10.0);
+  for (double x = 10.25; x <= 30.0; x += 0.25) {
+    const double b = e::erlang_b_continuous(a, x);
+    EXPECT_LT(b, prev) << "x=" << x;
+    prev = b;
+  }
+}
+
+TEST(ErlangBContinuous, EdgeCases) {
+  EXPECT_DOUBLE_EQ(e::erlang_b_continuous(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e::erlang_b_continuous(0.0, 3.5), 0.0);
+  EXPECT_THROW((void)e::erlang_b_continuous(-1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)e::erlang_b_continuous(1.0, -2.0), std::invalid_argument);
+}
+
+}  // namespace

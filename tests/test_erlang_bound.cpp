@@ -1,0 +1,112 @@
+// Cut-set Erlang Bound (Section 4's lower-bound reference curve).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/erlang_bound.hpp"
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+
+namespace e = altroute::erlang;
+namespace net = altroute::net;
+
+namespace {
+
+TEST(ErlangBound, TwoNodeDuplexIsExactErlangB) {
+  // One duplex facility, symmetric traffic: the only cut isolates node 0,
+  // and each direction is an independent Erlang-B system.
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 8.0);
+  t.set(net::NodeId(1), net::NodeId(0), 8.0);
+  const auto bound = e::erlang_bound(g, t);
+  EXPECT_NEAR(bound.bound, e::erlang_b(8.0, 10), 1e-12);
+  EXPECT_EQ(bound.forward_capacity, 10);
+  EXPECT_EQ(bound.reverse_capacity, 10);
+}
+
+TEST(ErlangBound, AsymmetricDirectionsWeightedByTraffic) {
+  net::Graph g(2);
+  g.add_link(net::NodeId(0), net::NodeId(1), 10);
+  g.add_link(net::NodeId(1), net::NodeId(0), 5);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 9.0);
+  t.set(net::NodeId(1), net::NodeId(0), 3.0);
+  const auto bound = e::erlang_bound(g, t);
+  const double expected =
+      (9.0 / 12.0) * e::erlang_b(9.0, 10) + (3.0 / 12.0) * e::erlang_b(3.0, 5);
+  EXPECT_NEAR(bound.bound, expected, 1e-12);
+}
+
+TEST(ErlangBound, ZeroTrafficGivesZero) {
+  net::Graph g = net::full_mesh(4, 10);
+  const auto bound = e::erlang_bound(g, net::TrafficMatrix(4));
+  EXPECT_DOUBLE_EQ(bound.bound, 0.0);
+}
+
+TEST(ErlangBound, SymmetricQuadrangleUsesSingleNodeCut) {
+  // Fully-connected 4-node with uniform traffic: by symmetry the binding
+  // cut isolates one node (3 links out, 3 links in).
+  net::Graph g = net::full_mesh(4, 100);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 90.0);
+  const auto bound = e::erlang_bound(g, t);
+  // Cut {i}: forward traffic 3 * 90 = 270 over capacity 300 in each
+  // direction; weight 270 / 1080 per direction.
+  const double expected = 2.0 * (270.0 / 1080.0) * e::erlang_b(270.0, 300);
+  EXPECT_NEAR(bound.bound, expected, 1e-12);
+}
+
+TEST(ErlangBound, GrowsWithLoad) {
+  net::Graph g = net::full_mesh(4, 100);
+  double prev = 0.0;
+  for (double load = 60.0; load <= 140.0; load += 10.0) {
+    const double b = e::erlang_bound(g, net::TrafficMatrix::uniform(4, load)).bound;
+    EXPECT_GE(b, prev) << load;
+    prev = b;
+  }
+}
+
+TEST(ErlangBound, DisabledLinksShrinkCutCapacity) {
+  net::Graph g = net::full_mesh(4, 100);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 90.0);
+  const double before = e::erlang_bound(g, t).bound;
+  g.fail_duplex(net::NodeId(0), net::NodeId(1));
+  const double after = e::erlang_bound(g, t).bound;
+  EXPECT_GT(after, before);
+}
+
+TEST(ErlangBound, NsfnetNominalIsSmallButPositive) {
+  // At the nominal load the network is engineered: the bound should be a
+  // small probability, and link 10<->11's overload (167 and 154 Erlangs
+  // over 100 circuits in opposite directions) makes it clearly non-zero.
+  const net::Graph g = net::nsfnet_t3();
+  net::TrafficMatrix t(12);
+  t.set(net::NodeId(10), net::NodeId(11), 167.0);
+  t.set(net::NodeId(11), net::NodeId(10), 154.0);
+  const auto bound = e::erlang_bound(g, t);
+  EXPECT_GT(bound.bound, 0.0);
+  EXPECT_LT(bound.bound, 1.0);
+}
+
+TEST(ErlangBound, BoundIsBelowSingleLinkBlockingOfBindingCut) {
+  // The weighted sum of two terms, each below its Erlang-B value, cannot
+  // exceed the larger term.
+  net::Graph g = net::full_mesh(4, 50);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 70.0);
+  const auto bound = e::erlang_bound(g, t);
+  EXPECT_LE(bound.bound,
+            std::max(e::erlang_b(bound.forward_traffic, bound.forward_capacity),
+                     e::erlang_b(bound.reverse_traffic, bound.reverse_capacity)) +
+                1e-12);
+}
+
+TEST(ErlangBound, Validation) {
+  net::Graph g(1);
+  EXPECT_THROW((void)e::erlang_bound(g, net::TrafficMatrix(1)), std::invalid_argument);
+  net::Graph g2 = net::full_mesh(3, 5);
+  EXPECT_THROW((void)e::erlang_bound(g2, net::TrafficMatrix(4)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Future event list: ordering, FIFO tie-break, stress against std::sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  sim::EventQueue<int> q;
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop().second, 1);
+  EXPECT_EQ(q.pop().second, 2);
+  EXPECT_EQ(q.pop().second, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsPopFifo) {
+  sim::EventQueue<std::string> q;
+  q.schedule(5.0, "first");
+  q.schedule(5.0, "second");
+  q.schedule(5.0, "third");
+  EXPECT_EQ(q.pop().second, "first");
+  EXPECT_EQ(q.pop().second, "second");
+  EXPECT_EQ(q.pop().second, "third");
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  sim::EventQueue<int> q;
+  q.schedule(10.0, 10);
+  q.schedule(1.0, 1);
+  EXPECT_EQ(q.pop().second, 1);
+  q.schedule(5.0, 5);
+  q.schedule(0.5, 0);  // may schedule "in the past" of popped events
+  EXPECT_EQ(q.pop().second, 0);
+  EXPECT_EQ(q.pop().second, 5);
+  EXPECT_EQ(q.pop().second, 10);
+}
+
+TEST(EventQueue, RejectsBadTimesAndEmptyPop) {
+  sim::EventQueue<int> q;
+  EXPECT_THROW(q.schedule(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::nan(""), 0), std::invalid_argument);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ClearResets) {
+  sim::EventQueue<int> q;
+  q.schedule(1.0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, StressMatchesStableSort) {
+  sim::Rng rng(99, 0);
+  sim::EventQueue<int> q;
+  struct Ev {
+    double time;
+    int id;
+  };
+  std::vector<Ev> reference;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    // Coarse times force many ties, exercising the FIFO rule.
+    const double t = static_cast<double>(rng.below(500));
+    q.schedule(t, i);
+    reference.push_back(Ev{t, i});
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Ev& a, const Ev& b) { return a.time < b.time; });
+  for (const Ev& expected : reference) {
+    const auto [t, id] = q.pop();
+    ASSERT_DOUBLE_EQ(t, expected.time);
+    ASSERT_EQ(id, expected.id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MovesPayloadsNotCopies) {
+  sim::EventQueue<std::unique_ptr<int>> q;
+  q.schedule(1.0, std::make_unique<int>(42));
+  auto [t, payload] = q.pop();
+  ASSERT_TRUE(payload);
+  EXPECT_EQ(*payload, 42);
+}
+
+}  // namespace

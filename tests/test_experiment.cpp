@@ -1,0 +1,182 @@
+// Sweep harness: shapes, determinism, CLI, table rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "netgraph/topologies.hpp"
+#include "study/cli.hpp"
+#include "study/experiment.hpp"
+#include "study/report.hpp"
+
+namespace net = altroute::net;
+namespace study = altroute::study;
+
+namespace {
+
+study::SweepOptions small_sweep() {
+  study::SweepOptions options;
+  options.load_factors = {0.5, 1.0};
+  options.seeds = 2;
+  options.measure = 20.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  return options;
+}
+
+TEST(RunSweep, ShapesAreConsistent) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 30.0);
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate};
+  const study::SweepResult r = study::run_sweep(g, nominal, policies, small_sweep());
+  ASSERT_EQ(r.curves.size(), 3u);
+  ASSERT_EQ(r.load_factors.size(), 2u);
+  EXPECT_EQ(r.offered_erlangs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.offered_erlangs[1], 360.0);
+  EXPECT_EQ(r.erlang_bound.size(), 2u);
+  for (const study::PolicyCurve& curve : r.curves) {
+    ASSERT_EQ(curve.mean_blocking.size(), 2u);
+    ASSERT_EQ(curve.ci95.size(), 2u);
+    ASSERT_EQ(curve.alternate_fraction.size(), 2u);
+    for (const double b : curve.mean_blocking) {
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+  EXPECT_EQ(r.curves[0].name, "single-path");
+  // Single-path routes nothing on alternates, ever.
+  EXPECT_DOUBLE_EQ(r.curves[0].alternate_fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.curves[0].alternate_fraction[1], 0.0);
+}
+
+TEST(RunSweep, DeterministicAcrossCalls) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 28.0);
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kControlledAlternate};
+  const study::SweepResult a = study::run_sweep(g, nominal, policies, small_sweep());
+  const study::SweepResult b = study::run_sweep(g, nominal, policies, small_sweep());
+  EXPECT_EQ(a.curves[0].mean_blocking, b.curves[0].mean_blocking);
+  EXPECT_EQ(a.erlang_bound, b.erlang_bound);
+}
+
+TEST(RunSweep, FairnessSummariesWhenRequested) {
+  const net::Graph g = net::full_mesh(4, 20);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 24.0);
+  study::SweepOptions options = small_sweep();
+  options.fairness = true;
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kSinglePath};
+  const study::SweepResult r = study::run_sweep(g, nominal, policies, options);
+  ASSERT_EQ(r.curves[0].pair_blocking.size(), 2u);
+  EXPECT_EQ(r.curves[0].pair_blocking[1].count, 12u);  // all ordered pairs
+}
+
+TEST(RunSweep, OttKrishnanAndAdaptiveRun) {
+  const net::Graph g = net::full_mesh(4, 20);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 18.0);
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kOttKrishnan,
+                                                   study::PolicyKind::kAdaptiveControlled};
+  study::SweepOptions options = small_sweep();
+  options.load_factors = {1.0};
+  const study::SweepResult r = study::run_sweep(g, nominal, policies, options);
+  EXPECT_EQ(r.curves[0].name, "ott-krishnan");
+  EXPECT_EQ(r.curves[1].name, "adaptive-controlled-alt");
+}
+
+TEST(RunSweep, Validation) {
+  const net::Graph g = net::full_mesh(3, 5);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(3, 1.0);
+  EXPECT_THROW((void)study::run_sweep(g, t, {}, small_sweep()), std::invalid_argument);
+  study::SweepOptions bad = small_sweep();
+  bad.seeds = 0;
+  EXPECT_THROW(
+      (void)study::run_sweep(g, t, {study::PolicyKind::kSinglePath}, bad),
+      std::invalid_argument);
+}
+
+TEST(TextTable, AlignedRenderAndCsv) {
+  study::TextTable table({"a", "long_header"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string text = table.str();
+  EXPECT_NE(text.find("a    long_header"), std::string::npos);
+  EXPECT_NE(text.find("333  4"), std::string::npos);
+  EXPECT_EQ(table.csv(), "a,long_header\n1,2\n333,4\n");
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Formatting, FixedAndScientific) {
+  EXPECT_EQ(study::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(study::fmt(2.0, 0), "2");
+  EXPECT_EQ(study::fmt_sci(0.0), "0");
+  EXPECT_EQ(study::fmt_sci(0.000231), "2.31e-04");
+}
+
+TEST(SweepTable, OneRowPerLoadPoint) {
+  const net::Graph g = net::full_mesh(4, 20);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 20.0);
+  const study::SweepResult r =
+      study::run_sweep(g, nominal, {study::PolicyKind::kSinglePath}, small_sweep());
+  const std::string text = study::sweep_table(r).str();
+  EXPECT_NE(text.find("single-path"), std::string::npos);
+  EXPECT_NE(text.find("erlang_bound"), std::string::npos);
+  EXPECT_NE(text.find("0.500"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+}
+
+TEST(Cli, ParsesAllFlags) {
+  const char* argv[] = {"prog",  "--seeds", "4",          "--measure", "33",
+                        "--warmup", "2",   "--loads",     "0.5,1,1.5", "--hops",
+                        "7",     "--csv",   "/tmp/x.csv", "--fast"};
+  const study::CliOptions cli =
+      study::parse_cli(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EQ(*cli.seeds, 4);
+  EXPECT_DOUBLE_EQ(*cli.measure, 33.0);
+  EXPECT_DOUBLE_EQ(*cli.warmup, 2.0);
+  ASSERT_EQ(cli.loads->size(), 3u);
+  EXPECT_DOUBLE_EQ((*cli.loads)[2], 1.5);
+  EXPECT_EQ(*cli.hops, 7);
+  EXPECT_EQ(*cli.csv, "/tmp/x.csv");
+  EXPECT_TRUE(cli.fast);
+}
+
+TEST(Cli, RejectsBadInput) {
+  const char* unknown[] = {"prog", "--bogus"};
+  EXPECT_THROW((void)study::parse_cli(2, const_cast<char**>(unknown)), std::invalid_argument);
+  const char* missing[] = {"prog", "--seeds"};
+  EXPECT_THROW((void)study::parse_cli(2, const_cast<char**>(missing)), std::invalid_argument);
+  const char* junk[] = {"prog", "--measure", "12abc"};
+  EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(junk)), std::invalid_argument);
+  const char* zero[] = {"prog", "--seeds", "0"};
+  EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(zero)), std::invalid_argument);
+}
+
+TEST(Cli, ShapeDefaultsAndFastMode) {
+  study::CliOptions cli;
+  study::RunShape shape = study::shape_from_cli(cli);
+  EXPECT_EQ(shape.seeds, 10);
+  EXPECT_DOUBLE_EQ(shape.measure, 100.0);
+  EXPECT_DOUBLE_EQ(shape.warmup, 10.0);
+  cli.fast = true;
+  shape = study::shape_from_cli(cli);
+  EXPECT_EQ(shape.seeds, 2);
+  EXPECT_DOUBLE_EQ(shape.measure, 50.0);
+  // Explicit flags override --fast shrinking.
+  cli.seeds = 7;
+  shape = study::shape_from_cli(cli);
+  EXPECT_EQ(shape.seeds, 7);
+}
+
+TEST(WriteFile, RoundTripsAndValidates) {
+  const std::string path = ::testing::TempDir() + "/altroute_report_test.txt";
+  study::write_file(path, "hello\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(study::write_file("/nonexistent-dir/x/y.txt", "x"), std::runtime_error);
+}
+
+}  // namespace

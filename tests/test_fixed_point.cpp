@@ -1,0 +1,138 @@
+// Erlang fixed-point (reduced-load) approximation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/fixed_point.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+namespace erlang = altroute::erlang;
+namespace loss = altroute::loss;
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(FixedPoint, SingleLinkIsExactErlangB) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 8.0);
+  const auto fp = routing::erlang_fixed_point(g, routes, t);
+  EXPECT_TRUE(fp.converged);
+  EXPECT_NEAR(fp.network_blocking, erlang::erlang_b(8.0, 10), 1e-10);
+  EXPECT_NEAR(fp.link_blocking[0], erlang::erlang_b(8.0, 10), 1e-10);
+  EXPECT_DOUBLE_EQ(fp.link_blocking[1], 0.0);  // idle reverse direction
+}
+
+TEST(FixedPoint, TandemThinsUpstreamLoad) {
+  // 0 -1- 1 -2- 2 line; traffic 0->2 over both links plus local 1->2.
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  g.add_duplex(net::NodeId(1), net::NodeId(2), 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  net::TrafficMatrix t(3);
+  t.set(net::NodeId(0), net::NodeId(2), 8.0);
+  t.set(net::NodeId(1), net::NodeId(2), 4.0);
+  const auto fp = routing::erlang_fixed_point(g, routes, t);
+  ASSERT_TRUE(fp.converged);
+  const auto l01 = g.find_link(net::NodeId(0), net::NodeId(1));
+  const auto l12 = g.find_link(net::NodeId(1), net::NodeId(2));
+  // Link 1->2 sees the 0->2 stream thinned by link 0->1's blocking.
+  const double b01 = fp.link_blocking[l01->index()];
+  const double b12 = fp.link_blocking[l12->index()];
+  EXPECT_NEAR(fp.reduced_load[l12->index()], 8.0 * (1.0 - b01) + 4.0, 1e-9);
+  EXPECT_NEAR(fp.reduced_load[l01->index()], 8.0 * (1.0 - b12), 1e-9);
+  // Self-consistency: B = ErlangB(reduced load).
+  EXPECT_NEAR(b01, erlang::erlang_b(fp.reduced_load[l01->index()], 10), 1e-9);
+  // Pair blocking composes along the path.
+  EXPECT_NEAR(fp.pair_blocking[0 * 3 + 2], 1.0 - (1.0 - b01) * (1.0 - b12), 1e-9);
+}
+
+TEST(FixedPoint, MatchesSinglePathSimulationOnNsfnet) {
+  // The approximation should land within a point or two of simulated
+  // single-path blocking at nominal load (independent-link error is small
+  // on a sparse mesh with multi-hop primaries).
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const net::TrafficMatrix& t = altroute::study::nsfnet_nominal_traffic();
+  const auto fp = routing::erlang_fixed_point(g, routes, t);
+  ASSERT_TRUE(fp.converged);
+
+  loss::SinglePathPolicy policy;
+  sim::RunningStats blocking;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(t, 60.0, seed);
+    blocking.add(loss::run_trace(g, routes, policy, trace, {}).blocking());
+  }
+  EXPECT_NEAR(fp.network_blocking, blocking.mean(), 0.02);
+}
+
+TEST(FixedPoint, ZeroTraffic) {
+  const net::Graph g = net::ring(4, 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const auto fp = routing::erlang_fixed_point(g, routes, net::TrafficMatrix(4));
+  EXPECT_TRUE(fp.converged);
+  EXPECT_DOUBLE_EQ(fp.network_blocking, 0.0);
+  for (const double b : fp.link_blocking) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(FixedPoint, BifurcatedPrimariesSupported) {
+  net::Graph g(4);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  g.add_duplex(net::NodeId(1), net::NodeId(3), 10);
+  g.add_duplex(net::NodeId(0), net::NodeId(2), 10);
+  g.add_duplex(net::NodeId(2), net::NodeId(3), 10);
+  routing::RouteTable routes(4);
+  routing::RouteSet& set = routes.at(net::NodeId(0), net::NodeId(3));
+  set.primaries.push_back(
+      routing::make_path(g, {net::NodeId(0), net::NodeId(1), net::NodeId(3)}));
+  set.primaries.push_back(
+      routing::make_path(g, {net::NodeId(0), net::NodeId(2), net::NodeId(3)}));
+  set.primary_probs = {0.5, 0.5};
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(0), net::NodeId(3), 16.0);
+  const auto fp = routing::erlang_fixed_point(g, routes, t);
+  ASSERT_TRUE(fp.converged);
+  // Each branch carries 8 E thinned by its partner link; by symmetry both
+  // routes see identical blocking.
+  const auto l01 = g.find_link(net::NodeId(0), net::NodeId(1));
+  const auto l02 = g.find_link(net::NodeId(0), net::NodeId(2));
+  EXPECT_NEAR(fp.link_blocking[l01->index()], fp.link_blocking[l02->index()], 1e-9);
+  EXPECT_GT(fp.network_blocking, 0.0);
+}
+
+TEST(FixedPoint, MonotoneInLoad) {
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const net::TrafficMatrix& nominal = altroute::study::nsfnet_nominal_traffic();
+  double prev = -1.0;
+  for (const double f : {0.5, 0.8, 1.0, 1.3, 1.6}) {
+    const auto fp = routing::erlang_fixed_point(g, routes, nominal.scaled(f));
+    EXPECT_TRUE(fp.converged) << f;
+    EXPECT_GT(fp.network_blocking, prev) << f;
+    prev = fp.network_blocking;
+  }
+}
+
+TEST(FixedPoint, Validation) {
+  const net::Graph g = net::ring(4, 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  EXPECT_THROW((void)routing::erlang_fixed_point(g, routes, net::TrafficMatrix(5)),
+               std::invalid_argument);
+  routing::FixedPointOptions bad;
+  bad.damping = 0.0;
+  EXPECT_THROW((void)routing::erlang_fixed_point(g, routes, net::TrafficMatrix(4), bad),
+               std::invalid_argument);
+}
+
+}  // namespace

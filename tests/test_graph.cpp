@@ -1,0 +1,150 @@
+// Graph substrate: construction, adjacency, failures, connectivity, DOT.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netgraph/dot.hpp"
+#include "netgraph/graph.hpp"
+#include "netgraph/topologies.hpp"
+
+namespace net = altroute::net;
+
+namespace {
+
+TEST(Ids, DefaultIdsAreInvalid) {
+  EXPECT_FALSE(net::NodeId{}.valid());
+  EXPECT_FALSE(net::LinkId{}.valid());
+  EXPECT_TRUE(net::NodeId(0).valid());
+  EXPECT_TRUE(net::LinkId(3).valid());
+}
+
+TEST(Graph, AddNodesAndLinks) {
+  net::Graph g;
+  const net::NodeId a = g.add_node("a");
+  const net::NodeId b = g.add_node("b");
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.node_name(a), "a");
+  const net::LinkId l = g.add_link(a, b, 7);
+  EXPECT_EQ(g.link_count(), 1);
+  EXPECT_EQ(g.link(l).capacity, 7);
+  EXPECT_EQ(g.link(l).src, a);
+  EXPECT_EQ(g.link(l).dst, b);
+  EXPECT_TRUE(g.link(l).enabled);
+}
+
+TEST(Graph, AnonymousConstructorNamesNodes) {
+  const net::Graph g(3);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.node_name(net::NodeId(2)), "n2");
+}
+
+TEST(Graph, RejectsBadLinks) {
+  net::Graph g(2);
+  EXPECT_THROW((void)g.add_link(net::NodeId(0), net::NodeId(0), 5), std::invalid_argument);
+  EXPECT_THROW((void)g.add_link(net::NodeId(0), net::NodeId(1), 0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_link(net::NodeId(0), net::NodeId(5), 5), std::invalid_argument);
+  EXPECT_THROW((void)g.add_link(net::NodeId{}, net::NodeId(1), 5), std::invalid_argument);
+}
+
+TEST(Graph, DuplexCreatesOppositePair) {
+  net::Graph g(2);
+  const auto [fwd, rev] = g.add_duplex(net::NodeId(0), net::NodeId(1), 9);
+  EXPECT_EQ(g.link(fwd).src, net::NodeId(0));
+  EXPECT_EQ(g.link(rev).src, net::NodeId(1));
+  EXPECT_EQ(g.link(fwd).capacity, g.link(rev).capacity);
+}
+
+TEST(Graph, OutAndInLinks) {
+  net::Graph g(3);
+  g.add_link(net::NodeId(0), net::NodeId(1), 1);
+  g.add_link(net::NodeId(0), net::NodeId(2), 1);
+  g.add_link(net::NodeId(1), net::NodeId(0), 1);
+  EXPECT_EQ(g.out_links(net::NodeId(0)).size(), 2u);
+  EXPECT_EQ(g.in_links(net::NodeId(0)).size(), 1u);
+  EXPECT_EQ(g.out_links(net::NodeId(2)).size(), 0u);
+}
+
+TEST(Graph, FindLinkSkipsDisabled) {
+  net::Graph g(2);
+  const net::LinkId l = g.add_link(net::NodeId(0), net::NodeId(1), 4);
+  EXPECT_TRUE(g.find_link(net::NodeId(0), net::NodeId(1)).has_value());
+  g.set_link_enabled(l, false);
+  EXPECT_FALSE(g.find_link(net::NodeId(0), net::NodeId(1)).has_value());
+  g.set_link_enabled(l, true);
+  EXPECT_TRUE(g.find_link(net::NodeId(0), net::NodeId(1)).has_value());
+}
+
+TEST(Graph, FailDuplexDisablesBothDirections) {
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 4);
+  g.add_duplex(net::NodeId(1), net::NodeId(2), 4);
+  EXPECT_EQ(g.fail_duplex(net::NodeId(0), net::NodeId(1)), 2);
+  EXPECT_FALSE(g.find_link(net::NodeId(0), net::NodeId(1)).has_value());
+  EXPECT_FALSE(g.find_link(net::NodeId(1), net::NodeId(0)).has_value());
+  EXPECT_TRUE(g.find_link(net::NodeId(1), net::NodeId(2)).has_value());
+  // Idempotent: already-disabled links are not counted again.
+  EXPECT_EQ(g.fail_duplex(net::NodeId(0), net::NodeId(1)), 0);
+}
+
+TEST(Graph, NeighborsDeduplicatedAndSorted) {
+  net::Graph g(4);
+  g.add_link(net::NodeId(0), net::NodeId(3), 1);
+  g.add_link(net::NodeId(0), net::NodeId(1), 1);
+  g.add_link(net::NodeId(0), net::NodeId(3), 2);  // parallel link
+  const auto nb = g.neighbors(net::NodeId(0));
+  ASSERT_EQ(nb.size(), 2u);
+  EXPECT_EQ(nb[0], net::NodeId(1));
+  EXPECT_EQ(nb[1], net::NodeId(3));
+}
+
+TEST(Graph, StrongConnectivity) {
+  net::Graph g(3);
+  g.add_link(net::NodeId(0), net::NodeId(1), 1);
+  g.add_link(net::NodeId(1), net::NodeId(2), 1);
+  EXPECT_FALSE(g.strongly_connected());
+  g.add_link(net::NodeId(2), net::NodeId(0), 1);
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(Graph, StrongConnectivityRespectsFailures) {
+  net::Graph g = net::ring(5, 10);
+  EXPECT_TRUE(g.strongly_connected());
+  g.fail_duplex(net::NodeId(0), net::NodeId(1));
+  // A failed duplex leaves a line graph: still strongly connected via the
+  // other direction around the ring.
+  EXPECT_TRUE(g.strongly_connected());
+  g.fail_duplex(net::NodeId(2), net::NodeId(3));
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(Graph, CapacityBetweenSumsParallelEnabledLinks) {
+  net::Graph g(2);
+  const net::LinkId a = g.add_link(net::NodeId(0), net::NodeId(1), 4);
+  g.add_link(net::NodeId(0), net::NodeId(1), 6);
+  EXPECT_EQ(g.capacity_between(net::NodeId(0), net::NodeId(1)), 10);
+  g.set_link_enabled(a, false);
+  EXPECT_EQ(g.capacity_between(net::NodeId(0), net::NodeId(1)), 6);
+  EXPECT_EQ(g.capacity_between(net::NodeId(1), net::NodeId(0)), 0);
+}
+
+TEST(Dot, CollapsesDuplexPairsAndMarksFailures) {
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 5);
+  const net::LinkId one_way = g.add_link(net::NodeId(1), net::NodeId(2), 3);
+  g.set_link_enabled(one_way, false);
+  const std::string dot = net::to_dot(g, "t");
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -- 0"), std::string::npos);  // collapsed
+  EXPECT_NE(dot.find("dir=forward"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, AdjacencyTextListsEveryNode) {
+  const net::Graph g = net::nsfnet_t3();
+  const std::string text = net::to_adjacency_text(g);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NE(text.find(std::string(g.node_name(net::NodeId(i)))), std::string::npos) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Network / traffic text serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "netgraph/io.hpp"
+#include "netgraph/topologies.hpp"
+
+namespace net = altroute::net;
+
+namespace {
+
+TEST(NetworkIo, RoundTripPreservesEverything) {
+  net::Graph original = net::nsfnet_t3();
+  original.set_link_enabled(net::LinkId(4), false);
+  std::stringstream buffer;
+  net::write_network(buffer, original);
+  const net::Graph loaded = net::read_network(buffer);
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.link_count(), original.link_count());
+  for (int i = 0; i < original.node_count(); ++i) {
+    EXPECT_EQ(loaded.node_name(net::NodeId(i)), original.node_name(net::NodeId(i))) << i;
+  }
+  for (int k = 0; k < original.link_count(); ++k) {
+    const net::Link& a = original.link(net::LinkId(k));
+    const net::Link& b = loaded.link(net::LinkId(k));
+    EXPECT_EQ(a.src, b.src) << k;
+    EXPECT_EQ(a.dst, b.dst) << k;
+    EXPECT_EQ(a.capacity, b.capacity) << k;
+    EXPECT_EQ(a.enabled, b.enabled) << k;
+  }
+}
+
+TEST(NetworkIo, NamesWithSpacesSurvive) {
+  net::Graph g;
+  g.add_node("New York City");
+  g.add_node("Salt Lake City");
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 7);
+  std::stringstream buffer;
+  net::write_network(buffer, g);
+  const net::Graph loaded = net::read_network(buffer);
+  EXPECT_EQ(loaded.node_name(net::NodeId(0)), "New York City");
+  EXPECT_EQ(loaded.node_name(net::NodeId(1)), "Salt Lake City");
+}
+
+TEST(NetworkIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a network\n"
+      "network 1\n"
+      "\n"
+      "node 0 a\n"
+      "node 1 b\n"
+      "# the only link\n"
+      "link 0 1 5\n");
+  const net::Graph g = net::read_network(in);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.link_count(), 1);
+}
+
+TEST(NetworkIo, MalformedInputsRejectedWithLineNumbers) {
+  const auto expect_fail = [](const std::string& text, const std::string& needle) {
+    std::stringstream in(text);
+    try {
+      (void)net::read_network(in);
+      FAIL() << "expected rejection of: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message was: " << e.what();
+    }
+  };
+  expect_fail("node 0 a\n", "before network header");
+  expect_fail("network 2\n", "unsupported");
+  expect_fail("network 1\nnode 1 a\n", "dense");
+  expect_fail("network 1\nnode 0 a\nlink 0 5 3\n", "out of range");
+  expect_fail("network 1\nnode 0 a\nnode 1 b\nlink 0 1 0\n", "line 4");
+  expect_fail("network 1\nbogus\n", "unknown directive");
+  expect_fail("network 1\nnode 0 a\nnode 1 b\nlink 0 1 5 sideways\n", "unknown link flag");
+  std::stringstream empty("# nothing\n");
+  EXPECT_THROW((void)net::read_network(empty), std::invalid_argument);
+}
+
+TEST(TrafficIo, RoundTrip) {
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(0), net::NodeId(3), 12.5);
+  t.set(net::NodeId(2), net::NodeId(1), 0.125);
+  std::stringstream buffer;
+  net::write_traffic(buffer, t);
+  const net::TrafficMatrix loaded = net::read_traffic(buffer);
+  ASSERT_EQ(loaded.size(), 4);
+  EXPECT_DOUBLE_EQ(loaded.at(net::NodeId(0), net::NodeId(3)), 12.5);
+  EXPECT_DOUBLE_EQ(loaded.at(net::NodeId(2), net::NodeId(1)), 0.125);
+  EXPECT_EQ(loaded.active_pairs(), 2);
+}
+
+TEST(TrafficIo, MalformedInputsRejected) {
+  const auto expect_fail = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW((void)net::read_traffic(in), std::invalid_argument) << text;
+  };
+  expect_fail("nodes 3\n");
+  expect_fail("traffic 1\ndemand 0 1 2\n");
+  expect_fail("traffic 1\nnodes 2\ndemand 0 5 2\n");
+  expect_fail("traffic 1\nnodes 2\ndemand 0 1 -2\n");
+  expect_fail("traffic 1\nnodes 2\ndemand 0 0 2\n");
+  expect_fail("traffic 9\n");
+  expect_fail("traffic 1\n");  // missing nodes
+}
+
+TEST(FileIo, SaveLoadRoundTripAndMissingFile) {
+  const std::string dir = ::testing::TempDir();
+  const std::string net_path = dir + "/altroute_net.txt";
+  const std::string traffic_path = dir + "/altroute_traffic.txt";
+  const net::Graph g = net::ring(5, 9);
+  net::save_network(net_path, g);
+  const net::Graph loaded = net::load_network(net_path);
+  EXPECT_EQ(loaded.link_count(), g.link_count());
+  net::TrafficMatrix t = net::TrafficMatrix::uniform(5, 2.0);
+  net::save_traffic(traffic_path, t);
+  EXPECT_DOUBLE_EQ(net::load_traffic(traffic_path).total(), t.total());
+  std::remove(net_path.c_str());
+  std::remove(traffic_path.c_str());
+  EXPECT_THROW((void)net::load_network(dir + "/does_not_exist.txt"), std::runtime_error);
+  EXPECT_THROW(net::save_network("/no/such/dir/x.txt", g), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Kaufman-Roberts multi-rate blocking and the exact reservation chain.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/kaufman_roberts.hpp"
+
+namespace e = altroute::erlang;
+
+namespace {
+
+TEST(KaufmanRoberts, SingleUnitClassReducesToErlangB) {
+  for (const double a : {0.5, 5.0, 25.0, 120.0}) {
+    for (const int c : {1, 10, 100}) {
+      const auto blocking = e::kaufman_roberts_blocking({{a, 1}}, c);
+      ASSERT_EQ(blocking.size(), 1u);
+      EXPECT_NEAR(blocking[0], e::erlang_b(a, c), 1e-10) << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(KaufmanRoberts, DistributionNormalizedAndNonNegative) {
+  const auto q = e::kaufman_roberts_distribution({{10.0, 1}, {3.0, 4}}, 50);
+  ASSERT_EQ(q.size(), 51u);
+  double total = 0.0;
+  for (const double value : q) {
+    EXPECT_GE(value, 0.0);
+    total += value;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(KaufmanRoberts, WideCallsAsSingleClassMatchScaledErlang) {
+  // One class of b-unit calls on a C-unit link is an Erlang system with
+  // C/b servers when b divides C.
+  const auto blocking = e::kaufman_roberts_blocking({{7.0, 5}}, 50);
+  EXPECT_NEAR(blocking[0], e::erlang_b(7.0, 10), 1e-10);
+}
+
+TEST(KaufmanRoberts, WiderClassBlocksMore) {
+  const auto blocking = e::kaufman_roberts_blocking({{8.0, 1}, {2.0, 4}, {1.0, 8}}, 30);
+  ASSERT_EQ(blocking.size(), 3u);
+  EXPECT_LT(blocking[0], blocking[1]);
+  EXPECT_LT(blocking[1], blocking[2]);
+}
+
+TEST(KaufmanRoberts, ExactBruteForceCrossCheck) {
+  // Two classes on a tiny link: compare against the reservation chain with
+  // zero reservation (which solves the full 2-D Markov chain exactly;
+  // with r = 0 it must agree with product-form Kaufman-Roberts).
+  const std::vector<e::RateClass> classes = {{2.0, 1}, {1.0, 3}};
+  const auto kr = e::kaufman_roberts_blocking(classes, 8);
+  const auto exact = e::multirate_reservation_blocking(classes, 8, {0, 0});
+  ASSERT_EQ(exact.size(), 2u);
+  EXPECT_NEAR(kr[0], exact[0], 1e-8);
+  EXPECT_NEAR(kr[1], exact[1], 1e-8);
+}
+
+TEST(KaufmanRoberts, HeavyLoadStability) {
+  // Enormous offered load must not overflow the recursion.
+  const auto blocking = e::kaufman_roberts_blocking({{1e6, 1}, {1e5, 10}}, 200);
+  EXPECT_GT(blocking[0], 0.99);
+  EXPECT_LE(blocking[1], 1.0);
+}
+
+TEST(KaufmanRoberts, Validation) {
+  EXPECT_THROW((void)e::kaufman_roberts_blocking({}, 10), std::invalid_argument);
+  EXPECT_THROW((void)e::kaufman_roberts_blocking({{1.0, 0}}, 10), std::invalid_argument);
+  EXPECT_THROW((void)e::kaufman_roberts_blocking({{-1.0, 1}}, 10), std::invalid_argument);
+  EXPECT_THROW((void)e::kaufman_roberts_blocking({{1.0, 1}}, -1), std::invalid_argument);
+}
+
+TEST(ReservationChain, ProtectsTheFavoredClass) {
+  // Reserving against the wide class lowers the narrow class's blocking
+  // and raises the wide class's, relative to no reservation.
+  const std::vector<e::RateClass> classes = {{4.0, 1}, {1.5, 3}};
+  const auto plain = e::multirate_reservation_blocking(classes, 10, {0, 0});
+  const auto guarded = e::multirate_reservation_blocking(classes, 10, {0, 3});
+  EXPECT_LT(guarded[0], plain[0]);
+  EXPECT_GT(guarded[1], plain[1]);
+}
+
+TEST(ReservationChain, FullReservationShutsAClassOut) {
+  const std::vector<e::RateClass> classes = {{3.0, 1}, {1.0, 2}};
+  const auto blocking = e::multirate_reservation_blocking(classes, 6, {0, 6});
+  EXPECT_NEAR(blocking[1], 1.0, 1e-9);
+  // With class 2 shut out, class 1 behaves like a pure Erlang system.
+  EXPECT_NEAR(blocking[0], e::erlang_b(3.0, 6), 1e-6);
+}
+
+TEST(ReservationChain, Validation) {
+  EXPECT_THROW((void)e::multirate_reservation_blocking({{1.0, 1}}, 5, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)e::multirate_reservation_blocking({{1.0, 1}}, 5, {6}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Per-link admission: the trunk-reservation rule at the heart of the
+// control scheme.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "loss/link_state.hpp"
+
+namespace loss = altroute::loss;
+
+namespace {
+
+TEST(LinkState, FreshLinkAdmitsBothClasses) {
+  const loss::LinkState link(10, 2);
+  EXPECT_EQ(link.capacity(), 10);
+  EXPECT_EQ(link.occupancy(), 0);
+  EXPECT_EQ(link.reservation(), 2);
+  EXPECT_EQ(link.free_circuits(), 10);
+  EXPECT_TRUE(link.admits(loss::CallClass::kPrimary));
+  EXPECT_TRUE(link.admits(loss::CallClass::kAlternate));
+}
+
+TEST(LinkState, AlternateRefusedInTopRPlusOneStates) {
+  // C = 5, r = 2: alternates admitted in states 0..2, refused in 3, 4 (and
+  // 5, where even primaries are refused) -- exactly r + 1 = 3 refusing
+  // states, the paper's definition.
+  loss::LinkState link(5, 2);
+  for (int s = 0; s < 5; ++s) {
+    const bool expect_alternate = s < 3;
+    EXPECT_EQ(link.admits(loss::CallClass::kAlternate), expect_alternate) << "state " << s;
+    EXPECT_TRUE(link.admits(loss::CallClass::kPrimary)) << "state " << s;
+    link.seize();
+  }
+  EXPECT_FALSE(link.admits(loss::CallClass::kPrimary));
+  EXPECT_FALSE(link.admits(loss::CallClass::kAlternate));
+}
+
+TEST(LinkState, ZeroReservationTreatsClassesEqually) {
+  loss::LinkState link(3, 0);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(link.admits(loss::CallClass::kPrimary),
+              link.admits(loss::CallClass::kAlternate))
+        << s;
+    link.seize();
+  }
+}
+
+TEST(LinkState, FullReservationShutsOutAlternatesEntirely) {
+  loss::LinkState link(4, 4);
+  EXPECT_FALSE(link.admits(loss::CallClass::kAlternate));
+  EXPECT_TRUE(link.admits(loss::CallClass::kPrimary));
+}
+
+TEST(LinkState, SeizeReleaseRoundTrip) {
+  loss::LinkState link(2, 0);
+  link.seize();
+  link.seize();
+  EXPECT_EQ(link.occupancy(), 2);
+  EXPECT_EQ(link.free_circuits(), 0);
+  EXPECT_THROW(link.seize(), std::logic_error);
+  link.release();
+  EXPECT_EQ(link.occupancy(), 1);
+  link.release();
+  EXPECT_THROW(link.release(), std::logic_error);
+}
+
+TEST(LinkState, ReservationUpdateValidated) {
+  loss::LinkState link(5, 0);
+  link.set_reservation(5);
+  EXPECT_EQ(link.reservation(), 5);
+  EXPECT_THROW(link.set_reservation(6), std::invalid_argument);
+  EXPECT_THROW(link.set_reservation(-1), std::invalid_argument);
+  EXPECT_THROW((void)loss::LinkState(-1, 0), std::invalid_argument);
+  EXPECT_THROW((void)loss::LinkState(3, 4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Time-varying load: profiles, thinned trace generation, engine time bins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/load_profile.hpp"
+
+namespace net = altroute::net;
+namespace sim = altroute::sim;
+namespace loss = altroute::loss;
+namespace routing = altroute::routing;
+
+namespace {
+
+TEST(LoadProfile, PiecewiseLookup) {
+  const sim::LoadProfile p({0.0, 10.0, 25.0}, {1.0, 2.5, 0.5});
+  EXPECT_DOUBLE_EQ(p.factor_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(10.0), 2.5);
+  EXPECT_DOUBLE_EQ(p.factor_at(24.0), 2.5);
+  EXPECT_DOUBLE_EQ(p.factor_at(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.factor_at(1e9), 0.5);  // last segment extends
+  EXPECT_DOUBLE_EQ(p.max_factor(), 2.5);
+}
+
+TEST(LoadProfile, PeriodicWraps) {
+  const sim::LoadProfile p({0.0, 5.0}, {1.0, 3.0}, /*periodic=*/true, /*period=*/10.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(7.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(12.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.factor_at(17.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_factor(), 2.0);
+}
+
+TEST(LoadProfile, ConstantAndDiurnal) {
+  EXPECT_DOUBLE_EQ(sim::LoadProfile::constant(1.7).factor_at(42.0), 1.7);
+  const sim::LoadProfile d = sim::LoadProfile::diurnal(24.0, 0.5, 1.5, 24);
+  // Trough near t = 0, peak near t = 12.
+  EXPECT_LT(d.factor_at(0.5), 0.6);
+  EXPECT_GT(d.factor_at(12.0), 1.4);
+  EXPECT_NEAR(d.mean_factor(), 1.0, 0.01);
+  EXPECT_LE(d.max_factor(), 1.5);
+  // One full period later the value repeats.
+  EXPECT_DOUBLE_EQ(d.factor_at(3.0), d.factor_at(27.0));
+}
+
+TEST(LoadProfile, Validation) {
+  EXPECT_THROW((void)sim::LoadProfile({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile({0.0, 0.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile({0.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile({0.0, 5.0}, {1.0, 1.0}, true, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile::diurnal(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)sim::LoadProfile::diurnal(10.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(ProfiledTrace, RateTracksTheProfile) {
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 20.0);
+  const sim::LoadProfile p({0.0, 100.0}, {0.5, 2.0});
+  const sim::CallTrace trace = sim::generate_profiled_trace(t, p, 200.0, 5);
+  long long first_half = 0;
+  long long second_half = 0;
+  for (const sim::CallRecord& c : trace.calls) {
+    (c.arrival < 100.0 ? first_half : second_half) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(first_half), 20.0 * 0.5 * 100.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(second_half), 20.0 * 2.0 * 100.0, 400.0);
+}
+
+TEST(ProfiledTrace, ConstantProfileMatchesHomogeneousRate) {
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(3, 4.0);
+  const sim::CallTrace trace =
+      sim::generate_profiled_trace(t, sim::LoadProfile::constant(1.0), 300.0, 9);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 6 * 4.0 * 300.0, 0.05 * 6 * 4.0 * 300.0);
+  double prev = 0.0;
+  for (const sim::CallRecord& c : trace.calls) {
+    EXPECT_GE(c.arrival, prev);
+    prev = c.arrival;
+  }
+}
+
+TEST(ProfiledTrace, ZeroProfileGivesEmptyTrace) {
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(3, 4.0);
+  const sim::CallTrace trace =
+      sim::generate_profiled_trace(t, sim::LoadProfile::constant(0.0), 50.0, 1);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(EngineTimeBins, ConservationAndLoadShape) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 12.0);
+  const sim::LoadProfile p({0.0, 105.0}, {0.25, 1.5});
+  const sim::CallTrace trace = sim::generate_profiled_trace(t, p, 200.0, 3);
+  loss::SinglePathPolicy policy;
+  loss::EngineOptions options;
+  options.warmup = 10.0;
+  options.time_bins = 10;  // 19-unit bins over [10, 200)
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+  ASSERT_EQ(run.bin_offered.size(), 10u);
+  long long offered = 0;
+  long long blocked = 0;
+  for (std::size_t b = 0; b < 10; ++b) {
+    offered += run.bin_offered[b];
+    blocked += run.bin_blocked[b];
+    EXPECT_LE(run.bin_blocked[b], run.bin_offered[b]) << b;
+  }
+  EXPECT_EQ(offered, run.offered);
+  EXPECT_EQ(blocked, run.blocked);
+  // The load steps up at t = 105 (bin 5): later bins see far more traffic
+  // and far more blocking than early ones.
+  EXPECT_GT(run.bin_offered[8], 3 * run.bin_offered[2]);
+  EXPECT_GT(run.bin_blocked[8], run.bin_blocked[2]);
+}
+
+}  // namespace

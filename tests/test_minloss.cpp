@@ -1,0 +1,129 @@
+// Min-loss bifurcated primary optimization (Frank-Wolfe flow deviation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/minloss.hpp"
+#include "routing/route_table.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+namespace erlang = altroute::erlang;
+
+namespace {
+
+TEST(MinLoss, NeverWorseThanAllOnMinHop) {
+  const net::Graph g = net::nsfnet_t3();
+  net::TrafficMatrix t = net::TrafficMatrix::uniform(12, 8.0);
+  const routing::MinLossResult r = routing::optimize_min_loss_primaries(g, t);
+  EXPECT_LE(r.expected_loss_rate, r.initial_loss_rate + 1e-9);
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(MinLoss, SplitsAcrossParallelRoutesUnderPressure) {
+  // Two disjoint 2-hop routes 0->3 and a heavy demand: the optimum must
+  // bifurcate close to 50/50 by symmetry.
+  net::Graph g(4);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 20);
+  g.add_duplex(net::NodeId(1), net::NodeId(3), 20);
+  g.add_duplex(net::NodeId(0), net::NodeId(2), 20);
+  g.add_duplex(net::NodeId(2), net::NodeId(3), 20);
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(0), net::NodeId(3), 30.0);
+  routing::MinLossOptions options;
+  options.max_alt_hops = 3;
+  const routing::MinLossResult r = routing::optimize_min_loss_primaries(g, t, options);
+  const routing::RouteSet& set = r.routes.at(net::NodeId(0), net::NodeId(3));
+  ASSERT_EQ(set.primaries.size(), 2u);
+  EXPECT_NEAR(set.primary_probs[0], 0.5, 0.02);
+  EXPECT_NEAR(set.primary_probs[1], 0.5, 0.02);
+  // Expected loss with the split: two independent links at 15 E / 20 C
+  // (the path's two links see the same flow, but blocking is dominated per
+  // link; the objective is the SUM of link loss rates).
+  const double balanced = 4.0 * erlang::loss_rate(15.0, 20);
+  const double unbalanced = 2.0 * erlang::loss_rate(30.0, 20);
+  EXPECT_LT(balanced, unbalanced);  // sanity of the premise
+  EXPECT_NEAR(r.expected_loss_rate, balanced, 0.05 * balanced);
+}
+
+TEST(MinLoss, ProbabilitiesFormDistributions) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(12, 10.0);
+  const routing::MinLossResult r = routing::optimize_min_loss_primaries(g, t);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const routing::RouteSet& set = r.routes.at(net::NodeId(i), net::NodeId(j));
+      ASSERT_TRUE(set.reachable()) << i << "->" << j;
+      double total = 0.0;
+      for (std::size_t p = 0; p < set.primaries.size(); ++p) {
+        EXPECT_GT(set.primary_probs[p], 0.0);
+        EXPECT_EQ(set.primaries[p].origin(), net::NodeId(i));
+        EXPECT_EQ(set.primaries[p].destination(), net::NodeId(j));
+        total += set.primary_probs[p];
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << i << "->" << j;
+    }
+  }
+}
+
+TEST(MinLoss, LightLoadStaysOnMinHop) {
+  // With negligible load the loss gradient is ~zero everywhere and the
+  // min-hop start is already optimal: no bifurcation should appear.
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(12, 0.05);
+  const routing::MinLossResult r = routing::optimize_min_loss_primaries(g, t);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(r.routes.at(net::NodeId(i), net::NodeId(j)).primaries.size(), 1u)
+          << i << "->" << j;
+    }
+  }
+  EXPECT_NEAR(r.expected_loss_rate, r.initial_loss_rate, 1e-12);
+}
+
+TEST(MinLoss, SingleCandidateDegeneratesToMinHop) {
+  // With one candidate path per pair there is nothing to optimize: the
+  // result must be the min-hop program with probability 1 everywhere and
+  // the objective unchanged from the starting point.
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(12, 9.0);
+  routing::MinLossOptions options;
+  options.candidate_paths = 1;
+  const routing::MinLossResult r = routing::optimize_min_loss_primaries(g, t, options);
+  EXPECT_DOUBLE_EQ(r.expected_loss_rate, r.initial_loss_rate);
+  const routing::RouteTable minhop = routing::build_min_hop_routes(g, options.max_alt_hops);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const routing::RouteSet& set = r.routes.at(net::NodeId(i), net::NodeId(j));
+      ASSERT_EQ(set.primaries.size(), 1u);
+      EXPECT_DOUBLE_EQ(set.primary_probs[0], 1.0);
+      EXPECT_EQ(set.primaries[0].nodes,
+                minhop.at(net::NodeId(i), net::NodeId(j)).primaries[0].nodes)
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST(MinLoss, Validation) {
+  const net::Graph g = net::ring(4, 10);
+  EXPECT_THROW((void)routing::optimize_min_loss_primaries(g, net::TrafficMatrix(5)),
+               std::invalid_argument);
+  net::Graph disconnected(3);
+  disconnected.add_duplex(net::NodeId(0), net::NodeId(1), 5);
+  net::TrafficMatrix t(3);
+  t.set(net::NodeId(0), net::NodeId(2), 1.0);
+  EXPECT_THROW((void)routing::optimize_min_loss_primaries(disconnected, t),
+               std::invalid_argument);
+  routing::MinLossOptions bad;
+  bad.candidate_paths = 0;
+  EXPECT_THROW((void)routing::optimize_min_loss_primaries(g, net::TrafficMatrix(4), bad),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// MSER warm-up detection and the carried-hops metric.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/mser.hpp"
+#include "sim/rng.hpp"
+
+namespace sim = altroute::sim;
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+
+namespace {
+
+TEST(Mser, ConstantSeriesNeedsNoTruncation) {
+  const std::vector<double> series(50, 3.0);
+  const sim::MserResult r = sim::mser_truncation(series, 5);
+  EXPECT_EQ(r.truncation_batches, 0u);
+  EXPECT_EQ(r.batches, 10u);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+}
+
+TEST(Mser, DetectsAnObviousTransient) {
+  // 20 observations of a high transient, then 180 of stationary noise.
+  sim::Rng rng(5, 0);
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(10.0 - 0.4 * i + 0.1 * rng.uniform01());
+  for (int i = 0; i < 180; ++i) series.push_back(2.0 + 0.1 * rng.uniform01());
+  const sim::MserResult r = sim::mser_truncation(series, 5);
+  // The transient spans batches 0..3 (observations 0..19).
+  EXPECT_GE(r.truncation_batches, 3u);
+  EXPECT_LE(r.truncation_batches, 6u);
+}
+
+TEST(Mser, TruncationCappedAtHalfTheSeries) {
+  // Monotone drift throughout: the guard must stop at n/2 batches.
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(static_cast<double>(-i));
+  const sim::MserResult r = sim::mser_truncation(series, 5);
+  EXPECT_LE(r.truncation_batches, 10u);
+}
+
+TEST(Mser, PartialTrailingBatchIsDropped) {
+  const std::vector<double> series(53, 1.0);  // 10 full batches + 3 leftovers
+  EXPECT_EQ(sim::mser_truncation(series, 5).batches, 10u);
+}
+
+TEST(Mser, Validation) {
+  EXPECT_THROW((void)sim::mser_truncation({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)sim::mser_truncation({1.0, 2.0, 3.0}, 5), std::invalid_argument);
+  EXPECT_NO_THROW((void)sim::mser_truncation({1.0, 2.0}, 1));
+}
+
+TEST(CarriedHops, SinglePathCarriesOnlyPrimaryLengths) {
+  const net::Graph g = net::full_mesh(4, 50);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 30.0);
+  const sim::CallTrace trace = sim::generate_trace(t, 50.0, 3);
+  loss::SinglePathPolicy policy;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, {});
+  // Full-mesh primaries are all 1 hop.
+  ASSERT_EQ(run.carried_by_hops.size(), 2u);
+  EXPECT_EQ(run.carried_by_hops[1], run.carried_primary);
+  EXPECT_DOUBLE_EQ(run.mean_carried_hops(), 1.0);
+}
+
+TEST(CarriedHops, AlternateRoutingRaisesTheMean) {
+  const net::Graph g = net::full_mesh(4, 50);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 45.0);
+  const sim::CallTrace trace = sim::generate_trace(t, 60.0, 7);
+  loss::SinglePathPolicy single;
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  const loss::RunResult a = loss::run_trace(g, routes, single, trace, {});
+  const loss::RunResult b = loss::run_trace(g, routes, uncontrolled, trace, {});
+  EXPECT_GT(b.mean_carried_hops(), a.mean_carried_hops());
+  // Hop buckets reconcile with the carried totals.
+  long long carried = 0;
+  for (const long long count : b.carried_by_hops) carried += count;
+  EXPECT_EQ(carried, b.carried_primary + b.carried_alternate);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Network-wide admission state: path probes, booking, release.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "loss/network_state.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/path.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace routing = altroute::routing;
+
+namespace {
+
+class NetworkStateTest : public ::testing::Test {
+ protected:
+  NetworkStateTest() : graph_(net::full_mesh(4, 2)), state_(graph_) {}
+
+  routing::Path path(std::initializer_list<int> nodes) {
+    std::vector<net::NodeId> seq;
+    for (const int v : nodes) seq.emplace_back(v);
+    return routing::make_path(graph_, seq);
+  }
+
+  net::Graph graph_;
+  loss::NetworkState state_;
+};
+
+TEST_F(NetworkStateTest, InitializedFromGraphCapacities) {
+  EXPECT_EQ(state_.link_count(), 12);
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_EQ(state_.link(net::LinkId(k)).capacity(), 2);
+    EXPECT_EQ(state_.link(net::LinkId(k)).occupancy(), 0);
+    EXPECT_EQ(state_.link(net::LinkId(k)).reservation(), 0);
+  }
+}
+
+TEST_F(NetworkStateTest, BookAndReleaseAdjustEveryHop) {
+  const routing::Path p = path({0, 1, 2});
+  EXPECT_TRUE(state_.path_admissible(p, loss::CallClass::kPrimary));
+  state_.book(p);
+  EXPECT_EQ(state_.link(p.links[0]).occupancy(), 1);
+  EXPECT_EQ(state_.link(p.links[1]).occupancy(), 1);
+  EXPECT_EQ(state_.total_occupancy(), 2);
+  state_.release(p);
+  EXPECT_EQ(state_.total_occupancy(), 0);
+}
+
+TEST_F(NetworkStateTest, FirstBlockingLinkIdentified) {
+  const routing::Path p = path({0, 1, 2});
+  // Fill link 1->2 (capacity 2).
+  state_.book(path({1, 2}));
+  state_.book(path({1, 2}));
+  EXPECT_EQ(state_.first_blocking_link(p, loss::CallClass::kPrimary), 1);
+  EXPECT_FALSE(state_.path_admissible(p, loss::CallClass::kPrimary));
+  // Now also fill 0->1: the FIRST blocking link along the path wins.
+  state_.book(path({0, 1}));
+  state_.book(path({0, 1}));
+  EXPECT_EQ(state_.first_blocking_link(p, loss::CallClass::kPrimary), 0);
+}
+
+TEST_F(NetworkStateTest, AlternateClassSeesReservations) {
+  const routing::Path p = path({0, 1});
+  state_.set_reservation(p.links[0], 1);
+  state_.book(p);  // occupancy 1 = C - r: alternates refused, primaries ok
+  EXPECT_TRUE(state_.path_admissible(p, loss::CallClass::kPrimary));
+  EXPECT_FALSE(state_.path_admissible(p, loss::CallClass::kAlternate));
+  EXPECT_EQ(state_.first_blocking_link(p, loss::CallClass::kAlternate), 0);
+}
+
+TEST_F(NetworkStateTest, SetReservationsVector) {
+  std::vector<int> r(12, 1);
+  state_.set_reservations(r);
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_EQ(state_.link(net::LinkId(k)).reservation(), 1);
+  }
+  EXPECT_THROW(state_.set_reservations(std::vector<int>(5, 0)), std::invalid_argument);
+}
+
+TEST_F(NetworkStateTest, BookingPastCapacityThrows) {
+  const routing::Path p = path({0, 1});
+  state_.book(p);
+  state_.book(p);
+  EXPECT_THROW(state_.book(p), std::logic_error);
+  EXPECT_EQ(state_.link(p.links[0]).occupancy(), 2);
+}
+
+}  // namespace

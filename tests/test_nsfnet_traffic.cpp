@@ -1,0 +1,93 @@
+// NSFNet nominal traffic reconstruction: Table 1's link loads recovered.
+#include <gtest/gtest.h>
+
+#include "core/protection.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+namespace core = altroute::core;
+namespace study = altroute::study;
+
+namespace {
+
+TEST(NsfnetTraffic, WellFormedMatrix) {
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_GT(t.total(), 0.0);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(t.at(net::NodeId(i), net::NodeId(i)), 0.0);
+  }
+}
+
+TEST(NsfnetTraffic, ResidualAgainstTable1IsSmall) {
+  const study::ReconstructionQuality& q = study::nsfnet_reconstruction_quality();
+  // The printed loads are integers (rounded); a fit within half a call of
+  // every printed value is as faithful as the source data permits.
+  EXPECT_LT(q.max_abs_residual, 0.5);
+  EXPECT_LT(q.rms_residual, 0.25);
+}
+
+TEST(NsfnetTraffic, InducedLinkLoadsMatchTable1) {
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const auto lambda =
+      routing::primary_link_loads(g, routes, study::nsfnet_nominal_traffic());
+  const auto& table = net::nsfnet_table1();
+  for (int k = 0; k < 30; ++k) {
+    EXPECT_NEAR(lambda[static_cast<std::size_t>(k)], table[static_cast<std::size_t>(k)].lambda,
+                0.5)
+        << table[static_cast<std::size_t>(k)].src << "->" << table[static_cast<std::size_t>(k)].dst;
+  }
+}
+
+TEST(NsfnetTraffic, ProtectionLevelsReproduceTable1) {
+  // End-to-end: reconstructed T -> Eq. 1 loads -> Eq. 15 levels.  H = 11
+  // must match the paper exactly on at least 28/30 links, H = 6 on at
+  // least 24/30 (the printed Lambda rounding shifts a handful of
+  // knife-edge rows by one or two units of r).
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 6);
+  const auto lambda =
+      routing::primary_link_loads(g, routes, study::nsfnet_nominal_traffic());
+  const auto r6 = core::protection_levels_from_lambda(g, lambda, 6);
+  const auto r11 = core::protection_levels_from_lambda(g, lambda, 11);
+  const auto& table = net::nsfnet_table1();
+  int match6 = 0;
+  int match11 = 0;
+  for (std::size_t k = 0; k < 30; ++k) {
+    if (r6[k] == table[k].r_h6) ++match6;
+    if (r11[k] == table[k].r_h11) ++match11;
+    EXPECT_NEAR(static_cast<double>(r6[k]), static_cast<double>(table[k].r_h6), 3.0) << k;
+  }
+  EXPECT_GE(match11, 28) << "H=11 levels diverge from Table 1";
+  EXPECT_GE(match6, 24) << "H=6 levels diverge from Table 1";
+}
+
+TEST(NsfnetTraffic, WideDisparitiesAsInThePaper) {
+  // "Note the wide disparities in the values of the elements of the
+  // traffic matrix": the reconstruction should likewise span orders of
+  // magnitude rather than being near-uniform.
+  const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();
+  double max_demand = 0.0;
+  double min_positive = 1e18;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const double d = t.at(net::NodeId(i), net::NodeId(j));
+      max_demand = std::max(max_demand, d);
+      if (d > 0.0) min_positive = std::min(min_positive, d);
+    }
+  }
+  EXPECT_GT(max_demand / min_positive, 10.0);
+}
+
+TEST(NsfnetTraffic, CachedSingleton) {
+  const net::TrafficMatrix& a = study::nsfnet_nominal_traffic();
+  const net::TrafficMatrix& b = study::nsfnet_nominal_traffic();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace

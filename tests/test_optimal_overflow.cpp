@@ -1,0 +1,125 @@
+// Exact overflow-system analysis: closed-form edges, exact ordering of the
+// schemes, and the optimality gap.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "study/optimal_overflow.hpp"
+
+namespace study = altroute::study;
+namespace erlang = altroute::erlang;
+
+namespace {
+
+study::OverflowSystem standard() {
+  study::OverflowSystem s;
+  s.direct_capacity = 6;
+  s.via_a_capacity = 6;
+  s.via_b_capacity = 6;
+  s.target_rate = 6.0;
+  s.background_a_rate = 3.0;
+  s.background_b_rate = 3.0;
+  return s;
+}
+
+TEST(OverflowExact, SinglePathDecomposesIntoErlangSystems) {
+  // Without overflow the three links are independent M/M/C/C systems.
+  const study::OverflowSystem s = standard();
+  const auto r = study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath);
+  EXPECT_NEAR(r.target_blocking, erlang::erlang_b(6.0, 6), 1e-9);
+  EXPECT_NEAR(r.background_blocking, erlang::erlang_b(3.0, 6), 1e-9);
+  const double expected_loss =
+      6.0 * erlang::erlang_b(6.0, 6) + 2.0 * 3.0 * erlang::erlang_b(3.0, 6);
+  EXPECT_NEAR(r.loss_rate, expected_loss, 1e-8);
+  EXPECT_DOUBLE_EQ(r.overflow_fraction, 0.0);
+}
+
+TEST(OverflowExact, ZeroBackgroundMakesUncontrolledIdeal) {
+  // With idle alternate links, overflowing is pure gain: target blocking
+  // must drop well below the single-path value, and no background exists
+  // to hurt.
+  study::OverflowSystem s = standard();
+  s.background_a_rate = 0.0;
+  s.background_b_rate = 0.0;
+  const auto single = study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath);
+  const auto uncontrolled =
+      study::evaluate_overflow_policy(s, study::OverflowPolicy::kUncontrolled);
+  EXPECT_LT(uncontrolled.target_blocking, 0.25 * single.target_blocking);
+  EXPECT_GT(uncontrolled.overflow_fraction, 0.05);
+}
+
+TEST(OverflowExact, ExactSchemeOrderingAtHeavyBackground) {
+  // Busy alternate links: uncontrolled overflow steals from background
+  // primaries and loses MORE calls overall than single-path; controlled
+  // sits at or below single-path (the guarantee, in exact arithmetic);
+  // optimal is at or below everything.
+  study::OverflowSystem s = standard();
+  s.target_rate = 8.0;
+  s.background_a_rate = 5.5;
+  s.background_b_rate = 5.5;
+  const auto single = study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath);
+  const auto uncontrolled =
+      study::evaluate_overflow_policy(s, study::OverflowPolicy::kUncontrolled);
+  const auto controlled =
+      study::evaluate_overflow_policy(s, study::OverflowPolicy::kControlled);
+  const auto optimal = study::evaluate_overflow_policy(s, study::OverflowPolicy::kOptimal);
+  EXPECT_GT(uncontrolled.loss_rate, single.loss_rate);
+  EXPECT_LE(controlled.loss_rate, single.loss_rate + 1e-9);
+  EXPECT_LE(optimal.loss_rate, controlled.loss_rate + 1e-9);
+  EXPECT_LE(optimal.loss_rate, uncontrolled.loss_rate + 1e-9);
+  // Background suffers under uncontrolled overflow specifically.
+  EXPECT_GT(uncontrolled.background_blocking, single.background_blocking);
+}
+
+TEST(OverflowExact, ControlledGuaranteeHoldsAcrossLoads) {
+  for (double target = 2.0; target <= 10.0; target += 2.0) {
+    for (double background = 1.0; background <= 5.0; background += 2.0) {
+      study::OverflowSystem s = standard();
+      s.target_rate = target;
+      s.background_a_rate = background;
+      s.background_b_rate = background;
+      const auto single =
+          study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath);
+      const auto controlled =
+          study::evaluate_overflow_policy(s, study::OverflowPolicy::kControlled);
+      EXPECT_LE(controlled.loss_rate, single.loss_rate + 1e-9)
+          << "target=" << target << " background=" << background;
+    }
+  }
+}
+
+TEST(OverflowExact, OptimalNeverWorseThanAnyFixedRule) {
+  for (double target = 3.0; target <= 9.0; target += 3.0) {
+    study::OverflowSystem s = standard();
+    s.target_rate = target;
+    const auto optimal = study::evaluate_overflow_policy(s, study::OverflowPolicy::kOptimal);
+    for (const auto policy : {study::OverflowPolicy::kSinglePath,
+                              study::OverflowPolicy::kUncontrolled,
+                              study::OverflowPolicy::kControlled}) {
+      const auto fixed = study::evaluate_overflow_policy(s, policy);
+      EXPECT_LE(optimal.loss_rate, fixed.loss_rate + 1e-9) << "target=" << target;
+    }
+  }
+}
+
+TEST(OverflowExact, ControlledReservationsComeFromEqFifteen) {
+  const study::OverflowSystem s = standard();
+  const auto r = study::evaluate_overflow_policy(s, study::OverflowPolicy::kControlled);
+  EXPECT_EQ(r.reservation_a, erlang::min_state_protection(3.0, 6, 2));
+  EXPECT_EQ(r.reservation_b, erlang::min_state_protection(3.0, 6, 2));
+}
+
+TEST(OverflowExact, Validation) {
+  study::OverflowSystem s = standard();
+  s.direct_capacity = 0;
+  EXPECT_THROW((void)study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath),
+               std::invalid_argument);
+  s = standard();
+  s.target_rate = -1.0;
+  EXPECT_THROW((void)study::evaluate_overflow_policy(s, study::OverflowPolicy::kSinglePath),
+               std::invalid_argument);
+}
+
+}  // namespace

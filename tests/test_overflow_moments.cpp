@@ -1,0 +1,118 @@
+// Wilkinson/Riordan overflow moments, Hayward blocking, Rapp's fit, and
+// the batch-means analyzer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/overflow_moments.hpp"
+#include "sim/batch_means.hpp"
+#include "sim/rng.hpp"
+
+namespace e = altroute::erlang;
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(OverflowMoments, ZeroCircuitsPassesThePoissonStreamThrough) {
+  // Overflow of a 0-circuit group IS the offered stream: mean a, Z = 1.
+  const auto m = e::overflow_moments(7.0, 0);
+  EXPECT_NEAR(m.mean, 7.0, 1e-12);
+  EXPECT_NEAR(m.peakedness, 1.0, 1e-12);
+  EXPECT_NEAR(m.variance, 7.0, 1e-12);
+}
+
+TEST(OverflowMoments, OverflowIsPeaked) {
+  for (const double a : {5.0, 20.0, 80.0}) {
+    for (const int c : {1, 10, 50}) {
+      const auto m = e::overflow_moments(a, c);
+      EXPECT_NEAR(m.mean, a * e::erlang_b(a, c), 1e-12) << a << " " << c;
+      EXPECT_GT(m.peakedness, 1.0) << a << " " << c;
+    }
+  }
+}
+
+TEST(OverflowMoments, PeakednessGrowsThenShrinksInCapacity) {
+  // Z is known to peak near c ~ a and approach 1 for c >> a (almost
+  // nothing overflows) -- check the qualitative shape at a = 20.
+  const double a = 20.0;
+  const double z_small = e::overflow_moments(a, 2).peakedness;
+  const double z_match = e::overflow_moments(a, 20).peakedness;
+  const double z_large = e::overflow_moments(a, 60).peakedness;
+  EXPECT_GT(z_match, z_small);
+  EXPECT_GT(z_match, z_large);
+}
+
+TEST(OverflowMoments, Validation) {
+  EXPECT_THROW((void)e::overflow_moments(-1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)e::overflow_moments(1.0, -1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(e::overflow_moments(0.0, 5).mean, 0.0);
+}
+
+TEST(Hayward, PoissonReducesToErlangB) {
+  for (const double a : {3.0, 15.0, 60.0}) {
+    for (const int c : {5, 20, 80}) {
+      EXPECT_NEAR(e::hayward_blocking(a, 1.0, c), e::erlang_b(a, c), 1e-7)
+          << a << " " << c;
+    }
+  }
+}
+
+TEST(Hayward, PeakedTrafficBlocksMore) {
+  for (const double z : {1.5, 2.0, 3.0}) {
+    EXPECT_GT(e::hayward_blocking(20.0, z, 30), e::erlang_b(20.0, 30)) << z;
+  }
+  EXPECT_THROW((void)e::hayward_blocking(1.0, 0.0, 5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(e::hayward_blocking(0.0, 2.0, 5), 0.0);
+}
+
+TEST(Rapp, RoundTripsRiordanMoments) {
+  // Moments of a known overflow -> Rapp fit -> recompute moments from the
+  // fitted (a*, c*) rounded to the nearest integer circuit count: means
+  // should agree within a few percent (Rapp is an approximation).
+  const auto m = e::overflow_moments(25.0, 20);
+  const auto eq = e::rapp_equivalent(m.mean, m.variance);
+  EXPECT_NEAR(eq.offered, 25.0, 0.15 * 25.0);
+  EXPECT_NEAR(eq.circuits, 20.0, 0.15 * 20.0 + 1.0);
+  const auto back = e::overflow_moments(eq.offered, static_cast<int>(eq.circuits + 0.5));
+  EXPECT_NEAR(back.mean, m.mean, 0.08 * m.mean + 0.05);
+}
+
+TEST(Rapp, Validation) {
+  EXPECT_THROW((void)e::rapp_equivalent(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)e::rapp_equivalent(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(BatchMeans, IidSeriesCiCoversTheMean) {
+  sim::Rng rng(3, 0);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.exponential(0.5));  // mean 2
+  const sim::BatchMeansResult r = sim::batch_means(data, 20);
+  EXPECT_EQ(r.batches, 20u);
+  EXPECT_NEAR(r.mean, 2.0, 0.1);
+  EXPECT_GT(r.ci95_halfwidth, 0.0);
+  EXPECT_LE(std::abs(r.mean - 2.0), 3.0 * r.ci95_halfwidth + 0.02);
+  EXPECT_LT(std::abs(r.lag1_autocorrelation), 0.5);
+}
+
+TEST(BatchMeans, CorrelatedSeriesFlagsItself) {
+  // Strongly positively correlated observations with SHORT batches leave
+  // visible lag-1 autocorrelation in the batch means.
+  sim::Rng rng(9, 0);
+  std::vector<double> data;
+  double x = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    x = 0.999 * x + rng.uniform01() - 0.5;
+    data.push_back(x);
+  }
+  const sim::BatchMeansResult r = sim::batch_means(data, 200);  // 20-obs batches
+  EXPECT_GT(r.lag1_autocorrelation, 0.5);
+}
+
+TEST(BatchMeans, Validation) {
+  EXPECT_THROW((void)sim::batch_means({1.0, 2.0, 3.0}, 1), std::invalid_argument);
+  EXPECT_THROW((void)sim::batch_means({1.0}, 2), std::invalid_argument);
+}
+
+}  // namespace

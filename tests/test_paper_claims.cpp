@@ -1,0 +1,158 @@
+// Integration tests asserting the paper's qualitative claims end-to-end.
+// These are the "shape" checks of DESIGN.md section 6: controlled alternate
+// routing tracks the better of uncontrolled and single-path, and never does
+// worse than single-path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "erlang/birth_death.hpp"
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "netgraph/topologies.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace study = altroute::study;
+namespace erlang = altroute::erlang;
+
+namespace {
+
+study::SweepResult quadrangle_sweep(std::vector<double> per_pair_loads, int seeds,
+                                    double measure) {
+  const net::Graph g = net::full_mesh(4, 100);
+  // Nominal = 1 Erlang per pair; load factors then equal per-pair Erlangs.
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 1.0);
+  study::SweepOptions options;
+  options.load_factors = std::move(per_pair_loads);
+  options.seeds = seeds;
+  options.measure = measure;
+  options.warmup = 10.0;
+  options.max_alt_hops = 3;
+  options.erlang_bound = true;
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate};
+  return study::run_sweep(g, nominal, policies, options);
+}
+
+TEST(PaperClaims, QuadrangleLowLoadControlledMatchesUncontrolled) {
+  // At 70 E/pair (well below the ~85-95 E critical region) both alternate
+  // schemes should beat single-path clearly and be close to each other.
+  const study::SweepResult r = quadrangle_sweep({70.0}, 5, 60.0);
+  const double single = r.curves[0].mean_blocking[0];
+  const double uncontrolled = r.curves[1].mean_blocking[0];
+  const double controlled = r.curves[2].mean_blocking[0];
+  EXPECT_LT(uncontrolled, single * 0.5);
+  EXPECT_LT(controlled, single * 0.5);
+  EXPECT_NEAR(controlled, uncontrolled, 0.01);
+}
+
+TEST(PaperClaims, QuadrangleOverloadUncontrolledCollapses) {
+  // Beyond the critical load uncontrolled alternate routing does WORSE
+  // than single-path (the avalanche of 2-hop calls), while the controlled
+  // scheme stays at or below single-path blocking.
+  const study::SweepResult r = quadrangle_sweep({110.0}, 5, 60.0);
+  const double single = r.curves[0].mean_blocking[0];
+  const double uncontrolled = r.curves[1].mean_blocking[0];
+  const double controlled = r.curves[2].mean_blocking[0];
+  EXPECT_GT(uncontrolled, single * 1.1);
+  EXPECT_LE(controlled, single * 1.02 + 0.005);
+}
+
+TEST(PaperClaims, QuadrangleControlledNeverWorseThanSinglePathAcrossLoads) {
+  const study::SweepResult r = quadrangle_sweep({75.0, 85.0, 95.0, 105.0}, 4, 50.0);
+  for (std::size_t i = 0; i < r.load_factors.size(); ++i) {
+    const double single = r.curves[0].mean_blocking[i];
+    const double controlled = r.curves[2].mean_blocking[i];
+    // Theorem guarantee is in expectation; allow the 95% CI plus a hair.
+    EXPECT_LE(controlled, single + r.curves[2].ci95[i] + r.curves[0].ci95[i] + 0.004)
+        << "load " << r.load_factors[i];
+  }
+}
+
+TEST(PaperClaims, ErlangBoundIsALowerBoundEverywhere) {
+  const study::SweepResult r = quadrangle_sweep({80.0, 100.0, 120.0}, 3, 40.0);
+  for (std::size_t i = 0; i < r.load_factors.size(); ++i) {
+    for (const study::PolicyCurve& curve : r.curves) {
+      EXPECT_GE(curve.mean_blocking[i], r.erlang_bound[i] - curve.ci95[i] - 0.01)
+          << curve.name << " load " << r.load_factors[i];
+    }
+  }
+}
+
+TEST(PaperClaims, FairnessSkewOrderingOnQuadrangleWithAsymmetricLoad) {
+  // Alternate routing shares resources, flattening per-pair blocking: the
+  // coefficient of variation across pairs must be largest for single-path
+  // and smallest for uncontrolled (Section 4.2.2, "Blocking on an O-D pair
+  // basis").  An asymmetric load makes the effect visible.
+  const net::Graph g = net::full_mesh(4, 60);
+  net::TrafficMatrix nominal(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) nominal.set(net::NodeId(i), net::NodeId(j), (i == 0 || j == 0) ? 66.0 : 30.0);
+    }
+  }
+  study::SweepOptions options;
+  options.load_factors = {1.0};
+  options.seeds = 5;
+  options.measure = 60.0;
+  options.max_alt_hops = 3;
+  options.fairness = true;
+  options.erlang_bound = false;
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate};
+  const study::SweepResult r = study::run_sweep(g, nominal, policies, options);
+  const double cv_single = r.curves[0].pair_blocking[0].cv;
+  const double cv_uncontrolled = r.curves[1].pair_blocking[0].cv;
+  const double cv_controlled = r.curves[2].pair_blocking[0].cv;
+  EXPECT_GT(cv_single, cv_uncontrolled);
+  EXPECT_GE(cv_single, cv_controlled * 0.99);
+}
+
+TEST(PaperClaims, NsfnetControlledBeatsSinglePathAtNominalLoad) {
+  study::SweepOptions options;
+  options.load_factors = {1.0};
+  options.seeds = 3;
+  options.measure = 40.0;
+  options.max_alt_hops = 11;
+  options.erlang_bound = true;
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate};
+  const study::SweepResult r = study::run_sweep(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(), policies, options);
+  const double single = r.curves[0].mean_blocking[0];
+  const double controlled = r.curves[2].mean_blocking[0];
+  EXPECT_LT(controlled, single);
+  EXPECT_GE(controlled, r.erlang_bound[0] - 0.02);
+}
+
+TEST(PaperClaims, Theorem1BoundHoldsAgainstExactChainComputation) {
+  // Exact check of L <= B(Lambda,C)/B(Lambda,C-r) on a protected link: the
+  // extra primary loss from accepting one alternate call equals
+  // E[tau] * B * nu (Eq. 3) computed on the exact birth-death chain; try
+  // adversarial state-dependent overflow patterns.
+  const double nu = 8.0;
+  const int c = 12;
+  for (const int r : {1, 2, 4}) {
+    for (const double overflow_rate : {0.5, 4.0, 20.0}) {
+      std::vector<double> overflow(static_cast<std::size_t>(c), overflow_rate);
+      const auto birth = erlang::protected_link_births(nu, overflow, c, r);
+      std::vector<double> death(static_cast<std::size_t>(c));
+      for (std::size_t s = 0; s < death.size(); ++s) death[s] = static_cast<double>(s + 1);
+      const double blocking = erlang::generalized_erlang_b(birth);
+      const auto passage = erlang::mean_passage_time_up(birth, death);
+      // Worst case over admitting states s in [0, C-r-1].
+      for (int s = 0; s < c - r; ++s) {
+        const double extra_loss = passage[static_cast<std::size_t>(s)] * blocking * nu;
+        EXPECT_LE(extra_loss, erlang::theorem1_bound(nu, c, r) + 1e-9)
+            << "r=" << r << " overflow=" << overflow_rate << " s=" << s;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Path construction and shortest-path / path-enumeration algorithms.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "netgraph/topologies.hpp"
+#include "routing/path.hpp"
+#include "routing/shortest_paths.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+
+namespace {
+
+std::vector<net::NodeId> ids(std::initializer_list<int> values) {
+  std::vector<net::NodeId> out;
+  for (const int v : values) out.emplace_back(v);
+  return out;
+}
+
+TEST(MakePath, ResolvesLinks) {
+  const net::Graph g = net::full_mesh(4, 10);
+  const routing::Path p = routing::make_path(g, ids({0, 2, 3}));
+  EXPECT_EQ(p.hops(), 2);
+  EXPECT_EQ(p.origin(), net::NodeId(0));
+  EXPECT_EQ(p.destination(), net::NodeId(3));
+  EXPECT_EQ(g.link(p.links[0]).dst, net::NodeId(2));
+  EXPECT_EQ(g.link(p.links[1]).dst, net::NodeId(3));
+}
+
+TEST(MakePath, RejectsBadSequences) {
+  net::Graph g = net::ring(4, 10);
+  EXPECT_THROW((void)routing::make_path(g, ids({0})), std::invalid_argument);
+  EXPECT_THROW((void)routing::make_path(g, ids({0, 2})), std::invalid_argument);  // no link
+  EXPECT_THROW((void)routing::make_path(g, ids({0, 1, 0})), std::invalid_argument);  // loop
+  g.fail_duplex(net::NodeId(0), net::NodeId(1));
+  EXPECT_THROW((void)routing::make_path(g, ids({0, 1})), std::invalid_argument);  // disabled
+}
+
+TEST(PathOrder, HopsThenLexicographic) {
+  const net::Graph g = net::full_mesh(4, 10);
+  const routing::Path direct = routing::make_path(g, ids({0, 3}));
+  const routing::Path via1 = routing::make_path(g, ids({0, 1, 3}));
+  const routing::Path via2 = routing::make_path(g, ids({0, 2, 3}));
+  EXPECT_TRUE(routing::path_order(direct, via1));
+  EXPECT_TRUE(routing::path_order(via1, via2));
+  EXPECT_FALSE(routing::path_order(via2, via1));
+  EXPECT_FALSE(routing::path_order(via1, via1));
+}
+
+TEST(HopDistances, RingDistances) {
+  const net::Graph g = net::ring(6, 10);
+  const auto dist = routing::hop_distances_to(g, net::NodeId(0));
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(HopDistances, UnreachableIsMinusOne) {
+  net::Graph g(3);
+  g.add_link(net::NodeId(0), net::NodeId(1), 5);
+  const auto dist = routing::hop_distances_to(g, net::NodeId(1));
+  EXPECT_EQ(dist[0], 1);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(MinHopPath, UniqueLexicographicTieBreak) {
+  // 0 -> 3 via 1 or via 2, both 2 hops: the unique primary must go via 1.
+  const net::Graph g = net::full_mesh(4, 10);
+  const auto p = routing::min_hop_path(g, net::NodeId(0), net::NodeId(3));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 1);  // direct link exists in a full mesh
+  net::Graph sparse(4);
+  sparse.add_duplex(net::NodeId(0), net::NodeId(1), 5);
+  sparse.add_duplex(net::NodeId(0), net::NodeId(2), 5);
+  sparse.add_duplex(net::NodeId(1), net::NodeId(3), 5);
+  sparse.add_duplex(net::NodeId(2), net::NodeId(3), 5);
+  const auto q = routing::min_hop_path(sparse, net::NodeId(0), net::NodeId(3));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->nodes, ids({0, 1, 3}));
+}
+
+TEST(MinHopPath, RespectsFailuresAndUnreachable) {
+  net::Graph g = net::ring(4, 10);
+  g.fail_duplex(net::NodeId(0), net::NodeId(1));
+  const auto p = routing::min_hop_path(g, net::NodeId(0), net::NodeId(1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, ids({0, 3, 2, 1}));
+  g.fail_duplex(net::NodeId(0), net::NodeId(3));
+  EXPECT_FALSE(routing::min_hop_path(g, net::NodeId(0), net::NodeId(1)).has_value());
+  EXPECT_THROW((void)routing::min_hop_path(g, net::NodeId(0), net::NodeId(0)),
+               std::invalid_argument);
+}
+
+TEST(WeightedShortestPath, PrefersCheapDetour) {
+  // Triangle where the direct link is expensive.
+  net::Graph g(3);
+  const net::LinkId direct = g.add_link(net::NodeId(0), net::NodeId(2), 5);
+  g.add_link(net::NodeId(0), net::NodeId(1), 5);
+  g.add_link(net::NodeId(1), net::NodeId(2), 5);
+  std::vector<double> w = {10.0, 1.0, 1.0};
+  const auto p = routing::weighted_shortest_path(g, net::NodeId(0), net::NodeId(2), w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes, ids({0, 1, 2}));
+  w[direct.index()] = 1.5;
+  const auto q = routing::weighted_shortest_path(g, net::NodeId(0), net::NodeId(2), w);
+  EXPECT_EQ(q->nodes, ids({0, 2}));
+}
+
+TEST(WeightedShortestPath, UnitWeightsMatchMinHop) {
+  const net::Graph g = net::nsfnet_t3();
+  const std::vector<double> w(static_cast<std::size_t>(g.link_count()), 1.0);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      const auto a = routing::min_hop_path(g, net::NodeId(i), net::NodeId(j));
+      const auto b = routing::weighted_shortest_path(g, net::NodeId(i), net::NodeId(j), w);
+      ASSERT_TRUE(a && b);
+      EXPECT_EQ(a->nodes, b->nodes) << i << "->" << j;
+    }
+  }
+}
+
+TEST(WeightedShortestPath, Validation) {
+  const net::Graph g = net::ring(4, 10);
+  const std::vector<double> short_w(3, 1.0);
+  EXPECT_THROW(
+      (void)routing::weighted_shortest_path(g, net::NodeId(0), net::NodeId(1), short_w),
+      std::invalid_argument);
+  std::vector<double> neg(static_cast<std::size_t>(g.link_count()), 1.0);
+  neg[0] = -1.0;
+  EXPECT_THROW((void)routing::weighted_shortest_path(g, net::NodeId(0), net::NodeId(1), neg),
+               std::invalid_argument);
+}
+
+TEST(AllSimplePaths, FullMeshCountsAreFactorialSums) {
+  // K4, 0 -> 3: 1 direct, 2 two-hop, 2 three-hop = 5 simple paths.
+  const net::Graph g = net::full_mesh(4, 10);
+  const auto all = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(3), 3);
+  EXPECT_EQ(all.size(), 5u);
+  const auto two = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(3), 2);
+  EXPECT_EQ(two.size(), 3u);
+  const auto one = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(3), 1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(AllSimplePaths, OrderedByHopsThenLexicographic) {
+  const net::Graph g = net::full_mesh(4, 10);
+  const auto all = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(3), 3);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(routing::path_order(all[i - 1], all[i])) << i;
+  }
+  EXPECT_EQ(all[0].nodes, ids({0, 3}));
+  EXPECT_EQ(all[1].nodes, ids({0, 1, 3}));
+  EXPECT_EQ(all[2].nodes, ids({0, 2, 3}));
+  EXPECT_EQ(all[3].nodes, ids({0, 1, 2, 3}));
+  EXPECT_EQ(all[4].nodes, ids({0, 2, 1, 3}));
+}
+
+TEST(AllSimplePaths, EveryPathIsSimpleAndTerminatesCorrectly) {
+  const net::Graph g = net::nsfnet_t3();
+  const auto all = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(6), 11);
+  EXPECT_GE(all.size(), 5u);
+  for (const routing::Path& p : all) {
+    EXPECT_EQ(p.origin(), net::NodeId(0));
+    EXPECT_EQ(p.destination(), net::NodeId(6));
+    std::set<net::NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "revisits a node";
+    EXPECT_LE(p.hops(), 11);
+  }
+}
+
+TEST(AllSimplePaths, MaxPathsCapHonored) {
+  const net::Graph g = net::full_mesh(5, 10);
+  const auto capped = routing::all_simple_paths(g, net::NodeId(0), net::NodeId(4), 4, 3);
+  EXPECT_EQ(capped.size(), 3u);
+}
+
+TEST(KShortestPaths, MatchesExhaustiveEnumerationOnNsfnet) {
+  const net::Graph g = net::nsfnet_t3();
+  for (const auto& [src, dst] : {std::pair{0, 6}, {2, 9}, {11, 3}}) {
+    const auto exhaustive =
+        routing::all_simple_paths(g, net::NodeId(src), net::NodeId(dst), 11);
+    const auto yen = routing::k_shortest_paths(g, net::NodeId(src), net::NodeId(dst), 6);
+    ASSERT_GE(exhaustive.size(), yen.size());
+    for (std::size_t k = 0; k < yen.size(); ++k) {
+      EXPECT_EQ(yen[k].nodes, exhaustive[k].nodes) << src << "->" << dst << " k=" << k;
+    }
+  }
+}
+
+TEST(KShortestPaths, StopsWhenGraphRunsOut) {
+  const net::Graph g = net::ring(4, 10);
+  // Exactly two simple paths between any ring pair.
+  const auto paths = routing::k_shortest_paths(g, net::NodeId(0), net::NodeId(2), 10);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_EQ(routing::k_shortest_paths(g, net::NodeId(0), net::NodeId(2), 0).size(), 0u);
+}
+
+TEST(KShortestPaths, FirstPathIsMinHop) {
+  const net::Graph g = net::nsfnet_t3();
+  for (int j = 1; j < 12; ++j) {
+    const auto yen = routing::k_shortest_paths(g, net::NodeId(0), net::NodeId(j), 3);
+    const auto direct = routing::min_hop_path(g, net::NodeId(0), net::NodeId(j));
+    ASSERT_FALSE(yen.empty());
+    EXPECT_EQ(yen[0].nodes, direct->nodes) << j;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Routing policies on hand-built states: single-path, uncontrolled,
+// controlled, Ott-Krishnan.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "erlang/shadow_price.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : graph_(net::full_mesh(3, 2)),
+        routes_(routing::build_min_hop_routes(graph_, 2)),
+        state_(graph_) {}
+
+  loss::RoutingContext ctx(int src, int dst, double pick = 0.0) {
+    return loss::RoutingContext{graph_,
+                                state_,
+                                net::NodeId(src),
+                                net::NodeId(dst),
+                                routes_.at(net::NodeId(src), net::NodeId(dst)),
+                                pick,
+                                0.0};
+  }
+
+  void fill_link(int src, int dst, int calls) {
+    const routing::Path p =
+        routing::make_path(graph_, {net::NodeId(src), net::NodeId(dst)});
+    for (int i = 0; i < calls; ++i) state_.book(p);
+  }
+
+  net::Graph graph_;
+  routing::RouteTable routes_;
+  loss::NetworkState state_;
+};
+
+TEST_F(PolicyTest, PickPrimarySamplesByProbability) {
+  routing::RouteSet set;
+  set.primaries.resize(3);
+  set.primary_probs = {0.2, 0.5, 0.3};
+  EXPECT_EQ(loss::pick_primary(set, 0.0), 0u);
+  EXPECT_EQ(loss::pick_primary(set, 0.19), 0u);
+  EXPECT_EQ(loss::pick_primary(set, 0.21), 1u);
+  EXPECT_EQ(loss::pick_primary(set, 0.69), 1u);
+  EXPECT_EQ(loss::pick_primary(set, 0.71), 2u);
+  EXPECT_EQ(loss::pick_primary(set, 0.999999), 2u);
+  const routing::RouteSet empty;
+  EXPECT_EQ(loss::pick_primary(empty, 0.5), std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(PolicyTest, SinglePathUsesPrimaryOnly) {
+  loss::SinglePathPolicy policy;
+  auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kPrimary);
+  EXPECT_EQ(d.path->hops(), 1);
+  // Fill the direct link: the call must be blocked even though 0-2-1 is free.
+  fill_link(0, 1, 2);
+  d = policy.route(ctx(0, 1));
+  EXPECT_FALSE(d.accepted());
+  EXPECT_EQ(d.alternates_probed, 0);
+}
+
+TEST_F(PolicyTest, UncontrolledOverflowsToFirstFreeAlternate) {
+  loss::UncontrolledAlternatePolicy policy;
+  fill_link(0, 1, 2);
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kAlternate);
+  EXPECT_EQ(d.path->hops(), 2);  // 0-2-1
+  EXPECT_EQ(d.alternates_probed, 1);
+}
+
+TEST_F(PolicyTest, UncontrolledIgnoresReservations) {
+  // Reservation on the alternate's links should NOT stop the uncontrolled
+  // scheme -- it predates/ignores the control.
+  std::vector<int> r(static_cast<std::size_t>(graph_.link_count()), 2);
+  state_.set_reservations(r);
+  loss::UncontrolledAlternatePolicy policy;
+  fill_link(0, 1, 2);
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kAlternate);
+}
+
+TEST_F(PolicyTest, UncontrolledBlocksWhenEverythingFull) {
+  loss::UncontrolledAlternatePolicy policy;
+  fill_link(0, 1, 2);
+  fill_link(0, 2, 2);
+  const auto d = policy.route(ctx(0, 1));
+  EXPECT_FALSE(d.accepted());
+  EXPECT_EQ(d.alternates_probed, 1);  // only 0-2-1 exists with H = 2
+}
+
+TEST_F(PolicyTest, ControlledHonorsStateProtection) {
+  core::ControlledAlternatePolicy policy;
+  fill_link(0, 1, 2);  // primary blocked
+  // Alternate 0-2-1 free: admitted when r = 0...
+  auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kAlternate);
+  // ...but refused once the alternate's first link is protected and at the
+  // threshold.
+  const auto alt_first = graph_.find_link(net::NodeId(0), net::NodeId(2));
+  state_.set_reservation(*alt_first, 1);
+  fill_link(0, 2, 1);  // occupancy 1 = C - r
+  d = policy.route(ctx(0, 1));
+  EXPECT_FALSE(d.accepted());
+}
+
+TEST_F(PolicyTest, ControlledPrimaryUnaffectedByReservation) {
+  core::ControlledAlternatePolicy policy;
+  std::vector<int> r(static_cast<std::size_t>(graph_.link_count()), 2);
+  state_.set_reservations(r);
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kPrimary);
+}
+
+TEST_F(PolicyTest, OttKrishnanPrefersCheapestFeasiblePath) {
+  // For an M/M/2/2 link with load a, d(1) > 2 d(0) exactly when a < 1: at
+  // light loads a nearly-full direct link is pricier than two idle links,
+  // so OK must divert the call to the 2-hop alternate.
+  const std::vector<double> lambda(static_cast<std::size_t>(graph_.link_count()), 0.5);
+  loss::OttKrishnanPolicy policy(lambda, core::link_capacities(graph_));
+  fill_link(0, 1, 1);  // direct at occupancy 1 of 2
+  const auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kAlternate);
+  EXPECT_EQ(d.path->hops(), 2);
+}
+
+TEST_F(PolicyTest, OttKrishnanBlocksUnprofitableCalls) {
+  // All links at occupancy C-1 with heavy loads: every feasible path costs
+  // more than the unit revenue, so the call should be REJECTED even though
+  // capacity exists -- the distinguishing feature of shadow-price routing.
+  const std::vector<double> lambda(static_cast<std::size_t>(graph_.link_count()), 10.0);
+  loss::OttKrishnanPolicy policy(lambda, core::link_capacities(graph_));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) fill_link(i, j, 1);
+    }
+  }
+  // price(occupancy 1) for a = 10, C = 2 is ~0.83 each; the 2-hop path
+  // costs ~1.66 > 1 and the direct path ~0.83 < 1: direct must win.
+  auto d = policy.route(ctx(0, 1));
+  ASSERT_TRUE(d.accepted());
+  EXPECT_EQ(d.call_class, loss::CallClass::kPrimary);
+  // Fill the direct link completely: only the expensive alternate is left,
+  // and it exceeds the revenue -> block despite free circuits.
+  fill_link(0, 1, 1);
+  d = policy.route(ctx(0, 1));
+  EXPECT_FALSE(d.accepted());
+}
+
+TEST_F(PolicyTest, OttKrishnanPriceTableAccessor) {
+  const std::vector<double> lambda(static_cast<std::size_t>(graph_.link_count()), 1.5);
+  loss::OttKrishnanPolicy policy(lambda, core::link_capacities(graph_));
+  const auto expected = altroute::erlang::link_shadow_prices(1.5, 2);
+  EXPECT_DOUBLE_EQ(policy.price(net::LinkId(0), 0), expected[0]);
+  EXPECT_DOUBLE_EQ(policy.price(net::LinkId(0), 1), expected[1]);
+}
+
+TEST_F(PolicyTest, EmptyRouteSetBlocksEveryPolicy) {
+  routing::RouteTable empty_routes(3);
+  const loss::RoutingContext c{graph_, state_,
+                               net::NodeId(0), net::NodeId(1),
+                               empty_routes.at(net::NodeId(0), net::NodeId(1)), 0.5, 0.0};
+  loss::SinglePathPolicy single;
+  loss::UncontrolledAlternatePolicy uncontrolled;
+  core::ControlledAlternatePolicy controlled;
+  EXPECT_FALSE(single.route(c).accepted());
+  EXPECT_FALSE(uncontrolled.route(c).accepted());
+  EXPECT_FALSE(controlled.route(c).accepted());
+}
+
+}  // namespace

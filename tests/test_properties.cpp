@@ -1,0 +1,158 @@
+// Cross-topology property sweeps (parameterized): the central guarantee
+// and the engine's calibration, exercised over a family of networks and
+// loads rather than single examples.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/stats.hpp"
+
+namespace net = altroute::net;
+namespace core = altroute::core;
+namespace loss = altroute::loss;
+namespace sim = altroute::sim;
+namespace erlang = altroute::erlang;
+namespace routing = altroute::routing;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Guarantee sweep: controlled alternate routing never loses more calls than
+// single-path routing, on meshes of very different shape and at loads from
+// comfortable to deep overload.
+
+struct GuaranteeCase {
+  std::string name;
+  net::Graph graph;
+  double utilization;  // offered per pair chosen to hit this link load level
+  int max_alt_hops;
+};
+
+GuaranteeCase make_case(const std::string& kind, double utilization) {
+  if (kind == "quadrangle") {
+    return {kind, net::full_mesh(4, 60), utilization, 3};
+  }
+  if (kind == "ring6") {
+    return {kind, net::ring(6, 60), utilization, 5};
+  }
+  if (kind == "grid23") {
+    return {kind, net::grid(2, 3, 60), utilization, 5};
+  }
+  return {kind, net::erdos_renyi(8, 0.3, 60, 99), utilization, 6};
+}
+
+class GuaranteeSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(GuaranteeSweep, ControlledNeverWorseThanSinglePath) {
+  const auto [kind, utilization] = GetParam();
+  GuaranteeCase test_case = make_case(kind, utilization);
+  const net::Graph& g = test_case.graph;
+  // Normalize offered load so the BUSIEST link's primary demand sits at
+  // the requested utilization of its capacity.
+  net::TrafficMatrix probe = net::TrafficMatrix::uniform(g.node_count(), 1.0);
+  core::Controller scout(g, probe, core::ControllerConfig{test_case.max_alt_hops});
+  double peak = 0.0;
+  for (const double lambda : scout.primary_loads()) peak = std::max(peak, lambda);
+  ASSERT_GT(peak, 0.0);
+  const double per_pair = utilization * 60.0 / peak;
+  const net::TrafficMatrix traffic =
+      net::TrafficMatrix::uniform(g.node_count(), per_pair);
+
+  core::Controller controller(g, traffic, core::ControllerConfig{test_case.max_alt_hops});
+  loss::SinglePathPolicy single;
+  core::ControlledAlternatePolicy controlled;
+  long long blocked_single = 0;
+  long long blocked_controlled = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(traffic, 60.0, seed);
+    blocked_single += controller.run(single, trace).blocked;
+    blocked_controlled += controller.run(controlled, trace).blocked;
+  }
+  // Expectation-level guarantee, measured with common random numbers over
+  // 4 seeds; allow a whisker of sampling noise on the comparison.
+  EXPECT_LE(blocked_controlled,
+            blocked_single + std::max<long long>(8, blocked_single / 50))
+      << "graph " << test_case.name << " utilization " << utilization;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshesAndLoads, GuaranteeSweep,
+    ::testing::Combine(::testing::Values("quadrangle", "ring6", "grid23", "random8"),
+                       ::testing::Values(0.8, 1.0, 1.2)),
+    [](const ::testing::TestParamInfo<GuaranteeSweep::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_u" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Engine calibration sweep: an isolated link must reproduce Erlang-B across
+// capacities and utilizations.
+
+class ErlangCalibration
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ErlangCalibration, IsolatedLinkMatchesAnalyticBlocking) {
+  const auto [capacity, utilization] = GetParam();
+  const double offered = utilization * capacity;
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), capacity);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), offered);
+  loss::SinglePathPolicy policy;
+  sim::RunningStats blocking;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const sim::CallTrace trace = sim::generate_trace(t, 160.0, seed);
+    blocking.add(loss::run_trace(g, routes, policy, trace, {}).blocking());
+  }
+  const double analytic = erlang::erlang_b(offered, capacity);
+  EXPECT_NEAR(blocking.mean(), analytic, 4.0 * blocking.stderr_mean() + 0.006)
+      << "C=" << capacity << " u=" << utilization;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ErlangCalibration,
+                         ::testing::Combine(::testing::Values(5, 20, 60),
+                                            ::testing::Values(0.7, 0.9, 1.1, 1.5)),
+                         [](const ::testing::TestParamInfo<ErlangCalibration::ParamType>& info) {
+                           return "C" + std::to_string(std::get<0>(info.param)) + "_u" +
+                                  std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Eq.-15 minimality sweep over a (lambda, C, H) grid against brute force.
+
+class EqFifteenSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(EqFifteenSweep, SolverMatchesBruteForceMinimum) {
+  const auto [utilization, capacity, hops] = GetParam();
+  const double lambda = utilization * capacity;
+  const int solver = erlang::min_state_protection(lambda, capacity, hops);
+  int brute = capacity;
+  for (int r = 0; r <= capacity; ++r) {
+    if (erlang::erlang_b(lambda, capacity) <=
+        erlang::erlang_b(lambda, capacity - r) / hops) {
+      brute = r;
+      break;
+    }
+  }
+  EXPECT_EQ(solver, brute) << "lambda=" << lambda << " C=" << capacity << " H=" << hops;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EqFifteenSweep,
+                         ::testing::Combine(::testing::Values(0.2, 0.5, 0.74, 0.9, 1.05),
+                                            ::testing::Values(10, 50, 100, 480),
+                                            ::testing::Values(2, 6, 11, 120)));
+
+}  // namespace

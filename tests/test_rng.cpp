@@ -1,0 +1,120 @@
+// RNG: determinism, stream independence, distributional sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  sim::Rng a(123, 4);
+  sim::Rng b(123, 4);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsDiffer) {
+  sim::Rng a(123, 0);
+  sim::Rng b(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, SeedsDiffer) {
+  sim::Rng a(1, 0);
+  sim::Rng b(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, Uniform01InRangeAndCentered) {
+  sim::Rng rng(7, 0);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, Uniform01BucketsAreFlat) {
+  sim::Rng rng(11, 0);
+  const int buckets = 20;
+  const int n = 200000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    ++count[static_cast<std::size_t>(rng.uniform01() * buckets)];
+  }
+  // Chi-square with 19 df: 99.9th percentile ~= 43.8.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(n) / buckets;
+  for (const int c : count) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 43.8);
+}
+
+TEST(Rng, OpenLowNeverReturnsZero) {
+  sim::Rng rng(3, 9);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01_open_low();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanAndVariance) {
+  sim::Rng rng(21, 0);
+  const double rate = 2.5;
+  const int n = 400000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.005);
+  EXPECT_NEAR(variance, 1.0 / (rate * rate), 0.01);
+}
+
+TEST(Rng, ExponentialRejectsBadRate) {
+  sim::Rng rng(1, 0);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  sim::Rng rng(5, 2);
+  const std::uint64_t n = 7;
+  std::vector<int> count(n, 0);
+  const int draws = 140000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.below(n);
+    ASSERT_LT(v, n);
+    ++count[v];
+  }
+  for (const int c : count) {
+    EXPECT_NEAR(static_cast<double>(c), draws / static_cast<double>(n), 600.0);
+  }
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+}  // namespace

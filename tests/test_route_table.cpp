@@ -1,0 +1,135 @@
+// Route tables: min-hop programs, Eq.-1 link loads, alternate census.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "routing/shortest_paths.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+
+namespace {
+
+TEST(RouteTable, MinHopProgramOnQuadrangle) {
+  const net::Graph g = net::full_mesh(4, 100);
+  const routing::RouteTable table = routing::build_min_hop_routes(g, 3);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const routing::RouteSet& set = table.at(net::NodeId(i), net::NodeId(j));
+      ASSERT_TRUE(set.reachable()) << i << "->" << j;
+      EXPECT_EQ(set.primaries.size(), 1u);
+      EXPECT_DOUBLE_EQ(set.primary_probs[0], 1.0);
+      EXPECT_EQ(set.primaries[0].hops(), 1);  // direct link
+      // All 5 loop-free paths enumerated; the primary appears among them.
+      EXPECT_EQ(set.alternates.size(), 5u);
+      EXPECT_EQ(set.alternates[0], set.primaries[0]);
+    }
+  }
+}
+
+TEST(RouteTable, UnreachablePairsHaveEmptySets) {
+  net::Graph g(3);
+  g.add_link(net::NodeId(0), net::NodeId(1), 5);
+  g.add_link(net::NodeId(1), net::NodeId(0), 5);
+  const routing::RouteTable table = routing::build_min_hop_routes(g, 2);
+  EXPECT_TRUE(table.at(net::NodeId(0), net::NodeId(1)).reachable());
+  EXPECT_FALSE(table.at(net::NodeId(0), net::NodeId(2)).reachable());
+  EXPECT_FALSE(table.at(net::NodeId(2), net::NodeId(1)).reachable());
+}
+
+TEST(RouteTable, AlternatesRespectHopCap) {
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteTable h6 = routing::build_min_hop_routes(g, 6);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      for (const routing::Path& p : h6.at(net::NodeId(i), net::NodeId(j)).alternates) {
+        EXPECT_LE(p.hops(), 6);
+      }
+    }
+  }
+}
+
+TEST(PrimaryLinkLoads, HandComputedStarExample) {
+  // Star with hub 0: every leaf-to-leaf primary is forced through the hub.
+  const net::Graph g = net::star(4, 10);
+  const routing::RouteTable table = routing::build_min_hop_routes(g, 3);
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(1), net::NodeId(2), 3.0);
+  t.set(net::NodeId(1), net::NodeId(3), 2.0);
+  t.set(net::NodeId(2), net::NodeId(1), 1.0);
+  const auto lambda = routing::primary_link_loads(g, table, t);
+  const auto l_1_to_0 = g.find_link(net::NodeId(1), net::NodeId(0));
+  const auto l_0_to_2 = g.find_link(net::NodeId(0), net::NodeId(2));
+  const auto l_0_to_3 = g.find_link(net::NodeId(0), net::NodeId(3));
+  const auto l_0_to_1 = g.find_link(net::NodeId(0), net::NodeId(1));
+  EXPECT_DOUBLE_EQ(lambda[l_1_to_0->index()], 5.0);  // both flows from 1
+  EXPECT_DOUBLE_EQ(lambda[l_0_to_2->index()], 3.0);
+  EXPECT_DOUBLE_EQ(lambda[l_0_to_3->index()], 2.0);
+  EXPECT_DOUBLE_EQ(lambda[l_0_to_1->index()], 1.0);
+}
+
+TEST(PrimaryLinkLoads, BifurcatedPrimariesWeightedByProbability) {
+  net::Graph g(4);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 5);
+  g.add_duplex(net::NodeId(0), net::NodeId(2), 5);
+  g.add_duplex(net::NodeId(1), net::NodeId(3), 5);
+  g.add_duplex(net::NodeId(2), net::NodeId(3), 5);
+  routing::RouteTable table(4);
+  routing::RouteSet& set = table.at(net::NodeId(0), net::NodeId(3));
+  set.primaries.push_back(routing::make_path(
+      g, {net::NodeId(0), net::NodeId(1), net::NodeId(3)}));
+  set.primaries.push_back(routing::make_path(
+      g, {net::NodeId(0), net::NodeId(2), net::NodeId(3)}));
+  set.primary_probs = {0.25, 0.75};
+  net::TrafficMatrix t(4);
+  t.set(net::NodeId(0), net::NodeId(3), 8.0);
+  const auto lambda = routing::primary_link_loads(g, table, t);
+  EXPECT_DOUBLE_EQ(lambda[g.find_link(net::NodeId(0), net::NodeId(1))->index()], 2.0);
+  EXPECT_DOUBLE_EQ(lambda[g.find_link(net::NodeId(0), net::NodeId(2))->index()], 6.0);
+  EXPECT_DOUBLE_EQ(lambda[g.find_link(net::NodeId(1), net::NodeId(3))->index()], 2.0);
+}
+
+TEST(PrimaryLinkLoads, Validation) {
+  const net::Graph g = net::ring(4, 5);
+  const routing::RouteTable table = routing::build_min_hop_routes(g, 3);
+  EXPECT_THROW((void)routing::primary_link_loads(g, table, net::TrafficMatrix(5)),
+               std::invalid_argument);
+}
+
+TEST(Census, QuadrangleHasFourAlternatesPerPair) {
+  // 5 loop-free paths minus the 1-hop primary = 4 alternates.
+  const net::Graph g = net::full_mesh(4, 100);
+  const routing::RouteCensus c = routing::census(routing::build_min_hop_routes(g, 3));
+  EXPECT_EQ(c.pairs, 12);
+  EXPECT_EQ(c.min_alternates, 4);
+  EXPECT_EQ(c.max_alternates, 4);
+  EXPECT_DOUBLE_EQ(c.mean_alternates, 4.0);
+}
+
+TEST(Census, NsfnetMatchesPaperSection422) {
+  // Paper, H = 11 (unlimited): "on the average each node pair had about 9
+  // alternate paths, with a maximum of 15 and a minimum of 5".  Exhaustive
+  // loop-free enumeration reproduces that exactly (mean 8.33 ~ "about 9").
+  const net::Graph g = net::nsfnet_t3();
+  const routing::RouteCensus h11 = routing::census(routing::build_min_hop_routes(g, 11));
+  EXPECT_EQ(h11.pairs, 132);
+  EXPECT_NEAR(h11.mean_alternates, 8.33, 0.05);
+  EXPECT_EQ(h11.max_alternates, 15);
+  EXPECT_EQ(h11.min_alternates, 5);
+  // For H = 6 the paper reports (mean ~7, max 13, min 5), which a literal
+  // <= 6-link cap cannot produce on this topology (exhaustive enumeration
+  // yields max 6 alternates); the paper's path-length bookkeeping for the
+  // census evidently differed.  We pin down OUR semantics -- every
+  // alternate has at most H links -- and record the discrepancy in
+  // EXPERIMENTS.md.
+  const routing::RouteCensus h6 = routing::census(routing::build_min_hop_routes(g, 6));
+  EXPECT_NEAR(h6.mean_alternates, 3.30, 0.05);
+  EXPECT_EQ(h6.max_alternates, 6);
+  EXPECT_EQ(h6.min_alternates, 1);
+}
+
+}  // namespace

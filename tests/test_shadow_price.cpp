@@ -1,0 +1,102 @@
+// Ott-Krishnan link shadow prices: closed-form identities and a brute-force
+// policy-evaluation cross-check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/shadow_price.hpp"
+
+namespace e = altroute::erlang;
+
+namespace {
+
+TEST(ShadowPrices, FirstEntryIsBlockingProbability) {
+  // d(0) = g / a = B(a, C): adding a call to an empty link costs exactly
+  // the long-run blocking probability per displaced-arrival opportunity.
+  for (const double a : {1.0, 10.0, 60.0}) {
+    for (const int c : {1, 10, 100}) {
+      const auto d = e::link_shadow_prices(a, c);
+      EXPECT_NEAR(d[0], e::erlang_b(a, c), 1e-12) << "a=" << a << " c=" << c;
+    }
+  }
+}
+
+TEST(ShadowPrices, ConsistencyIdentityAtTheTop) {
+  // The relative-value equations close with d(C-1) = a (1 - B) / C; the
+  // recursion must land exactly there.
+  for (const double a : {2.0, 20.0, 95.0, 130.0}) {
+    const int c = 100;
+    const auto d = e::link_shadow_prices(a, c);
+    const double b = e::erlang_b(a, c);
+    EXPECT_NEAR(d[static_cast<std::size_t>(c - 1)], a * (1.0 - b) / c,
+                1e-9 * std::max(1.0, a)) << "a=" << a;
+  }
+}
+
+TEST(ShadowPrices, IncreasingInOccupancyAndWithinUnitInterval) {
+  for (const double a : {0.5, 8.0, 45.0, 120.0}) {
+    const auto d = e::link_shadow_prices(a, 50);
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      EXPECT_GE(d[j], 0.0) << j;
+      EXPECT_LE(d[j], 1.0 + 1e-12) << j;
+      if (j > 0) {
+        EXPECT_GE(d[j], d[j - 1]) << j;
+      }
+    }
+  }
+}
+
+TEST(ShadowPrices, ZeroLoadCostsNothing) {
+  const auto d = e::link_shadow_prices(0.0, 10);
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ShadowPrices, MatchesValueIterationOnSmallLink) {
+  // Independent check: evaluate the average-cost relative values V(j) of
+  // the M/M/C/C chain (cost = rate a of losing calls in state C) by
+  // uniformized relative value iteration, then compare d(j) = V(j+1)-V(j).
+  const double a = 3.0;
+  const int c = 5;
+  const double uniformization = a + c + 1.0;
+  std::vector<double> v(static_cast<std::size_t>(c) + 1, 0.0);
+  for (int iter = 0; iter < 200000; ++iter) {
+    std::vector<double> next(v.size());
+    for (int j = 0; j <= c; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      double value = 0.0;
+      if (j < c) {
+        value += a * v[ju + 1];
+      } else {
+        value += a * (1.0 + v[ju]);  // arrival lost in state C
+      }
+      value += j * v[ju - (j > 0 ? 1 : 0)];
+      value += (uniformization - a - j) * v[ju];
+      next[ju] = value / uniformization;
+    }
+    // Renormalize against state 0 to keep relative values bounded.
+    const double base = next[0];
+    for (double& x : next) x -= base;
+    double delta = 0.0;
+    for (std::size_t j = 0; j < v.size(); ++j) delta = std::max(delta, std::abs(next[j] - v[j]));
+    v = next;
+    if (delta < 1e-14) break;
+  }
+  // The uniformized discrete chain solves the same Poisson equation as the
+  // CTMC (per-step costs are scaled by the same 1/uniformization as the
+  // transition rates), so the relative-value differences match d directly.
+  const auto d = e::link_shadow_prices(a, c);
+  for (int j = 0; j + 1 <= c; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    EXPECT_NEAR(v[ju + 1] - v[ju], d[ju], 1e-6) << j;
+  }
+}
+
+TEST(ShadowPrices, Validation) {
+  EXPECT_THROW((void)e::link_shadow_prices(-1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)e::link_shadow_prices(1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

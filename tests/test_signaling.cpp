@@ -1,0 +1,145 @@
+// Signaling engine: per-hop latency, races, crankback, and exact
+// zero-delay equivalence with the atomic engine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "loss/policies.hpp"
+#include "loss/signaling.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+namespace net = altroute::net;
+namespace loss = altroute::loss;
+namespace core = altroute::core;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+
+namespace {
+
+struct Scenario {
+  net::Graph graph = net::full_mesh(4, 30);
+  routing::RouteTable routes = routing::build_min_hop_routes(graph, 3);
+  net::TrafficMatrix traffic = net::TrafficMatrix::uniform(4, 30.0);
+  sim::CallTrace trace = sim::generate_trace(traffic, 70.0, 13);
+  std::vector<int> reservations =
+      std::vector<int>(static_cast<std::size_t>(graph.link_count()), 3);
+};
+
+TEST(Signaling, ZeroDelayMatchesAtomicEngineSinglePath) {
+  Scenario s;
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kSinglePath;
+  const loss::SignalingResult sig = loss::run_signaling(s.graph, s.routes, s.trace, options);
+  loss::SinglePathPolicy policy;
+  const loss::RunResult atomic = loss::run_trace(s.graph, s.routes, policy, s.trace, {});
+  EXPECT_EQ(sig.offered, atomic.offered);
+  EXPECT_EQ(sig.blocked, atomic.blocked);
+  EXPECT_EQ(sig.carried_primary, atomic.carried_primary);
+  EXPECT_EQ(sig.booking_races, 0);
+  EXPECT_DOUBLE_EQ(sig.mean_setup_delay, 0.0);
+}
+
+TEST(Signaling, ZeroDelayMatchesAtomicEngineUncontrolled) {
+  Scenario s;
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kUncontrolled;
+  const loss::SignalingResult sig = loss::run_signaling(s.graph, s.routes, s.trace, options);
+  loss::UncontrolledAlternatePolicy policy;
+  const loss::RunResult atomic = loss::run_trace(s.graph, s.routes, policy, s.trace, {});
+  EXPECT_EQ(sig.blocked, atomic.blocked);
+  EXPECT_EQ(sig.carried_primary, atomic.carried_primary);
+  EXPECT_EQ(sig.carried_alternate, atomic.carried_alternate);
+}
+
+TEST(Signaling, ZeroDelayMatchesAtomicEngineControlled) {
+  Scenario s;
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kControlled;
+  options.reservations = s.reservations;
+  const loss::SignalingResult sig = loss::run_signaling(s.graph, s.routes, s.trace, options);
+  core::ControlledAlternatePolicy policy;
+  loss::EngineOptions engine;
+  engine.reservations = s.reservations;
+  const loss::RunResult atomic = loss::run_trace(s.graph, s.routes, policy, s.trace, engine);
+  EXPECT_EQ(sig.blocked, atomic.blocked);
+  EXPECT_EQ(sig.carried_primary, atomic.carried_primary);
+  EXPECT_EQ(sig.carried_alternate, atomic.carried_alternate);
+}
+
+TEST(Signaling, SetupDelayFollowsTheProtocolTimelineAtLightLoad) {
+  // At negligible load every call completes on its h-hop primary with
+  // latency exactly (2h - 1) d: h - 1 forward inter-node hops, the turn at
+  // the destination, and h - 1 hops back (link 0 is booked by the origin).
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 50);
+  g.add_duplex(net::NodeId(1), net::NodeId(2), 50);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  net::TrafficMatrix t(3);
+  t.set(net::NodeId(0), net::NodeId(2), 0.5);  // 2-hop primary only
+  const sim::CallTrace trace = sim::generate_trace(t, 120.0, 7);
+  loss::SignalingOptions options;
+  options.hop_delay = 0.01;
+  const loss::SignalingResult sig = loss::run_signaling(g, routes, trace, options);
+  EXPECT_EQ(sig.blocked, 0);
+  EXPECT_NEAR(sig.mean_setup_delay, (2 * 2 - 1) * 0.01, 1e-12);
+}
+
+TEST(Signaling, RacesAppearWithDelayAndLoad) {
+  Scenario s;
+  s.traffic = net::TrafficMatrix::uniform(4, 33.0);
+  s.trace = sim::generate_trace(s.traffic, 70.0, 3);
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kUncontrolled;
+  options.hop_delay = 0.05;  // 5% of a holding time per hop: very sluggish
+  const loss::SignalingResult sig = loss::run_signaling(s.graph, s.routes, s.trace, options);
+  EXPECT_GT(sig.booking_races, 0);
+  // Conservation still holds exactly.
+  EXPECT_EQ(sig.offered, sig.blocked + sig.carried_primary + sig.carried_alternate);
+}
+
+TEST(Signaling, DelayDegradesBlockingGracefully) {
+  Scenario s;
+  s.traffic = net::TrafficMatrix::uniform(4, 33.0);
+  s.trace = sim::generate_trace(s.traffic, 70.0, 5);
+  loss::SignalingOptions options;
+  options.mode = loss::SignalingMode::kControlled;
+  options.reservations = s.reservations;
+  options.hop_delay = 0.0;
+  const double b0 = loss::run_signaling(s.graph, s.routes, s.trace, options).blocking();
+  options.hop_delay = 0.001;
+  const double b1 = loss::run_signaling(s.graph, s.routes, s.trace, options).blocking();
+  // A millisecond-scale delay (holding time ~ minutes) must not move
+  // blocking more than marginally.
+  EXPECT_NEAR(b0, b1, 0.01);
+}
+
+TEST(Signaling, AttemptsCountedPerPathTried) {
+  // Single call, empty network: exactly one attempt.
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 5);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 0.2);
+  const sim::CallTrace trace = sim::generate_trace(t, 60.0, 1);
+  loss::SignalingOptions options;
+  const loss::SignalingResult sig = loss::run_signaling(g, routes, trace, options);
+  EXPECT_EQ(sig.attempts, static_cast<long long>(trace.size()));
+}
+
+TEST(Signaling, Validation) {
+  Scenario s;
+  loss::SignalingOptions options;
+  options.hop_delay = -1.0;
+  EXPECT_THROW((void)loss::run_signaling(s.graph, s.routes, s.trace, options),
+               std::invalid_argument);
+  options.hop_delay = 0.0;
+  options.warmup = s.trace.horizon;
+  EXPECT_THROW((void)loss::run_signaling(s.graph, s.routes, s.trace, options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Eq.-15 state-protection solver: properties, Theorem-1 bound, and the
+// strongest available validation -- the paper's own Table 1 and the
+// Section 3.2 numeric claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "netgraph/topologies.hpp"
+
+namespace e = altroute::erlang;
+namespace net = altroute::net;
+
+namespace {
+
+TEST(MinStateProtection, ZeroLoadNeedsNoProtection) {
+  EXPECT_EQ(e::min_state_protection(0.0, 100, 6), 0);
+}
+
+TEST(MinStateProtection, ResultSatisfiesEqFifteenMinimally) {
+  for (const double lambda : {10.0, 40.0, 74.0, 90.0, 99.0}) {
+    for (const int h : {2, 6, 11, 120}) {
+      const int r = e::min_state_protection(lambda, 100, h);
+      if (r < 100) {
+        // Satisfiable: the chosen r meets Eq. 15 and r - 1 does not.
+        EXPECT_LE(e::theorem1_bound(lambda, 100, r), 1.0 / h + 1e-12)
+            << "lambda=" << lambda << " H=" << h;
+        if (r > 0) {
+          EXPECT_GT(e::theorem1_bound(lambda, 100, r - 1), 1.0 / h)
+              << "r not minimal at lambda=" << lambda << " H=" << h;
+        }
+      } else {
+        // r == C: either exactly satisfied at C, or unsatisfiable -- in
+        // which case NO r < C may satisfy the inequality (alternates are
+        // shut out entirely, which keeps the guarantee vacuously).
+        for (int below = 0; below < 100; below += 9) {
+          EXPECT_GT(e::theorem1_bound(lambda, 100, below), 1.0 / h)
+              << "lambda=" << lambda << " H=" << h << " r=" << below;
+        }
+      }
+    }
+  }
+}
+
+TEST(MinStateProtection, NondecreasingInH) {
+  for (const double lambda : {20.0, 55.0, 80.0, 95.0}) {
+    int prev = 0;
+    for (const int h : {1, 2, 3, 6, 11, 30, 120, 500, 2000}) {
+      const int r = e::min_state_protection(lambda, 100, h);
+      EXPECT_GE(r, prev) << "lambda=" << lambda << " H=" << h;
+      prev = r;
+    }
+  }
+}
+
+TEST(MinStateProtection, NondecreasingInLoad) {
+  for (const int h : {2, 6, 11}) {
+    int prev = 0;
+    for (double lambda = 1.0; lambda <= 130.0; lambda += 1.0) {
+      const int r = e::min_state_protection(lambda, 100, h);
+      EXPECT_GE(r, prev) << "lambda=" << lambda << " H=" << h;
+      prev = r;
+    }
+  }
+}
+
+TEST(MinStateProtection, HEqualsOneNeedsNoProtection) {
+  // 1/H = 1 and B(l,C)/B(l,C) = 1 <= 1: a one-hop alternate can displace at
+  // most the one call it carries.
+  for (const double lambda : {5.0, 50.0, 150.0}) {
+    EXPECT_EQ(e::min_state_protection(lambda, 100, 1), 0) << lambda;
+  }
+}
+
+TEST(MinStateProtection, OverloadedLinkDisablesAlternates) {
+  // Lambda well above C: Eq. 15 unsatisfiable, r = C (Table 1's r = 100
+  // rows behave this way).
+  EXPECT_EQ(e::min_state_protection(167.0, 100, 6), 100);
+  EXPECT_EQ(e::min_state_protection(154.0, 100, 11), 100);
+}
+
+TEST(MinStateProtection, Validation) {
+  EXPECT_THROW((void)e::min_state_protection(-1.0, 100, 6), std::invalid_argument);
+  EXPECT_THROW((void)e::min_state_protection(1.0, 0, 6), std::invalid_argument);
+  EXPECT_THROW((void)e::min_state_protection(1.0, 100, 0), std::invalid_argument);
+}
+
+TEST(Theorem1Bound, DefinitionAndEdges) {
+  EXPECT_NEAR(e::theorem1_bound(50.0, 100, 10),
+              e::erlang_b(50.0, 100) / e::erlang_b(50.0, 90), 1e-12);
+  EXPECT_DOUBLE_EQ(e::theorem1_bound(50.0, 100, 0), 1.0);
+  EXPECT_TRUE(std::isinf(e::theorem1_bound(0.0, 100, 10)));
+  EXPECT_THROW((void)e::theorem1_bound(1.0, 100, 101), std::invalid_argument);
+}
+
+TEST(Theorem1Bound, DecreasingInReservation) {
+  double prev = 1.0 + 1e-12;
+  for (int r = 0; r <= 100; ++r) {
+    const double bound = e::theorem1_bound(80.0, 100, r);
+    EXPECT_LT(bound, prev) << r;
+    prev = bound;
+  }
+}
+
+TEST(StateProtectionLevels, VectorFormMatchesScalar) {
+  const std::vector<double> lambda = {10.0, 74.0, 103.0};
+  const std::vector<int> capacity = {50, 100, 100};
+  const auto r = e::state_protection_levels(lambda, capacity, 6);
+  ASSERT_EQ(r.size(), 3u);
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    EXPECT_EQ(r[k], e::min_state_protection(lambda[k], capacity[k], 6)) << k;
+  }
+  EXPECT_THROW((void)e::state_protection_levels({1.0}, {1, 2}, 6), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Validation against the paper's printed numbers.
+
+TEST(PaperTable1, HEqualsElevenReproducedExactly) {
+  // Re-deriving Table 1's r^k column for H = 11 from the printed Lambda^k
+  // matches all 30 rows exactly.
+  for (const net::NsfnetTable1Row& row : net::nsfnet_table1()) {
+    EXPECT_EQ(e::min_state_protection(row.lambda, row.capacity, 11), row.r_h11)
+        << row.src << "->" << row.dst;
+  }
+}
+
+TEST(PaperTable1, HEqualsSixReproducedUpToPrintRounding) {
+  // The printed Lambda^k are rounded to integers; for H = 6 four rows sit
+  // close enough to a threshold that the rounding flips r by a little.
+  // Require: at least 26/30 exact, and every mismatching row explainable by
+  // a true load within +-0.5 of the printed value.
+  int exact = 0;
+  for (const net::NsfnetTable1Row& row : net::nsfnet_table1()) {
+    const int r = e::min_state_protection(row.lambda, row.capacity, 6);
+    if (r == row.r_h6) {
+      ++exact;
+      continue;
+    }
+    bool explainable = false;
+    for (double dl = -0.5; dl <= 0.5; dl += 0.01) {
+      if (e::min_state_protection(row.lambda + dl, row.capacity, 6) == row.r_h6) {
+        explainable = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(explainable) << row.src << "->" << row.dst << " paper r=" << row.r_h6
+                             << " computed r=" << r;
+  }
+  EXPECT_GE(exact, 26);
+}
+
+TEST(PaperSection31, LargeHClaimFromTheText) {
+  // "We have curves for H in [1000, 2000], for which r in [10, 20] for
+  // loads of 50 Erlangs (C = 100)."
+  for (const int h : {1000, 1250, 1500, 1750, 2000}) {
+    const int r = e::min_state_protection(50.0, 100, h);
+    EXPECT_GE(r, 10) << h;
+    EXPECT_LE(r, 20) << h;
+  }
+}
+
+TEST(PaperSection32, ChannelBorrowingLevelsAreSmall) {
+  // "the value of r for H = 3 will be quite small for C ~= 50": at
+  // moderate cell loads the prescription reserves only a few channels
+  // (computed values: r <= 3 up to 30 Erlangs, r = 9 even at 90% load).
+  for (double lambda = 5.0; lambda <= 30.0; lambda += 5.0) {
+    EXPECT_LE(e::min_state_protection(lambda, 50, 3), 3) << lambda;
+  }
+  EXPECT_LE(e::min_state_protection(45.0, 50, 3), 9);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Statistics helpers: Welford accumulator, t table, time averages,
+// sample summaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(RunningStats, KnownSmallSample) {
+  sim::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  sim::RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  sim::RunningStats s;
+  const double offset = 1e9;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, CiUsesStudentT) {
+  sim::RunningStats s;
+  for (const double x : {1.0, 2.0, 3.0}) s.add(x);  // stddev = 1, n = 3
+  const double expected = sim::t_critical_95(2) * 1.0 / std::sqrt(3.0);
+  EXPECT_NEAR(s.ci95_halfwidth(), expected, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  sim::RunningStats all;
+  sim::RunningStats a;
+  sim::RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0 + i * 0.1;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  sim::RunningStats a;
+  a.add(1.0);
+  sim::RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(TCritical, TableValues) {
+  EXPECT_DOUBLE_EQ(sim::t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(sim::t_critical_95(9), 2.262);   // the paper's 10 seeds
+  EXPECT_DOUBLE_EQ(sim::t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(sim::t_critical_95(100), 1.960);
+  EXPECT_DOUBLE_EQ(sim::t_critical_95(0), 0.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  sim::TimeWeighted tw;
+  tw.observe(2.0, 1.0);
+  tw.observe(4.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.elapsed(), 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(), (2.0 + 12.0) / 4.0);
+  EXPECT_THROW(tw.observe(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(TimeWeighted, EmptyAverageIsZero) {
+  const sim::TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.average(), 0.0);
+}
+
+TEST(Summarize, DescriptiveFields) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 100.0};
+  const sim::SampleSummary s = sim::summarize(data);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_GT(s.skewness, 1.0);  // one large outlier -> strongly right-skewed
+  EXPECT_GT(s.cv, 1.0);
+}
+
+TEST(Summarize, EvenCountMedianInterpolates) {
+  const sim::SampleSummary s = sim::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summarize, SymmetricDataHasNearZeroSkew) {
+  const sim::SampleSummary s = sim::summarize({-2.0, -1.0, 0.0, 1.0, 2.0});
+  EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+}
+
+TEST(Summarize, DegenerateCases) {
+  EXPECT_EQ(sim::summarize({}).count, 0u);
+  const sim::SampleSummary one = sim::summarize({5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.skewness, 0.0);
+  const sim::SampleSummary constant = sim::summarize({3.0, 3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(constant.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(constant.skewness, 0.0);
+  EXPECT_DOUBLE_EQ(constant.cv, 0.0);
+}
+
+}  // namespace

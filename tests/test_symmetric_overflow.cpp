@@ -1,0 +1,95 @@
+// Symmetric reduced-load fixed point: closed-form edges, multiplicity (the
+// analytic bistability), and its removal by trunk reservation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "erlang/symmetric_overflow.hpp"
+
+namespace e = altroute::erlang;
+
+namespace {
+
+e::SymmetricOverflowModel classic(double load, int reservation) {
+  e::SymmetricOverflowModel m;
+  m.nodes = 10;
+  m.capacity = 120;
+  m.direct_load = load;
+  m.reservation = reservation;
+  return m;
+}
+
+TEST(SymmetricOverflow, FullReservationReducesToErlangB) {
+  // r = C shuts alternates out entirely: B must be plain Erlang-B and no
+  // overflow circulates.
+  const auto fp = e::solve_symmetric_overflow(classic(95.0, 120));
+  EXPECT_TRUE(fp.converged);
+  EXPECT_NEAR(fp.link_blocking, e::erlang_b(95.0, 120), 1e-9);
+  EXPECT_DOUBLE_EQ(fp.overflow_rate, 0.0);
+  EXPECT_NEAR(fp.call_blocking, fp.link_blocking, 1e-9);
+}
+
+TEST(SymmetricOverflow, LightLoadHasVanishingBlocking) {
+  const auto fp = e::solve_symmetric_overflow(classic(60.0, 0));
+  EXPECT_TRUE(fp.converged);
+  EXPECT_LT(fp.call_blocking, 1e-6);
+  EXPECT_NEAR(fp.alternate_admission, 1.0, 0.01);
+}
+
+TEST(SymmetricOverflow, ColdBranchMonotoneInLoad) {
+  double prev = -1.0;
+  for (double load = 60.0; load <= 90.0; load += 5.0) {
+    const auto fp = e::solve_symmetric_overflow(classic(load, 0));
+    EXPECT_TRUE(fp.converged) << load;
+    EXPECT_GE(fp.call_blocking, prev) << load;
+    prev = fp.call_blocking;
+  }
+}
+
+TEST(SymmetricOverflow, BistabilityWindowHasTwoFixedPoints) {
+  // In the critical window (the same 90s-Erlang range where
+  // bench/exp_bistability sees simulation hysteresis), the map solved from
+  // B = 0 lands on the low state and from B = 1 on the high state.
+  const auto cold = e::solve_symmetric_overflow(classic(96.0, 0), 0.0);
+  const auto hot = e::solve_symmetric_overflow(classic(96.0, 0), 1.0);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(hot.converged);
+  EXPECT_LT(cold.call_blocking, 0.01);
+  EXPECT_GT(hot.call_blocking, cold.call_blocking + 0.05);
+}
+
+TEST(SymmetricOverflow, ReservationRestoresUniqueness) {
+  // With the Eq.-15 reservation in force both starts converge to the same
+  // (low) state: trunk reservation removes the bad equilibrium.
+  const int r = e::min_state_protection(96.0, 120, 2);
+  const auto cold = e::solve_symmetric_overflow(classic(96.0, r), 0.0);
+  const auto hot = e::solve_symmetric_overflow(classic(96.0, r), 1.0);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(hot.converged);
+  EXPECT_NEAR(cold.call_blocking, hot.call_blocking, 1e-6);
+  EXPECT_LT(hot.call_blocking, 0.01);
+}
+
+TEST(SymmetricOverflow, DeepOverloadIsUniqueAgain) {
+  // Far above critical both starts meet in the high state: bistability is
+  // a window, not a half-line.
+  const auto cold = e::solve_symmetric_overflow(classic(130.0, 0), 0.0);
+  const auto hot = e::solve_symmetric_overflow(classic(130.0, 0), 1.0);
+  EXPECT_NEAR(cold.call_blocking, hot.call_blocking, 1e-6);
+  EXPECT_GT(cold.call_blocking, 0.05);
+}
+
+TEST(SymmetricOverflow, Validation) {
+  EXPECT_THROW((void)e::solve_symmetric_overflow(classic(-1.0, 0)), std::invalid_argument);
+  e::SymmetricOverflowModel bad = classic(90.0, 0);
+  bad.nodes = 2;
+  EXPECT_THROW((void)e::solve_symmetric_overflow(bad), std::invalid_argument);
+  bad = classic(90.0, 121);
+  EXPECT_THROW((void)e::solve_symmetric_overflow(bad), std::invalid_argument);
+  EXPECT_THROW((void)e::solve_symmetric_overflow(classic(90.0, 0), 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Topology builders, including the NSFNet T3 model transcribed from the
+// paper's Table 1 / Figure 5.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "netgraph/topologies.hpp"
+
+namespace net = altroute::net;
+
+namespace {
+
+TEST(FullMesh, EveryOrderedPairLinked) {
+  const net::Graph g = net::full_mesh(4, 100);
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.link_count(), 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const auto link = g.find_link(net::NodeId(i), net::NodeId(j));
+      ASSERT_TRUE(link.has_value()) << i << "->" << j;
+      EXPECT_EQ(g.link(*link).capacity, 100);
+    }
+  }
+  EXPECT_TRUE(g.strongly_connected());
+  EXPECT_THROW((void)net::full_mesh(1, 10), std::invalid_argument);
+}
+
+TEST(Ring, DegreeTwoEverywhere) {
+  const net::Graph g = net::ring(6, 30);
+  EXPECT_EQ(g.link_count(), 12);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(g.neighbors(net::NodeId(i)).size(), 2u) << i;
+  }
+  EXPECT_TRUE(g.strongly_connected());
+  EXPECT_THROW((void)net::ring(2, 10), std::invalid_argument);
+}
+
+TEST(Star, HubTouchesEveryLeaf) {
+  const net::Graph g = net::star(5, 10);
+  EXPECT_EQ(g.link_count(), 8);
+  EXPECT_EQ(g.neighbors(net::NodeId(0)).size(), 4u);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(g.neighbors(net::NodeId(i)).size(), 1u) << i;
+  }
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(GridTopology, LinkCountAndConnectivity) {
+  const net::Graph g = net::grid(3, 4, 8);
+  EXPECT_EQ(g.node_count(), 12);
+  // Duplex edges: horizontal 3*3, vertical 2*4 -> 17 duplex = 34 directed.
+  EXPECT_EQ(g.link_count(), 34);
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(ErdosRenyi, DeterministicAndConnected) {
+  const net::Graph a = net::erdos_renyi(12, 0.3, 20, 42);
+  const net::Graph b = net::erdos_renyi(12, 0.3, 20, 42);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (int k = 0; k < a.link_count(); ++k) {
+    EXPECT_EQ(a.link(net::LinkId(k)).src, b.link(net::LinkId(k)).src) << k;
+    EXPECT_EQ(a.link(net::LinkId(k)).dst, b.link(net::LinkId(k)).dst) << k;
+  }
+  EXPECT_TRUE(a.strongly_connected());
+  const net::Graph c = net::erdos_renyi(12, 0.3, 20, 43);
+  // Different seeds virtually surely differ in some link.
+  bool differs = c.link_count() != a.link_count();
+  for (int k = 0; !differs && k < std::min(a.link_count(), c.link_count()); ++k) {
+    differs = a.link(net::LinkId(k)).src != c.link(net::LinkId(k)).src ||
+              a.link(net::LinkId(k)).dst != c.link(net::LinkId(k)).dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErdosRenyi, DensityExtremes) {
+  // p = 0: just the connectivity ring (n duplex links).
+  const net::Graph sparse = net::erdos_renyi(8, 0.0, 5, 7);
+  EXPECT_EQ(sparse.link_count(), 16);
+  // p = 1: complete graph, n(n-1) directed links.
+  const net::Graph dense = net::erdos_renyi(8, 1.0, 5, 7);
+  EXPECT_EQ(dense.link_count(), 56);
+}
+
+TEST(NsfnetTable1, ThirtyDirectedLinksAllCapacity100) {
+  const auto& rows = net::nsfnet_table1();
+  ASSERT_EQ(rows.size(), 30u);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.capacity, 100);
+    EXPECT_TRUE(seen.emplace(row.src, row.dst).second)
+        << "duplicate " << row.src << "->" << row.dst;
+    // Every directed link has its reverse in the table (duplex facilities).
+  }
+  for (const auto& row : rows) {
+    EXPECT_TRUE(seen.count({row.dst, row.src}) == 1)
+        << "missing reverse of " << row.src << "->" << row.dst;
+  }
+}
+
+TEST(NsfnetTable1, ProtectionLevelsGrowWithH) {
+  for (const auto& row : net::nsfnet_table1()) {
+    EXPECT_LE(row.r_h6, row.r_h11) << row.src << "->" << row.dst;
+  }
+}
+
+TEST(NsfnetT3, MatchesTable1RowOrder) {
+  const net::Graph g = net::nsfnet_t3();
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_EQ(g.link_count(), 30);
+  const auto& rows = net::nsfnet_table1();
+  for (int k = 0; k < 30; ++k) {
+    const net::Link& l = g.link(net::LinkId(k));
+    EXPECT_EQ(l.src.value, rows[static_cast<std::size_t>(k)].src) << k;
+    EXPECT_EQ(l.dst.value, rows[static_cast<std::size_t>(k)].dst) << k;
+    EXPECT_EQ(l.capacity, 100) << k;
+  }
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(NsfnetT3, SparseDegrees) {
+  // Figure 5's map: degrees range between 2 (e.g. San Diego) and 3.
+  const net::Graph g = net::nsfnet_t3();
+  for (int i = 0; i < 12; ++i) {
+    const auto degree = g.neighbors(net::NodeId(i)).size();
+    EXPECT_GE(degree, 2u) << i;
+    EXPECT_LE(degree, 3u) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// TrafficMatrix: accessors, scaling, generators, validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netgraph/traffic_matrix.hpp"
+
+namespace net = altroute::net;
+
+namespace {
+
+TEST(TrafficMatrix, StartsZeroed) {
+  const net::TrafficMatrix t(3);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+  EXPECT_EQ(t.active_pairs(), 0);
+  EXPECT_DOUBLE_EQ(t.at(net::NodeId(0), net::NodeId(2)), 0.0);
+}
+
+TEST(TrafficMatrix, SetAndGet) {
+  net::TrafficMatrix t(3);
+  t.set(net::NodeId(0), net::NodeId(1), 4.5);
+  t.set(net::NodeId(2), net::NodeId(0), 1.5);
+  EXPECT_DOUBLE_EQ(t.at(net::NodeId(0), net::NodeId(1)), 4.5);
+  EXPECT_DOUBLE_EQ(t.at(net::NodeId(2), net::NodeId(0)), 1.5);
+  EXPECT_DOUBLE_EQ(t.total(), 6.0);
+  EXPECT_EQ(t.active_pairs(), 2);
+}
+
+TEST(TrafficMatrix, Validation) {
+  net::TrafficMatrix t(3);
+  EXPECT_THROW(t.set(net::NodeId(0), net::NodeId(0), 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(t.set(net::NodeId(0), net::NodeId(0), 0.0));
+  EXPECT_THROW(t.set(net::NodeId(0), net::NodeId(3), 1.0), std::invalid_argument);
+  EXPECT_THROW(t.set(net::NodeId(0), net::NodeId(1), -1.0), std::invalid_argument);
+  EXPECT_THROW((void)net::TrafficMatrix(-1), std::invalid_argument);
+}
+
+TEST(TrafficMatrix, ScalingIsElementwise) {
+  net::TrafficMatrix t(2);
+  t.set(net::NodeId(0), net::NodeId(1), 10.0);
+  t.set(net::NodeId(1), net::NodeId(0), 4.0);
+  const net::TrafficMatrix s = t.scaled(1.5);
+  EXPECT_DOUBLE_EQ(s.at(net::NodeId(0), net::NodeId(1)), 15.0);
+  EXPECT_DOUBLE_EQ(s.at(net::NodeId(1), net::NodeId(0)), 6.0);
+  // Original untouched; zero scaling allowed; negative rejected.
+  EXPECT_DOUBLE_EQ(t.total(), 14.0);
+  EXPECT_DOUBLE_EQ(t.scaled(0.0).total(), 0.0);
+  EXPECT_THROW((void)t.scaled(-0.1), std::invalid_argument);
+}
+
+TEST(TrafficMatrix, UniformFillsOffDiagonal) {
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(4, 2.5);
+  EXPECT_EQ(t.active_pairs(), 12);
+  EXPECT_DOUBLE_EQ(t.total(), 30.0);
+  EXPECT_DOUBLE_EQ(t.at(net::NodeId(1), net::NodeId(1)), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(net::NodeId(3), net::NodeId(0)), 2.5);
+}
+
+TEST(TrafficMatrix, GravityNormalizesToTotal) {
+  const net::TrafficMatrix t = net::TrafficMatrix::gravity({1.0, 2.0, 3.0}, 60.0);
+  EXPECT_NEAR(t.total(), 60.0, 1e-9);
+  // Pair demand proportional to w_i * w_j: (2,1) twice (1,0)'s... compare
+  // ratios directly.
+  const double t01 = t.at(net::NodeId(0), net::NodeId(1));
+  const double t12 = t.at(net::NodeId(1), net::NodeId(2));
+  EXPECT_NEAR(t12 / t01, (2.0 * 3.0) / (1.0 * 2.0), 1e-9);
+  // Symmetric weights give a symmetric matrix.
+  EXPECT_NEAR(t.at(net::NodeId(2), net::NodeId(1)), t12, 1e-12);
+}
+
+TEST(TrafficMatrix, GravityEdgeCases) {
+  const net::TrafficMatrix zero = net::TrafficMatrix::gravity({0.0, 0.0}, 10.0);
+  EXPECT_DOUBLE_EQ(zero.total(), 0.0);
+  EXPECT_THROW((void)net::TrafficMatrix::gravity({1.0, -1.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)net::TrafficMatrix::gravity({1.0, 1.0}, -1.0), std::invalid_argument);
+}
+
+}  // namespace
