@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_bistability.dir/exp_bistability.cpp.o"
+  "CMakeFiles/exp_bistability.dir/exp_bistability.cpp.o.d"
+  "exp_bistability"
+  "exp_bistability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_bistability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

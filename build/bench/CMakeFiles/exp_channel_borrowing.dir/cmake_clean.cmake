@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_channel_borrowing.dir/exp_channel_borrowing.cpp.o"
+  "CMakeFiles/exp_channel_borrowing.dir/exp_channel_borrowing.cpp.o.d"
+  "exp_channel_borrowing"
+  "exp_channel_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_channel_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

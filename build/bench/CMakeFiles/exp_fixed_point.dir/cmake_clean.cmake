@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fixed_point.dir/exp_fixed_point.cpp.o"
+  "CMakeFiles/exp_fixed_point.dir/exp_fixed_point.cpp.o.d"
+  "exp_fixed_point"
+  "exp_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_h_limit.dir/exp_h_limit.cpp.o"
+  "CMakeFiles/exp_h_limit.dir/exp_h_limit.cpp.o.d"
+  "exp_h_limit"
+  "exp_h_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_h_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_h_limit.
+# This may be replaced when dependencies are built.

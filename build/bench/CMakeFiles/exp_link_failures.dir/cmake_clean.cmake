@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_link_failures.dir/exp_link_failures.cpp.o"
+  "CMakeFiles/exp_link_failures.dir/exp_link_failures.cpp.o.d"
+  "exp_link_failures"
+  "exp_link_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_link_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_minloss_primary.dir/exp_minloss_primary.cpp.o"
+  "CMakeFiles/exp_minloss_primary.dir/exp_minloss_primary.cpp.o.d"
+  "exp_minloss_primary"
+  "exp_minloss_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_minloss_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_minloss_primary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_minloss_primary.
+# This may be replaced when dependencies are built.

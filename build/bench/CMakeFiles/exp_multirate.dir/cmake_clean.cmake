@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_multirate.dir/exp_multirate.cpp.o"
+  "CMakeFiles/exp_multirate.dir/exp_multirate.cpp.o.d"
+  "exp_multirate"
+  "exp_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_od_fairness.dir/exp_od_fairness.cpp.o"
+  "CMakeFiles/exp_od_fairness.dir/exp_od_fairness.cpp.o.d"
+  "exp_od_fairness"
+  "exp_od_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_od_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_optimal_gap.dir/exp_optimal_gap.cpp.o"
+  "CMakeFiles/exp_optimal_gap.dir/exp_optimal_gap.cpp.o.d"
+  "exp_optimal_gap"
+  "exp_optimal_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_optimal_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

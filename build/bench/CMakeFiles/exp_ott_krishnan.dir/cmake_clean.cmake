@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ott_krishnan.dir/exp_ott_krishnan.cpp.o"
+  "CMakeFiles/exp_ott_krishnan.dir/exp_ott_krishnan.cpp.o.d"
+  "exp_ott_krishnan"
+  "exp_ott_krishnan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ott_krishnan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_ott_krishnan.
+# This may be replaced when dependencies are built.

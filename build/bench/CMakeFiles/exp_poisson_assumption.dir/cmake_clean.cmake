@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_poisson_assumption.dir/exp_poisson_assumption.cpp.o"
+  "CMakeFiles/exp_poisson_assumption.dir/exp_poisson_assumption.cpp.o.d"
+  "exp_poisson_assumption"
+  "exp_poisson_assumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_poisson_assumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

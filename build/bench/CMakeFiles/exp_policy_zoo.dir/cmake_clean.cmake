@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_policy_zoo.dir/exp_policy_zoo.cpp.o"
+  "CMakeFiles/exp_policy_zoo.dir/exp_policy_zoo.cpp.o.d"
+  "exp_policy_zoo"
+  "exp_policy_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_policy_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_protection_variants.dir/exp_protection_variants.cpp.o"
+  "CMakeFiles/exp_protection_variants.dir/exp_protection_variants.cpp.o.d"
+  "exp_protection_variants"
+  "exp_protection_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_protection_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

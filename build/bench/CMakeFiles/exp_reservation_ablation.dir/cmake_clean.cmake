@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_reservation_ablation.dir/exp_reservation_ablation.cpp.o"
+  "CMakeFiles/exp_reservation_ablation.dir/exp_reservation_ablation.cpp.o.d"
+  "exp_reservation_ablation"
+  "exp_reservation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_reservation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

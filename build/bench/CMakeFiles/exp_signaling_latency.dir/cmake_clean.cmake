@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_signaling_latency.dir/exp_signaling_latency.cpp.o"
+  "CMakeFiles/exp_signaling_latency.dir/exp_signaling_latency.cpp.o.d"
+  "exp_signaling_latency"
+  "exp_signaling_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_signaling_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_theorem1_bound.dir/exp_theorem1_bound.cpp.o"
+  "CMakeFiles/exp_theorem1_bound.dir/exp_theorem1_bound.cpp.o.d"
+  "exp_theorem1_bound"
+  "exp_theorem1_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_theorem1_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_time_varying.dir/exp_time_varying.cpp.o"
+  "CMakeFiles/exp_time_varying.dir/exp_time_varying.cpp.o.d"
+  "exp_time_varying"
+  "exp_time_varying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_time_varying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

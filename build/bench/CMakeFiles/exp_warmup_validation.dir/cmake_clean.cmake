@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_warmup_validation.dir/exp_warmup_validation.cpp.o"
+  "CMakeFiles/exp_warmup_validation.dir/exp_warmup_validation.cpp.o.d"
+  "exp_warmup_validation"
+  "exp_warmup_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_warmup_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

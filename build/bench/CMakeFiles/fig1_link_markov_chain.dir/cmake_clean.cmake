@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_link_markov_chain.dir/fig1_link_markov_chain.cpp.o"
+  "CMakeFiles/fig1_link_markov_chain.dir/fig1_link_markov_chain.cpp.o.d"
+  "fig1_link_markov_chain"
+  "fig1_link_markov_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_link_markov_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

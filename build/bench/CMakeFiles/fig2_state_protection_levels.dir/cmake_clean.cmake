@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_state_protection_levels.dir/fig2_state_protection_levels.cpp.o"
+  "CMakeFiles/fig2_state_protection_levels.dir/fig2_state_protection_levels.cpp.o.d"
+  "fig2_state_protection_levels"
+  "fig2_state_protection_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_state_protection_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_quadrangle_blocking.dir/fig3_quadrangle_blocking.cpp.o"
+  "CMakeFiles/fig3_quadrangle_blocking.dir/fig3_quadrangle_blocking.cpp.o.d"
+  "fig3_quadrangle_blocking"
+  "fig3_quadrangle_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_quadrangle_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

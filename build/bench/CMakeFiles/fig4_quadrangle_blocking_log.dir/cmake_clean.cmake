@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_quadrangle_blocking_log.dir/fig4_quadrangle_blocking_log.cpp.o"
+  "CMakeFiles/fig4_quadrangle_blocking_log.dir/fig4_quadrangle_blocking_log.cpp.o.d"
+  "fig4_quadrangle_blocking_log"
+  "fig4_quadrangle_blocking_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_quadrangle_blocking_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nsfnet_topology.dir/fig5_nsfnet_topology.cpp.o"
+  "CMakeFiles/fig5_nsfnet_topology.dir/fig5_nsfnet_topology.cpp.o.d"
+  "fig5_nsfnet_topology"
+  "fig5_nsfnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nsfnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nsfnet_blocking.dir/fig6_nsfnet_blocking.cpp.o"
+  "CMakeFiles/fig6_nsfnet_blocking.dir/fig6_nsfnet_blocking.cpp.o.d"
+  "fig6_nsfnet_blocking"
+  "fig6_nsfnet_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nsfnet_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nsfnet_blocking_log.dir/fig7_nsfnet_blocking_log.cpp.o"
+  "CMakeFiles/fig7_nsfnet_blocking_log.dir/fig7_nsfnet_blocking_log.cpp.o.d"
+  "fig7_nsfnet_blocking_log"
+  "fig7_nsfnet_blocking_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nsfnet_blocking_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

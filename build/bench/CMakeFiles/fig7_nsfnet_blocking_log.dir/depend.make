@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_nsfnet_blocking_log.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nsfnet_protection.dir/table1_nsfnet_protection.cpp.o"
+  "CMakeFiles/table1_nsfnet_protection.dir/table1_nsfnet_protection.cpp.o.d"
+  "table1_nsfnet_protection"
+  "table1_nsfnet_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nsfnet_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

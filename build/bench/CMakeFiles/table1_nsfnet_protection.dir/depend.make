@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_nsfnet_protection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_borrowing.dir/cellular_borrowing.cpp.o"
+  "CMakeFiles/cellular_borrowing.dir/cellular_borrowing.cpp.o.d"
+  "cellular_borrowing"
+  "cellular_borrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_borrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

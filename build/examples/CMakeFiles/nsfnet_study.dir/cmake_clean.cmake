@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsfnet_study.dir/nsfnet_study.cpp.o"
+  "CMakeFiles/nsfnet_study.dir/nsfnet_study.cpp.o.d"
+  "nsfnet_study"
+  "nsfnet_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsfnet_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

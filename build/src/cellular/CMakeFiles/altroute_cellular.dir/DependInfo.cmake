@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/borrowing_sim.cpp" "src/cellular/CMakeFiles/altroute_cellular.dir/borrowing_sim.cpp.o" "gcc" "src/cellular/CMakeFiles/altroute_cellular.dir/borrowing_sim.cpp.o.d"
+  "/root/repo/src/cellular/cell_grid.cpp" "src/cellular/CMakeFiles/altroute_cellular.dir/cell_grid.cpp.o" "gcc" "src/cellular/CMakeFiles/altroute_cellular.dir/cell_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/erlang/CMakeFiles/altroute_erlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/altroute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_cellular.dir/borrowing_sim.cpp.o"
+  "CMakeFiles/altroute_cellular.dir/borrowing_sim.cpp.o.d"
+  "CMakeFiles/altroute_cellular.dir/cell_grid.cpp.o"
+  "CMakeFiles/altroute_cellular.dir/cell_grid.cpp.o.d"
+  "libaltroute_cellular.a"
+  "libaltroute_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

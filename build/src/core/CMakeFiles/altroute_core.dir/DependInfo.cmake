@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_policy.cpp" "src/core/CMakeFiles/altroute_core.dir/adaptive_policy.cpp.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/adaptive_policy.cpp.o.d"
+  "/root/repo/src/core/controlled_policy.cpp" "src/core/CMakeFiles/altroute_core.dir/controlled_policy.cpp.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/controlled_policy.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/altroute_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/protection.cpp" "src/core/CMakeFiles/altroute_core.dir/protection.cpp.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/protection.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/core/CMakeFiles/altroute_core.dir/variants.cpp.o" "gcc" "src/core/CMakeFiles/altroute_core.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loss/CMakeFiles/altroute_loss.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/erlang/CMakeFiles/altroute_erlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/altroute_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_core.dir/adaptive_policy.cpp.o"
+  "CMakeFiles/altroute_core.dir/adaptive_policy.cpp.o.d"
+  "CMakeFiles/altroute_core.dir/controlled_policy.cpp.o"
+  "CMakeFiles/altroute_core.dir/controlled_policy.cpp.o.d"
+  "CMakeFiles/altroute_core.dir/controller.cpp.o"
+  "CMakeFiles/altroute_core.dir/controller.cpp.o.d"
+  "CMakeFiles/altroute_core.dir/protection.cpp.o"
+  "CMakeFiles/altroute_core.dir/protection.cpp.o.d"
+  "CMakeFiles/altroute_core.dir/variants.cpp.o"
+  "CMakeFiles/altroute_core.dir/variants.cpp.o.d"
+  "libaltroute_core.a"
+  "libaltroute_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erlang/birth_death.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/birth_death.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/birth_death.cpp.o.d"
+  "/root/repo/src/erlang/erlang_b.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/erlang_b.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/erlang_b.cpp.o.d"
+  "/root/repo/src/erlang/erlang_bound.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/erlang_bound.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/erlang_bound.cpp.o.d"
+  "/root/repo/src/erlang/kaufman_roberts.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/kaufman_roberts.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/kaufman_roberts.cpp.o.d"
+  "/root/repo/src/erlang/overflow_moments.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/overflow_moments.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/overflow_moments.cpp.o.d"
+  "/root/repo/src/erlang/shadow_price.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/shadow_price.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/shadow_price.cpp.o.d"
+  "/root/repo/src/erlang/state_protection.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/state_protection.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/state_protection.cpp.o.d"
+  "/root/repo/src/erlang/symmetric_overflow.cpp" "src/erlang/CMakeFiles/altroute_erlang.dir/symmetric_overflow.cpp.o" "gcc" "src/erlang/CMakeFiles/altroute_erlang.dir/symmetric_overflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_erlang.dir/birth_death.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/birth_death.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/erlang_b.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/erlang_b.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/erlang_bound.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/erlang_bound.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/kaufman_roberts.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/kaufman_roberts.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/overflow_moments.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/overflow_moments.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/shadow_price.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/shadow_price.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/state_protection.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/state_protection.cpp.o.d"
+  "CMakeFiles/altroute_erlang.dir/symmetric_overflow.cpp.o"
+  "CMakeFiles/altroute_erlang.dir/symmetric_overflow.cpp.o.d"
+  "libaltroute_erlang.a"
+  "libaltroute_erlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_erlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loss/dynamic_policies.cpp" "src/loss/CMakeFiles/altroute_loss.dir/dynamic_policies.cpp.o" "gcc" "src/loss/CMakeFiles/altroute_loss.dir/dynamic_policies.cpp.o.d"
+  "/root/repo/src/loss/engine.cpp" "src/loss/CMakeFiles/altroute_loss.dir/engine.cpp.o" "gcc" "src/loss/CMakeFiles/altroute_loss.dir/engine.cpp.o.d"
+  "/root/repo/src/loss/network_state.cpp" "src/loss/CMakeFiles/altroute_loss.dir/network_state.cpp.o" "gcc" "src/loss/CMakeFiles/altroute_loss.dir/network_state.cpp.o.d"
+  "/root/repo/src/loss/policies.cpp" "src/loss/CMakeFiles/altroute_loss.dir/policies.cpp.o" "gcc" "src/loss/CMakeFiles/altroute_loss.dir/policies.cpp.o.d"
+  "/root/repo/src/loss/signaling.cpp" "src/loss/CMakeFiles/altroute_loss.dir/signaling.cpp.o" "gcc" "src/loss/CMakeFiles/altroute_loss.dir/signaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/altroute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/erlang/CMakeFiles/altroute_erlang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_loss.dir/dynamic_policies.cpp.o"
+  "CMakeFiles/altroute_loss.dir/dynamic_policies.cpp.o.d"
+  "CMakeFiles/altroute_loss.dir/engine.cpp.o"
+  "CMakeFiles/altroute_loss.dir/engine.cpp.o.d"
+  "CMakeFiles/altroute_loss.dir/network_state.cpp.o"
+  "CMakeFiles/altroute_loss.dir/network_state.cpp.o.d"
+  "CMakeFiles/altroute_loss.dir/policies.cpp.o"
+  "CMakeFiles/altroute_loss.dir/policies.cpp.o.d"
+  "CMakeFiles/altroute_loss.dir/signaling.cpp.o"
+  "CMakeFiles/altroute_loss.dir/signaling.cpp.o.d"
+  "libaltroute_loss.a"
+  "libaltroute_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

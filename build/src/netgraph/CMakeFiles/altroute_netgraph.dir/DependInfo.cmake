@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgraph/dot.cpp" "src/netgraph/CMakeFiles/altroute_netgraph.dir/dot.cpp.o" "gcc" "src/netgraph/CMakeFiles/altroute_netgraph.dir/dot.cpp.o.d"
+  "/root/repo/src/netgraph/graph.cpp" "src/netgraph/CMakeFiles/altroute_netgraph.dir/graph.cpp.o" "gcc" "src/netgraph/CMakeFiles/altroute_netgraph.dir/graph.cpp.o.d"
+  "/root/repo/src/netgraph/io.cpp" "src/netgraph/CMakeFiles/altroute_netgraph.dir/io.cpp.o" "gcc" "src/netgraph/CMakeFiles/altroute_netgraph.dir/io.cpp.o.d"
+  "/root/repo/src/netgraph/topologies.cpp" "src/netgraph/CMakeFiles/altroute_netgraph.dir/topologies.cpp.o" "gcc" "src/netgraph/CMakeFiles/altroute_netgraph.dir/topologies.cpp.o.d"
+  "/root/repo/src/netgraph/traffic_matrix.cpp" "src/netgraph/CMakeFiles/altroute_netgraph.dir/traffic_matrix.cpp.o" "gcc" "src/netgraph/CMakeFiles/altroute_netgraph.dir/traffic_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

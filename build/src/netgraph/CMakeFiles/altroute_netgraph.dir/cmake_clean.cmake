@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_netgraph.dir/dot.cpp.o"
+  "CMakeFiles/altroute_netgraph.dir/dot.cpp.o.d"
+  "CMakeFiles/altroute_netgraph.dir/graph.cpp.o"
+  "CMakeFiles/altroute_netgraph.dir/graph.cpp.o.d"
+  "CMakeFiles/altroute_netgraph.dir/io.cpp.o"
+  "CMakeFiles/altroute_netgraph.dir/io.cpp.o.d"
+  "CMakeFiles/altroute_netgraph.dir/topologies.cpp.o"
+  "CMakeFiles/altroute_netgraph.dir/topologies.cpp.o.d"
+  "CMakeFiles/altroute_netgraph.dir/traffic_matrix.cpp.o"
+  "CMakeFiles/altroute_netgraph.dir/traffic_matrix.cpp.o.d"
+  "libaltroute_netgraph.a"
+  "libaltroute_netgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_netgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

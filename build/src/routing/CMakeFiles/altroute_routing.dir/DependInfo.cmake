@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/fixed_point.cpp" "src/routing/CMakeFiles/altroute_routing.dir/fixed_point.cpp.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/routing/minloss.cpp" "src/routing/CMakeFiles/altroute_routing.dir/minloss.cpp.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/minloss.cpp.o.d"
+  "/root/repo/src/routing/path.cpp" "src/routing/CMakeFiles/altroute_routing.dir/path.cpp.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/path.cpp.o.d"
+  "/root/repo/src/routing/route_table.cpp" "src/routing/CMakeFiles/altroute_routing.dir/route_table.cpp.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/route_table.cpp.o.d"
+  "/root/repo/src/routing/shortest_paths.cpp" "src/routing/CMakeFiles/altroute_routing.dir/shortest_paths.cpp.o" "gcc" "src/routing/CMakeFiles/altroute_routing.dir/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/erlang/CMakeFiles/altroute_erlang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

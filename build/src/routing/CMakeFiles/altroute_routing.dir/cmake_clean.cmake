@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_routing.dir/fixed_point.cpp.o"
+  "CMakeFiles/altroute_routing.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/altroute_routing.dir/minloss.cpp.o"
+  "CMakeFiles/altroute_routing.dir/minloss.cpp.o.d"
+  "CMakeFiles/altroute_routing.dir/path.cpp.o"
+  "CMakeFiles/altroute_routing.dir/path.cpp.o.d"
+  "CMakeFiles/altroute_routing.dir/route_table.cpp.o"
+  "CMakeFiles/altroute_routing.dir/route_table.cpp.o.d"
+  "CMakeFiles/altroute_routing.dir/shortest_paths.cpp.o"
+  "CMakeFiles/altroute_routing.dir/shortest_paths.cpp.o.d"
+  "libaltroute_routing.a"
+  "libaltroute_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

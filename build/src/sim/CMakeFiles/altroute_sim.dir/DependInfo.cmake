@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch_means.cpp" "src/sim/CMakeFiles/altroute_sim.dir/batch_means.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/batch_means.cpp.o.d"
+  "/root/repo/src/sim/call_trace.cpp" "src/sim/CMakeFiles/altroute_sim.dir/call_trace.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/call_trace.cpp.o.d"
+  "/root/repo/src/sim/load_profile.cpp" "src/sim/CMakeFiles/altroute_sim.dir/load_profile.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/load_profile.cpp.o.d"
+  "/root/repo/src/sim/mser.cpp" "src/sim/CMakeFiles/altroute_sim.dir/mser.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/mser.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/altroute_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/altroute_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/altroute_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

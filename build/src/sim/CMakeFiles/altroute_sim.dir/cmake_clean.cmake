@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_sim.dir/batch_means.cpp.o"
+  "CMakeFiles/altroute_sim.dir/batch_means.cpp.o.d"
+  "CMakeFiles/altroute_sim.dir/call_trace.cpp.o"
+  "CMakeFiles/altroute_sim.dir/call_trace.cpp.o.d"
+  "CMakeFiles/altroute_sim.dir/load_profile.cpp.o"
+  "CMakeFiles/altroute_sim.dir/load_profile.cpp.o.d"
+  "CMakeFiles/altroute_sim.dir/mser.cpp.o"
+  "CMakeFiles/altroute_sim.dir/mser.cpp.o.d"
+  "CMakeFiles/altroute_sim.dir/rng.cpp.o"
+  "CMakeFiles/altroute_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/altroute_sim.dir/stats.cpp.o"
+  "CMakeFiles/altroute_sim.dir/stats.cpp.o.d"
+  "libaltroute_sim.a"
+  "libaltroute_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altroute_study.dir/cli.cpp.o"
+  "CMakeFiles/altroute_study.dir/cli.cpp.o.d"
+  "CMakeFiles/altroute_study.dir/experiment.cpp.o"
+  "CMakeFiles/altroute_study.dir/experiment.cpp.o.d"
+  "CMakeFiles/altroute_study.dir/nsfnet_traffic.cpp.o"
+  "CMakeFiles/altroute_study.dir/nsfnet_traffic.cpp.o.d"
+  "CMakeFiles/altroute_study.dir/optimal_overflow.cpp.o"
+  "CMakeFiles/altroute_study.dir/optimal_overflow.cpp.o.d"
+  "CMakeFiles/altroute_study.dir/report.cpp.o"
+  "CMakeFiles/altroute_study.dir/report.cpp.o.d"
+  "libaltroute_study.a"
+  "libaltroute_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altroute_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

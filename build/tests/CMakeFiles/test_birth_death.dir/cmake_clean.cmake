@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_birth_death.dir/test_birth_death.cpp.o"
+  "CMakeFiles/test_birth_death.dir/test_birth_death.cpp.o.d"
+  "test_birth_death"
+  "test_birth_death.pdb"
+  "test_birth_death[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_birth_death.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bistability.dir/test_bistability.cpp.o"
+  "CMakeFiles/test_bistability.dir/test_bistability.cpp.o.d"
+  "test_bistability"
+  "test_bistability.pdb"
+  "test_bistability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bistability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

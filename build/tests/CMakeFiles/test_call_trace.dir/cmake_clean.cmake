@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_call_trace.dir/test_call_trace.cpp.o"
+  "CMakeFiles/test_call_trace.dir/test_call_trace.cpp.o.d"
+  "test_call_trace"
+  "test_call_trace.pdb"
+  "test_call_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_call_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

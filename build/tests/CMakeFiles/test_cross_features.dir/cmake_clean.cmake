@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_features.dir/test_cross_features.cpp.o"
+  "CMakeFiles/test_cross_features.dir/test_cross_features.cpp.o.d"
+  "test_cross_features"
+  "test_cross_features.pdb"
+  "test_cross_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

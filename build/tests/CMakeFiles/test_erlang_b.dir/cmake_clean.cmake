@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erlang_b.dir/test_erlang_b.cpp.o"
+  "CMakeFiles/test_erlang_b.dir/test_erlang_b.cpp.o.d"
+  "test_erlang_b"
+  "test_erlang_b.pdb"
+  "test_erlang_b[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erlang_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_erlang_bound.dir/test_erlang_bound.cpp.o"
+  "CMakeFiles/test_erlang_bound.dir/test_erlang_bound.cpp.o.d"
+  "test_erlang_bound"
+  "test_erlang_bound.pdb"
+  "test_erlang_bound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_erlang_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fixed_point.cpp" "tests/CMakeFiles/test_fixed_point.dir/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/test_fixed_point.dir/test_fixed_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/altroute_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altroute_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/altroute_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/loss/CMakeFiles/altroute_loss.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/altroute_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/erlang/CMakeFiles/altroute_erlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/altroute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgraph/CMakeFiles/altroute_netgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

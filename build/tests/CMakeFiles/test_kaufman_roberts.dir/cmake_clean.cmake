@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kaufman_roberts.dir/test_kaufman_roberts.cpp.o"
+  "CMakeFiles/test_kaufman_roberts.dir/test_kaufman_roberts.cpp.o.d"
+  "test_kaufman_roberts"
+  "test_kaufman_roberts.pdb"
+  "test_kaufman_roberts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kaufman_roberts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

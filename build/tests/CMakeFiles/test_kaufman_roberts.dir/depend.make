@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kaufman_roberts.
+# This may be replaced when dependencies are built.

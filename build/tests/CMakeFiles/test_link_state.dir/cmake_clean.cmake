@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_state.dir/test_link_state.cpp.o"
+  "CMakeFiles/test_link_state.dir/test_link_state.cpp.o.d"
+  "test_link_state"
+  "test_link_state.pdb"
+  "test_link_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

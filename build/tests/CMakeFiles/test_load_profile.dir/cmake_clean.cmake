@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_profile.dir/test_load_profile.cpp.o"
+  "CMakeFiles/test_load_profile.dir/test_load_profile.cpp.o.d"
+  "test_load_profile"
+  "test_load_profile.pdb"
+  "test_load_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minloss.dir/test_minloss.cpp.o"
+  "CMakeFiles/test_minloss.dir/test_minloss.cpp.o.d"
+  "test_minloss"
+  "test_minloss.pdb"
+  "test_minloss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

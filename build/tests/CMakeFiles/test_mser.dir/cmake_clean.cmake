@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mser.dir/test_mser.cpp.o"
+  "CMakeFiles/test_mser.dir/test_mser.cpp.o.d"
+  "test_mser"
+  "test_mser.pdb"
+  "test_mser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

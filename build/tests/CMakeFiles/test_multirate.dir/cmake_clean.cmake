@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multirate.dir/test_multirate.cpp.o"
+  "CMakeFiles/test_multirate.dir/test_multirate.cpp.o.d"
+  "test_multirate"
+  "test_multirate.pdb"
+  "test_multirate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

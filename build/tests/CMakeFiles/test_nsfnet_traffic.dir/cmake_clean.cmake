@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsfnet_traffic.dir/test_nsfnet_traffic.cpp.o"
+  "CMakeFiles/test_nsfnet_traffic.dir/test_nsfnet_traffic.cpp.o.d"
+  "test_nsfnet_traffic"
+  "test_nsfnet_traffic.pdb"
+  "test_nsfnet_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsfnet_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

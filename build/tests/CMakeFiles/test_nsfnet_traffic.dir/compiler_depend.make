@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_nsfnet_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_overflow.dir/test_optimal_overflow.cpp.o"
+  "CMakeFiles/test_optimal_overflow.dir/test_optimal_overflow.cpp.o.d"
+  "test_optimal_overflow"
+  "test_optimal_overflow.pdb"
+  "test_optimal_overflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overflow_moments.dir/test_overflow_moments.cpp.o"
+  "CMakeFiles/test_overflow_moments.dir/test_overflow_moments.cpp.o.d"
+  "test_overflow_moments"
+  "test_overflow_moments.pdb"
+  "test_overflow_moments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overflow_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_price.dir/test_shadow_price.cpp.o"
+  "CMakeFiles/test_shadow_price.dir/test_shadow_price.cpp.o.d"
+  "test_shadow_price"
+  "test_shadow_price.pdb"
+  "test_shadow_price[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signaling.dir/test_signaling.cpp.o"
+  "CMakeFiles/test_signaling.dir/test_signaling.cpp.o.d"
+  "test_signaling"
+  "test_signaling.pdb"
+  "test_signaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_protection.dir/test_state_protection.cpp.o"
+  "CMakeFiles/test_state_protection.dir/test_state_protection.cpp.o.d"
+  "test_state_protection"
+  "test_state_protection.pdb"
+  "test_state_protection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetric_overflow.dir/test_symmetric_overflow.cpp.o"
+  "CMakeFiles/test_symmetric_overflow.dir/test_symmetric_overflow.cpp.o.d"
+  "test_symmetric_overflow"
+  "test_symmetric_overflow.pdb"
+  "test_symmetric_overflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetric_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
