@@ -19,6 +19,7 @@ void run(const study::CliOptions& cli) {
   options.load_factors.clear();
   for (const double load : paper_loads) options.load_factors.push_back(load / 10.0);
   options.seeds = shape.seeds;
+  options.threads = shape.threads;
   options.measure = shape.measure;
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(6);

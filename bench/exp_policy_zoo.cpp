@@ -33,6 +33,7 @@ void run(const study::CliOptions& cli) {
     study::SweepOptions options;
     options.load_factors = cli.loads.value_or(std::vector<double>{80, 90, 100, 110});
     options.seeds = shape.seeds;
+    options.threads = shape.threads;
     options.measure = shape.measure;
     options.warmup = shape.warmup;
     options.max_alt_hops = 2;  // the classic one-overflow-hop setting
@@ -47,6 +48,7 @@ void run(const study::CliOptions& cli) {
     options.load_factors.clear();
     for (const double load : {8.0, 10.0, 12.0}) options.load_factors.push_back(load / 10.0);
     options.seeds = shape.seeds;
+    options.threads = shape.threads;
     options.measure = shape.measure;
     options.warmup = shape.warmup;
     options.max_alt_hops = cli.hops.value_or(11);

@@ -21,6 +21,7 @@ void run(const study::CliOptions& cli) {
   options.load_factors =
       cli.loads.value_or(std::vector<double>{60, 70, 75, 80, 85, 90, 95, 100, 105, 110, 120});
   options.seeds = shape.seeds;
+  options.threads = shape.threads;
   options.measure = shape.measure;
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(3);  // all loop-free paths on K4

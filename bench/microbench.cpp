@@ -17,6 +17,7 @@
 #include "erlang/kaufman_roberts.hpp"
 #include "routing/fixed_point.hpp"
 #include "sim/rng.hpp"
+#include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 #include "study/optimal_overflow.hpp"
 
@@ -121,6 +122,38 @@ void BM_EndToEndNsfnetRun(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_EndToEndNsfnetRun)->Unit(benchmark::kMillisecond);
+
+void BM_NsfnetSweepThreads(benchmark::State& state) {
+  // Serial-vs-parallel wall clock of the whole sweep harness on a reduced
+  // Figure-6 NSFNet sweep.  Arg = SweepOptions::threads; compare the /1 row
+  // against /4 for the parallel speedup (results are bit-identical by
+  // construction, only the wall clock moves -- needs >= 4 hardware threads
+  // to show the full effect).
+  const net::Graph g = net::nsfnet_t3();
+  study::SweepOptions options;
+  options.load_factors = {0.9, 1.0, 1.1};
+  options.seeds = 8;
+  options.measure = 40.0;
+  options.warmup = 10.0;
+  options.max_alt_hops = 11;
+  options.erlang_bound = false;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study::run_sweep(g, study::nsfnet_nominal_traffic(),
+                         {study::PolicyKind::kSinglePath,
+                          study::PolicyKind::kUncontrolledAlternate,
+                          study::PolicyKind::kControlledAlternate},
+                         options)
+            .curves.size());
+  }
+}
+BENCHMARK(BM_NsfnetSweepThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_KaufmanRoberts(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));

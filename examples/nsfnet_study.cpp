@@ -7,15 +7,21 @@
 //   2. Which links are the bottlenecks?           (per-link loss attribution)
 //   3. What happens if the worst link fails?      (failure re-run)
 //
-//   usage: nsfnet_study [load_factor]   (default 1.0 = nominal)
+//   usage: nsfnet_study [load_factor] [threads]   (default 1.0 = nominal,
+//   threads = 1; 0 = all hardware threads.  Thread count never changes the
+//   numbers, only the wall clock -- each seed has its own RNG stream and
+//   result slot.)
 #include <cstdlib>
+#include <memory>
 #include <iostream>
 
 #include "core/controlled_policy.hpp"
 #include "core/controller.hpp"
 #include "netgraph/topologies.hpp"
 #include "sim/call_trace.hpp"
+#include "sim/parallel_for.hpp"
 #include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
 #include "study/nsfnet_traffic.hpp"
 #include "study/report.hpp"
 
@@ -24,16 +30,22 @@ using namespace altroute;
 namespace {
 
 double mean_blocking(const core::Controller& controller, const net::TrafficMatrix& traffic,
-                     int seeds, std::vector<long long>* link_losses = nullptr) {
-  core::ControlledAlternatePolicy policy;
+                     int seeds, sim::ThreadPool* pool,
+                     std::vector<long long>* link_losses = nullptr) {
+  // One slot per seed; replications run in any order (possibly on the
+  // pool), the reduction below walks the slots in seed order.
+  std::vector<loss::RunResult> runs(static_cast<std::size_t>(seeds));
+  sim::parallel_for(pool, runs.size(), [&](std::size_t s) {
+    core::ControlledAlternatePolicy policy;
+    const sim::CallTrace trace =
+        sim::generate_trace(traffic, 110.0, static_cast<std::uint64_t>(s + 1));
+    runs[s] = controller.run(policy, trace);
+  });
   sim::RunningStats blocking;
   if (link_losses) {
     link_losses->assign(static_cast<std::size_t>(controller.graph().link_count()), 0);
   }
-  for (int s = 1; s <= seeds; ++s) {
-    const sim::CallTrace trace =
-        sim::generate_trace(traffic, 110.0, static_cast<std::uint64_t>(s));
-    const loss::RunResult run = controller.run(policy, trace);
+  for (const loss::RunResult& run : runs) {
     blocking.add(run.blocking());
     if (link_losses) {
       for (std::size_t k = 0; k < run.primary_losses_at_link.size(); ++k) {
@@ -49,9 +61,17 @@ double mean_blocking(const core::Controller& controller, const net::TrafficMatri
 int main(int argc, char** argv) {
   const double factor = (argc > 1) ? std::atof(argv[1]) : 1.0;
   if (!(factor > 0.0)) {
-    std::cerr << "usage: nsfnet_study [load_factor > 0]\n";
+    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0]\n";
     return 1;
   }
+  int threads = (argc > 2) ? std::atoi(argv[2]) : 1;
+  if (threads < 0) {
+    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0]\n";
+    return 1;
+  }
+  if (threads == 0) threads = sim::ThreadPool::hardware_threads();
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<sim::ThreadPool>(threads);
   const net::Graph g = net::nsfnet_t3();
   const net::TrafficMatrix traffic = study::nsfnet_nominal_traffic().scaled(factor);
   core::Controller controller(g, traffic, core::ControllerConfig{11});
@@ -65,13 +85,13 @@ int main(int argc, char** argv) {
     core::Controller swept(g, study::nsfnet_nominal_traffic().scaled(f),
                            core::ControllerConfig{11});
     std::cout << "  " << study::fmt(f, 2)
-              << "x nominal: " << study::fmt(mean_blocking(swept, study::nsfnet_nominal_traffic().scaled(f), 5), 4)
+              << "x nominal: " << study::fmt(mean_blocking(swept, study::nsfnet_nominal_traffic().scaled(f), 5, pool.get()), 4)
               << '\n';
   }
 
   // 2. Bottlenecks: where are primary calls lost?
   std::vector<long long> losses;
-  (void)mean_blocking(controller, traffic, 5, &losses);
+  (void)mean_blocking(controller, traffic, 5, pool.get(), &losses);
   std::cout << "\nTop loss-attributed links (losses charged to the first blocking link):\n";
   for (int rank = 0; rank < 5; ++rank) {
     std::size_t worst = 0;
@@ -93,7 +113,7 @@ int main(int argc, char** argv) {
   failed.fail_duplex(net::NodeId(10), net::NodeId(11));
   core::Controller degraded(failed, traffic, core::ControllerConfig{11});
   std::cout << "\nWith the Princeton <-> Chicago facility down: blocking "
-            << study::fmt(mean_blocking(degraded, traffic, 5), 4) << " (was "
-            << study::fmt(mean_blocking(controller, traffic, 5), 4) << ")\n";
+            << study::fmt(mean_blocking(degraded, traffic, 5, pool.get()), 4) << " (was "
+            << study::fmt(mean_blocking(controller, traffic, 5, pool.get()), 4) << ")\n";
   return 0;
 }

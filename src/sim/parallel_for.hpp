@@ -1,0 +1,47 @@
+// parallel_for: the one parallel construct the sweep harness uses.
+//
+// Runs body(0) .. body(count - 1).  With a null pool (or a single-worker
+// pool) the loop runs inline on the calling thread in index order -- the
+// `threads=1` mode that bypasses the pool entirely.  Otherwise indices are
+// claimed dynamically from a shared atomic counter by the pool's workers.
+//
+// Determinism contract: execution ORDER is unspecified in the parallel
+// case, so body(i) must touch only state owned by index i (pre-sized result
+// slots).  Under that discipline the set of (i -> slot_i) writes is
+// identical for every thread count, and a fixed-order reduction over the
+// slots afterwards gives bit-for-bit identical results.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "sim/thread_pool.hpp"
+
+namespace altroute::sim {
+
+inline void parallel_for(ThreadPool* pool, std::size_t count,
+                         const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t lanes =
+      std::min(static_cast<std::size_t>(pool->thread_count()), count);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool->submit([&next, &body, count] {
+      for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < count;) {
+        body(i);
+      }
+    });
+  }
+  // wait() re-throws the first exception thrown by any body(i); the
+  // remaining lanes still run to completion first, so `next`/`body` never
+  // dangle.
+  pool->wait();
+}
+
+}  // namespace altroute::sim

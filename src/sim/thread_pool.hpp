@@ -1,0 +1,73 @@
+// Fixed-size worker pool for the deterministic parallel sweep harness.
+//
+// Design constraints (see DESIGN.md "Parallel sweep harness"):
+//   - fixed worker count chosen at construction, no work stealing between
+//     higher-level constructs: tasks are claimed from one FIFO queue;
+//   - tasks must not submit further tasks (nested submission is rejected
+//     with std::logic_error) -- the sweep fan-out is a flat bag of
+//     independent replications, and a flat pool cannot deadlock;
+//   - exceptions escaping a task are captured and re-thrown from the next
+//     wait() on the submitting thread, first-come-first-kept;
+//   - destruction drains the queue: every task submitted before the
+//     destructor runs is executed before the workers join.
+//
+// Determinism is a property of the *callers*: the pool makes no ordering
+// promises, so callers write results into pre-sized per-task slots and
+// reduce them in a fixed order afterwards (see sim/parallel_for.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace altroute::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers.  Throws std::invalid_argument unless
+  /// threads >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Drains all queued tasks, then joins the workers.  A pending captured
+  /// exception that was never collected by wait() is discarded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.  Throws std::logic_error when called from one of
+  /// this process's pool worker threads (nested submission).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  If any task threw,
+  /// re-throws the first captured exception (and clears it, so the pool
+  /// stays usable).
+  void wait();
+
+  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t in_flight_{0};  ///< queued + currently running tasks
+  bool stopping_{false};
+};
+
+}  // namespace altroute::sim

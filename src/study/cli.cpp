@@ -62,6 +62,9 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--hops") {
       options.hops = parse_int(arg, need_value(i, arg));
       if (*options.hops < 1) throw std::invalid_argument("--hops: must be >= 1");
+    } else if (arg == "--threads") {
+      options.threads = parse_int(arg, need_value(i, arg));
+      if (*options.threads < 0) throw std::invalid_argument("--threads: must be >= 0");
     } else if (arg == "--csv") {
       options.csv = need_value(i, arg);
     } else if (arg == "--fast") {
@@ -69,7 +72,7 @@ CliOptions parse_cli(int argc, char** argv) {
     } else {
       throw std::invalid_argument(
           "unknown flag '" + arg +
-          "' (known: --seeds --measure --warmup --loads --hops --csv --fast)");
+          "' (known: --seeds --measure --warmup --loads --hops --threads --csv --fast)");
     }
   }
   return options;
@@ -84,6 +87,7 @@ RunShape shape_from_cli(const CliOptions& cli, RunShape defaults) {
   if (cli.seeds) shape.seeds = *cli.seeds;
   if (cli.measure) shape.measure = *cli.measure;
   if (cli.warmup) shape.warmup = *cli.warmup;
+  if (cli.threads) shape.threads = *cli.threads;
   return shape;
 }
 

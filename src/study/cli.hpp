@@ -6,6 +6,7 @@
 //   --warmup T       warm-up time units (paper: 10)
 //   --loads a,b,c    load factors / offered loads, comma separated
 //   --hops H         maximum alternate hop count
+//   --threads N      worker threads for replications (0 = all hardware)
 //   --csv PATH       also write the main table as CSV
 //   --fast           shrink seeds/horizon for a quick smoke run
 #pragma once
@@ -22,6 +23,7 @@ struct CliOptions {
   std::optional<double> warmup;
   std::optional<std::vector<double>> loads;
   std::optional<int> hops;
+  std::optional<int> threads;
   std::optional<std::string> csv;
   bool fast{false};
 };
@@ -36,6 +38,9 @@ struct RunShape {
   int seeds{10};
   double measure{100.0};
   double warmup{10.0};
+  /// Replication worker threads (SweepOptions::threads): 1 = serial,
+  /// 0 = all hardware threads.  Never changes results, only wall clock.
+  int threads{1};
 };
 [[nodiscard]] RunShape shape_from_cli(const CliOptions& cli, RunShape defaults = {});
 

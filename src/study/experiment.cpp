@@ -1,7 +1,9 @@
 #include "study/experiment.hpp"
 
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/adaptive_policy.hpp"
 #include "core/controlled_policy.hpp"
@@ -11,6 +13,8 @@
 #include "loss/dynamic_policies.hpp"
 #include "loss/policies.hpp"
 #include "sim/call_trace.hpp"
+#include "sim/parallel_for.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace altroute::study {
 
@@ -42,114 +46,179 @@ std::string policy_name(PolicyKind kind) {
 
 namespace {
 
+// Controller state captured per load point during the serial prologue, so
+// that replication tasks never touch the (mutable) controller.
+struct LoadPointState {
+  net::TrafficMatrix traffic;
+  std::vector<double> primary_loads;
+  std::vector<int> reservations;
+};
+
+// What one (load point, seed, policy) replication produces.  Tasks write
+// only their own slot; the epilogue reduces slots in the serial order.
+struct ReplicationOutcome {
+  double blocking{0.0};
+  double alternate_fraction{0.0};
+  std::vector<long long> pair_offered;  ///< fairness only
+  std::vector<long long> pair_blocked;  ///< fairness only
+};
+
+// Fresh policy instance for one replication.  Mirrors the per-seed
+// construction of the serial protocol: stateful policies (sticky-random's
+// per-pair memory, adaptive estimators) start cold on every replication.
+std::unique_ptr<loss::RoutingPolicy> make_policy(PolicyKind kind, const net::Graph& graph,
+                                                 const LoadPointState& load,
+                                                 const std::vector<int>& capacities,
+                                                 int max_alt_hops, std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kSinglePath:
+      return std::make_unique<loss::SinglePathPolicy>();
+    case PolicyKind::kUncontrolledAlternate:
+      return std::make_unique<loss::UncontrolledAlternatePolicy>();
+    case PolicyKind::kControlledAlternate:
+      return std::make_unique<core::ControlledAlternatePolicy>();
+    case PolicyKind::kOttKrishnan:
+      return std::make_unique<loss::OttKrishnanPolicy>(load.primary_loads, capacities);
+    case PolicyKind::kAdaptiveControlled: {
+      core::AdaptiveOptions adaptive;
+      adaptive.max_alt_hops = max_alt_hops;
+      return std::make_unique<core::AdaptiveControlledPolicy>(graph, adaptive);
+    }
+    case PolicyKind::kPerLengthControlled:
+      return std::make_unique<core::PerLengthControlledPolicy>(graph, load.primary_loads,
+                                                               max_alt_hops);
+    case PolicyKind::kLeastBusy:
+      return std::make_unique<loss::LeastBusyAlternatePolicy>(false);
+    case PolicyKind::kLeastBusyProtected:
+      return std::make_unique<loss::LeastBusyAlternatePolicy>(true);
+    case PolicyKind::kStickyRandom:
+      return std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, false);
+    case PolicyKind::kStickyRandomProtected:
+      return std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, true);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
 SweepResult run_with_controller(core::Controller& controller, const net::Graph& graph,
                                 const net::TrafficMatrix& nominal,
                                 const std::vector<PolicyKind>& policies,
                                 const SweepOptions& options) {
   if (policies.empty()) throw std::invalid_argument("run_sweep: no policies");
   if (options.seeds < 1) throw std::invalid_argument("run_sweep: seeds < 1");
+  if (options.threads < 0) throw std::invalid_argument("run_sweep: threads < 0");
   if (!(options.measure > 0.0) || !(options.warmup >= 0.0)) {
     throw std::invalid_argument("run_sweep: bad horizon");
   }
+  const int threads =
+      options.threads == 0 ? sim::ThreadPool::hardware_threads() : options.threads;
   const double horizon = options.warmup + options.measure;
   const int n = graph.node_count();
   const std::size_t pair_count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  const std::size_t policy_count = policies.size();
+  const std::size_t seed_count = static_cast<std::size_t>(options.seeds);
+  const std::vector<int> capacities = core::link_capacities(graph);
 
   SweepResult result;
   result.load_factors = options.load_factors;
-  result.curves.resize(policies.size());
-  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+  result.curves.resize(policy_count);
+  for (std::size_t pi = 0; pi < policy_count; ++pi) {
     result.curves[pi].name = policy_name(policies[pi]);
   }
 
+  // Serial prologue: retarget the controller once per load point and
+  // snapshot the state replications depend on (protection levels, primary
+  // loads).  The controller is left at the last load point, as before.
+  std::vector<LoadPointState> load_points;
+  load_points.reserve(options.load_factors.size());
   for (const double factor : options.load_factors) {
-    const net::TrafficMatrix traffic = nominal.scaled(factor);
-    result.offered_erlangs.push_back(traffic.total());
-    controller.retarget(traffic);
-
+    LoadPointState state;
+    state.traffic = nominal.scaled(factor);
+    result.offered_erlangs.push_back(state.traffic.total());
+    controller.retarget(state.traffic);
     if (options.erlang_bound) {
-      result.erlang_bound.push_back(erlang::erlang_bound(graph, traffic).bound);
+      result.erlang_bound.push_back(erlang::erlang_bound(graph, state.traffic).bound);
     }
+    state.primary_loads = controller.primary_loads();
+    state.reservations = controller.engine_options(options.warmup).reservations;
+    load_points.push_back(std::move(state));
+  }
 
-    std::vector<sim::RunningStats> blocking(policies.size());
-    std::vector<sim::RunningStats> alt_fraction(policies.size());
-    // Per-pair blocked/offered accumulated over seeds (ratio-of-sums keeps
-    // rarely-offered pairs stable), one vector per policy.
-    std::vector<std::vector<long long>> pair_offered;
-    std::vector<std::vector<long long>> pair_blocked;
-    if (options.fairness) {
-      pair_offered.assign(policies.size(), std::vector<long long>(pair_count, 0));
-      pair_blocked.assign(policies.size(), std::vector<long long>(pair_count, 0));
-    }
-
-    for (int s = 0; s < options.seeds; ++s) {
-      const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
-      const sim::CallTrace trace = sim::generate_trace(traffic, horizon, seed);
-
-      for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-        std::unique_ptr<loss::RoutingPolicy> policy;
-        switch (policies[pi]) {
-          case PolicyKind::kSinglePath:
-            policy = std::make_unique<loss::SinglePathPolicy>();
-            break;
-          case PolicyKind::kUncontrolledAlternate:
-            policy = std::make_unique<loss::UncontrolledAlternatePolicy>();
-            break;
-          case PolicyKind::kControlledAlternate:
-            policy = std::make_unique<core::ControlledAlternatePolicy>();
-            break;
-          case PolicyKind::kOttKrishnan:
-            policy = std::make_unique<loss::OttKrishnanPolicy>(
-                controller.primary_loads(), core::link_capacities(graph));
-            break;
-          case PolicyKind::kAdaptiveControlled: {
-            core::AdaptiveOptions adaptive;
-            adaptive.max_alt_hops = options.max_alt_hops;
-            policy = std::make_unique<core::AdaptiveControlledPolicy>(graph, adaptive);
-            break;
-          }
-          case PolicyKind::kPerLengthControlled:
-            policy = std::make_unique<core::PerLengthControlledPolicy>(
-                graph, controller.primary_loads(), options.max_alt_hops);
-            break;
-          case PolicyKind::kLeastBusy:
-            policy = std::make_unique<loss::LeastBusyAlternatePolicy>(false);
-            break;
-          case PolicyKind::kLeastBusyProtected:
-            policy = std::make_unique<loss::LeastBusyAlternatePolicy>(true);
-            break;
-          case PolicyKind::kStickyRandom:
-            policy = std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, false);
-            break;
-          case PolicyKind::kStickyRandomProtected:
-            policy = std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, true);
-            break;
-        }
-        loss::EngineOptions engine = controller.engine_options(options.warmup, seed);
-        engine.link_stats = false;
-        const loss::RunResult run =
-            loss::run_trace(graph, controller.routes(), *policy, trace, engine);
-        blocking[pi].add(run.blocking());
-        alt_fraction[pi].add(run.alternate_fraction());
-        if (options.fairness) {
-          for (std::size_t q = 0; q < pair_count; ++q) {
-            pair_offered[pi][q] += run.per_pair[q].offered;
-            pair_blocked[pi][q] += run.per_pair[q].blocked;
-          }
+  // Fan-out: one task per (load point, seed); each replays every policy
+  // against that seed's trace (common random numbers) and writes into its
+  // own pre-sized slots.  Nothing below mutates shared state.
+  const std::size_t task_count = load_points.size() * seed_count;
+  std::vector<ReplicationOutcome> slots(task_count * policy_count);
+  const auto run_replication = [&](std::size_t task) {
+    const std::size_t li = task / seed_count;
+    const std::size_t s = task % seed_count;
+    const LoadPointState& load = load_points[li];
+    const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
+    const sim::CallTrace trace = sim::generate_trace(load.traffic, horizon, seed);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      const std::unique_ptr<loss::RoutingPolicy> policy =
+          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
+      loss::EngineOptions engine;
+      engine.warmup = options.warmup;
+      engine.policy_seed = seed;
+      engine.link_stats = false;
+      engine.reservations = load.reservations;
+      const loss::RunResult run =
+          loss::run_trace(graph, controller.routes(), *policy, trace, engine);
+      ReplicationOutcome& slot = slots[task * policy_count + pi];
+      slot.blocking = run.blocking();
+      slot.alternate_fraction = run.alternate_fraction();
+      if (options.fairness) {
+        slot.pair_offered.resize(pair_count);
+        slot.pair_blocked.resize(pair_count);
+        for (std::size_t q = 0; q < pair_count; ++q) {
+          slot.pair_offered[q] = run.per_pair[q].offered;
+          slot.pair_blocked[q] = run.per_pair[q].blocked;
         }
       }
     }
+  };
+  if (threads > 1) {
+    sim::ThreadPool pool(threads);
+    sim::parallel_for(&pool, task_count, run_replication);
+  } else {
+    sim::parallel_for(nullptr, task_count, run_replication);
+  }
 
-    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-      result.curves[pi].mean_blocking.push_back(blocking[pi].mean());
-      result.curves[pi].ci95.push_back(blocking[pi].ci95_halfwidth());
-      result.curves[pi].alternate_fraction.push_back(alt_fraction[pi].mean());
+  // Serial epilogue: reduce slots in (load point, policy, seed-ascending)
+  // order.  Each RunningStats object receives exactly the additions of the
+  // serial loop in the same order, so means/CIs match bit for bit.
+  for (std::size_t li = 0; li < load_points.size(); ++li) {
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      sim::RunningStats blocking;
+      sim::RunningStats alt_fraction;
+      // Per-pair blocked/offered accumulated over seeds (ratio-of-sums
+      // keeps rarely-offered pairs stable).
+      std::vector<long long> pair_offered;
+      std::vector<long long> pair_blocked;
+      if (options.fairness) {
+        pair_offered.assign(pair_count, 0);
+        pair_blocked.assign(pair_count, 0);
+      }
+      for (std::size_t s = 0; s < seed_count; ++s) {
+        const ReplicationOutcome& slot = slots[(li * seed_count + s) * policy_count + pi];
+        blocking.add(slot.blocking);
+        alt_fraction.add(slot.alternate_fraction);
+        if (options.fairness) {
+          for (std::size_t q = 0; q < pair_count; ++q) {
+            pair_offered[q] += slot.pair_offered[q];
+            pair_blocked[q] += slot.pair_blocked[q];
+          }
+        }
+      }
+      result.curves[pi].mean_blocking.push_back(blocking.mean());
+      result.curves[pi].ci95.push_back(blocking.ci95_halfwidth());
+      result.curves[pi].alternate_fraction.push_back(alt_fraction.mean());
       if (options.fairness) {
         std::vector<double> per_pair;
         for (std::size_t q = 0; q < pair_count; ++q) {
-          if (pair_offered[pi][q] > 0) {
-            per_pair.push_back(static_cast<double>(pair_blocked[pi][q]) /
-                               static_cast<double>(pair_offered[pi][q]));
+          if (pair_offered[q] > 0) {
+            per_pair.push_back(static_cast<double>(pair_blocked[q]) /
+                               static_cast<double>(pair_offered[q]));
           }
         }
         result.curves[pi].pair_blocking.push_back(sim::summarize(per_pair));

@@ -6,6 +6,11 @@
 // 10 seeds, and every policy is replayed against the SAME per-seed call
 // trace (common random numbers).  For the controlled scheme the protection
 // levels are recomputed per load point from that load's traffic matrix.
+//
+// Replications are independent given their per-load-point controller state
+// and their seed, so the harness can fan (load point x seed) runs across a
+// fixed thread pool (SweepOptions::threads) with results bit-for-bit
+// identical to the serial order -- see DESIGN.md "Parallel sweep harness".
 #pragma once
 
 #include <cstdint>
@@ -52,6 +57,13 @@ struct SweepOptions {
   int max_alt_hops{6};
   /// Base RNG seed; replication s uses seed base + s.
   std::uint64_t base_seed{1};
+  /// Worker threads for the replication fan-out: 1 runs serially on the
+  /// calling thread (no pool is even constructed), N > 1 uses a fixed pool
+  /// of N workers, 0 means "all hardware threads".  Results are bit-for-bit
+  /// identical for every value -- each (load point, seed) replication draws
+  /// from its own pre-derived RNG stream and writes into its own result
+  /// slot; see DESIGN.md "Parallel sweep harness".
+  int threads{1};
   /// Also evaluate the cut-set Erlang Bound per load point.
   bool erlang_bound{true};
   /// Collect per-O-D fairness summaries (costs one extra pass per run).

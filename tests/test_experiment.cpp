@@ -129,7 +129,8 @@ TEST(SweepTable, OneRowPerLoadPoint) {
 TEST(Cli, ParsesAllFlags) {
   const char* argv[] = {"prog",  "--seeds", "4",          "--measure", "33",
                         "--warmup", "2",   "--loads",     "0.5,1,1.5", "--hops",
-                        "7",     "--csv",   "/tmp/x.csv", "--fast"};
+                        "7",     "--threads", "8",        "--csv",     "/tmp/x.csv",
+                        "--fast"};
   const study::CliOptions cli =
       study::parse_cli(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
   EXPECT_EQ(*cli.seeds, 4);
@@ -138,6 +139,7 @@ TEST(Cli, ParsesAllFlags) {
   ASSERT_EQ(cli.loads->size(), 3u);
   EXPECT_DOUBLE_EQ((*cli.loads)[2], 1.5);
   EXPECT_EQ(*cli.hops, 7);
+  EXPECT_EQ(*cli.threads, 8);
   EXPECT_EQ(*cli.csv, "/tmp/x.csv");
   EXPECT_TRUE(cli.fast);
 }
@@ -151,6 +153,9 @@ TEST(Cli, RejectsBadInput) {
   EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(junk)), std::invalid_argument);
   const char* zero[] = {"prog", "--seeds", "0"};
   EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(zero)), std::invalid_argument);
+  const char* negative_threads[] = {"prog", "--threads", "-2"};
+  EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(negative_threads)),
+               std::invalid_argument);
 }
 
 TEST(Cli, ShapeDefaultsAndFastMode) {
@@ -167,6 +172,11 @@ TEST(Cli, ShapeDefaultsAndFastMode) {
   cli.seeds = 7;
   shape = study::shape_from_cli(cli);
   EXPECT_EQ(shape.seeds, 7);
+  // --threads defaults to serial and passes through; --fast leaves it alone.
+  EXPECT_EQ(shape.threads, 1);
+  cli.threads = 4;
+  shape = study::shape_from_cli(cli);
+  EXPECT_EQ(shape.threads, 4);
 }
 
 TEST(WriteFile, RoundTripsAndValidates) {

@@ -1,0 +1,148 @@
+// Determinism regression for the parallel sweep harness: `threads=N` must
+// produce byte-identical SweepResults to `threads=1` (which bypasses the
+// pool entirely).  This is the core correctness claim of the parallel
+// execution layer -- replications draw from pre-derived RNG streams and
+// write into pre-sized slots, so thread count can never leak into results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "sim/stats.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+namespace sim = altroute::sim;
+namespace study = altroute::study;
+
+namespace {
+
+// Field-by-field exact comparison (EXPECT_EQ on double is bitwise-valued
+// equality, not a tolerance check).
+void expect_identical(const study::SweepResult& a, const study::SweepResult& b) {
+  EXPECT_EQ(a.load_factors, b.load_factors);
+  EXPECT_EQ(a.offered_erlangs, b.offered_erlangs);
+  EXPECT_EQ(a.erlang_bound, b.erlang_bound);
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  for (std::size_t pi = 0; pi < a.curves.size(); ++pi) {
+    SCOPED_TRACE(a.curves[pi].name);
+    EXPECT_EQ(a.curves[pi].name, b.curves[pi].name);
+    EXPECT_EQ(a.curves[pi].mean_blocking, b.curves[pi].mean_blocking);
+    EXPECT_EQ(a.curves[pi].ci95, b.curves[pi].ci95);
+    EXPECT_EQ(a.curves[pi].alternate_fraction, b.curves[pi].alternate_fraction);
+    ASSERT_EQ(a.curves[pi].pair_blocking.size(), b.curves[pi].pair_blocking.size());
+    for (std::size_t li = 0; li < a.curves[pi].pair_blocking.size(); ++li) {
+      const sim::SampleSummary& sa = a.curves[pi].pair_blocking[li];
+      const sim::SampleSummary& sb = b.curves[pi].pair_blocking[li];
+      EXPECT_EQ(sa.count, sb.count);
+      EXPECT_EQ(sa.mean, sb.mean);
+      EXPECT_EQ(sa.stddev, sb.stddev);
+      EXPECT_EQ(sa.min, sb.min);
+      EXPECT_EQ(sa.max, sb.max);
+      EXPECT_EQ(sa.median, sb.median);
+      EXPECT_EQ(sa.cv, sb.cv);
+      EXPECT_EQ(sa.skewness, sb.skewness);
+    }
+  }
+}
+
+study::SweepResult quadrangle_sweep(int threads) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 26.0);
+  study::SweepOptions options;
+  options.load_factors = {0.8, 1.0, 1.2};
+  options.seeds = 6;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.fairness = true;  // exercises the per-pair slot path too
+  options.threads = threads;
+  return study::run_sweep(g, nominal,
+                          {study::PolicyKind::kSinglePath,
+                           study::PolicyKind::kUncontrolledAlternate,
+                           study::PolicyKind::kControlledAlternate},
+                          options);
+}
+
+TEST(ParallelSweep, QuadrangleIdenticalAcrossThreadCounts) {
+  const study::SweepResult serial = quadrangle_sweep(1);
+  expect_identical(serial, quadrangle_sweep(4));
+  // Oversubscribed pool (more workers than tasks per wave) and auto mode.
+  expect_identical(serial, quadrangle_sweep(7));
+  expect_identical(serial, quadrangle_sweep(0));
+}
+
+TEST(ParallelSweep, NsfnetIdenticalAcrossThreadCounts) {
+  const net::Graph g = net::nsfnet_t3();
+  study::SweepOptions options;
+  options.load_factors = {0.9, 1.1};
+  options.seeds = 4;
+  options.measure = 20.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 11;
+  options.fairness = true;
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+      study::PolicyKind::kControlledAlternate};
+  options.threads = 1;
+  const study::SweepResult serial =
+      study::run_sweep(g, study::nsfnet_nominal_traffic(), policies, options);
+  options.threads = 4;
+  const study::SweepResult parallel =
+      study::run_sweep(g, study::nsfnet_nominal_traffic(), policies, options);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, SeededPoliciesIdenticalAcrossThreadCounts) {
+  // Policies with their own per-replication RNG state (sticky-random) and
+  // load-derived construction (Ott-Krishnan) go through the same slots.
+  const net::Graph g = net::full_mesh(4, 25);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 22.0);
+  study::SweepOptions options;
+  options.load_factors = {1.0};
+  options.seeds = 5;
+  options.measure = 25.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kStickyRandom, study::PolicyKind::kStickyRandomProtected,
+      study::PolicyKind::kOttKrishnan, study::PolicyKind::kAdaptiveControlled};
+  options.threads = 1;
+  const study::SweepResult serial = study::run_sweep(g, nominal, policies, options);
+  options.threads = 3;
+  const study::SweepResult parallel = study::run_sweep(g, nominal, policies, options);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, WithRoutesIdenticalAcrossThreadCounts) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 24.0);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  study::SweepOptions options;
+  options.load_factors = {0.9, 1.1};
+  options.seeds = 4;
+  options.measure = 20.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.threads = 1;
+  const study::SweepResult serial = study::run_sweep_with_routes(
+      g, nominal, routes, {study::PolicyKind::kControlledAlternate}, options);
+  options.threads = 4;
+  const study::SweepResult parallel = study::run_sweep_with_routes(
+      g, nominal, routes, {study::PolicyKind::kControlledAlternate}, options);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, RejectsNegativeThreads) {
+  const net::Graph g = net::full_mesh(3, 5);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(3, 1.0);
+  study::SweepOptions options;
+  options.threads = -1;
+  EXPECT_THROW((void)study::run_sweep(g, t, {study::PolicyKind::kSinglePath}, options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// ThreadPool + parallel_for: completion, exception propagation, nested
+// submission rejection, shutdown-with-queued-work drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel_for.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  sim::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 1000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  sim::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptionFromWait) {
+  sim::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom in worker"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error was collected; the pool stays usable and clean afterwards.
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, KeepsFirstOfManyExceptions) {
+  sim::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one throw per wait(); the rest were discarded, not queued up.
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, RejectsNestedSubmission) {
+  sim::ThreadPool pool(2);
+  std::atomic<bool> saw_logic_error{false};
+  pool.submit([&] {
+    try {
+      pool.submit([] {});
+    } catch (const std::logic_error&) {
+      saw_logic_error = true;
+    }
+  });
+  pool.wait();
+  EXPECT_TRUE(saw_logic_error.load());
+  EXPECT_FALSE(sim::ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  {
+    sim::ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(sim::ThreadPool pool(0), std::invalid_argument);
+  EXPECT_THROW(sim::ThreadPool pool(-3), std::invalid_argument);
+  EXPECT_GE(sim::ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  sim::ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  std::vector<int> hits(kCount, 0);
+  sim::parallel_for(&pool, kCount, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), static_cast<int>(kCount));
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  sim::parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(sim::ThreadPool::on_worker_thread());
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  sim::ThreadPool pool(2);
+  bool ran = false;
+  sim::parallel_for(&pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  sim::ThreadPool pool(4);
+  EXPECT_THROW(sim::parallel_for(&pool, 100,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+  // And serially too, straight through the inline path.
+  EXPECT_THROW(
+      sim::parallel_for(nullptr, 100,
+                        [](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("bad index");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ParallelMatchesSerialReduction) {
+  // The determinism discipline in miniature: per-index slots, fixed-order
+  // reduce.  The parallel sum must equal the serial sum exactly.
+  constexpr std::size_t kCount = 257;
+  const auto work = [](std::size_t i) {
+    double x = 1.0;
+    for (std::size_t k = 0; k < 50; ++k) x = x * 1.0000001 + static_cast<double>(i) * 1e-9;
+    return x;
+  };
+  std::vector<double> serial(kCount), parallel(kCount);
+  sim::parallel_for(nullptr, kCount, [&](std::size_t i) { serial[i] = work(i); });
+  sim::ThreadPool pool(4);
+  sim::parallel_for(&pool, kCount, [&](std::size_t i) { parallel[i] = work(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
