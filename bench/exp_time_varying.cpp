@@ -1,22 +1,37 @@
-// Time-varying load: a diurnal swing through the critical region.
+// Time-varying load: a diurnal swing through the critical region, driven
+// by the scenario engine.
 //
 // The quadrangle's offered load swings sinusoidally between 60 and 110
 // Erlangs/pair (period 50 holding times, two periods simulated), crossing
-// the ~85-95 E crossover twice per cycle.  Compared schemes:
+// the ~85-95 E crossover twice per cycle.  The swing is expressed as
+// traffic_scale scenario events sampled from the piecewise-constant
+// diurnal profile, so the generated traces are exactly those of the old
+// generate_profiled_trace path -- and, because load dynamics are now just
+// events, they compose with topology events in one scenario.  Compared:
 //   single-path, uncontrolled, controlled with r from the MEAN load,
 //   controlled with r from the PEAK load, and the adaptive policy that
 //   re-estimates Lambda online.
 // The paper argues state protection is robust to load mis-estimates; here
 // that means the mean- and peak-engineered r perform nearly alike, and the
 // adaptive scheme matches them without being told the profile at all.
+//
+// A second table composes the same swing with a mid-run facility outage
+// (fail 0<->1 at half a period, repair one period later) -- a failure
+// landing on a network that is simultaneously breathing.  --scenario PATH
+// replaces that composed script with a user-supplied one.
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "core/adaptive_policy.hpp"
 #include "core/controlled_policy.hpp"
 #include "core/protection.hpp"
-#include "loss/engine.hpp"
 #include "loss/policies.hpp"
 #include "netgraph/topologies.hpp"
-#include "routing/route_table.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/load_profile.hpp"
 #include "sim/stats.hpp"
 
@@ -24,39 +39,61 @@ namespace {
 
 using namespace altroute;
 
-void run(const study::CliOptions& cli) {
-  const study::RunShape shape = study::shape_from_cli(cli);
-  const net::Graph g = net::full_mesh(4, 100);
-  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
-  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 1.0);
-  const double period = 50.0;
-  const sim::LoadProfile profile = sim::LoadProfile::diurnal(period, 60.0, 110.0, 24);
-  const double horizon = shape.warmup + 2.0 * period;
+/// The diurnal profile as traffic_scale events: one per piecewise-constant
+/// segment boundary in [0, horizon).  make_scenario_trace on the result
+/// reproduces generate_profiled_trace(nominal, profile, ...) exactly.
+std::vector<scenario::ScenarioEvent> diurnal_events(const sim::LoadProfile& profile,
+                                                    double period, int steps, double horizon) {
+  std::vector<scenario::ScenarioEvent> events;
+  const double step = period / steps;
+  for (int i = 0; i * step < horizon; ++i) {
+    events.push_back(
+        scenario::ScenarioEvent::traffic_scale(i * step, profile.factor_at(i * step)));
+  }
+  return events;
+}
 
-  const auto levels_for = [&](double erlangs) {
-    return core::protection_levels_from_lambda(
-        g, std::vector<double>(static_cast<std::size_t>(g.link_count()), erlangs), 3);
-  };
-  const auto r_mean = levels_for(profile.mean_factor());
-  const auto r_peak = levels_for(profile.max_factor());
+scenario::Scenario with_outage(std::vector<scenario::ScenarioEvent> events, double fail_at,
+                               double repair_at) {
+  events.push_back(scenario::ScenarioEvent::link_fail(fail_at, 0, 1));
+  events.push_back(scenario::ScenarioEvent::resolve_protection(fail_at));
+  events.push_back(scenario::ScenarioEvent::link_repair(repair_at, 0, 1));
+  events.push_back(scenario::ScenarioEvent::resolve_protection(repair_at));
+  std::stable_sort(events.begin(), events.end(),
+                   [](const scenario::ScenarioEvent& a, const scenario::ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+  scenario::Scenario s;
+  s.name = "diurnal swing + fail 0<->1";
+  s.events = std::move(events);
+  return s;
+}
 
-  struct Scheme {
-    const char* name;
-    sim::RunningStats blocking;
-    std::vector<long long> bin_offered;
-    std::vector<long long> bin_blocked;
-  };
-  const int bins = 8;  // quarter-period resolution over two periods
+struct Scheme {
+  const char* name;
+  sim::RunningStats blocking;
+  long long dropped{0};
+  std::vector<long long> bin_offered;
+  std::vector<long long> bin_blocked;
+};
+
+/// Replays `scen` for every scheme and seed (common random numbers) and
+/// returns the accumulated transient series, one curve per scheme.
+study::ScenarioSweepResult run_schemes(const net::Graph& g, const net::TrafficMatrix& nominal,
+                                       const scenario::Scenario& scen, int seeds, double warmup,
+                                       double horizon, int bins, const std::vector<int>& r_mean,
+                                       const std::vector<int>& r_peak) {
   std::vector<Scheme> schemes;
   for (const char* name : {"single-path", "uncontrolled", "controlled-r(mean)",
                            "controlled-r(peak)", "adaptive"}) {
-    schemes.push_back(Scheme{name, {}, std::vector<long long>(bins, 0),
-                             std::vector<long long>(bins, 0)});
+    schemes.push_back(
+        Scheme{name, {}, 0, std::vector<long long>(bins, 0), std::vector<long long>(bins, 0)});
   }
 
-  for (int s = 1; s <= shape.seeds; ++s) {
+  study::ScenarioSweepResult out;
+  for (int s = 1; s <= seeds; ++s) {
     const sim::CallTrace trace =
-        sim::generate_profiled_trace(nominal, profile, horizon, static_cast<std::uint64_t>(s));
+        scenario::make_scenario_trace(nominal, scen, horizon, static_cast<std::uint64_t>(s));
     loss::SinglePathPolicy single;
     loss::UncontrolledAlternatePolicy uncontrolled;
     core::ControlledAlternatePolicy controlled;
@@ -67,10 +104,10 @@ void run(const study::CliOptions& cli) {
     core::AdaptiveControlledPolicy adaptive(g, adaptive_options);
 
     for (std::size_t k = 0; k < schemes.size(); ++k) {
-      loss::EngineOptions options;
-      options.warmup = shape.warmup;
-      options.link_stats = false;
+      scenario::ScenarioEngineOptions options;
+      options.warmup = warmup;
       options.time_bins = bins;
+      options.max_alt_hops = 3;
       loss::RoutingPolicy* policy = nullptr;
       switch (k) {
         case 0: policy = &single; break;
@@ -79,35 +116,90 @@ void run(const study::CliOptions& cli) {
         case 3: policy = &controlled; options.reservations = r_peak; break;
         case 4: policy = &adaptive; break;
       }
-      const loss::RunResult result = loss::run_trace(g, routes, *policy, trace, options);
-      schemes[k].blocking.add(result.blocking());
+      const scenario::ScenarioRunResult result =
+          scenario::run_scenario(g, nominal, *policy, trace, scen, options);
+      schemes[k].blocking.add(result.run.blocking());
+      schemes[k].dropped += result.dropped;
       for (int b = 0; b < bins; ++b) {
         schemes[k].bin_offered[static_cast<std::size_t>(b)] +=
-            result.bin_offered[static_cast<std::size_t>(b)];
+            result.run.bin_offered[static_cast<std::size_t>(b)];
         schemes[k].bin_blocked[static_cast<std::size_t>(b)] +=
-            result.bin_blocked[static_cast<std::size_t>(b)];
+            result.run.bin_blocked[static_cast<std::size_t>(b)];
       }
+      if (s == 1 && k == 0) out.applied = result.applied;
     }
   }
 
-  study::TextTable table({"scheme", "overall_blocking", "ci95", "trough_bins", "peak_bins"});
+  const double bin_width = (horizon - warmup) / bins;
+  for (int b = 0; b < bins; ++b) out.bin_start.push_back(warmup + b * bin_width);
   for (const Scheme& scheme : schemes) {
+    study::ScenarioCurve curve;
+    curve.name = scheme.name;
+    curve.mean_blocking = scheme.blocking.mean();
+    curve.ci95 = scheme.blocking.ci95_halfwidth();
+    curve.dropped = scheme.dropped;
+    curve.bin_offered = scheme.bin_offered;
+    curve.bin_blocked = scheme.bin_blocked;
+    for (int b = 0; b < bins; ++b) {
+      const long long offered = scheme.bin_offered[static_cast<std::size_t>(b)];
+      const long long blocked = scheme.bin_blocked[static_cast<std::size_t>(b)];
+      curve.bin_blocking.push_back(
+          offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0);
+    }
+    out.curves.push_back(std::move(curve));
+  }
+  return out;
+}
+
+void run(const study::CliOptions& cli) {
+  const study::RunShape shape = study::shape_from_cli(cli);
+  const net::Graph g = net::full_mesh(4, 100);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 1.0);
+  const double period = 50.0;
+  const int steps = 24;
+  const sim::LoadProfile profile = sim::LoadProfile::diurnal(period, 60.0, 110.0, steps);
+  const double horizon = shape.warmup + 2.0 * period;
+  const int bins = 8;  // quarter-period resolution over two periods
+
+  const auto levels_for = [&](double erlangs) {
+    return core::protection_levels_from_lambda(
+        g, std::vector<double>(static_cast<std::size_t>(g.link_count()), erlangs), 3);
+  };
+  const auto r_mean = levels_for(profile.mean_factor());
+  const auto r_peak = levels_for(profile.max_factor());
+
+  scenario::Scenario swing;
+  swing.name = "diurnal swing";
+  swing.events = diurnal_events(profile, period, steps, horizon);
+  const study::ScenarioSweepResult diurnal = run_schemes(
+      g, nominal, swing, shape.seeds, shape.warmup, horizon, bins, r_mean, r_peak);
+
+  study::TextTable table({"scheme", "overall_blocking", "ci95", "trough_bins", "peak_bins"});
+  for (const study::ScenarioCurve& curve : diurnal.curves) {
     // Bins 0/3/4/7 straddle the troughs, 1/2/5/6 the peaks, for a profile
     // starting at the trough.
     long long trough_o = 0, trough_b = 0, peak_o = 0, peak_b = 0;
     for (int b = 0; b < bins; ++b) {
       const bool peak = (b % 4 == 1) || (b % 4 == 2);
-      (peak ? peak_o : trough_o) += scheme.bin_offered[static_cast<std::size_t>(b)];
-      (peak ? peak_b : trough_b) += scheme.bin_blocked[static_cast<std::size_t>(b)];
+      (peak ? peak_o : trough_o) += curve.bin_offered[static_cast<std::size_t>(b)];
+      (peak ? peak_b : trough_b) += curve.bin_blocked[static_cast<std::size_t>(b)];
     }
-    table.add_row({scheme.name, study::fmt(scheme.blocking.mean(), 4),
-                   study::fmt(scheme.blocking.ci95_halfwidth(), 4),
+    table.add_row({curve.name, study::fmt(curve.mean_blocking, 4), study::fmt(curve.ci95, 4),
                    study::fmt(trough_o > 0 ? static_cast<double>(trough_b) / trough_o : 0.0, 4),
                    study::fmt(peak_o > 0 ? static_cast<double>(peak_b) / peak_o : 0.0, 4)});
   }
   bench::emit(table, cli,
               "Diurnal load 60-110 E/pair on the quadrangle (period 50, two periods): "
               "robustness of the control to load mis-estimation");
+
+  const scenario::Scenario composed =
+      cli.scenario ? scenario::load_scenario_file(*cli.scenario)
+                   : with_outage(diurnal_events(profile, period, steps, horizon),
+                                 shape.warmup + 0.5 * period, shape.warmup + 1.5 * period);
+  const study::ScenarioSweepResult outage = run_schemes(
+      g, nominal, composed, shape.seeds, shape.warmup, horizon, bins, r_mean, r_peak);
+  bench::emit(study::scenario_table(outage), cli.csv ? study::CliOptions{} : cli,
+              "Composed scenario: " + composed.name + " (per-bin blocking)");
 }
 
 }  // namespace

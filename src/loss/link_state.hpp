@@ -41,6 +41,17 @@ class LinkState {
     reservation_ = reservation;
   }
 
+  /// Updates the capacity mid-run (scenario capacity events).  The
+  /// reservation is clamped into [0, capacity].  Occupancy is NOT touched:
+  /// after a shrink it may transiently exceed the new capacity, and the
+  /// caller (the scenario runner) must preempt calls until
+  /// occupancy <= capacity before the next admission decision.
+  void set_capacity(int capacity) {
+    if (capacity < 0) throw std::invalid_argument("LinkState::set_capacity: negative capacity");
+    capacity_ = capacity;
+    if (reservation_ > capacity_) reservation_ = capacity_;
+  }
+
   /// Would a call of the given class and width be admitted right now?
   [[nodiscard]] bool admits(CallClass cls, int units = 1) const {
     if (units < 1) throw std::invalid_argument("LinkState::admits: units < 1");

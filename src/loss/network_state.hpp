@@ -29,6 +29,11 @@ class NetworkState {
   /// Sets every link's state-protection level from a per-link vector.
   void set_reservations(const std::vector<int>& reservations);
 
+  /// Updates one link's capacity mid-run (scenario capacity events); the
+  /// link's reservation is clamped to the new capacity.  See
+  /// LinkState::set_capacity for the occupancy contract.
+  void set_capacity(net::LinkId id, int capacity) { links_[id.index()].set_capacity(capacity); }
+
   /// The set-up probe: true when every link of `path` admits a call of the
   /// given class and width under the current state.
   [[nodiscard]] bool path_admissible(const routing::Path& path, CallClass cls,

@@ -53,13 +53,48 @@ std::optional<LinkId> Graph::find_link(NodeId src, NodeId dst) const {
   return std::nullopt;
 }
 
+void Graph::set_link_capacity(LinkId id, int capacity) {
+  if (!id.valid() || id.value >= link_count()) {
+    throw std::invalid_argument("Graph: invalid link for set_link_capacity");
+  }
+  if (capacity <= 0) throw std::invalid_argument("Graph: capacity must be positive");
+  links_[id.index()].capacity = capacity;
+}
+
+std::vector<LinkId> Graph::duplex_links(NodeId a, NodeId b) const {
+  check_node(a, "duplex_links a");
+  check_node(b, "duplex_links b");
+  std::vector<LinkId> out;
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    const Link& l = links_[k];
+    if ((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) {
+      out.push_back(LinkId(static_cast<std::int32_t>(k)));
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("Graph: no duplex edge between " +
+                                std::string(node_name(a)) + " and " +
+                                std::string(node_name(b)));
+  }
+  return out;
+}
+
 int Graph::fail_duplex(NodeId a, NodeId b) {
-  check_node(a, "fail_duplex a");
-  check_node(b, "fail_duplex b");
   int changed = 0;
-  for (Link& l : links_) {
-    if (((l.src == a && l.dst == b) || (l.src == b && l.dst == a)) && l.enabled) {
-      l.enabled = false;
+  for (const LinkId id : duplex_links(a, b)) {
+    if (links_[id.index()].enabled) {
+      links_[id.index()].enabled = false;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+int Graph::repair_duplex(NodeId a, NodeId b) {
+  int changed = 0;
+  for (const LinkId id : duplex_links(a, b)) {
+    if (!links_[id.index()].enabled) {
+      links_[id.index()].enabled = true;
       ++changed;
     }
   }

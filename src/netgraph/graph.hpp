@@ -74,8 +74,25 @@ class Graph {
   /// Administratively disables / re-enables a link (failure experiments).
   void set_link_enabled(LinkId id, bool enabled) { links_[id.index()].enabled = enabled; }
 
-  /// Disables both directions between a and b; returns how many links changed.
+  /// Updates a link's capacity (scenario capacity events).  Throws
+  /// std::invalid_argument when capacity <= 0 -- a facility with no
+  /// circuits is modeled by disabling it, not by zero capacity.
+  void set_link_capacity(LinkId id, int capacity);
+
+  /// Disables both directions between a and b; returns how many links
+  /// changed (0 when all were already disabled).  Throws
+  /// std::invalid_argument when no a<->b links exist at all, so a typo in
+  /// a failure scenario fails loudly instead of silently doing nothing.
   int fail_duplex(NodeId a, NodeId b);
+
+  /// Re-enables both directions between a and b (repair after
+  /// fail_duplex); returns how many links changed.  Same validation as
+  /// fail_duplex.
+  int repair_duplex(NodeId a, NodeId b);
+
+  /// Ids of every link between a and b in either direction, enabled or
+  /// not, in insertion order.  Throws when no such link exists.
+  [[nodiscard]] std::vector<LinkId> duplex_links(NodeId a, NodeId b) const;
 
   /// Out-neighbors of `n` over enabled links, deduplicated, ascending.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;

@@ -1,0 +1,44 @@
+// Minimal JSON parser for scenario descriptions.
+//
+// The repository deliberately carries no third-party dependencies beyond
+// the test/bench toolchain, so scenario files are parsed by this small
+// recursive-descent reader.  It supports the full JSON value grammar
+// (objects, arrays, strings with escapes, numbers, booleans, null) and
+// reports errors with a byte offset; it does NOT aim to be a general JSON
+// library -- no serialization, no streaming, object keys kept in insertion
+// order with duplicate keys rejected.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace altroute::scenario {
+
+/// One parsed JSON value (a small tagged union over owned containers).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Key/value pairs in document order (keys are unique).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing junk after the value is an error).
+/// Throws std::invalid_argument with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace altroute::scenario

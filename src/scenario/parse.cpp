@@ -1,0 +1,120 @@
+#include "scenario/parse.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/json.hpp"
+
+namespace altroute::scenario {
+
+namespace {
+
+[[noreturn]] void reject(std::size_t index, const std::string& why) {
+  throw std::invalid_argument("scenario_from_json: event " + std::to_string(index) + " " + why);
+}
+
+double require_number(const JsonValue& event, std::size_t index, std::string_view key) {
+  const JsonValue* v = event.find(key);
+  if (v == nullptr || !v->is_number()) {
+    reject(index, "needs a numeric '" + std::string(key) + "' field");
+  }
+  return v->number;
+}
+
+int require_int(const JsonValue& event, std::size_t index, std::string_view key) {
+  const double d = require_number(event, index, key);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    reject(index, "field '" + std::string(key) + "' must be an integer");
+  }
+  return i;
+}
+
+void check_keys(const JsonValue& event, std::size_t index,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : event.object) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) reject(index, "has unknown field '" + key + "'");
+  }
+}
+
+}  // namespace
+
+Scenario scenario_from_json(std::string_view json_text) {
+  const JsonValue root = parse_json(json_text);
+  if (!root.is_object()) {
+    throw std::invalid_argument("scenario_from_json: top-level value must be an object");
+  }
+  for (const auto& [key, value] : root.object) {
+    if (key != "name" && key != "events") {
+      throw std::invalid_argument("scenario_from_json: unknown top-level field '" + key + "'");
+    }
+  }
+  Scenario scenario;
+  if (const JsonValue* name = root.find("name"); name != nullptr) {
+    if (!name->is_string()) {
+      throw std::invalid_argument("scenario_from_json: 'name' must be a string");
+    }
+    scenario.name = name->string;
+  }
+  const JsonValue* events = root.find("events");
+  if (events == nullptr || !events->is_array()) {
+    throw std::invalid_argument("scenario_from_json: required field 'events' must be an array");
+  }
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (!ev.is_object()) reject(i, "must be an object");
+    const JsonValue* type = ev.find("type");
+    if (type == nullptr || !type->is_string()) reject(i, "needs a string 'type' field");
+    const double time = require_number(ev, i, "time");
+    const std::string& kind = type->string;
+    if (kind == "link_fail" || kind == "link_repair") {
+      check_keys(ev, i, {"type", "time", "a", "b"});
+      const int a = require_int(ev, i, "a");
+      const int b = require_int(ev, i, "b");
+      scenario.events.push_back(kind == "link_fail" ? ScenarioEvent::link_fail(time, a, b)
+                                                    : ScenarioEvent::link_repair(time, a, b));
+    } else if (kind == "capacity_set") {
+      check_keys(ev, i, {"type", "time", "a", "b", "capacity"});
+      scenario.events.push_back(ScenarioEvent::capacity_set(time, require_int(ev, i, "a"),
+                                                            require_int(ev, i, "b"),
+                                                            require_int(ev, i, "capacity")));
+    } else if (kind == "capacity_scale") {
+      check_keys(ev, i, {"type", "time", "a", "b", "factor"});
+      scenario.events.push_back(ScenarioEvent::capacity_scale(time, require_int(ev, i, "a"),
+                                                              require_int(ev, i, "b"),
+                                                              require_number(ev, i, "factor")));
+    } else if (kind == "traffic_scale") {
+      check_keys(ev, i, {"type", "time", "factor"});
+      scenario.events.push_back(
+          ScenarioEvent::traffic_scale(time, require_number(ev, i, "factor")));
+    } else if (kind == "resolve_protection") {
+      check_keys(ev, i, {"type", "time"});
+      scenario.events.push_back(ScenarioEvent::resolve_protection(time));
+    } else {
+      reject(i, "has unknown type '" + kind + "'");
+    }
+  }
+  scenario.validate();
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_scenario_file: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("load_scenario_file: error reading '" + path + "'");
+  return scenario_from_json(buffer.str());
+}
+
+}  // namespace altroute::scenario

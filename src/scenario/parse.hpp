@@ -1,0 +1,38 @@
+// JSON front door of the scenario engine.
+//
+// Scenario files are small JSON documents:
+//
+//   {
+//     "name": "failure-recovery",
+//     "events": [
+//       {"time": 40, "type": "link_fail",          "a": 2, "b": 3},
+//       {"time": 40, "type": "resolve_protection"},
+//       {"time": 70, "type": "link_repair",        "a": 2, "b": 3},
+//       {"time": 70, "type": "resolve_protection"}
+//     ]
+//   }
+//
+// Per-type fields: link_fail / link_repair take duplex endpoints "a"/"b"
+// (node indices); capacity_set adds "capacity" (integer >= 1);
+// capacity_scale and traffic_scale take "factor"; resolve_protection takes
+// nothing.  Unknown types, unknown keys, missing fields, negative times,
+// and out-of-order events are all rejected with a descriptive error --
+// scenario files are experiment inputs, so typos must fail loudly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario.hpp"
+
+namespace altroute::scenario {
+
+/// Parses a scenario from JSON text and validates it.  Throws
+/// std::invalid_argument on malformed JSON or invalid scenario content.
+[[nodiscard]] Scenario scenario_from_json(std::string_view json_text);
+
+/// Reads `path` and parses it with scenario_from_json.  Throws
+/// std::runtime_error when the file cannot be read.
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+}  // namespace altroute::scenario

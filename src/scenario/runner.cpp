@@ -1,0 +1,269 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/protection.hpp"
+#include "routing/route_table.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::scenario {
+
+namespace {
+
+/// One admitted call: a copy of its booked path (so route-table rebuilds
+/// never invalidate it) and its circuit width.
+struct InFlight {
+  routing::Path path;
+  int units{1};
+};
+
+bool path_uses_any(const routing::Path& path, const std::vector<net::LinkId>& links) {
+  for (const net::LinkId id : path.links) {
+    if (std::find(links.begin(), links.end(), id) != links.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix& traffic,
+                               loss::RoutingPolicy& policy, const sim::CallTrace& trace,
+                               const Scenario& scenario, const ScenarioEngineOptions& options) {
+  scenario.validate();
+  if (graph.node_count() != traffic.size()) {
+    throw std::invalid_argument("run_scenario: graph/traffic node count mismatch");
+  }
+  if (!(options.warmup >= 0.0) || options.warmup >= trace.horizon) {
+    throw std::invalid_argument("run_scenario: warmup must lie in [0, horizon)");
+  }
+  if (options.max_alt_hops < 1) {
+    throw std::invalid_argument("run_scenario: max_alt_hops must be >= 1");
+  }
+  for (const ScenarioEvent& e : scenario.events) {
+    if (e.node_a >= graph.node_count() || e.node_b >= graph.node_count()) {
+      throw std::invalid_argument("run_scenario: event names a node outside the graph");
+    }
+  }
+
+  // Working copies: events mutate the graph/state, never the caller's.
+  net::Graph g = graph;
+  routing::RouteTable routes =
+      routing::build_min_hop_routes(g, options.max_alt_hops, options.max_paths_per_pair);
+  loss::NetworkState state(g);
+  if (!options.reservations.empty()) state.set_reservations(options.reservations);
+  // Same engine stream as loss::run_trace, so a no-event scenario replays
+  // a trace with the exact bifurcated-primary picks of the static engine.
+  sim::Rng engine_rng(options.policy_seed, 0xA17E72A7E);
+
+  ScenarioRunResult out;
+  loss::RunResult& result = out.run;
+  const int n = g.node_count();
+  result.node_count = n;
+  result.per_pair.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
+
+  if (options.time_bins > 0) {
+    result.bin_offered.assign(static_cast<std::size_t>(options.time_bins), 0);
+    result.bin_blocked.assign(static_cast<std::size_t>(options.time_bins), 0);
+  }
+  const double bin_width = options.time_bins > 0
+                               ? (trace.horizon - options.warmup) / options.time_bins
+                               : 0.0;
+  const auto bin_of = [&](double t) {
+    const auto bin = static_cast<std::size_t>((t - options.warmup) / bin_width);
+    return std::min(bin, static_cast<std::size_t>(options.time_bins - 1));
+  };
+
+  // In-flight calls keyed by admission sequence (ordered map: iteration is
+  // oldest-first, reverse iteration newest-first -- both deterministic).
+  // The departure queue carries only the key; a call killed by an event is
+  // erased from the map, and its departure pops as a no-op later.
+  std::map<std::uint64_t, InFlight> in_flight;
+  sim::EventQueue<std::uint64_t> departures;
+  std::uint64_t next_call_id = 0;
+
+  std::map<int, loss::ClassCounters> per_class;
+  double traffic_factor = 1.0;
+
+  const auto release_call = [&](std::uint64_t id) {
+    const auto it = in_flight.find(id);
+    state.release(it->second.path, it->second.units);
+    in_flight.erase(it);
+  };
+
+  const auto rebuild_routes = [&] {
+    routes = routing::build_min_hop_routes(g, options.max_alt_hops, options.max_paths_per_pair);
+  };
+
+  const auto resolve_protection = [&] {
+    state.set_reservations(
+        core::protection_levels(g, routes, traffic.scaled(traffic_factor), options.max_alt_hops));
+  };
+
+  const auto apply_event = [&](const ScenarioEvent& event) {
+    AppliedEvent applied;
+    applied.time = event.time;
+    applied.kind = event.kind;
+    switch (event.kind) {
+      case EventKind::kLinkFail: {
+        const net::NodeId a(event.node_a);
+        const net::NodeId b(event.node_b);
+        const std::vector<net::LinkId> affected = g.duplex_links(a, b);
+        applied.links_changed = g.fail_duplex(a, b);
+        // Kill every in-flight call routed over the failed facility,
+        // oldest-first (iteration order of the id-keyed map).
+        for (auto it = in_flight.begin(); it != in_flight.end();) {
+          if (path_uses_any(it->second.path, affected)) {
+            state.release(it->second.path, it->second.units);
+            it = in_flight.erase(it);
+            ++applied.calls_killed;
+          } else {
+            ++it;
+          }
+        }
+        if (applied.links_changed > 0) rebuild_routes();
+        break;
+      }
+      case EventKind::kLinkRepair: {
+        applied.links_changed = g.repair_duplex(net::NodeId(event.node_a),
+                                                net::NodeId(event.node_b));
+        if (applied.links_changed > 0) rebuild_routes();
+        break;
+      }
+      case EventKind::kCapacitySet:
+      case EventKind::kCapacityScale: {
+        const std::vector<net::LinkId> affected =
+            g.duplex_links(net::NodeId(event.node_a), net::NodeId(event.node_b));
+        for (const net::LinkId id : affected) {
+          const int old_capacity = g.link(id).capacity;
+          const int new_capacity =
+              event.kind == EventKind::kCapacitySet
+                  ? event.capacity
+                  : std::max(1, static_cast<int>(std::llround(old_capacity * event.factor)));
+          if (new_capacity == old_capacity) continue;
+          g.set_link_capacity(id, new_capacity);
+          state.set_capacity(id, new_capacity);
+          ++applied.links_changed;
+          // Preempt newest-first until the link fits its new capacity, so
+          // occupancy never exceeds capacity at an admission decision.
+          while (state.link(id).occupancy() > new_capacity) {
+            auto victim = in_flight.rbegin();
+            while (victim != in_flight.rend() && !path_uses_any(victim->second.path, {id})) {
+              ++victim;
+            }
+            if (victim == in_flight.rend()) {
+              throw std::logic_error("run_scenario: occupied link with no in-flight call");
+            }
+            state.release(victim->second.path, victim->second.units);
+            in_flight.erase(std::next(victim).base());
+            ++applied.calls_killed;
+          }
+        }
+        break;
+      }
+      case EventKind::kTrafficScale:
+        traffic_factor = event.factor;
+        break;
+      case EventKind::kResolveProtection:
+        resolve_protection();
+        break;
+    }
+    if (options.auto_resolve_protection &&
+        (event.kind == EventKind::kLinkFail || event.kind == EventKind::kLinkRepair ||
+         event.kind == EventKind::kCapacitySet || event.kind == EventKind::kCapacityScale)) {
+      resolve_protection();
+    }
+    if (event.time >= options.warmup) out.dropped += applied.calls_killed;
+    out.applied.push_back(applied);
+  };
+
+  // Advances the system to time t: departures and scenario events with
+  // time <= t apply in time order, departures first on ties (a freed
+  // circuit is visible to an event at the same instant, mirroring the
+  // static engine's departure-before-arrival rule).
+  std::size_t next_event = 0;
+  const auto advance_to = [&](double t) {
+    for (;;) {
+      const bool dep_due = !departures.empty() && departures.next_time() <= t;
+      const bool event_due =
+          next_event < scenario.events.size() && scenario.events[next_event].time <= t;
+      if (dep_due &&
+          (!event_due || departures.next_time() <= scenario.events[next_event].time)) {
+        const auto [time, id] = departures.pop();
+        (void)time;
+        if (in_flight.count(id) != 0) release_call(id);  // killed calls: no-op
+      } else if (event_due) {
+        apply_event(scenario.events[next_event]);
+        ++next_event;
+      } else {
+        break;
+      }
+    }
+  };
+
+  for (const sim::CallRecord& call : trace.calls) {
+    advance_to(call.arrival);
+
+    const routing::RouteSet& routes_for_pair = routes.at(call.src, call.dst);
+    const loss::RoutingContext ctx{g,               state,
+                                   call.src,        call.dst,
+                                   routes_for_pair, engine_rng.uniform01(),
+                                   call.arrival,    call.bandwidth};
+    const loss::RouteDecision decision = policy.route(ctx);
+
+    const bool measured = call.arrival >= options.warmup;
+    loss::PairCounters& pair =
+        result.per_pair[call.src.index() * static_cast<std::size_t>(n) + call.dst.index()];
+    loss::ClassCounters& cls = per_class[call.bandwidth];
+    cls.bandwidth = call.bandwidth;
+    if (measured) {
+      ++result.offered;
+      ++pair.offered;
+      ++cls.offered;
+      if (options.time_bins > 0) ++result.bin_offered[bin_of(call.arrival)];
+    }
+
+    if (decision.accepted()) {
+      state.book(*decision.path, call.bandwidth);
+      in_flight.emplace(next_call_id, InFlight{*decision.path, call.bandwidth});
+      departures.schedule(call.arrival + call.holding, next_call_id);
+      ++next_call_id;
+      if (measured) {
+        if (decision.call_class == loss::CallClass::kPrimary) {
+          ++result.carried_primary;
+          ++pair.carried_primary;
+        } else {
+          ++result.carried_alternate;
+          ++pair.carried_alternate;
+        }
+        const auto hops = static_cast<std::size_t>(decision.path->hops());
+        if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
+        ++result.carried_by_hops[hops];
+      }
+    } else if (measured) {
+      ++result.blocked;
+      ++pair.blocked;
+      ++cls.blocked;
+      if (options.time_bins > 0) ++result.bin_blocked[bin_of(call.arrival)];
+    }
+  }
+  // Apply the tail: departures and events between the last arrival and the
+  // horizon (late events still kill calls and belong in the log).
+  advance_to(trace.horizon);
+
+  for (const auto& [bandwidth, counters] : per_class) {
+    result.per_class.push_back(counters);
+  }
+  for (int k = 0; k < g.link_count(); ++k) {
+    const net::LinkId id(k);
+    const loss::LinkState& link = state.link(id);
+    out.final_links.push_back(FinalLinkState{link.capacity(), link.reservation(),
+                                             link.occupancy(), g.link(id).enabled});
+  }
+  return out;
+}
+
+}  // namespace altroute::scenario

@@ -1,0 +1,123 @@
+// Scenario-aware simulation runner: replays a call trace while applying a
+// Scenario's network events at exact timestamps.
+//
+// This is the dynamic sibling of loss::run_trace.  The runner owns working
+// copies of the graph and the admission state, merges three time-ordered
+// streams -- call arrivals, call departures, scenario events -- and keeps
+// the system consistent across events with calls in flight:
+//
+//  * link_fail:   both directions of the facility are disabled, every call
+//                 whose booked path uses them is killed (its circuits on
+//                 ALL its links are released immediately), and the route
+//                 table is rebuilt from the surviving topology.
+//  * link_repair: the facility is re-enabled and the route table rebuilt.
+//  * capacity_set / capacity_scale: both directions get the new capacity
+//                 (scale rounds to the nearest circuit, never below 1) in
+//                 the graph and the admission state; when a shrink leaves a
+//                 link over-full, in-flight calls using it are preempted
+//                 newest-first until occupancy <= capacity, so occupancy
+//                 can never exceed capacity at any admission decision.
+//  * traffic_scale: records the offered-load multiplier now in force (the
+//                 arrivals themselves are already shaped by
+//                 make_scenario_trace; the multiplier feeds Eq. 15).
+//  * resolve_protection: re-runs the paper's Eq. 15 rule per link against
+//                 the current topology, capacities, routes, and scaled
+//                 traffic, and installs the resulting r^k -- the local
+//                 re-solve a deployed link would perform after a change.
+//
+// Route tables are rebuilt with state-independent min-hop primaries (the
+// SI tier stays state-independent by construction); in-flight calls hold
+// copies of their booked paths, so rebuilds never invalidate them.  The
+// run is deterministic in (graph, traffic, trace, scenario, options):
+// in-flight bookkeeping iterates in call-admission order, preemption kills
+// newest-first, and ties between departures, events, and arrivals resolve
+// in that fixed order.  See DESIGN.md, "Scenario engine".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "loss/engine.hpp"
+#include "loss/policy.hpp"
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/call_trace.hpp"
+
+namespace altroute::scenario {
+
+struct ScenarioEngineOptions {
+  /// Calls arriving before this time are routed but not counted.
+  double warmup{10.0};
+  /// Seed of the engine-side RNG stream (bifurcated-primary sampling);
+  /// keep equal across policies for common random numbers.
+  std::uint64_t policy_seed{0x5eed};
+  /// When > 0, the measurement window [warmup, horizon) is split into this
+  /// many equal bins and offered/blocked are counted per bin -- the
+  /// transient (failure -> degradation -> recovery) time series.
+  int time_bins{0};
+  /// Maximum alternate hop count H used for route-table rebuilds and
+  /// resolve_protection events.
+  int max_alt_hops{6};
+  /// Safety cap on alternate enumeration per ordered pair.
+  std::size_t max_paths_per_pair{100000};
+  /// Initial per-link state-protection levels (empty = all zero).
+  std::vector<int> reservations;
+  /// Re-run Eq. 15 after every topology/capacity event, as if every link
+  /// re-solved locally on detecting the change (equivalent to an explicit
+  /// resolve_protection after each such event).
+  bool auto_resolve_protection{false};
+};
+
+/// What one applied event did to the running system.
+struct AppliedEvent {
+  double time{0.0};
+  EventKind kind{EventKind::kResolveProtection};
+  /// Directed links whose enabled flag / capacity actually changed.
+  int links_changed{0};
+  /// In-flight calls killed by this event (failure or preemption).
+  long long calls_killed{0};
+};
+
+/// Per-link snapshot at the horizon (diagnostics and tests).
+struct FinalLinkState {
+  int capacity{0};
+  int reservation{0};
+  int occupancy{0};
+  bool enabled{true};
+};
+
+/// Outcome of one scenario run.
+struct ScenarioRunResult {
+  /// The familiar counters (offered/blocked/carried, per-pair, per-class,
+  /// per-bin, hop census).  Calls killed mid-flight stay counted as
+  /// carried -- they were admitted; the kill is reported separately below.
+  /// primary_losses_at_link and mean_link_occupancy are not collected by
+  /// the scenario runner.
+  loss::RunResult run;
+  /// In-flight calls killed by events at or after the warm-up (the
+  /// service-interruption count of the scenario).
+  long long dropped{0};
+  /// Log of every event applied (times <= horizon only), in order.
+  std::vector<AppliedEvent> applied;
+  /// Every link's capacity/reservation/occupancy/enabled at the horizon.
+  /// Occupancy counts calls still in flight; it never exceeds capacity.
+  std::vector<FinalLinkState> final_links;
+};
+
+/// Replays `trace` against `policy` on a working copy of `graph`, applying
+/// `scenario`'s events as described above.  `traffic` is the nominal
+/// offered matrix in force at t = 0 (already load-scaled by the caller);
+/// it is used only by resolve_protection.  The route table is built
+/// internally (min-hop primaries, alternates up to options.max_alt_hops)
+/// and rebuilt after every topology change.  Throws std::invalid_argument
+/// on an invalid scenario, node indices outside the graph, events naming a
+/// non-existent duplex facility, or a bad warmup/horizon.
+[[nodiscard]] ScenarioRunResult run_scenario(const net::Graph& graph,
+                                             const net::TrafficMatrix& traffic,
+                                             loss::RoutingPolicy& policy,
+                                             const sim::CallTrace& trace,
+                                             const Scenario& scenario,
+                                             const ScenarioEngineOptions& options = {});
+
+}  // namespace altroute::scenario

@@ -1,0 +1,146 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace altroute::scenario {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLinkFail:
+      return "link_fail";
+    case EventKind::kLinkRepair:
+      return "link_repair";
+    case EventKind::kCapacitySet:
+      return "capacity_set";
+    case EventKind::kCapacityScale:
+      return "capacity_scale";
+    case EventKind::kTrafficScale:
+      return "traffic_scale";
+    case EventKind::kResolveProtection:
+      return "resolve_protection";
+  }
+  throw std::invalid_argument("event_kind_name: unknown kind");
+}
+
+ScenarioEvent ScenarioEvent::link_fail(double time, int a, int b) {
+  ScenarioEvent e;
+  e.time = time;
+  e.kind = EventKind::kLinkFail;
+  e.node_a = a;
+  e.node_b = b;
+  return e;
+}
+
+ScenarioEvent ScenarioEvent::link_repair(double time, int a, int b) {
+  ScenarioEvent e = link_fail(time, a, b);
+  e.kind = EventKind::kLinkRepair;
+  return e;
+}
+
+ScenarioEvent ScenarioEvent::capacity_set(double time, int a, int b, int capacity) {
+  ScenarioEvent e = link_fail(time, a, b);
+  e.kind = EventKind::kCapacitySet;
+  e.capacity = capacity;
+  return e;
+}
+
+ScenarioEvent ScenarioEvent::capacity_scale(double time, int a, int b, double factor) {
+  ScenarioEvent e = link_fail(time, a, b);
+  e.kind = EventKind::kCapacityScale;
+  e.factor = factor;
+  return e;
+}
+
+ScenarioEvent ScenarioEvent::traffic_scale(double time, double factor) {
+  ScenarioEvent e;
+  e.time = time;
+  e.kind = EventKind::kTrafficScale;
+  e.factor = factor;
+  return e;
+}
+
+ScenarioEvent ScenarioEvent::resolve_protection(double time) {
+  ScenarioEvent e;
+  e.time = time;
+  e.kind = EventKind::kResolveProtection;
+  return e;
+}
+
+namespace {
+
+[[noreturn]] void reject(std::size_t index, const ScenarioEvent& event, const std::string& why) {
+  throw std::invalid_argument("Scenario: event " + std::to_string(index) + " (" +
+                              std::string(event_kind_name(event.kind)) + ") " + why);
+}
+
+bool needs_duplex(EventKind kind) {
+  return kind == EventKind::kLinkFail || kind == EventKind::kLinkRepair ||
+         kind == EventKind::kCapacitySet || kind == EventKind::kCapacityScale;
+}
+
+}  // namespace
+
+void Scenario::validate() const {
+  double previous = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ScenarioEvent& e = events[i];
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      reject(i, e, "has a negative or non-finite time");
+    }
+    if (i > 0 && e.time < previous) {
+      reject(i, e, "is out of order (times must be non-decreasing)");
+    }
+    previous = e.time;
+    if (needs_duplex(e.kind)) {
+      if (e.node_a < 0 || e.node_b < 0) reject(i, e, "needs non-negative node indices");
+      if (e.node_a == e.node_b) reject(i, e, "names a self-pair");
+    }
+    switch (e.kind) {
+      case EventKind::kCapacitySet:
+        if (e.capacity < 1) reject(i, e, "needs capacity >= 1");
+        break;
+      case EventKind::kCapacityScale:
+        if (!std::isfinite(e.factor) || e.factor <= 0.0) reject(i, e, "needs factor > 0");
+        break;
+      case EventKind::kTrafficScale:
+        if (!std::isfinite(e.factor) || e.factor < 0.0) reject(i, e, "needs factor >= 0");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool Scenario::has_traffic_dynamics() const {
+  for (const ScenarioEvent& e : events) {
+    if (e.kind == EventKind::kTrafficScale) return true;
+  }
+  return false;
+}
+
+sim::LoadProfile Scenario::traffic_profile(double base_factor) const {
+  if (!(base_factor >= 0.0)) {
+    throw std::invalid_argument("Scenario::traffic_profile: negative base factor");
+  }
+  validate();
+  std::vector<double> times{0.0};
+  std::vector<double> factors{base_factor};
+  for (const ScenarioEvent& e : events) {
+    if (e.kind != EventKind::kTrafficScale) continue;
+    if (e.time == times.back()) {
+      factors.back() = e.factor;  // same-instant events: last one wins
+    } else {
+      times.push_back(e.time);
+      factors.push_back(e.factor);
+    }
+  }
+  return sim::LoadProfile(std::move(times), std::move(factors));
+}
+
+sim::CallTrace make_scenario_trace(const net::TrafficMatrix& nominal, const Scenario& scenario,
+                                   double horizon, std::uint64_t seed) {
+  return sim::generate_profiled_trace(nominal, scenario.traffic_profile(), horizon, seed);
+}
+
+}  // namespace altroute::scenario

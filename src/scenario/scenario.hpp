@@ -1,0 +1,93 @@
+// Declarative mid-run network dynamics: the event vocabulary of the
+// scenario engine.
+//
+// The paper motivates controlled alternate routing with non-stationary
+// reality (the Thanksgiving-day overloads of its introduction, the link
+// failures of Section 4.2.2), but evaluates stationary snapshots.  A
+// Scenario closes that gap: it is an ordered list of timestamped network
+// events -- link failures and repairs, capacity changes, offered-load
+// swings, and protection re-solves -- that the scenario runner
+// (scenario/runner.hpp) merges into a simulation's event flow at exact
+// times.  Scenarios are plain data: build them in code with the
+// ScenarioEvent factories or parse them from JSON (scenario/parse.hpp).
+// Everything downstream is deterministic in (scenario, trace, seed).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netgraph/traffic_matrix.hpp"
+#include "sim/call_trace.hpp"
+#include "sim/load_profile.hpp"
+
+namespace altroute::scenario {
+
+/// The event vocabulary.  Link and capacity events act on a duplex
+/// facility (both directed links between two nodes), matching the paper's
+/// Section 4.2.2 failure model.
+enum class EventKind {
+  kLinkFail,           ///< disable both directions of a duplex facility
+  kLinkRepair,         ///< re-enable both directions
+  kCapacitySet,        ///< set both directions' capacity to an absolute value
+  kCapacityScale,      ///< multiply both directions' capacity by a factor
+  kTrafficScale,       ///< set the offered-load multiplier from this time on
+  kResolveProtection,  ///< re-run the local Eq. 15 rule for every r^k
+};
+
+/// Lower-case token used in JSON and reports ("link_fail", ...).
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+/// One timestamped event.  Which fields are meaningful depends on `kind`;
+/// the factory functions below set exactly the right ones.
+struct ScenarioEvent {
+  double time{0.0};
+  EventKind kind{EventKind::kResolveProtection};
+  /// Duplex endpoints (node indices) for link/capacity events.
+  int node_a{-1};
+  int node_b{-1};
+  /// Absolute per-direction capacity for kCapacitySet.
+  int capacity{0};
+  /// Multiplier for kCapacityScale (> 0) / kTrafficScale (>= 0).
+  double factor{1.0};
+
+  [[nodiscard]] static ScenarioEvent link_fail(double time, int a, int b);
+  [[nodiscard]] static ScenarioEvent link_repair(double time, int a, int b);
+  [[nodiscard]] static ScenarioEvent capacity_set(double time, int a, int b, int capacity);
+  [[nodiscard]] static ScenarioEvent capacity_scale(double time, int a, int b, double factor);
+  [[nodiscard]] static ScenarioEvent traffic_scale(double time, double factor);
+  [[nodiscard]] static ScenarioEvent resolve_protection(double time);
+};
+
+/// A named, time-ordered event list.
+struct Scenario {
+  std::string name;
+  /// Events in non-decreasing time order (ties apply in list order).
+  std::vector<ScenarioEvent> events;
+
+  /// Checks times (finite, >= 0, non-decreasing) and per-kind field
+  /// validity; throws std::invalid_argument naming the offending event.
+  /// Node indices are validated later, against the graph, by the runner.
+  void validate() const;
+
+  /// True when any kTrafficScale event is present.
+  [[nodiscard]] bool has_traffic_dynamics() const;
+
+  /// The piecewise-constant offered-load multiplier implied by the
+  /// kTrafficScale events: `base_factor` from t = 0 until the first event,
+  /// then each event's factor from its time on (same-time events: the last
+  /// one wins).  This is what make_scenario_trace thins arrivals with.
+  [[nodiscard]] sim::LoadProfile traffic_profile(double base_factor = 1.0) const;
+};
+
+/// Samples the call trace of one scenario replication: arrivals follow
+/// `nominal` scaled by the scenario's traffic profile (non-homogeneous
+/// Poisson by thinning; see sim/load_profile.hpp).  Scenarios without
+/// traffic events yield the constant-rate trace.  Deterministic in `seed`,
+/// and unchanged by non-traffic events -- so a failure scenario and the
+/// intact run replay the SAME calls (common random numbers).
+[[nodiscard]] sim::CallTrace make_scenario_trace(const net::TrafficMatrix& nominal,
+                                                 const Scenario& scenario, double horizon,
+                                                 std::uint64_t seed);
+
+}  // namespace altroute::scenario

@@ -67,12 +67,14 @@ CliOptions parse_cli(int argc, char** argv) {
       if (*options.threads < 0) throw std::invalid_argument("--threads: must be >= 0");
     } else if (arg == "--csv") {
       options.csv = need_value(i, arg);
+    } else if (arg == "--scenario") {
+      options.scenario = need_value(i, arg);
     } else if (arg == "--fast") {
       options.fast = true;
     } else {
-      throw std::invalid_argument(
-          "unknown flag '" + arg +
-          "' (known: --seeds --measure --warmup --loads --hops --threads --csv --fast)");
+      throw std::invalid_argument("unknown flag '" + arg +
+                                  "' (known: --seeds --measure --warmup --loads --hops "
+                                  "--threads --csv --scenario --fast)");
     }
   }
   return options;

@@ -8,6 +8,8 @@
 //   --hops H         maximum alternate hop count
 //   --threads N      worker threads for replications (0 = all hardware)
 //   --csv PATH       also write the main table as CSV
+//   --scenario PATH  JSON scenario file (benches with a scenario section
+//                    replay it instead of their built-in one)
 //   --fast           shrink seeds/horizon for a quick smoke run
 #pragma once
 
@@ -25,6 +27,7 @@ struct CliOptions {
   std::optional<int> hops;
   std::optional<int> threads;
   std::optional<std::string> csv;
+  std::optional<std::string> scenario;
   bool fast{false};
 };
 

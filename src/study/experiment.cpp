@@ -247,4 +247,115 @@ SweepResult run_sweep_with_routes(const net::Graph& graph, const net::TrafficMat
   return run_with_controller(controller, graph, nominal, policies, options);
 }
 
+ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
+                                       const net::TrafficMatrix& nominal,
+                                       const scenario::Scenario& scen,
+                                       const std::vector<PolicyKind>& policies,
+                                       const ScenarioSweepOptions& options) {
+  if (policies.empty()) throw std::invalid_argument("run_scenario_sweep: no policies");
+  if (options.seeds < 1) throw std::invalid_argument("run_scenario_sweep: seeds < 1");
+  if (options.threads < 0) throw std::invalid_argument("run_scenario_sweep: threads < 0");
+  if (options.time_bins < 1) throw std::invalid_argument("run_scenario_sweep: time_bins < 1");
+  if (!(options.measure > 0.0) || !(options.warmup >= 0.0)) {
+    throw std::invalid_argument("run_scenario_sweep: bad horizon");
+  }
+  scen.validate();
+  const int threads =
+      options.threads == 0 ? sim::ThreadPool::hardware_threads() : options.threads;
+  const double horizon = options.warmup + options.measure;
+  const std::vector<int> capacities = core::link_capacities(graph);
+
+  // Serial prologue: the t = 0 operating point every replication starts
+  // from -- scaled traffic, min-hop primary demands, Eq. 15 levels on the
+  // intact topology.  Mid-run changes are the scenario runner's business.
+  LoadPointState load;
+  load.traffic = nominal.scaled(options.load_factor);
+  const routing::RouteTable routes =
+      routing::build_min_hop_routes(graph, options.max_alt_hops);
+  load.primary_loads = routing::primary_link_loads(graph, routes, load.traffic);
+  load.reservations =
+      core::protection_levels_from_lambda(graph, load.primary_loads, options.max_alt_hops);
+
+  struct ScenarioSlot {
+    double blocking{0.0};
+    long long dropped{0};
+    std::vector<long long> bin_offered;
+    std::vector<long long> bin_blocked;
+    std::vector<scenario::AppliedEvent> applied;
+  };
+  const std::size_t policy_count = policies.size();
+  const std::size_t seed_count = static_cast<std::size_t>(options.seeds);
+  std::vector<ScenarioSlot> slots(seed_count * policy_count);
+
+  // Fan-out: one task per seed, each replaying every policy against that
+  // seed's trace (common random numbers) into its own slots.
+  const auto run_replication = [&](std::size_t s) {
+    const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
+    const sim::CallTrace trace =
+        scenario::make_scenario_trace(load.traffic, scen, horizon, seed);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      const std::unique_ptr<loss::RoutingPolicy> policy =
+          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
+      scenario::ScenarioEngineOptions engine;
+      engine.warmup = options.warmup;
+      engine.policy_seed = seed;
+      engine.time_bins = options.time_bins;
+      engine.max_alt_hops = options.max_alt_hops;
+      engine.reservations = load.reservations;
+      engine.auto_resolve_protection = options.auto_resolve_protection;
+      const scenario::ScenarioRunResult r =
+          scenario::run_scenario(graph, load.traffic, *policy, trace, scen, engine);
+      ScenarioSlot& slot = slots[s * policy_count + pi];
+      slot.blocking = r.run.blocking();
+      slot.dropped = r.dropped;
+      slot.bin_offered = r.run.bin_offered;
+      slot.bin_blocked = r.run.bin_blocked;
+      if (s == 0 && pi == 0) slot.applied = r.applied;
+    }
+  };
+  if (threads > 1) {
+    sim::ThreadPool pool(threads);
+    sim::parallel_for(&pool, seed_count, run_replication);
+  } else {
+    sim::parallel_for(nullptr, seed_count, run_replication);
+  }
+
+  // Serial epilogue: reduce in (policy, seed-ascending) order so sums and
+  // RunningStats match the serial run bit for bit.
+  ScenarioSweepResult result;
+  const double bin_width = options.measure / options.time_bins;
+  for (int b = 0; b < options.time_bins; ++b) {
+    result.bin_start.push_back(options.warmup + b * bin_width);
+  }
+  result.applied = slots[0].applied;
+  for (std::size_t pi = 0; pi < policy_count; ++pi) {
+    ScenarioCurve curve;
+    curve.name = policy_name(policies[pi]);
+    curve.bin_offered.assign(static_cast<std::size_t>(options.time_bins), 0);
+    curve.bin_blocked.assign(static_cast<std::size_t>(options.time_bins), 0);
+    sim::RunningStats blocking;
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const ScenarioSlot& slot = slots[s * policy_count + pi];
+      blocking.add(slot.blocking);
+      curve.dropped += slot.dropped;
+      for (int b = 0; b < options.time_bins; ++b) {
+        curve.bin_offered[static_cast<std::size_t>(b)] +=
+            slot.bin_offered[static_cast<std::size_t>(b)];
+        curve.bin_blocked[static_cast<std::size_t>(b)] +=
+            slot.bin_blocked[static_cast<std::size_t>(b)];
+      }
+    }
+    curve.mean_blocking = blocking.mean();
+    curve.ci95 = blocking.ci95_halfwidth();
+    for (int b = 0; b < options.time_bins; ++b) {
+      const long long offered = curve.bin_offered[static_cast<std::size_t>(b)];
+      const long long blocked = curve.bin_blocked[static_cast<std::size_t>(b)];
+      curve.bin_blocking.push_back(
+          offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0);
+    }
+    result.curves.push_back(std::move(curve));
+  }
+  return result;
+}
+
 }  // namespace altroute::study

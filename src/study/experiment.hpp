@@ -20,6 +20,7 @@
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
 #include "routing/route_table.hpp"
+#include "scenario/runner.hpp"
 #include "sim/stats.hpp"
 
 namespace altroute::study {
@@ -103,5 +104,65 @@ struct SweepResult {
                                                 const routing::RouteTable& routes,
                                                 const std::vector<PolicyKind>& policies,
                                                 const SweepOptions& options);
+
+// ---------------------------------------------------------------------------
+// Scenario sweeps: the robustness axis.  One scenario (mid-run failures,
+// repairs, capacity changes, load swings -- see scenario/scenario.hpp) is
+// replayed over many seeds and policies, producing the transient per-bin
+// blocking time series around each event.  Replications fan across the
+// same thread pool as run_sweep with the same bit-identical guarantee.
+
+struct ScenarioSweepOptions {
+  /// Independent replications (one trace per seed; every policy replays
+  /// the same per-seed trace -- common random numbers).
+  int seeds{10};
+  /// Measured time units per replication (after warm-up).
+  double measure{100.0};
+  /// Warm-up time units from an idle network.
+  double warmup{10.0};
+  /// Maximum alternate hop count H (route rebuilds and Eq. 15 re-solves).
+  int max_alt_hops{6};
+  /// Base RNG seed; replication s uses seed base + s.
+  std::uint64_t base_seed{1};
+  /// Worker threads for the replication fan-out (as SweepOptions::threads:
+  /// 1 = serial, 0 = all hardware threads; never changes results).
+  int threads{1};
+  /// Bins the measurement window splits into for the transient series.
+  int time_bins{10};
+  /// Multiplier applied to the nominal matrix at t = 0 (the scenario's
+  /// traffic_scale events move the load from there).
+  double load_factor{1.0};
+  /// Forwarded to ScenarioEngineOptions::auto_resolve_protection.
+  bool auto_resolve_protection{false};
+};
+
+/// One policy's transient series across the scenario.
+struct ScenarioCurve {
+  std::string name;
+  double mean_blocking{0.0};  ///< mean over seeds of per-run blocking
+  double ci95{0.0};           ///< +- half-width, Student-t
+  long long dropped{0};       ///< in-flight calls killed by events, all seeds
+  std::vector<long long> bin_offered;  ///< summed over seeds
+  std::vector<long long> bin_blocked;
+  std::vector<double> bin_blocking;  ///< blocked/offered per bin (ratio of sums)
+};
+
+struct ScenarioSweepResult {
+  /// Left edge of each time bin (warmup + k * width).
+  std::vector<double> bin_start;
+  std::vector<ScenarioCurve> curves;  ///< one per requested policy, same order
+  /// Event application log of one replication (identical across seeds and
+  /// policies up to kill counts; taken from the first policy, first seed).
+  std::vector<scenario::AppliedEvent> applied;
+};
+
+/// Replays `scen` on `graph` for every policy and seed.  Protection levels
+/// at t = 0 come from Eq. 15 on the intact topology at the load-scaled
+/// matrix (the scenario's resolve_protection events update them mid-run).
+[[nodiscard]] ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
+                                                     const net::TrafficMatrix& nominal,
+                                                     const scenario::Scenario& scen,
+                                                     const std::vector<PolicyKind>& policies,
+                                                     const ScenarioSweepOptions& options);
 
 }  // namespace altroute::study

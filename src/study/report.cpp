@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace altroute::study {
 
@@ -93,6 +95,47 @@ TextTable sweep_table(const SweepResult& result, bool scientific) {
       row.push_back(scientific ? fmt_sci(result.erlang_bound[i])
                                : fmt(result.erlang_bound[i], 4));
     }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable scenario_table(const ScenarioSweepResult& result) {
+  std::vector<std::string> headers{"t"};
+  for (const ScenarioCurve& curve : result.curves) headers.push_back(curve.name);
+  headers.emplace_back("events");
+  TextTable table(std::move(headers));
+  const std::size_t bins = result.bin_start.size();
+  for (std::size_t b = 0; b < bins; ++b) {
+    std::vector<std::string> row;
+    row.push_back(fmt(result.bin_start[b], 1));
+    for (const ScenarioCurve& curve : result.curves) {
+      row.push_back(fmt(curve.bin_blocking[b], 4));
+    }
+    // Mark the events whose time falls inside [bin_start, next bin_start),
+    // collapsing consecutive repeats ("traffic_scale x6").
+    const double lo = result.bin_start[b];
+    const double hi = b + 1 < bins ? result.bin_start[b + 1]
+                                   : std::numeric_limits<double>::infinity();
+    std::string marks;
+    std::string_view pending;
+    int repeats = 0;
+    const auto flush = [&] {
+      if (repeats == 0) return;
+      if (!marks.empty()) marks += ", ";
+      marks += std::string(pending);
+      if (repeats > 1) marks += " x" + std::to_string(repeats);
+      repeats = 0;
+    };
+    for (const scenario::AppliedEvent& event : result.applied) {
+      if (event.time < lo || event.time >= hi) continue;
+      const std::string_view name = scenario::event_kind_name(event.kind);
+      if (repeats > 0 && name != pending) flush();
+      pending = name;
+      ++repeats;
+    }
+    flush();
+    row.push_back(std::move(marks));
     table.add_row(std::move(row));
   }
   return table;

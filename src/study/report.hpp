@@ -42,6 +42,12 @@ class TextTable {
 /// `scientific` selects fmt_sci for the log-scale figures.
 [[nodiscard]] TextTable sweep_table(const SweepResult& result, bool scientific = false);
 
+/// Builds the transient time series of a scenario sweep: one row per time
+/// bin ("t" = the bin's left edge), one blocking column per policy, and a
+/// trailing "events" column marking which scenario events fired inside the
+/// bin (empty when none did).
+[[nodiscard]] TextTable scenario_table(const ScenarioSweepResult& result);
+
 /// Writes `content` to `path`, creating/truncating; throws on failure.
 void write_file(const std::string& path, const std::string& content);
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "netgraph/dot.hpp"
 #include "netgraph/graph.hpp"
@@ -84,6 +85,44 @@ TEST(Graph, FailDuplexDisablesBothDirections) {
   EXPECT_TRUE(g.find_link(net::NodeId(1), net::NodeId(2)).has_value());
   // Idempotent: already-disabled links are not counted again.
   EXPECT_EQ(g.fail_duplex(net::NodeId(0), net::NodeId(1)), 0);
+}
+
+TEST(Graph, FailDuplexRejectsNonexistentFacility) {
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 4);
+  // No edge between 0 and 2 at all: a clear error, not a silent no-op.
+  EXPECT_THROW((void)g.fail_duplex(net::NodeId(0), net::NodeId(2)), std::invalid_argument);
+  EXPECT_THROW((void)g.repair_duplex(net::NodeId(0), net::NodeId(2)), std::invalid_argument);
+  EXPECT_THROW((void)g.duplex_links(net::NodeId(0), net::NodeId(2)), std::invalid_argument);
+  EXPECT_THROW((void)g.fail_duplex(net::NodeId(0), net::NodeId(7)), std::invalid_argument);
+}
+
+TEST(Graph, RepairDuplexReenablesBothDirections) {
+  net::Graph g(3);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 4);
+  EXPECT_EQ(g.fail_duplex(net::NodeId(0), net::NodeId(1)), 2);
+  EXPECT_EQ(g.repair_duplex(net::NodeId(1), net::NodeId(0)), 2);  // order-insensitive
+  EXPECT_TRUE(g.find_link(net::NodeId(0), net::NodeId(1)).has_value());
+  EXPECT_TRUE(g.find_link(net::NodeId(1), net::NodeId(0)).has_value());
+  // Idempotent, like fail_duplex.
+  EXPECT_EQ(g.repair_duplex(net::NodeId(0), net::NodeId(1)), 0);
+}
+
+TEST(Graph, DuplexLinksReturnsBothDirections) {
+  net::Graph g(3);
+  const auto [fwd, rev] = g.add_duplex(net::NodeId(0), net::NodeId(1), 4);
+  const std::vector<net::LinkId> links = g.duplex_links(net::NodeId(1), net::NodeId(0));
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_TRUE((links[0] == fwd && links[1] == rev) || (links[0] == rev && links[1] == fwd));
+}
+
+TEST(Graph, SetLinkCapacityValidates) {
+  net::Graph g(2);
+  const net::LinkId l = g.add_link(net::NodeId(0), net::NodeId(1), 4);
+  g.set_link_capacity(l, 9);
+  EXPECT_EQ(g.link(l).capacity, 9);
+  EXPECT_THROW(g.set_link_capacity(l, 0), std::invalid_argument);
+  EXPECT_THROW(g.set_link_capacity(net::LinkId(5), 3), std::invalid_argument);
 }
 
 TEST(Graph, NeighborsDeduplicatedAndSorted) {

@@ -1,0 +1,356 @@
+// Scenario subsystem: JSON parsing (and its rejection paths), the event
+// model's validation, and the runner's in-flight-call semantics -- kills on
+// failure, newest-first preemption on capacity shrink (occupancy never
+// exceeds capacity), route-table rebuilds, and Eq. 15 re-solves.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/protection.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/json.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/load_profile.hpp"
+
+namespace core = altroute::core;
+namespace loss = altroute::loss;
+namespace net = altroute::net;
+namespace routing = altroute::routing;
+namespace scenario = altroute::scenario;
+namespace sim = altroute::sim;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(ScenarioJson, ParsesEveryValueKind) {
+  const scenario::JsonValue v = scenario::parse_json(
+      R"({"s": "a\"b\né", "n": -1.5e2, "t": true, "f": false, "z": null,
+          "arr": [1, 2, 3], "obj": {"k": 7}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->string, "a\"b\n\xC3\xA9");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -150.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_EQ(v.find("z")->kind, scenario::JsonValue::Kind::kNull);
+  ASSERT_EQ(v.find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("arr")->array[2].number, 3.0);
+  EXPECT_DOUBLE_EQ(v.find("obj")->find("k")->number, 7.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ScenarioJson, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)scenario::parse_json(""), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("{\"a\": 1} trailing"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("01e"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("truth"), std::invalid_argument);
+  EXPECT_THROW((void)scenario::parse_json("{\"a\": 1, \"a\": 2}"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario parsing
+
+TEST(ScenarioParse, ParsesAllEventKinds) {
+  const scenario::Scenario s = scenario::scenario_from_json(R"({
+    "name": "kitchen-sink",
+    "events": [
+      {"time": 5,  "type": "traffic_scale", "factor": 1.5},
+      {"time": 10, "type": "link_fail", "a": 2, "b": 3},
+      {"time": 10, "type": "resolve_protection"},
+      {"time": 12, "type": "capacity_set", "a": 0, "b": 1, "capacity": 30},
+      {"time": 14, "type": "capacity_scale", "a": 0, "b": 1, "factor": 0.5},
+      {"time": 20, "type": "link_repair", "a": 2, "b": 3}
+    ]})");
+  EXPECT_EQ(s.name, "kitchen-sink");
+  ASSERT_EQ(s.events.size(), 6u);
+  EXPECT_EQ(s.events[0].kind, scenario::EventKind::kTrafficScale);
+  EXPECT_DOUBLE_EQ(s.events[0].factor, 1.5);
+  EXPECT_EQ(s.events[1].kind, scenario::EventKind::kLinkFail);
+  EXPECT_EQ(s.events[1].node_a, 2);
+  EXPECT_EQ(s.events[1].node_b, 3);
+  EXPECT_EQ(s.events[2].kind, scenario::EventKind::kResolveProtection);
+  EXPECT_EQ(s.events[3].kind, scenario::EventKind::kCapacitySet);
+  EXPECT_EQ(s.events[3].capacity, 30);
+  EXPECT_EQ(s.events[4].kind, scenario::EventKind::kCapacityScale);
+  EXPECT_DOUBLE_EQ(s.events[4].factor, 0.5);
+  EXPECT_EQ(s.events[5].kind, scenario::EventKind::kLinkRepair);
+}
+
+TEST(ScenarioParse, RejectsInvalidScenarios) {
+  const auto reject = [](const char* json) {
+    EXPECT_THROW((void)scenario::scenario_from_json(json), std::invalid_argument) << json;
+  };
+  reject("[]");                             // top level must be an object
+  reject("{}");                             // events required
+  reject(R"({"events": 3})");               // events must be an array
+  reject(R"({"events": [], "bogus": 1})");  // unknown top-level field
+  reject(R"({"events": [{"time": 1, "type": "melt_down"}]})");   // unknown type
+  reject(R"({"events": [{"time": 1, "type": "link_fail"}]})");   // missing a/b
+  reject(R"({"events": [{"time": 1, "type": "link_fail", "a": 0.5, "b": 1}]})");
+  reject(R"({"events": [{"time": 1, "type": "link_fail", "a": 0, "b": 1, "x": 2}]})");
+  reject(R"({"events": [{"time": -1, "type": "resolve_protection"}]})");  // negative time
+  reject(R"({"events": [{"time": 9, "type": "resolve_protection"},
+                        {"time": 5, "type": "resolve_protection"}]})");   // out of order
+  reject(R"({"events": [{"time": 1, "type": "link_fail", "a": 2, "b": 2}]})");  // self-pair
+  reject(R"({"events": [{"time": 1, "type": "capacity_set", "a": 0, "b": 1,
+                         "capacity": 0}]})");                             // capacity < 1
+  reject(R"({"events": [{"time": 1, "type": "capacity_scale", "a": 0, "b": 1,
+                         "factor": 0}]})");                               // factor <= 0
+  reject(R"({"events": [{"time": 1, "type": "traffic_scale", "factor": -2}]})");
+}
+
+TEST(ScenarioParse, ValidateCatchesHandBuiltMistakes) {
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::link_fail(10.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(5.0, 0, 1));  // out of order
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.events.clear();
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(-3.0, 1.0));  // negative time
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Traffic profile and trace shaping
+
+TEST(ScenarioTraffic, ProfileFollowsTrafficScaleEvents) {
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::link_fail(10.0, 0, 1));  // ignored by profile
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(30.0, 2.0));
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(30.0, 2.5));  // same time: last wins
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(60.0, 1.0));
+  const sim::LoadProfile profile = s.traffic_profile();
+  EXPECT_DOUBLE_EQ(profile.factor_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.factor_at(29.9), 1.0);
+  EXPECT_DOUBLE_EQ(profile.factor_at(30.0), 2.5);
+  EXPECT_DOUBLE_EQ(profile.factor_at(59.9), 2.5);
+  EXPECT_DOUBLE_EQ(profile.factor_at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.max_factor(), 2.5);
+}
+
+TEST(ScenarioTraffic, TraceRespondsToTrafficScaleOnly) {
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(3, 5.0);
+  scenario::Scenario surge;
+  surge.events.push_back(scenario::ScenarioEvent::traffic_scale(50.0, 3.0));
+  const sim::CallTrace base = scenario::make_scenario_trace(nominal, {}, 100.0, 7);
+  const sim::CallTrace surged = scenario::make_scenario_trace(nominal, surge, 100.0, 7);
+  const auto count_in = [](const sim::CallTrace& trace, double lo, double hi) {
+    long long count = 0;
+    for (const sim::CallRecord& c : trace.calls) {
+      if (c.arrival >= lo && c.arrival < hi) ++count;
+    }
+    return count;
+  };
+  // Roughly 3x the arrivals after the surge, unchanged count statistics
+  // before it (the thinning envelope differs, so not call-for-call equal).
+  EXPECT_NEAR(static_cast<double>(count_in(surged, 50, 100)),
+              3.0 * static_cast<double>(count_in(base, 50, 100)),
+              0.35 * static_cast<double>(count_in(surged, 50, 100)));
+  // Failure/repair events never perturb the trace: common random numbers
+  // between a failure scenario and the intact run.
+  scenario::Scenario failure;
+  failure.events.push_back(scenario::ScenarioEvent::link_fail(40.0, 0, 1));
+  const sim::CallTrace failed = scenario::make_scenario_trace(nominal, failure, 100.0, 7);
+  ASSERT_EQ(failed.size(), base.size());
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    EXPECT_EQ(failed.calls[i].arrival, base.calls[i].arrival);
+    EXPECT_EQ(failed.calls[i].src, base.calls[i].src);
+    EXPECT_EQ(failed.calls[i].dst, base.calls[i].dst);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner semantics
+
+sim::CallTrace hand_trace(std::vector<sim::CallRecord> calls, double horizon) {
+  sim::CallTrace trace;
+  trace.calls = std::move(calls);
+  trace.horizon = horizon;
+  return trace;
+}
+
+TEST(ScenarioRunner, LinkFailKillsInFlightCallsAndBlocksUntilRepair) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(2, 1.0);
+  // One long call in flight when the facility fails; one call during the
+  // outage (unreachable); one after repair.
+  const sim::CallTrace trace = hand_trace(
+      {
+          {1.0, 50.0, net::NodeId(0), net::NodeId(1), 1},
+          {6.0, 1.0, net::NodeId(0), net::NodeId(1), 1},
+          {12.0, 1.0, net::NodeId(0), net::NodeId(1), 1},
+      },
+      20.0);
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::link_fail(5.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(10.0, 0, 1));
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 2;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(g, traffic, policy, trace, s, options);
+
+  EXPECT_EQ(r.run.offered, 3);
+  EXPECT_EQ(r.run.blocked, 1);          // the call during the outage
+  EXPECT_EQ(r.run.carried_primary, 2);  // before failure + after repair
+  EXPECT_EQ(r.dropped, 1);              // the long call was killed at t = 5
+  ASSERT_EQ(r.applied.size(), 2u);
+  EXPECT_EQ(r.applied[0].kind, scenario::EventKind::kLinkFail);
+  EXPECT_EQ(r.applied[0].links_changed, 2);
+  EXPECT_EQ(r.applied[0].calls_killed, 1);
+  EXPECT_EQ(r.applied[1].kind, scenario::EventKind::kLinkRepair);
+  EXPECT_EQ(r.applied[1].links_changed, 2);
+  EXPECT_EQ(r.applied[1].calls_killed, 0);
+  // The killed call's circuits were released: final occupancy counts only
+  // the t = 12 call (ends at 13) -- none at the horizon.
+  for (const scenario::FinalLinkState& link : r.final_links) {
+    EXPECT_EQ(link.occupancy, 0);
+    EXPECT_TRUE(link.enabled);
+  }
+}
+
+TEST(ScenarioRunner, CapacityShrinkPreemptsNewestFirstAndCapsAdmission) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(2, 1.0);
+  std::vector<sim::CallRecord> calls;
+  // Eight long calls fill the forward link to 8 of 10...
+  for (int i = 0; i < 8; ++i) {
+    calls.push_back({1.0 + 0.1 * i, 100.0, net::NodeId(0), net::NodeId(1), 1});
+  }
+  // ...then the link shrinks to 5 at t = 5 (kills the 3 newest), a probe at
+  // t = 6 finds it full, and after growth back to 7 a probe at t = 8 fits.
+  calls.push_back({6.0, 1.0, net::NodeId(0), net::NodeId(1), 1});
+  calls.push_back({8.0, 1.0, net::NodeId(0), net::NodeId(1), 1});
+  const sim::CallTrace trace = hand_trace(std::move(calls), 20.0);
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::capacity_set(5.0, 0, 1, 5));
+  s.events.push_back(scenario::ScenarioEvent::capacity_set(7.0, 0, 1, 7));
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 2;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(g, traffic, policy, trace, s, options);
+
+  EXPECT_EQ(r.run.offered, 10);
+  EXPECT_EQ(r.run.blocked, 1);  // only the t = 6 probe
+  EXPECT_EQ(r.dropped, 3);
+  ASSERT_EQ(r.applied.size(), 2u);
+  EXPECT_EQ(r.applied[0].calls_killed, 3);
+  EXPECT_EQ(r.applied[1].calls_killed, 0);
+  // Occupancy never exceeds capacity, including at the horizon: 5 original
+  // survivors plus the t = 8 call departed by then?  The survivors hold for
+  // 100 units, so they are still up: occupancy 5+1=6 <= capacity 7.
+  EXPECT_EQ(r.final_links[0].capacity, 7);
+  EXPECT_EQ(r.final_links[0].occupancy, 5);  // t = 8 call ended at t = 9
+  EXPECT_LE(r.final_links[0].occupancy, r.final_links[0].capacity);
+}
+
+TEST(ScenarioRunner, CapacityScaleRoundsAndNeverDropsBelowOneCircuit) {
+  net::Graph g(2);
+  g.add_duplex(net::NodeId(0), net::NodeId(1), 9);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(2, 1.0);
+  const sim::CallTrace trace = hand_trace({{1.0, 1.0, net::NodeId(0), net::NodeId(1), 1}}, 10.0);
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(3.0, 0, 1, 0.5));   // 9 -> 5 (round)
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(4.0, 0, 1, 0.01));  // floor at 1
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 2;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(g, traffic, policy, trace, s, options);
+  EXPECT_EQ(r.final_links[0].capacity, 1);
+  ASSERT_EQ(r.applied.size(), 2u);
+  EXPECT_EQ(r.applied[0].links_changed, 2);
+}
+
+TEST(ScenarioRunner, RouteTableRebuildsAcrossFailAndRepair) {
+  // On the quadrangle every primary is the 1-hop direct link.  While 0<->1
+  // is down, min-hop primaries for that pair become 2-hop; after repair
+  // they return to 1-hop.  The hop census exposes exactly that.
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(4, 1.0);
+  const sim::CallTrace trace = hand_trace(
+      {
+          {2.0, 1.0, net::NodeId(0), net::NodeId(1), 1},
+          {15.0, 1.0, net::NodeId(0), net::NodeId(1), 1},
+          {35.0, 1.0, net::NodeId(0), net::NodeId(1), 1},
+      },
+      40.0);
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::link_fail(10.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(30.0, 0, 1));
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 3;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(g, traffic, policy, trace, s, options);
+  EXPECT_EQ(r.run.blocked, 0);
+  ASSERT_GE(r.run.carried_by_hops.size(), 3u);
+  EXPECT_EQ(r.run.carried_by_hops[1], 2);  // before failure + after repair
+  EXPECT_EQ(r.run.carried_by_hops[2], 1);  // rerouted during the outage
+}
+
+TEST(ScenarioRunner, ResolveProtectionInstallsEq15Levels) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(4, 20.0);
+  const sim::CallTrace trace = hand_trace({{1.0, 1.0, net::NodeId(0), net::NodeId(1), 1}}, 10.0);
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(5.0, 1.5));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(5.0));
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 3;
+  const scenario::ScenarioRunResult r =
+      scenario::run_scenario(g, traffic, policy, trace, s, options);
+  // The installed levels must be exactly Eq. 15 on the scaled matrix.
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const std::vector<int> expected = core::protection_levels(g, routes, traffic.scaled(1.5), 3);
+  ASSERT_EQ(r.final_links.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(r.final_links[k].reservation, expected[k]) << "link " << k;
+  }
+}
+
+TEST(ScenarioRunner, RejectsBadInputs) {
+  const net::Graph g = net::full_mesh(3, 10);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(3, 1.0);
+  const sim::CallTrace trace = hand_trace({{1.0, 1.0, net::NodeId(0), net::NodeId(1), 1}}, 5.0);
+  loss::SinglePathPolicy policy;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  // Node index outside the graph.
+  scenario::Scenario bad_node;
+  bad_node.events.push_back(scenario::ScenarioEvent::link_fail(1.0, 0, 7));
+  EXPECT_THROW((void)scenario::run_scenario(g, traffic, policy, trace, bad_node, options),
+               std::invalid_argument);
+  // Valid nodes, but no such duplex facility on a graph missing the edge.
+  net::Graph path(3);
+  path.add_duplex(net::NodeId(0), net::NodeId(1), 10);
+  path.add_duplex(net::NodeId(1), net::NodeId(2), 10);
+  scenario::Scenario bad_pair;
+  bad_pair.events.push_back(scenario::ScenarioEvent::link_fail(1.0, 0, 2));
+  EXPECT_THROW((void)scenario::run_scenario(path, traffic, policy, trace, bad_pair, options),
+               std::invalid_argument);
+  // Warmup outside [0, horizon).
+  scenario::ScenarioEngineOptions bad_warmup;
+  bad_warmup.warmup = 5.0;
+  EXPECT_THROW((void)scenario::run_scenario(g, traffic, policy, trace, {}, bad_warmup),
+               std::invalid_argument);
+}
+
+}  // namespace

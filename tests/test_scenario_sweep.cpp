@@ -1,0 +1,212 @@
+// Scenario sweep determinism and the ISSUE acceptance scenario: a
+// failure-recovery scenario on the NSFNet model (fail 2<->3 at t = 40,
+// repair at t = 70) must produce a transient blocking time series that is
+// bit-identical at threads 1 and 4, and the post-repair steady state must
+// sit within noise of the intact run on the same traces.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "scenario/scenario.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace scenario = altroute::scenario;
+namespace study = altroute::study;
+
+namespace {
+
+// Field-by-field exact comparison (EXPECT_EQ on double is bitwise-valued
+// equality, not a tolerance check).
+void expect_identical(const study::ScenarioSweepResult& a,
+                      const study::ScenarioSweepResult& b) {
+  EXPECT_EQ(a.bin_start, b.bin_start);
+  ASSERT_EQ(a.applied.size(), b.applied.size());
+  for (std::size_t e = 0; e < a.applied.size(); ++e) {
+    EXPECT_EQ(a.applied[e].time, b.applied[e].time);
+    EXPECT_EQ(a.applied[e].kind, b.applied[e].kind);
+    EXPECT_EQ(a.applied[e].links_changed, b.applied[e].links_changed);
+    EXPECT_EQ(a.applied[e].calls_killed, b.applied[e].calls_killed);
+  }
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  for (std::size_t pi = 0; pi < a.curves.size(); ++pi) {
+    SCOPED_TRACE(a.curves[pi].name);
+    EXPECT_EQ(a.curves[pi].name, b.curves[pi].name);
+    EXPECT_EQ(a.curves[pi].mean_blocking, b.curves[pi].mean_blocking);
+    EXPECT_EQ(a.curves[pi].ci95, b.curves[pi].ci95);
+    EXPECT_EQ(a.curves[pi].dropped, b.curves[pi].dropped);
+    EXPECT_EQ(a.curves[pi].bin_offered, b.curves[pi].bin_offered);
+    EXPECT_EQ(a.curves[pi].bin_blocked, b.curves[pi].bin_blocked);
+    EXPECT_EQ(a.curves[pi].bin_blocking, b.curves[pi].bin_blocking);
+  }
+}
+
+scenario::Scenario quadrangle_scenario() {
+  scenario::Scenario s;
+  s.name = "quadrangle-outage";
+  s.events.push_back(scenario::ScenarioEvent::link_fail(12.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(12.0));
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(18.0, 2, 3, 0.5));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(24.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(24.0));
+  return s;
+}
+
+study::ScenarioSweepResult quadrangle_sweep(int threads) {
+  const net::Graph g = net::full_mesh(4, 30);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 26.0);
+  study::ScenarioSweepOptions options;
+  options.seeds = 5;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.time_bins = 6;
+  options.threads = threads;
+  return study::run_scenario_sweep(g, nominal, quadrangle_scenario(),
+                                   {study::PolicyKind::kSinglePath,
+                                    study::PolicyKind::kUncontrolledAlternate,
+                                    study::PolicyKind::kControlledAlternate},
+                                   options);
+}
+
+TEST(ScenarioSweep, QuadrangleIdenticalAcrossThreadCounts) {
+  const study::ScenarioSweepResult serial = quadrangle_sweep(1);
+  expect_identical(serial, quadrangle_sweep(4));
+  expect_identical(serial, quadrangle_sweep(0));  // auto mode
+}
+
+TEST(ScenarioSweep, AppliedLogAndBinsAreWellFormed) {
+  const study::ScenarioSweepResult r = quadrangle_sweep(1);
+  ASSERT_EQ(r.applied.size(), 5u);
+  EXPECT_EQ(r.applied[0].kind, scenario::EventKind::kLinkFail);
+  EXPECT_EQ(r.applied[0].links_changed, 2);
+  EXPECT_EQ(r.applied[2].kind, scenario::EventKind::kCapacityScale);
+  EXPECT_EQ(r.applied[3].kind, scenario::EventKind::kLinkRepair);
+  ASSERT_EQ(r.bin_start.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.bin_start[0], 5.0);
+  EXPECT_DOUBLE_EQ(r.bin_start[1], 10.0);
+  for (const study::ScenarioCurve& curve : r.curves) {
+    SCOPED_TRACE(curve.name);
+    ASSERT_EQ(curve.bin_offered.size(), 6u);
+    long long offered = 0;
+    for (std::size_t b = 0; b < 6; ++b) {
+      offered += curve.bin_offered[b];
+      EXPECT_LE(curve.bin_blocked[b], curve.bin_offered[b]);
+      if (curve.bin_offered[b] > 0) {
+        EXPECT_DOUBLE_EQ(curve.bin_blocking[b],
+                         static_cast<double>(curve.bin_blocked[b]) /
+                             static_cast<double>(curve.bin_offered[b]));
+      }
+    }
+    EXPECT_GT(offered, 0);
+  }
+  // All policies replay the same per-seed traces (common random numbers).
+  for (std::size_t pi = 1; pi < r.curves.size(); ++pi) {
+    EXPECT_EQ(r.curves[pi].bin_offered, r.curves[0].bin_offered);
+  }
+}
+
+TEST(ScenarioSweep, RejectsBadOptions) {
+  const net::Graph g = net::full_mesh(3, 10);
+  const net::TrafficMatrix t = net::TrafficMatrix::uniform(3, 1.0);
+  study::ScenarioSweepOptions options;
+  options.seeds = 0;
+  EXPECT_THROW(
+      (void)study::run_scenario_sweep(g, t, {}, {study::PolicyKind::kSinglePath}, options),
+      std::invalid_argument);
+  options.seeds = 2;
+  options.time_bins = 0;
+  EXPECT_THROW(
+      (void)study::run_scenario_sweep(g, t, {}, {study::PolicyKind::kSinglePath}, options),
+      std::invalid_argument);
+  options.time_bins = 4;
+  options.threads = -2;
+  EXPECT_THROW(
+      (void)study::run_scenario_sweep(g, t, {}, {study::PolicyKind::kSinglePath}, options),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The ISSUE acceptance scenario.
+
+scenario::Scenario nsfnet_failure_recovery() {
+  scenario::Scenario s;
+  s.name = "nsfnet-failure-recovery";
+  s.events.push_back(scenario::ScenarioEvent::link_fail(40.0, 2, 3));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(40.0));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(70.0, 2, 3));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(70.0));
+  return s;
+}
+
+study::ScenarioSweepOptions nsfnet_options(int threads) {
+  study::ScenarioSweepOptions options;
+  options.seeds = 3;  // modest: the full NSFNet horizon is the expensive part
+  options.measure = 100.0;
+  options.warmup = 10.0;
+  options.max_alt_hops = 11;
+  options.time_bins = 10;
+  options.threads = threads;
+  return options;
+}
+
+TEST(ScenarioSweep, NsfnetFailureRecoveryBitIdenticalAcrossThreads) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix nominal = study::nsfnet_nominal_traffic();
+  const scenario::Scenario scen = nsfnet_failure_recovery();
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kControlledAlternate};
+  const study::ScenarioSweepResult serial =
+      study::run_scenario_sweep(g, nominal, scen, policies, nsfnet_options(1));
+  const study::ScenarioSweepResult parallel =
+      study::run_scenario_sweep(g, nominal, scen, policies, nsfnet_options(4));
+  expect_identical(serial, parallel);
+
+  // The transient shape: the event log shows fail at 40 and repair at 70,
+  // and the outage window's blocking never falls below the pooled intact
+  // level of the same bins (the failure can only hurt).
+  ASSERT_EQ(serial.applied.size(), 4u);
+  EXPECT_DOUBLE_EQ(serial.applied[0].time, 40.0);
+  EXPECT_EQ(serial.applied[0].links_changed, 2);
+  EXPECT_DOUBLE_EQ(serial.applied[2].time, 70.0);
+
+  const study::ScenarioSweepResult intact =
+      study::run_scenario_sweep(g, nominal, {}, policies, nsfnet_options(1));
+  // Same traces (failure events never perturb the trace): offered counts
+  // match bin-for-bin between the failure run and the intact run.
+  EXPECT_EQ(serial.curves[0].bin_offered, intact.curves[0].bin_offered);
+
+  // Bins 0..2 cover [10, 40) -- before the failure the two runs are the
+  // same system, so the series agree exactly.
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(serial.curves[0].bin_blocked[b], intact.curves[0].bin_blocked[b]) << "bin " << b;
+  }
+
+  // Bins 3..5 cover [40, 70): the outage.  Pooled over the window, the
+  // degraded network blocks at least as much as the intact one.
+  long long outage_blocked = 0, outage_intact = 0;
+  for (std::size_t b = 3; b < 6; ++b) {
+    outage_blocked += serial.curves[0].bin_blocked[b];
+    outage_intact += intact.curves[0].bin_blocked[b];
+  }
+  EXPECT_GE(outage_blocked, outage_intact);
+
+  // Bins 7..9 cover [80, 110): post-repair steady state.  Within noise of
+  // the intact run: pooled blocking probabilities agree to a couple of
+  // percentage points (the paper's NSFNet point blocks ~0-2% when intact).
+  long long post_offered = 0, post_blocked = 0, post_intact_blocked = 0;
+  for (std::size_t b = 7; b < 10; ++b) {
+    post_offered += serial.curves[0].bin_offered[b];
+    post_blocked += serial.curves[0].bin_blocked[b];
+    post_intact_blocked += intact.curves[0].bin_blocked[b];
+  }
+  ASSERT_GT(post_offered, 0);
+  const double post = static_cast<double>(post_blocked) / static_cast<double>(post_offered);
+  const double post_intact =
+      static_cast<double>(post_intact_blocked) / static_cast<double>(post_offered);
+  EXPECT_NEAR(post, post_intact, 0.03);
+}
+
+}  // namespace
