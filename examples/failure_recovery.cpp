@@ -9,27 +9,45 @@
 // facility returns at t = 70.
 //
 //   $ ./failure_recovery
+//   $ ./failure_recovery --scenario my.json --seeds 10 --threads 0
+//   $ ./failure_recovery --metrics out.json --trace out.jsonl \
+//                        --trace-filter call_killed,event_applied
 //
 // Expected output: blocking is flat until the failure, jumps while the
 // facility is down (alternate routing absorbs part of the loss), and
-// returns to the pre-failure level after the repair.  The same scenario
-// could be loaded from JSON with scenario::load_scenario_file -- see
-// "Scenario engine" in DESIGN.md for the file format.
+// returns to the pre-failure level after the repair.  --metrics adds the
+// merged per-policy instrument table (and writes the registries as JSON);
+// --trace writes one JSON-lines record per admission/block/kill/event,
+// bit-identical at any --threads value.  See "Observability" in DESIGN.md.
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "netgraph/topologies.hpp"
+#include "obs/trace.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/scenario.hpp"
+#include "study/cli.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 #include "study/report.hpp"
 
 using namespace altroute;
 
-int main() {
-  // 1. The scenario.  scenario_from_json accepts exactly this shape from a
-  //    file; building it in code is equivalent.
-  const scenario::Scenario scen = scenario::scenario_from_json(R"({
+int main(int argc, char** argv) {
+  study::CliOptions cli;
+  try {
+    cli = study::parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "failure_recovery: " << e.what() << '\n';
+    return 1;
+  }
+
+  // 1. The scenario: --scenario loads a JSON script; the default is the
+  //    canonical 2<->3 fail-at-40 / repair-at-70 transient.
+  const scenario::Scenario scen =
+      cli.scenario ? scenario::load_scenario_file(*cli.scenario)
+                   : scenario::scenario_from_json(R"({
     "name": "nsfnet failure recovery",
     "events": [
       {"time": 40, "type": "link_fail",          "a": 2, "b": 3},
@@ -42,12 +60,34 @@ int main() {
   //    Every policy sees the same per-seed call trace, and failure events
   //    never perturb the trace, so the transient is directly comparable
   //    to an intact run (common random numbers).
+  const study::RunShape shape = study::shape_from_cli(cli, {5, 100.0, 10.0, 1});
   study::ScenarioSweepOptions options;
-  options.seeds = 5;
-  options.measure = 100.0;  // horizon = 10 warmup + 100 measured units
-  options.warmup = 10.0;
-  options.max_alt_hops = 11;  // the paper's H for NSFNet
+  options.seeds = shape.seeds;
+  options.measure = shape.measure;
+  options.warmup = shape.warmup;
+  options.threads = shape.threads;
+  options.max_alt_hops = cli.hops.value_or(11);  // the paper's H for NSFNet
   options.time_bins = 10;
+
+  // Observability: a metrics registry per policy and/or a JSONL trace,
+  // merged in slot order (bit-identical at any --threads value).
+  std::ofstream trace_out;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (cli.trace) {
+    trace_out.open(*cli.trace, std::ios::trunc);
+    if (!trace_out) {
+      std::cerr << "failure_recovery: cannot open " << *cli.trace << '\n';
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(
+        trace_out, obs::parse_trace_filter(cli.trace_filter.value_or("")));
+    options.obs.trace = trace_sink.get();
+  }
+  if (cli.metrics) {
+    options.obs.metrics = true;
+    options.obs.occupancy_samples = 100;
+  }
+
   const study::ScenarioSweepResult result = study::run_scenario_sweep(
       net::nsfnet_t3(), study::nsfnet_nominal_traffic(), scen,
       {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
@@ -61,5 +101,14 @@ int main() {
     std::cout << curve.name << ": mean blocking " << curve.mean_blocking << " +- "
               << curve.ci95 << ", in-flight calls killed " << curve.dropped << '\n';
   }
+  if (cli.csv) study::write_file(*cli.csv, study::scenario_table(result).csv());
+  if (cli.metrics) {
+    std::cout << "\n# merged metrics (all seeds)\n" << study::metrics_table(result).str();
+    std::vector<std::string> names;
+    for (const study::ScenarioCurve& curve : result.curves) names.push_back(curve.name);
+    study::write_file(*cli.metrics, study::metrics_json(result.metrics, names));
+    std::cout << "\nmetrics written to " << *cli.metrics << '\n';
+  }
+  if (cli.trace) std::cout << "trace written to " << *cli.trace << '\n';
   return 0;
 }

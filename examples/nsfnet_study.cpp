@@ -7,21 +7,32 @@
 //   2. Which links are the bottlenecks?           (per-link loss attribution)
 //   3. What happens if the worst link fails?      (failure re-run)
 //
-//   usage: nsfnet_study [load_factor] [threads]   (default 1.0 = nominal,
-//   threads = 1; 0 = all hardware threads.  Thread count never changes the
-//   numbers, only the wall clock -- each seed has its own RNG stream and
-//   result slot.)
+//   usage: nsfnet_study [load_factor] [threads] [flags]
+//   (default 1.0 = nominal, threads = 1; 0 = all hardware threads.  Thread
+//   count never changes the numbers, only the wall clock -- each seed has
+//   its own RNG stream and result slot.)
+//
+//   Flags (after the positional arguments): --metrics out.json and/or
+//   --trace out.jsonl [--trace-filter kinds] add an instrumented
+//   comparison sweep at the requested load factor -- merged per-policy
+//   counters/histograms plus a structured event trace, both bit-identical
+//   at any thread count.  See "Observability" in DESIGN.md.
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <iostream>
+#include <vector>
 
 #include "core/controlled_policy.hpp"
 #include "core/controller.hpp"
 #include "netgraph/topologies.hpp"
+#include "obs/trace.hpp"
 #include "sim/call_trace.hpp"
 #include "sim/parallel_for.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
+#include "study/cli.hpp"
+#include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 #include "study/report.hpp"
 
@@ -59,16 +70,28 @@ double mean_blocking(const core::Controller& controller, const net::TrafficMatri
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double factor = (argc > 1) ? std::atof(argv[1]) : 1.0;
+  // Leading positional arguments, then --flags (parsed by study::parse_cli).
+  int arg = 1;
+  const double factor = (arg < argc && argv[arg][0] != '-') ? std::atof(argv[arg++]) : 1.0;
   if (!(factor > 0.0)) {
-    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0]\n";
+    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0] [--flags]\n";
     return 1;
   }
-  int threads = (argc > 2) ? std::atoi(argv[2]) : 1;
+  int threads = (arg < argc && argv[arg][0] != '-') ? std::atoi(argv[arg++]) : 1;
   if (threads < 0) {
-    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0]\n";
+    std::cerr << "usage: nsfnet_study [load_factor > 0] [threads >= 0] [--flags]\n";
     return 1;
   }
+  study::CliOptions cli;
+  try {
+    std::vector<char*> flag_args{argv[0]};
+    for (int i = arg; i < argc; ++i) flag_args.push_back(argv[i]);
+    cli = study::parse_cli(static_cast<int>(flag_args.size()), flag_args.data());
+  } catch (const std::exception& e) {
+    std::cerr << "nsfnet_study: " << e.what() << '\n';
+    return 1;
+  }
+  const int sweep_threads = cli.threads.value_or(threads);
   if (threads == 0) threads = sim::ThreadPool::hardware_threads();
   std::unique_ptr<sim::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<sim::ThreadPool>(threads);
@@ -115,5 +138,48 @@ int main(int argc, char** argv) {
   std::cout << "\nWith the Princeton <-> Chicago facility down: blocking "
             << study::fmt(mean_blocking(degraded, traffic, 5, pool.get()), 4) << " (was "
             << study::fmt(mean_blocking(controller, traffic, 5, pool.get()), 4) << ")\n";
+
+  // 4. Optional instrumented sweep: --metrics / --trace compare the three
+  //    schemes at the requested load with full observability (merged in
+  //    slot order -- identical output at any thread count).
+  if (cli.metrics || cli.trace) {
+    study::SweepOptions sweep;
+    sweep.load_factors = {factor};
+    sweep.seeds = cli.seeds.value_or(5);
+    sweep.threads = sweep_threads;
+    sweep.max_alt_hops = 11;
+    sweep.erlang_bound = false;
+    std::ofstream trace_out;
+    std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+    if (cli.trace) {
+      trace_out.open(*cli.trace, std::ios::trunc);
+      if (!trace_out) {
+        std::cerr << "nsfnet_study: cannot open " << *cli.trace << '\n';
+        return 1;
+      }
+      trace_sink = std::make_unique<obs::JsonlTraceSink>(
+          trace_out, obs::parse_trace_filter(cli.trace_filter.value_or("")));
+      sweep.obs.trace = trace_sink.get();
+    }
+    if (cli.metrics) {
+      sweep.obs.metrics = true;
+      sweep.obs.occupancy_samples = 100;
+    }
+    const study::SweepResult instrumented = study::run_sweep(
+        g, study::nsfnet_nominal_traffic(),
+        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+         study::PolicyKind::kControlledAlternate},
+        sweep);
+    if (cli.metrics) {
+      std::cout << "\nInstrumented comparison at " << factor << "x nominal ("
+                << sweep.seeds << " seeds):\n"
+                << study::metrics_table(instrumented).str();
+      std::vector<std::string> names;
+      for (const study::PolicyCurve& curve : instrumented.curves) names.push_back(curve.name);
+      study::write_file(*cli.metrics, study::metrics_json(instrumented.metrics, names));
+      std::cout << "\nmetrics written to " << *cli.metrics << '\n';
+    }
+    if (cli.trace) std::cout << "trace written to " << *cli.trace << '\n';
+  }
   return 0;
 }

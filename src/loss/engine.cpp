@@ -33,6 +33,14 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
   if (!options.reservations.empty()) state.set_reservations(options.reservations);
   sim::Rng engine_rng(options.policy_seed, 0xA17E72A7E);
 
+  obs::Probe* const probe = options.probe;
+  ALTROUTE_OBS_HOOK(probe, bind(link_count));
+  // Occupancy reader for the probe's event-time sampling grid.
+  const auto occ_of = [&state](std::size_t k) {
+    return static_cast<long long>(
+        state.link(net::LinkId(static_cast<std::int32_t>(k))).occupancy());
+  };
+
   RunResult result;
   result.node_count = n;
   result.per_pair.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
@@ -80,6 +88,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     // Release every call that ends at or before this arrival.
     while (!departures.empty() && departures.next_time() <= call.arrival) {
       const auto [t, done] = departures.pop();
+      ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(t, occ_of));
       account(*done.path, t);
       state.release(*done.path, done.units);
     }
@@ -101,9 +110,25 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
       ++pair.offered;
       ++cls.offered;
       if (options.time_bins > 0) ++result.bin_offered[bin_of(call.arrival)];
+      ALTROUTE_OBS_HOOK(probe, on_offered(call.arrival, static_cast<int>(call.src.index()),
+                                          static_cast<int>(call.dst.index()), call.bandwidth));
     }
 
     if (decision.accepted()) {
+      ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(call.arrival, occ_of));
+      const bool alternate = decision.call_class == CallClass::kAlternate;
+      // Count path links where this alternate admission lands inside the
+      // reserved band occupancy > C - r (always 0 for a protected policy;
+      // tests assert exactly that).  Checked before booking.
+      int protected_band_links = 0;
+      if (probe != nullptr && measured && alternate) {
+        for (const net::LinkId id : decision.path->links) {
+          const LinkState& ls = state.link(id);
+          if (ls.occupancy() + call.bandwidth > ls.capacity() - ls.reservation()) {
+            ++protected_band_links;
+          }
+        }
+      }
       account(*decision.path, call.arrival);
       state.book(*decision.path, call.bandwidth);
       departures.schedule(call.arrival + call.holding, Departure{decision.path, call.bandwidth});
@@ -118,6 +143,9 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
         const auto hops = static_cast<std::size_t>(decision.path->hops());
         if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
         ++result.carried_by_hops[hops];
+        ALTROUTE_OBS_HOOK(probe, on_admitted(call.arrival, static_cast<int>(call.src.index()),
+                                             static_cast<int>(call.dst.index()), *decision.path,
+                                             alternate, call.bandwidth, protected_band_links));
       }
     } else {
       if (measured) {
@@ -127,12 +155,32 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
         if (options.time_bins > 0) ++result.bin_blocked[bin_of(call.arrival)];
         // Attribute the loss to the first blocking link of the primary the
         // call would have probed (paper's convention).
+        int blocking_link = -1;
         if (routes_for_pair.reachable()) {
           const std::size_t p = pick_primary(routes_for_pair, ctx.primary_pick);
           const routing::Path& primary = routes_for_pair.primaries[p];
           const int idx = state.first_blocking_link(primary, CallClass::kPrimary, call.bandwidth);
           if (idx >= 0) {
-            ++result.primary_losses_at_link[primary.links[static_cast<std::size_t>(idx)].index()];
+            const std::size_t k = primary.links[static_cast<std::size_t>(idx)].index();
+            ++result.primary_losses_at_link[k];
+            blocking_link = static_cast<int>(k);
+          }
+        }
+        ALTROUTE_OBS_HOOK(probe, on_blocked(call.arrival, static_cast<int>(call.src.index()),
+                                            static_cast<int>(call.dst.index()), blocking_link,
+                                            call.bandwidth));
+        // Reserved-state diagnosis: when the policy probed alternates and
+        // still blocked, find alternates shut out purely by state
+        // protection -- the first refusing link would have admitted a
+        // primary-class call of the same width.
+        if (probe != nullptr && decision.alternates_probed > 0) {
+          for (const routing::Path& alt : routes_for_pair.alternates) {
+            const int j = state.first_blocking_link(alt, CallClass::kAlternate, call.bandwidth);
+            if (j < 0) continue;
+            const net::LinkId id = alt.links[static_cast<std::size_t>(j)];
+            if (state.link(id).admits(CallClass::kPrimary, call.bandwidth)) {
+              probe->on_reserved_rejection(static_cast<int>(id.index()));
+            }
           }
         }
       }
@@ -142,9 +190,11 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
   // Drain departures up to the horizon so occupancy integrals close cleanly.
   while (!departures.empty() && departures.next_time() <= trace.horizon) {
     const auto [t, done] = departures.pop();
+    ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(t, occ_of));
     account(*done.path, t);
     state.release(*done.path, done.units);
   }
+  ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
   for (const auto& [bandwidth, counters] : per_class) {
     result.per_class.push_back(counters);
   }

@@ -12,6 +12,7 @@
 
 #include "loss/policy.hpp"
 #include "netgraph/graph.hpp"
+#include "obs/probe.hpp"
 #include "routing/route_table.hpp"
 #include "sim/call_trace.hpp"
 
@@ -34,6 +35,11 @@ struct EngineOptions {
   /// many equal bins and offered/blocked are also counted per bin
   /// (time-varying-load experiments).
   int time_bins{0};
+  /// Observability hooks: metrics and/or structured event tracing for the
+  /// run.  nullptr (the default) disables instrumentation entirely -- each
+  /// hook site is then one never-taken branch (see obs/probe.hpp).  Only
+  /// post-warm-up calls are recorded, matching the counters above.
+  obs::Probe* probe{nullptr};
 };
 
 /// Counters for one ordered O-D pair (post-warm-up).

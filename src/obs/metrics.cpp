@@ -1,0 +1,293 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace altroute::obs {
+
+namespace {
+
+template <class Family>
+MetricId find_or_append(std::vector<Family>& family, std::string_view name) {
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    if (family[i].name == name) return i;
+  }
+  family.push_back(Family{});
+  family.back().name = std::string(name);
+  return family.size() - 1;
+}
+
+void append_json_double(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+MetricId MetricRegistry::counter(std::string_view name) {
+  return find_or_append(counters_, name);
+}
+
+MetricId MetricRegistry::gauge(std::string_view name) { return find_or_append(gauges_, name); }
+
+MetricId MetricRegistry::histogram(std::string_view name, std::vector<double> upper_bounds) {
+  for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+    if (!(upper_bounds[i] > upper_bounds[i - 1])) {
+      throw std::invalid_argument("MetricRegistry::histogram: bounds must be ascending");
+    }
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) {
+      if (histograms_[i].upper_bounds != upper_bounds) {
+        throw std::invalid_argument("MetricRegistry::histogram: bounds mismatch for '" +
+                                    std::string(name) + "'");
+      }
+      return i;
+    }
+  }
+  Histogram h;
+  h.name = std::string(name);
+  h.counts.assign(upper_bounds.size() + 1, 0);
+  h.upper_bounds = std::move(upper_bounds);
+  histograms_.push_back(std::move(h));
+  return histograms_.size() - 1;
+}
+
+MetricId MetricRegistry::link_counter(std::string_view name) {
+  const MetricId id = find_or_append(link_counters_, name);
+  link_counters_[id].values.resize(links_, 0);
+  return id;
+}
+
+void MetricRegistry::set_link_count(std::size_t links) {
+  if (links_ != 0 && links_ != links) {
+    throw std::invalid_argument("MetricRegistry::set_link_count: size already fixed");
+  }
+  links_ = links;
+  for (LinkCounter& family : link_counters_) family.values.resize(links_, 0);
+  occupancy_grid_.assign(static_cast<std::size_t>(grid_samples_) * links_, 0);
+}
+
+void MetricRegistry::set_occupancy_grid(double t0, double dt, int samples) {
+  if (samples < 0 || (samples > 0 && !(dt > 0.0))) {
+    throw std::invalid_argument("MetricRegistry::set_occupancy_grid: bad grid");
+  }
+  if (grid_samples_ != 0 &&
+      (grid_t0_ != t0 || grid_dt_ != dt || grid_samples_ != samples)) {
+    throw std::invalid_argument("MetricRegistry::set_occupancy_grid: grid already fixed");
+  }
+  grid_t0_ = t0;
+  grid_dt_ = dt;
+  grid_samples_ = samples;
+  occupancy_grid_.assign(static_cast<std::size_t>(samples) * links_, 0);
+}
+
+void MetricRegistry::observe(MetricId id, double value) {
+  Histogram& h = histograms_[id];
+  std::size_t bucket = h.upper_bounds.size();  // overflow by default
+  for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+    if (value <= h.upper_bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.counts[bucket];
+  h.sum += value;
+}
+
+long long MetricRegistry::counter_value(std::string_view name) const {
+  for (const Counter& c : counters_) {
+    if (c.name == name) return c.value;
+  }
+  throw std::invalid_argument("MetricRegistry: unknown counter '" + std::string(name) + "'");
+}
+
+double MetricRegistry::gauge_value(std::string_view name) const {
+  for (const Gauge& g : gauges_) {
+    if (g.name == name) return g.value;
+  }
+  throw std::invalid_argument("MetricRegistry: unknown gauge '" + std::string(name) + "'");
+}
+
+std::vector<std::string_view> MetricRegistry::counter_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(counters_.size());
+  for (const Counter& c : counters_) names.push_back(c.name);
+  return names;
+}
+
+std::vector<std::string_view> MetricRegistry::histogram_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(histograms_.size());
+  for (const Histogram& h : histograms_) names.push_back(h.name);
+  return names;
+}
+
+std::vector<std::string_view> MetricRegistry::link_counter_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(link_counters_.size());
+  for (const LinkCounter& family : link_counters_) names.push_back(family.name);
+  return names;
+}
+
+double MetricRegistry::histogram_sum(std::string_view name) const {
+  return find_histogram(name).sum;
+}
+
+const MetricRegistry::Histogram& MetricRegistry::find_histogram(std::string_view name) const {
+  for (const Histogram& h : histograms_) {
+    if (h.name == name) return h;
+  }
+  throw std::invalid_argument("MetricRegistry: unknown histogram '" + std::string(name) + "'");
+}
+
+const std::vector<long long>& MetricRegistry::histogram_counts(std::string_view name) const {
+  return find_histogram(name).counts;
+}
+
+const MetricRegistry::LinkCounter& MetricRegistry::find_link_counter(
+    std::string_view name) const {
+  for (const LinkCounter& family : link_counters_) {
+    if (family.name == name) return family;
+  }
+  throw std::invalid_argument("MetricRegistry: unknown link counter '" + std::string(name) +
+                              "'");
+}
+
+const std::vector<long long>& MetricRegistry::link_counter_values(std::string_view name) const {
+  return find_link_counter(name).values;
+}
+
+long long MetricRegistry::link_counter_total(std::string_view name) const {
+  long long total = 0;
+  for (const long long v : find_link_counter(name).values) total += v;
+  return total;
+}
+
+bool MetricRegistry::empty() const {
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         link_counters_.empty() && links_ == 0 && grid_samples_ == 0;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  const auto mismatch = [](const char* what) {
+    throw std::invalid_argument(std::string("MetricRegistry::merge: schema mismatch (") +
+                                what + ")");
+  };
+  if (counters_.size() != other.counters_.size()) mismatch("counters");
+  if (gauges_.size() != other.gauges_.size()) mismatch("gauges");
+  if (histograms_.size() != other.histograms_.size()) mismatch("histograms");
+  if (link_counters_.size() != other.link_counters_.size()) mismatch("link counters");
+  if (links_ != other.links_) mismatch("link count");
+  if (grid_t0_ != other.grid_t0_ || grid_dt_ != other.grid_dt_ ||
+      grid_samples_ != other.grid_samples_) {
+    mismatch("occupancy grid");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name != other.counters_[i].name) mismatch("counter names");
+    counters_[i].value += other.counters_[i].value;
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].name != other.gauges_[i].name) mismatch("gauge names");
+    gauges_[i].value += other.gauges_[i].value;
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    Histogram& mine = histograms_[i];
+    const Histogram& theirs = other.histograms_[i];
+    if (mine.name != theirs.name || mine.upper_bounds != theirs.upper_bounds) {
+      mismatch("histogram schema");
+    }
+    for (std::size_t b = 0; b < mine.counts.size(); ++b) mine.counts[b] += theirs.counts[b];
+    mine.sum += theirs.sum;
+  }
+  for (std::size_t i = 0; i < link_counters_.size(); ++i) {
+    if (link_counters_[i].name != other.link_counters_[i].name) mismatch("link counter names");
+    for (std::size_t k = 0; k < links_; ++k) {
+      link_counters_[i].values[k] += other.link_counters_[i].values[k];
+    }
+  }
+  for (std::size_t i = 0; i < occupancy_grid_.size(); ++i) {
+    occupancy_grid_[i] += other.occupancy_grid_[i];
+  }
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{";
+  out += "\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, counters_[i].name);
+    out += ':';
+    out += std::to_string(counters_[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, gauges_[i].name);
+    out += ':';
+    append_json_double(out, gauges_[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    if (i != 0) out += ',';
+    append_json_string(out, h.name);
+    out += ":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      if (b != 0) out += ',';
+      append_json_double(out, h.upper_bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out += ',';
+      out += std::to_string(h.counts[b]);
+    }
+    out += "],\"sum\":";
+    append_json_double(out, h.sum);
+    out += '}';
+  }
+  out += "},\"link_counters\":{";
+  for (std::size_t i = 0; i < link_counters_.size(); ++i) {
+    const LinkCounter& family = link_counters_[i];
+    if (i != 0) out += ',';
+    append_json_string(out, family.name);
+    out += ":[";
+    for (std::size_t k = 0; k < family.values.size(); ++k) {
+      if (k != 0) out += ',';
+      out += std::to_string(family.values[k]);
+    }
+    out += ']';
+  }
+  out += "},\"occupancy_grid\":{\"t0\":";
+  append_json_double(out, grid_t0_);
+  out += ",\"dt\":";
+  append_json_double(out, grid_dt_);
+  out += ",\"samples\":[";
+  for (int s = 0; s < grid_samples_; ++s) {
+    if (s != 0) out += ',';
+    out += '[';
+    for (std::size_t k = 0; k < links_; ++k) {
+      if (k != 0) out += ',';
+      out += std::to_string(occupancy_at(static_cast<std::size_t>(s), k));
+    }
+    out += ']';
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace altroute::obs

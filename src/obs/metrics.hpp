@@ -1,0 +1,153 @@
+// Typed metric registry -- the counting half of the observability layer.
+//
+// A MetricRegistry is a flat, allocation-free-on-the-hot-path store of
+// typed instruments keyed by interned names:
+//
+//   * counters     monotone long long totals (calls offered, kills, ...)
+//   * gauges       double-valued levels (merge sums them; record rates or
+//                  totals, not instantaneous readings, if you merge)
+//   * histograms   fixed upper-bound buckets plus an overflow bucket and a
+//                  running sum (e.g. carried path hop counts)
+//   * link counters  one long long per directed link (alternate admits,
+//                  reserved-state rejections, preemptions, kills)
+//   * occupancy grid  per-link occupancy sampled on a fixed event-time
+//                  grid t0 + i*dt, i in [0, samples)
+//
+// Registration (interning a name, sizing a family) allocates; afterwards
+// every update is an indexed add, so an instrumented simulation's inner
+// loop never allocates.  Registries from independent replications whose
+// schemas match (same names registered in the same order, same buckets,
+// same grid) merge by element-wise addition -- the sweep harnesses merge
+// per-replication registries in slot order, making merged metrics
+// bit-identical at any thread count.  See DESIGN.md, "Observability".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace altroute::obs {
+
+/// Dense handle into one of a registry's instrument families.
+using MetricId = std::size_t;
+
+class MetricRegistry {
+ public:
+  // --- registration (cold path; idempotent per name) ----------------------
+
+  /// Interns a counter and returns its id (the existing id when `name` is
+  /// already registered).
+  MetricId counter(std::string_view name);
+
+  /// Interns a gauge.  Merge adds gauges, so store totals or rates.
+  MetricId gauge(std::string_view name);
+
+  /// Interns a histogram with the given ascending finite upper bounds; an
+  /// implicit overflow bucket catches values above the last bound.
+  /// Re-registering a name with different bounds throws.
+  MetricId histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  /// Interns a per-link counter family of `link_count()` slots (0 until
+  /// set_link_count is called; families resize with it).
+  MetricId link_counter(std::string_view name);
+
+  /// Sizes every per-link family (and the occupancy grid's link axis).
+  /// Throws if a different non-zero size was already set.
+  void set_link_count(std::size_t links);
+
+  /// Configures the occupancy sampling grid: `samples` event-time points
+  /// t0 + i*dt.  Throws if a different non-empty grid was already set.
+  void set_occupancy_grid(double t0, double dt, int samples);
+
+  // --- hot-path updates (no allocation, no lookup) ------------------------
+
+  void add(MetricId id, long long delta = 1) { counters_[id].value += delta; }
+  void add_gauge(MetricId id, double delta) { gauges_[id].value += delta; }
+  void observe(MetricId id, double value);
+  void add_link(MetricId id, std::size_t link, long long delta = 1) {
+    link_counters_[id].values[link] += delta;
+  }
+  /// Accumulates `value` into occupancy grid cell (sample, link).
+  void record_occupancy(std::size_t sample, std::size_t link, long long value) {
+    occupancy_grid_[sample * links_ + link] += value;
+  }
+
+  // --- reads --------------------------------------------------------------
+
+  [[nodiscard]] long long counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  /// Registered names in registration order (table renderers iterate these).
+  [[nodiscard]] std::vector<std::string_view> counter_names() const;
+  [[nodiscard]] std::vector<std::string_view> histogram_names() const;
+  [[nodiscard]] std::vector<std::string_view> link_counter_names() const;
+  /// Sum of every observed value of a histogram (mean = sum / counts).
+  [[nodiscard]] double histogram_sum(std::string_view name) const;
+  /// Bucket counts of a histogram (size = bounds.size() + 1, last =
+  /// overflow).  Throws on unknown name.
+  [[nodiscard]] const std::vector<long long>& histogram_counts(std::string_view name) const;
+  [[nodiscard]] const std::vector<long long>& link_counter_values(std::string_view name) const;
+  /// Sum of one per-link family over all links.
+  [[nodiscard]] long long link_counter_total(std::string_view name) const;
+  [[nodiscard]] std::size_t link_count() const { return links_; }
+  [[nodiscard]] int occupancy_samples() const { return grid_samples_; }
+  [[nodiscard]] double occupancy_grid_t0() const { return grid_t0_; }
+  [[nodiscard]] double occupancy_grid_dt() const { return grid_dt_; }
+  /// Accumulated occupancy at grid cell (sample, link).
+  [[nodiscard]] long long occupancy_at(std::size_t sample, std::size_t link) const {
+    return occupancy_grid_[sample * links_ + link];
+  }
+
+  /// True when nothing was ever registered.
+  [[nodiscard]] bool empty() const;
+
+  // --- reduction & output ---------------------------------------------------
+
+  /// Element-wise addition.  Schemas must match exactly (same names in the
+  /// same registration order, same histogram bounds, same link count, same
+  /// grid); throws std::invalid_argument otherwise.  An empty registry may
+  /// absorb any schema (the first merge adopts it) -- this is what lets a
+  /// sweep epilogue fold per-replication registries into a default-
+  /// constructed accumulator in slot order.
+  void merge(const MetricRegistry& other);
+
+  /// Deterministic JSON rendering: families in registration order, doubles
+  /// via "%.17g".  The schema is documented in DESIGN.md "Observability".
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Counter {
+    std::string name;
+    long long value{0};
+  };
+  struct Gauge {
+    std::string name;
+    double value{0.0};
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<long long> counts;  ///< size upper_bounds.size() + 1
+    double sum{0.0};
+  };
+  struct LinkCounter {
+    std::string name;
+    std::vector<long long> values;  ///< size links_
+  };
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+  std::vector<LinkCounter> link_counters_;
+  std::size_t links_{0};
+  double grid_t0_{0.0};
+  double grid_dt_{0.0};
+  int grid_samples_{0};
+  std::vector<long long> occupancy_grid_;  ///< samples x links, sample-major
+
+  friend class Probe;
+  [[nodiscard]] const Histogram& find_histogram(std::string_view name) const;
+  [[nodiscard]] const LinkCounter& find_link_counter(std::string_view name) const;
+};
+
+}  // namespace altroute::obs

@@ -1,0 +1,128 @@
+#include "obs/probe.hpp"
+
+namespace altroute::obs {
+
+void Probe::bind(std::size_t link_count) {
+  links_ = link_count;
+  grid_next_ = 0;
+  if (metrics_ == nullptr) return;
+  metrics_->set_link_count(link_count);
+  offered_ = metrics_->counter("calls_offered");
+  blocked_ = metrics_->counter("calls_blocked");
+  admitted_primary_ = metrics_->counter("calls_admitted_primary");
+  admitted_alternate_ = metrics_->counter("calls_admitted_alternate");
+  preempted_ = metrics_->counter("calls_preempted");
+  killed_ = metrics_->counter("calls_killed_failure");
+  events_applied_ = metrics_->counter("events_applied");
+  protection_resolves_ = metrics_->counter("protection_resolves");
+  protected_band_admits_ = metrics_->counter("protected_band_alternate_admits");
+  carried_hops_ = metrics_->histogram("carried_hops", {1, 2, 3, 4, 5, 6, 8, 12});
+  link_alternate_admits_ = metrics_->link_counter("alternate_admits");
+  link_reserved_rejections_ = metrics_->link_counter("reserved_rejections");
+  link_preemptions_ = metrics_->link_counter("preemptions");
+  link_kills_ = metrics_->link_counter("kills_on_failure");
+}
+
+void Probe::grid(double t0, double dt, int samples) {
+  if (metrics_ != nullptr) metrics_->set_occupancy_grid(t0, dt, samples);
+}
+
+// Offered calls are counted but not traced on their own -- the admission
+// or block record carries the request.
+void Probe::on_offered(double t, int src, int dst, int units) {
+  (void)t;
+  (void)src;
+  (void)dst;
+  (void)units;
+  if (metrics_ != nullptr) metrics_->add(offered_);
+}
+
+void Probe::on_admitted(double t, int src, int dst, const routing::Path& path, bool alternate,
+                        int units, int protected_band_links) {
+  if (metrics_ != nullptr) {
+    metrics_->add(alternate ? admitted_alternate_ : admitted_primary_);
+    metrics_->observe(carried_hops_, static_cast<double>(path.hops()));
+    if (protected_band_links > 0) metrics_->add(protected_band_admits_, protected_band_links);
+    if (alternate) {
+      for (const net::LinkId id : path.links) {
+        metrics_->add_link(link_alternate_admits_, id.index());
+      }
+    }
+  }
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kCallAdmitted;
+  r.src = src;
+  r.dst = dst;
+  r.hops = path.hops();
+  r.units = units;
+  r.alternate = alternate;
+  trace(r);
+}
+
+void Probe::on_blocked(double t, int src, int dst, int first_blocking_link, int units) {
+  if (metrics_ != nullptr) metrics_->add(blocked_);
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kCallBlocked;
+  r.src = src;
+  r.dst = dst;
+  r.link = first_blocking_link;
+  r.units = units;
+  trace(r);
+}
+
+void Probe::on_reserved_rejection(int link) {
+  if (metrics_ != nullptr) metrics_->add_link(link_reserved_rejections_, static_cast<std::size_t>(link));
+}
+
+void Probe::on_preempted(double t, const routing::Path& path, int link, int units) {
+  if (metrics_ != nullptr) {
+    metrics_->add(preempted_);
+    metrics_->add_link(link_preemptions_, static_cast<std::size_t>(link));
+  }
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kCallPreempted;
+  r.link = link;
+  r.hops = path.hops();
+  r.units = units;
+  trace(r);
+}
+
+void Probe::on_killed(double t, const routing::Path& path, int link, int units) {
+  if (metrics_ != nullptr) {
+    metrics_->add(killed_);
+    metrics_->add_link(link_kills_, static_cast<std::size_t>(link));
+  }
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kCallKilled;
+  r.link = link;
+  r.hops = path.hops();
+  r.units = units;
+  trace(r);
+}
+
+void Probe::on_event_applied(double t, std::string_view kind_name, int links_changed,
+                             long long calls_killed) {
+  if (metrics_ != nullptr) metrics_->add(events_applied_);
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kEventApplied;
+  r.detail = kind_name;
+  r.links_changed = links_changed;
+  r.count = calls_killed;
+  trace(r);
+}
+
+void Probe::on_protection_resolved(double t, int links) {
+  if (metrics_ != nullptr) metrics_->add(protection_resolves_);
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kProtectionResolved;
+  r.links_changed = links;
+  trace(r);
+}
+
+}  // namespace altroute::obs

@@ -1,0 +1,157 @@
+// The hook object the simulation engines drive.
+//
+// A Probe bundles an optional MetricRegistry and an optional TraceSink and
+// exposes one method per instrumentable simulation event.  The engines
+// store `obs::Probe*` in their options structs with nullptr meaning "off":
+// every hook site is
+//
+//     if (probe != nullptr) probe->on_admitted(...);
+//
+// -- a single never-taken branch per event when observability is disabled,
+// which is the whole of the disabled-path cost.  For builds that must not
+// carry even that branch, defining ALTROUTE_OBS_ENABLED=0 compiles the
+// hook sites out entirely (the obs library itself still builds).
+//
+// bind() pre-registers every instrument and sizes the per-link storage, so
+// the hooks never allocate.  One Probe instruments one replication; sweep
+// harnesses create a fresh (registry, sink, probe) triple per replication
+// and merge the results in slot order (see study/experiment.hpp).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "routing/path.hpp"
+
+#ifndef ALTROUTE_OBS_ENABLED
+#define ALTROUTE_OBS_ENABLED 1
+#endif
+
+#if ALTROUTE_OBS_ENABLED
+/// Hook-site helper: expands to a guarded probe call, or to nothing when
+/// observability is compiled out.
+#define ALTROUTE_OBS_HOOK(probe_ptr, call) \
+  do {                                     \
+    if ((probe_ptr) != nullptr) (probe_ptr)->call; \
+  } while (0)
+#else
+#define ALTROUTE_OBS_HOOK(probe_ptr, call) \
+  do {                                     \
+  } while (0)
+#endif
+
+namespace altroute::obs {
+
+class Probe {
+ public:
+  /// Disabled probe: no registry, no sink.  Engines never see this --
+  /// "off" is a null Probe pointer -- but it makes Probe default-
+  /// constructible for containers.
+  Probe() = default;
+
+  /// Either pointer may be null (metrics-only / trace-only probes).  The
+  /// probe does not own them; they must outlive the run.
+  Probe(MetricRegistry* metrics, TraceSink* sink) : metrics_(metrics), sink_(sink) {}
+
+  [[nodiscard]] MetricRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// Registers every instrument and sizes per-link families.  Engines call
+  /// it once at run start; the occupancy grid (if any) must be configured
+  /// first via grid().
+  void bind(std::size_t link_count);
+
+  /// Configures the registry's per-link occupancy sampling grid: `samples`
+  /// points t0 + i*dt.  Call before the run (before bind is fine).
+  void grid(double t0, double dt, int samples);
+
+  // --- hot-path hooks -----------------------------------------------------
+
+  /// A measured call request arrived (counted whether admitted or not).
+  void on_offered(double t, int src, int dst, int units);
+
+  /// A measured call was admitted on `path`.  `protected_band_links` is
+  /// the number of links of the path on which an ALTERNATE-class admission
+  /// landed inside the reserved band occupancy > C - r (always 0 for a
+  /// correct protected policy; counted so tests can assert exactly that).
+  void on_admitted(double t, int src, int dst, const routing::Path& path, bool alternate,
+                   int units, int protected_band_links);
+
+  /// A measured call was blocked; `first_blocking_link` is the directed
+  /// link index the loss is attributed to (-1 when unattributable).
+  void on_blocked(double t, int src, int dst, int first_blocking_link, int units);
+
+  /// An alternate path was shut out purely by state protection at `link`
+  /// (the link had free circuits for a primary, but refused the alternate
+  /// class).  Counted per blocked call and per refusing alternate.
+  void on_reserved_rejection(int link);
+
+  /// An in-flight call was preempted by a capacity shrink at `link`.
+  void on_preempted(double t, const routing::Path& path, int link, int units);
+
+  /// An in-flight call was killed by a facility failure; `link` is the
+  /// failed directed link the call's path used.
+  void on_killed(double t, const routing::Path& path, int link, int units);
+
+  /// A scenario event was applied.
+  void on_event_applied(double t, std::string_view kind_name, int links_changed,
+                        long long calls_killed);
+
+  /// Protection levels were re-solved for `links` links.
+  void on_protection_resolved(double t, int links);
+
+  /// Samples per-link occupancy for every grid point strictly before `t`.
+  /// `occ(k)` must return link k's current occupancy.  Call with the
+  /// timestamp of each timeline item BEFORE applying its state change, and
+  /// finish with t = +infinity; grid point g then holds the occupancy
+  /// after every item with time <= g, deterministically.
+  template <class OccupancyFn>
+  void sample_occupancy_to(double t, OccupancyFn&& occ) {
+    if (metrics_ == nullptr) return;
+    const int samples = metrics_->occupancy_samples();
+    while (grid_next_ < samples &&
+           metrics_->occupancy_grid_t0() + grid_next_ * metrics_->occupancy_grid_dt() < t) {
+      const auto s = static_cast<std::size_t>(grid_next_);
+      for (std::size_t k = 0; k < links_; ++k) {
+        metrics_->record_occupancy(s, k, occ(k));
+      }
+      ++grid_next_;
+    }
+  }
+
+  /// Convenience: flush every remaining grid point (end of run).
+  template <class OccupancyFn>
+  void finish_sampling(OccupancyFn&& occ) {
+    sample_occupancy_to(std::numeric_limits<double>::infinity(), occ);
+  }
+
+ private:
+  void trace(const TraceRecord& record) {
+    if (sink_ != nullptr && sink_->wants(record.kind)) sink_->write(record);
+  }
+
+  MetricRegistry* metrics_{nullptr};
+  TraceSink* sink_{nullptr};
+  std::size_t links_{0};
+  int grid_next_{0};
+
+  // Cached instrument ids (valid after bind()).
+  MetricId offered_{0};
+  MetricId blocked_{0};
+  MetricId admitted_primary_{0};
+  MetricId admitted_alternate_{0};
+  MetricId preempted_{0};
+  MetricId killed_{0};
+  MetricId events_applied_{0};
+  MetricId protection_resolves_{0};
+  MetricId protected_band_admits_{0};
+  MetricId carried_hops_{0};
+  MetricId link_alternate_admits_{0};
+  MetricId link_reserved_rejections_{0};
+  MetricId link_preemptions_{0};
+  MetricId link_kills_{0};
+};
+
+}  // namespace altroute::obs

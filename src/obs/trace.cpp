@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace altroute::obs {
+
+namespace {
+
+constexpr std::array<TraceKind, 6> kAllKinds = {
+    TraceKind::kCallAdmitted,  TraceKind::kCallBlocked, TraceKind::kCallPreempted,
+    TraceKind::kCallKilled,    TraceKind::kEventApplied, TraceKind::kProtectionResolved,
+};
+
+void append_number(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCallAdmitted:
+      return "call_admitted";
+    case TraceKind::kCallBlocked:
+      return "call_blocked";
+    case TraceKind::kCallPreempted:
+      return "call_preempted";
+    case TraceKind::kCallKilled:
+      return "call_killed";
+    case TraceKind::kEventApplied:
+      return "event_applied";
+    case TraceKind::kProtectionResolved:
+      return "protection_resolved";
+  }
+  throw std::invalid_argument("trace_kind_name: unknown kind");
+}
+
+unsigned parse_trace_filter(std::string_view csv) {
+  if (csv.empty() || csv == "all") return kAllTraceKinds;
+  unsigned mask = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) comma = csv.size();
+    const std::string_view token = csv.substr(start, comma - start);
+    if (!token.empty()) {
+      bool known = false;
+      for (const TraceKind kind : kAllKinds) {
+        if (token == trace_kind_name(kind)) {
+          mask |= static_cast<unsigned>(kind);
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw std::invalid_argument("parse_trace_filter: unknown kind '" + std::string(token) +
+                                    "' (known: call_admitted call_blocked call_preempted "
+                                    "call_killed event_applied protection_resolved, or 'all')");
+      }
+    }
+    start = comma + 1;
+  }
+  if (mask == 0) throw std::invalid_argument("parse_trace_filter: empty filter");
+  return mask;
+}
+
+std::string JsonlTraceSink::format(const TraceRecord& r) {
+  std::string out = "{\"t\":";
+  append_number(out, r.time);
+  out += ",\"kind\":\"";
+  out += trace_kind_name(r.kind);
+  out += '"';
+  if (r.replication >= 0) {
+    out += ",\"rep\":";
+    out += std::to_string(r.replication);
+  }
+  if (r.policy >= 0) {
+    out += ",\"policy\":";
+    out += std::to_string(r.policy);
+  }
+  switch (r.kind) {
+    case TraceKind::kCallAdmitted:
+      out += ",\"src\":" + std::to_string(r.src) + ",\"dst\":" + std::to_string(r.dst) +
+             ",\"hops\":" + std::to_string(r.hops) + ",\"units\":" + std::to_string(r.units) +
+             ",\"class\":\"";
+      out += r.alternate ? "alternate" : "primary";
+      out += '"';
+      break;
+    case TraceKind::kCallBlocked:
+      out += ",\"src\":" + std::to_string(r.src) + ",\"dst\":" + std::to_string(r.dst) +
+             ",\"units\":" + std::to_string(r.units);
+      if (r.link >= 0) out += ",\"link\":" + std::to_string(r.link);
+      break;
+    case TraceKind::kCallPreempted:
+    case TraceKind::kCallKilled:
+      out += ",\"link\":" + std::to_string(r.link) + ",\"hops\":" + std::to_string(r.hops) +
+             ",\"units\":" + std::to_string(r.units);
+      break;
+    case TraceKind::kEventApplied:
+      out += ",\"event\":\"";
+      out += r.detail;
+      out += "\",\"links_changed\":" + std::to_string(r.links_changed) +
+             ",\"killed\":" + std::to_string(r.count);
+      break;
+    case TraceKind::kProtectionResolved:
+      out += ",\"links\":" + std::to_string(r.links_changed);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+void JsonlTraceSink::write(const TraceRecord& record) { out_ << format(record) << '\n'; }
+
+}  // namespace altroute::obs

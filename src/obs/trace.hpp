@@ -1,0 +1,109 @@
+// Structured event tracing -- the narrative half of the observability
+// layer.
+//
+// A TraceSink receives one TraceRecord per simulation event of interest
+// (admissions, blocks, preemptions, kills, applied scenario events,
+// protection re-solves).  Sinks carry a kind mask so uninteresting kinds
+// are dropped before a record is even built; the engines hold a Probe
+// whose "off" state is a null pointer, so a run without tracing pays one
+// never-taken branch per hook and nothing else.
+//
+// Records are plain data: the JSON-lines writer renders them with a fixed
+// field order and fixed number formatting, so two runs that apply the same
+// events produce byte-identical trace files -- the property the ctest
+// thread-count bit-identity checks rely on.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace altroute::obs {
+
+/// One bit per record kind, combinable into sink masks.
+enum class TraceKind : unsigned {
+  kCallAdmitted = 1u << 0,
+  kCallBlocked = 1u << 1,
+  kCallPreempted = 1u << 2,
+  kCallKilled = 1u << 3,
+  kEventApplied = 1u << 4,
+  kProtectionResolved = 1u << 5,
+};
+
+inline constexpr unsigned kAllTraceKinds = (1u << 6) - 1;
+
+/// Lower-case token used in JSONL output and --trace-filter lists
+/// ("call_admitted", ...).
+[[nodiscard]] std::string_view trace_kind_name(TraceKind kind);
+
+/// Parses a comma-separated kind list ("call_blocked,event_applied") into
+/// a mask.  Empty string or "all" selects every kind.  Throws
+/// std::invalid_argument naming the unknown token otherwise.
+[[nodiscard]] unsigned parse_trace_filter(std::string_view csv);
+
+/// One structured trace record.  Which fields are meaningful depends on
+/// `kind`; unused fields keep their defaults and are omitted from JSONL.
+struct TraceRecord {
+  double time{0.0};
+  TraceKind kind{TraceKind::kCallAdmitted};
+  int src{-1};             ///< call records: origin node
+  int dst{-1};             ///< call records: destination node
+  int link{-1};            ///< blocking / killed-at / preempted-at directed link
+  int hops{0};             ///< admitted/killed/preempted: booked path length
+  int units{1};            ///< circuits per link
+  bool alternate{false};   ///< admitted under the alternate class
+  std::string_view detail; ///< event kind name for kEventApplied
+  int links_changed{0};    ///< kEventApplied / kProtectionResolved: links touched
+  long long count{0};      ///< kEventApplied: in-flight calls killed
+  int replication{-1};     ///< sweep merges stamp the replication (seed) index
+  int policy{-1};          ///< sweep merges stamp the policy's position in the request
+};
+
+/// Destination of trace records.  `mask` filters kinds at the probe, so a
+/// masked-out kind costs one bit test.
+class TraceSink {
+ public:
+  explicit TraceSink(unsigned mask = kAllTraceKinds) : mask_(mask) {}
+  virtual ~TraceSink() = default;
+
+  [[nodiscard]] bool wants(TraceKind kind) const {
+    return (mask_ & static_cast<unsigned>(kind)) != 0;
+  }
+  [[nodiscard]] unsigned mask() const { return mask_; }
+
+  virtual void write(const TraceRecord& record) = 0;
+
+ private:
+  unsigned mask_;
+};
+
+/// Renders records as one JSON object per line onto a stream, with fixed
+/// field order and "%.9g" time formatting (byte-stable across runs).
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out, unsigned mask = kAllTraceKinds)
+      : TraceSink(mask), out_(out) {}
+
+  void write(const TraceRecord& record) override;
+
+  /// The JSONL line for one record (no trailing newline) -- exposed for
+  /// tests and for sinks that buffer.
+  [[nodiscard]] static std::string format(const TraceRecord& record);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Collects records in memory (tests, and the sweep harness's
+/// per-replication buffers that are later flushed in slot order).
+class VectorTraceSink final : public TraceSink {
+ public:
+  explicit VectorTraceSink(unsigned mask = kAllTraceKinds) : TraceSink(mask) {}
+
+  void write(const TraceRecord& record) override { records.push_back(record); }
+
+  std::vector<TraceRecord> records;
+};
+
+}  // namespace altroute::obs

@@ -59,6 +59,13 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
   // a trace with the exact bifurcated-primary picks of the static engine.
   sim::Rng engine_rng(options.policy_seed, 0xA17E72A7E);
 
+  obs::Probe* const probe = options.probe;
+  ALTROUTE_OBS_HOOK(probe, bind(static_cast<std::size_t>(g.link_count())));
+  const auto occ_of = [&state](std::size_t k) {
+    return static_cast<long long>(
+        state.link(net::LinkId(static_cast<std::int32_t>(k))).occupancy());
+  };
+
   ScenarioRunResult out;
   loss::RunResult& result = out.run;
   const int n = g.node_count();
@@ -98,12 +105,30 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
     routes = routing::build_min_hop_routes(g, options.max_alt_hops, options.max_paths_per_pair);
   };
 
-  const auto resolve_protection = [&] {
+  const auto resolve_protection = [&](double t) {
     state.set_reservations(
         core::protection_levels(g, routes, traffic.scaled(traffic_factor), options.max_alt_hops));
+    ALTROUTE_OBS_HOOK(probe, on_protection_resolved(t, g.link_count()));
+  };
+
+  // The measured-window gate for kill/preempt accounting (matches dropped).
+  const auto measured_event = [&](const ScenarioEvent& event) {
+    return event.time >= options.warmup;
+  };
+  // First link of `path` belonging to the affected set (the failed/shrunk
+  // directed link a kill is attributed to in metrics and trace records).
+  const auto attributed_link = [](const routing::Path& path,
+                                  const std::vector<net::LinkId>& links) {
+    for (const net::LinkId id : path.links) {
+      if (std::find(links.begin(), links.end(), id) != links.end()) {
+        return static_cast<int>(id.index());
+      }
+    }
+    return -1;
   };
 
   const auto apply_event = [&](const ScenarioEvent& event) {
+    ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(event.time, occ_of));
     AppliedEvent applied;
     applied.time = event.time;
     applied.kind = event.kind;
@@ -117,6 +142,10 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         // oldest-first (iteration order of the id-keyed map).
         for (auto it = in_flight.begin(); it != in_flight.end();) {
           if (path_uses_any(it->second.path, affected)) {
+            if (probe != nullptr && measured_event(event)) {
+              probe->on_killed(event.time, it->second.path,
+                               attributed_link(it->second.path, affected), it->second.units);
+            }
             state.release(it->second.path, it->second.units);
             it = in_flight.erase(it);
             ++applied.calls_killed;
@@ -157,6 +186,10 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
             if (victim == in_flight.rend()) {
               throw std::logic_error("run_scenario: occupied link with no in-flight call");
             }
+            if (probe != nullptr && measured_event(event)) {
+              probe->on_preempted(event.time, victim->second.path,
+                                  static_cast<int>(id.index()), victim->second.units);
+            }
             state.release(victim->second.path, victim->second.units);
             in_flight.erase(std::next(victim).base());
             ++applied.calls_killed;
@@ -168,15 +201,17 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         traffic_factor = event.factor;
         break;
       case EventKind::kResolveProtection:
-        resolve_protection();
+        resolve_protection(event.time);
         break;
     }
     if (options.auto_resolve_protection &&
         (event.kind == EventKind::kLinkFail || event.kind == EventKind::kLinkRepair ||
          event.kind == EventKind::kCapacitySet || event.kind == EventKind::kCapacityScale)) {
-      resolve_protection();
+      resolve_protection(event.time);
     }
     if (event.time >= options.warmup) out.dropped += applied.calls_killed;
+    ALTROUTE_OBS_HOOK(probe, on_event_applied(event.time, event_kind_name(event.kind),
+                                              applied.links_changed, applied.calls_killed));
     out.applied.push_back(applied);
   };
 
@@ -193,8 +228,10 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
       if (dep_due &&
           (!event_due || departures.next_time() <= scenario.events[next_event].time)) {
         const auto [time, id] = departures.pop();
-        (void)time;
-        if (in_flight.count(id) != 0) release_call(id);  // killed calls: no-op
+        if (in_flight.count(id) != 0) {  // killed calls: no-op
+          ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(time, occ_of));
+          release_call(id);
+        }
       } else if (event_due) {
         apply_event(scenario.events[next_event]);
         ++next_event;
@@ -224,9 +261,24 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
       ++pair.offered;
       ++cls.offered;
       if (options.time_bins > 0) ++result.bin_offered[bin_of(call.arrival)];
+      ALTROUTE_OBS_HOOK(probe, on_offered(call.arrival, static_cast<int>(call.src.index()),
+                                          static_cast<int>(call.dst.index()), call.bandwidth));
     }
 
     if (decision.accepted()) {
+      ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(call.arrival, occ_of));
+      const bool alternate = decision.call_class == loss::CallClass::kAlternate;
+      // Pre-booking reserved-band check, as in loss::run_trace: alternate
+      // admissions landing above C - r on any path link (0 when protected).
+      int protected_band_links = 0;
+      if (probe != nullptr && measured && alternate) {
+        for (const net::LinkId id : decision.path->links) {
+          const loss::LinkState& ls = state.link(id);
+          if (ls.occupancy() + call.bandwidth > ls.capacity() - ls.reservation()) {
+            ++protected_band_links;
+          }
+        }
+      }
       state.book(*decision.path, call.bandwidth);
       in_flight.emplace(next_call_id, InFlight{*decision.path, call.bandwidth});
       departures.schedule(call.arrival + call.holding, next_call_id);
@@ -242,17 +294,49 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         const auto hops = static_cast<std::size_t>(decision.path->hops());
         if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
         ++result.carried_by_hops[hops];
+        ALTROUTE_OBS_HOOK(probe, on_admitted(call.arrival, static_cast<int>(call.src.index()),
+                                             static_cast<int>(call.dst.index()), *decision.path,
+                                             alternate, call.bandwidth, protected_band_links));
       }
     } else if (measured) {
       ++result.blocked;
       ++pair.blocked;
       ++cls.blocked;
       if (options.time_bins > 0) ++result.bin_blocked[bin_of(call.arrival)];
+      if (probe != nullptr) {
+        // First-blocking-link attribution for the trace record only (the
+        // scenario runner does not collect primary_losses_at_link).
+        int blocking_link = -1;
+        if (routes_for_pair.reachable()) {
+          const std::size_t p = loss::pick_primary(routes_for_pair, ctx.primary_pick);
+          const routing::Path& primary = routes_for_pair.primaries[p];
+          const int idx =
+              state.first_blocking_link(primary, loss::CallClass::kPrimary, call.bandwidth);
+          if (idx >= 0) {
+            blocking_link = static_cast<int>(primary.links[static_cast<std::size_t>(idx)].index());
+          }
+        }
+        probe->on_blocked(call.arrival, static_cast<int>(call.src.index()),
+                          static_cast<int>(call.dst.index()), blocking_link, call.bandwidth);
+        // Reserved-state diagnosis (see loss::run_trace).
+        if (decision.alternates_probed > 0) {
+          for (const routing::Path& alt : routes_for_pair.alternates) {
+            const int j =
+                state.first_blocking_link(alt, loss::CallClass::kAlternate, call.bandwidth);
+            if (j < 0) continue;
+            const net::LinkId id = alt.links[static_cast<std::size_t>(j)];
+            if (state.link(id).admits(loss::CallClass::kPrimary, call.bandwidth)) {
+              probe->on_reserved_rejection(static_cast<int>(id.index()));
+            }
+          }
+        }
+      }
     }
   }
   // Apply the tail: departures and events between the last arrival and the
   // horizon (late events still kill calls and belong in the log).
   advance_to(trace.horizon);
+  ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
 
   for (const auto& [bandwidth, counters] : per_class) {
     result.per_class.push_back(counters);

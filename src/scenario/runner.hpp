@@ -40,6 +40,7 @@
 #include "loss/engine.hpp"
 #include "loss/policy.hpp"
 #include "netgraph/graph.hpp"
+#include "obs/probe.hpp"
 #include "netgraph/traffic_matrix.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/call_trace.hpp"
@@ -67,6 +68,11 @@ struct ScenarioEngineOptions {
   /// re-solved locally on detecting the change (equivalent to an explicit
   /// resolve_protection after each such event).
   bool auto_resolve_protection{false};
+  /// Observability hooks (metrics / structured tracing), nullptr = off.
+  /// Call-level hooks and kill/preempt accounting fire post-warm-up only
+  /// (matching the counters); event_applied and protection_resolved records
+  /// cover the whole run.  See obs/probe.hpp.
+  obs::Probe* probe{nullptr};
 };
 
 /// What one applied event did to the running system.

@@ -69,12 +69,19 @@ CliOptions parse_cli(int argc, char** argv) {
       options.csv = need_value(i, arg);
     } else if (arg == "--scenario") {
       options.scenario = need_value(i, arg);
+    } else if (arg == "--metrics") {
+      options.metrics = need_value(i, arg);
+    } else if (arg == "--trace") {
+      options.trace = need_value(i, arg);
+    } else if (arg == "--trace-filter") {
+      options.trace_filter = need_value(i, arg);
     } else if (arg == "--fast") {
       options.fast = true;
     } else {
       throw std::invalid_argument("unknown flag '" + arg +
                                   "' (known: --seeds --measure --warmup --loads --hops "
-                                  "--threads --csv --scenario --fast)");
+                                  "--threads --csv --scenario --metrics --trace "
+                                  "--trace-filter --fast)");
     }
   }
   return options;

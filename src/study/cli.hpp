@@ -10,6 +10,10 @@
 //   --csv PATH       also write the main table as CSV
 //   --scenario PATH  JSON scenario file (benches with a scenario section
 //                    replay it instead of their built-in one)
+//   --metrics PATH   write merged per-policy metrics as JSON
+//   --trace PATH     write the structured event trace as JSON lines
+//   --trace-filter K comma-separated record kinds for --trace
+//                    (call_admitted,call_blocked,... ; default all)
 //   --fast           shrink seeds/horizon for a quick smoke run
 #pragma once
 
@@ -28,6 +32,10 @@ struct CliOptions {
   std::optional<int> threads;
   std::optional<std::string> csv;
   std::optional<std::string> scenario;
+  std::optional<std::string> metrics;
+  std::optional<std::string> trace;
+  /// Kind list for --trace (see obs::parse_trace_filter); unset = all.
+  std::optional<std::string> trace_filter;
   bool fast{false};
 };
 

@@ -12,6 +12,7 @@
 #include "erlang/erlang_bound.hpp"
 #include "loss/dynamic_policies.hpp"
 #include "loss/policies.hpp"
+#include "obs/probe.hpp"
 #include "sim/call_trace.hpp"
 #include "sim/parallel_for.hpp"
 #include "sim/thread_pool.hpp"
@@ -61,6 +62,31 @@ struct ReplicationOutcome {
   double alternate_fraction{0.0};
   std::vector<long long> pair_offered;  ///< fairness only
   std::vector<long long> pair_blocked;  ///< fairness only
+  obs::MetricRegistry metrics;                  ///< obs.metrics only
+  std::vector<obs::TraceRecord> trace_records;  ///< obs.trace only
+};
+
+// Per-replication (registry, collector, probe) triple for one instrumented
+// run.  Lives on the worker's stack; results move into the slot and the
+// serial epilogue merges/forwards them in slot order.
+struct ReplicationObs {
+  obs::MetricRegistry registry;
+  obs::VectorTraceSink collector;
+  obs::Probe probe;
+
+  ReplicationObs(const SweepObsOptions& opts, double warmup, double measure)
+      : collector(opts.trace != nullptr ? opts.trace->mask() : 0u),
+        probe(opts.metrics ? &registry : nullptr, opts.trace != nullptr ? &collector : nullptr) {
+    if (opts.metrics && opts.occupancy_samples > 0) {
+      probe.grid(warmup, measure / opts.occupancy_samples, opts.occupancy_samples);
+    }
+  }
+
+  template <class Slot>
+  void deposit(Slot& slot) {
+    slot.metrics = std::move(registry);
+    slot.trace_records = std::move(collector.records);
+  }
 };
 
 // Fresh policy instance for one replication.  Mirrors the per-seed
@@ -162,11 +188,14 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
       engine.policy_seed = seed;
       engine.link_stats = false;
       engine.reservations = load.reservations;
+      ReplicationObs run_obs(options.obs, options.warmup, options.measure);
+      if (options.obs.enabled()) engine.probe = &run_obs.probe;
       const loss::RunResult run =
           loss::run_trace(graph, controller.routes(), *policy, trace, engine);
       ReplicationOutcome& slot = slots[task * policy_count + pi];
       slot.blocking = run.blocking();
       slot.alternate_fraction = run.alternate_fraction();
+      if (options.obs.enabled()) run_obs.deposit(slot);
       if (options.fairness) {
         slot.pair_offered.resize(pair_count);
         slot.pair_blocked.resize(pair_count);
@@ -222,6 +251,28 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
           }
         }
         result.curves[pi].pair_blocking.push_back(sim::summarize(per_pair));
+      }
+    }
+  }
+
+  // Observability epilogue, also serial and in slot order: merged metrics
+  // and the forwarded trace stream are bit-identical at any thread count.
+  if (options.obs.metrics) {
+    result.metrics.resize(policy_count);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      for (std::size_t task = 0; task < task_count; ++task) {
+        result.metrics[pi].merge(slots[task * policy_count + pi].metrics);
+      }
+    }
+  }
+  if (options.obs.trace != nullptr) {
+    for (std::size_t task = 0; task < task_count; ++task) {
+      for (std::size_t pi = 0; pi < policy_count; ++pi) {
+        for (obs::TraceRecord record : slots[task * policy_count + pi].trace_records) {
+          record.replication = static_cast<int>(task);
+          record.policy = static_cast<int>(pi);
+          options.obs.trace->write(record);
+        }
       }
     }
   }
@@ -282,6 +333,8 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
     std::vector<long long> bin_offered;
     std::vector<long long> bin_blocked;
     std::vector<scenario::AppliedEvent> applied;
+    obs::MetricRegistry metrics;
+    std::vector<obs::TraceRecord> trace_records;
   };
   const std::size_t policy_count = policies.size();
   const std::size_t seed_count = static_cast<std::size_t>(options.seeds);
@@ -303,6 +356,8 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       engine.max_alt_hops = options.max_alt_hops;
       engine.reservations = load.reservations;
       engine.auto_resolve_protection = options.auto_resolve_protection;
+      ReplicationObs run_obs(options.obs, options.warmup, options.measure);
+      if (options.obs.enabled()) engine.probe = &run_obs.probe;
       const scenario::ScenarioRunResult r =
           scenario::run_scenario(graph, load.traffic, *policy, trace, scen, engine);
       ScenarioSlot& slot = slots[s * policy_count + pi];
@@ -311,6 +366,7 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       slot.bin_offered = r.run.bin_offered;
       slot.bin_blocked = r.run.bin_blocked;
       if (s == 0 && pi == 0) slot.applied = r.applied;
+      if (options.obs.enabled()) run_obs.deposit(slot);
     }
   };
   if (threads > 1) {
@@ -354,6 +410,27 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
           offered > 0 ? static_cast<double>(blocked) / static_cast<double>(offered) : 0.0);
     }
     result.curves.push_back(std::move(curve));
+  }
+
+  // Observability epilogue (serial, slot order) -- see run_with_controller.
+  if (options.obs.metrics) {
+    result.metrics.resize(policy_count);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      for (std::size_t s = 0; s < seed_count; ++s) {
+        result.metrics[pi].merge(slots[s * policy_count + pi].metrics);
+      }
+    }
+  }
+  if (options.obs.trace != nullptr) {
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      for (std::size_t pi = 0; pi < policy_count; ++pi) {
+        for (obs::TraceRecord record : slots[s * policy_count + pi].trace_records) {
+          record.replication = static_cast<int>(s);
+          record.policy = static_cast<int>(pi);
+          options.obs.trace->write(record);
+        }
+      }
+    }
   }
   return result;
 }

@@ -19,6 +19,8 @@
 
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/route_table.hpp"
 #include "scenario/runner.hpp"
 #include "sim/stats.hpp"
@@ -45,6 +47,29 @@ enum class PolicyKind {
 /// Human-readable policy name (matches RoutingPolicy::name()).
 [[nodiscard]] std::string policy_name(PolicyKind kind);
 
+/// Observability of a sweep.  Each replication instruments its runs with a
+/// private (registry, sink) pair; the serial epilogue merges registries per
+/// policy and forwards buffered trace records to `trace` in slot order --
+/// so merged metrics and the trace stream are bit-identical at any
+/// SweepOptions::threads value.
+struct SweepObsOptions {
+  /// Collect a merged MetricRegistry per policy (SweepResult::metrics /
+  /// ScenarioSweepResult::metrics).
+  bool metrics{false};
+  /// When > 0 (and metrics is on), sample per-link occupancy on an
+  /// event-time grid of this many points across the measurement window.
+  /// Merged registries hold the SUM over replications at each grid point.
+  int occupancy_samples{0};
+  /// Trace destination, or nullptr for no tracing.  Records arrive in slot
+  /// order, stamped with the replication index (the (load point, seed) task
+  /// index for load sweeps, the seed index for scenario sweeps) and the
+  /// policy's position in the request.  The sink's kind mask filters at the
+  /// source.  Not owned; must outlive the sweep call.
+  obs::TraceSink* trace{nullptr};
+
+  [[nodiscard]] bool enabled() const { return metrics || trace != nullptr; }
+};
+
 struct SweepOptions {
   /// Multipliers applied to the nominal traffic matrix, one per load point.
   std::vector<double> load_factors{1.0};
@@ -69,6 +94,8 @@ struct SweepOptions {
   bool erlang_bound{true};
   /// Collect per-O-D fairness summaries (costs one extra pass per run).
   bool fairness{false};
+  /// Metrics / tracing for the sweep (off by default: zero overhead).
+  SweepObsOptions obs;
 };
 
 /// One policy's curve across the sweep's load points.
@@ -87,6 +114,9 @@ struct SweepResult {
   std::vector<double> offered_erlangs;  ///< total offered load per point
   std::vector<PolicyCurve> curves;      ///< one per requested policy, same order
   std::vector<double> erlang_bound;     ///< empty unless options.erlang_bound
+  /// One merged registry per policy (same order as curves), folded over
+  /// (load point, seed) in slot order; empty unless options.obs.metrics.
+  std::vector<obs::MetricRegistry> metrics;
 };
 
 /// Runs the sweep on `graph` with nominal matrix `nominal`, using the
@@ -134,6 +164,8 @@ struct ScenarioSweepOptions {
   double load_factor{1.0};
   /// Forwarded to ScenarioEngineOptions::auto_resolve_protection.
   bool auto_resolve_protection{false};
+  /// Metrics / tracing for the sweep (off by default: zero overhead).
+  SweepObsOptions obs;
 };
 
 /// One policy's transient series across the scenario.
@@ -154,6 +186,9 @@ struct ScenarioSweepResult {
   /// Event application log of one replication (identical across seeds and
   /// policies up to kill counts; taken from the first policy, first seed).
   std::vector<scenario::AppliedEvent> applied;
+  /// One merged registry per policy (same order as curves), folded over
+  /// seeds in slot order; empty unless options.obs.metrics.
+  std::vector<obs::MetricRegistry> metrics;
 };
 
 /// Replays `scen` on `graph` for every policy and seed.  Protection levels

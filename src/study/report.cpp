@@ -141,6 +141,72 @@ TextTable scenario_table(const ScenarioSweepResult& result) {
   return table;
 }
 
+TextTable metrics_table(const std::vector<obs::MetricRegistry>& metrics,
+                        const std::vector<std::string>& policy_names) {
+  if (metrics.empty()) throw std::invalid_argument("metrics_table: no registries");
+  if (metrics.size() != policy_names.size()) {
+    throw std::invalid_argument("metrics_table: registry/name count mismatch");
+  }
+  std::vector<std::string> headers{"metric"};
+  for (const std::string& name : policy_names) headers.push_back(name);
+  TextTable table(std::move(headers));
+  const obs::MetricRegistry& schema = metrics.front();
+  for (const std::string_view name : schema.counter_names()) {
+    std::vector<std::string> row{std::string(name)};
+    for (const obs::MetricRegistry& reg : metrics) {
+      row.push_back(std::to_string(reg.counter_value(name)));
+    }
+    table.add_row(std::move(row));
+  }
+  for (const std::string_view name : schema.histogram_names()) {
+    std::vector<std::string> row{std::string(name) + " (mean)"};
+    for (const obs::MetricRegistry& reg : metrics) {
+      long long count = 0;
+      for (const long long c : reg.histogram_counts(name)) count += c;
+      row.push_back(count > 0 ? fmt(reg.histogram_sum(name) / static_cast<double>(count), 3)
+                              : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  for (const std::string_view name : schema.link_counter_names()) {
+    std::vector<std::string> row{std::string(name) + " (total)"};
+    for (const obs::MetricRegistry& reg : metrics) {
+      row.push_back(std::to_string(reg.link_counter_total(name)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable metrics_table(const SweepResult& result) {
+  std::vector<std::string> names;
+  for (const PolicyCurve& curve : result.curves) names.push_back(curve.name);
+  return metrics_table(result.metrics, names);
+}
+
+TextTable metrics_table(const ScenarioSweepResult& result) {
+  std::vector<std::string> names;
+  for (const ScenarioCurve& curve : result.curves) names.push_back(curve.name);
+  return metrics_table(result.metrics, names);
+}
+
+std::string metrics_json(const std::vector<obs::MetricRegistry>& metrics,
+                         const std::vector<std::string>& policy_names) {
+  if (metrics.size() != policy_names.size()) {
+    throw std::invalid_argument("metrics_json: registry/name count mismatch");
+  }
+  std::string out = "{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += policy_names[i];
+    out += "\":";
+    out += metrics[i].to_json();
+  }
+  out += "}\n";
+  return out;
+}
+
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("write_file: cannot open " + path);

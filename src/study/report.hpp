@@ -48,6 +48,24 @@ class TextTable {
 /// bin (empty when none did).
 [[nodiscard]] TextTable scenario_table(const ScenarioSweepResult& result);
 
+/// Builds the merged-metrics summary of an instrumented sweep: one row per
+/// instrument (counters by value, histograms by mean, link counters by
+/// total), one column per policy.  Registries must share a schema (they do
+/// by construction -- every replication binds the same probe).  Throws
+/// std::invalid_argument when `metrics` is empty or sizes disagree.
+[[nodiscard]] TextTable metrics_table(const std::vector<obs::MetricRegistry>& metrics,
+                                      const std::vector<std::string>& policy_names);
+
+/// Convenience overloads pulling the policy names from the result's curves.
+[[nodiscard]] TextTable metrics_table(const SweepResult& result);
+[[nodiscard]] TextTable metrics_table(const ScenarioSweepResult& result);
+
+/// Renders merged per-policy metrics as one deterministic JSON object
+/// {"policy-name": <registry JSON>, ...} in request order (the --metrics
+/// file format).
+[[nodiscard]] std::string metrics_json(const std::vector<obs::MetricRegistry>& metrics,
+                                       const std::vector<std::string>& policy_names);
+
 /// Writes `content` to `path`, creating/truncating; throws on failure.
 void write_file(const std::string& path, const std::string& content);
 

@@ -1,4 +1,6 @@
-// Future event list: ordering, FIFO tie-break, stress against std::sort.
+// Future event list: ordering, FIFO tie-break, stress against std::sort --
+// plus the simulation-level tie rule (departures <= t first, then scenario
+// events, then arrivals) asserted behaviorally on the scenario runner.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -8,9 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/call_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
+namespace loss = altroute::loss;
+namespace net = altroute::net;
+namespace scenario = altroute::scenario;
 namespace sim = altroute::sim;
 
 namespace {
@@ -96,6 +106,92 @@ TEST(EventQueue, MovesPayloadsNotCopies) {
   auto [t, payload] = q.pop();
   ASSERT_TRUE(payload);
   EXPECT_EQ(*payload, 42);
+}
+
+// Equal timestamps with MIXED payload kinds still pop in insertion order:
+// the queue has no notion of kind, so the simulation's departure/event/
+// arrival priority must come from insertion order alone.
+TEST(EventQueue, MixedKindsAtOneTimestampStayFifo) {
+  enum Kind { kDeparture, kEvent, kArrival };
+  sim::EventQueue<Kind> q;
+  q.schedule(7.0, kArrival);  // scheduled first, pops first
+  q.schedule(7.0, kDeparture);
+  q.schedule(7.0, kEvent);
+  q.schedule(7.0, kArrival);
+  EXPECT_EQ(q.pop().second, kArrival);
+  EXPECT_EQ(q.pop().second, kDeparture);
+  EXPECT_EQ(q.pop().second, kEvent);
+  EXPECT_EQ(q.pop().second, kArrival);
+}
+
+// ---------------------------------------------------------------------------
+// The scenario runner's documented tie rule, asserted behaviorally.
+
+// A call departing at EXACTLY the timestamp of a capacity shrink is drained
+// before the event applies: two calls hold the 2-circuit link, one departs
+// at t = 5, and the shrink to 1 circuit at t = 5 finds occupancy 1 -- no
+// preemption.  Move the shrink a half unit earlier and it finds occupancy 2
+// and must preempt the newest call.
+TEST(ScenarioTieBreak, DepartureAtEventTimeDrainsFirst) {
+  const net::Graph g = net::full_mesh(2, 2);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(2, 1.0);
+  sim::CallTrace trace;
+  trace.calls.push_back({1.0, 4.0, net::NodeId(0), net::NodeId(1), 1});   // departs at 5.0
+  trace.calls.push_back({2.0, 10.0, net::NodeId(0), net::NodeId(1), 1});  // departs at 12.0
+  trace.horizon = 15.0;
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 1;
+
+  for (const double event_time : {5.0, 4.5}) {
+    SCOPED_TRACE(event_time);
+    scenario::Scenario scen;
+    scen.name = "shrink";
+    scen.events.push_back(scenario::ScenarioEvent::capacity_set(event_time, 0, 1, 1));
+    loss::SinglePathPolicy policy;
+    const scenario::ScenarioRunResult result =
+        scenario::run_scenario(g, traffic, policy, trace, scen, options);
+    ASSERT_EQ(result.applied.size(), 1u);
+    EXPECT_EQ(result.run.offered, 2);
+    EXPECT_EQ(result.run.carried_primary, 2);
+    if (event_time == 5.0) {
+      // Departure first: the shrink sees one call in flight, within the
+      // new capacity.
+      EXPECT_EQ(result.applied[0].calls_killed, 0);
+      EXPECT_EQ(result.dropped, 0);
+    } else {
+      // Both calls still in flight: the NEWEST one is preempted.
+      EXPECT_EQ(result.applied[0].calls_killed, 1);
+      EXPECT_EQ(result.dropped, 1);
+    }
+  }
+}
+
+// An arrival at EXACTLY the timestamp of a failure is routed after the
+// event applies: the only facility is already down, so the call is blocked
+// (and the call in flight was killed by the failure).
+TEST(ScenarioTieBreak, ArrivalAtEventTimeSeesTheFailure) {
+  const net::Graph g = net::full_mesh(2, 2);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(2, 1.0);
+  sim::CallTrace trace;
+  trace.calls.push_back({1.0, 10.0, net::NodeId(0), net::NodeId(1), 1});  // killed at 3.0
+  trace.calls.push_back({3.0, 1.0, net::NodeId(0), net::NodeId(1), 1});   // arrives AT 3.0
+  trace.horizon = 6.0;
+  scenario::Scenario scen;
+  scen.name = "fail";
+  scen.events.push_back(scenario::ScenarioEvent::link_fail(3.0, 0, 1));
+  scenario::ScenarioEngineOptions options;
+  options.warmup = 0.0;
+  options.max_alt_hops = 1;
+  loss::SinglePathPolicy policy;
+  const scenario::ScenarioRunResult result =
+      scenario::run_scenario(g, traffic, policy, trace, scen, options);
+  EXPECT_EQ(result.run.offered, 2);
+  EXPECT_EQ(result.run.carried_primary, 1);  // the first call, later killed
+  EXPECT_EQ(result.run.blocked, 1);          // the t = 3.0 arrival
+  EXPECT_EQ(result.dropped, 1);
+  ASSERT_EQ(result.applied.size(), 1u);
+  EXPECT_EQ(result.applied[0].calls_killed, 1);
 }
 
 }  // namespace

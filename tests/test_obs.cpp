@@ -1,0 +1,566 @@
+// Observability layer: registry semantics, trace formatting, probe hooks,
+// engine integration, and the ISSUE's counted-event acceptance scenario.
+//
+// The expensive tests at the bottom replay the NSFNet failure-recovery
+// scenario with instrumentation on and assert EXACT counted events: every
+// kill happens at t = 40, the kill total equals the intact run's occupancy
+// on the failed facility at the failure instant (common random numbers),
+// and the controlled policy never admits an alternate into the protected
+// band.  Merged metrics and the trace stream must be bit-identical at any
+// thread count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "loss/engine.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/call_trace.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+#include "study/report.hpp"
+
+namespace core = altroute::core;
+namespace loss = altroute::loss;
+namespace net = altroute::net;
+namespace obs = altroute::obs;
+namespace routing = altroute::routing;
+namespace scenario = altroute::scenario;
+namespace sim = altroute::sim;
+namespace study = altroute::study;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricRegistry.
+
+TEST(MetricRegistry, CountersGaugesHistogramsRoundTrip) {
+  obs::MetricRegistry reg;
+  const obs::MetricId c = reg.counter("calls");
+  EXPECT_EQ(reg.counter("calls"), c);  // registration is idempotent
+  reg.add(c);
+  reg.add(c, 4);
+  EXPECT_EQ(reg.counter_value("calls"), 5);
+
+  const obs::MetricId g = reg.gauge("level");
+  reg.add_gauge(g, 1.5);
+  reg.add_gauge(g, -0.25);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("level"), 1.25);
+
+  const obs::MetricId h = reg.histogram("hops", {1.0, 2.0, 4.0});
+  reg.observe(h, 1.0);   // bucket 0 (<= 1)
+  reg.observe(h, 2.0);   // bucket 1
+  reg.observe(h, 3.0);   // bucket 2 (<= 4)
+  reg.observe(h, 99.0);  // overflow bucket
+  EXPECT_EQ(reg.histogram_counts("hops"), (std::vector<long long>{1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(reg.histogram_sum("hops"), 105.0);
+
+  EXPECT_THROW((void)reg.counter_value("nope"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram_counts("nope"), std::invalid_argument);
+}
+
+TEST(MetricRegistry, HistogramSchemaIsEnforced) {
+  obs::MetricRegistry reg;
+  const obs::MetricId h = reg.histogram("hops", {1.0, 2.0});
+  EXPECT_EQ(reg.histogram("hops", {1.0, 2.0}), h);  // same bounds: same id
+  EXPECT_THROW((void)reg.histogram("hops", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("bad", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricRegistry, LinkCountersAndOccupancyGrid) {
+  obs::MetricRegistry reg;
+  reg.set_occupancy_grid(10.0, 2.0, 3);
+  reg.set_link_count(2);
+  const obs::MetricId k = reg.link_counter("kills");
+  reg.add_link(k, 0);
+  reg.add_link(k, 1, 3);
+  EXPECT_EQ(reg.link_counter_values("kills"), (std::vector<long long>{1, 3}));
+  EXPECT_EQ(reg.link_counter_total("kills"), 4);
+
+  reg.record_occupancy(0, 0, 7);
+  reg.record_occupancy(2, 1, 5);
+  EXPECT_EQ(reg.occupancy_samples(), 3);
+  EXPECT_DOUBLE_EQ(reg.occupancy_grid_t0(), 10.0);
+  EXPECT_DOUBLE_EQ(reg.occupancy_grid_dt(), 2.0);
+  EXPECT_EQ(reg.occupancy_at(0, 0), 7);
+  EXPECT_EQ(reg.occupancy_at(0, 1), 0);
+  EXPECT_EQ(reg.occupancy_at(2, 1), 5);
+
+  EXPECT_THROW(reg.set_link_count(3), std::invalid_argument);       // size is fixed
+  EXPECT_THROW(reg.set_occupancy_grid(0, 1, 2), std::invalid_argument);  // grid is fixed
+}
+
+TEST(MetricRegistry, MergeAdoptsSumsAndChecksSchema) {
+  obs::MetricRegistry a;
+  a.set_link_count(2);
+  a.add(a.counter("calls"), 2);
+  a.observe(a.histogram("hops", {1.0, 2.0}), 2.0);
+  a.add_link(a.link_counter("kills"), 1, 5);
+
+  obs::MetricRegistry merged;
+  EXPECT_TRUE(merged.empty());
+  merged.merge(a);  // empty registry adopts the incoming schema + values
+  merged.merge(a);  // second merge sums element-wise
+  EXPECT_EQ(merged.counter_value("calls"), 4);
+  EXPECT_EQ(merged.histogram_counts("hops"), (std::vector<long long>{0, 2, 0}));
+  EXPECT_DOUBLE_EQ(merged.histogram_sum("hops"), 4.0);
+  EXPECT_EQ(merged.link_counter_values("kills"), (std::vector<long long>{0, 10}));
+
+  obs::MetricRegistry other;
+  other.add(other.counter("something_else"));
+  EXPECT_THROW(merged.merge(other), std::invalid_argument);
+}
+
+TEST(MetricRegistry, ToJsonIsDeterministicAndStructured) {
+  const auto build = [] {
+    obs::MetricRegistry reg;
+    reg.set_occupancy_grid(0.0, 1.0, 2);
+    reg.set_link_count(2);
+    reg.add(reg.counter("calls"), 3);
+    reg.add_gauge(reg.gauge("load"), 0.5);
+    reg.observe(reg.histogram("hops", {1.0, 2.0}), 2.0);
+    reg.add_link(reg.link_counter("kills"), 0, 1);
+    reg.record_occupancy(1, 1, 9);
+    return reg.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  EXPECT_EQ(json,
+            "{\"counters\":{\"calls\":3},\"gauges\":{\"load\":0.5},"
+            "\"histograms\":{\"hops\":{\"bounds\":[1,2],\"counts\":[0,1,0],\"sum\":2}},"
+            "\"link_counters\":{\"kills\":[1,0]},"
+            "\"occupancy_grid\":{\"t0\":0,\"dt\":1,\"samples\":[[0,0],[0,9]]}}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace filter and JSONL formatting.
+
+TEST(Trace, ParseTraceFilter) {
+  EXPECT_EQ(obs::parse_trace_filter(""), obs::kAllTraceKinds);
+  EXPECT_EQ(obs::parse_trace_filter("all"), obs::kAllTraceKinds);
+  EXPECT_EQ(obs::parse_trace_filter("call_killed"),
+            static_cast<unsigned>(obs::TraceKind::kCallKilled));
+  EXPECT_EQ(obs::parse_trace_filter("call_killed,event_applied"),
+            static_cast<unsigned>(obs::TraceKind::kCallKilled) |
+                static_cast<unsigned>(obs::TraceKind::kEventApplied));
+  try {
+    (void)obs::parse_trace_filter("call_killed,bogus_kind");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus_kind"), std::string::npos);
+  }
+  EXPECT_THROW((void)obs::parse_trace_filter(","), std::invalid_argument);
+}
+
+TEST(Trace, JsonlFormatPerKind) {
+  obs::TraceRecord r;
+  r.time = 40.0;
+  r.kind = obs::TraceKind::kCallAdmitted;
+  r.src = 2;
+  r.dst = 3;
+  r.hops = 2;
+  r.units = 1;
+  r.alternate = true;
+  EXPECT_EQ(obs::JsonlTraceSink::format(r),
+            "{\"t\":40,\"kind\":\"call_admitted\",\"src\":2,\"dst\":3,"
+            "\"hops\":2,\"units\":1,\"class\":\"alternate\"}");
+
+  r.kind = obs::TraceKind::kCallBlocked;
+  r.link = 7;
+  r.replication = 1;
+  r.policy = 2;
+  EXPECT_EQ(obs::JsonlTraceSink::format(r),
+            "{\"t\":40,\"kind\":\"call_blocked\",\"rep\":1,\"policy\":2,"
+            "\"src\":2,\"dst\":3,\"units\":1,\"link\":7}");
+
+  obs::TraceRecord k;
+  k.time = 40.123456789;
+  k.kind = obs::TraceKind::kCallKilled;
+  k.link = 5;
+  k.hops = 3;
+  k.units = 1;
+  EXPECT_EQ(obs::JsonlTraceSink::format(k),
+            "{\"t\":40.1234568,\"kind\":\"call_killed\",\"link\":5,\"hops\":3,\"units\":1}");
+
+  obs::TraceRecord e;
+  e.time = 70.0;
+  e.kind = obs::TraceKind::kEventApplied;
+  e.detail = "link_repair";
+  e.links_changed = 2;
+  e.count = 0;
+  EXPECT_EQ(obs::JsonlTraceSink::format(e),
+            "{\"t\":70,\"kind\":\"event_applied\",\"event\":\"link_repair\","
+            "\"links_changed\":2,\"killed\":0}");
+
+  obs::TraceRecord p;
+  p.time = 70.0;
+  p.kind = obs::TraceKind::kProtectionResolved;
+  p.links_changed = 28;
+  EXPECT_EQ(obs::JsonlTraceSink::format(p),
+            "{\"t\":70,\"kind\":\"protection_resolved\",\"links\":28}");
+}
+
+TEST(Trace, ProbeFiltersAtTheSource) {
+  const net::Graph g = net::full_mesh(2, 10);
+  const routing::Path path = routing::make_path(g, {net::NodeId(0), net::NodeId(1)});
+  obs::VectorTraceSink sink(static_cast<unsigned>(obs::TraceKind::kCallKilled));
+  obs::Probe probe(nullptr, &sink);
+  probe.bind(g.link_count());
+  probe.on_admitted(1.0, 0, 1, path, false, 1, 0);
+  probe.on_killed(2.0, path, 0, 1);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].kind, obs::TraceKind::kCallKilled);
+  EXPECT_DOUBLE_EQ(sink.records[0].time, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the occupancy grid contract on a hand-built trace.
+//
+// full_mesh(2, 10): one duplex facility.  Two calls 0 -> 1 at t = 1 (holds
+// 4) and t = 2 (holds 1); the 0 -> 1 link's occupancy trajectory is
+//   t: [0,1) = 0, [1,2) = 1, [2,3) = 2, [3,5) = 1, [5,..) = 0
+// and grid point g must hold the occupancy AFTER every item with time <= g.
+
+TEST(ObsEngine, OccupancyGridExactValues) {
+  const net::Graph g = net::full_mesh(2, 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 1);
+  sim::CallTrace trace;
+  trace.calls.push_back({1.0, 4.0, net::NodeId(0), net::NodeId(1), 1});
+  trace.calls.push_back({2.0, 1.0, net::NodeId(0), net::NodeId(1), 1});
+  trace.horizon = 8.0;
+
+  obs::MetricRegistry reg;
+  obs::Probe probe(&reg, nullptr);
+  probe.grid(0.0, 1.0, 8);
+  loss::EngineOptions options;
+  options.warmup = 0.0;
+  options.probe = &probe;
+  loss::SinglePathPolicy policy;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+  EXPECT_EQ(run.offered, 2);
+  EXPECT_EQ(run.carried_primary, 2);
+
+  const auto links = static_cast<std::size_t>(g.link_count());
+  std::size_t forward = links;  // the 0 -> 1 directed link
+  for (std::size_t k = 0; k < links; ++k) {
+    const net::Link& link = g.link(net::LinkId(static_cast<std::int32_t>(k)));
+    if (link.src == net::NodeId(0) && link.dst == net::NodeId(1)) forward = k;
+  }
+  ASSERT_LT(forward, links);
+  const std::vector<long long> expected{0, 1, 2, 1, 1, 0, 0, 0};
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(reg.occupancy_at(s, forward), expected[s]) << "grid point " << s;
+  }
+  for (std::size_t k = 0; k < links; ++k) {
+    if (k == forward) continue;
+    for (std::size_t s = 0; s < expected.size(); ++s) EXPECT_EQ(reg.occupancy_at(s, k), 0);
+  }
+}
+
+// Probe counters must agree exactly with the engine's own RunResult on a
+// real random trace, and the trace stream must carry one record per
+// admitted/blocked call.
+TEST(ObsEngine, CountersMatchRunResult) {
+  const net::Graph g = net::full_mesh(4, 10);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 3);
+  const sim::CallTrace trace =
+      sim::generate_trace(net::TrafficMatrix::uniform(4, 8.0), 110.0, 7);
+
+  obs::MetricRegistry reg;
+  obs::VectorTraceSink sink(obs::kAllTraceKinds);
+  obs::Probe probe(&reg, &sink);
+  loss::EngineOptions options;
+  options.probe = &probe;
+  loss::UncontrolledAlternatePolicy policy;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+
+  EXPECT_GT(run.blocked, 0);  // the load is high enough to exercise blocking
+  EXPECT_GT(run.carried_alternate, 0);
+  EXPECT_EQ(reg.counter_value("calls_offered"), run.offered);
+  EXPECT_EQ(reg.counter_value("calls_blocked"), run.blocked);
+  EXPECT_EQ(reg.counter_value("calls_admitted_primary"), run.carried_primary);
+  EXPECT_EQ(reg.counter_value("calls_admitted_alternate"), run.carried_alternate);
+  EXPECT_EQ(reg.counter_value("calls_killed_failure"), 0);
+  EXPECT_EQ(reg.counter_value("calls_preempted"), 0);
+
+  // carried_hops is the same census as RunResult::carried_by_hops.
+  long long census_calls = 0, census_hops = 0;
+  for (std::size_t h = 0; h < run.carried_by_hops.size(); ++h) {
+    census_calls += run.carried_by_hops[h];
+    census_hops += run.carried_by_hops[h] * static_cast<long long>(h);
+  }
+  long long histo_calls = 0;
+  for (const long long c : reg.histogram_counts("carried_hops")) histo_calls += c;
+  EXPECT_EQ(histo_calls, census_calls);
+  EXPECT_DOUBLE_EQ(reg.histogram_sum("carried_hops"), static_cast<double>(census_hops));
+
+  // One trace record per measured admission/block; alternate_admits counts
+  // each link of each alternate path.
+  long long admitted = 0, blocked = 0, alt_link_seizures = 0;
+  for (const obs::TraceRecord& r : sink.records) {
+    if (r.kind == obs::TraceKind::kCallAdmitted) {
+      ++admitted;
+      if (r.alternate) alt_link_seizures += r.hops;
+    } else if (r.kind == obs::TraceKind::kCallBlocked) {
+      ++blocked;
+    }
+  }
+  EXPECT_EQ(admitted, run.carried_primary + run.carried_alternate);
+  EXPECT_EQ(blocked, run.blocked);
+  EXPECT_EQ(reg.link_counter_total("alternate_admits"), alt_link_seizures);
+}
+
+// Reserved-state rejection attribution, pinned call by call.
+//
+// full_mesh(3, 2) with r = 1 everywhere, H = 2.  The 0 -> 1 pair's only
+// alternate is 0 -> 2 -> 1.  Calls (all long-held): 0 -> 2 at t = 0.5,
+// 2 -> 1 at t = 0.6, then two 0 -> 1 calls fill the direct link.  The
+// fifth call (0 -> 1, t = 0.9) finds its primary full and its alternate's
+// first link 0 -> 2 at occupancy 1: the link would admit a PRIMARY
+// (1 + 1 <= 2) but refuses the ALTERNATE class (1 + 1 > 2 - 1) -- a pure
+// state-protection rejection, attributed to exactly that link.
+TEST(ObsEngine, ReservedRejectionAttribution) {
+  const net::Graph g = net::full_mesh(3, 2);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 2);
+  sim::CallTrace trace;
+  trace.calls.push_back({0.5, 50.0, net::NodeId(0), net::NodeId(2), 1});
+  trace.calls.push_back({0.6, 50.0, net::NodeId(2), net::NodeId(1), 1});
+  trace.calls.push_back({0.7, 50.0, net::NodeId(0), net::NodeId(1), 1});
+  trace.calls.push_back({0.8, 50.0, net::NodeId(0), net::NodeId(1), 1});
+  trace.calls.push_back({0.9, 50.0, net::NodeId(0), net::NodeId(1), 1});
+  trace.horizon = 5.0;
+
+  obs::MetricRegistry reg;
+  obs::VectorTraceSink sink(obs::kAllTraceKinds);
+  obs::Probe probe(&reg, &sink);
+  loss::EngineOptions options;
+  options.warmup = 0.0;
+  options.probe = &probe;
+  options.reservations.assign(g.link_count(), 1);
+  core::ControlledAlternatePolicy policy;
+  const loss::RunResult run = loss::run_trace(g, routes, policy, trace, options);
+
+  EXPECT_EQ(run.offered, 5);
+  EXPECT_EQ(run.blocked, 1);
+  EXPECT_EQ(reg.counter_value("calls_blocked"), 1);
+  EXPECT_EQ(reg.link_counter_total("reserved_rejections"), 1);
+
+  const auto links = static_cast<std::size_t>(g.link_count());
+  std::size_t via = links;     // the 0 -> 2 directed link
+  std::size_t direct = links;  // the 0 -> 1 directed link
+  for (std::size_t k = 0; k < links; ++k) {
+    const net::Link& link = g.link(net::LinkId(static_cast<std::int32_t>(k)));
+    if (link.src == net::NodeId(0) && link.dst == net::NodeId(2)) via = k;
+    if (link.src == net::NodeId(0) && link.dst == net::NodeId(1)) direct = k;
+  }
+  ASSERT_LT(via, links);
+  EXPECT_EQ(reg.link_counter_values("reserved_rejections")[via], 1);
+
+  // The block record attributes the loss to the full direct link.
+  bool found_block = false;
+  for (const obs::TraceRecord& r : sink.records) {
+    if (r.kind != obs::TraceKind::kCallBlocked) continue;
+    found_block = true;
+    EXPECT_DOUBLE_EQ(r.time, 0.9);
+    EXPECT_EQ(r.link, static_cast<int>(direct));
+  }
+  EXPECT_TRUE(found_block);
+}
+
+// ---------------------------------------------------------------------------
+// The ISSUE acceptance scenario, instrumented: NSFNet, fail 2<->3 at
+// t = 40, repair at t = 70, exact counted events.
+
+scenario::Scenario nsfnet_failure_recovery() {
+  scenario::Scenario s;
+  s.name = "nsfnet-failure-recovery";
+  s.events.push_back(scenario::ScenarioEvent::link_fail(40.0, 2, 3));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(40.0));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(70.0, 2, 3));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(70.0));
+  return s;
+}
+
+study::ScenarioSweepOptions nsfnet_obs_options(int threads, obs::TraceSink* sink) {
+  study::ScenarioSweepOptions options;
+  options.seeds = 3;
+  options.measure = 100.0;
+  options.warmup = 10.0;
+  options.max_alt_hops = 11;
+  options.time_bins = 10;
+  options.threads = threads;
+  options.obs.metrics = true;
+  options.obs.occupancy_samples = 100;  // grid t = 10 + s * 1.0: t = 40 is s = 30
+  options.obs.trace = sink;
+  return options;
+}
+
+TEST(ObsScenario, NsfnetFailureRecoveryCountedEvents) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix nominal = study::nsfnet_nominal_traffic();
+  const std::vector<study::PolicyKind> policies = {
+      study::PolicyKind::kUncontrolledAlternate, study::PolicyKind::kControlledAlternate};
+
+  obs::VectorTraceSink sink(obs::kAllTraceKinds);
+  const study::ScenarioSweepResult failure = study::run_scenario_sweep(
+      g, nominal, nsfnet_failure_recovery(), policies, nsfnet_obs_options(1, &sink));
+  const study::ScenarioSweepResult intact = study::run_scenario_sweep(
+      g, nominal, {}, policies, nsfnet_obs_options(1, nullptr));
+  ASSERT_EQ(failure.metrics.size(), 2u);
+  ASSERT_EQ(intact.metrics.size(), 2u);
+
+  const std::vector<net::LinkId> facility = g.duplex_links(net::NodeId(2), net::NodeId(3));
+  ASSERT_EQ(facility.size(), 2u);
+
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    SCOPED_TRACE(failure.curves[pi].name);
+    const obs::MetricRegistry& reg = failure.metrics[pi];
+
+    // Kill accounting is consistent across every ledger: the sweep's
+    // dropped counter, the probe counter, the per-link kill family (all
+    // attributed to the failed facility), and the trace records.
+    const long long dropped = failure.curves[pi].dropped;
+    EXPECT_GT(dropped, 0);
+    EXPECT_EQ(reg.counter_value("calls_killed_failure"), dropped);
+    EXPECT_EQ(reg.link_counter_total("kills_on_failure"), dropped);
+    long long on_facility = 0;
+    for (const net::LinkId id : facility) {
+      on_facility += reg.link_counter_values("kills_on_failure")[id.index()];
+    }
+    EXPECT_EQ(on_facility, dropped);
+
+    long long killed_records = 0;
+    for (const obs::TraceRecord& r : sink.records) {
+      if (r.policy != static_cast<int>(pi)) continue;
+      if (r.kind != obs::TraceKind::kCallKilled) continue;
+      ++killed_records;
+      EXPECT_DOUBLE_EQ(r.time, 40.0);  // the one failure of the scenario
+    }
+    EXPECT_EQ(killed_records, dropped);
+
+    // The kill count equals the calls in flight on the facility at the
+    // failure instant.  The failure run's own grid point at t = 40 is
+    // post-kill by the sampling contract, so the INTACT run -- identical
+    // up to t = 40 under common random numbers -- supplies the pre-kill
+    // occupancy, and the failure run's point must read zero.
+    const std::size_t s40 = 30;  // t0 = 10, dt = 1
+    long long in_flight = 0, post_kill = 0;
+    for (const net::LinkId id : facility) {
+      in_flight += intact.metrics[pi].occupancy_at(s40, id.index());
+      post_kill += reg.occupancy_at(s40, id.index());
+    }
+    EXPECT_EQ(in_flight, dropped);
+    EXPECT_EQ(post_kill, 0);
+
+    // Event records: 4 applied events per replication, at 40 and 70.
+    EXPECT_EQ(reg.counter_value("events_applied"), 4 * 3);
+    EXPECT_EQ(reg.counter_value("protection_resolves"), 2 * 3);
+  }
+
+  // Common random numbers: every policy sees the same offered calls.
+  EXPECT_EQ(failure.metrics[0].counter_value("calls_offered"),
+            failure.metrics[1].counter_value("calls_offered"));
+
+  // The protected band: the controlled policy NEVER admits an alternate
+  // into a link's reserved band; the uncontrolled policy does constantly
+  // (that is the instability the paper's Eq. 15 rule removes).
+  EXPECT_GT(failure.metrics[0].counter_value("protected_band_alternate_admits"), 0);
+  EXPECT_EQ(failure.metrics[1].counter_value("protected_band_alternate_admits"), 0);
+  EXPECT_EQ(intact.metrics[1].counter_value("protected_band_alternate_admits"), 0);
+}
+
+// Merged metrics and the trace stream are bit-identical at any thread
+// count (the ISSUE's determinism acceptance criterion, tsan-labeled).
+TEST(ObsScenario, NsfnetObsBitIdenticalAcrossThreads) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix nominal = study::nsfnet_nominal_traffic();
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kControlledAlternate};
+
+  const auto run = [&](int threads) {
+    std::ostringstream jsonl;
+    obs::JsonlTraceSink sink(jsonl, obs::kAllTraceKinds);
+    const study::ScenarioSweepResult result = study::run_scenario_sweep(
+        g, nominal, nsfnet_failure_recovery(), policies, nsfnet_obs_options(threads, &sink));
+    std::vector<std::string> names;
+    for (const study::ScenarioCurve& curve : result.curves) names.push_back(curve.name);
+    return std::pair<std::string, std::string>(study::metrics_json(result.metrics, names),
+                                               jsonl.str());
+  };
+  const auto serial = run(1);
+  EXPECT_FALSE(serial.second.empty());
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(0));  // auto thread count
+}
+
+// ---------------------------------------------------------------------------
+// Load-sweep observability: merged registries per policy, stamped records,
+// thread-count invariance, and the report renderers.
+
+TEST(ObsSweep, LoadSweepMergedMetricsAndRenderers) {
+  const net::Graph g = net::full_mesh(4, 10);
+  const net::TrafficMatrix nominal = net::TrafficMatrix::uniform(4, 6.0);
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kSinglePath,
+                                                   study::PolicyKind::kControlledAlternate};
+  const auto run = [&](int threads) {
+    std::ostringstream jsonl;
+    obs::JsonlTraceSink sink(jsonl, obs::kAllTraceKinds);
+    study::SweepOptions options;
+    options.load_factors = {0.8, 1.0};
+    options.seeds = 2;
+    options.max_alt_hops = 3;
+    options.threads = threads;
+    options.erlang_bound = false;
+    options.obs.metrics = true;
+    options.obs.occupancy_samples = 10;
+    options.obs.trace = &sink;
+    study::SweepResult result = study::run_sweep(g, nominal, policies, options);
+    return std::pair<study::SweepResult, std::string>(std::move(result), jsonl.str());
+  };
+  const auto serial = run(1);
+  const auto threaded = run(2);
+  ASSERT_EQ(serial.first.metrics.size(), 2u);
+
+  std::vector<std::string> names;
+  for (const study::PolicyCurve& curve : serial.first.curves) names.push_back(curve.name);
+  EXPECT_EQ(study::metrics_json(serial.first.metrics, names),
+            study::metrics_json(threaded.first.metrics, names));
+  EXPECT_EQ(serial.second, threaded.second);
+
+  // Same traces for every policy; each (load point, seed) replication
+  // contributes, so offered = sum over 2 x 2 runs.
+  EXPECT_EQ(serial.first.metrics[0].counter_value("calls_offered"),
+            serial.first.metrics[1].counter_value("calls_offered"));
+  EXPECT_GT(serial.first.metrics[0].counter_value("calls_offered"), 0);
+
+  // Every record is stamped with its replication and policy slot.
+  std::istringstream lines(serial.second);
+  std::string line;
+  int records = 0;
+  while (std::getline(lines, line)) {
+    ++records;
+    EXPECT_NE(line.find("\"rep\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"policy\":"), std::string::npos) << line;
+  }
+  EXPECT_GT(records, 0);
+
+  // The renderers: one metrics row per instrument, one column per policy.
+  const std::string table = study::metrics_table(serial.first).str();
+  EXPECT_NE(table.find("calls_offered"), std::string::npos);
+  EXPECT_NE(table.find("carried_hops (mean)"), std::string::npos);
+  EXPECT_NE(table.find("reserved_rejections (total)"), std::string::npos);
+  for (const std::string& name : names) EXPECT_NE(table.find(name), std::string::npos);
+  EXPECT_THROW((void)study::metrics_table({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)study::metrics_json(serial.first.metrics, {"just-one"}),
+               std::invalid_argument);
+}
+
+}  // namespace

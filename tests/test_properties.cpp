@@ -8,6 +8,7 @@
 
 #include "core/controlled_policy.hpp"
 #include "core/controller.hpp"
+#include "erlang/birth_death.hpp"
 #include "erlang/erlang_b.hpp"
 #include "erlang/state_protection.hpp"
 #include "loss/engine.hpp"
@@ -15,6 +16,7 @@
 #include "netgraph/topologies.hpp"
 #include "routing/route_table.hpp"
 #include "sim/call_trace.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
 namespace net = altroute::net;
@@ -154,5 +156,60 @@ INSTANTIATE_TEST_SUITE_P(Grid, EqFifteenSweep,
                          ::testing::Combine(::testing::Values(0.2, 0.5, 0.74, 0.9, 1.05),
                                             ::testing::Values(10, 50, 100, 480),
                                             ::testing::Values(2, 6, 11, 120)));
+
+// ---------------------------------------------------------------------------
+// Analytic cross-checks on a randomized (lambda, C) grid: the closed-form
+// Erlang-B recursion and the birth-death stationary distribution are two
+// independent derivations of the same chain and must agree to numerical
+// precision, not simulation tolerance.
+
+TEST(AnalyticCrossCheck, ErlangBMatchesBirthDeathStationary) {
+  sim::Rng rng(20260806, 0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int capacity = 1 + static_cast<int>(rng.below(120));
+    const double utilization = 0.1 + 1.5 * rng.uniform01();
+    const double lambda = utilization * capacity;
+    const double closed_form = erlang::erlang_b(lambda, capacity);
+
+    // The same link as an explicit chain: birth lambda in every state,
+    // death s in state s; blocking = pi[C] (PASTA).
+    std::vector<double> birth(static_cast<std::size_t>(capacity), lambda);
+    std::vector<double> death(static_cast<std::size_t>(capacity));
+    for (int s = 1; s <= capacity; ++s) death[static_cast<std::size_t>(s - 1)] = s;
+    const std::vector<double> pi = erlang::stationary_distribution(birth, death);
+    EXPECT_NEAR(pi.back(), closed_form, 1e-10)
+        << "lambda=" << lambda << " C=" << capacity;
+    EXPECT_NEAR(erlang::generalized_erlang_b(birth), closed_form, 1e-10)
+        << "lambda=" << lambda << " C=" << capacity;
+  }
+}
+
+// Eq. 15's protection level is monotone in both arguments: more alternate
+// hops to protect against, or more primary load, can never call for LESS
+// reservation.
+TEST(AnalyticCrossCheck, ProtectionMonotoneInLoadAndHops) {
+  sim::Rng rng(4094, 0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int capacity = 2 + static_cast<int>(rng.below(200));
+    const double base = (0.05 + 1.2 * rng.uniform01()) * capacity;
+
+    // Ascending H at fixed (lambda, C).
+    int prev_r = 0;
+    for (const int hops : {2, 3, 5, 8, 13, 40, 120}) {
+      const int r = erlang::min_state_protection(base, capacity, hops);
+      EXPECT_GE(r, prev_r) << "lambda=" << base << " C=" << capacity << " H=" << hops;
+      prev_r = r;
+    }
+
+    // Ascending lambda at fixed (C, H).
+    prev_r = 0;
+    for (int step = 0; step < 12; ++step) {
+      const double lambda = base * (0.2 + 0.15 * step);
+      const int r = erlang::min_state_protection(lambda, capacity, 6);
+      EXPECT_GE(r, prev_r) << "lambda=" << lambda << " C=" << capacity;
+      prev_r = r;
+    }
+  }
+}
 
 }  // namespace

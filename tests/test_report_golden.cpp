@@ -1,0 +1,99 @@
+// Golden-file tests for the report renderers: sweep_table, scenario_table,
+// and metrics_table are rendered from a small fixed experiment and compared
+// byte-for-byte against checked-in snapshots under tests/data/golden.
+//
+// The fixtures are fully deterministic (fixed seeds, serial merge order),
+// so any diff is a REAL rendering or simulation change.  When a change is
+// intentional, regenerate every snapshot with ONE command from the build
+// directory and commit the diff:
+//
+//     REGEN_GOLDENS=1 ctest -R ReportGolden
+//
+// (or run the test binary directly with REGEN_GOLDENS=1 in the
+// environment), then review `git diff tests/data/golden`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "netgraph/topologies.hpp"
+#include "scenario/scenario.hpp"
+#include "study/experiment.hpp"
+#include "study/report.hpp"
+
+namespace net = altroute::net;
+namespace scenario = altroute::scenario;
+namespace study = altroute::study;
+
+namespace {
+
+void check_or_regen(const std::string& name, const std::string& rendered) {
+  const std::string path = std::string(GOLDEN_DIR) + "/" + name;
+  if (std::getenv("REGEN_GOLDENS") != nullptr) {
+    study::write_file(path, rendered);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " -- regenerate with REGEN_GOLDENS=1 ctest -R ReportGolden";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(rendered, want.str())
+      << "rendered output diverged from " << path
+      << "; if intentional: REGEN_GOLDENS=1 ctest -R ReportGolden";
+}
+
+// One small instrumented load sweep shared by the sweep/metrics snapshots.
+const study::SweepResult& sweep_fixture() {
+  static const study::SweepResult result = [] {
+    study::SweepOptions options;
+    options.load_factors = {0.9, 1.1};
+    options.seeds = 2;
+    options.measure = 40.0;
+    options.warmup = 5.0;
+    options.max_alt_hops = 3;
+    options.obs.metrics = true;
+    options.obs.occupancy_samples = 4;
+    return study::run_sweep(net::full_mesh(4, 20), net::TrafficMatrix::uniform(4, 12.0),
+                            {study::PolicyKind::kSinglePath,
+                             study::PolicyKind::kUncontrolledAlternate,
+                             study::PolicyKind::kControlledAlternate},
+                            options);
+  }();
+  return result;
+}
+
+TEST(ReportGolden, SweepTable) {
+  check_or_regen("sweep_table.txt", study::sweep_table(sweep_fixture()).str());
+}
+
+TEST(ReportGolden, SweepTableScientificCsv) {
+  check_or_regen("sweep_table_sci.csv", study::sweep_table(sweep_fixture(), true).csv());
+}
+
+TEST(ReportGolden, MetricsTable) {
+  check_or_regen("metrics_table.txt", study::metrics_table(sweep_fixture()).str());
+}
+
+TEST(ReportGolden, ScenarioTable) {
+  scenario::Scenario scen;
+  scen.name = "golden-outage";
+  scen.events.push_back(scenario::ScenarioEvent::link_fail(15.0, 0, 1));
+  scen.events.push_back(scenario::ScenarioEvent::resolve_protection(15.0));
+  scen.events.push_back(scenario::ScenarioEvent::link_repair(30.0, 0, 1));
+  scen.events.push_back(scenario::ScenarioEvent::resolve_protection(30.0));
+  study::ScenarioSweepOptions options;
+  options.seeds = 2;
+  options.measure = 40.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.time_bins = 8;
+  const study::ScenarioSweepResult result = study::run_scenario_sweep(
+      net::full_mesh(4, 20), net::TrafficMatrix::uniform(4, 12.0), scen,
+      {study::PolicyKind::kSinglePath, study::PolicyKind::kControlledAlternate}, options);
+  check_or_regen("scenario_table.txt", study::scenario_table(result).str());
+}
+
+}  // namespace

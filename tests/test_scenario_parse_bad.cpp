@@ -1,0 +1,67 @@
+// Malformed-scenario corpus: every file under tests/data/scenario_bad is a
+// way a hand-written scenario can go wrong -- truncated JSON, duplicate
+// keys, non-finite numbers, wrong argument types, out-of-order times.  Each
+// must be REJECTED (never silently coerced), and the error message must
+// point at the problem: the offending key, field, or rule.
+//
+// To add a case: drop a new .json file in the corpus directory and add a
+// (filename, expected-substring) row below.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/parse.hpp"
+
+namespace scenario = altroute::scenario;
+
+namespace {
+
+struct BadCase {
+  const char* file;      // relative to tests/data/scenario_bad
+  const char* expected;  // substring the rejection message must contain
+};
+
+class ScenarioBadCorpus : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioBadCorpus, IsRejectedWithAPointedMessage) {
+  const BadCase& c = GetParam();
+  const std::string path = std::string(SCENARIO_BAD_DIR) + "/" + c.file;
+  // The corpus file must exist -- a typo here must not pass as "rejected".
+  ASSERT_TRUE(std::ifstream(path).good()) << "missing corpus file " << path;
+  try {
+    (void)scenario::load_scenario_file(path);
+    FAIL() << c.file << " was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(c.expected), std::string::npos)
+        << c.file << " rejected, but the message was: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ScenarioBadCorpus,
+    ::testing::Values(
+        BadCase{"truncated.json", "unexpected end of input"},
+        BadCase{"duplicate_keys.json", "duplicate object key 'time'"},
+        BadCase{"nan_time.json", "invalid number"},  // NaN is not JSON
+        BadCase{"huge_number.json", "negative or non-finite time"},  // 1e400 -> inf
+        BadCase{"wrong_arg_type.json", "needs a numeric 'a' field"},
+        BadCase{"fractional_node.json", "field 'a' must be an integer"},
+        BadCase{"unknown_field.json", "has unknown field 'extra'"},
+        BadCase{"out_of_order.json", "out of order"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// A sanity anchor: the well-formed sibling of the corpus parses, so the
+// rejections above are about the defects, not the harness.
+TEST(ScenarioBadCorpus, WellFormedSiblingParses) {
+  const scenario::Scenario s = scenario::scenario_from_json(
+      R"({"events": [{"time": 5, "type": "link_fail", "a": 0, "b": 1},
+                     {"time": 10, "type": "link_repair", "a": 0, "b": 1}]})");
+  EXPECT_EQ(s.events.size(), 2u);
+}
+
+}  // namespace
