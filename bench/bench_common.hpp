@@ -1,21 +1,32 @@
-// Shared plumbing for the experiment binaries: guarded main, table output.
+// Shared plumbing for the experiment binaries: guarded main, table output,
+// optional trace capture for the --trace / --analyze post-pass.
 #pragma once
 
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "study/cli.hpp"
+#include "study/experiment.hpp"
 #include "study/report.hpp"
 
 namespace altroute::bench {
 
 /// Parses the CLI, runs `body`, and converts exceptions into a non-zero
-/// exit with a message on stderr.
+/// exit with a message on stderr.  `--trace-filter list` short-circuits to
+/// printing the valid kind names (the body never runs).
 inline int guarded_main(int argc, char** argv,
                         const std::function<void(const study::CliOptions&)>& body) {
   try {
-    body(study::parse_cli(argc, argv));
+    const study::CliOptions cli = study::parse_cli(argc, argv);
+    if (cli.trace_filter_list) {
+      std::cout << obs::trace_kind_list() << '\n';
+      return 0;
+    }
+    body(cli);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << (argc > 0 ? argv[0] : "bench") << ": " << e.what() << '\n';
@@ -33,5 +44,29 @@ inline void emit(const study::TextTable& table, const study::CliOptions& cli,
     std::cout << "(csv written to " << *cli.csv << ")\n\n";
   }
 }
+
+/// In-memory JSONL trace capture for a sweep binary.  When the CLI asks for
+/// --trace and/or --analyze/--analysis-out, `attach` hooks a buffering sink
+/// into the sweep's obs options; after the sweep, `flush` writes the file
+/// for --trace.  The buffer holds the exact bytes the offline analyzer
+/// parses, so a live --analyze report matches `altroute_analyze` run on the
+/// saved trace byte for byte.
+struct TraceCapture {
+  std::ostringstream buffer;
+  std::unique_ptr<obs::JsonlTraceSink> sink;
+
+  void attach(const study::CliOptions& cli, study::SweepObsOptions& obs) {
+    if (!cli.trace && !cli.wants_analysis()) return;
+    sink = std::make_unique<obs::JsonlTraceSink>(
+        buffer, obs::parse_trace_filter(cli.trace_filter.value_or("")));
+    obs.trace = sink.get();
+  }
+
+  void flush(const study::CliOptions& cli) const {
+    if (!cli.trace) return;
+    study::write_file(*cli.trace, buffer.str());
+    std::cout << "(trace written to " << *cli.trace << ")\n\n";
+  }
+};
 
 }  // namespace altroute::bench

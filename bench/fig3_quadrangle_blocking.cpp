@@ -8,6 +8,7 @@
 // link, per-pair load on the x-axis.
 #include "bench_common.hpp"
 #include "netgraph/topologies.hpp"
+#include "study/analysis.hpp"
 #include "study/experiment.hpp"
 
 namespace {
@@ -25,14 +26,26 @@ void run(const study::CliOptions& cli) {
   options.measure = shape.measure;
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(3);  // all loop-free paths on K4
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kSinglePath,
+                                                study::PolicyKind::kUncontrolledAlternate,
+                                                study::PolicyKind::kControlledAlternate};
+  bench::TraceCapture capture;
+  capture.attach(cli, options.obs);
   const study::SweepResult result = study::run_sweep(
-      net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0),
-      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
-       study::PolicyKind::kControlledAlternate},
-      options);
+      net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0), policies, options);
   bench::emit(study::sweep_table(result, /*scientific=*/false), cli,
               "Figure 3: blocking for a fully-connected quadrangle "
               "(load_factor = Erlangs per ordered pair, C = 100)");
+  capture.flush(cli);
+  if (cli.wants_analysis()) {
+    study::render_analysis(
+        capture.buffer.str(),
+        study::analysis_config_for(net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0),
+                                   options.max_alt_hops, policies, options.load_factors,
+                                   /*replications_per_point=*/options.seeds, options.warmup,
+                                   options.measure),
+        std::cout, cli.analysis_out);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // in the same section has its own bench (exp_ott_krishnan).
 #include "bench_common.hpp"
 #include "netgraph/topologies.hpp"
+#include "study/analysis.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 
@@ -28,18 +29,31 @@ void run(const study::CliOptions& cli) {
   options.measure = shape.measure;
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(11);
-  study::SweepResult result = study::run_sweep(
-      net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
-      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
-       study::PolicyKind::kControlledAlternate},
-      options);
-  // Relabel the factor column in the paper's Load units.
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kSinglePath,
+                                                study::PolicyKind::kUncontrolledAlternate,
+                                                study::PolicyKind::kControlledAlternate};
+  bench::TraceCapture capture;
+  capture.attach(cli, options.obs);
+  study::SweepResult result =
+      study::run_sweep(net::nsfnet_t3(), study::nsfnet_nominal_traffic(), policies, options);
+  // Relabel the factor column in the paper's Load units.  (The analysis
+  // config below uses the true multiplicative factors, not the labels.)
   for (std::size_t i = 0; i < result.load_factors.size(); ++i) {
     result.load_factors[i] = paper_loads[i];
   }
   bench::emit(study::sweep_table(result, /*scientific=*/false), cli,
               "Figure 6: Internet model (NSFNet T3), unlimited alternate path lengths "
               "(Load = 10 is the nominal matrix)");
+  capture.flush(cli);
+  if (cli.wants_analysis()) {
+    study::render_analysis(
+        capture.buffer.str(),
+        study::analysis_config_for(net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+                                   options.max_alt_hops, policies, options.load_factors,
+                                   /*replications_per_point=*/options.seeds, options.warmup,
+                                   options.measure),
+        std::cout, cli.analysis_out);
+  }
 }
 
 }  // namespace

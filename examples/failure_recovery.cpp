@@ -12,21 +12,25 @@
 //   $ ./failure_recovery --scenario my.json --seeds 10 --threads 0
 //   $ ./failure_recovery --metrics out.json --trace out.jsonl \
 //                        --trace-filter call_killed,event_applied
+//   $ ./failure_recovery --analyze --analysis-out report.json
 //
 // Expected output: blocking is flat until the failure, jumps while the
 // facility is down (alternate routing absorbs part of the loss), and
 // returns to the pre-failure level after the repair.  --metrics adds the
 // merged per-policy instrument table (and writes the registries as JSON);
 // --trace writes one JSON-lines record per admission/block/kill/event,
-// bit-identical at any --threads value.  See "Observability" in DESIGN.md.
-#include <fstream>
+// bit-identical at any --threads value; --analyze runs the trace-
+// analytics post-pass (Theorem-1 audit, attribution, CIs) over the same
+// stream.  See "Observability" and "Analysis" in DESIGN.md.
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "netgraph/topologies.hpp"
 #include "obs/trace.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/scenario.hpp"
+#include "study/analysis.hpp"
 #include "study/cli.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
@@ -41,6 +45,10 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "failure_recovery: " << e.what() << '\n';
     return 1;
+  }
+  if (cli.trace_filter_list) {
+    std::cout << obs::trace_kind_list() << '\n';
+    return 0;
   }
 
   // 1. The scenario: --scenario loads a JSON script; the default is the
@@ -70,17 +78,14 @@ int main(int argc, char** argv) {
   options.time_bins = 10;
 
   // Observability: a metrics registry per policy and/or a JSONL trace,
-  // merged in slot order (bit-identical at any --threads value).
-  std::ofstream trace_out;
+  // merged in slot order (bit-identical at any --threads value).  The
+  // trace is buffered in memory so --analyze can feed the same bytes
+  // through the same parser the offline tool uses (see study/analysis.hpp).
+  std::ostringstream trace_buffer;
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
-  if (cli.trace) {
-    trace_out.open(*cli.trace, std::ios::trunc);
-    if (!trace_out) {
-      std::cerr << "failure_recovery: cannot open " << *cli.trace << '\n';
-      return 1;
-    }
+  if (cli.trace || cli.wants_analysis()) {
     trace_sink = std::make_unique<obs::JsonlTraceSink>(
-        trace_out, obs::parse_trace_filter(cli.trace_filter.value_or("")));
+        trace_buffer, obs::parse_trace_filter(cli.trace_filter.value_or("")));
     options.obs.trace = trace_sink.get();
   }
   if (cli.metrics) {
@@ -109,6 +114,22 @@ int main(int argc, char** argv) {
     study::write_file(*cli.metrics, study::metrics_json(result.metrics, names));
     std::cout << "\nmetrics written to " << *cli.metrics << '\n';
   }
-  if (cli.trace) std::cout << "trace written to " << *cli.trace << '\n';
+  if (cli.trace) {
+    study::write_file(*cli.trace, trace_buffer.str());
+    std::cout << "trace written to " << *cli.trace << '\n';
+  }
+  if (cli.wants_analysis()) {
+    std::cout << '\n';
+    study::render_analysis(
+        trace_buffer.str(),
+        study::analysis_config_for(net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
+                                   options.max_alt_hops,
+                                   {study::PolicyKind::kSinglePath,
+                                    study::PolicyKind::kUncontrolledAlternate,
+                                    study::PolicyKind::kControlledAlternate},
+                                   {1.0}, /*replications_per_point=*/0, options.warmup,
+                                   options.measure, options.time_bins),
+        std::cout, cli.analysis_out);
+  }
   return 0;
 }

@@ -16,11 +16,13 @@
 //   --trace out.jsonl [--trace-filter kinds] add an instrumented
 //   comparison sweep at the requested load factor -- merged per-policy
 //   counters/histograms plus a structured event trace, both bit-identical
-//   at any thread count.  See "Observability" in DESIGN.md.
+//   at any thread count.  --analyze / --analysis-out report.json run the
+//   trace-analytics post-pass (Theorem-1 audit, per-OD attribution, CIs)
+//   over the same sweep.  See "Observability" and "Analysis" in DESIGN.md.
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/controlled_policy.hpp"
@@ -31,6 +33,7 @@
 #include "sim/parallel_for.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
+#include "study/analysis.hpp"
 #include "study/cli.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
@@ -91,6 +94,10 @@ int main(int argc, char** argv) {
     std::cerr << "nsfnet_study: " << e.what() << '\n';
     return 1;
   }
+  if (cli.trace_filter_list) {
+    std::cout << obs::trace_kind_list() << '\n';
+    return 0;
+  }
   const int sweep_threads = cli.threads.value_or(threads);
   if (threads == 0) threads = sim::ThreadPool::hardware_threads();
   std::unique_ptr<sim::ThreadPool> pool;
@@ -139,37 +146,32 @@ int main(int argc, char** argv) {
             << study::fmt(mean_blocking(degraded, traffic, 5, pool.get()), 4) << " (was "
             << study::fmt(mean_blocking(controller, traffic, 5, pool.get()), 4) << ")\n";
 
-  // 4. Optional instrumented sweep: --metrics / --trace compare the three
-  //    schemes at the requested load with full observability (merged in
-  //    slot order -- identical output at any thread count).
-  if (cli.metrics || cli.trace) {
+  // 4. Optional instrumented sweep: --metrics / --trace / --analyze compare
+  //    the three schemes at the requested load with full observability
+  //    (merged in slot order -- identical output at any thread count).
+  if (cli.metrics || cli.trace || cli.wants_analysis()) {
     study::SweepOptions sweep;
     sweep.load_factors = {factor};
     sweep.seeds = cli.seeds.value_or(5);
     sweep.threads = sweep_threads;
     sweep.max_alt_hops = 11;
     sweep.erlang_bound = false;
-    std::ofstream trace_out;
+    std::ostringstream trace_buffer;
     std::unique_ptr<obs::JsonlTraceSink> trace_sink;
-    if (cli.trace) {
-      trace_out.open(*cli.trace, std::ios::trunc);
-      if (!trace_out) {
-        std::cerr << "nsfnet_study: cannot open " << *cli.trace << '\n';
-        return 1;
-      }
+    if (cli.trace || cli.wants_analysis()) {
       trace_sink = std::make_unique<obs::JsonlTraceSink>(
-          trace_out, obs::parse_trace_filter(cli.trace_filter.value_or("")));
+          trace_buffer, obs::parse_trace_filter(cli.trace_filter.value_or("")));
       sweep.obs.trace = trace_sink.get();
     }
     if (cli.metrics) {
       sweep.obs.metrics = true;
       sweep.obs.occupancy_samples = 100;
     }
-    const study::SweepResult instrumented = study::run_sweep(
-        g, study::nsfnet_nominal_traffic(),
-        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
-         study::PolicyKind::kControlledAlternate},
-        sweep);
+    const std::vector<study::PolicyKind> policies{study::PolicyKind::kSinglePath,
+                                                  study::PolicyKind::kUncontrolledAlternate,
+                                                  study::PolicyKind::kControlledAlternate};
+    const study::SweepResult instrumented =
+        study::run_sweep(g, study::nsfnet_nominal_traffic(), policies, sweep);
     if (cli.metrics) {
       std::cout << "\nInstrumented comparison at " << factor << "x nominal ("
                 << sweep.seeds << " seeds):\n"
@@ -179,7 +181,20 @@ int main(int argc, char** argv) {
       study::write_file(*cli.metrics, study::metrics_json(instrumented.metrics, names));
       std::cout << "\nmetrics written to " << *cli.metrics << '\n';
     }
-    if (cli.trace) std::cout << "trace written to " << *cli.trace << '\n';
+    if (cli.trace) {
+      study::write_file(*cli.trace, trace_buffer.str());
+      std::cout << "trace written to " << *cli.trace << '\n';
+    }
+    if (cli.wants_analysis()) {
+      std::cout << '\n';
+      study::render_analysis(
+          trace_buffer.str(),
+          study::analysis_config_for(g, study::nsfnet_nominal_traffic(), sweep.max_alt_hops,
+                                     policies, sweep.load_factors,
+                                     /*replications_per_point=*/sweep.seeds, sweep.warmup,
+                                     sweep.measure, /*time_bins=*/20),
+          std::cout, cli.analysis_out);
+    }
   }
   return 0;
 }

@@ -62,12 +62,34 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
   };
 
   // Departures carry the booked path (pointers into the RouteTable are
-  // stable for the duration of the run) and the call's circuit width.
+  // stable for the duration of the run), the call's circuit width, and its
+  // class (needed to unwind the alternate-occupancy tally below).
   struct Departure {
     const routing::Path* path;
     int units;
+    bool alternate;
   };
   sim::EventQueue<Departure> departures;
+
+  // Per-link alternate-class circuits in flight, maintained only when a
+  // probe is attached: the blocked-call hook reports the count at the
+  // attributed link so the Theorem-1 audit can tell which primary losses
+  // coincide with alternate traffic.
+  std::vector<int> alt_occ;
+  if (probe != nullptr) alt_occ.assign(link_count, 0);
+  const auto adjust_alt_occ = [&](const routing::Path& path, int units, bool alternate,
+                                  int sign) {
+    if (probe == nullptr || !alternate) return;
+    for (const net::LinkId id : path.links) alt_occ[id.index()] += sign * units;
+  };
+  // Post-booking occupancy along a path, for the admitted trace record
+  // (the Theorem-1 audit's admission state s); built only under the hook.
+  const auto booked_occ = [&state](const routing::Path& path) {
+    std::vector<int> occ;
+    occ.reserve(path.links.size());
+    for (const net::LinkId id : path.links) occ.push_back(state.link(id).occupancy());
+    return occ;
+  };
 
   // Per-bandwidth counters keyed by width (tiny maps; widths are few).
   std::map<int, ClassCounters> per_class;
@@ -91,6 +113,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
       ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(t, occ_of));
       account(*done.path, t);
       state.release(*done.path, done.units);
+      adjust_alt_occ(*done.path, done.units, done.alternate, -1);
     }
 
     const routing::RouteSet& routes_for_pair = routes.at(call.src, call.dst);
@@ -131,7 +154,9 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
       }
       account(*decision.path, call.arrival);
       state.book(*decision.path, call.bandwidth);
-      departures.schedule(call.arrival + call.holding, Departure{decision.path, call.bandwidth});
+      adjust_alt_occ(*decision.path, call.bandwidth, alternate, +1);
+      departures.schedule(call.arrival + call.holding,
+                          Departure{decision.path, call.bandwidth, alternate});
       if (measured) {
         if (decision.call_class == CallClass::kPrimary) {
           ++result.carried_primary;
@@ -143,9 +168,11 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
         const auto hops = static_cast<std::size_t>(decision.path->hops());
         if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
         ++result.carried_by_hops[hops];
-        ALTROUTE_OBS_HOOK(probe, on_admitted(call.arrival, static_cast<int>(call.src.index()),
-                                             static_cast<int>(call.dst.index()), *decision.path,
-                                             alternate, call.bandwidth, protected_band_links));
+        ALTROUTE_OBS_HOOK(probe,
+                          on_admitted(call.arrival, static_cast<int>(call.src.index()),
+                                      static_cast<int>(call.dst.index()), *decision.path,
+                                      alternate, call.bandwidth, protected_band_links,
+                                      call.holding, booked_occ(*decision.path)));
       }
     } else {
       if (measured) {
@@ -166,9 +193,13 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
             blocking_link = static_cast<int>(k);
           }
         }
-        ALTROUTE_OBS_HOOK(probe, on_blocked(call.arrival, static_cast<int>(call.src.index()),
-                                            static_cast<int>(call.dst.index()), blocking_link,
-                                            call.bandwidth));
+        ALTROUTE_OBS_HOOK(probe,
+                          on_blocked(call.arrival, static_cast<int>(call.src.index()),
+                                     static_cast<int>(call.dst.index()), blocking_link,
+                                     call.bandwidth,
+                                     blocking_link >= 0
+                                         ? alt_occ[static_cast<std::size_t>(blocking_link)]
+                                         : 0));
         // Reserved-state diagnosis: when the policy probed alternates and
         // still blocked, find alternates shut out purely by state
         // protection -- the first refusing link would have admitted a
@@ -179,7 +210,9 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
             if (j < 0) continue;
             const net::LinkId id = alt.links[static_cast<std::size_t>(j)];
             if (state.link(id).admits(CallClass::kPrimary, call.bandwidth)) {
-              probe->on_reserved_rejection(static_cast<int>(id.index()));
+              probe->on_reserved_rejection(call.arrival, static_cast<int>(call.src.index()),
+                                           static_cast<int>(call.dst.index()),
+                                           static_cast<int>(id.index()));
             }
           }
         }
@@ -193,6 +226,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(t, occ_of));
     account(*done.path, t);
     state.release(*done.path, done.units);
+    adjust_alt_occ(*done.path, done.units, done.alternate, -1);
   }
   ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
   for (const auto& [bandwidth, counters] : per_class) {

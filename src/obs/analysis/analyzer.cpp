@@ -1,0 +1,346 @@
+#include "obs/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "erlang/erlang_b.hpp"
+#include "erlang/state_protection.hpp"
+#include "obs/analysis/trace_read.hpp"
+#include "sim/stats.hpp"
+
+namespace altroute::obs::analysis {
+
+namespace {
+
+/// Everything accumulated for one replication of one (policy, point).
+struct RepAccum {
+  long long admitted_primary{0};
+  long long admitted_alternate{0};
+  long long blocked{0};
+  long long reserved_rejections{0};
+  std::vector<long long> link_alt_admissions;
+  std::vector<long long> link_attributed_losses;
+  /// Sum over the replication's alternate admissions riding link k of the
+  /// Eq. 4-6 kernel charge B(Lambda,C)/B(Lambda,s) at the recorded
+  /// admission state s.
+  std::vector<double> link_kernel;
+  std::vector<double> bin_occupancy;
+};
+
+/// Kernel table for one (load point, link): entry s in [0, C] is the
+/// expected extra primary losses caused by occupying one more circuit when
+/// the link reaches occupancy s, B(Lambda, C) / B(Lambda, s) -- the
+/// Theorem-1 proof quantity (Eqs. 4-6).  Monotone decreasing in free
+/// circuits: s = C charges 1, s = C - r* charges exactly the Eq.-15 bound.
+std::vector<double> build_kernel(double lambda, int capacity) {
+  std::vector<double> kernel(static_cast<std::size_t>(capacity) + 1, 0.0);
+  if (!(lambda > 0.0) || capacity < 1) return kernel;
+  const double b_full = erlang::erlang_b(lambda, capacity);
+  for (int s = 1; s <= capacity; ++s) {
+    const double b_s = erlang::erlang_b(lambda, s);
+    kernel[static_cast<std::size_t>(s)] = b_s > 0.0 ? b_full / b_s : 0.0;
+  }
+  return kernel;
+}
+
+/// One (policy, load point) group; ordered maps keep everything in
+/// deterministic (replication / pair / cell) order.
+struct GroupAccum {
+  std::map<int, RepAccum> reps;
+  std::map<std::pair<int, int>, PairStats> pairs;
+  std::map<std::tuple<int, int, int>, PairLinkCell> cells;
+};
+
+void check_config(const AnalysisConfig& config) {
+  if (config.link_count == 0) {
+    throw std::invalid_argument("analyze: link_count must be > 0");
+  }
+  if (config.lambda.size() != config.link_count ||
+      config.capacity.size() != config.link_count) {
+    throw std::invalid_argument("analyze: lambda/capacity must have one entry per link");
+  }
+  if (config.load_factors.empty()) {
+    throw std::invalid_argument("analyze: load_factors must be non-empty");
+  }
+  if (config.max_alt_hops < 1) throw std::invalid_argument("analyze: max_alt_hops < 1");
+  if (config.replications_per_point < 0) {
+    throw std::invalid_argument("analyze: replications_per_point < 0");
+  }
+  if (!(config.measure > 0.0)) throw std::invalid_argument("analyze: measure must be > 0");
+}
+
+void check_link(int link, const AnalysisConfig& config) {
+  if (link < 0 || static_cast<std::size_t>(link) >= config.link_count) {
+    throw std::invalid_argument("analyze: trace names link " + std::to_string(link) +
+                                " outside the configured topology");
+  }
+}
+
+MetricStat make_stat(std::string name, const sim::RunningStats& stats) {
+  MetricStat out;
+  out.name = std::move(name);
+  out.replications = stats.count();
+  out.mean = stats.mean();
+  out.stderr_mean = stats.stderr_mean();
+  out.ci95 = stats.ci95_halfwidth();
+  return out;
+}
+
+}  // namespace
+
+AnalysisReport analyze_records(const std::vector<TraceRecord>& records,
+                               const AnalysisConfig& config) {
+  check_config(config);
+  const int bins = config.time_bins;
+  const double bin_width = bins > 0 ? config.measure / bins : 0.0;
+  const int rpp = config.replications_per_point;
+
+  std::map<std::pair<int, int>, GroupAccum> groups;  // (policy slot, load point)
+
+  // Per-(load point, link) kernel tables, built on first use.
+  std::map<std::pair<int, std::size_t>, std::vector<double>> kernels;
+  const auto kernel_charge = [&](int point, std::size_t k, int s) {
+    auto [it, fresh] = kernels.try_emplace({point, k});
+    if (fresh) {
+      it->second =
+          build_kernel(config.lambda[k] * config.load_factors[static_cast<std::size_t>(point)],
+                       config.capacity[k]);
+    }
+    const int clamped = std::clamp(s, 1, config.capacity[k]);
+    return it->second[static_cast<std::size_t>(clamped)];
+  };
+
+  for (const TraceRecord& r : records) {
+    const int policy = std::max(r.policy, 0);
+    const int rep = std::max(r.replication, 0);
+    const int point = rpp > 0 ? rep / rpp : 0;
+    if (static_cast<std::size_t>(point) >= config.load_factors.size()) {
+      throw std::invalid_argument("analyze: replication " + std::to_string(rep) +
+                                  " falls outside the configured load points");
+    }
+    GroupAccum& group = groups[{policy, point}];
+    RepAccum& acc = group.reps[rep];
+    if (acc.link_alt_admissions.empty()) {
+      acc.link_alt_admissions.assign(config.link_count, 0);
+      acc.link_attributed_losses.assign(config.link_count, 0);
+      acc.link_kernel.assign(config.link_count, 0.0);
+      if (bins > 0) acc.bin_occupancy.assign(static_cast<std::size_t>(bins), 0.0);
+    }
+
+    switch (r.kind) {
+      case TraceKind::kCallAdmitted: {
+        PairStats& pair = group.pairs[{r.src, r.dst}];
+        pair.src = r.src;
+        pair.dst = r.dst;
+        if (r.alternate) {
+          ++acc.admitted_alternate;
+          ++pair.carried_alternate;
+          for (std::size_t i = 0; i < r.links.size(); ++i) {
+            const int link = r.links[i];
+            check_link(link, config);
+            const auto k = static_cast<std::size_t>(link);
+            ++acc.link_alt_admissions[k];
+            // Admission state s: post-booking occupancy from the record; a
+            // trace without occ data is charged as if admitted at a full
+            // link (the conservative worst case).
+            const int s = i < r.occ.size() ? r.occ[i] : config.capacity[k];
+            acc.link_kernel[k] += kernel_charge(point, k, s);
+            PairLinkCell& cell = group.cells[{r.src, r.dst, link}];
+            cell.src = r.src;
+            cell.dst = r.dst;
+            cell.link = link;
+            ++cell.alternate_carried;
+          }
+        } else {
+          ++acc.admitted_primary;
+          ++pair.carried_primary;
+        }
+        // Booked occupancy: spread units over the bins the holding
+        // interval [t, t + hold) overlaps (clipped to the window).
+        if (bins > 0 && r.hold > 0.0) {
+          const double t0 = r.time;
+          const double t1 = r.time + r.hold;
+          int b = std::max(0, static_cast<int>((t0 - config.warmup) / bin_width));
+          for (; b < bins; ++b) {
+            const double edge = config.warmup + b * bin_width;
+            if (edge >= t1) break;
+            const double overlap = std::min(t1, edge + bin_width) - std::max(t0, edge);
+            if (overlap > 0.0) {
+              acc.bin_occupancy[static_cast<std::size_t>(b)] +=
+                  r.units * overlap / bin_width;
+            }
+          }
+        }
+        break;
+      }
+      case TraceKind::kCallBlocked: {
+        ++acc.blocked;
+        PairStats& pair = group.pairs[{r.src, r.dst}];
+        pair.src = r.src;
+        pair.dst = r.dst;
+        ++pair.blocked;
+        if (r.link >= 0) {
+          check_link(r.link, config);
+          PairLinkCell& cell = group.cells[{r.src, r.dst, r.link}];
+          cell.src = r.src;
+          cell.dst = r.dst;
+          cell.link = r.link;
+          ++cell.blocked_at;
+          if (r.alt_occupancy > 0) {
+            ++acc.link_attributed_losses[static_cast<std::size_t>(r.link)];
+          }
+        }
+        break;
+      }
+      case TraceKind::kReservedRejection: {
+        ++acc.reserved_rejections;
+        PairStats& pair = group.pairs[{r.src, r.dst}];
+        pair.src = r.src;
+        pair.dst = r.dst;
+        ++pair.reserved_rejections;
+        break;
+      }
+      case TraceKind::kCallPreempted:
+      case TraceKind::kCallKilled:
+      case TraceKind::kEventApplied:
+      case TraceKind::kProtectionResolved:
+        break;  // narrative records; no analysis contribution
+    }
+  }
+
+  AnalysisReport report;
+  report.records = static_cast<long long>(records.size());
+  report.max_alt_hops = config.max_alt_hops;
+  report.top_pairs = config.top_pairs;
+  report.top_cells = config.top_cells;
+
+  for (const auto& [key, group] : groups) {
+    AnalysisSection section;
+    section.policy_slot = key.first;
+    section.policy =
+        static_cast<std::size_t>(key.first) < config.policy_names.size()
+            ? config.policy_names[static_cast<std::size_t>(key.first)]
+            : "policy " + std::to_string(key.first);
+    section.load_factor = config.load_factors[static_cast<std::size_t>(key.second)];
+    section.replications = group.reps.size();
+
+    // (c) across-replication statistics.
+    sim::RunningStats offered, carried_primary, carried_alternate, blocked, reserved,
+        blocking, alternate_fraction;
+    for (const auto& [rep, acc] : group.reps) {
+      const long long off = acc.admitted_primary + acc.admitted_alternate + acc.blocked;
+      const long long carried = acc.admitted_primary + acc.admitted_alternate;
+      offered.add(static_cast<double>(off));
+      carried_primary.add(static_cast<double>(acc.admitted_primary));
+      carried_alternate.add(static_cast<double>(acc.admitted_alternate));
+      blocked.add(static_cast<double>(acc.blocked));
+      reserved.add(static_cast<double>(acc.reserved_rejections));
+      if (off > 0) blocking.add(static_cast<double>(acc.blocked) / off);
+      if (carried > 0) {
+        alternate_fraction.add(static_cast<double>(acc.admitted_alternate) / carried);
+      }
+    }
+    section.metrics.push_back(make_stat("blocking", blocking));
+    section.metrics.push_back(make_stat("alternate_fraction", alternate_fraction));
+    section.metrics.push_back(make_stat("offered", offered));
+    section.metrics.push_back(make_stat("carried_primary", carried_primary));
+    section.metrics.push_back(make_stat("carried_alternate", carried_alternate));
+    section.metrics.push_back(make_stat("blocked", blocked));
+    section.metrics.push_back(make_stat("reserved_rejections", reserved));
+
+    // (a) Theorem-1 audit.
+    for (std::size_t k = 0; k < config.link_count; ++k) {
+      LinkAudit audit;
+      audit.link = static_cast<int>(k);
+      audit.lambda = config.lambda[k] * section.load_factor;
+      audit.capacity = config.capacity[k];
+      audit.eq15_reservation =
+          erlang::min_state_protection(audit.lambda, audit.capacity, config.max_alt_hops);
+      audit.bound =
+          erlang::theorem1_bound(audit.lambda, audit.capacity, audit.eq15_reservation);
+      sim::RunningStats samples;
+      double kernel_total = 0.0;
+      for (const auto& [rep, acc] : group.reps) {
+        audit.alternate_admissions += acc.link_alt_admissions[k];
+        audit.attributed_losses += acc.link_attributed_losses[k];
+        kernel_total += acc.link_kernel[k];
+        if (acc.link_alt_admissions[k] > 0) {
+          samples.add(acc.link_kernel[k] / static_cast<double>(acc.link_alt_admissions[k]));
+        }
+      }
+      audit.samples = samples.count();
+      if (audit.alternate_admissions > 0) {
+        audit.l_pooled = kernel_total / static_cast<double>(audit.alternate_admissions);
+        audit.l_mean = samples.mean();
+        audit.l_stderr = samples.stderr_mean();
+        audit.l_ci95 = samples.ci95_halfwidth();
+        // VIOLATION only when the bound lies below the whole interval:
+        // noisy links whose CI straddles the bound still pass.
+        audit.verdict = audit.l_mean - audit.l_ci95 > audit.bound
+                            ? LinkAudit::Verdict::kViolation
+                            : LinkAudit::Verdict::kPass;
+        ++section.audited;
+        if (audit.verdict == LinkAudit::Verdict::kViolation) ++section.violations;
+      }
+      section.links.push_back(audit);
+    }
+
+    // (b) attribution, worst offenders first.
+    for (const auto& [pk, pair] : group.pairs) section.pairs.push_back(pair);
+    std::sort(section.pairs.begin(), section.pairs.end(),
+              [](const PairStats& a, const PairStats& b) {
+                if (a.blocked != b.blocked) return a.blocked > b.blocked;
+                if (a.carried_alternate != b.carried_alternate) {
+                  return a.carried_alternate > b.carried_alternate;
+                }
+                return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+              });
+    for (const auto& [ck, cell] : group.cells) section.cells.push_back(cell);
+    std::sort(section.cells.begin(), section.cells.end(),
+              [](const PairLinkCell& a, const PairLinkCell& b) {
+                if (a.alternate_carried != b.alternate_carried) {
+                  return a.alternate_carried > b.alternate_carried;
+                }
+                if (a.blocked_at != b.blocked_at) return a.blocked_at > b.blocked_at;
+                return std::tie(a.src, a.dst, a.link) < std::tie(b.src, b.dst, b.link);
+              });
+
+    // (c) occupancy series + stationarity.
+    if (bins > 0 && !group.reps.empty()) {
+      section.bin_time.resize(static_cast<std::size_t>(bins));
+      section.bin_occupancy.assign(static_cast<std::size_t>(bins), 0.0);
+      for (int b = 0; b < bins; ++b) {
+        section.bin_time[static_cast<std::size_t>(b)] = config.warmup + b * bin_width;
+      }
+      for (const auto& [rep, acc] : group.reps) {
+        for (int b = 0; b < bins; ++b) {
+          section.bin_occupancy[static_cast<std::size_t>(b)] +=
+              acc.bin_occupancy[static_cast<std::size_t>(b)];
+        }
+      }
+      for (double& occ : section.bin_occupancy) {
+        occ /= static_cast<double>(group.reps.size());
+      }
+      if (bins >= 8) {
+        const std::size_t batches =
+            std::min<std::size_t>(10, static_cast<std::size_t>(bins) / 2);
+        section.stationarity = sim::batch_means(section.bin_occupancy, batches);
+        section.stationary =
+            std::abs(section.stationarity.lag1_autocorrelation) <= 0.2;
+      }
+    }
+
+    report.sections.push_back(std::move(section));
+  }
+  return report;
+}
+
+AnalysisReport analyze_trace(std::string_view jsonl, const AnalysisConfig& config) {
+  return analyze_records(parse_trace(jsonl), config);
+}
+
+}  // namespace altroute::obs::analysis

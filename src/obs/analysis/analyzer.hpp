@@ -1,0 +1,188 @@
+// Trace analytics: the deterministic post-pass that turns a probe trace
+// into the numbers the paper's Sections 3-5 actually argue about.
+//
+// One pass over the (slot-ordered) trace records produces, per policy and
+// load point:
+//
+//   (a) the Theorem-1 audit -- each link's empirical L^k, the lost primary
+//       calls attributable to admitted alternate calls, against the
+//       analytic Eq.-15 bound B(Lambda^k, C^k) / B(Lambda^k, C^k - r*)
+//       with a pass / VIOLATION / n/a verdict;
+//   (b) the overflow attribution matrix -- per-O-D-pair and per-
+//       (pair, link) accounting of who rides alternates where and who
+//       gets displaced;
+//   (c) across-replication statistics -- Student-t confidence intervals
+//       for every blocking/carried metric, plus a time-binned booked-
+//       occupancy series with a batch-means stationarity diagnostic that
+//       flags bistable runs.
+//
+// Estimators (see DESIGN.md "Analysis"):
+//   L-hat^k  = mean over the link's measured alternate admissions of the
+//              Eq. 4-6 kernel B(Lambda^k, C^k) / B(Lambda^k, s), where s
+//              is the post-booking occupancy recorded at the admission
+//              instant (occ field of admitted records) -- the Theorem-1
+//              proof's expected extra primary losses caused by occupying
+//              one more circuit at state s.  Per-replication means give
+//              the across-replication CI; admissions without occ data are
+//              charged as if the link were full (charge 1, conservative).
+//   attr_loss = diagnostic count of primary-attributed blocks at link k
+//              whose record shows alternate occupancy > 0 at the block
+//              instant (alt_occ field) -- reported, not audited, because
+//              co-occurrence wildly overstates causation when alternates
+//              are rare.
+//   verdict  = VIOLATION when mean_rep(L-hat^k) - CI95 > bound, i.e. the
+//              bound lies below the interval, not merely below the point
+//              estimate -- pass verdicts are robust to replication noise
+//              by construction.
+// The audited bound uses the Eq.-15 reservation r* RECOMPUTED from
+// (Lambda^k, C^k, H) -- not whatever reservation the run had in force.  A
+// compliant controlled run admits alternates only at s <= C - r*, so every
+// kernel charge is at most the bound and the link passes; an uncontrolled
+// run (r = 0) under overload admits alternates deep in the protected band,
+// where the kernel exceeds the bound, and the audit flags it.
+//
+// Determinism contract: analyze_trace is a pure function of the trace
+// bytes and the config.  The live path formats its records with
+// JsonlTraceSink::format and feeds the SAME bytes through the SAME parser
+// the offline tool uses, so live and offline reports are byte-identical,
+// and thread-count invariance is inherited from the slot-ordered trace.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/batch_means.hpp"
+
+namespace altroute::obs::analysis {
+
+struct AnalysisConfig {
+  int node_count{0};
+  std::size_t link_count{0};
+  /// Display name per directed link ("2->3"); optional, defaults to the
+  /// link index.
+  std::vector<std::string> link_names;
+  /// Per-link primary traffic demand Lambda^k in Erlangs at load factor 1
+  /// (routing::primary_link_loads of the nominal matrix).
+  std::vector<double> lambda;
+  /// Per-link capacity C^k.
+  std::vector<int> capacity;
+  /// Network-wide alternate hop limit H (the Eq.-15 design constant).
+  int max_alt_hops{6};
+  /// Policy display names, one per trace policy slot; slots beyond the
+  /// list render as "policy N".
+  std::vector<std::string> policy_names;
+  /// Load factors of the sweep, one per load point; lambda scales
+  /// linearly (primary_link_loads is linear in the traffic matrix).
+  std::vector<double> load_factors{1.0};
+  /// Replications per load point: record replication r belongs to point
+  /// r / replications_per_point (the sweep harness's task order).  0 means
+  /// every replication is the single load point (scenario runs).
+  int replications_per_point{0};
+  /// Measurement window (bin edges; matches the run's options).
+  double warmup{10.0};
+  double measure{100.0};
+  /// Bins of the occupancy series; 0 disables the series.
+  int time_bins{20};
+  /// Rows kept in the per-pair and per-(pair, link) attribution tables.
+  int top_pairs{10};
+  int top_cells{12};
+};
+
+struct LinkAudit {
+  int link{-1};
+  double lambda{0.0};  ///< Lambda^k at this point's load factor
+  int capacity{0};
+  int eq15_reservation{0};  ///< r* = min_state_protection(lambda, C, H)
+  double bound{0.0};        ///< theorem1_bound(lambda, C, r*)
+  long long alternate_admissions{0};  ///< all replications
+  long long attributed_losses{0};     ///< diagnostic co-occurrence count
+  double l_pooled{0.0};  ///< total kernel charge / alternate_admissions
+  double l_mean{0.0};    ///< mean over replications of per-rep L-hat^k
+  double l_stderr{0.0};
+  double l_ci95{0.0};
+  std::size_t samples{0};  ///< replications with >= 1 alternate admission
+  enum class Verdict { kPass, kViolation, kNotApplicable };
+  Verdict verdict{Verdict::kNotApplicable};
+};
+
+/// Per-O-D-pair measured totals over all replications of a section.
+struct PairStats {
+  int src{-1};
+  int dst{-1};
+  long long carried_primary{0};
+  long long carried_alternate{0};
+  long long blocked{0};
+  long long reserved_rejections{0};
+};
+
+/// One attribution cell: pair (src, dst) x directed link.
+struct PairLinkCell {
+  int src{-1};
+  int dst{-1};
+  int link{-1};
+  long long alternate_carried{0};  ///< the pair's alternate calls riding the link
+  long long blocked_at{0};         ///< the pair's losses attributed to the link
+};
+
+/// One across-replication statistic (Student-t, two-sided 95%).
+struct MetricStat {
+  std::string name;
+  std::size_t replications{0};
+  double mean{0.0};
+  double stderr_mean{0.0};
+  double ci95{0.0};
+};
+
+/// Everything the analyzer derives for one (policy, load point) group.
+struct AnalysisSection {
+  std::string policy;
+  int policy_slot{0};
+  double load_factor{1.0};
+  std::size_t replications{0};
+  // (a) Theorem-1 audit.
+  std::vector<LinkAudit> links;
+  int audited{0};     ///< links with a verdict other than n/a
+  int violations{0};  ///< links whose CI lies above the bound
+  // (b) attribution.
+  std::vector<PairStats> pairs;      ///< active pairs, worst-blocked first
+  std::vector<PairLinkCell> cells;   ///< heaviest alternate-riding cells
+  // (c) statistics.
+  std::vector<MetricStat> metrics;
+  std::vector<double> bin_time;       ///< bin left edges
+  std::vector<double> bin_occupancy;  ///< mean booked circuits per bin
+  sim::BatchMeansResult stationarity;
+  bool stationary{true};  ///< |lag-1 autocorrelation| <= 0.2 (or too few bins)
+};
+
+struct AnalysisReport {
+  std::vector<AnalysisSection> sections;  ///< policy-major, then load point
+  long long records{0};                   ///< trace records consumed
+  int max_alt_hops{6};
+  /// Row limits the renderers apply to the (complete, sorted) attribution
+  /// vectors -- the section data itself is never truncated.
+  int top_pairs{10};
+  int top_cells{12};
+
+  /// True when no audited link of any section is in violation.
+  [[nodiscard]] bool theorem1_ok() const {
+    for (const AnalysisSection& s : sections) {
+      if (s.violations > 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Analyzes parsed records (slot order expected, as the sinks emit them).
+[[nodiscard]] AnalysisReport analyze_records(const std::vector<TraceRecord>& records,
+                                             const AnalysisConfig& config);
+
+/// Parses a JSONL trace and analyzes it.  This is THE entry point both the
+/// live path and the offline tool use -- same bytes, same parser, same
+/// report.
+[[nodiscard]] AnalysisReport analyze_trace(std::string_view jsonl,
+                                           const AnalysisConfig& config);
+
+}  // namespace altroute::obs::analysis

@@ -1,0 +1,203 @@
+#include "obs/analysis/render.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace altroute::obs::analysis {
+
+namespace {
+
+std::string num(double value, const char* format = "%.6g") {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, format, value);
+  return buffer;
+}
+
+std::string json_num(double value) { return num(value, "%.17g"); }
+
+std::string pad(std::string text, std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+std::string pair_name(int src, int dst) {
+  return std::to_string(src) + "->" + std::to_string(dst);
+}
+
+const char* verdict_name(LinkAudit::Verdict verdict) {
+  switch (verdict) {
+    case LinkAudit::Verdict::kPass:
+      return "pass";
+    case LinkAudit::Verdict::kViolation:
+      return "VIOLATION";
+    case LinkAudit::Verdict::kNotApplicable:
+      return "n/a";
+  }
+  return "?";
+}
+
+void render_section_table(const AnalysisReport& report, const AnalysisSection& s,
+                          std::string& out) {
+  out += "== " + s.policy + " @ load " + num(s.load_factor) + " (" +
+         std::to_string(s.replications) + " replications) ==\n";
+
+  out += "-- metrics (mean +- 95% CI over replications) --\n";
+  out += pad("metric", 20) + pad("mean", 14) + pad("stderr", 14) + "ci95\n";
+  for (const MetricStat& m : s.metrics) {
+    out += pad(m.name, 20) + pad(num(m.mean), 14) + pad(num(m.stderr_mean), 14) +
+           num(m.ci95) + "\n";
+  }
+
+  out += "-- theorem-1 audit: L-hat^k vs B(L,C)/B(L,C-r*), H=" +
+         std::to_string(report.max_alt_hops) + " --\n";
+  out += pad("link", 6) + pad("lambda", 10) + pad("cap", 5) + pad("r*", 4) +
+         pad("bound", 12) + pad("alt_adm", 9) + pad("attr_loss", 11) + pad("Lhat_mean", 12) +
+         pad("ci95", 12) + "verdict\n";
+  for (const LinkAudit& a : s.links) {
+    if (a.verdict == LinkAudit::Verdict::kNotApplicable) continue;
+    out += pad(std::to_string(a.link), 6) + pad(num(a.lambda, "%.4g"), 10) +
+           pad(std::to_string(a.capacity), 5) + pad(std::to_string(a.eq15_reservation), 4) +
+           pad(num(a.bound, "%.4g"), 12) + pad(std::to_string(a.alternate_admissions), 9) +
+           pad(std::to_string(a.attributed_losses), 11) + pad(num(a.l_mean, "%.4g"), 12) +
+           pad(num(a.l_ci95, "%.4g"), 12) + verdict_name(a.verdict) + "\n";
+  }
+  out += "audited " + std::to_string(s.audited) + "/" + std::to_string(s.links.size()) +
+         " links: " + std::to_string(s.violations) + " violation(s)\n";
+
+  out += "-- attribution: top pairs by blocked (of " + std::to_string(s.pairs.size()) +
+         " active) --\n";
+  out += pad("pair", 8) + pad("carried_p", 11) + pad("carried_a", 11) + pad("blocked", 9) +
+         "resv_rej\n";
+  std::size_t rows = 0;
+  for (const PairStats& p : s.pairs) {
+    if (static_cast<int>(rows++) >= report.top_pairs) break;
+    out += pad(pair_name(p.src, p.dst), 8) + pad(std::to_string(p.carried_primary), 11) +
+           pad(std::to_string(p.carried_alternate), 11) + pad(std::to_string(p.blocked), 9) +
+           std::to_string(p.reserved_rejections) + "\n";
+  }
+
+  out += "-- attribution: top (pair, link) alternate-riding cells (of " +
+         std::to_string(s.cells.size()) + ") --\n";
+  out += pad("pair", 8) + pad("link", 6) + pad("alt_carried", 13) + "blocked_at\n";
+  rows = 0;
+  for (const PairLinkCell& c : s.cells) {
+    if (static_cast<int>(rows++) >= report.top_cells) break;
+    out += pad(pair_name(c.src, c.dst), 8) + pad(std::to_string(c.link), 6) +
+           pad(std::to_string(c.alternate_carried), 13) + std::to_string(c.blocked_at) + "\n";
+  }
+
+  if (!s.bin_time.empty()) {
+    out += "-- booked occupancy per bin (mean circuits; batch-means lag1=" +
+           num(s.stationarity.lag1_autocorrelation, "%.3g") +
+           (s.stationary ? ", stationary" : ", NONSTATIONARY") + ") --\n";
+    for (std::size_t b = 0; b < s.bin_time.size(); ++b) {
+      out += "t=" + pad(num(s.bin_time[b], "%.6g"), 10) + num(s.bin_occupancy[b], "%.6g") +
+             "\n";
+    }
+  }
+}
+
+void render_section_json(const AnalysisSection& s, std::string& out) {
+  out += "{\"policy\":\"" + s.policy + "\",\"policy_slot\":" +
+         std::to_string(s.policy_slot) + ",\"load_factor\":" + json_num(s.load_factor) +
+         ",\"replications\":" + std::to_string(s.replications);
+
+  out += ",\"metrics\":{";
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    const MetricStat& m = s.metrics[i];
+    if (i != 0) out += ',';
+    out += "\"" + m.name + "\":{\"n\":" + std::to_string(m.replications) +
+           ",\"mean\":" + json_num(m.mean) + ",\"stderr\":" + json_num(m.stderr_mean) +
+           ",\"ci95\":" + json_num(m.ci95) + "}";
+  }
+  out += "}";
+
+  out += ",\"theorem1\":{\"audited\":" + std::to_string(s.audited) +
+         ",\"violations\":" + std::to_string(s.violations) + ",\"links\":[";
+  bool first = true;
+  for (const LinkAudit& a : s.links) {
+    if (a.verdict == LinkAudit::Verdict::kNotApplicable) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"link\":" + std::to_string(a.link) + ",\"lambda\":" + json_num(a.lambda) +
+           ",\"capacity\":" + std::to_string(a.capacity) +
+           ",\"r\":" + std::to_string(a.eq15_reservation) +
+           ",\"bound\":" + json_num(a.bound) +
+           ",\"alt_admissions\":" + std::to_string(a.alternate_admissions) +
+           ",\"attributed_losses\":" + std::to_string(a.attributed_losses) +
+           ",\"l_pooled\":" + json_num(a.l_pooled) + ",\"l_mean\":" + json_num(a.l_mean) +
+           ",\"l_ci95\":" + json_num(a.l_ci95) + ",\"samples\":" +
+           std::to_string(a.samples) + ",\"verdict\":\"" + verdict_name(a.verdict) + "\"}";
+  }
+  out += "]}";
+
+  out += ",\"pairs\":[";
+  for (std::size_t i = 0; i < s.pairs.size(); ++i) {
+    const PairStats& p = s.pairs[i];
+    if (i != 0) out += ',';
+    out += "{\"src\":" + std::to_string(p.src) + ",\"dst\":" + std::to_string(p.dst) +
+           ",\"carried_primary\":" + std::to_string(p.carried_primary) +
+           ",\"carried_alternate\":" + std::to_string(p.carried_alternate) +
+           ",\"blocked\":" + std::to_string(p.blocked) +
+           ",\"reserved_rejections\":" + std::to_string(p.reserved_rejections) + "}";
+  }
+  out += "]";
+
+  out += ",\"cells\":[";
+  for (std::size_t i = 0; i < s.cells.size(); ++i) {
+    const PairLinkCell& c = s.cells[i];
+    if (i != 0) out += ',';
+    out += "{\"src\":" + std::to_string(c.src) + ",\"dst\":" + std::to_string(c.dst) +
+           ",\"link\":" + std::to_string(c.link) +
+           ",\"alternate_carried\":" + std::to_string(c.alternate_carried) +
+           ",\"blocked_at\":" + std::to_string(c.blocked_at) + "}";
+  }
+  out += "]";
+
+  out += ",\"occupancy\":{\"bin_time\":[";
+  for (std::size_t b = 0; b < s.bin_time.size(); ++b) {
+    if (b != 0) out += ',';
+    out += json_num(s.bin_time[b]);
+  }
+  out += "],\"mean_booked\":[";
+  for (std::size_t b = 0; b < s.bin_occupancy.size(); ++b) {
+    if (b != 0) out += ',';
+    out += json_num(s.bin_occupancy[b]);
+  }
+  out += "],\"batch_means\":{\"batches\":" + std::to_string(s.stationarity.batches) +
+         ",\"mean\":" + json_num(s.stationarity.mean) +
+         ",\"ci95\":" + json_num(s.stationarity.ci95_halfwidth) +
+         ",\"lag1\":" + json_num(s.stationarity.lag1_autocorrelation) +
+         ",\"stationary\":" + (s.stationary ? "true" : "false") + "}}";
+
+  out += "}";
+}
+
+}  // namespace
+
+std::string analysis_table(const AnalysisReport& report) {
+  std::string out;
+  out += "analysis: " + std::to_string(report.records) + " trace records, " +
+         std::to_string(report.sections.size()) + " section(s), theorem-1 " +
+         (report.theorem1_ok() ? "OK" : "VIOLATED") + "\n";
+  for (const AnalysisSection& s : report.sections) {
+    out += "\n";
+    render_section_table(report, s, out);
+  }
+  return out;
+}
+
+std::string analysis_json(const AnalysisReport& report) {
+  std::string out = "{\"records\":" + std::to_string(report.records) +
+                    ",\"max_alt_hops\":" + std::to_string(report.max_alt_hops) +
+                    ",\"theorem1_ok\":" + (report.theorem1_ok() ? "true" : "false") +
+                    ",\"sections\":[";
+  for (std::size_t i = 0; i < report.sections.size(); ++i) {
+    if (i != 0) out += ',';
+    render_section_json(report.sections[i], out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace altroute::obs::analysis

@@ -1,0 +1,25 @@
+// Deterministic renderers for AnalysisReport.
+//
+// Both renderers are pure functions of the report with fixed field order
+// and fixed snprintf number formatting, so live and offline analysis of
+// the same trace produce byte-identical output (the property the ctest
+// determinism checks compare with cmp/EXPECT_EQ).
+#pragma once
+
+#include <string>
+
+#include "obs/analysis/analyzer.hpp"
+
+namespace altroute::obs::analysis {
+
+/// Human-readable multi-section text report: per (policy, load point), the
+/// across-replication statistics, the Theorem-1 per-link audit with
+/// verdicts, the attribution tables (truncated to report.top_pairs /
+/// top_cells rows), and the binned occupancy series with its batch-means
+/// stationarity diagnostic.
+[[nodiscard]] std::string analysis_table(const AnalysisReport& report);
+
+/// The same content as machine-readable JSON ("%.17g" doubles: loss-less).
+[[nodiscard]] std::string analysis_json(const AnalysisReport& report);
+
+}  // namespace altroute::obs::analysis

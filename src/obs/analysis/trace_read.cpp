@@ -1,0 +1,147 @@
+#include "obs/analysis/trace_read.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace altroute::obs::analysis {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw std::invalid_argument("parse_trace_line: " + why + " in '" + std::string(line) + "'");
+}
+
+/// Cursor over one line; the methods consume exactly the writer's grammar.
+struct Scanner {
+  std::string_view line;
+  std::size_t pos{0};
+
+  [[nodiscard]] char peek() const { return pos < line.size() ? line[pos] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(line, std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  [[nodiscard]] std::string_view string_value() {
+    expect('"');
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != '"') ++pos;
+    if (pos == line.size()) fail(line, "unterminated string");
+    return line.substr(start, pos++ - start);
+  }
+
+  [[nodiscard]] double number_value() {
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(line.data() + pos, line.data() + line.size(), value);
+    if (ec != std::errc()) fail(line, "malformed number");
+    pos = static_cast<std::size_t>(end - line.data());
+    return value;
+  }
+
+  [[nodiscard]] std::vector<int> array_value() {
+    expect('[');
+    std::vector<int> out;
+    if (!consume(']')) {
+      do {
+        out.push_back(static_cast<int>(number_value()));
+      } while (consume(','));
+      expect(']');
+    }
+    return out;
+  }
+};
+
+TraceKind kind_from_name(std::string_view name, std::string_view line) {
+  for (const TraceKind kind : all_trace_kinds()) {
+    if (name == trace_kind_name(kind)) return kind;
+  }
+  fail(line, "unknown kind '" + std::string(name) + "' (known: " + trace_kind_list() + ")");
+}
+
+}  // namespace
+
+TraceRecord parse_trace_line(std::string_view line) {
+  Scanner s{line};
+  TraceRecord r;
+  bool saw_kind = false;
+  s.expect('{');
+  if (!s.consume('}')) {
+    do {
+      const std::string_view key = s.string_value();
+      s.expect(':');
+      if (key == "kind") {
+        r.kind = kind_from_name(s.string_value(), line);
+        saw_kind = true;
+      } else if (key == "class") {
+        r.alternate = s.string_value() == "alternate";
+      } else if (key == "event") {
+        r.detail = std::string(s.string_value());
+      } else if (key == "links") {
+        // Type disambiguates the key: the admitted record's booked-path
+        // array vs. protection_resolved's links-touched count.
+        if (s.peek() == '[') {
+          r.links = s.array_value();
+        } else {
+          r.links_changed = static_cast<int>(s.number_value());
+        }
+      } else if (key == "occ") {
+        r.occ = s.array_value();
+      } else if (key == "t") {
+        r.time = s.number_value();
+      } else if (key == "hold") {
+        r.hold = s.number_value();
+      } else if (key == "rep") {
+        r.replication = static_cast<int>(s.number_value());
+      } else if (key == "policy") {
+        r.policy = static_cast<int>(s.number_value());
+      } else if (key == "src") {
+        r.src = static_cast<int>(s.number_value());
+      } else if (key == "dst") {
+        r.dst = static_cast<int>(s.number_value());
+      } else if (key == "hops") {
+        r.hops = static_cast<int>(s.number_value());
+      } else if (key == "units") {
+        r.units = static_cast<int>(s.number_value());
+      } else if (key == "link") {
+        r.link = static_cast<int>(s.number_value());
+      } else if (key == "alt_occ") {
+        r.alt_occupancy = static_cast<int>(s.number_value());
+      } else if (key == "links_changed") {
+        r.links_changed = static_cast<int>(s.number_value());
+      } else if (key == "killed") {
+        r.count = static_cast<long long>(s.number_value());
+      } else {
+        fail(line, "unknown key '" + std::string(key) + "'");
+      }
+    } while (s.consume(','));
+    s.expect('}');
+  }
+  if (s.pos != line.size()) fail(line, "trailing characters");
+  if (!saw_kind) fail(line, "missing kind");
+  return r;
+}
+
+std::vector<TraceRecord> parse_trace(std::string_view jsonl) {
+  std::vector<TraceRecord> out;
+  std::size_t start = 0;
+  while (start <= jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string_view::npos) end = jsonl.size();
+    const std::string_view line = jsonl.substr(start, end - start);
+    if (!line.empty()) out.push_back(parse_trace_line(line));
+    if (end == jsonl.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace altroute::obs::analysis

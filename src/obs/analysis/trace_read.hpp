@@ -1,0 +1,33 @@
+// Offline trace ingestion: parses the JSONL emitted by JsonlTraceSink back
+// into TraceRecords, loss-lessly.
+//
+// The writer renders every record with a fixed field order and "%.9g"
+// number formatting; this parser accepts exactly that flat one-object-per-
+// line dialect (string, number, and integer-array values -- no nesting).
+// The loss-less round trip
+//
+//     JsonlTraceSink::format(parse_trace_line(JsonlTraceSink::format(r)))
+//        == JsonlTraceSink::format(r)
+//
+// is what lets the live and offline analyzers produce byte-identical
+// reports from the same run: the live path feeds the formatted bytes
+// through this same parser (see obs/analysis/analyzer.hpp).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace altroute::obs::analysis {
+
+/// Parses one JSONL trace line (no trailing newline) into a record.
+/// Throws std::invalid_argument naming the offending token on malformed
+/// input, unknown keys, or an unknown record kind.
+[[nodiscard]] TraceRecord parse_trace_line(std::string_view line);
+
+/// Parses a whole JSONL stream (newline-separated; blank lines ignored).
+/// Record order is preserved -- slot order in, slot order out.
+[[nodiscard]] std::vector<TraceRecord> parse_trace(std::string_view jsonl);
+
+}  // namespace altroute::obs::analysis

@@ -38,7 +38,8 @@ void Probe::on_offered(double t, int src, int dst, int units) {
 }
 
 void Probe::on_admitted(double t, int src, int dst, const routing::Path& path, bool alternate,
-                        int units, int protected_band_links) {
+                        int units, int protected_band_links, double hold,
+                        std::vector<int> occupancy_after) {
   if (metrics_ != nullptr) {
     metrics_->add(alternate ? admitted_alternate_ : admitted_primary_);
     metrics_->observe(carried_hops_, static_cast<double>(path.hops()));
@@ -49,18 +50,27 @@ void Probe::on_admitted(double t, int src, int dst, const routing::Path& path, b
       }
     }
   }
-  TraceRecord r;
-  r.time = t;
-  r.kind = TraceKind::kCallAdmitted;
-  r.src = src;
-  r.dst = dst;
-  r.hops = path.hops();
-  r.units = units;
-  r.alternate = alternate;
-  trace(r);
+  // The admitted record carries the booked links and allocates for them, so
+  // it is only built when a sink actually wants the kind.
+  if (sink_ != nullptr && sink_->wants(TraceKind::kCallAdmitted)) {
+    TraceRecord r;
+    r.time = t;
+    r.kind = TraceKind::kCallAdmitted;
+    r.src = src;
+    r.dst = dst;
+    r.hops = path.hops();
+    r.units = units;
+    r.alternate = alternate;
+    r.hold = hold;
+    r.links.reserve(path.links.size());
+    for (const net::LinkId id : path.links) r.links.push_back(static_cast<int>(id.index()));
+    r.occ = std::move(occupancy_after);
+    sink_->write(r);
+  }
 }
 
-void Probe::on_blocked(double t, int src, int dst, int first_blocking_link, int units) {
+void Probe::on_blocked(double t, int src, int dst, int first_blocking_link, int units,
+                       int alt_occupancy) {
   if (metrics_ != nullptr) metrics_->add(blocked_);
   TraceRecord r;
   r.time = t;
@@ -69,11 +79,21 @@ void Probe::on_blocked(double t, int src, int dst, int first_blocking_link, int 
   r.dst = dst;
   r.link = first_blocking_link;
   r.units = units;
+  r.alt_occupancy = first_blocking_link >= 0 ? alt_occupancy : 0;
   trace(r);
 }
 
-void Probe::on_reserved_rejection(int link) {
-  if (metrics_ != nullptr) metrics_->add_link(link_reserved_rejections_, static_cast<std::size_t>(link));
+void Probe::on_reserved_rejection(double t, int src, int dst, int link) {
+  if (metrics_ != nullptr) {
+    metrics_->add_link(link_reserved_rejections_, static_cast<std::size_t>(link));
+  }
+  TraceRecord r;
+  r.time = t;
+  r.kind = TraceKind::kReservedRejection;
+  r.src = src;
+  r.dst = dst;
+  r.link = link;
+  trace(r);
 }
 
 void Probe::on_preempted(double t, const routing::Path& path, int link, int units) {

@@ -76,17 +76,31 @@ class Probe {
   /// the number of links of the path on which an ALTERNATE-class admission
   /// landed inside the reserved band occupancy > C - r (always 0 for a
   /// correct protected policy; counted so tests can assert exactly that).
+  /// `hold` is the call's holding time; the trace record carries it along
+  /// with the booked link ids so the analysis layer can reconstruct
+  /// per-link occupancy and the O-D x link attribution matrix offline.
+  /// `occupancy_after` is the post-booking occupancy of each path link in
+  /// path order (the admission state s the Theorem-1 audit charges); it is
+  /// moved into the trace record and may be empty when the caller cannot
+  /// supply it.
   void on_admitted(double t, int src, int dst, const routing::Path& path, bool alternate,
-                   int units, int protected_band_links);
+                   int units, int protected_band_links, double hold,
+                   std::vector<int> occupancy_after = {});
 
   /// A measured call was blocked; `first_blocking_link` is the directed
-  /// link index the loss is attributed to (-1 when unattributable).
-  void on_blocked(double t, int src, int dst, int first_blocking_link, int units);
+  /// link index the loss is attributed to (-1 when unattributable) and
+  /// `alt_occupancy` the alternate-class circuits held on that link at the
+  /// block instant (0 when unattributable) -- the Theorem-1 audit counts a
+  /// primary loss at a link currently carrying alternates as attributable
+  /// to alternate routing.
+  void on_blocked(double t, int src, int dst, int first_blocking_link, int units,
+                  int alt_occupancy);
 
-  /// An alternate path was shut out purely by state protection at `link`
-  /// (the link had free circuits for a primary, but refused the alternate
-  /// class).  Counted per blocked call and per refusing alternate.
-  void on_reserved_rejection(int link);
+  /// An alternate path of the (src, dst) call was shut out purely by state
+  /// protection at `link` (the link had free circuits for a primary, but
+  /// refused the alternate class).  Counted per blocked call and per
+  /// refusing alternate, and traced with the O-D pair for attribution.
+  void on_reserved_rejection(double t, int src, int dst, int link);
 
   /// An in-flight call was preempted by a capacity shrink at `link`.
   void on_preempted(double t, const routing::Path& path, int link, int units);

@@ -1,6 +1,5 @@
 #include "obs/trace.hpp"
 
-#include <array>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -8,11 +7,6 @@
 namespace altroute::obs {
 
 namespace {
-
-constexpr std::array<TraceKind, 6> kAllKinds = {
-    TraceKind::kCallAdmitted,  TraceKind::kCallBlocked, TraceKind::kCallPreempted,
-    TraceKind::kCallKilled,    TraceKind::kEventApplied, TraceKind::kProtectionResolved,
-};
 
 void append_number(std::string& out, double value) {
   char buffer[40];
@@ -36,8 +30,30 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "event_applied";
     case TraceKind::kProtectionResolved:
       return "protection_resolved";
+    case TraceKind::kReservedRejection:
+      return "reserved_rejection";
   }
   throw std::invalid_argument("trace_kind_name: unknown kind");
+}
+
+const std::vector<TraceKind>& all_trace_kinds() {
+  static const std::vector<TraceKind> kinds = [] {
+    std::vector<TraceKind> all;
+    for (unsigned bit = 1; bit < (kAllTraceKinds + 1); bit <<= 1) {
+      all.push_back(static_cast<TraceKind>(bit));
+    }
+    return all;
+  }();
+  return kinds;
+}
+
+std::string trace_kind_list() {
+  std::string out;
+  for (const TraceKind kind : all_trace_kinds()) {
+    if (!out.empty()) out += ' ';
+    out += trace_kind_name(kind);
+  }
+  return out;
 }
 
 unsigned parse_trace_filter(std::string_view csv) {
@@ -50,7 +66,7 @@ unsigned parse_trace_filter(std::string_view csv) {
     const std::string_view token = csv.substr(start, comma - start);
     if (!token.empty()) {
       bool known = false;
-      for (const TraceKind kind : kAllKinds) {
+      for (const TraceKind kind : all_trace_kinds()) {
         if (token == trace_kind_name(kind)) {
           mask |= static_cast<unsigned>(kind);
           known = true;
@@ -59,8 +75,7 @@ unsigned parse_trace_filter(std::string_view csv) {
       }
       if (!known) {
         throw std::invalid_argument("parse_trace_filter: unknown kind '" + std::string(token) +
-                                    "' (known: call_admitted call_blocked call_preempted "
-                                    "call_killed event_applied protection_resolved, or 'all')");
+                                    "' (known: " + trace_kind_list() + ", or 'all')");
       }
     }
     start = comma + 1;
@@ -87,14 +102,36 @@ std::string JsonlTraceSink::format(const TraceRecord& r) {
     case TraceKind::kCallAdmitted:
       out += ",\"src\":" + std::to_string(r.src) + ",\"dst\":" + std::to_string(r.dst) +
              ",\"hops\":" + std::to_string(r.hops) + ",\"units\":" + std::to_string(r.units) +
-             ",\"class\":\"";
+             ",\"hold\":";
+      append_number(out, r.hold);
+      out += ",\"class\":\"";
       out += r.alternate ? "alternate" : "primary";
-      out += '"';
+      out += "\",\"links\":[";
+      for (std::size_t i = 0; i < r.links.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(r.links[i]);
+      }
+      out += ']';
+      if (!r.occ.empty()) {
+        out += ",\"occ\":[";
+        for (std::size_t i = 0; i < r.occ.size(); ++i) {
+          if (i != 0) out += ',';
+          out += std::to_string(r.occ[i]);
+        }
+        out += ']';
+      }
       break;
     case TraceKind::kCallBlocked:
       out += ",\"src\":" + std::to_string(r.src) + ",\"dst\":" + std::to_string(r.dst) +
              ",\"units\":" + std::to_string(r.units);
-      if (r.link >= 0) out += ",\"link\":" + std::to_string(r.link);
+      if (r.link >= 0) {
+        out += ",\"link\":" + std::to_string(r.link) +
+               ",\"alt_occ\":" + std::to_string(r.alt_occupancy);
+      }
+      break;
+    case TraceKind::kReservedRejection:
+      out += ",\"src\":" + std::to_string(r.src) + ",\"dst\":" + std::to_string(r.dst) +
+             ",\"link\":" + std::to_string(r.link);
       break;
     case TraceKind::kCallPreempted:
     case TraceKind::kCallKilled:

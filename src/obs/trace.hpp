@@ -2,16 +2,18 @@
 // layer.
 //
 // A TraceSink receives one TraceRecord per simulation event of interest
-// (admissions, blocks, preemptions, kills, applied scenario events,
-// protection re-solves).  Sinks carry a kind mask so uninteresting kinds
-// are dropped before a record is even built; the engines hold a Probe
-// whose "off" state is a null pointer, so a run without tracing pays one
-// never-taken branch per hook and nothing else.
+// (admissions, blocks, reserved-state rejections, preemptions, kills,
+// applied scenario events, protection re-solves).  Sinks carry a kind mask
+// so uninteresting kinds are dropped before a record is even built; the
+// engines hold a Probe whose "off" state is a null pointer, so a run
+// without tracing pays one never-taken branch per hook and nothing else.
 //
 // Records are plain data: the JSON-lines writer renders them with a fixed
 // field order and fixed number formatting, so two runs that apply the same
 // events produce byte-identical trace files -- the property the ctest
-// thread-count bit-identity checks rely on.
+// thread-count bit-identity checks rely on.  The analysis layer
+// (obs/analysis) parses those lines back into records loss-lessly, which
+// is what lets the live and offline analyzers produce identical reports.
 #pragma once
 
 #include <iosfwd>
@@ -29,17 +31,30 @@ enum class TraceKind : unsigned {
   kCallKilled = 1u << 3,
   kEventApplied = 1u << 4,
   kProtectionResolved = 1u << 5,
+  /// An alternate path was refused purely by state protection at a link
+  /// that would still have admitted a primary-class call (the protection
+  /// cost the Eq.-15 audit accounts per O-D pair).
+  kReservedRejection = 1u << 6,
 };
 
-inline constexpr unsigned kAllTraceKinds = (1u << 6) - 1;
+inline constexpr unsigned kAllTraceKinds = (1u << 7) - 1;
 
 /// Lower-case token used in JSONL output and --trace-filter lists
 /// ("call_admitted", ...).
 [[nodiscard]] std::string_view trace_kind_name(TraceKind kind);
 
+/// Every kind, in mask-bit order -- the authoritative list CLI help and
+/// error messages enumerate.
+[[nodiscard]] const std::vector<TraceKind>& all_trace_kinds();
+
+/// Space-separated list of every kind token ("call_admitted call_blocked
+/// ..."), for --trace-filter list/help output and error messages.
+[[nodiscard]] std::string trace_kind_list();
+
 /// Parses a comma-separated kind list ("call_blocked,event_applied") into
 /// a mask.  Empty string or "all" selects every kind.  Throws
-/// std::invalid_argument naming the unknown token otherwise.
+/// std::invalid_argument naming the unknown token and enumerating the
+/// valid ones otherwise.
 [[nodiscard]] unsigned parse_trace_filter(std::string_view csv);
 
 /// One structured trace record.  Which fields are meaningful depends on
@@ -49,11 +64,29 @@ struct TraceRecord {
   TraceKind kind{TraceKind::kCallAdmitted};
   int src{-1};             ///< call records: origin node
   int dst{-1};             ///< call records: destination node
-  int link{-1};            ///< blocking / killed-at / preempted-at directed link
+  int link{-1};            ///< blocking / refusing / killed-at / preempted-at directed link
   int hops{0};             ///< admitted/killed/preempted: booked path length
   int units{1};            ///< circuits per link
   bool alternate{false};   ///< admitted under the alternate class
-  std::string_view detail; ///< event kind name for kEventApplied
+  double hold{0.0};        ///< admitted: holding time (occupancy reconstruction)
+  /// Admitted: the directed link ids of the booked path, in path order --
+  /// what the attribution matrix needs to know which alternates ride where.
+  std::vector<int> links;
+  /// Admitted: post-booking occupancy of each `links` entry (parallel
+  /// array).  This is the state s the Theorem-1 audit charges with the
+  /// Eq. 4-6 kernel B(Lambda,C)/B(Lambda,s): an alternate admitted deep in
+  /// the protected band carries a charge above the Eq.-15 bound.
+  std::vector<int> occ;
+  /// Blocked: alternate-class circuits held on the attributed blocking
+  /// link at the block instant (the Theorem-1 numerator: a primary loss at
+  /// a link currently carrying alternates is attributable to them).
+  int alt_occupancy{0};
+  /// Event kind name for kEventApplied.  OWNED by the record (not a view):
+  /// buffered records outlive the hook call and are routinely moved across
+  /// threads and containers by the sweep harness, so a borrowed pointer
+  /// here is a use-after-free waiting to happen (regression-tested).  The
+  /// names are short, so small-string optimisation makes the copy free.
+  std::string detail;
   int links_changed{0};    ///< kEventApplied / kProtectionResolved: links touched
   long long count{0};      ///< kEventApplied: in-flight calls killed
   int replication{-1};     ///< sweep merges stamp the replication (seed) index
@@ -79,7 +112,7 @@ class TraceSink {
 };
 
 /// Renders records as one JSON object per line onto a stream, with fixed
-/// field order and "%.9g" time formatting (byte-stable across runs).
+/// field order and "%.9g" number formatting (byte-stable across runs).
 class JsonlTraceSink final : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& out, unsigned mask = kAllTraceKinds)
@@ -96,7 +129,9 @@ class JsonlTraceSink final : public TraceSink {
 };
 
 /// Collects records in memory (tests, and the sweep harness's
-/// per-replication buffers that are later flushed in slot order).
+/// per-replication buffers that are later flushed in slot order).  Records
+/// are self-contained (TraceRecord owns its strings), so the buffer stays
+/// valid when moved out of the sink or across threads.
 class VectorTraceSink final : public TraceSink {
  public:
   explicit VectorTraceSink(unsigned mask = kAllTraceKinds) : TraceSink(mask) {}

@@ -15,10 +15,11 @@ namespace altroute::scenario {
 namespace {
 
 /// One admitted call: a copy of its booked path (so route-table rebuilds
-/// never invalidate it) and its circuit width.
+/// never invalidate it), its circuit width, and its admission class.
 struct InFlight {
   routing::Path path;
   int units{1};
+  bool alternate{false};
 };
 
 bool path_uses_any(const routing::Path& path, const std::vector<net::LinkId>& links) {
@@ -95,9 +96,28 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
   std::map<int, loss::ClassCounters> per_class;
   double traffic_factor = 1.0;
 
+  // Per-link alternate-class circuits in flight, maintained only when a
+  // probe is attached (see loss::run_trace): reported on blocked-call
+  // records for the Theorem-1 loss attribution.
+  std::vector<int> alt_occ;
+  if (probe != nullptr) alt_occ.assign(static_cast<std::size_t>(g.link_count()), 0);
+  const auto adjust_alt_occ = [&](const InFlight& call, int sign) {
+    if (probe == nullptr || !call.alternate) return;
+    for (const net::LinkId id : call.path.links) alt_occ[id.index()] += sign * call.units;
+  };
+  // Post-booking occupancy along a path, for the admitted trace record
+  // (the Theorem-1 audit's admission state s); built only under the hook.
+  const auto booked_occ = [&state](const routing::Path& path) {
+    std::vector<int> occ;
+    occ.reserve(path.links.size());
+    for (const net::LinkId id : path.links) occ.push_back(state.link(id).occupancy());
+    return occ;
+  };
+
   const auto release_call = [&](std::uint64_t id) {
     const auto it = in_flight.find(id);
     state.release(it->second.path, it->second.units);
+    adjust_alt_occ(it->second, -1);
     in_flight.erase(it);
   };
 
@@ -147,6 +167,7 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
                                attributed_link(it->second.path, affected), it->second.units);
             }
             state.release(it->second.path, it->second.units);
+            adjust_alt_occ(it->second, -1);
             it = in_flight.erase(it);
             ++applied.calls_killed;
           } else {
@@ -191,6 +212,7 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
                                   static_cast<int>(id.index()), victim->second.units);
             }
             state.release(victim->second.path, victim->second.units);
+            adjust_alt_occ(victim->second, -1);
             in_flight.erase(std::next(victim).base());
             ++applied.calls_killed;
           }
@@ -280,7 +302,9 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         }
       }
       state.book(*decision.path, call.bandwidth);
-      in_flight.emplace(next_call_id, InFlight{*decision.path, call.bandwidth});
+      const auto placed =
+          in_flight.emplace(next_call_id, InFlight{*decision.path, call.bandwidth, alternate});
+      adjust_alt_occ(placed.first->second, +1);
       departures.schedule(call.arrival + call.holding, next_call_id);
       ++next_call_id;
       if (measured) {
@@ -294,9 +318,11 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         const auto hops = static_cast<std::size_t>(decision.path->hops());
         if (result.carried_by_hops.size() <= hops) result.carried_by_hops.resize(hops + 1, 0);
         ++result.carried_by_hops[hops];
-        ALTROUTE_OBS_HOOK(probe, on_admitted(call.arrival, static_cast<int>(call.src.index()),
-                                             static_cast<int>(call.dst.index()), *decision.path,
-                                             alternate, call.bandwidth, protected_band_links));
+        ALTROUTE_OBS_HOOK(probe,
+                          on_admitted(call.arrival, static_cast<int>(call.src.index()),
+                                      static_cast<int>(call.dst.index()), *decision.path,
+                                      alternate, call.bandwidth, protected_band_links,
+                                      call.holding, booked_occ(*decision.path)));
       }
     } else if (measured) {
       ++result.blocked;
@@ -317,7 +343,9 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
           }
         }
         probe->on_blocked(call.arrival, static_cast<int>(call.src.index()),
-                          static_cast<int>(call.dst.index()), blocking_link, call.bandwidth);
+                          static_cast<int>(call.dst.index()), blocking_link, call.bandwidth,
+                          blocking_link >= 0 ? alt_occ[static_cast<std::size_t>(blocking_link)]
+                                             : 0);
         // Reserved-state diagnosis (see loss::run_trace).
         if (decision.alternates_probed > 0) {
           for (const routing::Path& alt : routes_for_pair.alternates) {
@@ -326,7 +354,9 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
             if (j < 0) continue;
             const net::LinkId id = alt.links[static_cast<std::size_t>(j)];
             if (state.link(id).admits(loss::CallClass::kPrimary, call.bandwidth)) {
-              probe->on_reserved_rejection(static_cast<int>(id.index()));
+              probe->on_reserved_rejection(call.arrival, static_cast<int>(call.src.index()),
+                                           static_cast<int>(call.dst.index()),
+                                           static_cast<int>(id.index()));
             }
           }
         }

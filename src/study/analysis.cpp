@@ -1,0 +1,50 @@
+#include "study/analysis.hpp"
+
+#include <ostream>
+
+#include "routing/route_table.hpp"
+#include "study/report.hpp"
+
+namespace altroute::study {
+
+obs::analysis::AnalysisConfig analysis_config_for(
+    const net::Graph& graph, const net::TrafficMatrix& nominal, int max_alt_hops,
+    const std::vector<PolicyKind>& policies, const std::vector<double>& load_factors,
+    int replications_per_point, double warmup, double measure, int time_bins) {
+  obs::analysis::AnalysisConfig config;
+  config.node_count = graph.node_count();
+  config.link_count = static_cast<std::size_t>(graph.link_count());
+  const routing::RouteTable routes = routing::build_min_hop_routes(graph, max_alt_hops);
+  config.lambda = routing::primary_link_loads(graph, routes, nominal);
+  config.capacity.reserve(config.link_count);
+  config.link_names.reserve(config.link_count);
+  for (int k = 0; k < graph.link_count(); ++k) {
+    const net::Link& link = graph.link(net::LinkId(k));
+    config.capacity.push_back(link.capacity);
+    config.link_names.push_back(std::to_string(link.src.index()) + "->" +
+                                std::to_string(link.dst.index()));
+  }
+  config.max_alt_hops = max_alt_hops;
+  for (const PolicyKind kind : policies) config.policy_names.push_back(policy_name(kind));
+  config.load_factors = load_factors;
+  config.replications_per_point = replications_per_point;
+  config.warmup = warmup;
+  config.measure = measure;
+  config.time_bins = time_bins;
+  return config;
+}
+
+obs::analysis::AnalysisReport render_analysis(std::string_view jsonl,
+                                              const obs::analysis::AnalysisConfig& config,
+                                              std::ostream& out,
+                                              const std::optional<std::string>& json_path) {
+  obs::analysis::AnalysisReport report = obs::analysis::analyze_trace(jsonl, config);
+  out << obs::analysis::analysis_table(report);
+  if (json_path) {
+    write_file(*json_path, obs::analysis::analysis_json(report));
+    out << "analysis report written to " << *json_path << '\n';
+  }
+  return report;
+}
+
+}  // namespace altroute::study

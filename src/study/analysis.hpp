@@ -1,0 +1,46 @@
+// Study-side glue for the trace-analytics layer (obs/analysis): builds an
+// AnalysisConfig from the same inputs a sweep takes, and runs/renders the
+// post-pass for the --analyze / --analysis-out CLI flags.
+//
+// The live path is deliberately indirect: the sweep's trace records are
+// formatted to JSONL bytes first and those bytes are analyzed -- the SAME
+// parser and pipeline the offline `tools/altroute_analyze` applies to a
+// saved --trace file -- so live and offline reports over the same run are
+// byte-identical by construction (the determinism acceptance criterion).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "obs/analysis/analyzer.hpp"
+#include "obs/analysis/render.hpp"
+#include "study/experiment.hpp"
+
+namespace altroute::study {
+
+/// Builds the analyzer config for runs on `graph` offered `nominal`:
+/// Lambda^k from the min-hop primary program under the nominal matrix
+/// (Eq. 1; the analyzer scales it per load factor), C^k and the "a->b"
+/// link names from the graph, policy names from the sweep's request.
+/// `replications_per_point` maps trace replication stamps to load points
+/// (the load-sweep harness's task order is load-major, so pass the seed
+/// count; pass 0 for single-point and scenario runs).
+[[nodiscard]] obs::analysis::AnalysisConfig analysis_config_for(
+    const net::Graph& graph, const net::TrafficMatrix& nominal, int max_alt_hops,
+    const std::vector<PolicyKind>& policies, const std::vector<double>& load_factors,
+    int replications_per_point, double warmup, double measure, int time_bins = 20);
+
+/// Analyzes JSONL trace bytes, prints the text report to `out`, and writes
+/// the JSON report to `json_path` when set.  Returns the report so callers
+/// can inspect verdicts (e.g. exit non-zero on a Theorem-1 violation).
+obs::analysis::AnalysisReport render_analysis(std::string_view jsonl,
+                                              const obs::analysis::AnalysisConfig& config,
+                                              std::ostream& out,
+                                              const std::optional<std::string>& json_path);
+
+}  // namespace altroute::study

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace altroute::study {
 
 namespace {
@@ -74,14 +76,24 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--trace") {
       options.trace = need_value(i, arg);
     } else if (arg == "--trace-filter") {
-      options.trace_filter = need_value(i, arg);
+      const std::string value = need_value(i, arg);
+      if (value == "list" || value == "help") {
+        options.trace_filter_list = true;
+      } else {
+        obs::parse_trace_filter(value);  // reject unknown kinds at parse time
+        options.trace_filter = value;
+      }
+    } else if (arg == "--analyze") {
+      options.analyze = true;
+    } else if (arg == "--analysis-out") {
+      options.analysis_out = need_value(i, arg);
     } else if (arg == "--fast") {
       options.fast = true;
     } else {
       throw std::invalid_argument("unknown flag '" + arg +
                                   "' (known: --seeds --measure --warmup --loads --hops "
                                   "--threads --csv --scenario --metrics --trace "
-                                  "--trace-filter --fast)");
+                                  "--trace-filter --analyze --analysis-out --fast)");
     }
   }
   return options;

@@ -13,7 +13,13 @@
 //   --metrics PATH   write merged per-policy metrics as JSON
 //   --trace PATH     write the structured event trace as JSON lines
 //   --trace-filter K comma-separated record kinds for --trace
-//                    (call_admitted,call_blocked,... ; default all)
+//                    (call_admitted,call_blocked,... ; default all);
+//                    the special values `list` / `help` make the binary
+//                    print every valid kind name and exit
+//   --analyze        run the trace-analytics post-pass (Theorem-1 audit,
+//                    attribution matrix, CIs) and print the report
+//   --analysis-out P also write the analysis report as JSON to P
+//                    (implies --analyze)
 //   --fast           shrink seeds/horizon for a quick smoke run
 #pragma once
 
@@ -36,7 +42,17 @@ struct CliOptions {
   std::optional<std::string> trace;
   /// Kind list for --trace (see obs::parse_trace_filter); unset = all.
   std::optional<std::string> trace_filter;
+  /// `--trace-filter list` / `help`: the binary should print
+  /// obs::trace_kind_list() and exit 0 instead of running.
+  bool trace_filter_list{false};
+  /// Run the analysis post-pass and print the text report.
+  bool analyze{false};
+  /// Also write the analysis report as JSON here (implies analyze).
+  std::optional<std::string> analysis_out;
   bool fast{false};
+
+  /// True when any analysis output was requested.
+  [[nodiscard]] bool wants_analysis() const { return analyze || analysis_out.has_value(); }
 };
 
 /// Parses argv; throws std::invalid_argument (with a usage hint) on unknown

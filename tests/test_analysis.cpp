@@ -1,0 +1,469 @@
+// Trace analytics layer: loss-less JSONL round-trips, the empirical
+// Theorem-1 audit (controlled passes, uncontrolled is flagged), live vs.
+// offline determinism, attribution consistency, and config validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "obs/analysis/analyzer.hpp"
+#include "obs/analysis/render.hpp"
+#include "obs/analysis/trace_read.hpp"
+#include "obs/trace.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/scenario.hpp"
+#include "study/analysis.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace altroute {
+namespace {
+
+using obs::JsonlTraceSink;
+using obs::TraceKind;
+using obs::TraceRecord;
+using obs::analysis::AnalysisConfig;
+using obs::analysis::AnalysisReport;
+using obs::analysis::LinkAudit;
+
+// ---------------------------------------------------------------- helpers
+
+/// One synthetic record per kind, every kind-relevant field non-default.
+std::vector<TraceRecord> records_of_every_kind() {
+  std::vector<TraceRecord> records;
+
+  TraceRecord admitted;
+  admitted.time = 40.125;
+  admitted.kind = TraceKind::kCallAdmitted;
+  admitted.src = 2;
+  admitted.dst = 3;
+  admitted.hops = 2;
+  admitted.units = 1;
+  admitted.alternate = true;
+  admitted.hold = 1.25;
+  admitted.links = {4, 9};
+  admitted.occ = {97, 100};
+  admitted.replication = 3;
+  admitted.policy = 1;
+  records.push_back(admitted);
+
+  TraceRecord primary;  // no occ array: the field is omitted, not defaulted
+  primary.time = 0.001;
+  primary.kind = TraceKind::kCallAdmitted;
+  primary.src = 0;
+  primary.dst = 1;
+  primary.hops = 1;
+  primary.units = 2;
+  primary.hold = 3.5;
+  primary.links = {0};
+  records.push_back(primary);
+
+  TraceRecord blocked;
+  blocked.time = 41.5;
+  blocked.kind = TraceKind::kCallBlocked;
+  blocked.src = 1;
+  blocked.dst = 2;
+  blocked.units = 1;
+  blocked.link = 7;
+  blocked.alt_occupancy = 3;
+  blocked.replication = 0;
+  blocked.policy = 2;
+  records.push_back(blocked);
+
+  TraceRecord unattributed;
+  unattributed.time = 42.0;
+  unattributed.kind = TraceKind::kCallBlocked;
+  unattributed.src = 1;
+  unattributed.dst = 2;
+  records.push_back(unattributed);
+
+  TraceRecord preempted;
+  preempted.time = 43.0;
+  preempted.kind = TraceKind::kCallPreempted;
+  preempted.link = 5;
+  preempted.hops = 3;
+  preempted.units = 1;
+  records.push_back(preempted);
+
+  TraceRecord killed;
+  killed.time = 44.0;
+  killed.kind = TraceKind::kCallKilled;
+  killed.link = 11;
+  killed.hops = 2;
+  killed.units = 4;
+  records.push_back(killed);
+
+  TraceRecord event;
+  event.time = 45.0;
+  event.kind = TraceKind::kEventApplied;
+  event.detail = "link_fail";
+  event.links_changed = 2;
+  event.count = 17;
+  records.push_back(event);
+
+  TraceRecord resolved;
+  resolved.time = 45.0;
+  resolved.kind = TraceKind::kProtectionResolved;
+  resolved.links_changed = 24;
+  records.push_back(resolved);
+
+  TraceRecord reserved;
+  reserved.time = 46.75;
+  reserved.kind = TraceKind::kReservedRejection;
+  reserved.src = 4;
+  reserved.dst = 5;
+  reserved.link = 13;
+  records.push_back(reserved);
+
+  return records;
+}
+
+/// Runs a quadrangle sweep with a buffering trace sink and returns the
+/// JSONL bytes (the same bytes the live --analyze path consumes).
+std::string quadrangle_trace(const std::vector<study::PolicyKind>& policies,
+                             const std::vector<double>& loads, int seeds, double measure,
+                             int threads = 1) {
+  study::SweepOptions options;
+  options.load_factors = loads;
+  options.seeds = seeds;
+  options.measure = measure;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.threads = threads;
+  options.erlang_bound = false;
+  std::ostringstream buffer;
+  JsonlTraceSink sink(buffer);
+  options.obs.trace = &sink;
+  (void)study::run_sweep(net::full_mesh(4, 100), net::TrafficMatrix::uniform(4, 1.0),
+                         policies, options);
+  return buffer.str();
+}
+
+AnalysisConfig quadrangle_config(const std::vector<study::PolicyKind>& policies,
+                                 const std::vector<double>& loads, int seeds,
+                                 double measure) {
+  return study::analysis_config_for(net::full_mesh(4, 100),
+                                    net::TrafficMatrix::uniform(4, 1.0), 3, policies, loads,
+                                    seeds, 5.0, measure);
+}
+
+// ------------------------------------------------------------ round-trips
+
+TEST(TraceRoundTrip, EveryKindFormatsAndParsesBackLosslessly) {
+  for (const TraceRecord& record : records_of_every_kind()) {
+    const std::string line = JsonlTraceSink::format(record);
+    const TraceRecord parsed = obs::analysis::parse_trace_line(line);
+    EXPECT_EQ(JsonlTraceSink::format(parsed), line) << line;
+    EXPECT_EQ(parsed.kind, record.kind);
+  }
+}
+
+TEST(TraceRoundTrip, ParseTraceSplitsLinesAndSkipsBlanks) {
+  std::string jsonl;
+  const std::vector<TraceRecord> records = records_of_every_kind();
+  for (const TraceRecord& record : records) {
+    jsonl += JsonlTraceSink::format(record);
+    jsonl += "\n\n";  // blank line between records must be ignored
+  }
+  const std::vector<TraceRecord> parsed = obs::analysis::parse_trace(jsonl);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(JsonlTraceSink::format(parsed[i]), JsonlTraceSink::format(records[i]));
+  }
+}
+
+TEST(TraceRoundTrip, MalformedLinesThrowWithContext) {
+  EXPECT_THROW((void)obs::analysis::parse_trace_line("not json"), std::invalid_argument);
+  EXPECT_THROW((void)obs::analysis::parse_trace_line(R"({"t":1})"), std::invalid_argument);
+  EXPECT_THROW((void)obs::analysis::parse_trace_line(R"({"t":1,"kind":"bogus"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs::analysis::parse_trace_line(
+                   R"({"t":1,"kind":"call_blocked","mystery":2})"),
+               std::invalid_argument);
+}
+
+TEST(TraceRoundTrip, RealScenarioTraceSurvivesReformatting) {
+  // A failure_recovery-shaped run: kills, applied events, and protection
+  // re-solves all land in the trace, and every line must reformat to the
+  // exact bytes the sink wrote.
+  const scenario::Scenario scen = scenario::scenario_from_json(R"({
+    "name": "round-trip",
+    "events": [
+      {"time": 12, "type": "link_fail",          "a": 2, "b": 3},
+      {"time": 12, "type": "resolve_protection"},
+      {"time": 18, "type": "link_repair",        "a": 2, "b": 3}
+    ]})");
+  study::ScenarioSweepOptions options;
+  options.seeds = 2;
+  options.measure = 20.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 11;
+  options.time_bins = 10;
+  std::ostringstream buffer;
+  JsonlTraceSink sink(buffer);
+  options.obs.trace = &sink;
+  (void)study::run_scenario_sweep(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(), scen,
+      {study::PolicyKind::kUncontrolledAlternate, study::PolicyKind::kControlledAlternate},
+      options);
+
+  const std::string jsonl = buffer.str();
+  ASSERT_FALSE(jsonl.empty());
+  const std::vector<TraceRecord> parsed = obs::analysis::parse_trace(jsonl);
+  std::string reformatted;
+  unsigned kinds_seen = 0;
+  for (const TraceRecord& record : parsed) {
+    reformatted += JsonlTraceSink::format(record);
+    reformatted += '\n';
+    kinds_seen |= static_cast<unsigned>(record.kind);
+  }
+  EXPECT_EQ(reformatted, jsonl);
+  EXPECT_TRUE(kinds_seen & static_cast<unsigned>(TraceKind::kCallAdmitted));
+  EXPECT_TRUE(kinds_seen & static_cast<unsigned>(TraceKind::kCallKilled));
+  EXPECT_TRUE(kinds_seen & static_cast<unsigned>(TraceKind::kEventApplied));
+  EXPECT_TRUE(kinds_seen & static_cast<unsigned>(TraceKind::kProtectionResolved));
+}
+
+// -------------------------------------------------------- Theorem-1 audit
+
+TEST(Theorem1Audit, ControlledQuadranglePassesUnderOverload) {
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kControlledAlternate};
+  const std::string jsonl = quadrangle_trace(policies, {95.0}, 3, 25.0);
+  const AnalysisReport report =
+      obs::analysis::analyze_trace(jsonl, quadrangle_config(policies, {95.0}, 3, 25.0));
+
+  ASSERT_EQ(report.sections.size(), 1u);
+  const auto& section = report.sections[0];
+  EXPECT_GT(section.audited, 0);
+  EXPECT_EQ(section.violations, 0);
+  EXPECT_TRUE(report.theorem1_ok());
+  // Stronger than the CI verdict: a compliant controlled run admits
+  // alternates only at s <= C - r*, so even the POINT estimate cannot
+  // exceed the bound.
+  for (const LinkAudit& audit : section.links) {
+    if (audit.verdict == LinkAudit::Verdict::kNotApplicable) continue;
+    EXPECT_LE(audit.l_mean, audit.bound + 1e-12) << "link " << audit.link;
+    EXPECT_LE(audit.l_pooled, audit.bound + 1e-12) << "link " << audit.link;
+  }
+}
+
+TEST(Theorem1Audit, UncontrolledQuadrangleIsFlagged) {
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kUncontrolledAlternate};
+  const std::string jsonl = quadrangle_trace(policies, {95.0}, 3, 25.0);
+  const AnalysisReport report =
+      obs::analysis::analyze_trace(jsonl, quadrangle_config(policies, {95.0}, 3, 25.0));
+
+  ASSERT_EQ(report.sections.size(), 1u);
+  EXPECT_FALSE(report.theorem1_ok());
+  // Under symmetric overload every link admits alternates deep inside the
+  // protected band; expect the audit to flag most of the network, not a
+  // lucky link or two.
+  EXPECT_GE(report.sections[0].violations, 6);
+}
+
+TEST(Theorem1Audit, ControlledNsfnetPasses) {
+  study::SweepOptions options;
+  options.load_factors = {1.2};
+  options.seeds = 2;
+  options.measure = 10.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 11;
+  options.erlang_bound = false;
+  std::ostringstream buffer;
+  JsonlTraceSink sink(buffer);
+  options.obs.trace = &sink;
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kControlledAlternate};
+  (void)study::run_sweep(net::nsfnet_t3(), study::nsfnet_nominal_traffic(), policies,
+                         options);
+
+  const AnalysisConfig config = study::analysis_config_for(
+      net::nsfnet_t3(), study::nsfnet_nominal_traffic(), 11, policies, {1.2}, 2, 5.0, 10.0);
+  const AnalysisReport report = obs::analysis::analyze_trace(buffer.str(), config);
+  ASSERT_EQ(report.sections.size(), 1u);
+  EXPECT_GT(report.sections[0].audited, 0);
+  EXPECT_TRUE(report.theorem1_ok());
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(AnalysisDeterminism, ThreadCountNeverChangesTheReport) {
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kUncontrolledAlternate,
+                                                study::PolicyKind::kControlledAlternate};
+  const std::vector<double> loads{85.0, 95.0};
+  const AnalysisConfig config = quadrangle_config(policies, loads, 2, 10.0);
+
+  const std::string serial = quadrangle_trace(policies, loads, 2, 10.0, /*threads=*/1);
+  const std::string pooled = quadrangle_trace(policies, loads, 2, 10.0, /*threads=*/4);
+  const std::string all_hw = quadrangle_trace(policies, loads, 2, 10.0, /*threads=*/0);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(serial, all_hw);
+
+  const std::string report_serial =
+      obs::analysis::analysis_json(obs::analysis::analyze_trace(serial, config));
+  const std::string report_pooled =
+      obs::analysis::analysis_json(obs::analysis::analyze_trace(pooled, config));
+  EXPECT_EQ(report_serial, report_pooled);
+
+  // Two policies x two load points, in (policy, point) order.
+  const AnalysisReport report = obs::analysis::analyze_trace(serial, config);
+  ASSERT_EQ(report.sections.size(), 4u);
+  EXPECT_EQ(report.sections[0].policy_slot, 0);
+  EXPECT_EQ(report.sections[0].load_factor, 85.0);
+  EXPECT_EQ(report.sections[1].load_factor, 95.0);
+  EXPECT_EQ(report.sections[2].policy_slot, 1);
+  EXPECT_EQ(report.sections[3].load_factor, 95.0);
+  for (const auto& section : report.sections) EXPECT_EQ(section.replications, 2u);
+}
+
+TEST(AnalysisDeterminism, RecordsAndBytesAgree) {
+  // analyze_trace is parse + analyze_records; the renderers must not
+  // depend on which path produced the report.
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kControlledAlternate};
+  const std::string jsonl = quadrangle_trace(policies, {90.0}, 2, 10.0);
+  const AnalysisConfig config = quadrangle_config(policies, {90.0}, 2, 10.0);
+  const AnalysisReport from_bytes = obs::analysis::analyze_trace(jsonl, config);
+  const AnalysisReport from_records =
+      obs::analysis::analyze_records(obs::analysis::parse_trace(jsonl), config);
+  EXPECT_EQ(obs::analysis::analysis_json(from_bytes),
+            obs::analysis::analysis_json(from_records));
+  EXPECT_EQ(obs::analysis::analysis_table(from_bytes),
+            obs::analysis::analysis_table(from_records));
+}
+
+// ------------------------------------------------------------ attribution
+
+TEST(Attribution, SectionTotalsAreInternallyConsistent) {
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kUncontrolledAlternate};
+  const std::string jsonl = quadrangle_trace(policies, {95.0}, 2, 15.0);
+  const AnalysisReport report =
+      obs::analysis::analyze_trace(jsonl, quadrangle_config(policies, {95.0}, 2, 15.0));
+  ASSERT_EQ(report.sections.size(), 1u);
+  const auto& section = report.sections[0];
+
+  long long pair_primary = 0, pair_alternate = 0, pair_blocked = 0, pair_reserved = 0;
+  for (const auto& pair : section.pairs) {
+    pair_primary += pair.carried_primary;
+    pair_alternate += pair.carried_alternate;
+    pair_blocked += pair.blocked;
+    pair_reserved += pair.reserved_rejections;
+  }
+  const auto metric_total = [&](const std::string& name) {
+    for (const auto& metric : section.metrics) {
+      if (metric.name == name) {
+        return metric.mean * static_cast<double>(metric.replications);
+      }
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(static_cast<double>(pair_primary), metric_total("carried_primary"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(pair_alternate), metric_total("carried_alternate"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(pair_blocked), metric_total("blocked"));
+  EXPECT_DOUBLE_EQ(static_cast<double>(pair_reserved), metric_total("reserved_rejections"));
+
+  // Every alternate admission rides its booked links: the audit's per-link
+  // admission totals and the (pair, link) cells count the same events.
+  long long audit_rides = 0, cell_rides = 0;
+  for (const LinkAudit& audit : section.links) audit_rides += audit.alternate_admissions;
+  for (const auto& cell : section.cells) cell_rides += cell.alternate_carried;
+  EXPECT_EQ(audit_rides, cell_rides);
+  EXPECT_GT(audit_rides, 0);
+}
+
+TEST(Attribution, OccupancySeriesIsPopulatedAndStationary) {
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kControlledAlternate};
+  const std::string jsonl = quadrangle_trace(policies, {90.0}, 2, 20.0);
+  AnalysisConfig config = quadrangle_config(policies, {90.0}, 2, 20.0);
+  config.time_bins = 10;
+  const AnalysisReport report = obs::analysis::analyze_trace(jsonl, config);
+  ASSERT_EQ(report.sections.size(), 1u);
+  const auto& section = report.sections[0];
+  ASSERT_EQ(section.bin_occupancy.size(), 10u);
+  ASSERT_EQ(section.bin_time.size(), 10u);
+  EXPECT_DOUBLE_EQ(section.bin_time[0], 5.0);
+  for (const double occupancy : section.bin_occupancy) EXPECT_GT(occupancy, 0.0);
+  // A steady overloaded quadrangle hugs full occupancy: the batch-means
+  // diagnostic must not flag it.
+  EXPECT_TRUE(section.stationary);
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(AnalysisConfigValidation, RejectsInconsistentConfigs) {
+  const std::vector<TraceRecord> records = {[] {
+    TraceRecord r;
+    r.kind = TraceKind::kCallAdmitted;
+    r.time = 1.0;
+    r.src = 0;
+    r.dst = 1;
+    r.links = {0};
+    r.occ = {1};
+    return r;
+  }()};
+
+  AnalysisConfig good;
+  good.node_count = 2;
+  good.link_count = 1;
+  good.lambda = {1.0};
+  good.capacity = {10};
+  EXPECT_NO_THROW((void)obs::analysis::analyze_records(records, good));
+
+  AnalysisConfig no_links = good;
+  no_links.link_count = 0;
+  no_links.lambda.clear();
+  no_links.capacity.clear();
+  EXPECT_THROW((void)obs::analysis::analyze_records(records, no_links),
+               std::invalid_argument);
+
+  AnalysisConfig short_lambda = good;
+  short_lambda.lambda.clear();
+  EXPECT_THROW((void)obs::analysis::analyze_records(records, short_lambda),
+               std::invalid_argument);
+
+  AnalysisConfig no_points = good;
+  no_points.load_factors.clear();
+  EXPECT_THROW((void)obs::analysis::analyze_records(records, no_points),
+               std::invalid_argument);
+
+  AnalysisConfig bad_measure = good;
+  bad_measure.measure = 0.0;
+  EXPECT_THROW((void)obs::analysis::analyze_records(records, bad_measure),
+               std::invalid_argument);
+
+  AnalysisConfig bad_rpp = good;
+  bad_rpp.replications_per_point = -1;
+  EXPECT_THROW((void)obs::analysis::analyze_records(records, bad_rpp),
+               std::invalid_argument);
+}
+
+TEST(AnalysisConfigValidation, RejectsRecordsOutsideTheTopology) {
+  AnalysisConfig config;
+  config.node_count = 2;
+  config.link_count = 1;
+  config.lambda = {1.0};
+  config.capacity = {10};
+
+  TraceRecord rogue_link;
+  rogue_link.kind = TraceKind::kCallBlocked;
+  rogue_link.src = 0;
+  rogue_link.dst = 1;
+  rogue_link.link = 5;
+  EXPECT_THROW((void)obs::analysis::analyze_records({rogue_link}, config),
+               std::invalid_argument);
+
+  TraceRecord rogue_rep;
+  rogue_rep.kind = TraceKind::kCallAdmitted;
+  rogue_rep.src = 0;
+  rogue_rep.dst = 1;
+  rogue_rep.replication = 3;
+  config.replications_per_point = 1;  // one point only: rep 3 is off the map
+  EXPECT_THROW((void)obs::analysis::analyze_records({rogue_rep}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace altroute

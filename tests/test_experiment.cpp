@@ -156,6 +156,27 @@ TEST(Cli, RejectsBadInput) {
   const char* negative_threads[] = {"prog", "--threads", "-2"};
   EXPECT_THROW((void)study::parse_cli(3, const_cast<char**>(negative_threads)),
                std::invalid_argument);
+  // Unknown trace kinds are rejected at parse time (even without --trace),
+  // and the error enumerates the valid kind names.
+  const char* bad_kind[] = {"prog", "--trace-filter", "bogus_kind"};
+  try {
+    (void)study::parse_cli(3, const_cast<char**>(bad_kind));
+    FAIL() << "expected invalid_argument for unknown trace kind";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus_kind"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("call_killed"), std::string::npos);
+  }
+}
+
+TEST(Cli, TraceFilterListFlag) {
+  const char* list_argv[] = {"prog", "--trace-filter", "list"};
+  EXPECT_TRUE(study::parse_cli(3, const_cast<char**>(list_argv)).trace_filter_list);
+  const char* help_argv[] = {"prog", "--trace-filter", "help"};
+  EXPECT_TRUE(study::parse_cli(3, const_cast<char**>(help_argv)).trace_filter_list);
+  const char* kinds_argv[] = {"prog", "--trace-filter", "call_killed,event_applied"};
+  const study::CliOptions cli = study::parse_cli(3, const_cast<char**>(kinds_argv));
+  EXPECT_FALSE(cli.trace_filter_list);
+  EXPECT_EQ(cli.trace_filter, "call_killed,event_applied");
 }
 
 TEST(Cli, ShapeDefaultsAndFastMode) {

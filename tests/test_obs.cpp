@@ -156,9 +156,32 @@ TEST(Trace, ParseTraceFilter) {
     (void)obs::parse_trace_filter("call_killed,bogus_kind");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("bogus_kind"), std::string::npos);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus_kind"), std::string::npos);
+    // The error enumerates every valid kind so the user never has to guess.
+    for (const obs::TraceKind kind : obs::all_trace_kinds()) {
+      EXPECT_NE(what.find(std::string(obs::trace_kind_name(kind))), std::string::npos)
+          << what;
+    }
   }
   EXPECT_THROW((void)obs::parse_trace_filter(","), std::invalid_argument);
+}
+
+TEST(Trace, KindListEnumeratesEveryKind) {
+  // all_trace_kinds() and kAllTraceKinds must agree: or-ing every listed
+  // kind reconstructs the full mask, and each name parses back to its bit.
+  unsigned mask = 0;
+  for (const obs::TraceKind kind : obs::all_trace_kinds()) {
+    mask |= static_cast<unsigned>(kind);
+    EXPECT_EQ(obs::parse_trace_filter(obs::trace_kind_name(kind)),
+              static_cast<unsigned>(kind));
+  }
+  EXPECT_EQ(mask, obs::kAllTraceKinds);
+  // The printable list contains each token exactly once, space-separated.
+  const std::string list = obs::trace_kind_list();
+  for (const obs::TraceKind kind : obs::all_trace_kinds()) {
+    EXPECT_NE(list.find(std::string(obs::trace_kind_name(kind))), std::string::npos) << list;
+  }
 }
 
 TEST(Trace, JsonlFormatPerKind) {
@@ -170,17 +193,37 @@ TEST(Trace, JsonlFormatPerKind) {
   r.hops = 2;
   r.units = 1;
   r.alternate = true;
+  r.hold = 1.25;
+  r.links = {4, 9};
   EXPECT_EQ(obs::JsonlTraceSink::format(r),
             "{\"t\":40,\"kind\":\"call_admitted\",\"src\":2,\"dst\":3,"
-            "\"hops\":2,\"units\":1,\"class\":\"alternate\"}");
+            "\"hops\":2,\"units\":1,\"hold\":1.25,\"class\":\"alternate\",\"links\":[4,9]}");
 
   r.kind = obs::TraceKind::kCallBlocked;
   r.link = 7;
+  r.alt_occupancy = 3;
   r.replication = 1;
   r.policy = 2;
   EXPECT_EQ(obs::JsonlTraceSink::format(r),
             "{\"t\":40,\"kind\":\"call_blocked\",\"rep\":1,\"policy\":2,"
-            "\"src\":2,\"dst\":3,\"units\":1,\"link\":7}");
+            "\"src\":2,\"dst\":3,\"units\":1,\"link\":7,\"alt_occ\":3}");
+
+  obs::TraceRecord u;  // unattributable block: no link, no alt_occ fields
+  u.time = 40.0;
+  u.kind = obs::TraceKind::kCallBlocked;
+  u.src = 2;
+  u.dst = 3;
+  EXPECT_EQ(obs::JsonlTraceSink::format(u),
+            "{\"t\":40,\"kind\":\"call_blocked\",\"src\":2,\"dst\":3,\"units\":1}");
+
+  obs::TraceRecord rr;
+  rr.time = 40.0;
+  rr.kind = obs::TraceKind::kReservedRejection;
+  rr.src = 2;
+  rr.dst = 3;
+  rr.link = 11;
+  EXPECT_EQ(obs::JsonlTraceSink::format(rr),
+            "{\"t\":40,\"kind\":\"reserved_rejection\",\"src\":2,\"dst\":3,\"link\":11}");
 
   obs::TraceRecord k;
   k.time = 40.123456789;
@@ -215,11 +258,43 @@ TEST(Trace, ProbeFiltersAtTheSource) {
   obs::VectorTraceSink sink(static_cast<unsigned>(obs::TraceKind::kCallKilled));
   obs::Probe probe(nullptr, &sink);
   probe.bind(g.link_count());
-  probe.on_admitted(1.0, 0, 1, path, false, 1, 0);
+  probe.on_admitted(1.0, 0, 1, path, false, 1, 0, 2.5);
   probe.on_killed(2.0, path, 0, 1);
   ASSERT_EQ(sink.records.size(), 1u);
   EXPECT_EQ(sink.records[0].kind, obs::TraceKind::kCallKilled);
   EXPECT_DOUBLE_EQ(sink.records[0].time, 2.0);
+}
+
+// Buffered records must own their strings: the caller's `detail` may be a
+// temporary that dies right after the hook returns, and the sweep harness
+// moves record buffers out of their sink (and across threads) before
+// rendering them -- a borrowed string_view would dangle at both points
+// (regression test for the string_view lifetime bug class).
+TEST(Trace, BufferedRecordsOwnDetailStrings) {
+  obs::VectorTraceSink sink(obs::kAllTraceKinds);
+  std::vector<obs::TraceRecord> moved_out;
+  {
+    obs::Probe probe(nullptr, &sink);
+    probe.bind(1);
+    {
+      std::string transient = "link_fail";
+      probe.on_event_applied(40.0, transient, 2, 5);
+      // Clobber the caller's buffer before reading the record back.
+      transient.assign(transient.size(), 'X');
+    }
+    {
+      std::string other = std::string("traffic_") + "scale";  // heap temporary
+      probe.on_event_applied(41.0, other, 0, 0);
+    }
+    // The harness pattern: records outlive the sink that buffered them.
+    moved_out = std::move(sink.records);
+  }
+  ASSERT_EQ(moved_out.size(), 2u);
+  EXPECT_EQ(moved_out[0].detail, "link_fail");
+  EXPECT_EQ(moved_out[1].detail, "traffic_scale");
+  EXPECT_EQ(obs::JsonlTraceSink::format(moved_out[0]),
+            "{\"t\":40,\"kind\":\"event_applied\",\"event\":\"link_fail\","
+            "\"links_changed\":2,\"killed\":5}");
 }
 
 // ---------------------------------------------------------------------------

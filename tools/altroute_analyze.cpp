@@ -1,0 +1,155 @@
+// altroute_analyze: offline trace analytics.
+//
+// Consumes a JSONL trace written by any instrumented binary (--trace) and
+// produces the same report the live --analyze path prints: the empirical
+// Theorem-1 audit (per-link L^k vs the Eq. 15 bound), per-OD-pair and
+// (pair, link) overflow attribution, across-replication confidence
+// intervals, and the time-binned occupancy series.  Because the live path
+// formats its records to JSONL bytes and feeds them through this same
+// parser, running this tool over a saved trace of the same run reproduces
+// the live report byte for byte.
+//
+//   usage: altroute_analyze trace.jsonl [flags]
+//     --topology nsfnet|quadrangle   network the trace was recorded on
+//                                    (default nsfnet)
+//     --loads f1,f2,...              load factors of the sweep, in task
+//                                    order (default 1.0)
+//     --seeds N                      replications per load point; 0 = all
+//                                    replications are one point (default 0)
+//     --hops H                       max alternate hops (default: 11 for
+//                                    nsfnet, 3 for quadrangle)
+//     --warmup T / --measure T       measured window (defaults 10 / 100)
+//     --bins N                       occupancy time bins (default 20)
+//     --out report.json              also write the JSON report
+//     --strict                       exit 3 if the Theorem-1 audit flags
+//                                    any violation
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "study/analysis.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+using namespace altroute;
+
+namespace {
+
+struct ToolOptions {
+  std::string trace_path;
+  std::string topology{"nsfnet"};
+  std::vector<double> load_factors{1.0};
+  int seeds{0};
+  std::optional<int> hops;
+  double warmup{10.0};
+  double measure{100.0};
+  int bins{20};
+  std::optional<std::string> out;
+  bool strict{false};
+};
+
+double parse_double(const std::string& flag, const std::string& value) {
+  std::size_t used = 0;
+  const double out = std::stod(value, &used);
+  if (used != value.size()) {
+    throw std::invalid_argument(flag + ": trailing junk in '" + value + "'");
+  }
+  return out;
+}
+
+ToolOptions parse_args(int argc, char** argv) {
+  ToolOptions options;
+  const auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) throw std::invalid_argument(flag + ": missing value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--topology") {
+      options.topology = need_value(i, arg);
+      if (options.topology != "nsfnet" && options.topology != "quadrangle") {
+        throw std::invalid_argument("--topology: expected nsfnet or quadrangle");
+      }
+    } else if (arg == "--loads") {
+      std::vector<double> loads;
+      std::stringstream ss(need_value(i, arg));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) loads.push_back(parse_double(arg, item));
+      }
+      if (loads.empty()) throw std::invalid_argument("--loads: empty list");
+      options.load_factors = std::move(loads);
+    } else if (arg == "--seeds") {
+      options.seeds = static_cast<int>(parse_double(arg, need_value(i, arg)));
+      if (options.seeds < 0) throw std::invalid_argument("--seeds: must be >= 0");
+    } else if (arg == "--hops") {
+      options.hops = static_cast<int>(parse_double(arg, need_value(i, arg)));
+      if (*options.hops < 1) throw std::invalid_argument("--hops: must be >= 1");
+    } else if (arg == "--warmup") {
+      options.warmup = parse_double(arg, need_value(i, arg));
+    } else if (arg == "--measure") {
+      options.measure = parse_double(arg, need_value(i, arg));
+    } else if (arg == "--bins") {
+      options.bins = static_cast<int>(parse_double(arg, need_value(i, arg)));
+      if (options.bins < 1) throw std::invalid_argument("--bins: must be >= 1");
+    } else if (arg == "--out") {
+      options.out = need_value(i, arg);
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown flag '" + arg +
+                                  "' (known: --topology --loads --seeds --hops --warmup "
+                                  "--measure --bins --out --strict)");
+    } else if (options.trace_path.empty()) {
+      options.trace_path = arg;
+    } else {
+      throw std::invalid_argument("unexpected extra argument '" + arg + "'");
+    }
+  }
+  if (options.trace_path.empty()) {
+    throw std::invalid_argument(
+        "usage: altroute_analyze trace.jsonl [--topology nsfnet|quadrangle] "
+        "[--loads f1,f2,...] [--seeds N] [--hops H] [--warmup T] [--measure T] "
+        "[--bins N] [--out report.json] [--strict]");
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ToolOptions options = parse_args(argc, argv);
+    std::ifstream in(options.trace_path);
+    if (!in) {
+      std::cerr << "altroute_analyze: cannot open " << options.trace_path << '\n';
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    const bool nsfnet = options.topology == "nsfnet";
+    const net::Graph graph = nsfnet ? net::nsfnet_t3() : net::full_mesh(4, 100);
+    const net::TrafficMatrix nominal =
+        nsfnet ? study::nsfnet_nominal_traffic() : net::TrafficMatrix::uniform(4, 1.0);
+    const int hops = options.hops.value_or(nsfnet ? 11 : 3);
+    const obs::analysis::AnalysisConfig config = study::analysis_config_for(
+        graph, nominal, hops,
+        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+         study::PolicyKind::kControlledAlternate},
+        options.load_factors, options.seeds, options.warmup, options.measure, options.bins);
+
+    const obs::analysis::AnalysisReport report =
+        study::render_analysis(buffer.str(), config, std::cout, options.out);
+    if (options.strict && !report.theorem1_ok()) return 3;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "altroute_analyze: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Record the sweep-harness benchmark as a small committed-artifact JSON.
+
+Runs the microbench's BM_NsfnetSweepThreads rows (the end-to-end parallel
+sweep wall clock, one row per thread count) and distils google-benchmark's
+raw output into BENCH_sweep.json: mean/median milliseconds per thread
+count, plus the git revision and date, so CI can archive one comparable
+perf record per commit.
+
+    $ python3 tools/bench_record.py --bench build/bench/microbench \
+          --out BENCH_sweep.json --repetitions 3
+
+Exits non-zero when the benchmark binary fails or produces no matching
+rows.  Needs only the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def git_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_benchmark(bench: str, bench_filter: str, repetitions: int) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    try:
+        cmd = [
+            bench,
+            f"--benchmark_filter={bench_filter}",
+            f"--benchmark_out={raw_path}",
+            "--benchmark_out_format=json",
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=false",
+        ]
+        subprocess.run(cmd, check=True, stdout=sys.stderr)
+        with open(raw_path, encoding="utf-8") as handle:
+            return json.load(handle)
+    finally:
+        os.unlink(raw_path)
+
+
+def threads_of(name: str, base: str) -> str | None:
+    """BM_NsfnetSweepThreads/4/real_time -> '4' (None for foreign rows)."""
+    if not name.startswith(base + "/"):
+        return None
+    return name[len(base) + 1 :].split("/")[0]
+
+
+def distil(raw: dict, base: str) -> dict:
+    """Per-thread-count mean/median real time in milliseconds."""
+    samples: dict[str, list[float]] = {}
+    for row in raw.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue  # recomputed below from the iteration rows
+        threads = threads_of(row.get("name", ""), base)
+        if threads is None:
+            continue
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[row.get("time_unit", "ns")]
+        samples.setdefault(threads, []).append(float(row["real_time"]) * scale)
+    return {
+        threads: {
+            "mean_ms": round(statistics.fmean(times), 3),
+            "median_ms": round(statistics.median(times), 3),
+            "samples": len(times),
+        }
+        for threads, times in sorted(samples.items(), key=lambda kv: int(kv[0]))
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="build/bench/microbench",
+                        help="microbench binary (default build/bench/microbench)")
+    parser.add_argument("--filter", default="BM_NsfnetSweepThreads",
+                        help="benchmark family to record")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="repetitions per row (default 3)")
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output path (default BENCH_sweep.json)")
+    args = parser.parse_args()
+
+    raw = run_benchmark(args.bench, args.filter, args.repetitions)
+    results = distil(raw, args.filter)
+    if not results:
+        print(f"bench_record: no '{args.filter}' rows in benchmark output",
+              file=sys.stderr)
+        return 1
+
+    record = {
+        "benchmark": args.filter,
+        "git_sha": git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "repetitions": args.repetitions,
+        "unit": "milliseconds of real time per sweep",
+        "threads": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"bench_record: wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
