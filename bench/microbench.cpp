@@ -12,6 +12,7 @@
 #include "netgraph/topologies.hpp"
 #include "routing/route_table.hpp"
 #include "routing/shortest_paths.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/call_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "erlang/kaufman_roberts.hpp"
@@ -97,6 +98,24 @@ void BM_EventQueueChurn(benchmark::State& state) {
   benchmark::DoNotOptimize(now);
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_CalendarQueueChurn(benchmark::State& state) {
+  // Same hold-model churn as BM_EventQueueChurn, on the calendar queue the
+  // engines now run: O(1) amortized per operation vs the heap's O(log n),
+  // so the gap should widen with depth.
+  sim::Rng rng(1, 0);
+  sim::CalendarQueue<int> q;
+  const int depth = static_cast<int>(state.range(0));
+  double now = 0.0;
+  for (int i = 0; i < depth; ++i) q.schedule(rng.uniform01(), i);
+  for (auto _ : state) {
+    const auto [t, payload] = q.pop();
+    now = t;
+    q.schedule(now + rng.exponential(1.0), payload);
+  }
+  benchmark::DoNotOptimize(now);
+}
+BENCHMARK(BM_CalendarQueueChurn)->Arg(1000)->Arg(100000);
 
 void BM_TraceGenerationNsfnet(benchmark::State& state) {
   const net::TrafficMatrix& t = study::nsfnet_nominal_traffic();

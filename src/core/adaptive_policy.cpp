@@ -55,7 +55,7 @@ bool AdaptiveControlledPolicy::alternate_admissible(const loss::RoutingContext& 
   // engine's NetworkState carries the a-priori levels, which this policy
   // deliberately ignores: its links trust only their own estimates).
   for (const net::LinkId id : path.links) {
-    const loss::LinkState& link = ctx.state.link(id);
+    const auto link = ctx.state.link(id);
     if (link.occupancy() + ctx.bandwidth > link.capacity()) return false;
     if (link.occupancy() + ctx.bandwidth > link.capacity() - reservation_[id.index()]) {
       return false;

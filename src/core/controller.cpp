@@ -27,15 +27,18 @@ Controller::Controller(net::Graph graph, net::TrafficMatrix nominal,
 
 void Controller::retarget(const net::TrafficMatrix& traffic) {
   lambda_ = routing::primary_link_loads(graph_, routes_, traffic);
+  // The memo rebuilds only links whose (Lambda, C) changed; its r* scan is
+  // identical to erlang::min_state_protection, so the levels are
+  // bit-identical to the direct computation.
+  memo_.configure(lambda_, link_capacities(graph_));
   if (config_.per_link_h) {
     const std::vector<int> h = per_link_max_alt_hops(graph_, routes_);
-    const std::vector<int> capacity = link_capacities(graph_);
     reservations_.resize(lambda_.size());
     for (std::size_t k = 0; k < lambda_.size(); ++k) {
-      reservations_[k] = erlang::min_state_protection(lambda_[k], capacity[k], h[k]);
+      reservations_[k] = memo_.link(k).r_star(h[k]);
     }
   } else {
-    reservations_ = protection_levels_from_lambda(graph_, lambda_, config_.max_alt_hops);
+    reservations_ = memo_.protection_levels(config_.max_alt_hops);
   }
 }
 

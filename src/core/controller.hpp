@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/protection.hpp"
+#include "erlang/memo.hpp"
 #include "loss/engine.hpp"
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
@@ -82,6 +83,9 @@ class Controller {
   routing::RouteTable routes_;
   std::vector<double> lambda_;
   std::vector<int> reservations_;
+  /// Per-link Erlang tables keyed on (Lambda, C): retargets that leave a
+  /// link's demand unchanged reuse its cached inverse sequence and r*.
+  erlang::NetworkErlangMemo memo_;
 };
 
 }  // namespace altroute::core

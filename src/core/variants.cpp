@@ -71,7 +71,7 @@ bool PerLengthControlledPolicy::admissible(const loss::RoutingContext& ctx,
   if (h >= r_by_h_.size()) return false;  // longer than the configured H: refuse
   const std::vector<int>& r = r_by_h_[h];
   for (const net::LinkId id : path.links) {
-    const loss::LinkState& link = ctx.state.link(id);
+    const auto link = ctx.state.link(id);
     if (link.occupancy() + ctx.bandwidth > link.capacity()) return false;
     if (link.occupancy() + ctx.bandwidth > link.capacity() - r[id.index()]) return false;
   }

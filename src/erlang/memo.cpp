@@ -1,0 +1,105 @@
+#include "erlang/memo.hpp"
+
+#include <stdexcept>
+
+#include "erlang/erlang_b.hpp"
+
+namespace altroute::erlang {
+
+bool LinkErlangMemo::configure(double lambda, int capacity) {
+  if (!(lambda >= 0.0)) throw std::invalid_argument("LinkErlangMemo: lambda < 0");
+  if (capacity <= 0) throw std::invalid_argument("LinkErlangMemo: capacity <= 0");
+  if (capacity == capacity_ && lambda == lambda_) return false;
+  lambda_ = lambda;
+  capacity_ = capacity;
+  y_ = inverse_erlang_sequence(lambda, capacity);
+  cached_h_ = 0;
+  cached_r_ = -1;
+  return true;
+}
+
+void LinkErlangMemo::invalidate() {
+  lambda_ = -1.0;
+  capacity_ = 0;
+  y_.clear();
+  cached_h_ = 0;
+  cached_r_ = -1;
+}
+
+double LinkErlangMemo::blocking_at(int c) const {
+  if (c < 0 || c > capacity_) throw std::out_of_range("LinkErlangMemo::blocking_at");
+  // 1/inf == 0.0: identical to erlang_b's overflow-to-zero behaviour.
+  return 1.0 / y_[static_cast<std::size_t>(c)];
+}
+
+double LinkErlangMemo::theorem1_ratio(int s) const {
+  const double b_s = blocking_at(s);
+  if (b_s == 0.0) return 0.0;
+  return blocking() / b_s;
+}
+
+std::vector<double> LinkErlangMemo::kernel() const {
+  std::vector<double> table(static_cast<std::size_t>(capacity_) + 1, 0.0);
+  if (!(lambda_ > 0.0)) return table;
+  for (int s = 1; s <= capacity_; ++s) {
+    table[static_cast<std::size_t>(s)] = theorem1_ratio(s);
+  }
+  return table;
+}
+
+int LinkErlangMemo::r_star(int max_alt_hops) const {
+  if (max_alt_hops < 1) throw std::invalid_argument("LinkErlangMemo::r_star: H < 1");
+  if (!configured()) throw std::logic_error("LinkErlangMemo::r_star: not configured");
+  if (cached_h_ == max_alt_hops) return cached_r_;
+  // Same scan as erlang::min_state_protection, over the cached sequence.
+  int result = capacity_;
+  if (lambda_ == 0.0) {
+    result = 0;
+  } else {
+    const double target =
+        y_[static_cast<std::size_t>(capacity_)] / static_cast<double>(max_alt_hops);
+    for (int r = 0; r < capacity_; ++r) {
+      if (y_[static_cast<std::size_t>(capacity_ - r)] <= target) {
+        result = r;
+        break;
+      }
+    }
+  }
+  cached_h_ = max_alt_hops;
+  cached_r_ = result;
+  return result;
+}
+
+std::size_t NetworkErlangMemo::configure(const std::vector<double>& lambda,
+                                         const std::vector<int>& capacity) {
+  if (lambda.size() != capacity.size()) {
+    throw std::invalid_argument("NetworkErlangMemo::configure: size mismatch");
+  }
+  if (links_.size() != lambda.size()) {
+    links_.assign(lambda.size(), {});
+  }
+  std::size_t rebuilt = 0;
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    if (links_[k].configure(lambda[k], capacity[k])) ++rebuilt;
+  }
+  return rebuilt;
+}
+
+void NetworkErlangMemo::invalidate(std::size_t k) {
+  if (k >= links_.size()) throw std::out_of_range("NetworkErlangMemo::invalidate");
+  links_[k].invalidate();
+}
+
+void NetworkErlangMemo::invalidate_all() {
+  for (LinkErlangMemo& link : links_) link.invalidate();
+}
+
+std::vector<int> NetworkErlangMemo::protection_levels(int max_alt_hops) const {
+  std::vector<int> r(links_.size());
+  for (std::size_t k = 0; k < links_.size(); ++k) {
+    r[k] = links_[k].r_star(max_alt_hops);
+  }
+  return r;
+}
+
+}  // namespace altroute::erlang

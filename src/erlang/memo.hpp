@@ -1,0 +1,102 @@
+// Memoized per-link Erlang-B tables: blocking, the Eq.-15 r* search, and
+// the Theorem-1 proof-kernel ratio B(Lambda, C) / B(Lambda, s).
+//
+// Everything the controlled scheme needs per link derives from ONE inverse
+// Erlang-B sequence y_x = 1/B(Lambda, x), x = 0..C (Eq. 12).  This module
+// caches that sequence per link, keyed on the (Lambda, C) pair that
+// produced it, so repeated (re)configuration -- per-load-point retargets,
+// scenario resolve_protection storms, the trace analyzer's per-load-point
+// kernel tables -- recomputes only the links whose key actually changed.
+//
+// Invalidation is BY KEY, not by edict: configure() compares the link's
+// (Lambda, C) against the cached key and rebuilds on any mismatch, so a
+// scenario capacity_set / capacity_scale / traffic_scale event can never
+// leave a stale table behind as long as callers pass the current values
+// (the regression tests in tests/test_rstar_invalidation.cpp pin exactly
+// that, including compounding capacity_scale and repair-after-fail).
+// invalidate() / invalidate_all() force a rebuild on the next configure
+// even for an identical key (used by tests and defensive call-sites).
+//
+// All results are bit-identical to the direct erlang_b() /
+// min_state_protection() / theorem1_bound() computations: the recursion is
+// evaluated with the same operations in the same order, and ratios are
+// formed from the same reciprocals.  The differential engine tests assert
+// this end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace altroute::erlang {
+
+/// Memoized Erlang tables of one link.
+class LinkErlangMemo {
+ public:
+  /// Installs (lambda, capacity) as the link's operating point, rebuilding
+  /// the inverse sequence only when the pair differs from the cached one.
+  /// Returns true when a rebuild happened.  Throws like
+  /// min_state_protection on lambda < 0 or capacity <= 0.
+  bool configure(double lambda, int capacity);
+
+  /// Forces the next configure() to rebuild even for an identical key.
+  void invalidate();
+
+  [[nodiscard]] bool configured() const { return capacity_ > 0; }
+  [[nodiscard]] double lambda() const { return lambda_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+  /// B(lambda, c) for c in [0, capacity], from the cached sequence.
+  [[nodiscard]] double blocking_at(int c) const;
+  /// B(lambda, capacity).
+  [[nodiscard]] double blocking() const { return blocking_at(capacity_); }
+
+  /// The Theorem-1 proof-kernel ratio B(lambda, capacity) / B(lambda, s):
+  /// expected extra primary losses charged to one alternate admission that
+  /// lands at occupancy state s.  0 when B(lambda, s) == 0.
+  [[nodiscard]] double theorem1_ratio(int s) const;
+
+  /// The full kernel table [0..capacity]: entry s is theorem1_ratio(s) for
+  /// s >= 1, 0 at s = 0 (the analyzer's per-link audit table).
+  [[nodiscard]] std::vector<double> kernel() const;
+
+  /// Eq. 15: smallest r with B(lambda, C)/B(lambda, C - r) <= 1/H, or C
+  /// when unsatisfiable.  Identical to erlang::min_state_protection; the
+  /// result is additionally memoized per H (resolves repeat the same H).
+  [[nodiscard]] int r_star(int max_alt_hops) const;
+
+ private:
+  double lambda_{-1.0};
+  int capacity_{0};
+  std::vector<double> y_;  ///< inverse sequence 1/B(lambda, x), x = 0..C
+
+  mutable int cached_h_{0};   ///< H of the memoized r* (0 = none)
+  mutable int cached_r_{-1};  ///< memoized r* for cached_h_
+};
+
+/// Per-link memo table for a whole network, indexed by LinkId.
+class NetworkErlangMemo {
+ public:
+  /// (Re)configures every link from parallel lambda/capacity vectors,
+  /// rebuilding only the links whose (lambda, capacity) changed.  Resizing
+  /// to a different link count drops all cached tables.  Returns the
+  /// number of links rebuilt.
+  std::size_t configure(const std::vector<double>& lambda, const std::vector<int>& capacity);
+
+  /// Forces link k's next configure to rebuild.
+  void invalidate(std::size_t k);
+  /// Forces every link's next configure to rebuild.
+  void invalidate_all();
+
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const LinkErlangMemo& link(std::size_t k) const { return links_[k]; }
+
+  /// Eq.-15 protection levels r*^k for every link at the given H --
+  /// identical to erlang::state_protection_levels on the configured
+  /// (lambda, capacity) vectors.
+  [[nodiscard]] std::vector<int> protection_levels(int max_alt_hops) const;
+
+ private:
+  std::vector<LinkErlangMemo> links_;
+};
+
+}  // namespace altroute::erlang

@@ -1,8 +1,9 @@
 #include "loss/engine.hpp"
 
-#include <map>
+#include <algorithm>
 #include <stdexcept>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -16,9 +17,26 @@ std::vector<double> RunResult::pair_blocking_probabilities() const {
   return out;
 }
 
-RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
-                    RoutingPolicy& policy, const sim::CallTrace& trace,
-                    const EngineOptions& options) {
+namespace {
+
+// Departures carry the booked path (pointers into the RouteTable are
+// stable for the duration of the run), the call's circuit width, and its
+// class (needed to unwind the alternate-occupancy tally below).
+struct Departure {
+  const routing::Path* path;
+  int units;
+  bool alternate;
+};
+
+// The replay loop, templated over the departure-queue implementation: the
+// calendar queue on the hot path, the legacy binary heap behind
+// EngineOptions::legacy_event_queue.  Both pop in identical (time, seq)
+// order, so the two instantiations produce bit-identical results -- the
+// differential ctests replay the same traces through both and assert it.
+template <typename DepartureQueue>
+RunResult run_trace_impl(const net::Graph& graph, const routing::RouteTable& routes,
+                         RoutingPolicy& policy, const sim::CallTrace& trace,
+                         const EngineOptions& options) {
   if (routes.nodes() != graph.node_count()) {
     throw std::invalid_argument("run_trace: route table size mismatch");
   }
@@ -61,15 +79,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     }
   };
 
-  // Departures carry the booked path (pointers into the RouteTable are
-  // stable for the duration of the run), the call's circuit width, and its
-  // class (needed to unwind the alternate-occupancy tally below).
-  struct Departure {
-    const routing::Path* path;
-    int units;
-    bool alternate;
-  };
-  sim::EventQueue<Departure> departures;
+  DepartureQueue departures;
 
   // Per-link alternate-class circuits in flight, maintained only when a
   // probe is attached: the blocked-call hook reports the count at the
@@ -91,8 +101,18 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     return occ;
   };
 
-  // Per-bandwidth counters keyed by width (tiny maps; widths are few).
-  std::map<int, ClassCounters> per_class;
+  // Per-bandwidth counters: a flat vector probed linearly (widths are few
+  // -- one for the paper's single-rate traces), sorted by width at the
+  // end.  Replaces a std::map on the per-call path.
+  std::vector<ClassCounters> per_class;
+  const auto class_of = [&per_class](int bandwidth) -> ClassCounters& {
+    for (ClassCounters& c : per_class) {
+      if (c.bandwidth == bandwidth) return c;
+    }
+    per_class.emplace_back();
+    per_class.back().bandwidth = bandwidth;
+    return per_class.back();
+  };
 
   if (options.time_bins > 0) {
     result.bin_offered.assign(static_cast<std::size_t>(options.time_bins), 0);
@@ -126,8 +146,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     const bool measured = call.arrival >= options.warmup;
     PairCounters& pair =
         result.per_pair[call.src.index() * static_cast<std::size_t>(n) + call.dst.index()];
-    ClassCounters& cls = per_class[call.bandwidth];
-    cls.bandwidth = call.bandwidth;
+    ClassCounters& cls = class_of(call.bandwidth);
     if (measured) {
       ++result.offered;
       ++pair.offered;
@@ -146,7 +165,7 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
       int protected_band_links = 0;
       if (probe != nullptr && measured && alternate) {
         for (const net::LinkId id : decision.path->links) {
-          const LinkState& ls = state.link(id);
+          const auto ls = state.link(id);
           if (ls.occupancy() + call.bandwidth > ls.capacity() - ls.reservation()) {
             ++protected_band_links;
           }
@@ -229,9 +248,11 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     adjust_alt_occ(*done.path, done.units, done.alternate, -1);
   }
   ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
-  for (const auto& [bandwidth, counters] : per_class) {
-    result.per_class.push_back(counters);
-  }
+  std::sort(per_class.begin(), per_class.end(),
+            [](const ClassCounters& a, const ClassCounters& b) {
+              return a.bandwidth < b.bandwidth;
+            });
+  result.per_class = std::move(per_class);
 
   if (options.link_stats) {
     result.mean_link_occupancy.assign(link_count, 0.0);
@@ -246,6 +267,17 @@ RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
     }
   }
   return result;
+}
+
+}  // namespace
+
+RunResult run_trace(const net::Graph& graph, const routing::RouteTable& routes,
+                    RoutingPolicy& policy, const sim::CallTrace& trace,
+                    const EngineOptions& options) {
+  if (options.legacy_event_queue) {
+    return run_trace_impl<sim::EventQueue<Departure>>(graph, routes, policy, trace, options);
+  }
+  return run_trace_impl<sim::CalendarQueue<Departure>>(graph, routes, policy, trace, options);
 }
 
 }  // namespace altroute::loss

@@ -35,6 +35,11 @@ struct EngineOptions {
   /// many equal bins and offered/blocked are also counted per bin
   /// (time-varying-load experiments).
   int time_bins{0};
+  /// Replay departures through the legacy binary-heap EventQueue instead
+  /// of the calendar queue.  Results are bit-identical either way (the
+  /// differential ctests enforce it); the flag exists for those tests and
+  /// as an escape hatch.
+  bool legacy_event_queue{false};
   /// Observability hooks: metrics and/or structured event tracing for the
   /// run.  nullptr (the default) disables instrumentation entirely -- each
   /// hook site is then one never-taken branch (see obs/probe.hpp).  Only

@@ -5,44 +5,54 @@
 namespace altroute::loss {
 
 NetworkState::NetworkState(const net::Graph& graph) {
-  links_.reserve(static_cast<std::size_t>(graph.link_count()));
+  const std::size_t n = static_cast<std::size_t>(graph.link_count());
+  occupancy_.assign(n, 0);
+  capacity_.reserve(n);
   for (const net::Link& l : graph.links()) {
-    links_.emplace_back(l.capacity, 0);
+    if (l.capacity < 0) throw std::invalid_argument("LinkState: negative capacity");
+    capacity_.push_back(l.capacity);
   }
+  alt_limit_ = capacity_;  // zero reservation everywhere
+}
+
+void NetworkState::set_reservation(net::LinkId id, int reservation) {
+  const std::size_t k = id.index();
+  if (reservation < 0 || reservation > capacity_[k]) {
+    throw std::invalid_argument("LinkState: reservation out of [0, capacity]");
+  }
+  alt_limit_[k] = capacity_[k] - reservation;
 }
 
 void NetworkState::set_reservations(const std::vector<int>& reservations) {
-  if (reservations.size() != links_.size()) {
+  if (reservations.size() != occupancy_.size()) {
     throw std::invalid_argument("NetworkState::set_reservations: size mismatch");
   }
-  for (std::size_t k = 0; k < links_.size(); ++k) {
-    links_[k].set_reservation(reservations[k]);
+  for (std::size_t k = 0; k < reservations.size(); ++k) {
+    set_reservation(net::LinkId(static_cast<std::int32_t>(k)), reservations[k]);
   }
 }
 
-bool NetworkState::path_admissible(const routing::Path& path, CallClass cls, int units) const {
-  return first_blocking_link(path, cls, units) < 0;
-}
-
-int NetworkState::first_blocking_link(const routing::Path& path, CallClass cls,
-                                      int units) const {
-  for (std::size_t i = 0; i < path.links.size(); ++i) {
-    if (!links_[path.links[i].index()].admits(cls, units)) return static_cast<int>(i);
-  }
-  return -1;
+void NetworkState::set_capacity(net::LinkId id, int capacity) {
+  if (capacity < 0) throw std::invalid_argument("LinkState::set_capacity: negative capacity");
+  const std::size_t k = id.index();
+  // Keep r = C - alt_limit, clamped into [0, C'].
+  int reservation = capacity_[k] - alt_limit_[k];
+  if (reservation > capacity) reservation = capacity;
+  capacity_[k] = capacity;
+  alt_limit_[k] = capacity - reservation;
 }
 
 void NetworkState::book(const routing::Path& path, int units) {
-  for (const net::LinkId id : path.links) links_[id.index()].seize(units);
+  for (const net::LinkId id : path.links) seize(id.index(), units);
 }
 
 void NetworkState::release(const routing::Path& path, int units) {
-  for (const net::LinkId id : path.links) links_[id.index()].release(units);
+  for (const net::LinkId id : path.links) unseize(id.index(), units);
 }
 
 long long NetworkState::total_occupancy() const {
   long long total = 0;
-  for (const LinkState& l : links_) total += l.occupancy();
+  for (const int occ : occupancy_) total += occ;
   return total;
 }
 

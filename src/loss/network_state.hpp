@@ -1,4 +1,20 @@
-// Whole-network admission state: one LinkState per directed link.
+// Whole-network admission state in a cache-friendly SoA layout.
+//
+// The hot loop of every policy is "does this path admit a call of class X
+// right now" -- a walk over a handful of link ids testing occupancy against
+// a class-dependent ceiling.  Instead of an array of per-link structs, the
+// state keeps three parallel int arrays indexed by LinkId:
+//
+//   occupancy[k]  circuits in use
+//   capacity[k]   the primary-class admission ceiling C^k
+//   alt_limit[k]  the alternate-class ceiling C^k - r^k (state protection)
+//
+// so an admission probe is one load from `occupancy` plus one load from the
+// ceiling array for the call's class -- two cache lines of useful data per
+// probe instead of a stride of 12-byte structs, and the per-class branch of
+// LinkState::admits is hoisted out of the per-link loop entirely.
+// Reservation levels are stored as the derived alternate ceiling; the
+// paper-facing r^k is recovered as capacity - alt_limit on demand.
 #pragma once
 
 #include <vector>
@@ -9,6 +25,27 @@
 
 namespace altroute::loss {
 
+class NetworkState;
+
+/// Read-only view of one link's admission state, returned by
+/// NetworkState::link().  Mirrors the LinkState accessors so call sites
+/// (and tests) read identically; it holds a pointer into the SoA arrays,
+/// not a copy, so it always reflects the live state.
+class LinkStateView {
+ public:
+  [[nodiscard]] int capacity() const;
+  [[nodiscard]] int occupancy() const;
+  [[nodiscard]] int reservation() const;
+  [[nodiscard]] int free_circuits() const;
+  [[nodiscard]] bool admits(CallClass cls, int units = 1) const;
+
+ private:
+  friend class NetworkState;
+  LinkStateView(const NetworkState& state, std::size_t k) : state_(&state), k_(k) {}
+  const NetworkState* state_;
+  std::size_t k_;
+};
+
 /// Aggregate of every link's occupancy/reservation, plus path-level
 /// admission (the call set-up probe) and booking/release.
 class NetworkState {
@@ -17,33 +54,55 @@ class NetworkState {
   /// reservation levels.
   explicit NetworkState(const net::Graph& graph);
 
-  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] int link_count() const { return static_cast<int>(occupancy_.size()); }
 
-  [[nodiscard]] const LinkState& link(net::LinkId id) const { return links_[id.index()]; }
+  [[nodiscard]] LinkStateView link(net::LinkId id) const {
+    return LinkStateView(*this, id.index());
+  }
+
+  // Direct SoA accessors (hot paths and the LinkStateView).
+  [[nodiscard]] int occupancy(net::LinkId id) const { return occupancy_[id.index()]; }
+  [[nodiscard]] int capacity(net::LinkId id) const { return capacity_[id.index()]; }
+  [[nodiscard]] int reservation(net::LinkId id) const {
+    return capacity_[id.index()] - alt_limit_[id.index()];
+  }
 
   /// Sets one link's state-protection level.
-  void set_reservation(net::LinkId id, int reservation) {
-    links_[id.index()].set_reservation(reservation);
-  }
+  void set_reservation(net::LinkId id, int reservation);
 
   /// Sets every link's state-protection level from a per-link vector.
   void set_reservations(const std::vector<int>& reservations);
 
   /// Updates one link's capacity mid-run (scenario capacity events); the
-  /// link's reservation is clamped to the new capacity.  See
-  /// LinkState::set_capacity for the occupancy contract.
-  void set_capacity(net::LinkId id, int capacity) { links_[id.index()].set_capacity(capacity); }
+  /// link's reservation is clamped to the new capacity.  Occupancy is NOT
+  /// touched: after a shrink it may transiently exceed the new capacity,
+  /// and the caller (the scenario runner) must preempt calls until
+  /// occupancy <= capacity before the next admission decision.
+  void set_capacity(net::LinkId id, int capacity);
 
   /// The set-up probe: true when every link of `path` admits a call of the
   /// given class and width under the current state.
   [[nodiscard]] bool path_admissible(const routing::Path& path, CallClass cls,
-                                     int units = 1) const;
+                                     int units = 1) const {
+    return first_blocking_link(path, cls, units) < 0;
+  }
 
   /// Index into `path.links` of the first link that refuses the call, or -1
   /// when the whole path admits it.  The paper's loss-attribution
   /// convention: a call is lost at the first blocking link.
   [[nodiscard]] int first_blocking_link(const routing::Path& path, CallClass cls,
-                                        int units = 1) const;
+                                        int units = 1) const {
+    if (units < 1) throw std::invalid_argument("NetworkState: units < 1");
+    const int* const occ = occupancy_.data();
+    const int* const limit = (cls == CallClass::kAlternate ? alt_limit_ : capacity_).data();
+    const net::LinkId* const ids = path.links.data();
+    const std::size_t hops = path.links.size();
+    for (std::size_t i = 0; i < hops; ++i) {
+      const std::size_t k = ids[i].index();
+      if (occ[k] + units > limit[k]) return static_cast<int>(i);
+    }
+    return -1;
+  }
 
   /// Books `units` circuits on every link of the path (the set-up packet's
   /// return leg).  Throws std::logic_error if they do not fit; callers
@@ -56,16 +115,51 @@ class NetworkState {
   void release(const routing::Path& path, int units = 1);
 
   /// Books `units` circuits on a single link (hop-by-hop signaling).
-  void book_link(net::LinkId id, int units = 1) { links_[id.index()].seize(units); }
+  void book_link(net::LinkId id, int units = 1) { seize(id.index(), units); }
 
   /// Releases `units` circuits on a single link (crankback).
-  void release_link(net::LinkId id, int units = 1) { links_[id.index()].release(units); }
+  void release_link(net::LinkId id, int units = 1) { unseize(id.index(), units); }
 
   /// Total circuits in use across all links (each call counts once per hop).
   [[nodiscard]] long long total_occupancy() const;
 
  private:
-  std::vector<LinkState> links_;
+  void seize(std::size_t k, int units) {
+    if (units < 1) throw std::invalid_argument("LinkState::seize: units < 1");
+    if (occupancy_[k] + units > capacity_[k]) {
+      throw std::logic_error("LinkState::seize: link full");
+    }
+    occupancy_[k] += units;
+  }
+
+  void unseize(std::size_t k, int units) {
+    if (units < 1) throw std::invalid_argument("LinkState::release: units < 1");
+    if (occupancy_[k] < units) throw std::logic_error("LinkState::release: not that busy");
+    occupancy_[k] -= units;
+  }
+
+  std::vector<int> occupancy_;
+  std::vector<int> capacity_;
+  std::vector<int> alt_limit_;  ///< capacity - reservation, the alternate ceiling
 };
+
+inline int LinkStateView::capacity() const {
+  return state_->capacity(net::LinkId(static_cast<std::int32_t>(k_)));
+}
+inline int LinkStateView::occupancy() const {
+  return state_->occupancy(net::LinkId(static_cast<std::int32_t>(k_)));
+}
+inline int LinkStateView::reservation() const {
+  return state_->reservation(net::LinkId(static_cast<std::int32_t>(k_)));
+}
+inline int LinkStateView::free_circuits() const { return capacity() - occupancy(); }
+inline bool LinkStateView::admits(CallClass cls, int units) const {
+  if (units < 1) throw std::invalid_argument("LinkState::admits: units < 1");
+  const net::LinkId id(static_cast<std::int32_t>(k_));
+  const int ceiling =
+      cls == CallClass::kAlternate ? state_->capacity(id) - state_->reservation(id)
+                                   : state_->capacity(id);
+  return state_->occupancy(id) + units <= ceiling;
+}
 
 }  // namespace altroute::loss

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
 #include "erlang/erlang_b.hpp"
+#include "erlang/memo.hpp"
 #include "erlang/state_protection.hpp"
 #include "obs/analysis/trace_read.hpp"
 #include "sim/stats.hpp"
@@ -39,12 +41,12 @@ struct RepAccum {
 std::vector<double> build_kernel(double lambda, int capacity) {
   std::vector<double> kernel(static_cast<std::size_t>(capacity) + 1, 0.0);
   if (!(lambda > 0.0) || capacity < 1) return kernel;
-  const double b_full = erlang::erlang_b(lambda, capacity);
-  for (int s = 1; s <= capacity; ++s) {
-    const double b_s = erlang::erlang_b(lambda, s);
-    kernel[static_cast<std::size_t>(s)] = b_s > 0.0 ? b_full / b_s : 0.0;
-  }
-  return kernel;
+  // One inverse Erlang-B sequence yields every B(Lambda, s) at once --
+  // O(C) against the O(C^2) of calling erlang_b per state, and
+  // bit-identical (the reciprocals come from the same recursion).
+  erlang::LinkErlangMemo memo;
+  memo.configure(lambda, capacity);
+  return memo.kernel();
 }
 
 /// One (policy, load point) group; ordered maps keep everything in
@@ -258,10 +260,21 @@ AnalysisReport analyze_records(const std::vector<TraceRecord>& records,
       audit.link = static_cast<int>(k);
       audit.lambda = config.lambda[k] * section.load_factor;
       audit.capacity = config.capacity[k];
-      audit.eq15_reservation =
-          erlang::min_state_protection(audit.lambda, audit.capacity, config.max_alt_hops);
-      audit.bound =
-          erlang::theorem1_bound(audit.lambda, audit.capacity, audit.eq15_reservation);
+      if (audit.lambda == 0.0) {
+        // min_state_protection's lambda == 0 early-out, without a table.
+        audit.eq15_reservation = 0;
+        audit.bound = erlang::theorem1_bound(audit.lambda, audit.capacity, 0);
+      } else {
+        // One cached sequence serves the Eq.-15 search and both blocking
+        // factors of the Theorem-1 bound, bit-identical to the direct
+        // min_state_protection / theorem1_bound computations.
+        erlang::LinkErlangMemo link_memo;
+        link_memo.configure(audit.lambda, audit.capacity);
+        audit.eq15_reservation = link_memo.r_star(config.max_alt_hops);
+        const double denom = link_memo.blocking_at(audit.capacity - audit.eq15_reservation);
+        audit.bound = denom == 0.0 ? std::numeric_limits<double>::infinity()
+                                   : link_memo.blocking() / denom;
+      }
       sim::RunningStats samples;
       double kernel_total = 0.0;
       for (const auto& [rep, acc] : group.reps) {

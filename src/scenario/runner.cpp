@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 #include "core/protection.hpp"
+#include "erlang/memo.hpp"
 #include "routing/route_table.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/slab_arena.hpp"
 
 namespace altroute::scenario {
 
@@ -16,11 +18,15 @@ namespace {
 
 /// One admitted call: a copy of its booked path (so route-table rebuilds
 /// never invalidate it), its circuit width, and its admission class.
+/// Stored in a SlabArena -- released slots keep the path's vector capacity,
+/// so steady-state admission churn allocates nothing.
 struct InFlight {
   routing::Path path;
   int units{1};
   bool alternate{false};
 };
+
+using Arena = sim::SlabArena<InFlight>;
 
 bool path_uses_any(const routing::Path& path, const std::vector<net::LinkId>& links) {
   for (const net::LinkId id : path.links) {
@@ -29,11 +35,20 @@ bool path_uses_any(const routing::Path& path, const std::vector<net::LinkId>& li
   return false;
 }
 
-}  // namespace
+bool path_uses(const routing::Path& path, net::LinkId link) {
+  return std::find(path.links.begin(), path.links.end(), link) != path.links.end();
+}
 
-ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix& traffic,
-                               loss::RoutingPolicy& policy, const sim::CallTrace& trace,
-                               const Scenario& scenario, const ScenarioEngineOptions& options) {
+// The scenario replay loop, templated over the departure-queue
+// implementation exactly like loss::run_trace_impl: calendar queue on the
+// hot path, the legacy binary heap behind
+// ScenarioEngineOptions::legacy_event_queue.  Both pop in identical
+// (time, seq) order, so results are bit-identical (differential ctests).
+template <typename DepartureQueue>
+ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficMatrix& traffic,
+                                    loss::RoutingPolicy& policy, const sim::CallTrace& trace,
+                                    const Scenario& scenario,
+                                    const ScenarioEngineOptions& options) {
   scenario.validate();
   if (graph.node_count() != traffic.size()) {
     throw std::invalid_argument("run_scenario: graph/traffic node count mismatch");
@@ -85,15 +100,27 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
     return std::min(bin, static_cast<std::size_t>(options.time_bins - 1));
   };
 
-  // In-flight calls keyed by admission sequence (ordered map: iteration is
-  // oldest-first, reverse iteration newest-first -- both deterministic).
-  // The departure queue carries only the key; a call killed by an event is
-  // erased from the map, and its departure pops as a no-op later.
-  std::map<std::uint64_t, InFlight> in_flight;
-  sim::EventQueue<std::uint64_t> departures;
-  std::uint64_t next_call_id = 0;
+  // In-flight calls live in a slab arena whose insertion-order list is the
+  // admission order: oldest()/next() iterate oldest-first (the kill order),
+  // newest()/prev() newest-first (the preemption order) -- the same
+  // deterministic orders the previous id-keyed ordered map provided.  The
+  // departure queue carries the arena handle; a call killed by an event is
+  // released from the arena, and its departure handle -- now stale by
+  // generation -- pops as a no-op later.
+  Arena in_flight;
+  DepartureQueue departures;
 
-  std::map<int, loss::ClassCounters> per_class;
+  // Per-bandwidth counters: flat vector probed linearly (widths are few),
+  // sorted by width at the end -- see loss::run_trace_impl.
+  std::vector<loss::ClassCounters> per_class;
+  const auto class_of = [&per_class](int bandwidth) -> loss::ClassCounters& {
+    for (loss::ClassCounters& c : per_class) {
+      if (c.bandwidth == bandwidth) return c;
+    }
+    per_class.emplace_back();
+    per_class.back().bandwidth = bandwidth;
+    return per_class.back();
+  };
   double traffic_factor = 1.0;
 
   // Per-link alternate-class circuits in flight, maintained only when a
@@ -114,20 +141,32 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
     return occ;
   };
 
-  const auto release_call = [&](std::uint64_t id) {
-    const auto it = in_flight.find(id);
-    state.release(it->second.path, it->second.units);
-    adjust_alt_occ(it->second, -1);
-    in_flight.erase(it);
+  const auto release_call = [&](Arena::Handle h) {
+    const InFlight& call = in_flight.value(h);
+    state.release(call.path, call.units);
+    adjust_alt_occ(call, -1);
+    in_flight.release(h);
   };
 
   const auto rebuild_routes = [&] {
     routes = routing::build_min_hop_routes(g, options.max_alt_hops, options.max_paths_per_pair);
   };
 
+  // Eq.-15 re-solve.  The memoized path reuses each link's cached inverse
+  // Erlang-B sequence whenever its (Lambda, C) key is unchanged -- only
+  // links actually touched by a failure/capacity/traffic event recompute.
+  // Both paths produce bit-identical reservation vectors.
+  erlang::NetworkErlangMemo memo;
   const auto resolve_protection = [&](double t) {
-    state.set_reservations(
-        core::protection_levels(g, routes, traffic.scaled(traffic_factor), options.max_alt_hops));
+    if (options.memoize_protection) {
+      const std::vector<double> lambda =
+          routing::primary_link_loads(g, routes, traffic.scaled(traffic_factor));
+      memo.configure(lambda, core::link_capacities(g));
+      state.set_reservations(memo.protection_levels(options.max_alt_hops));
+    } else {
+      state.set_reservations(core::protection_levels(g, routes, traffic.scaled(traffic_factor),
+                                                     options.max_alt_hops));
+    }
     ALTROUTE_OBS_HOOK(probe, on_protection_resolved(t, g.link_count()));
   };
 
@@ -159,20 +198,19 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
         const std::vector<net::LinkId> affected = g.duplex_links(a, b);
         applied.links_changed = g.fail_duplex(a, b);
         // Kill every in-flight call routed over the failed facility,
-        // oldest-first (iteration order of the id-keyed map).
-        for (auto it = in_flight.begin(); it != in_flight.end();) {
-          if (path_uses_any(it->second.path, affected)) {
+        // oldest-first (the arena's insertion order).
+        for (Arena::Handle h = in_flight.oldest(); h != Arena::kInvalid;) {
+          const Arena::Handle following = in_flight.next(h);
+          const InFlight& call = in_flight.value(h);
+          if (path_uses_any(call.path, affected)) {
             if (probe != nullptr && measured_event(event)) {
-              probe->on_killed(event.time, it->second.path,
-                               attributed_link(it->second.path, affected), it->second.units);
+              probe->on_killed(event.time, call.path, attributed_link(call.path, affected),
+                               call.units);
             }
-            state.release(it->second.path, it->second.units);
-            adjust_alt_occ(it->second, -1);
-            it = in_flight.erase(it);
+            release_call(h);
             ++applied.calls_killed;
-          } else {
-            ++it;
           }
+          h = following;
         }
         if (applied.links_changed > 0) rebuild_routes();
         break;
@@ -200,20 +238,18 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
           // Preempt newest-first until the link fits its new capacity, so
           // occupancy never exceeds capacity at an admission decision.
           while (state.link(id).occupancy() > new_capacity) {
-            auto victim = in_flight.rbegin();
-            while (victim != in_flight.rend() && !path_uses_any(victim->second.path, {id})) {
-              ++victim;
+            Arena::Handle victim = in_flight.newest();
+            while (victim != Arena::kInvalid && !path_uses(in_flight.value(victim).path, id)) {
+              victim = in_flight.prev(victim);
             }
-            if (victim == in_flight.rend()) {
+            if (victim == Arena::kInvalid) {
               throw std::logic_error("run_scenario: occupied link with no in-flight call");
             }
             if (probe != nullptr && measured_event(event)) {
-              probe->on_preempted(event.time, victim->second.path,
-                                  static_cast<int>(id.index()), victim->second.units);
+              probe->on_preempted(event.time, in_flight.value(victim).path,
+                                  static_cast<int>(id.index()), in_flight.value(victim).units);
             }
-            state.release(victim->second.path, victim->second.units);
-            adjust_alt_occ(victim->second, -1);
-            in_flight.erase(std::next(victim).base());
+            release_call(victim);
             ++applied.calls_killed;
           }
         }
@@ -249,10 +285,10 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
           next_event < scenario.events.size() && scenario.events[next_event].time <= t;
       if (dep_due &&
           (!event_due || departures.next_time() <= scenario.events[next_event].time)) {
-        const auto [time, id] = departures.pop();
-        if (in_flight.count(id) != 0) {  // killed calls: no-op
+        const auto [time, h] = departures.pop();
+        if (in_flight.alive(h)) {  // killed calls: stale handle, no-op
           ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(time, occ_of));
-          release_call(id);
+          release_call(h);
         }
       } else if (event_due) {
         apply_event(scenario.events[next_event]);
@@ -276,8 +312,7 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
     const bool measured = call.arrival >= options.warmup;
     loss::PairCounters& pair =
         result.per_pair[call.src.index() * static_cast<std::size_t>(n) + call.dst.index()];
-    loss::ClassCounters& cls = per_class[call.bandwidth];
-    cls.bandwidth = call.bandwidth;
+    loss::ClassCounters& cls = class_of(call.bandwidth);
     if (measured) {
       ++result.offered;
       ++pair.offered;
@@ -295,18 +330,20 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
       int protected_band_links = 0;
       if (probe != nullptr && measured && alternate) {
         for (const net::LinkId id : decision.path->links) {
-          const loss::LinkState& ls = state.link(id);
+          const auto ls = state.link(id);
           if (ls.occupancy() + call.bandwidth > ls.capacity() - ls.reservation()) {
             ++protected_band_links;
           }
         }
       }
       state.book(*decision.path, call.bandwidth);
-      const auto placed =
-          in_flight.emplace(next_call_id, InFlight{*decision.path, call.bandwidth, alternate});
-      adjust_alt_occ(placed.first->second, +1);
-      departures.schedule(call.arrival + call.holding, next_call_id);
-      ++next_call_id;
+      const Arena::Handle h = in_flight.acquire();
+      InFlight& record = in_flight.value(h);
+      record.path = *decision.path;  // vector assign: reuses the slot's capacity
+      record.units = call.bandwidth;
+      record.alternate = alternate;
+      adjust_alt_occ(record, +1);
+      departures.schedule(call.arrival + call.holding, h);
       if (measured) {
         if (decision.call_class == loss::CallClass::kPrimary) {
           ++result.carried_primary;
@@ -368,16 +405,31 @@ ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix
   advance_to(trace.horizon);
   ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
 
-  for (const auto& [bandwidth, counters] : per_class) {
-    result.per_class.push_back(counters);
-  }
+  std::sort(per_class.begin(), per_class.end(),
+            [](const loss::ClassCounters& a, const loss::ClassCounters& b) {
+              return a.bandwidth < b.bandwidth;
+            });
+  result.per_class = std::move(per_class);
   for (int k = 0; k < g.link_count(); ++k) {
     const net::LinkId id(k);
-    const loss::LinkState& link = state.link(id);
+    const auto link = state.link(id);
     out.final_links.push_back(FinalLinkState{link.capacity(), link.reservation(),
                                              link.occupancy(), g.link(id).enabled});
   }
   return out;
+}
+
+}  // namespace
+
+ScenarioRunResult run_scenario(const net::Graph& graph, const net::TrafficMatrix& traffic,
+                               loss::RoutingPolicy& policy, const sim::CallTrace& trace,
+                               const Scenario& scenario, const ScenarioEngineOptions& options) {
+  if (options.legacy_event_queue) {
+    return run_scenario_impl<sim::EventQueue<Arena::Handle>>(graph, traffic, policy, trace,
+                                                             scenario, options);
+  }
+  return run_scenario_impl<sim::CalendarQueue<Arena::Handle>>(graph, traffic, policy, trace,
+                                                              scenario, options);
 }
 
 }  // namespace altroute::scenario

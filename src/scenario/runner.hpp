@@ -68,6 +68,17 @@ struct ScenarioEngineOptions {
   /// re-solved locally on detecting the change (equivalent to an explicit
   /// resolve_protection after each such event).
   bool auto_resolve_protection{false};
+  /// Route departures through the legacy binary-heap EventQueue instead of
+  /// the calendar queue.  Results are bit-identical either way; the flag
+  /// exists for the differential ctests and as an escape hatch.
+  bool legacy_event_queue{false};
+  /// Serve resolve_protection from the per-link Erlang memo tables
+  /// (erlang::NetworkErlangMemo) instead of recomputing every inverse
+  /// Erlang-B sequence from scratch.  The memo is keyed on each link's
+  /// (Lambda, C) pair, so capacity/traffic events can never leave a stale
+  /// r* behind; results are bit-identical either way (differential ctests
+  /// and tests/test_rstar_invalidation.cpp enforce it).
+  bool memoize_protection{true};
   /// Observability hooks (metrics / structured tracing), nullptr = off.
   /// Call-level hooks and kill/preempt accounting fire post-warm-up only
   /// (matching the counters); event_applied and protection_resolved records

@@ -1,0 +1,233 @@
+// Bucketed calendar event queue (Brown 1988) -- the hot-path future event
+// list of the simulation engines.
+//
+// Events live in an array of time buckets, each covering one `width`-wide
+// slice of a repeating "year" of nbuckets * width time units.  Enqueue
+// hashes the event's timestamp to its bucket and inserts into that bucket's
+// (short, sorted) entry list; dequeue walks the calendar from the bucket of
+// the last popped event, taking the earliest entry that falls inside the
+// current year window.  With the bucket count tracking the queue size and
+// the width tracking the mean inter-event gap, both operations are O(1)
+// amortized -- against the O(log n) sift of a binary heap.
+//
+// Ordering contract (identical to sim::EventQueue, property-tested against
+// it in tests/property_event_queue_*):
+//   * pops come in nondecreasing time order;
+//   * ties at equal timestamps break by insertion order (FIFO), carried by
+//     a monotone sequence number.  Equal times hash to the SAME bucket, so
+//     the tie-break never crosses a bucket boundary.
+// Scheduling an event earlier than the current scan position (allowed, the
+// engines never need it but the interface permits it) rewinds the scan, so
+// correctness does not depend on monotone use.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace altroute::sim {
+
+/// Calendar queue of timed events carrying an arbitrary payload.  Drop-in
+/// replacement for sim::EventQueue (same schedule/next_time/pop interface,
+/// same ordering semantics).
+template <typename Payload>
+class CalendarQueue {
+ public:
+  CalendarQueue() { init(kMinBuckets, 1.0); }
+
+  /// Schedules `payload` at absolute time `time` (must be finite, >= 0).
+  void schedule(double time, Payload payload) {
+    if (!(time >= 0.0)) throw std::invalid_argument("CalendarQueue: negative or NaN time");
+    insert(Entry{time, next_seq_++, std::move(payload)});
+    ++count_;
+    if (count_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      resize(2 * buckets_.size());
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Time of the earliest pending event.  Queue must be non-empty.
+  [[nodiscard]] double next_time() const {
+    if (count_ == 0) throw std::logic_error("CalendarQueue::next_time on empty queue");
+    locate_min();
+    return buckets_[min_bucket_].back().time;
+  }
+
+  /// Removes and returns the earliest event's (time, payload).
+  std::pair<double, Payload> pop() {
+    if (count_ == 0) throw std::logic_error("CalendarQueue::pop on empty queue");
+    locate_min();
+    std::vector<Entry>& bucket = buckets_[min_bucket_];
+    Entry top = std::move(bucket.back());
+    bucket.pop_back();
+    --count_;
+    have_min_ = false;
+    // Restart the next scan from the popped event's calendar position.
+    last_time_ = top.time;
+    cursor_ = min_bucket_;
+    cursor_top_ = bucket_top_of(top.time);
+    if (count_ < buckets_.size() / 2 && buckets_.size() > kMinBuckets) {
+      resize(buckets_.size() / 2);
+    }
+    return {top.time, std::move(top.payload)};
+  }
+
+  void clear() {
+    for (std::vector<Entry>& b : buckets_) b.clear();
+    count_ = 0;
+    next_seq_ = 0;
+    have_min_ = false;
+    last_time_ = 0.0;
+    cursor_ = 0;
+    cursor_top_ = width_;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Payload payload;
+
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
+
+  static constexpr std::size_t kMinBuckets = 16;   // always a power of two
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
+  void init(std::size_t nbuckets, double width) {
+    buckets_.assign(nbuckets, {});
+    mask_ = nbuckets - 1;
+    width_ = width;
+    cursor_ = 0;
+    cursor_top_ = width_;
+    last_time_ = 0.0;
+    have_min_ = false;
+  }
+
+  /// Virtual bucket index of a timestamp: which width-wide slice it lives
+  /// in.  Doubles far beyond any simulation horizon saturate safely.
+  [[nodiscard]] std::uint64_t virtual_bucket(double time) const {
+    const double vb = time / width_;
+    if (vb >= 9.0e18) return std::uint64_t{9000000000000000000u};
+    return static_cast<std::uint64_t>(vb);
+  }
+
+  /// Upper edge of the calendar-year window containing `time`.
+  [[nodiscard]] double bucket_top_of(double time) const {
+    return static_cast<double>(virtual_bucket(time) + 1) * width_;
+  }
+
+  void insert(Entry entry) {
+    const double time = entry.time;
+    const std::size_t bi = virtual_bucket(time) & mask_;
+    std::vector<Entry>& bucket = buckets_[bi];
+    // Buckets are sorted descending by (time, seq): back() is the earliest.
+    // Typical buckets hold O(1) entries, so the scan from the back is O(1).
+    auto pos = bucket.end();
+    while (pos != bucket.begin() && (pos - 1)->before(entry)) --pos;
+    bucket.insert(pos, std::move(entry));
+    if (time < last_time_) {
+      // Rewind: the scan position has moved past this event's slice.
+      last_time_ = time;
+      cursor_ = bi;
+      cursor_top_ = bucket_top_of(time);
+      have_min_ = false;
+    } else if (have_min_ && bi != min_bucket_ &&
+               bucket.back().before(buckets_[min_bucket_].back())) {
+      // The new entry displaced the cached global minimum.
+      min_bucket_ = bi;
+    }
+  }
+
+  /// Finds the bucket holding the global minimum entry and caches it in
+  /// min_bucket_.  One lap of the calendar from the cursor; falls back to a
+  /// direct min scan when the lap finds nothing (sparse far-future events).
+  void locate_min() const {
+    if (have_min_) return;
+    std::size_t i = cursor_;
+    double top = cursor_top_;
+    for (std::size_t step = 0; step <= mask_; ++step) {
+      const std::vector<Entry>& bucket = buckets_[i];
+      if (!bucket.empty() && bucket.back().time < top) {
+        min_bucket_ = i;
+        have_min_ = true;
+        return;
+      }
+      i = (i + 1) & mask_;
+      top += width_;
+    }
+    // Direct search: earliest entry across all non-empty buckets.
+    const Entry* best = nullptr;
+    std::size_t best_bucket = 0;
+    for (std::size_t k = 0; k < buckets_.size(); ++k) {
+      if (buckets_[k].empty()) continue;
+      const Entry& candidate = buckets_[k].back();
+      if (best == nullptr || candidate.before(*best)) {
+        best = &candidate;
+        best_bucket = k;
+      }
+    }
+    min_bucket_ = best_bucket;
+    have_min_ = true;
+  }
+
+  /// Rebuilds the calendar with `nbuckets` buckets and a width matched to
+  /// the current event population (mean gap between adjacent events, times
+  /// two -- Brown's rule keeps bucket occupancy near one).
+  void resize(std::size_t nbuckets) {
+    std::vector<std::vector<Entry>> old = std::move(buckets_);
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (const std::vector<Entry>& b : old) {
+      for (const Entry& e : b) {
+        if (first) {
+          lo = hi = e.time;
+          first = false;
+        } else {
+          lo = std::min(lo, e.time);
+          hi = std::max(hi, e.time);
+        }
+      }
+    }
+    double width = 1.0;
+    if (count_ > 1 && hi > lo) {
+      width = 2.0 * (hi - lo) / static_cast<double>(count_);
+    }
+    if (!(width > 0.0) || !std::isfinite(width)) width = 1.0;
+    const double resume_from = count_ > 0 ? lo : last_time_;
+    init(nbuckets, width);
+    for (std::vector<Entry>& b : old) {
+      for (Entry& e : b) insert(std::move(e));
+    }
+    // Resume scanning at the earliest surviving event's slice.
+    last_time_ = resume_from;
+    cursor_ = virtual_bucket(resume_from) & mask_;
+    cursor_top_ = bucket_top_of(resume_from);
+    have_min_ = false;
+  }
+
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t mask_{0};
+  double width_{1.0};
+  std::size_t count_{0};
+  std::uint64_t next_seq_{0};
+
+  // Scan state: the calendar position dequeues resume from.
+  double last_time_{0.0};
+  std::size_t cursor_{0};
+  double cursor_top_{1.0};
+
+  // Cached location of the global minimum (valid while have_min_).
+  mutable bool have_min_{false};
+  mutable std::size_t min_bucket_{0};
+};
+
+}  // namespace altroute::sim

@@ -1,0 +1,143 @@
+// Slab arena with a free-list and an intrusive insertion-order list.
+//
+// The scenario engine keeps every in-flight call in one of these: a call is
+// acquired on admission, released on departure/kill/preemption, and the
+// slot is recycled through the free-list -- so after the population peaks,
+// steady state performs ZERO heap allocations (recycled slots keep their
+// payload's capacity, e.g. a routing::Path's vectors).  Handles carry a
+// generation counter, so a stale handle (a departure event for a call that
+// a scenario event already killed) is detected as dead instead of touching
+// a recycled slot.
+//
+// The intrusive doubly-linked list preserves acquisition order: oldest() /
+// next() iterate calls in admission order (the kill-on-failure order),
+// newest() / prev() in reverse (the preemption order) -- the exact orders
+// the ordered-map implementation used to provide, at O(1) per step and
+// without per-node allocation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace altroute::sim {
+
+template <typename T>
+class SlabArena {
+ public:
+  /// Opaque slot reference: low 32 bits index, high 32 bits generation.
+  using Handle = std::uint64_t;
+  static constexpr Handle kInvalid = ~Handle{0};
+
+  /// Claims a slot (recycling the free-list when possible) and appends it
+  /// to the tail of the insertion-order list.  The payload is whatever the
+  /// slot last held (or a default-constructed T for a fresh slot); callers
+  /// assign the fields they need -- reusing, not reconstructing, lets
+  /// vector members keep their capacity.
+  Handle acquire() {
+    std::uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = slots_[index].next;
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& slot = slots_[index];
+    slot.live = true;
+    slot.prev = tail_;
+    slot.next = kNone;
+    if (tail_ != kNone) {
+      slots_[tail_].next = index;
+    } else {
+      head_ = index;
+    }
+    tail_ = index;
+    ++live_;
+    return make_handle(index, slot.gen);
+  }
+
+  /// Releases a live slot back to the free-list.  Throws on dead/stale
+  /// handles -- double release is a bug, not a no-op.
+  void release(Handle h) {
+    const std::uint32_t index = check(h);
+    Slot& slot = slots_[index];
+    if (slot.prev != kNone) {
+      slots_[slot.prev].next = slot.next;
+    } else {
+      head_ = slot.next;
+    }
+    if (slot.next != kNone) {
+      slots_[slot.next].prev = slot.prev;
+    } else {
+      tail_ = slot.prev;
+    }
+    slot.live = false;
+    ++slot.gen;  // stale handles to this slot die here
+    slot.next = free_head_;
+    free_head_ = index;
+    --live_;
+  }
+
+  /// True when `h` still names a live call (its slot has not been released
+  /// or recycled since).
+  [[nodiscard]] bool alive(Handle h) const {
+    if (h == kInvalid) return false;
+    const std::uint32_t index = index_of(h);
+    return index < slots_.size() && slots_[index].live && slots_[index].gen == gen_of(h);
+  }
+
+  [[nodiscard]] T& value(Handle h) { return slots_[check(h)].value; }
+  [[nodiscard]] const T& value(Handle h) const { return slots_[check(h)].value; }
+
+  /// Live slot count.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Slots ever allocated (live + free): the arena's high-water mark.
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  // Insertion-order traversal (kInvalid at either end).
+  [[nodiscard]] Handle oldest() const { return handle_at(head_); }
+  [[nodiscard]] Handle newest() const { return handle_at(tail_); }
+  [[nodiscard]] Handle next(Handle h) const { return handle_at(slots_[check(h)].next); }
+  [[nodiscard]] Handle prev(Handle h) const { return handle_at(slots_[check(h)].prev); }
+
+  /// Releases every live slot (payload capacity is kept for reuse).
+  void clear() {
+    while (head_ != kNone) release(make_handle(head_, slots_[head_].gen));
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Slot {
+    T value{};
+    std::uint32_t gen{0};
+    std::uint32_t prev{kNone};
+    std::uint32_t next{kNone};  ///< order-list link when live, free-list link when dead
+    bool live{false};
+  };
+
+  static Handle make_handle(std::uint32_t index, std::uint32_t gen) {
+    return (static_cast<Handle>(gen) << 32) | index;
+  }
+  static std::uint32_t index_of(Handle h) { return static_cast<std::uint32_t>(h); }
+  static std::uint32_t gen_of(Handle h) { return static_cast<std::uint32_t>(h >> 32); }
+
+  [[nodiscard]] Handle handle_at(std::uint32_t index) const {
+    return index == kNone ? kInvalid : make_handle(index, slots_[index].gen);
+  }
+
+  [[nodiscard]] std::uint32_t check(Handle h) const {
+    if (!alive(h)) throw std::logic_error("SlabArena: dead or stale handle");
+    return index_of(h);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_{kNone};
+  std::uint32_t head_{kNone};
+  std::uint32_t tail_{kNone};
+  std::size_t live_{0};
+};
+
+}  // namespace altroute::sim

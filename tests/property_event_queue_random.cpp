@@ -1,0 +1,190 @@
+// Property test: the calendar queue is observationally identical to the
+// legacy binary-heap EventQueue on random schedules.
+//
+// Each case drives both queues side by side through the same randomized
+// schedule/pop workload and asserts the full pop streams match exactly --
+// time AND payload, so FIFO tie-breaks are covered too.  The generators
+// are seeded (every failure reproduces); the shapes are chosen to hit the
+// calendar queue's structural edges: bucket growth and shrink, the
+// one-lap scan, the direct-search fallback for sparse far-future events,
+// rewind-on-enqueue, and width re-estimation after resize.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+/// Pops both queues once and asserts the (time, payload) pair agrees.
+/// Returns the popped time so callers can advance their clocks.
+double pop_both(sim::EventQueue<std::uint64_t>& heap, sim::CalendarQueue<std::uint64_t>& cal) {
+  EXPECT_EQ(heap.next_time(), cal.next_time());
+  const auto [ht, hv] = heap.pop();
+  const auto [ct, cv] = cal.pop();
+  EXPECT_EQ(ht, ct);
+  EXPECT_EQ(hv, cv);
+  EXPECT_EQ(heap.size(), cal.size());
+  return ht;
+}
+
+void drain_both(sim::EventQueue<std::uint64_t>& heap, sim::CalendarQueue<std::uint64_t>& cal) {
+  while (!heap.empty()) pop_both(heap, cal);
+  EXPECT_TRUE(cal.empty());
+}
+
+}  // namespace
+
+// Fully random interleave of schedules and pops, times drawn over a wide
+// range so events scatter across many calendar years.
+TEST(PropertyEventQueueRandom, RandomInterleaveMatchesHeap) {
+  std::mt19937_64 rng(0xD1FFu);
+  std::uniform_real_distribution<double> time(0.0, 1000.0);
+  std::uniform_int_distribution<int> burst(0, 6);
+  for (int trial = 0; trial < 30; ++trial) {
+    sim::EventQueue<std::uint64_t> heap;
+    sim::CalendarQueue<std::uint64_t> cal;
+    std::uint64_t id = 0;
+    for (int step = 0; step < 500; ++step) {
+      for (int i = burst(rng); i > 0; --i) {
+        const double t = time(rng);
+        heap.schedule(t, id);
+        cal.schedule(t, id);
+        ++id;
+      }
+      for (int i = burst(rng); i > 0 && !heap.empty(); --i) pop_both(heap, cal);
+    }
+    drain_both(heap, cal);
+  }
+}
+
+// Engine-shaped workload: the clock only moves forward, every schedule is
+// at now + holding, pops release everything due -- the loss engine's
+// departure pattern, including occasional zero-holding ties.
+TEST(PropertyEventQueueRandom, MonotoneEngineWorkloadMatchesHeap) {
+  std::mt19937_64 rng(0xE71Eu);
+  std::exponential_distribution<double> gap(2.0);
+  std::exponential_distribution<double> holding(1.0);
+  std::uniform_int_distribution<int> tie(0, 9);
+  for (int trial = 0; trial < 10; ++trial) {
+    sim::EventQueue<std::uint64_t> heap;
+    sim::CalendarQueue<std::uint64_t> cal;
+    double now = 0.0;
+    std::uint64_t id = 0;
+    for (int arrival = 0; arrival < 3000; ++arrival) {
+      now += gap(rng);
+      while (!heap.empty() && heap.next_time() <= now) pop_both(heap, cal);
+      const double hold = tie(rng) == 0 ? 0.0 : holding(rng);
+      heap.schedule(now + hold, id);
+      cal.schedule(now + hold, id);
+      ++id;
+    }
+    drain_both(heap, cal);
+  }
+}
+
+// Population swings: fill to thousands (bucket growth), drain to a handful
+// (bucket shrink), refill -- the resize paths re-estimate the width from
+// surviving events each time.
+TEST(PropertyEventQueueRandom, GrowShrinkCyclesMatchHeap) {
+  std::mt19937_64 rng(0x9505u);
+  std::uniform_real_distribution<double> time(0.0, 50.0);
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  std::uint64_t id = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int i = 0; i < 3000; ++i) {
+      const double t = time(rng);
+      heap.schedule(t, id);
+      cal.schedule(t, id);
+      ++id;
+    }
+    while (heap.size() > 5) pop_both(heap, cal);
+  }
+  drain_both(heap, cal);
+}
+
+// Sparse far-future events: a handful of events spread over a huge span,
+// so the one-lap scan misses and the direct-search fallback must find the
+// global minimum.
+TEST(PropertyEventQueueRandom, SparseFarFutureMatchesHeap) {
+  std::mt19937_64 rng(0x5AA5u);
+  std::uniform_real_distribution<double> magnitude(0.0, 12.0);
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const double t = std::pow(10.0, magnitude(rng));  // 1 .. 1e12
+    heap.schedule(t, id);
+    cal.schedule(t, id);
+  }
+  drain_both(heap, cal);
+}
+
+// Schedule-before-cursor: after popping far into the future, schedule
+// events earlier than the last pop (allowed by the interface); the
+// calendar queue must rewind its scan.
+TEST(PropertyEventQueueRandom, RewindOnEarlyScheduleMatchesHeap) {
+  std::mt19937_64 rng(0x0F0Fu);
+  std::uniform_real_distribution<double> late(100.0, 200.0);
+  std::uniform_real_distribution<double> early(0.0, 50.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    sim::EventQueue<std::uint64_t> heap;
+    sim::CalendarQueue<std::uint64_t> cal;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 40; ++i, ++id) {
+      const double t = late(rng);
+      heap.schedule(t, id);
+      cal.schedule(t, id);
+    }
+    for (int i = 0; i < 20; ++i) pop_both(heap, cal);  // cursor now ~150
+    for (int i = 0; i < 40; ++i, ++id) {
+      const double t = early(rng);  // before the cursor: rewind
+      heap.schedule(t, id);
+      cal.schedule(t, id);
+    }
+    drain_both(heap, cal);
+  }
+}
+
+// clear() resets both queues to a fresh state, including the tie-break
+// sequence counter.
+TEST(PropertyEventQueueRandom, ClearResetsLikeHeap) {
+  std::mt19937_64 rng(0xC1EAu);
+  std::uniform_real_distribution<double> time(0.0, 10.0);
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const double t = time(rng);
+    heap.schedule(t, id);
+    cal.schedule(t, id);
+  }
+  heap.clear();
+  cal.clear();
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const double t = time(rng);
+    heap.schedule(t, id);
+    cal.schedule(t, id);
+  }
+  drain_both(heap, cal);
+}
+
+// Interface contract shared with EventQueue: invalid times throw, empty
+// pops throw.
+TEST(PropertyEventQueueRandom, ContractMatchesEventQueue) {
+  sim::CalendarQueue<int> cal;
+  EXPECT_THROW(cal.schedule(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(cal.schedule(std::nan(""), 0), std::invalid_argument);
+  EXPECT_THROW(cal.pop(), std::logic_error);
+  EXPECT_THROW(cal.next_time(), std::logic_error);
+  cal.schedule(0.0, 7);  // t = 0 is valid, matching EventQueue
+  EXPECT_EQ(cal.pop().second, 7);
+}

@@ -1,0 +1,146 @@
+// Property test: FIFO tie-breaking at equal timestamps, heap vs calendar.
+//
+// The simulation's determinism contract hangs on tie-breaks: departures
+// scheduled at the same instant must pop in schedule order on every run,
+// or occupancy updates (and therefore admission decisions) reorder.  The
+// legacy EventQueue guarantees FIFO via a monotone sequence number; these
+// cases pin the calendar queue to the same behaviour -- equal times hash
+// to the same bucket, so the tie-break must never cross buckets, survive
+// resizes, or be disturbed by interleaved pops.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sim = altroute::sim;
+
+namespace {
+
+void expect_identical_drain(sim::EventQueue<std::uint64_t>& heap,
+                            sim::CalendarQueue<std::uint64_t>& cal) {
+  ASSERT_EQ(heap.size(), cal.size());
+  while (!heap.empty()) {
+    const auto [ht, hv] = heap.pop();
+    const auto [ct, cv] = cal.pop();
+    ASSERT_EQ(ht, ct);
+    ASSERT_EQ(hv, cv);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+}  // namespace
+
+// A single timestamp carrying many events pops strictly in schedule order.
+TEST(PropertyEventQueueTies, AllEventsAtOneInstantPopFifo) {
+  sim::CalendarQueue<std::uint64_t> cal;
+  for (std::uint64_t id = 0; id < 500; ++id) cal.schedule(42.0, id);
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    const auto [t, v] = cal.pop();
+    EXPECT_EQ(t, 42.0);
+    EXPECT_EQ(v, id);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+// Random schedules drawn from a tiny set of distinct times: almost every
+// event ties with many others, at several timestamps simultaneously.
+TEST(PropertyEventQueueTies, FewDistinctTimesManyTies) {
+  std::mt19937_64 rng(0x7135u);
+  const std::vector<double> times = {1.0, 2.5, 2.5 + 1e-9, 7.0, 100.0};
+  std::uniform_int_distribution<std::size_t> pick(0, times.size() - 1);
+  std::uniform_int_distribution<int> burst(0, 8);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim::EventQueue<std::uint64_t> heap;
+    sim::CalendarQueue<std::uint64_t> cal;
+    std::uint64_t id = 0;
+    for (int step = 0; step < 200; ++step) {
+      for (int i = burst(rng); i > 0; --i, ++id) {
+        const double t = times[pick(rng)];
+        heap.schedule(t, id);
+        cal.schedule(t, id);
+      }
+      for (int i = burst(rng); i > 0 && !heap.empty(); --i) {
+        const auto [ht, hv] = heap.pop();
+        const auto [ct, cv] = cal.pop();
+        ASSERT_EQ(ht, ct);
+        ASSERT_EQ(hv, cv);
+      }
+    }
+    expect_identical_drain(heap, cal);
+  }
+}
+
+// Ties laid down across resize boundaries: groups of tied events are
+// scheduled while the bucket array grows (and later shrinks during the
+// drain); reinsertion during resize must preserve the FIFO order.
+TEST(PropertyEventQueueTies, TiesSurviveResize) {
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  std::uint64_t id = 0;
+  // 64 tie groups of 32 events each: 2048 events force several doublings.
+  for (int group = 0; group < 64; ++group) {
+    const double t = static_cast<double>(group) * 0.125;
+    for (int i = 0; i < 32; ++i, ++id) {
+      heap.schedule(t, id);
+      cal.schedule(t, id);
+    }
+  }
+  expect_identical_drain(heap, cal);
+}
+
+// Ties at the exact current minimum, scheduled after pops began: the new
+// event must pop after the already-queued events with the same time, never
+// before (insertion order is global, not per-bucket-epoch).
+TEST(PropertyEventQueueTies, LateTieWithCurrentMinimumPopsLast) {
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 10; ++i, ++id) {
+    heap.schedule(5.0, id);
+    cal.schedule(5.0, id);
+  }
+  // Pop a few, then add more events at the same (still-minimum) time.
+  for (int i = 0; i < 3; ++i) {
+    const auto [ht, hv] = heap.pop();
+    const auto [ct, cv] = cal.pop();
+    ASSERT_EQ(ht, ct);
+    ASSERT_EQ(hv, cv);
+  }
+  for (int i = 0; i < 10; ++i, ++id) {
+    heap.schedule(5.0, id);
+    cal.schedule(5.0, id);
+  }
+  expect_identical_drain(heap, cal);
+}
+
+// Zero-holding departures: an event scheduled exactly at the current time
+// while earlier same-time events are still queued (the engine's
+// zero-length call corner).
+TEST(PropertyEventQueueTies, ZeroGapChainsPopFifo) {
+  std::mt19937_64 rng(0x2E20u);
+  std::uniform_int_distribution<int> chain(1, 6);
+  sim::EventQueue<std::uint64_t> heap;
+  sim::CalendarQueue<std::uint64_t> cal;
+  double now = 0.0;
+  std::uint64_t id = 0;
+  for (int step = 0; step < 300; ++step) {
+    now += 0.25;
+    for (int i = chain(rng); i > 0; --i, ++id) {
+      heap.schedule(now, id);  // every event in the chain ties at `now`
+      cal.schedule(now, id);
+    }
+    if (step % 3 != 0) {
+      while (!heap.empty() && heap.next_time() <= now) {
+        const auto [ht, hv] = heap.pop();
+        const auto [ct, cv] = cal.pop();
+        ASSERT_EQ(ht, ct);
+        ASSERT_EQ(hv, cv);
+      }
+    }
+  }
+  expect_identical_drain(heap, cal);
+}

@@ -1,0 +1,248 @@
+// Regression tests for the r* memo-invalidation bug class.
+//
+// The Erlang memo caches each link's inverse Erlang-B sequence keyed on
+// its (Lambda, C) pair.  The latent-bug class this file pins down: a
+// scenario operation changes a link's capacity or demand, and a stale
+// cached table keeps answering with the OLD r* -- silently mis-protecting
+// the link for the rest of the run.  Invalidation is by key comparison,
+// so every test drives a real mutation path (compounding capacity_scale,
+// repair-after-fail, traffic_scale, no-op events) and asserts the memo's
+// answer equals a from-scratch erlang::min_state_protection at the
+// CURRENT operating point.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "core/controller.hpp"
+#include "core/protection.hpp"
+#include "erlang/erlang_b.hpp"
+#include "erlang/memo.hpp"
+#include "erlang/state_protection.hpp"
+#include "netgraph/topologies.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/runner.hpp"
+#include "sim/call_trace.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+namespace net = altroute::net;
+namespace core = altroute::core;
+namespace erlang = altroute::erlang;
+namespace routing = altroute::routing;
+namespace scenario = altroute::scenario;
+namespace sim = altroute::sim;
+
+namespace {
+
+constexpr int kH = 4;
+
+/// Ground truth at an operating point: the direct Eq.-15 scan.
+int direct_rstar(double lambda, int capacity) {
+  return erlang::min_state_protection(lambda, capacity, kH);
+}
+
+}  // namespace
+
+// --- unit level: the memo's key discipline --------------------------------
+
+TEST(RstarInvalidation, ConfigureRebuildsExactlyOnKeyChange) {
+  erlang::LinkErlangMemo memo;
+  EXPECT_TRUE(memo.configure(12.0, 20));   // fresh: rebuild
+  EXPECT_FALSE(memo.configure(12.0, 20));  // same key: cached
+  EXPECT_TRUE(memo.configure(12.0, 10));   // capacity changed: rebuild
+  EXPECT_TRUE(memo.configure(6.0, 10));    // lambda changed: rebuild
+  EXPECT_FALSE(memo.configure(6.0, 10));
+  EXPECT_TRUE(memo.configure(12.0, 20));   // back to the first key: the memo
+                                           // keeps ONE table, so this rebuilds
+  EXPECT_EQ(memo.r_star(kH), direct_rstar(12.0, 20));
+}
+
+TEST(RstarInvalidation, CapacityChangeNeverServesStaleRstar) {
+  erlang::LinkErlangMemo memo;
+  // A capacity walk that revisits values: every answer must match the
+  // direct computation at the CURRENT capacity, not any earlier one.
+  for (const int capacity : {20, 10, 20, 5, 40, 20, 10}) {
+    memo.configure(12.0, capacity);
+    EXPECT_EQ(memo.r_star(kH), direct_rstar(12.0, capacity)) << "C=" << capacity;
+    EXPECT_EQ(memo.blocking(), erlang::erlang_b(12.0, capacity)) << "C=" << capacity;
+  }
+}
+
+TEST(RstarInvalidation, LambdaChangeNeverServesStaleRstar) {
+  erlang::LinkErlangMemo memo;
+  for (const double lambda : {15.0, 3.0, 15.0, 0.0, 22.5, 15.0}) {
+    memo.configure(lambda, 18);
+    EXPECT_EQ(memo.r_star(kH), direct_rstar(lambda, 18)) << "lambda=" << lambda;
+  }
+}
+
+TEST(RstarInvalidation, RstarHCacheInvalidatesWithHAndWithKey) {
+  erlang::LinkErlangMemo memo;
+  memo.configure(14.0, 16);
+  EXPECT_EQ(memo.r_star(3), erlang::min_state_protection(14.0, 16, 3));
+  // Different H against the same table: the per-H cache must not leak.
+  EXPECT_EQ(memo.r_star(9), erlang::min_state_protection(14.0, 16, 9));
+  EXPECT_EQ(memo.r_star(3), erlang::min_state_protection(14.0, 16, 3));
+  // Key change must also drop the cached (H, r*) pair.
+  memo.configure(14.0, 8);
+  EXPECT_EQ(memo.r_star(3), erlang::min_state_protection(14.0, 8, 3));
+}
+
+TEST(RstarInvalidation, ExplicitInvalidateForcesRebuild) {
+  erlang::LinkErlangMemo memo;
+  memo.configure(10.0, 12);
+  memo.invalidate();
+  EXPECT_FALSE(memo.configured());
+  EXPECT_TRUE(memo.configure(10.0, 12));  // identical key still rebuilds
+  EXPECT_EQ(memo.r_star(kH), direct_rstar(10.0, 12));
+}
+
+TEST(RstarInvalidation, NetworkMemoRebuildCountTracksChangedLinksOnly) {
+  erlang::NetworkErlangMemo memo;
+  EXPECT_EQ(memo.configure({5.0, 7.0, 9.0}, {10, 10, 10}), 3u);
+  EXPECT_EQ(memo.configure({5.0, 7.0, 9.0}, {10, 10, 10}), 0u);
+  EXPECT_EQ(memo.configure({5.0, 7.0, 9.0}, {10, 4, 10}), 1u);  // one capacity event
+  EXPECT_EQ(memo.configure({5.0, 8.4, 9.0}, {10, 4, 10}), 1u);  // one demand change
+  EXPECT_EQ(memo.protection_levels(kH),
+            erlang::state_protection_levels({5.0, 8.4, 9.0}, {10, 4, 10}, kH));
+}
+
+// --- system level: scenario operations ------------------------------------
+
+namespace {
+
+/// Quadrangle fixture under moderate load with a controlled policy; the
+/// scenario runner resolves protection automatically after every event.
+struct ScenarioFixture {
+  ScenarioFixture()
+      : graph(net::full_mesh(4, 20)),
+        traffic(net::TrafficMatrix::uniform(4, 14.0)),
+        trace(sim::generate_trace(traffic, 40.0, 77)) {}
+
+  scenario::ScenarioRunResult run(const scenario::Scenario& s, bool memoize) {
+    scenario::ScenarioEngineOptions options;
+    options.warmup = 5.0;
+    options.max_alt_hops = kH;
+    options.auto_resolve_protection = true;
+    options.memoize_protection = memoize;
+    core::ControlledAlternatePolicy policy;
+    return scenario::run_scenario(graph, traffic, policy, trace, s, options);
+  }
+
+  /// Expected final reservations, recomputed from scratch on the final
+  /// (topology, capacities, traffic factor).
+  std::vector<int> expected_final_levels(const net::Graph& final_graph, double traffic_factor) {
+    const routing::RouteTable routes = routing::build_min_hop_routes(final_graph, kH);
+    return core::protection_levels(final_graph, routes, traffic.scaled(traffic_factor), kH);
+  }
+
+  net::Graph graph;
+  net::TrafficMatrix traffic;
+  sim::CallTrace trace;
+};
+
+}  // namespace
+
+// Compounding capacity_scale: two scales of the same facility (x0.5 then
+// x1.5) compound multiplicatively.  A memo that stays keyed to the first
+// scaled capacity -- or to the original -- produces wrong final levels.
+TEST(RstarInvalidation, CompoundingCapacityScaleResolvesAtCurrentCapacity) {
+  ScenarioFixture fx;
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(10.0, 0, 1, 0.5));
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(20.0, 0, 1, 1.5));
+
+  const scenario::ScenarioRunResult memoized = fx.run(s, /*memoize=*/true);
+  const scenario::ScenarioRunResult direct = fx.run(s, /*memoize=*/false);
+
+  // 20 -> 10 -> 15 on both directions of facility (0,1).
+  net::Graph final_graph = fx.graph;
+  for (const net::LinkId id : final_graph.duplex_links(net::NodeId(0), net::NodeId(1))) {
+    final_graph.set_link_capacity(id, 15);
+  }
+  const std::vector<int> expected = fx.expected_final_levels(final_graph, 1.0);
+  ASSERT_EQ(memoized.final_links.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(memoized.final_links[k].reservation, expected[k]) << "link " << k;
+    EXPECT_EQ(direct.final_links[k].reservation, expected[k]) << "link " << k;
+    EXPECT_EQ(memoized.final_links[k].capacity, direct.final_links[k].capacity);
+  }
+}
+
+// Repair-after-fail: the failure re-routes demand (Lambda changes on the
+// survivors), the repair restores it.  The memo must rebuild on BOTH
+// transitions; a stale post-failure table would leave the repaired network
+// with failure-era protection levels.
+TEST(RstarInvalidation, RepairAfterFailRestoresNominalLevels) {
+  ScenarioFixture fx;
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::link_fail(10.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(25.0, 0, 1));
+
+  const scenario::ScenarioRunResult memoized = fx.run(s, /*memoize=*/true);
+  const scenario::ScenarioRunResult direct = fx.run(s, /*memoize=*/false);
+
+  // After the repair the topology (and factor 1.0 traffic) is nominal, so
+  // the final levels must equal the nominal Eq.-15 solution.
+  const std::vector<int> expected = fx.expected_final_levels(fx.graph, 1.0);
+  ASSERT_EQ(memoized.final_links.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(memoized.final_links[k].reservation, expected[k]) << "link " << k;
+    EXPECT_EQ(direct.final_links[k].reservation, expected[k]) << "link " << k;
+    EXPECT_TRUE(memoized.final_links[k].enabled);
+  }
+}
+
+// traffic_scale changes every link's Lambda with no topology change -- the
+// pure lambda-key invalidation path.
+TEST(RstarInvalidation, TrafficScaleRebuildsAllLevels) {
+  ScenarioFixture fx;
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(12.0, 1.5));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(12.0));
+
+  const scenario::ScenarioRunResult memoized = fx.run(s, /*memoize=*/true);
+  const scenario::ScenarioRunResult direct = fx.run(s, /*memoize=*/false);
+
+  const std::vector<int> expected = fx.expected_final_levels(fx.graph, 1.5);
+  ASSERT_EQ(memoized.final_links.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(memoized.final_links[k].reservation, expected[k]) << "link " << k;
+    EXPECT_EQ(direct.final_links[k].reservation, expected[k]) << "link " << k;
+  }
+  // The scale must actually have changed something, or this test is vacuous.
+  EXPECT_NE(expected, fx.expected_final_levels(fx.graph, 1.0));
+}
+
+// A capacity_set to the current value changes nothing; the memo may keep
+// every table, but the resolved levels must still be the nominal ones.
+TEST(RstarInvalidation, NoOpCapacitySetKeepsLevelsCorrect) {
+  ScenarioFixture fx;
+  scenario::Scenario s;
+  s.events.push_back(scenario::ScenarioEvent::capacity_set(10.0, 0, 1, 20));  // already 20
+
+  const scenario::ScenarioRunResult memoized = fx.run(s, /*memoize=*/true);
+  const std::vector<int> expected = fx.expected_final_levels(fx.graph, 1.0);
+  ASSERT_EQ(memoized.final_links.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(memoized.final_links[k].reservation, expected[k]) << "link " << k;
+  }
+}
+
+// Controller::retarget shares the same memo machinery: a retarget sweep
+// up and back down must land on the original levels, not a stale mix.
+TEST(RstarInvalidation, ControllerRetargetRoundTrip) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix nominal = altroute::study::nsfnet_nominal_traffic();
+  core::ControllerConfig config;
+  config.max_alt_hops = 6;
+  core::Controller controller(g, nominal, config);
+  const std::vector<int> at_nominal = controller.reservations();
+
+  controller.retarget(nominal.scaled(1.3));
+  const std::vector<int> at_high = controller.reservations();
+  EXPECT_NE(at_nominal, at_high);  // the sweep must move the levels
+
+  controller.retarget(nominal);
+  EXPECT_EQ(controller.reservations(), at_nominal);
+}

@@ -10,8 +10,20 @@ perf record per commit.
     $ python3 tools/bench_record.py --bench build/bench/microbench \
           --out BENCH_sweep.json --repetitions 3
 
-Exits non-zero when the benchmark binary fails or produces no matching
-rows.  Needs only the standard library.
+With --baseline, the fresh record is also GATED against a previous
+BENCH_sweep.json: the run fails when the mean at threads=1 or at the
+highest thread count present in both records regresses by more than
+--max-regression percent (default 10).  A missing baseline file passes
+with a note, so the first run on a fresh runner records without gating.
+
+Override knobs, for when a regression is expected (e.g. an accepted
+trade-off or a known-noisy runner):
+  * --max-regression 25        -- widen the tolerance for one invocation
+  * BENCH_REGRESSION_TOLERANCE -- same, via the environment (CI variable)
+  * BENCH_SKIP_GATE=1          -- record but skip the comparison entirely
+
+Exits non-zero when the benchmark binary fails, produces no matching
+rows, or the gate trips.  Needs only the standard library.
 """
 
 from __future__ import annotations
@@ -89,6 +101,42 @@ def distil(raw: dict, base: str) -> dict:
     }
 
 
+def gate_thread_counts(fresh: dict, baseline: dict) -> list[str]:
+    """The rows the gate watches: serial, and the widest parallel row the
+    two records share (runner core counts may differ across records)."""
+    shared = sorted(set(fresh) & set(baseline), key=int)
+    watched = []
+    if "1" in shared:
+        watched.append("1")
+    if shared and shared[-1] != "1":
+        watched.append(shared[-1])
+    return watched
+
+
+def check_regression(fresh: dict, baseline_path: str, tolerance_pct: float) -> list[str]:
+    """Compares fresh per-thread means against the baseline record.
+    Returns a list of human-readable failures (empty = gate passes)."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base_threads = baseline.get("threads", {})
+    failures = []
+    for threads in gate_thread_counts(fresh, base_threads):
+        old = float(base_threads[threads]["mean_ms"])
+        new = float(fresh[threads]["mean_ms"])
+        if old <= 0.0:
+            continue
+        delta_pct = 100.0 * (new - old) / old
+        status = "FAIL" if delta_pct > tolerance_pct else "ok"
+        print(f"bench_record: gate threads={threads}: {old:.1f} ms -> {new:.1f} ms "
+              f"({delta_pct:+.1f}%, tolerance {tolerance_pct:.0f}%) [{status}]",
+              file=sys.stderr)
+        if delta_pct > tolerance_pct:
+            failures.append(
+                f"threads={threads} regressed {delta_pct:+.1f}% "
+                f"({old:.1f} ms -> {new:.1f} ms)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", default="build/bench/microbench",
@@ -99,6 +147,13 @@ def main() -> int:
                         help="repetitions per row (default 3)")
     parser.add_argument("--out", default="BENCH_sweep.json",
                         help="output path (default BENCH_sweep.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_sweep.json to gate against "
+                             "(missing file: record only, no gate)")
+    parser.add_argument("--max-regression", type=float,
+                        default=float(os.environ.get("BENCH_REGRESSION_TOLERANCE", 10.0)),
+                        help="max tolerated mean regression in percent "
+                             "(default 10, or $BENCH_REGRESSION_TOLERANCE)")
     args = parser.parse_args()
 
     raw = run_benchmark(args.bench, args.filter, args.repetitions)
@@ -121,6 +176,23 @@ def main() -> int:
         json.dump(record, handle, indent=2)
         handle.write("\n")
     print(f"bench_record: wrote {args.out}", file=sys.stderr)
+
+    if args.baseline:
+        if os.environ.get("BENCH_SKIP_GATE") == "1":
+            print("bench_record: BENCH_SKIP_GATE=1, skipping regression gate",
+                  file=sys.stderr)
+        elif not os.path.exists(args.baseline):
+            print(f"bench_record: no baseline at {args.baseline}, recording only",
+                  file=sys.stderr)
+        else:
+            failures = check_regression(results, args.baseline, args.max_regression)
+            if failures:
+                for failure in failures:
+                    print(f"bench_record: REGRESSION: {failure}", file=sys.stderr)
+                print("bench_record: override with --max-regression, "
+                      "$BENCH_REGRESSION_TOLERANCE, or BENCH_SKIP_GATE=1",
+                      file=sys.stderr)
+                return 1
     return 0
 
 
