@@ -18,6 +18,10 @@
 #include "erlang/kaufman_roberts.hpp"
 #include "routing/fixed_point.hpp"
 #include "sim/rng.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/format.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 #include "study/optimal_overflow.hpp"
@@ -218,5 +222,32 @@ void BM_EndToEndQuadrangleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_EndToEndQuadrangleRun)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+  // Serialize + revalidate + decode one warm NSFNet checkpoint (hundreds
+  // of in-flight calls): the per-capture cost a periodic sweep checkpoint
+  // pays, minus the file system.
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix& traffic = study::nsfnet_nominal_traffic();
+  const sim::CallTrace trace = scenario::make_scenario_trace(traffic, {}, 60.0, 7);
+  snapshot::BufferCheckpointSink sink;
+  scenario::ScenarioEngineOptions options;
+  options.max_alt_hops = 11;
+  options.checkpoint_at = 40.0;
+  options.checkpoints = &sink;
+  core::ControlledAlternatePolicy policy;
+  (void)scenario::run_scenario(g, traffic, policy, trace, {}, options);
+  const snapshot::ScenarioCheckpoint& ckpt = sink.captured.front();
+  std::vector<std::uint8_t> image;
+  for (auto _ : state) {
+    image = snapshot::render_container(snapshot::encode_checkpoint(ckpt));
+    benchmark::DoNotOptimize(
+        snapshot::decode_checkpoint(snapshot::parse_container(image, "bench"), "bench")
+            .departures.entries.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_CheckpointSaveRestore);
 
 }  // namespace

@@ -77,6 +77,13 @@ int main(int argc, char** argv) {
   options.max_alt_hops = cli.hops.value_or(11);  // the paper's H for NSFNet
   options.time_bins = 10;
 
+  // Crash tolerance: with --checkpoint-dir a killed run resumes where it
+  // stopped (add --checkpoint-every T for mid-replication granularity);
+  // --crash-after K injects a deterministic crash for testing the flow.
+  if (cli.checkpoint_dir) options.checkpoint_dir = *cli.checkpoint_dir;
+  if (cli.checkpoint_every) options.checkpoint_every = *cli.checkpoint_every;
+  if (cli.crash_after) options.crash_after = *cli.crash_after;
+
   // Observability: a metrics registry per policy and/or a JSONL trace,
   // merged in slot order (bit-identical at any --threads value).  The
   // trace is buffered in memory so --analyze can feed the same bytes
@@ -93,11 +100,19 @@ int main(int argc, char** argv) {
     options.obs.occupancy_samples = 100;
   }
 
-  const study::ScenarioSweepResult result = study::run_scenario_sweep(
-      net::nsfnet_t3(), study::nsfnet_nominal_traffic(), scen,
-      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
-       study::PolicyKind::kControlledAlternate},
-      options);
+  study::ScenarioSweepResult result;
+  try {
+    result = study::run_scenario_sweep(
+        net::nsfnet_t3(), study::nsfnet_nominal_traffic(), scen,
+        {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
+         study::PolicyKind::kControlledAlternate},
+        options);
+  } catch (const std::exception& e) {
+    // The --crash-after hook lands here by design; completed tasks stay in
+    // --checkpoint-dir, so rerunning the same command line resumes them.
+    std::cerr << "failure_recovery: " << e.what() << '\n';
+    return 3;
+  }
 
   // 3. The transient series: one row per time bin, events marked inline.
   std::cout << "# " << scen.name << ": per-bin blocking\n"

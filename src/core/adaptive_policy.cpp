@@ -1,5 +1,6 @@
 #include "core/adaptive_policy.hpp"
 
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -7,6 +8,36 @@
 #include "erlang/state_protection.hpp"
 
 namespace altroute::core {
+
+namespace {
+
+// Little-endian u64 push/pull for the policy-state blob.
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void push_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  push_u64(out, bits);
+}
+
+std::uint64_t pull_u64(const std::vector<std::uint8_t>& in, std::size_t word) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[word * 8 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+double pull_f64(const std::vector<std::uint8_t>& in, std::size_t word) {
+  const std::uint64_t bits = pull_u64(in, word);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
 
 AdaptiveControlledPolicy::AdaptiveControlledPolicy(const net::Graph& graph,
                                                    const AdaptiveOptions& options)
@@ -86,6 +117,36 @@ loss::RouteDecision AdaptiveControlledPolicy::route(const loss::RoutingContext& 
     }
   }
   return d;
+}
+
+std::vector<std::uint8_t> AdaptiveControlledPolicy::snapshot_state() const {
+  // One word of link count and the window clock, then per link: lambda,
+  // window count, reservation.
+  std::vector<std::uint8_t> blob;
+  blob.reserve((2 + 3 * lambda_.size()) * 8);
+  push_u64(blob, lambda_.size());
+  push_f64(blob, window_start_);
+  for (const double l : lambda_) push_f64(blob, l);
+  for (const long long c : window_count_) push_u64(blob, static_cast<std::uint64_t>(c));
+  for (const int r : reservation_) push_u64(blob, static_cast<std::uint64_t>(r));
+  return blob;
+}
+
+void AdaptiveControlledPolicy::restore_state(const std::vector<std::uint8_t>& blob) {
+  const std::size_t links = lambda_.size();
+  const std::size_t expected = (2 + 3 * links) * 8;
+  if (blob.size() != expected || pull_u64(blob, 0) != links) {
+    throw std::invalid_argument(
+        "AdaptiveControlledPolicy::restore_state: blob does not match this policy's " +
+        std::to_string(links) + "-link estimator (got " + std::to_string(blob.size()) +
+        " bytes, expected " + std::to_string(expected) + ")");
+  }
+  window_start_ = pull_f64(blob, 1);
+  for (std::size_t k = 0; k < links; ++k) {
+    lambda_[k] = pull_f64(blob, 2 + k);
+    window_count_[k] = static_cast<long long>(pull_u64(blob, 2 + links + k));
+    reservation_[k] = static_cast<int>(pull_u64(blob, 2 + 2 * links + k));
+  }
 }
 
 }  // namespace altroute::core

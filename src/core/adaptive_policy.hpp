@@ -44,6 +44,12 @@ class AdaptiveControlledPolicy final : public loss::RoutingPolicy {
   /// Current per-link protection levels derived from the estimates.
   [[nodiscard]] const std::vector<int>& reservations() const { return reservation_; }
 
+  /// Checkpoint support: the estimator state (EWMA estimates, window
+  /// counts, recomputed reservations, window clock) -- a resumed run
+  /// continues learning exactly where the saved one left off.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(const std::vector<std::uint8_t>& blob) override;
+
  private:
   void roll_windows(double now);
   void observe_primary_demand(const routing::Path& primary);

@@ -18,6 +18,20 @@ int bottleneck_free(const RoutingContext& ctx, const routing::Path& path) {
   return least;
 }
 
+// Little-endian u64 push/pull for the policy-state blob (the blob is
+// opaque to the snapshot container; only this policy reads it back).
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t pull_u64(const std::vector<std::uint8_t>& in, std::size_t word) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[word * 8 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
 
 RouteDecision LeastBusyAlternatePolicy::route(const RoutingContext& ctx) {
@@ -100,6 +114,30 @@ RouteDecision StickyRandomPolicy::route(const RoutingContext& ctx) {
   // alternate for its next overflow (DAR's reset rule).
   remembered = rng_.below(candidates);
   return d;
+}
+
+std::vector<std::uint8_t> StickyRandomPolicy::snapshot_state() const {
+  // 4 words of RNG state, one word of pair count, one word per pair.
+  std::vector<std::uint8_t> blob;
+  blob.reserve((5 + sticky_.size()) * 8);
+  for (const std::uint64_t word : rng_.state()) push_u64(blob, word);
+  push_u64(blob, sticky_.size());
+  for (const std::size_t s : sticky_) push_u64(blob, static_cast<std::uint64_t>(s));
+  return blob;
+}
+
+void StickyRandomPolicy::restore_state(const std::vector<std::uint8_t>& blob) {
+  const std::size_t expected = (5 + sticky_.size()) * 8;
+  if (blob.size() != expected || pull_u64(blob, 4) != sticky_.size()) {
+    throw std::invalid_argument(
+        "StickyRandomPolicy::restore_state: blob does not match this policy's " +
+        std::to_string(sticky_.size()) + "-pair memory (got " + std::to_string(blob.size()) +
+        " bytes, expected " + std::to_string(expected) + ")");
+  }
+  rng_.set_state({pull_u64(blob, 0), pull_u64(blob, 1), pull_u64(blob, 2), pull_u64(blob, 3)});
+  for (std::size_t q = 0; q < sticky_.size(); ++q) {
+    sticky_[q] = static_cast<std::size_t>(pull_u64(blob, 5 + q));
+  }
 }
 
 }  // namespace altroute::loss

@@ -63,6 +63,11 @@ class StickyRandomPolicy final : public RoutingPolicy {
     return sticky_[pair_index(src, dst)];
   }
 
+  /// Checkpoint support: the reset-RNG state plus the per-pair sticky
+  /// memory -- everything a resumed run needs to pick the same alternates.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(const std::vector<std::uint8_t>& blob) override;
+
  private:
   [[nodiscard]] std::size_t pair_index(net::NodeId src, net::NodeId dst) const {
     return src.index() * static_cast<std::size_t>(nodes_) + dst.index();

@@ -7,6 +7,9 @@
 // can be shared across runs.
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "loss/network_state.hpp"
@@ -62,6 +65,21 @@ class RoutingPolicy {
 
   /// Display name for experiment tables.
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Checkpoint support: the policy's internal learning state as an opaque
+  /// blob (empty for stateless policies, the default).  restore_state must
+  /// accept exactly what snapshot_state produced; the default rejects any
+  /// non-empty blob, so a checkpoint carrying learning state can never
+  /// silently resume against a policy that would discard it.
+  [[nodiscard]] virtual std::vector<std::uint8_t> snapshot_state() const { return {}; }
+  virtual void restore_state(const std::vector<std::uint8_t>& blob) {
+    if (!blob.empty()) {
+      throw std::invalid_argument("RoutingPolicy::restore_state: policy '" +
+                                  std::string(name()) +
+                                  "' is stateless but the checkpoint carries " +
+                                  std::to_string(blob.size()) + " bytes of policy state");
+    }
+  }
 };
 
 /// Samples the primary path index from the route set's bifurcation

@@ -225,6 +225,47 @@ void MetricRegistry::merge(const MetricRegistry& other) {
   }
 }
 
+void MetricRegistry::export_accumulated(std::vector<long long>& ints,
+                                        std::vector<double>& reals) const {
+  for (const Counter& c : counters_) ints.push_back(c.value);
+  for (const Histogram& h : histograms_) {
+    ints.insert(ints.end(), h.counts.begin(), h.counts.end());
+  }
+  for (const LinkCounter& lc : link_counters_) {
+    ints.insert(ints.end(), lc.values.begin(), lc.values.end());
+  }
+  ints.insert(ints.end(), occupancy_grid_.begin(), occupancy_grid_.end());
+  for (const Gauge& g : gauges_) reals.push_back(g.value);
+  for (const Histogram& h : histograms_) reals.push_back(h.sum);
+}
+
+void MetricRegistry::import_accumulated(const std::vector<long long>& ints,
+                                        const std::vector<double>& reals) {
+  std::size_t int_count = counters_.size() + occupancy_grid_.size();
+  for (const Histogram& h : histograms_) int_count += h.counts.size();
+  for (const LinkCounter& lc : link_counters_) int_count += lc.values.size();
+  const std::size_t real_count = gauges_.size() + histograms_.size();
+  if (ints.size() != int_count || reals.size() != real_count) {
+    throw std::invalid_argument(
+        "MetricRegistry::import_accumulated: value count mismatch (saved " +
+        std::to_string(ints.size()) + "+" + std::to_string(reals.size()) +
+        " values, this schema holds " + std::to_string(int_count) + "+" +
+        std::to_string(real_count) + ")");
+  }
+  std::size_t i = 0;
+  for (Counter& c : counters_) c.value = ints[i++];
+  for (Histogram& h : histograms_) {
+    for (long long& count : h.counts) count = ints[i++];
+  }
+  for (LinkCounter& lc : link_counters_) {
+    for (long long& v : lc.values) v = ints[i++];
+  }
+  for (long long& cell : occupancy_grid_) cell = ints[i++];
+  std::size_t r = 0;
+  for (Gauge& g : gauges_) g.value = reals[r++];
+  for (Histogram& h : histograms_) h.sum = reals[r++];
+}
+
 std::string MetricRegistry::to_json() const {
   std::string out = "{";
   out += "\"counters\":{";

@@ -115,6 +115,22 @@ class MetricRegistry {
   /// via "%.17g".  The schema is documented in DESIGN.md "Observability".
   [[nodiscard]] std::string to_json() const;
 
+  // --- checkpoint support ---------------------------------------------------
+
+  /// Flattens every instrument's ACCUMULATED values (not the schema) into
+  /// two appended vectors in deterministic order: counters, histogram
+  /// bucket counts, link counters, occupancy grid into `ints`; gauges,
+  /// histogram sums into `reals`.  The snapshot layer stores only these --
+  /// on restore the schema is re-registered by the same bind() call that
+  /// built it, then refilled via import_accumulated.
+  void export_accumulated(std::vector<long long>& ints, std::vector<double>& reals) const;
+
+  /// Pours values exported by export_accumulated back into a registry with
+  /// the IDENTICAL schema.  Throws std::invalid_argument when the value
+  /// counts do not match this registry's instruments.
+  void import_accumulated(const std::vector<long long>& ints,
+                          const std::vector<double>& reals);
+
  private:
   struct Counter {
     std::string name;

@@ -141,6 +141,12 @@ class Probe {
     sample_occupancy_to(std::numeric_limits<double>::infinity(), occ);
   }
 
+  /// Checkpoint support: the index of the next unfilled occupancy-grid
+  /// point.  Restored together with the registry's accumulated values so a
+  /// resumed run samples exactly the remaining grid points.
+  [[nodiscard]] int grid_cursor() const { return grid_next_; }
+  void set_grid_cursor(int next) { grid_next_ = next; }
+
  private:
   void trace(const TraceRecord& record) {
     if (sink_ != nullptr && sink_->wants(record.kind)) sink_->write(record);

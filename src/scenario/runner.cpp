@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/protection.hpp"
 #include "erlang/memo.hpp"
@@ -11,6 +13,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/slab_arena.hpp"
+#include "snapshot/checkpoint.hpp"
 
 namespace altroute::scenario {
 
@@ -299,7 +302,312 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
     }
   };
 
-  for (const sim::CallRecord& call : trace.calls) {
+  // --- checkpoint capture ---------------------------------------------------
+  // Snapshots the COMPLETE run state as of the previous arrival: the
+  // working graph and admission state, the engine's RNG stream, the
+  // policy's learning state, the departure queue as a logical (time, seq)
+  // multiset, the arena's exact slot layout with the in-flight calls, the
+  // accumulated counters, the obs registry values, and the Erlang memo
+  // keys.  See snapshot/checkpoint.hpp for section-by-section rationale.
+  const auto capture = [&](double due, std::size_t next_call) {
+    snapshot::ScenarioCheckpoint ck;
+    ck.checkpoint_at = due;
+    ck.advanced_to = next_call > 0 ? trace.calls[next_call - 1].arrival : -1.0;
+    ck.next_call = next_call;
+    ck.next_event = next_event;
+    ck.traffic_factor = traffic_factor;
+    ck.horizon = trace.horizon;
+    ck.warmup = options.warmup;
+    ck.policy_seed = options.policy_seed;
+    ck.node_count = n;
+    ck.link_count = g.link_count();
+    ck.trace_calls = trace.calls.size();
+    ck.scenario_events = scenario.events.size();
+    ck.legacy_event_queue = options.legacy_event_queue ? 1 : 0;
+    ck.max_alt_hops = options.max_alt_hops;
+    ck.time_bins = options.time_bins;
+    for (int k = 0; k < g.link_count(); ++k) {
+      const net::LinkId id(k);
+      ck.link_enabled.push_back(g.link(id).enabled ? 1 : 0);
+      ck.link_capacity.push_back(g.link(id).capacity);
+      const auto link = state.link(id);
+      ck.occupancy.push_back(link.occupancy());
+      ck.reservation.push_back(link.reservation());
+    }
+    ck.engine_rng = engine_rng.state();
+    ck.policy = std::string(policy.name());
+    ck.policy_state = policy.snapshot_state();
+    ck.departures.next_seq = departures.next_seq();
+    departures.visit([&](double time, std::uint64_t seq, Arena::Handle h) {
+      ck.departures.entries.push_back(snapshot::QueueEntry{time, seq, h});
+    });
+    std::sort(ck.departures.entries.begin(), ck.departures.entries.end(),
+              [](const snapshot::QueueEntry& a, const snapshot::QueueEntry& b) {
+                return a.seq < b.seq;
+              });
+    const Arena::Layout layout = in_flight.layout();
+    ck.arena.gens = layout.gens;
+    ck.arena.live_order = layout.live_order;
+    ck.arena.free_order = layout.free_order;
+    for (Arena::Handle h = in_flight.oldest(); h != Arena::kInvalid; h = in_flight.next(h)) {
+      const InFlight& call = in_flight.value(h);
+      snapshot::CallState cs;
+      cs.nodes.reserve(call.path.nodes.size());
+      for (const net::NodeId node : call.path.nodes) {
+        cs.nodes.push_back(static_cast<std::int32_t>(node.index()));
+      }
+      cs.links.reserve(call.path.links.size());
+      for (const net::LinkId link : call.path.links) {
+        cs.links.push_back(static_cast<std::int32_t>(link.index()));
+      }
+      cs.units = call.units;
+      cs.alternate = call.alternate ? 1 : 0;
+      ck.arena.calls.push_back(std::move(cs));
+    }
+    snapshot::CountersState& c = ck.counters;
+    c.offered = result.offered;
+    c.blocked = result.blocked;
+    c.carried_primary = result.carried_primary;
+    c.carried_alternate = result.carried_alternate;
+    c.per_pair.reserve(result.per_pair.size() * 4);
+    for (const loss::PairCounters& pair : result.per_pair) {
+      c.per_pair.push_back(pair.offered);
+      c.per_pair.push_back(pair.blocked);
+      c.per_pair.push_back(pair.carried_primary);
+      c.per_pair.push_back(pair.carried_alternate);
+    }
+    for (const loss::ClassCounters& cls : per_class) {
+      c.class_bandwidth.push_back(cls.bandwidth);
+      c.class_offered.push_back(cls.offered);
+      c.class_blocked.push_back(cls.blocked);
+    }
+    c.carried_by_hops.assign(result.carried_by_hops.begin(), result.carried_by_hops.end());
+    c.bin_offered.assign(result.bin_offered.begin(), result.bin_offered.end());
+    c.bin_blocked.assign(result.bin_blocked.begin(), result.bin_blocked.end());
+    c.dropped = out.dropped;
+    for (const AppliedEvent& e : out.applied) {
+      c.applied.push_back(snapshot::AppliedEventState{
+          e.time, static_cast<std::int32_t>(e.kind), e.links_changed, e.calls_killed});
+    }
+    if (probe != nullptr && probe->metrics() != nullptr) {
+      ck.obs.present = 1;
+      ck.obs.grid_cursor = probe->grid_cursor();
+      probe->metrics()->export_accumulated(ck.obs.ints, ck.obs.reals);
+    }
+    for (std::size_t k = 0; k < memo.link_count(); ++k) {
+      ck.memo_lambda.push_back(memo.link(k).lambda());
+      ck.memo_capacity.push_back(memo.link(k).capacity());
+    }
+    options.checkpoints->on_checkpoint(ck);
+  };
+
+  // --- restore --------------------------------------------------------------
+  std::size_t start_call = 0;
+  if (options.resume != nullptr) {
+    const snapshot::ScenarioCheckpoint& ck = *options.resume;
+    const auto fail = [](const std::string& what) {
+      throw std::invalid_argument("run_scenario: resume checkpoint " + what);
+    };
+    const auto check_count = [&](long long got, long long want, const char* what) {
+      if (got != want) {
+        fail(std::string("was captured with ") + std::to_string(got) + " " + what +
+             ", this run has " + std::to_string(want));
+      }
+    };
+    check_count(ck.node_count, n, "nodes");
+    check_count(ck.link_count, g.link_count(), "links");
+    check_count(static_cast<long long>(ck.trace_calls),
+                static_cast<long long>(trace.calls.size()), "trace calls");
+    check_count(ck.max_alt_hops, options.max_alt_hops, "max alternate hops (H)");
+    check_count(ck.time_bins, options.time_bins, "time bins");
+    if (ck.horizon != trace.horizon) {
+      fail("was captured with horizon " + std::to_string(ck.horizon) + ", this run has " +
+           std::to_string(trace.horizon));
+    }
+    if (ck.warmup != options.warmup) {
+      fail("was captured with warmup " + std::to_string(ck.warmup) + ", this run has " +
+           std::to_string(options.warmup));
+    }
+    if (ck.next_call > trace.calls.size()) {
+      fail("points past the trace (next call " + std::to_string(ck.next_call) + " of " +
+           std::to_string(trace.calls.size()) + ")");
+    }
+    const auto links = static_cast<std::size_t>(g.link_count());
+    if (ck.link_enabled.size() != links || ck.link_capacity.size() != links ||
+        ck.occupancy.size() != links || ck.reservation.size() != links) {
+      fail("link vectors do not match the link count");
+    }
+    if (ck.counters.per_pair.size() !=
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n) * 4) {
+      fail("per-pair counters do not match the node count");
+    }
+    // The resume scenario may DIVERGE after the capture point (the what-if
+    // fork), but its prefix must have applied identically: exactly the
+    // events with time <= the restored clock must already be behind us.
+    std::size_t due_events = 0;
+    for (const ScenarioEvent& e : scenario.events) {
+      if (e.time <= ck.advanced_to) ++due_events;
+    }
+    if (due_events != ck.next_event) {
+      fail("applied " + std::to_string(ck.next_event) +
+           " scenario events, but this scenario has " + std::to_string(due_events) +
+           " events at or before the restored clock t=" + std::to_string(ck.advanced_to) +
+           " -- the scenario diverges before the checkpoint");
+    }
+    const bool have_metrics = probe != nullptr && probe->metrics() != nullptr;
+    if (ck.obs.present != 0 && !have_metrics) {
+      fail("carries observability state but this run has no metric registry attached");
+    }
+    if (ck.obs.present == 0 && have_metrics) {
+      fail("carries no observability state but this run has a metric registry attached");
+    }
+
+    // Graph + admission state, then routes from the restored topology.
+    for (std::size_t k = 0; k < links; ++k) {
+      const net::LinkId id(static_cast<std::int32_t>(k));
+      g.set_link_enabled(id, ck.link_enabled[k] != 0);
+      if (g.link(id).capacity != ck.link_capacity[k]) {
+        g.set_link_capacity(id, ck.link_capacity[k]);
+        state.set_capacity(id, ck.link_capacity[k]);
+      }
+    }
+    rebuild_routes();
+    state.set_reservations(
+        std::vector<int>(ck.reservation.begin(), ck.reservation.end()));
+
+    // Arena layout, then the in-flight calls re-booked oldest-first -- the
+    // occupancy is REBUILT, not assigned, and then validated against the
+    // stored vector so a corrupted call list cannot restore silently.
+    Arena::Layout layout;
+    layout.gens = ck.arena.gens;
+    layout.live_order = ck.arena.live_order;
+    layout.free_order = ck.arena.free_order;
+    in_flight.restore_layout(layout);
+    std::size_t ci = 0;
+    for (Arena::Handle h = in_flight.oldest(); h != Arena::kInvalid;
+         h = in_flight.next(h), ++ci) {
+      const snapshot::CallState& cs = ck.arena.calls[ci];
+      InFlight& rec = in_flight.value(h);
+      rec.path.nodes.clear();
+      for (const std::int32_t node : cs.nodes) rec.path.nodes.emplace_back(node);
+      rec.path.links.clear();
+      for (const std::int32_t link : cs.links) {
+        if (link < 0 || link >= g.link_count()) {
+          fail("in-flight call #" + std::to_string(ci) + " names link " +
+               std::to_string(link) + " outside the graph");
+        }
+        rec.path.links.emplace_back(link);
+      }
+      rec.units = cs.units;
+      rec.alternate = cs.alternate != 0;
+      state.book(rec.path, rec.units);
+      adjust_alt_occ(rec, +1);
+    }
+    for (std::size_t k = 0; k < links; ++k) {
+      const int occ = state.link(net::LinkId(static_cast<std::int32_t>(k))).occupancy();
+      if (occ != ck.occupancy[k]) {
+        fail("occupancy mismatch on link " + std::to_string(k) + " (re-booked " +
+             std::to_string(occ) + ", stored " + std::to_string(ck.occupancy[k]) +
+             ") -- the in-flight call list is inconsistent");
+      }
+    }
+
+    // Departure queue: logical entries re-inserted under their original
+    // sequence numbers (FIFO tie groups keep their order in EITHER engine).
+    for (const snapshot::QueueEntry& e : ck.departures.entries) {
+      departures.restore_entry(e.time, e.seq, e.payload);
+    }
+    departures.set_next_seq(ck.departures.next_seq);
+
+    engine_rng.set_state(ck.engine_rng);
+    // The policy's learning state transfers only to the same policy; a
+    // DIFFERENT policy starts cold from the warmed network (the policy-fork
+    // study).  A same-named policy with a mismatched shape still fails
+    // pointedly inside restore_state.
+    if (ck.policy == policy.name()) {
+      policy.restore_state(ck.policy_state);
+    }
+
+    // Accumulated counters.
+    const snapshot::CountersState& c = ck.counters;
+    result.offered = c.offered;
+    result.blocked = c.blocked;
+    result.carried_primary = c.carried_primary;
+    result.carried_alternate = c.carried_alternate;
+    for (std::size_t q = 0; q < result.per_pair.size(); ++q) {
+      loss::PairCounters& pair = result.per_pair[q];
+      pair.offered = c.per_pair[q * 4 + 0];
+      pair.blocked = c.per_pair[q * 4 + 1];
+      pair.carried_primary = c.per_pair[q * 4 + 2];
+      pair.carried_alternate = c.per_pair[q * 4 + 3];
+    }
+    for (std::size_t q = 0; q < c.class_bandwidth.size(); ++q) {
+      loss::ClassCounters cls;
+      cls.bandwidth = c.class_bandwidth[q];
+      cls.offered = c.class_offered[q];
+      cls.blocked = c.class_blocked[q];
+      per_class.push_back(cls);
+    }
+    result.carried_by_hops.assign(c.carried_by_hops.begin(), c.carried_by_hops.end());
+    if (options.time_bins > 0) {
+      if (c.bin_offered.size() != result.bin_offered.size() ||
+          c.bin_blocked.size() != result.bin_blocked.size()) {
+        fail("time-bin counters do not match the configured bin count");
+      }
+      result.bin_offered.assign(c.bin_offered.begin(), c.bin_offered.end());
+      result.bin_blocked.assign(c.bin_blocked.begin(), c.bin_blocked.end());
+    }
+    out.dropped = c.dropped;
+    for (const snapshot::AppliedEventState& e : c.applied) {
+      if (e.kind < 0 || e.kind > static_cast<std::int32_t>(EventKind::kResolveProtection)) {
+        fail("applied-event log names unknown event kind " + std::to_string(e.kind));
+      }
+      out.applied.push_back(AppliedEvent{e.time, static_cast<EventKind>(e.kind),
+                                         e.links_changed, e.calls_killed});
+    }
+
+    if (ck.obs.present != 0) {
+      probe->metrics()->import_accumulated(ck.obs.ints, ck.obs.reals);
+      probe->set_grid_cursor(ck.obs.grid_cursor);
+    }
+    // Re-warm the Erlang memo from the stored keys; the tables themselves
+    // are derived state, recomputed bit-identically from (Lambda, C).
+    if (!ck.memo_lambda.empty()) {
+      memo.configure(ck.memo_lambda,
+                     std::vector<int>(ck.memo_capacity.begin(), ck.memo_capacity.end()));
+    }
+
+    traffic_factor = ck.traffic_factor;
+    next_event = ck.next_event;
+    start_call = ck.next_call;
+  }
+
+  // --- due-time bookkeeping for captures ------------------------------------
+  const bool single_due = options.checkpoints != nullptr && options.checkpoint_at >= 0.0;
+  const bool periodic = options.checkpoints != nullptr && options.checkpoint_every > 0.0;
+  bool single_taken = false;
+  double next_periodic =
+      periodic ? options.checkpoint_every : std::numeric_limits<double>::infinity();
+  if (options.resume != nullptr) {
+    // Dues at or before the restored clock belong to the previous leg.
+    if (single_due && options.checkpoint_at <= options.resume->advanced_to) {
+      single_taken = true;
+    }
+    while (next_periodic <= options.resume->advanced_to) {
+      next_periodic += options.checkpoint_every;
+    }
+  }
+
+  for (std::size_t call_index = start_call; call_index < trace.calls.size(); ++call_index) {
+    const sim::CallRecord& call = trace.calls[call_index];
+    if (single_due && !single_taken && call.arrival >= options.checkpoint_at) {
+      capture(options.checkpoint_at, call_index);
+      single_taken = true;
+    }
+    if (call.arrival >= next_periodic) {
+      capture(next_periodic, call_index);
+      while (next_periodic <= call.arrival) next_periodic += options.checkpoint_every;
+    }
     advance_to(call.arrival);
 
     const routing::RouteSet& routes_for_pair = routes.at(call.src, call.dst);
@@ -400,6 +708,12 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
       }
     }
   }
+  // Dues past the last arrival capture once here, before the tail drains
+  // (a resumed continuation replays the tail itself).
+  if (single_due && !single_taken && options.checkpoint_at <= trace.horizon) {
+    capture(options.checkpoint_at, trace.calls.size());
+  }
+  if (next_periodic <= trace.horizon) capture(next_periodic, trace.calls.size());
   // Apply the tail: departures and events between the last arrival and the
   // horizon (late events still kill calls and belong in the log).
   advance_to(trace.horizon);

@@ -45,6 +45,11 @@
 #include "scenario/scenario.hpp"
 #include "sim/call_trace.hpp"
 
+namespace altroute::snapshot {
+struct ScenarioCheckpoint;
+class CheckpointSink;
+}  // namespace altroute::snapshot
+
 namespace altroute::scenario {
 
 struct ScenarioEngineOptions {
@@ -84,6 +89,31 @@ struct ScenarioEngineOptions {
   /// (matching the counters); event_applied and protection_resolved records
   /// cover the whole run.  See obs/probe.hpp.
   obs::Probe* probe{nullptr};
+
+  // --- checkpoint / restore (src/snapshot) ---------------------------------
+  // Checkpoints are captured at CALL BOUNDARIES: the first arrival with
+  // time >= the due time triggers a capture at the top of the main loop,
+  // BEFORE that arrival's departures/events/routing apply -- so the saved
+  // state is exactly "everything through the previous arrival".  A due time
+  // past the last arrival (but <= horizon) captures once after the loop,
+  // before the tail is drained.  Continuing from a checkpoint is
+  // bit-identical to never having stopped (ctest-enforced), for either
+  // event-queue engine and regardless of which engine captured.
+
+  /// When >= 0 and `checkpoints` is set: capture one checkpoint at the
+  /// first call boundary at or after this time.
+  double checkpoint_at{-1.0};
+  /// When > 0 and `checkpoints` is set: capture at every multiple of this
+  /// period (dues falling between two arrivals collapse to one capture).
+  double checkpoint_every{0.0};
+  /// Receives captured checkpoints; nullptr disables checkpointing.
+  snapshot::CheckpointSink* checkpoints{nullptr};
+  /// Resume from this checkpoint instead of starting at t = 0.  The graph,
+  /// trace, scenario, and options must structurally match the capturing
+  /// run (validated with pointed errors); the SCENARIO may diverge after
+  /// the capture point -- the what-if fork mechanism -- but its prefix up
+  /// to the checkpoint must have applied identically.
+  const snapshot::ScenarioCheckpoint* resume{nullptr};
 };
 
 /// What one applied event did to the running system.

@@ -86,6 +86,38 @@ class CalendarQueue {
     cursor_top_ = width_;
   }
 
+  // --- checkpoint support ---------------------------------------------------
+  // The ordering contract is comparator-driven ((time, seq) only), so the
+  // calendar's bucket layout is NOT state: restoring the logical entry set
+  // into a fresh calendar reproduces the exact pop stream, including one
+  // saved from the binary-heap engine.
+
+  /// Calls f(time, seq, payload) for every pending entry, in unspecified
+  /// order (the snapshot layer canonicalizes by sorting on seq).
+  template <typename Visitor>
+  void visit(Visitor&& f) const {
+    for (const std::vector<Entry>& bucket : buckets_) {
+      for (const Entry& e : bucket) f(e.time, e.seq, e.payload);
+    }
+  }
+
+  /// Sequence number the next schedule() will use.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Re-inserts an entry under its ORIGINAL sequence number, so restored
+  /// FIFO tie groups pop in their original order.  Callers must also
+  /// restore the counter via set_next_seq.
+  void restore_entry(double time, std::uint64_t seq, Payload payload) {
+    if (!(time >= 0.0)) throw std::invalid_argument("CalendarQueue: negative or NaN time");
+    insert(Entry{time, seq, std::move(payload)});
+    ++count_;
+    if (count_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      resize(2 * buckets_.size());
+    }
+  }
+
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
  private:
   struct Entry {
     double time;

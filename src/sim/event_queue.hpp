@@ -47,6 +47,32 @@ class EventQueue {
     next_seq_ = 0;
   }
 
+  // --- checkpoint support ---------------------------------------------------
+  // Pop order depends only on the (time, seq) multiset, never on the heap's
+  // internal shape, so a queue restored entry-by-entry pops exactly like
+  // the saved one -- even when the save came from the calendar engine.
+
+  /// Calls f(time, seq, payload) for every pending entry, in unspecified
+  /// order (the snapshot layer canonicalizes by sorting on seq).
+  template <typename Visitor>
+  void visit(Visitor&& f) const {
+    for (const Entry& e : heap_) f(e.time, e.seq, e.payload);
+  }
+
+  /// Sequence number the next schedule() will use.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Re-inserts an entry under its ORIGINAL sequence number, so restored
+  /// FIFO tie groups pop in their original order.  Callers must also
+  /// restore the counter via set_next_seq.
+  void restore_entry(double time, std::uint64_t seq, Payload payload) {
+    if (!(time >= 0.0)) throw std::invalid_argument("EventQueue: negative or NaN time");
+    heap_.push_back(Entry{time, seq, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
  private:
   struct Entry {
     double time;

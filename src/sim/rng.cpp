@@ -57,6 +57,15 @@ double Rng::exponential(double rate) {
   return -std::log(uniform01_open_low()) / rate;
 }
 
+std::array<std::uint64_t, 4> Rng::state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    throw std::invalid_argument("Rng::set_state: all-zero state is absorbing");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<std::size_t>(i)];
+}
+
 std::uint64_t Rng::below(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("Rng::below: n must be > 0");
   // Rejection sampling to avoid modulo bias.

@@ -7,6 +7,7 @@
 // repository can be regenerated exactly.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace altroute::sim {
@@ -37,6 +38,13 @@ class Rng {
 
   /// Uniform integer in [0, n).  n > 0.
   std::uint64_t below(std::uint64_t n);
+
+  /// Checkpoint support: the raw 256-bit xoshiro state.  set_state with a
+  /// value from state() resumes the exact output stream -- the snapshot
+  /// layer's common-random-numbers guarantee.  Throws on the all-zero
+  /// (absorbing) state.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

@@ -107,6 +107,78 @@ class SlabArena {
     while (head_ != kNone) release(make_handle(head_, slots_[head_].gen));
   }
 
+  // --- checkpoint support ---------------------------------------------------
+  // The arena's observable behavior -- which handle the next acquire()
+  // returns, which stale handles read as dead -- depends on the exact slot
+  // generations and both intrusive lists.  Layout captures all of it;
+  // restore_layout rebuilds an identical arena (values default-constructed;
+  // callers refill them by walking oldest()/next(), which visits live slots
+  // in the same order layout() recorded them).
+
+  struct Layout {
+    std::vector<std::uint32_t> gens;        ///< per slot, index order
+    std::vector<std::uint32_t> live_order;  ///< oldest -> newest slot index
+    std::vector<std::uint32_t> free_order;  ///< free-list pop order
+  };
+
+  [[nodiscard]] Layout layout() const {
+    Layout l;
+    l.gens.reserve(slots_.size());
+    for (const Slot& slot : slots_) l.gens.push_back(slot.gen);
+    l.live_order.reserve(live_);
+    for (std::uint32_t i = head_; i != kNone; i = slots_[i].next) l.live_order.push_back(i);
+    for (std::uint32_t i = free_head_; i != kNone; i = slots_[i].next) {
+      l.free_order.push_back(i);
+    }
+    return l;
+  }
+
+  /// Rebuilds the arena to exactly `l` (see layout()).  Every slot value is
+  /// default-constructed.  Throws std::invalid_argument when the layout is
+  /// inconsistent (an index out of range, a slot in both lists, or a slot
+  /// in neither).
+  void restore_layout(const Layout& l) {
+    const auto slot_count = static_cast<std::uint32_t>(l.gens.size());
+    if (l.live_order.size() + l.free_order.size() != l.gens.size()) {
+      throw std::invalid_argument("SlabArena::restore_layout: live + free != slot count");
+    }
+    std::vector<char> seen(slot_count, 0);
+    const auto claim = [&](std::uint32_t index) {
+      if (index >= slot_count || seen[index]) {
+        throw std::invalid_argument(
+            "SlabArena::restore_layout: slot index out of range or repeated");
+      }
+      seen[index] = 1;
+    };
+    slots_.assign(l.gens.size(), Slot{});
+    for (std::size_t i = 0; i < l.gens.size(); ++i) slots_[i].gen = l.gens[i];
+    head_ = tail_ = free_head_ = kNone;
+    live_ = l.live_order.size();
+    std::uint32_t prev = kNone;
+    for (const std::uint32_t index : l.live_order) {
+      claim(index);
+      Slot& slot = slots_[index];
+      slot.live = true;
+      slot.prev = prev;
+      slot.next = kNone;
+      if (prev != kNone) {
+        slots_[prev].next = index;
+      } else {
+        head_ = index;
+      }
+      prev = index;
+    }
+    tail_ = prev;
+    // The free chain links through `next` only; rebuild it back-to-front so
+    // free_head_ pops in the recorded order.
+    for (std::size_t i = l.free_order.size(); i-- > 0;) {
+      const std::uint32_t index = l.free_order[i];
+      claim(index);
+      slots_[index].next = free_head_;
+      free_head_ = index;
+    }
+  }
+
  private:
   static constexpr std::uint32_t kNone = ~std::uint32_t{0};
 

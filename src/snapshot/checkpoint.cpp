@@ -1,0 +1,533 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace altroute::snapshot {
+
+namespace {
+
+// META kinds: every container file self-identifies, so loading a sweep
+// carry file as a scenario checkpoint fails with a pointed message instead
+// of a confusing section error.
+constexpr const char* kKindCheckpoint = "scenario-checkpoint";
+constexpr const char* kKindTaskResult = "sweep-task-result";
+constexpr const char* kKindTaskCheckpoint = "sweep-task-checkpoint";
+
+void put_i64_vec(SectionWriter& w, const std::vector<std::int64_t>& v) {
+  w.u64(v.size());
+  for (const std::int64_t x : v) w.i64(x);
+}
+
+// The obs registry's export type (long long) is distinct from int64_t on
+// LP64; same wire format.
+void put_ll_vec(SectionWriter& w, const std::vector<long long>& v) {
+  w.u64(v.size());
+  for (const long long x : v) w.i64(x);
+}
+
+std::vector<long long> get_ll_vec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<long long> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i64());
+  return v;
+}
+
+std::vector<std::int64_t> get_i64_vec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::int64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i64());
+  return v;
+}
+
+void put_i32_vec(SectionWriter& w, const std::vector<std::int32_t>& v) {
+  w.u64(v.size());
+  for (const std::int32_t x : v) w.i32(x);
+}
+
+std::vector<std::int32_t> get_i32_vec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::int32_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i32());
+  return v;
+}
+
+void put_u32_vec(SectionWriter& w, const std::vector<std::uint32_t>& v) {
+  w.u64(v.size());
+  for (const std::uint32_t x : v) w.u32(x);
+}
+
+std::vector<std::uint32_t> get_u32_vec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::uint32_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.u32());
+  return v;
+}
+
+void put_f64_vec(SectionWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> get_f64_vec(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+void put_applied(SectionWriter& w, const std::vector<AppliedEventState>& v) {
+  w.u64(v.size());
+  for (const AppliedEventState& e : v) {
+    w.f64(e.time);
+    w.i32(e.kind);
+    w.i32(e.links_changed);
+    w.i64(e.calls_killed);
+  }
+}
+
+std::vector<AppliedEventState> get_applied(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<AppliedEventState> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AppliedEventState e;
+    e.time = r.f64();
+    e.kind = r.i32();
+    e.links_changed = r.i32();
+    e.calls_killed = r.i64();
+    v.push_back(e);
+  }
+  return v;
+}
+
+void put_obs(SectionWriter& w, const ObsState& obs) {
+  w.u8(obs.present);
+  w.i32(obs.grid_cursor);
+  put_ll_vec(w, obs.ints);
+  put_f64_vec(w, obs.reals);
+}
+
+ObsState get_obs(SectionReader& r) {
+  ObsState obs;
+  obs.present = r.u8();
+  obs.grid_cursor = r.i32();
+  obs.ints = get_ll_vec(r);
+  obs.reals = get_f64_vec(r);
+  return obs;
+}
+
+void put_trace_records(SectionWriter& w, const std::vector<obs::TraceRecord>& records) {
+  w.u64(records.size());
+  for (const obs::TraceRecord& rec : records) {
+    w.f64(rec.time);
+    w.u32(static_cast<std::uint32_t>(rec.kind));
+    w.i32(rec.src);
+    w.i32(rec.dst);
+    w.i32(rec.link);
+    w.i32(rec.hops);
+    w.i32(rec.units);
+    w.u8(rec.alternate ? 1 : 0);
+    w.f64(rec.hold);
+    put_i32_vec(w, rec.links);
+    put_i32_vec(w, rec.occ);
+    w.i32(rec.alt_occupancy);
+    w.str(rec.detail);
+    w.i32(rec.links_changed);
+    w.i64(rec.count);
+    w.i32(rec.replication);
+    w.i32(rec.policy);
+  }
+}
+
+std::vector<obs::TraceRecord> get_trace_records(SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<obs::TraceRecord> records;
+  records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::TraceRecord rec;
+    rec.time = r.f64();
+    const std::uint32_t kind = r.u32();
+    if (kind == 0 || (kind & (kind - 1)) != 0 || (kind & ~obs::kAllTraceKinds) != 0) {
+      throw std::invalid_argument("checkpoint section 'TRCE': record " + std::to_string(i) +
+                                  " has unknown trace kind bit " + std::to_string(kind));
+    }
+    rec.kind = static_cast<obs::TraceKind>(kind);
+    rec.src = r.i32();
+    rec.dst = r.i32();
+    rec.link = r.i32();
+    rec.hops = r.i32();
+    rec.units = r.i32();
+    rec.alternate = r.u8() != 0;
+    rec.hold = r.f64();
+    rec.links = get_i32_vec(r);
+    rec.occ = get_i32_vec(r);
+    rec.alt_occupancy = r.i32();
+    rec.detail = r.str();
+    rec.links_changed = r.i32();
+    rec.count = r.i64();
+    rec.replication = r.i32();
+    rec.policy = r.i32();
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+Section encode_meta(const char* kind, const std::string& fingerprint, std::uint64_t task) {
+  SectionWriter w("META");
+  w.str(kind);
+  w.str(fingerprint);
+  w.u64(task);
+  return w.take();
+}
+
+/// Locates `tag` in `sections` or throws a pointed error naming the file.
+const Section& find_section(const std::vector<Section>& sections, const std::string& name,
+                            const char* tag) {
+  for (const Section& s : sections) {
+    if (s.tag == tag) return s;
+  }
+  throw std::invalid_argument("checkpoint '" + name + "': missing section '" +
+                              std::string(tag) + "'");
+}
+
+/// Validates the META kind and returns (fingerprint, task).
+std::pair<std::string, std::uint64_t> check_meta(const std::vector<Section>& sections,
+                                                 const std::string& name,
+                                                 const char* expected_kind) {
+  SectionReader r(find_section(sections, name, "META"));
+  const std::string kind = r.str();
+  const std::string fingerprint = r.str();
+  const std::uint64_t task = r.u64();
+  r.finish();
+  if (kind != expected_kind) {
+    throw std::invalid_argument("checkpoint '" + name + "': file is a '" + kind + "', not a " +
+                                expected_kind);
+  }
+  return {fingerprint, task};
+}
+
+std::vector<Section> encode_checkpoint_body(const ScenarioCheckpoint& c) {
+  std::vector<Section> sections;
+  {
+    SectionWriter w("CONF");
+    w.f64(c.checkpoint_at);
+    w.f64(c.advanced_to);
+    w.u64(c.next_call);
+    w.u64(c.next_event);
+    w.f64(c.traffic_factor);
+    w.f64(c.horizon);
+    w.f64(c.warmup);
+    w.u64(c.policy_seed);
+    w.i32(c.node_count);
+    w.i32(c.link_count);
+    w.u64(c.trace_calls);
+    w.u64(c.scenario_events);
+    w.u8(c.legacy_event_queue);
+    w.i32(c.max_alt_hops);
+    w.i32(c.time_bins);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("GRPH");
+    w.u64(c.link_enabled.size());
+    for (const std::uint8_t e : c.link_enabled) w.u8(e);
+    put_i32_vec(w, c.link_capacity);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("NETS");
+    put_i32_vec(w, c.occupancy);
+    put_i32_vec(w, c.reservation);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("RNGS");
+    for (const std::uint64_t s : c.engine_rng) w.u64(s);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("POLS");
+    w.str(c.policy);
+    w.blob(c.policy_state);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("EVTQ");
+    w.u64(c.departures.next_seq);
+    w.u64(c.departures.entries.size());
+    for (const QueueEntry& e : c.departures.entries) {
+      w.f64(e.time);
+      w.u64(e.seq);
+      w.u64(e.payload);
+    }
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("ARNA");
+    put_u32_vec(w, c.arena.gens);
+    put_u32_vec(w, c.arena.live_order);
+    put_u32_vec(w, c.arena.free_order);
+    w.u64(c.arena.calls.size());
+    for (const CallState& call : c.arena.calls) {
+      put_i32_vec(w, call.nodes);
+      put_i32_vec(w, call.links);
+      w.i32(call.units);
+      w.u8(call.alternate);
+    }
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("CNTR");
+    w.i64(c.counters.offered);
+    w.i64(c.counters.blocked);
+    w.i64(c.counters.carried_primary);
+    w.i64(c.counters.carried_alternate);
+    put_i64_vec(w, c.counters.per_pair);
+    put_i32_vec(w, c.counters.class_bandwidth);
+    put_i64_vec(w, c.counters.class_offered);
+    put_i64_vec(w, c.counters.class_blocked);
+    put_i64_vec(w, c.counters.carried_by_hops);
+    put_i64_vec(w, c.counters.bin_offered);
+    put_i64_vec(w, c.counters.bin_blocked);
+    w.i64(c.counters.dropped);
+    put_applied(w, c.counters.applied);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("OBSM");
+    put_obs(w, c.obs);
+    sections.push_back(w.take());
+  }
+  {
+    SectionWriter w("MEMO");
+    put_f64_vec(w, c.memo_lambda);
+    put_i32_vec(w, c.memo_capacity);
+    sections.push_back(w.take());
+  }
+  return sections;
+}
+
+ScenarioCheckpoint decode_checkpoint_body(const std::vector<Section>& sections,
+                                          const std::string& name) {
+  ScenarioCheckpoint c;
+  {
+    SectionReader r(find_section(sections, name, "CONF"));
+    c.checkpoint_at = r.f64();
+    c.advanced_to = r.f64();
+    c.next_call = r.u64();
+    c.next_event = r.u64();
+    c.traffic_factor = r.f64();
+    c.horizon = r.f64();
+    c.warmup = r.f64();
+    c.policy_seed = r.u64();
+    c.node_count = r.i32();
+    c.link_count = r.i32();
+    c.trace_calls = r.u64();
+    c.scenario_events = r.u64();
+    c.legacy_event_queue = r.u8();
+    c.max_alt_hops = r.i32();
+    c.time_bins = r.i32();
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "GRPH"));
+    const std::uint64_t n = r.u64();
+    c.link_enabled.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) c.link_enabled.push_back(r.u8());
+    c.link_capacity = get_i32_vec(r);
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "NETS"));
+    c.occupancy = get_i32_vec(r);
+    c.reservation = get_i32_vec(r);
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "RNGS"));
+    for (std::uint64_t& s : c.engine_rng) s = r.u64();
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "POLS"));
+    c.policy = r.str();
+    c.policy_state = r.blob();
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "EVTQ"));
+    c.departures.next_seq = r.u64();
+    const std::uint64_t n = r.u64();
+    c.departures.entries.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      QueueEntry e;
+      e.time = r.f64();
+      e.seq = r.u64();
+      e.payload = r.u64();
+      c.departures.entries.push_back(e);
+    }
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "ARNA"));
+    c.arena.gens = get_u32_vec(r);
+    c.arena.live_order = get_u32_vec(r);
+    c.arena.free_order = get_u32_vec(r);
+    const std::uint64_t n = r.u64();
+    if (n != c.arena.live_order.size()) {
+      throw std::invalid_argument("checkpoint '" + name + "': section 'ARNA' holds " +
+                                  std::to_string(n) + " calls for " +
+                                  std::to_string(c.arena.live_order.size()) + " live slots");
+    }
+    c.arena.calls.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CallState call;
+      call.nodes = get_i32_vec(r);
+      call.links = get_i32_vec(r);
+      call.units = r.i32();
+      call.alternate = r.u8();
+      c.arena.calls.push_back(std::move(call));
+    }
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "CNTR"));
+    c.counters.offered = r.i64();
+    c.counters.blocked = r.i64();
+    c.counters.carried_primary = r.i64();
+    c.counters.carried_alternate = r.i64();
+    c.counters.per_pair = get_i64_vec(r);
+    c.counters.class_bandwidth = get_i32_vec(r);
+    c.counters.class_offered = get_i64_vec(r);
+    c.counters.class_blocked = get_i64_vec(r);
+    c.counters.carried_by_hops = get_i64_vec(r);
+    c.counters.bin_offered = get_i64_vec(r);
+    c.counters.bin_blocked = get_i64_vec(r);
+    c.counters.dropped = r.i64();
+    c.counters.applied = get_applied(r);
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "OBSM"));
+    c.obs = get_obs(r);
+    r.finish();
+  }
+  {
+    SectionReader r(find_section(sections, name, "MEMO"));
+    c.memo_lambda = get_f64_vec(r);
+    c.memo_capacity = get_i32_vec(r);
+    r.finish();
+  }
+  return c;
+}
+
+void encode_slot(SectionWriter& w, const SweepSlotState& slot) {
+  w.f64(slot.blocking);
+  w.f64(slot.alternate_fraction);
+  w.i64(slot.dropped);
+  put_i64_vec(w, slot.pair_offered);
+  put_i64_vec(w, slot.pair_blocked);
+  put_i64_vec(w, slot.bin_offered);
+  put_i64_vec(w, slot.bin_blocked);
+  put_applied(w, slot.applied);
+  put_obs(w, slot.obs);
+  put_trace_records(w, slot.trace_records);
+}
+
+SweepSlotState decode_slot(SectionReader& r) {
+  SweepSlotState slot;
+  slot.blocking = r.f64();
+  slot.alternate_fraction = r.f64();
+  slot.dropped = r.i64();
+  slot.pair_offered = get_i64_vec(r);
+  slot.pair_blocked = get_i64_vec(r);
+  slot.bin_offered = get_i64_vec(r);
+  slot.bin_blocked = get_i64_vec(r);
+  slot.applied = get_applied(r);
+  slot.obs = get_obs(r);
+  slot.trace_records = get_trace_records(r);
+  return slot;
+}
+
+}  // namespace
+
+void FileCheckpointSink::on_checkpoint(const ScenarioCheckpoint& ckpt) {
+  save_checkpoint(path_, ckpt);
+}
+
+std::vector<Section> encode_checkpoint(const ScenarioCheckpoint& ckpt) {
+  std::vector<Section> sections;
+  sections.push_back(encode_meta(kKindCheckpoint, "", 0));
+  for (Section& s : encode_checkpoint_body(ckpt)) sections.push_back(std::move(s));
+  return sections;
+}
+
+ScenarioCheckpoint decode_checkpoint(const std::vector<Section>& sections,
+                                     const std::string& name) {
+  check_meta(sections, name, kKindCheckpoint);
+  return decode_checkpoint_body(sections, name);
+}
+
+void save_checkpoint(const std::string& path, const ScenarioCheckpoint& ckpt) {
+  write_container_file(path, encode_checkpoint(ckpt));
+}
+
+ScenarioCheckpoint load_checkpoint(const std::string& path) {
+  return decode_checkpoint(read_container_file(path), path);
+}
+
+void save_sweep_task_result(const std::string& path, const SweepTaskResult& result) {
+  std::vector<Section> sections;
+  sections.push_back(encode_meta(kKindTaskResult, result.fingerprint, result.task));
+  {
+    SectionWriter w("SLTS");
+    w.u64(result.slots.size());
+    for (const SweepSlotState& slot : result.slots) encode_slot(w, slot);
+    sections.push_back(w.take());
+  }
+  write_container_file(path, sections);
+}
+
+SweepTaskResult load_sweep_task_result(const std::string& path) {
+  const std::vector<Section> sections = read_container_file(path);
+  SweepTaskResult result;
+  std::tie(result.fingerprint, result.task) = check_meta(sections, path, kKindTaskResult);
+  SectionReader r(find_section(sections, path, "SLTS"));
+  const std::uint64_t n = r.u64();
+  result.slots.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) result.slots.push_back(decode_slot(r));
+  r.finish();
+  return result;
+}
+
+void save_sweep_task_checkpoint(const std::string& path, const SweepTaskCheckpoint& ckpt) {
+  std::vector<Section> sections;
+  sections.push_back(encode_meta(kKindTaskCheckpoint, ckpt.fingerprint, 0));
+  for (Section& s : encode_checkpoint_body(ckpt.ckpt)) sections.push_back(std::move(s));
+  {
+    SectionWriter w("TRCE");
+    put_trace_records(w, ckpt.trace_records);
+    sections.push_back(w.take());
+  }
+  write_container_file(path, sections);
+}
+
+SweepTaskCheckpoint load_sweep_task_checkpoint(const std::string& path) {
+  const std::vector<Section> sections = read_container_file(path);
+  SweepTaskCheckpoint ckpt;
+  ckpt.fingerprint = check_meta(sections, path, kKindTaskCheckpoint).first;
+  ckpt.ckpt = decode_checkpoint_body(sections, path);
+  SectionReader r(find_section(sections, path, "TRCE"));
+  ckpt.trace_records = get_trace_records(r);
+  r.finish();
+  return ckpt;
+}
+
+}  // namespace altroute::snapshot

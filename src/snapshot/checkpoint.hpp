@@ -1,0 +1,242 @@
+// Complete mid-run simulation state of scenario::run_scenario, and the
+// file formats built on the sectioned container (format.hpp).
+//
+// A ScenarioCheckpoint is captured at the top of the runner's main loop --
+// after every departure/event with time <= the last processed arrival has
+// applied, before the next arrival is routed -- and holds EVERYTHING the
+// continuation depends on:
+//
+//   CONF  capture point (next trace call, pending-event cursor, advanced-to
+//         time), run fingerprint (horizon, warmup, counts, engine choice)
+//   GRPH  per-link enabled flag + capacity of the working graph (the route
+//         table is NOT stored: build_min_hop_routes is deterministic in the
+//         graph and H, so routes are rebuilt on resume)
+//   NETS  loss::NetworkState SoA arrays (occupancy is stored for
+//         validation; it is REBUILT by re-booking the in-flight calls)
+//   RNGS  the engine's xoshiro256++ state (the common-random-numbers
+//         stream: every primary pick after resume matches the straight run)
+//   POLS  policy name + the policy's opaque learning-state blob
+//         (RoutingPolicy::snapshot_state; empty for stateless policies)
+//   EVTQ  departure-queue contents as the logical (time, seq, handle)
+//         multiset plus the next sequence number -- pop order depends only
+//         on (time, seq), so a checkpoint taken under the calendar queue
+//         resumes bit-identically under the binary heap and vice versa
+//   ARNA  the slab arena's exact slot layout (generations, live order,
+//         free-list order) plus each live call's path/units/class, so
+//         future handles and stale-handle detection replay exactly
+//   CNTR  accumulated results: offered/blocked/carried, per-pair,
+//         per-class (in insertion order -- class_of lookups depend on it),
+//         hop census, time bins, dropped count, applied-event log
+//   OBSM  accumulated obs metrics (flattened registry values) + the
+//         occupancy-grid sampling cursor; absent when no probe is attached
+//   MEMO  the Erlang memo's per-link (Lambda, C) keys, re-warmed on resume
+//
+// Restore validates structural compatibility (graph shape, trace length,
+// horizon, scenario prefix) with pointed errors before touching any state.
+// See DESIGN.md, "Checkpoint & fork".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "snapshot/format.hpp"
+
+namespace altroute::snapshot {
+
+/// One pending departure: logical queue entry (payload = arena handle).
+struct QueueEntry {
+  double time{0.0};
+  std::uint64_t seq{0};
+  std::uint64_t payload{0};
+};
+
+/// Logical contents of a departure queue, engine-independent.
+struct EventQueueState {
+  std::uint64_t next_seq{0};
+  std::vector<QueueEntry> entries;  ///< canonical order: ascending seq
+};
+
+/// One in-flight call (mirrors the runner's InFlight, with the path as a
+/// node sequence -- link ids are re-resolved against the restored graph).
+struct CallState {
+  std::vector<std::int32_t> nodes;
+  std::vector<std::int32_t> links;
+  std::int32_t units{1};
+  std::uint8_t alternate{0};
+};
+
+/// The slab arena's exact internal structure (sim::SlabArena::Layout) plus
+/// the live calls in insertion (oldest-first) order.
+struct ArenaState {
+  std::vector<std::uint32_t> gens;        ///< per slot
+  std::vector<std::uint32_t> live_order;  ///< oldest -> newest slot index
+  std::vector<std::uint32_t> free_order;  ///< free-list pop order
+  std::vector<CallState> calls;           ///< parallel to live_order
+};
+
+/// One applied scenario event (scenario::AppliedEvent, enum as int).
+struct AppliedEventState {
+  double time{0.0};
+  std::int32_t kind{0};
+  std::int32_t links_changed{0};
+  std::int64_t calls_killed{0};
+};
+
+/// Accumulated run counters at the capture point.
+struct CountersState {
+  std::int64_t offered{0};
+  std::int64_t blocked{0};
+  std::int64_t carried_primary{0};
+  std::int64_t carried_alternate{0};
+  /// n*n rows of [offered, blocked, carried_primary, carried_alternate].
+  std::vector<std::int64_t> per_pair;
+  /// Per-bandwidth counters in INSERTION order (the runner's class_of
+  /// probes linearly; restoring sorted would change later lookups).
+  std::vector<std::int32_t> class_bandwidth;
+  std::vector<std::int64_t> class_offered;
+  std::vector<std::int64_t> class_blocked;
+  std::vector<std::int64_t> carried_by_hops;
+  std::vector<std::int64_t> bin_offered;
+  std::vector<std::int64_t> bin_blocked;
+  std::int64_t dropped{0};
+  std::vector<AppliedEventState> applied;
+};
+
+/// Accumulated observability state (obs::MetricRegistry values flattened
+/// by export_accumulated, plus the probe's occupancy-grid cursor).
+struct ObsState {
+  std::uint8_t present{0};
+  std::int32_t grid_cursor{0};
+  std::vector<long long> ints;  ///< MetricRegistry::export_accumulated order
+  std::vector<double> reals;
+};
+
+struct ScenarioCheckpoint {
+  // CONF -- capture point & run fingerprint.
+  double checkpoint_at{0.0};  ///< requested capture time (diagnostic)
+  double advanced_to{-1.0};   ///< arrival of the last processed call (-1: none)
+  std::uint64_t next_call{0};  ///< index of the first unprocessed trace call
+  std::uint64_t next_event{0};  ///< pending-event cursor into scenario.events
+  double traffic_factor{1.0};
+  double horizon{0.0};
+  double warmup{0.0};
+  std::uint64_t policy_seed{0};
+  std::int32_t node_count{0};
+  std::int32_t link_count{0};
+  std::uint64_t trace_calls{0};
+  std::uint64_t scenario_events{0};
+  std::uint8_t legacy_event_queue{0};  ///< engine at capture (informational)
+  std::int32_t max_alt_hops{0};
+  std::int32_t time_bins{0};
+
+  // GRPH / NETS / RNGS / POLS.
+  std::vector<std::uint8_t> link_enabled;
+  std::vector<std::int32_t> link_capacity;
+  std::vector<std::int32_t> occupancy;
+  std::vector<std::int32_t> reservation;
+  std::array<std::uint64_t, 4> engine_rng{};
+  std::string policy;
+  std::vector<std::uint8_t> policy_state;
+
+  // EVTQ / ARNA / CNTR / OBSM / MEMO.
+  EventQueueState departures;
+  ArenaState arena;
+  CountersState counters;
+  ObsState obs;
+  std::vector<double> memo_lambda;
+  std::vector<std::int32_t> memo_capacity;
+};
+
+/// Receives checkpoints captured by scenario::run_scenario.  The runner
+/// calls on_checkpoint at each due capture point; the sink decides what to
+/// do with the state (write a file, keep it in memory, bundle it with
+/// sweep context).
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void on_checkpoint(const ScenarioCheckpoint& ckpt) = 0;
+};
+
+/// Keeps every captured checkpoint in memory (fork studies, tests).
+class BufferCheckpointSink final : public CheckpointSink {
+ public:
+  void on_checkpoint(const ScenarioCheckpoint& ckpt) override { captured.push_back(ckpt); }
+
+  std::vector<ScenarioCheckpoint> captured;
+};
+
+/// Writes every captured checkpoint to one path (atomically, last wins --
+/// the --checkpoint-at / periodic --checkpoint-out CLI sink).
+class FileCheckpointSink final : public CheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string path) : path_(std::move(path)) {}
+
+  void on_checkpoint(const ScenarioCheckpoint& ckpt) override;
+
+ private:
+  std::string path_;
+};
+
+// --- scenario checkpoint files ---------------------------------------------
+
+/// Encodes the checkpoint as container sections (META + the ten state
+/// sections above, in that order).
+[[nodiscard]] std::vector<Section> encode_checkpoint(const ScenarioCheckpoint& ckpt);
+
+/// Decodes container sections into a checkpoint.  `name` labels errors.
+/// Throws std::invalid_argument on a missing/unknown section, a field-level
+/// truncation, or a META kind that is not a scenario checkpoint.
+[[nodiscard]] ScenarioCheckpoint decode_checkpoint(const std::vector<Section>& sections,
+                                                   const std::string& name);
+
+/// Atomic save / validated load of a checkpoint file.
+void save_checkpoint(const std::string& path, const ScenarioCheckpoint& ckpt);
+[[nodiscard]] ScenarioCheckpoint load_checkpoint(const std::string& path);
+
+// --- sweep carry files ------------------------------------------------------
+// Crash-tolerant sweeps (study::run_sweep / run_scenario_sweep with a
+// checkpoint_dir) persist one "task result" file per completed
+// (load point x seed) task, and scenario sweeps additionally one mid-run
+// checkpoint per (seed, policy) at the periodic capture times.  Both carry
+// a fingerprint of the sweep configuration; a resume run whose fingerprint
+// differs rejects the file instead of silently mixing results.
+
+/// One completed policy slot of a sweep task (superset of the load-sweep
+/// and scenario-sweep slot fields; unused fields stay empty).
+struct SweepSlotState {
+  double blocking{0.0};
+  double alternate_fraction{0.0};
+  std::int64_t dropped{0};
+  std::vector<std::int64_t> pair_offered;
+  std::vector<std::int64_t> pair_blocked;
+  std::vector<std::int64_t> bin_offered;
+  std::vector<std::int64_t> bin_blocked;
+  std::vector<AppliedEventState> applied;
+  ObsState obs;
+  std::vector<obs::TraceRecord> trace_records;
+};
+
+struct SweepTaskResult {
+  std::string fingerprint;
+  std::uint64_t task{0};
+  std::vector<SweepSlotState> slots;  ///< one per policy, request order
+};
+
+void save_sweep_task_result(const std::string& path, const SweepTaskResult& result);
+[[nodiscard]] SweepTaskResult load_sweep_task_result(const std::string& path);
+
+/// Mid-run state of one scenario-sweep (seed, policy) run: the scenario
+/// checkpoint plus the trace records buffered so far.
+struct SweepTaskCheckpoint {
+  std::string fingerprint;
+  ScenarioCheckpoint ckpt;
+  std::vector<obs::TraceRecord> trace_records;
+};
+
+void save_sweep_task_checkpoint(const std::string& path, const SweepTaskCheckpoint& ckpt);
+[[nodiscard]] SweepTaskCheckpoint load_sweep_task_checkpoint(const std::string& path);
+
+}  // namespace altroute::snapshot

@@ -1,0 +1,75 @@
+#include "snapshot/fork.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace altroute::snapshot {
+
+std::vector<ForkOutcome> fork_runs(const net::Graph& graph, const net::TrafficMatrix& traffic,
+                                   const sim::CallTrace& trace, const ScenarioCheckpoint& ckpt,
+                                   const std::vector<ForkVariant>& variants,
+                                   const ForkOptions& options) {
+  if (options.threads < 1) throw std::invalid_argument("fork_runs: threads < 1");
+  if (options.engine.probe != nullptr) {
+    throw std::invalid_argument(
+        "fork_runs: variants cannot share one probe; run run_scenario per branch for "
+        "observability");
+  }
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    if (variants[v].policy == nullptr) {
+      throw std::invalid_argument("fork_runs: variant '" + variants[v].name +
+                                  "' has no policy (each branch needs its own instance)");
+    }
+  }
+
+  std::vector<ForkOutcome> outcomes(variants.size());
+  const auto run_one = [&](std::size_t v) {
+    scenario::ScenarioEngineOptions engine = options.engine;
+    engine.resume = &ckpt;
+    engine.checkpoints = nullptr;
+    engine.checkpoint_at = -1.0;
+    engine.checkpoint_every = 0.0;
+    outcomes[v].name = variants[v].name;
+    outcomes[v].result = scenario::run_scenario(graph, traffic, *variants[v].policy, trace,
+                                               variants[v].scenario, engine);
+  };
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(options.threads), variants.size());
+  if (workers <= 1) {
+    for (std::size_t v = 0; v < variants.size(); ++v) run_one(v);
+    return outcomes;
+  }
+
+  // Branches are independent and write disjoint slots; first failure wins.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t v = next.fetch_add(1);
+        if (v >= variants.size() || failed.load()) return;
+        try {
+          run_one(v);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed.exchange(true)) error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return outcomes;
+}
+
+}  // namespace altroute::snapshot

@@ -1,0 +1,65 @@
+// Warm-state what-if forks: branch ONE mid-run checkpoint into K
+// continuations that share an identical past and diverge only in their
+// future -- different failure scenarios, different policies -- so every
+// observed difference is attributable to the divergence, not to sampling
+// noise (the common-random-number discipline extended across time).
+//
+// Each variant resumes scenario::run_scenario from the same checkpoint
+// with its own scenario (whose prefix up to the capture point must match
+// the capturing run -- validated by the runner) and its own policy object.
+// A variant naming the SAME policy as the capturing run inherits its
+// learning state; a different policy starts cold from the warmed network.
+// See examples/what_if_fork.cpp for the intended study shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "snapshot/checkpoint.hpp"
+
+namespace altroute::snapshot {
+
+/// One continuation branch.
+struct ForkVariant {
+  /// Label carried through to the outcome (report axis).
+  std::string name;
+  /// The full scenario of this branch, INCLUDING the shared prefix the
+  /// checkpoint already applied.  Events after the capture point may
+  /// differ freely between variants.
+  scenario::Scenario scenario;
+  /// Policy instance for this branch.  Required, and must be a distinct
+  /// object per variant: policies carry mutable learning state, and
+  /// variants may run concurrently.
+  loss::RoutingPolicy* policy{nullptr};
+};
+
+struct ForkOutcome {
+  std::string name;
+  scenario::ScenarioRunResult result;
+};
+
+struct ForkOptions {
+  /// Engine options every branch runs under.  Must structurally match the
+  /// capturing run (warmup, H, time_bins -- the runner validates).  The
+  /// probe must be null: K branches cannot share one registry; attach
+  /// observability by calling run_scenario directly instead.  Any
+  /// checkpoint/resume fields are ignored -- fork_runs sets resume itself.
+  scenario::ScenarioEngineOptions engine;
+  /// Worker threads (1 = serial).  Branches are independent, so any value
+  /// produces identical results in variant order.
+  int threads{1};
+};
+
+/// Runs every variant to the horizon from the shared checkpoint; outcomes
+/// are returned in variant order.  Throws std::invalid_argument on a null
+/// variant policy, a non-null probe, threads < 1, or any runner-side
+/// resume validation failure.
+[[nodiscard]] std::vector<ForkOutcome> fork_runs(const net::Graph& graph,
+                                                 const net::TrafficMatrix& traffic,
+                                                 const sim::CallTrace& trace,
+                                                 const ScenarioCheckpoint& ckpt,
+                                                 const std::vector<ForkVariant>& variants,
+                                                 const ForkOptions& options = {});
+
+}  // namespace altroute::snapshot

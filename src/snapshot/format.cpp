@@ -1,0 +1,296 @@
+#include "snapshot/format.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace altroute::snapshot {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'L', 'T', 'R', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kTableRowSize = 24;  // 4 tag + 8 offset + 8 size + 4 crc
+
+[[noreturn]] void fail(const std::string& name, const std::string& what) {
+  throw std::invalid_argument("checkpoint '" + name + "': " + what);
+}
+
+bool valid_tag(std::string_view tag) {
+  if (tag.size() != 4) return false;
+  for (const char c : tag) {
+    if (c < 0x21 || c > 0x7e) return false;  // printable ASCII, no spaces
+  }
+  return true;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Parses header + table with full structural validation; shared by
+/// parse_container and read_section_table.
+std::vector<SectionInfo> parse_table(const std::vector<std::uint8_t>& bytes,
+                                     const std::string& name) {
+  if (bytes.size() < kHeaderSize) {
+    fail(name, "truncated header (" + std::to_string(kHeaderSize) + " bytes needed, " +
+                   std::to_string(bytes.size()) + " present)");
+  }
+  if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    fail(name, "bad magic (not an altroute checkpoint)");
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    fail(name, "unsupported format version " + std::to_string(version) + " (expected " +
+                   std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t count = get_u32(bytes.data() + 12);
+  const std::uint64_t table_end =
+      kHeaderSize + static_cast<std::uint64_t>(count) * kTableRowSize;
+  if (table_end > bytes.size()) {
+    fail(name, "section table overruns the file (" + std::to_string(count) +
+                   " sections need " + std::to_string(table_end) + " bytes, " +
+                   std::to_string(bytes.size()) + " present)");
+  }
+
+  std::vector<SectionInfo> table;
+  table.reserve(count);
+  std::uint64_t expected_offset = table_end;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* row = bytes.data() + kHeaderSize + i * kTableRowSize;
+    SectionInfo info;
+    info.tag.assign(reinterpret_cast<const char*>(row), 4);
+    info.offset = get_u64(row + 4);
+    info.size = get_u64(row + 12);
+    info.crc = get_u32(row + 20);
+    if (!valid_tag(info.tag)) {
+      fail(name, "section " + std::to_string(i) + " has a non-ASCII tag");
+    }
+    for (const SectionInfo& prior : table) {
+      if (prior.tag == info.tag) fail(name, "duplicate section '" + info.tag + "'");
+    }
+    if (info.offset != expected_offset) {
+      fail(name, "section '" + info.tag + "' at offset " + std::to_string(info.offset) +
+                     ", expected " + std::to_string(expected_offset) +
+                     " (sections must be tightly packed)");
+    }
+    if (info.offset + info.size > bytes.size() || info.offset + info.size < info.offset) {
+      fail(name, "section '" + info.tag + "' overruns the file (offset " +
+                     std::to_string(info.offset) + " + size " + std::to_string(info.size) +
+                     " > file size " + std::to_string(bytes.size()) + ")");
+    }
+    expected_offset = info.offset + info.size;
+    table.push_back(std::move(info));
+  }
+  if (expected_offset != bytes.size()) {
+    fail(name, std::to_string(bytes.size() - expected_offset) +
+                   " trailing bytes after the last section");
+  }
+  for (const SectionInfo& info : table) {
+    const std::uint32_t computed = crc32(bytes.data() + info.offset, info.size);
+    if (computed != info.crc) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "stored 0x%08x, computed 0x%08x", info.crc, computed);
+      fail(name, "section '" + info.tag + "' CRC mismatch (" + std::string(buf) +
+                     ") -- file is corrupt");
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  // Table-driven reflected CRC-32; the table is built once, lazily.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t> render_container(const std::vector<Section>& sections) {
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (!valid_tag(sections[i].tag)) {
+      throw std::invalid_argument("render_container: tag '" + sections[i].tag +
+                                  "' is not 4 printable ASCII characters");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (sections[j].tag == sections[i].tag) {
+        throw std::invalid_argument("render_container: duplicate tag '" + sections[i].tag +
+                                    "'");
+      }
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(sections.size()));
+  std::uint64_t offset = kHeaderSize + sections.size() * kTableRowSize;
+  for (const Section& s : sections) {
+    out.insert(out.end(), s.tag.begin(), s.tag.end());
+    put_u64(out, offset);
+    put_u64(out, s.bytes.size());
+    put_u32(out, crc32(s.bytes.data(), s.bytes.size()));
+    offset += s.bytes.size();
+  }
+  for (const Section& s : sections) out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  return out;
+}
+
+std::vector<Section> parse_container(const std::vector<std::uint8_t>& bytes,
+                                     const std::string& name) {
+  std::vector<Section> sections;
+  for (const SectionInfo& info : parse_table(bytes, name)) {
+    Section s;
+    s.tag = info.tag;
+    s.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(info.offset),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(info.offset + info.size));
+    sections.push_back(std::move(s));
+  }
+  return sections;
+}
+
+std::vector<SectionInfo> read_section_table(const std::vector<std::uint8_t>& bytes,
+                                            const std::string& name) {
+  return parse_table(bytes, name);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open file");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) fail(path, "read error");
+  return bytes;
+}
+
+void write_container_file(const std::string& path, const std::vector<Section>& sections) {
+  const std::vector<std::uint8_t> bytes = render_container(sections);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("checkpoint '" + path + "': cannot create file");
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool bad = wrote != bytes.size() || std::fclose(f) != 0;
+  if (bad || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint '" + path + "': write failed");
+  }
+}
+
+std::vector<Section> read_container_file(const std::string& path) {
+  return parse_container(read_file_bytes(path), path);
+}
+
+void SectionWriter::u32(std::uint32_t v) { put_u32(bytes_, v); }
+void SectionWriter::u64(std::uint64_t v) { put_u64(bytes_, v); }
+
+void SectionWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void SectionWriter::str(std::string_view v) {
+  u64(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void SectionWriter::blob(const std::vector<std::uint8_t>& v) {
+  u64(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void SectionReader::need(std::size_t count, const char* what) const {
+  if (pos_ + count > section_.bytes.size() || pos_ + count < pos_) {
+    throw std::invalid_argument("checkpoint section '" + section_.tag + "': truncated (need " +
+                                std::to_string(count) + " bytes for " + what + " at offset " +
+                                std::to_string(pos_) + ", have " +
+                                std::to_string(section_.bytes.size() - pos_) + ")");
+  }
+}
+
+std::uint8_t SectionReader::u8() {
+  need(1, "u8");
+  return section_.bytes[pos_++];
+}
+
+std::uint32_t SectionReader::u32() {
+  need(4, "u32");
+  const std::uint32_t v = get_u32(section_.bytes.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SectionReader::u64() {
+  need(8, "u64");
+  const std::uint64_t v = get_u64(section_.bytes.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double SectionReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string SectionReader::str() {
+  const std::uint64_t size = u64();
+  need(size, "string body");
+  std::string v(reinterpret_cast<const char*>(section_.bytes.data() + pos_), size);
+  pos_ += size;
+  return v;
+}
+
+std::vector<std::uint8_t> SectionReader::blob() {
+  const std::uint64_t size = u64();
+  need(size, "blob body");
+  std::vector<std::uint8_t> v(section_.bytes.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              section_.bytes.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+  pos_ += size;
+  return v;
+}
+
+void SectionReader::finish() const {
+  if (pos_ != section_.bytes.size()) {
+    throw std::invalid_argument("checkpoint section '" + section_.tag + "': " +
+                                std::to_string(section_.bytes.size() - pos_) +
+                                " trailing bytes after the last field");
+  }
+}
+
+}  // namespace altroute::snapshot

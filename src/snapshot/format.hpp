@@ -1,0 +1,132 @@
+// Versioned, sectioned binary container -- the on-disk envelope of every
+// checkpoint artifact (scenario checkpoints, sweep carry files).
+//
+// Layout (all integers little-endian):
+//
+//   offset 0   8 bytes   magic "ALTRCKPT"
+//   offset 8   u32       format version (kFormatVersion)
+//   offset 12  u32       section count N
+//   offset 16  N x 24    section table: 4-byte ASCII tag, u64 payload
+//                        offset, u64 payload size, u32 CRC-32 (IEEE) of
+//                        the payload bytes
+//   then       payloads, tightly packed in table order; the file ends
+//              exactly at the last payload's end (no trailing bytes)
+//
+// Readers validate EVERYTHING before handing a byte to a decoder -- magic,
+// version, table bounds, tight packing, per-section CRC, trailing bytes --
+// and reject with one pointed std::invalid_argument line naming the file
+// and the first offending section, in the style of the scenario JSON
+// parser (tests/data/ckpt_bad mirrors tests/data/scenario_bad).  Writes go
+// through a temp file + rename, so a crash mid-write never leaves a
+// half-checkpoint behind under the final name.
+//
+// SectionWriter / SectionReader are the primitive codecs: bounds-checked
+// little-endian scalars, length-prefixed strings and blobs.  Decoders call
+// finish() so trailing garbage inside a section is an error, not silence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace altroute::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// One named payload of a container file.
+struct Section {
+  std::string tag;  ///< exactly 4 ASCII characters, unique per file
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Section-table row as stored on disk (the inspector dumps these).
+struct SectionInfo {
+  std::string tag;
+  std::uint64_t offset{0};
+  std::uint64_t size{0};
+  std::uint32_t crc{0};
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Serializes sections into one container image (header + table + packed
+/// payloads).  Throws std::invalid_argument on a tag that is not 4 ASCII
+/// characters or a duplicate tag.
+[[nodiscard]] std::vector<std::uint8_t> render_container(const std::vector<Section>& sections);
+
+/// Parses and fully validates a container image.  `name` labels error
+/// messages (usually the file path).  Throws std::invalid_argument with a
+/// pointed one-line message on any malformation.
+[[nodiscard]] std::vector<Section> parse_container(const std::vector<std::uint8_t>& bytes,
+                                                   const std::string& name);
+
+/// Header + section table only, CRCs verified (the inspector's dump view).
+/// Validates exactly like parse_container.
+[[nodiscard]] std::vector<SectionInfo> read_section_table(const std::vector<std::uint8_t>& bytes,
+                                                          const std::string& name);
+
+/// Atomic file write: renders, writes to `path` + ".tmp", renames over
+/// `path`.  Throws std::runtime_error when the file cannot be written.
+void write_container_file(const std::string& path, const std::vector<Section>& sections);
+
+/// Reads and validates a container file (see parse_container).  Throws
+/// std::invalid_argument on a missing/unreadable file or any malformation.
+[[nodiscard]] std::vector<Section> read_container_file(const std::string& path);
+
+/// Raw file bytes, for the inspector (same open error as read_container_file).
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Appends little-endian primitives to one section payload.
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::string tag) : tag_(std::move(tag)) {}
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Doubles travel as their IEEE-754 bit pattern: bit-identical round-trip.
+  void f64(double v);
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view v);
+  void blob(const std::vector<std::uint8_t>& v);
+
+  [[nodiscard]] Section take() { return Section{std::move(tag_), std::move(bytes_)}; }
+
+ private:
+  std::string tag_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reads over one section payload.  Every
+/// error is "checkpoint section 'TAG': ..." -- decoders add no context.
+class SectionReader {
+ public:
+  explicit SectionReader(const Section& section) : section_(section) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> blob();
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return section_.bytes.size() - pos_; }
+
+  /// Throws when the section holds bytes past the last decoded field.
+  void finish() const;
+
+ private:
+  void need(std::size_t count, const char* what) const;
+
+  const Section& section_;
+  std::size_t pos_{0};
+};
+
+}  // namespace altroute::snapshot

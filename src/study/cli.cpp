@@ -89,11 +89,35 @@ CliOptions parse_cli(int argc, char** argv) {
       options.analysis_out = need_value(i, arg);
     } else if (arg == "--fast") {
       options.fast = true;
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = need_value(i, arg);
+      if (options.checkpoint_dir->empty()) {
+        throw std::invalid_argument("--checkpoint-dir: empty path");
+      }
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every = parse_double(arg, need_value(i, arg));
+      if (!(*options.checkpoint_every > 0.0)) {
+        throw std::invalid_argument("--checkpoint-every: must be > 0");
+      }
+    } else if (arg == "--crash-after") {
+      options.crash_after = parse_int(arg, need_value(i, arg));
+      if (*options.crash_after < 0) throw std::invalid_argument("--crash-after: must be >= 0");
+    } else if (arg == "--checkpoint-at") {
+      options.checkpoint_at = parse_double(arg, need_value(i, arg));
+      if (!(*options.checkpoint_at >= 0.0)) {
+        throw std::invalid_argument("--checkpoint-at: must be >= 0");
+      }
+    } else if (arg == "--checkpoint-out") {
+      options.checkpoint_out = need_value(i, arg);
+    } else if (arg == "--resume") {
+      options.resume = need_value(i, arg);
     } else {
       throw std::invalid_argument("unknown flag '" + arg +
                                   "' (known: --seeds --measure --warmup --loads --hops "
                                   "--threads --csv --scenario --metrics --trace "
-                                  "--trace-filter --analyze --analysis-out --fast)");
+                                  "--trace-filter --analyze --analysis-out --fast "
+                                  "--checkpoint-dir --checkpoint-every --crash-after "
+                                  "--checkpoint-at --checkpoint-out --resume)");
     }
   }
   return options;

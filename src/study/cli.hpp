@@ -21,6 +21,18 @@
 //   --analysis-out P also write the analysis report as JSON to P
 //                    (implies --analyze)
 //   --fast           shrink seeds/horizon for a quick smoke run
+//
+// Checkpoint / resume (src/snapshot; see DESIGN.md "Checkpoint & fork"):
+//   --checkpoint-dir D    sweep carry directory: completed tasks persist
+//                         task-<k>.res there and a rerun of the same
+//                         configuration resumes instead of recomputing
+//   --checkpoint-every T  scenario sweeps also write mid-run checkpoints
+//                         every T sim-time units (needs --checkpoint-dir)
+//   --crash-after K       TESTING: die deterministically around task K
+//                         (completed tasks stay on disk; resume continues)
+//   --checkpoint-at T     single-run binaries: capture state at sim time T
+//   --checkpoint-out F    write the captured state to F (.ckpt)
+//   --resume F            single-run binaries: restore from F and continue
 #pragma once
 
 #include <optional>
@@ -50,6 +62,17 @@ struct CliOptions {
   /// Also write the analysis report as JSON here (implies analyze).
   std::optional<std::string> analysis_out;
   bool fast{false};
+  /// Sweep carry directory (SweepOptions/ScenarioSweepOptions
+  /// checkpoint_dir): resume a killed sweep with bit-identical results.
+  std::optional<std::string> checkpoint_dir;
+  /// Mid-run checkpoint period for scenario sweeps (checkpoint_every).
+  std::optional<double> checkpoint_every;
+  /// Deterministic crash-injection task index (crash_after); testing/CI.
+  std::optional<long long> crash_after;
+  /// Single-run capture time / output path / resume source.
+  std::optional<double> checkpoint_at;
+  std::optional<std::string> checkpoint_out;
+  std::optional<std::string> resume;
 
   /// True when any analysis output was requested.
   [[nodiscard]] bool wants_analysis() const { return analyze || analysis_out.has_value(); }

@@ -1,6 +1,8 @@
 #include "study/experiment.hpp"
 
 #include <cstddef>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -16,6 +18,7 @@
 #include "sim/call_trace.hpp"
 #include "sim/parallel_for.hpp"
 #include "sim/thread_pool.hpp"
+#include "snapshot/checkpoint.hpp"
 
 namespace altroute::study {
 
@@ -86,6 +89,155 @@ struct ReplicationObs {
   void deposit(Slot& slot) {
     slot.metrics = std::move(registry);
     slot.trace_records = std::move(collector.records);
+  }
+};
+
+// --- crash-tolerant carry files (see snapshot/checkpoint.hpp) --------------
+// A sweep with a checkpoint_dir persists one `task-<k>.res` per completed
+// task; reruns of the SAME configuration load those instead of recomputing.
+// The fingerprint below is the guard: it renders every input that shapes a
+// task's numbers (doubles in exact hex-float form), so a resume against a
+// changed configuration is rejected loudly instead of silently mixing runs.
+
+// Exact, locale-independent double rendering for fingerprints.
+std::string fp(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string obs_fingerprint(const SweepObsOptions& obs) {
+  return std::string("|metrics=") + (obs.metrics ? "1" : "0") +
+         "|grid=" + std::to_string(obs.occupancy_samples) +
+         "|trace=" + std::to_string(obs.trace != nullptr ? obs.trace->mask() : 0u);
+}
+
+std::string shape_fingerprint(const net::Graph& graph, const net::TrafficMatrix& nominal,
+                              const std::vector<PolicyKind>& policies) {
+  std::string s = "|n=" + std::to_string(graph.node_count()) +
+                  "|l=" + std::to_string(graph.link_count()) + "|traffic=" + fp(nominal.total()) +
+                  "|policies=";
+  for (const PolicyKind kind : policies) s += policy_name(kind) + ",";
+  return s;
+}
+
+std::string sweep_fingerprint(const net::Graph& graph, const net::TrafficMatrix& nominal,
+                              const std::vector<PolicyKind>& policies,
+                              const SweepOptions& o) {
+  std::string s = "sweep-v1" + shape_fingerprint(graph, nominal, policies) + "|loads=";
+  for (const double factor : o.load_factors) s += fp(factor) + ",";
+  s += "|seeds=" + std::to_string(o.seeds) + "|measure=" + fp(o.measure) +
+       "|warmup=" + fp(o.warmup) + "|H=" + std::to_string(o.max_alt_hops) +
+       "|base=" + std::to_string(o.base_seed) + "|fair=" + (o.fairness ? "1" : "0") +
+       obs_fingerprint(o.obs);
+  return s;
+}
+
+std::string scenario_sweep_fingerprint(const net::Graph& graph,
+                                       const net::TrafficMatrix& nominal,
+                                       const scenario::Scenario& scen,
+                                       const std::vector<PolicyKind>& policies,
+                                       const ScenarioSweepOptions& o) {
+  std::string s = "scenario-sweep-v1" + shape_fingerprint(graph, nominal, policies) +
+                  "|events=";
+  for (const scenario::ScenarioEvent& e : scen.events) {
+    s += std::string(scenario::event_kind_name(e.kind)) + ":" + fp(e.time) + ":" +
+         std::to_string(e.node_a) + ":" + std::to_string(e.node_b) + ":" +
+         std::to_string(e.capacity) + ":" + fp(e.factor) + ",";
+  }
+  s += "|seeds=" + std::to_string(o.seeds) + "|measure=" + fp(o.measure) +
+       "|warmup=" + fp(o.warmup) + "|H=" + std::to_string(o.max_alt_hops) +
+       "|base=" + std::to_string(o.base_seed) + "|bins=" + std::to_string(o.time_bins) +
+       "|load=" + fp(o.load_factor) + "|auto=" + (o.auto_resolve_protection ? "1" : "0") +
+       obs_fingerprint(o.obs);
+  return s;
+}
+
+std::string task_result_path(const std::string& dir, std::size_t task) {
+  return dir + "/task-" + std::to_string(task) + ".res";
+}
+
+std::string task_checkpoint_path(const std::string& dir, std::size_t seed_index,
+                                 std::size_t policy_index) {
+  return dir + "/task-" + std::to_string(seed_index) + "-p" + std::to_string(policy_index) +
+         ".ckpt";
+}
+
+// Rebuilds a replication's merged-metric registry from a carry file's
+// flattened values: the schema is re-registered exactly as the live run
+// would (same bind), then the accumulated values are imported.
+obs::MetricRegistry rebuild_registry(const snapshot::ObsState& st, const SweepObsOptions& obs,
+                                     double warmup, double measure, std::size_t links) {
+  ReplicationObs run_obs(obs, warmup, measure);
+  run_obs.probe.bind(links);
+  run_obs.registry.import_accumulated(st.ints, st.reals);
+  return std::move(run_obs.registry);
+}
+
+std::vector<snapshot::AppliedEventState> to_applied_state(
+    const std::vector<scenario::AppliedEvent>& applied) {
+  std::vector<snapshot::AppliedEventState> out;
+  out.reserve(applied.size());
+  for (const scenario::AppliedEvent& e : applied) {
+    out.push_back(snapshot::AppliedEventState{e.time, static_cast<std::int32_t>(e.kind),
+                                              e.links_changed, e.calls_killed});
+  }
+  return out;
+}
+
+std::vector<scenario::AppliedEvent> from_applied_state(
+    const std::vector<snapshot::AppliedEventState>& applied, const std::string& path) {
+  std::vector<scenario::AppliedEvent> out;
+  out.reserve(applied.size());
+  for (const snapshot::AppliedEventState& e : applied) {
+    if (e.kind < 0 ||
+        e.kind > static_cast<std::int32_t>(scenario::EventKind::kResolveProtection)) {
+      throw std::invalid_argument("checkpoint '" + path + "': applied-event log names " +
+                                  "unknown event kind " + std::to_string(e.kind));
+    }
+    out.push_back(scenario::AppliedEvent{e.time, static_cast<scenario::EventKind>(e.kind),
+                                         e.links_changed, e.calls_killed});
+  }
+  return out;
+}
+
+void check_carry_file(const std::string& caller, const std::string& path,
+                      const std::string& got_fingerprint, const std::string& want_fingerprint,
+                      std::uint64_t got_task, std::size_t want_task, std::size_t got_slots,
+                      std::size_t want_slots) {
+  if (got_fingerprint != want_fingerprint) {
+    throw std::invalid_argument(
+        caller + ": checkpoint '" + path +
+        "': sweep configuration changed since this file was written (delete the checkpoint "
+        "directory to start over)");
+  }
+  if (got_task != want_task || got_slots != want_slots) {
+    throw std::invalid_argument(caller + ": checkpoint '" + path +
+                                "': task index or policy count does not match this sweep");
+  }
+}
+
+// Thrown by the crash_after test hook to cut a scenario-sweep task down
+// mid-run after its first periodic checkpoint hit disk.
+struct CrashSignal {};
+
+// Bundles each captured mid-run checkpoint with the sweep fingerprint and
+// the trace records buffered so far, and writes it atomically; last capture
+// wins (the resume picks up from the newest state on disk).
+class TaskCheckpointSink final : public snapshot::CheckpointSink {
+ public:
+  std::string path;
+  std::string fingerprint;
+  obs::VectorTraceSink* collector{nullptr};
+  bool crash_on_save{false};
+
+  void on_checkpoint(const snapshot::ScenarioCheckpoint& ck) override {
+    snapshot::SweepTaskCheckpoint tc;
+    tc.fingerprint = fingerprint;
+    tc.ckpt = ck;
+    if (collector != nullptr) tc.trace_records = collector->records;
+    snapshot::save_sweep_task_checkpoint(path, tc);
+    if (crash_on_save) throw CrashSignal{};
   }
 };
 
@@ -174,6 +326,40 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
   // own pre-sized slots.  Nothing below mutates shared state.
   const std::size_t task_count = load_points.size() * seed_count;
   std::vector<ReplicationOutcome> slots(task_count * policy_count);
+
+  // Crash-tolerant carries: tasks already completed by a previous (killed)
+  // invocation of the same sweep load from disk in this serial prologue and
+  // short-circuit the fan-out below.
+  const bool carry = !options.checkpoint_dir.empty();
+  std::vector<char> cached(task_count, 0);
+  std::string fingerprint;
+  if (carry) {
+    fingerprint = sweep_fingerprint(graph, nominal, policies, options);
+    std::filesystem::create_directories(options.checkpoint_dir);
+    for (std::size_t task = 0; task < task_count; ++task) {
+      const std::string path = task_result_path(options.checkpoint_dir, task);
+      if (!std::filesystem::exists(path)) continue;
+      const snapshot::SweepTaskResult res = snapshot::load_sweep_task_result(path);
+      check_carry_file("run_sweep", path, res.fingerprint, fingerprint, res.task, task,
+                       res.slots.size(), policy_count);
+      for (std::size_t pi = 0; pi < policy_count; ++pi) {
+        const snapshot::SweepSlotState& st = res.slots[pi];
+        ReplicationOutcome& slot = slots[task * policy_count + pi];
+        slot.blocking = st.blocking;
+        slot.alternate_fraction = st.alternate_fraction;
+        slot.pair_offered.assign(st.pair_offered.begin(), st.pair_offered.end());
+        slot.pair_blocked.assign(st.pair_blocked.begin(), st.pair_blocked.end());
+        if (st.obs.present != 0) {
+          slot.metrics = rebuild_registry(st.obs, options.obs, options.warmup,
+                                          options.measure,
+                                          static_cast<std::size_t>(graph.link_count()));
+        }
+        slot.trace_records = st.trace_records;
+      }
+      cached[task] = 1;
+    }
+  }
+
   const auto run_replication = [&](std::size_t task) {
     const std::size_t li = task / seed_count;
     const std::size_t s = task % seed_count;
@@ -206,11 +392,42 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
       }
     }
   };
+  const auto run_task = [&](std::size_t task) {
+    if (cached[task]) return;
+    if (options.crash_after >= 0 && static_cast<long long>(task) >= options.crash_after) {
+      return;  // the simulated crash never reached this task
+    }
+    run_replication(task);
+    if (!carry) return;
+    snapshot::SweepTaskResult res;
+    res.fingerprint = fingerprint;
+    res.task = task;
+    res.slots.reserve(policy_count);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      ReplicationOutcome& slot = slots[task * policy_count + pi];
+      snapshot::SweepSlotState st;
+      st.blocking = slot.blocking;
+      st.alternate_fraction = slot.alternate_fraction;
+      st.pair_offered.assign(slot.pair_offered.begin(), slot.pair_offered.end());
+      st.pair_blocked.assign(slot.pair_blocked.begin(), slot.pair_blocked.end());
+      if (options.obs.metrics) {
+        st.obs.present = 1;
+        slot.metrics.export_accumulated(st.obs.ints, st.obs.reals);
+      }
+      st.trace_records = slot.trace_records;
+      res.slots.push_back(std::move(st));
+    }
+    snapshot::save_sweep_task_result(task_result_path(options.checkpoint_dir, task), res);
+  };
   if (threads > 1) {
     sim::ThreadPool pool(threads);
-    sim::parallel_for(&pool, task_count, run_replication);
+    sim::parallel_for(&pool, task_count, run_task);
   } else {
-    sim::parallel_for(nullptr, task_count, run_replication);
+    sim::parallel_for(nullptr, task_count, run_task);
+  }
+  if (options.crash_after >= 0) {
+    throw std::runtime_error("run_sweep: simulated crash (crash_after=" +
+                             std::to_string(options.crash_after) + ")");
   }
 
   // Serial epilogue: reduce slots in (load point, policy, seed-ascending)
@@ -340,6 +557,58 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
   const std::size_t seed_count = static_cast<std::size_t>(options.seeds);
   std::vector<ScenarioSlot> slots(seed_count * policy_count);
 
+  // Crash-tolerant carries: completed seed tasks load from `task-<s>.res`;
+  // interrupted (seed, policy) runs additionally resume from their newest
+  // mid-run `task-<s>-p<pi>.ckpt`, re-seeding the trace buffer with the
+  // records collected before the capture -- so the merged metrics and the
+  // forwarded trace stream match an uninterrupted sweep bit for bit.
+  const bool carry = !options.checkpoint_dir.empty();
+  if (options.checkpoint_every > 0.0 && !carry) {
+    throw std::invalid_argument("run_scenario_sweep: checkpoint_every needs checkpoint_dir");
+  }
+  std::vector<char> cached(seed_count, 0);
+  std::string fingerprint;
+  std::vector<std::unique_ptr<snapshot::SweepTaskCheckpoint>> midrun(seed_count *
+                                                                     policy_count);
+  if (carry) {
+    fingerprint = scenario_sweep_fingerprint(graph, nominal, scen, policies, options);
+    std::filesystem::create_directories(options.checkpoint_dir);
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const std::string path = task_result_path(options.checkpoint_dir, s);
+      if (std::filesystem::exists(path)) {
+        const snapshot::SweepTaskResult res = snapshot::load_sweep_task_result(path);
+        check_carry_file("run_scenario_sweep", path, res.fingerprint, fingerprint, res.task,
+                         s, res.slots.size(), policy_count);
+        for (std::size_t pi = 0; pi < policy_count; ++pi) {
+          const snapshot::SweepSlotState& st = res.slots[pi];
+          ScenarioSlot& slot = slots[s * policy_count + pi];
+          slot.blocking = st.blocking;
+          slot.dropped = st.dropped;
+          slot.bin_offered.assign(st.bin_offered.begin(), st.bin_offered.end());
+          slot.bin_blocked.assign(st.bin_blocked.begin(), st.bin_blocked.end());
+          slot.applied = from_applied_state(st.applied, path);
+          if (st.obs.present != 0) {
+            slot.metrics = rebuild_registry(st.obs, options.obs, options.warmup,
+                                            options.measure,
+                                            static_cast<std::size_t>(graph.link_count()));
+          }
+          slot.trace_records = st.trace_records;
+        }
+        cached[s] = 1;
+        continue;
+      }
+      for (std::size_t pi = 0; pi < policy_count; ++pi) {
+        const std::string ckpt_path = task_checkpoint_path(options.checkpoint_dir, s, pi);
+        if (!std::filesystem::exists(ckpt_path)) continue;
+        auto tc = std::make_unique<snapshot::SweepTaskCheckpoint>(
+            snapshot::load_sweep_task_checkpoint(ckpt_path));
+        check_carry_file("run_scenario_sweep", ckpt_path, tc->fingerprint, fingerprint, s, s,
+                         policy_count, policy_count);
+        midrun[s * policy_count + pi] = std::move(tc);
+      }
+    }
+  }
+
   // Fan-out: one task per seed, each replaying every policy against that
   // seed's trace (common random numbers) into its own slots.
   const auto run_replication = [&](std::size_t s) {
@@ -358,6 +627,21 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       engine.auto_resolve_protection = options.auto_resolve_protection;
       ReplicationObs run_obs(options.obs, options.warmup, options.measure);
       if (options.obs.enabled()) engine.probe = &run_obs.probe;
+      TaskCheckpointSink sink;
+      if (options.checkpoint_every > 0.0) {
+        sink.path = task_checkpoint_path(options.checkpoint_dir, s, pi);
+        sink.fingerprint = fingerprint;
+        sink.collector = options.obs.trace != nullptr ? &run_obs.collector : nullptr;
+        sink.crash_on_save =
+            options.crash_after >= 0 && static_cast<long long>(s) == options.crash_after;
+        engine.checkpoints = &sink;
+        engine.checkpoint_every = options.checkpoint_every;
+      }
+      const snapshot::SweepTaskCheckpoint* resume_from = midrun[s * policy_count + pi].get();
+      if (resume_from != nullptr) {
+        engine.resume = &resume_from->ckpt;
+        run_obs.collector.records = resume_from->trace_records;
+      }
       const scenario::ScenarioRunResult r =
           scenario::run_scenario(graph, load.traffic, *policy, trace, scen, engine);
       ScenarioSlot& slot = slots[s * policy_count + pi];
@@ -369,11 +653,58 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       if (options.obs.enabled()) run_obs.deposit(slot);
     }
   };
+  const auto run_task = [&](std::size_t s) {
+    if (cached[s]) return;
+    if (options.crash_after >= 0) {
+      // The task AT crash_after dies at its first mid-run capture; tasks
+      // past it never start.
+      const bool dies_midrun = options.checkpoint_every > 0.0 &&
+                               static_cast<long long>(s) == options.crash_after;
+      if (static_cast<long long>(s) >= options.crash_after && !dies_midrun) return;
+      if (dies_midrun) {
+        try {
+          run_replication(s);
+        } catch (const CrashSignal&) {
+        }
+        return;  // its state survives only as the .ckpt files on disk
+      }
+    }
+    run_replication(s);
+    if (!carry) return;
+    snapshot::SweepTaskResult res;
+    res.fingerprint = fingerprint;
+    res.task = s;
+    res.slots.reserve(policy_count);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      ScenarioSlot& slot = slots[s * policy_count + pi];
+      snapshot::SweepSlotState st;
+      st.blocking = slot.blocking;
+      st.dropped = slot.dropped;
+      st.bin_offered.assign(slot.bin_offered.begin(), slot.bin_offered.end());
+      st.bin_blocked.assign(slot.bin_blocked.begin(), slot.bin_blocked.end());
+      st.applied = to_applied_state(slot.applied);
+      if (options.obs.metrics) {
+        st.obs.present = 1;
+        slot.metrics.export_accumulated(st.obs.ints, st.obs.reals);
+      }
+      st.trace_records = slot.trace_records;
+      res.slots.push_back(std::move(st));
+    }
+    snapshot::save_sweep_task_result(task_result_path(options.checkpoint_dir, s), res);
+    for (std::size_t pi = 0; pi < policy_count; ++pi) {
+      std::error_code ec;  // best effort: a stale .ckpt is superseded anyway
+      std::filesystem::remove(task_checkpoint_path(options.checkpoint_dir, s, pi), ec);
+    }
+  };
   if (threads > 1) {
     sim::ThreadPool pool(threads);
-    sim::parallel_for(&pool, seed_count, run_replication);
+    sim::parallel_for(&pool, seed_count, run_task);
   } else {
-    sim::parallel_for(nullptr, seed_count, run_replication);
+    sim::parallel_for(nullptr, seed_count, run_task);
+  }
+  if (options.crash_after >= 0) {
+    throw std::runtime_error("run_scenario_sweep: simulated crash (crash_after=" +
+                             std::to_string(options.crash_after) + ")");
   }
 
   // Serial epilogue: reduce in (policy, seed-ascending) order so sums and

@@ -96,6 +96,21 @@ struct SweepOptions {
   bool fairness{false};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
+
+  // --- crash tolerance (src/snapshot) --------------------------------------
+  /// Directory for per-task carry files; empty disables.  Every completed
+  /// (load point x seed) task writes `task-<k>.res` (atomically); a rerun
+  /// of the SAME configuration loads those instead of recomputing, so a
+  /// killed sweep resumes where it stopped with bit-identical results.  A
+  /// file whose configuration fingerprint differs is rejected loudly.
+  /// run_sweep caches at task granularity only -- the static engine's
+  /// departure entries point into the shared route table, so its runs are
+  /// not mid-run checkpointable (run_scenario_sweep's are).
+  std::string checkpoint_dir;
+  /// TESTING / CI: complete tasks with index < crash_after, skip the rest,
+  /// and throw after the fan-out -- a deterministic stand-in for a crash.
+  /// -1 = off.
+  long long crash_after{-1};
 };
 
 /// One policy's curve across the sweep's load points.
@@ -166,6 +181,24 @@ struct ScenarioSweepOptions {
   bool auto_resolve_protection{false};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
+
+  // --- crash tolerance (src/snapshot) --------------------------------------
+  /// Directory for carry files; empty disables.  Completed seed tasks write
+  /// `task-<s>.res`; with checkpoint_every > 0 each in-progress (seed,
+  /// policy) run additionally writes a mid-run checkpoint
+  /// `task-<s>-p<pi>.ckpt` at every period (removed once the task
+  /// completes).  A rerun of the same configuration loads finished tasks
+  /// and resumes interrupted runs mid-flight -- results, merged metrics,
+  /// and the trace stream stay bit-identical to an uninterrupted sweep.
+  std::string checkpoint_dir;
+  /// Mid-run checkpoint period in simulation time units (0 = completion-
+  /// granular caching only).  Needs checkpoint_dir.
+  double checkpoint_every{0.0};
+  /// TESTING / CI: complete tasks with index < crash_after; the task AT
+  /// crash_after dies at its first mid-run checkpoint (when
+  /// checkpoint_every > 0) or is skipped; later tasks are skipped; then the
+  /// sweep throws -- a deterministic stand-in for a crash.  -1 = off.
+  long long crash_after{-1};
 };
 
 /// One policy's transient series across the scenario.

@@ -1,0 +1,87 @@
+// Malformed-checkpoint corpus: every file under tests/data/ckpt_bad is a
+// way a checkpoint file can arrive broken -- wrong magic, an unsupported
+// format version, a payload cut short, a flipped bit, bytes past the last
+// section.  Each must be REJECTED before a single payload byte reaches a
+// decoder, with one pointed message naming the file and the defect
+// (mirroring the tests/data/scenario_bad suite for the JSON parser).
+//
+// To add a case: drop a new .ckpt file in the corpus directory and add a
+// (filename, expected-substring) row below.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "snapshot/format.hpp"
+
+namespace snapshot = altroute::snapshot;
+
+namespace {
+
+struct BadCase {
+  const char* file;      // relative to tests/data/ckpt_bad
+  const char* expected;  // substring the rejection message must contain
+};
+
+class CkptBadCorpus : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(CkptBadCorpus, IsRejectedWithAPointedMessage) {
+  const BadCase& c = GetParam();
+  const std::string path = std::string(CKPT_BAD_DIR) + "/" + c.file;
+  // The corpus file must exist -- a typo here must not pass as "rejected".
+  ASSERT_TRUE(std::ifstream(path).good()) << "missing corpus file " << path;
+  try {
+    (void)snapshot::read_container_file(path);
+    FAIL() << c.file << " was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(c.expected), std::string::npos)
+        << c.file << " rejected, but the message was: " << message;
+    // Every rejection names the offending file.
+    EXPECT_NE(message.find(c.file), std::string::npos)
+        << c.file << " rejected without naming the file: " << message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CkptBadCorpus,
+    ::testing::Values(
+        BadCase{"bad_magic.ckpt", "bad magic (not an altroute checkpoint)"},
+        BadCase{"wrong_version.ckpt", "unsupported format version 99"},
+        BadCase{"truncated_section.ckpt", "section 'CONF' overruns the file"},
+        BadCase{"crc_flip.ckpt", "section 'CONF' CRC mismatch"},
+        BadCase{"trailing_bytes.ckpt", "4 trailing bytes after the last section"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// Sanity anchors: the defects above are what the reader rejects, not an
+// inability to read anything at all.
+
+TEST(CkptBadCorpus, MissingFileNamesThePath) {
+  try {
+    (void)snapshot::read_container_file("/nonexistent/nowhere.ckpt");
+    FAIL() << "missing file was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nowhere.ckpt"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CkptBadCorpus, WellFormedContainerRoundTrips) {
+  const std::vector<snapshot::Section> sections = {
+      {"META", {1, 2, 3}},
+      {"CONF", {}},  // empty payloads are legal
+  };
+  const std::vector<std::uint8_t> image = snapshot::render_container(sections);
+  const std::vector<snapshot::Section> back = snapshot::parse_container(image, "in-memory");
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].tag, "META");
+  EXPECT_EQ(back[0].bytes, sections[0].bytes);
+  EXPECT_EQ(back[1].tag, "CONF");
+  EXPECT_TRUE(back[1].bytes.empty());
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// The golden checkpoint invariant: running to the horizon in one piece and
+// running save-at-T / restore / continue must be BIT-IDENTICAL -- every
+// counter, the metrics JSON, and every rendered trace line -- for both
+// event-queue engines (including a checkpoint captured under one engine
+// and resumed under the other), for stateless and stateful policies, on
+// the quadrangle and NSFNet models.
+//
+// This is the property that makes resumable sweeps and what-if forks
+// trustworthy: a checkpoint is not "approximately the state", it IS the
+// state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "loss/dynamic_policies.hpp"
+#include "loss/policy.hpp"
+#include "netgraph/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/fork.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+using namespace altroute;
+
+namespace {
+
+// One model the matrix runs on: topology + traffic + a scenario with a
+// failure, a capacity cut, and protection re-solves (so the checkpoint
+// crosses event machinery, not just arrivals).
+struct Model {
+  const char* name;
+  net::Graph graph;
+  net::TrafficMatrix traffic;
+  scenario::Scenario scen;
+  double horizon;
+  int hops;
+};
+
+Model quadrangle_model() {
+  Model m{"quadrangle", net::full_mesh(4, 40), net::TrafficMatrix::uniform(4, 35.0), {}, 60.0,
+          3};
+  m.scen.name = "quad transient";
+  m.scen.events.push_back(scenario::ScenarioEvent::resolve_protection(0.0));
+  m.scen.events.push_back(scenario::ScenarioEvent::link_fail(25.0, 0, 1));
+  m.scen.events.push_back(scenario::ScenarioEvent::resolve_protection(25.0));
+  m.scen.events.push_back(scenario::ScenarioEvent::capacity_scale(35.0, 2, 3, 0.7));
+  m.scen.events.push_back(scenario::ScenarioEvent::link_repair(45.0, 0, 1));
+  m.scen.events.push_back(scenario::ScenarioEvent::resolve_protection(45.0));
+  return m;
+}
+
+Model nsfnet_model() {
+  Model m{"nsfnet", net::nsfnet_t3(), study::nsfnet_nominal_traffic(), {}, 40.0, 11};
+  m.scen.name = "nsfnet transient";
+  m.scen.events.push_back(scenario::ScenarioEvent::resolve_protection(0.0));
+  m.scen.events.push_back(scenario::ScenarioEvent::link_fail(20.0, 2, 3));
+  m.scen.events.push_back(scenario::ScenarioEvent::resolve_protection(20.0));
+  m.scen.events.push_back(scenario::ScenarioEvent::link_repair(32.0, 2, 3));
+  return m;
+}
+
+std::unique_ptr<loss::RoutingPolicy> fresh_policy(const std::string& kind, int nodes) {
+  if (kind == "controlled-alt") return std::make_unique<core::ControlledAlternatePolicy>();
+  return std::make_unique<loss::StickyRandomPolicy>(nodes, 99, false);
+}
+
+// Everything one run produces, rendered to comparable form.
+struct RunFingerprint {
+  scenario::ScenarioRunResult result;
+  std::string metrics_json;
+  std::vector<std::string> trace_lines;
+};
+
+void expect_identical(const RunFingerprint& straight, const RunFingerprint& resumed) {
+  const loss::RunResult& a = straight.result.run;
+  const loss::RunResult& b = resumed.result.run;
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.carried_primary, b.carried_primary);
+  EXPECT_EQ(a.carried_alternate, b.carried_alternate);
+  EXPECT_EQ(a.bin_offered, b.bin_offered);
+  EXPECT_EQ(a.bin_blocked, b.bin_blocked);
+  EXPECT_EQ(a.carried_by_hops, b.carried_by_hops);
+  ASSERT_EQ(a.per_pair.size(), b.per_pair.size());
+  for (std::size_t i = 0; i < a.per_pair.size(); ++i) {
+    EXPECT_EQ(a.per_pair[i].offered, b.per_pair[i].offered) << "pair " << i;
+    EXPECT_EQ(a.per_pair[i].blocked, b.per_pair[i].blocked) << "pair " << i;
+    EXPECT_EQ(a.per_pair[i].carried_primary, b.per_pair[i].carried_primary) << "pair " << i;
+    EXPECT_EQ(a.per_pair[i].carried_alternate, b.per_pair[i].carried_alternate)
+        << "pair " << i;
+  }
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (std::size_t i = 0; i < a.per_class.size(); ++i) {
+    EXPECT_EQ(a.per_class[i].bandwidth, b.per_class[i].bandwidth);
+    EXPECT_EQ(a.per_class[i].offered, b.per_class[i].offered);
+    EXPECT_EQ(a.per_class[i].blocked, b.per_class[i].blocked);
+  }
+  EXPECT_EQ(straight.result.dropped, resumed.result.dropped);
+  ASSERT_EQ(straight.result.applied.size(), resumed.result.applied.size());
+  for (std::size_t i = 0; i < straight.result.applied.size(); ++i) {
+    EXPECT_EQ(straight.result.applied[i].time, resumed.result.applied[i].time);
+    EXPECT_EQ(straight.result.applied[i].kind, resumed.result.applied[i].kind);
+    EXPECT_EQ(straight.result.applied[i].links_changed, resumed.result.applied[i].links_changed);
+    EXPECT_EQ(straight.result.applied[i].calls_killed, resumed.result.applied[i].calls_killed);
+  }
+  ASSERT_EQ(straight.result.final_links.size(), resumed.result.final_links.size());
+  for (std::size_t k = 0; k < straight.result.final_links.size(); ++k) {
+    EXPECT_EQ(straight.result.final_links[k].capacity, resumed.result.final_links[k].capacity);
+    EXPECT_EQ(straight.result.final_links[k].reservation,
+              resumed.result.final_links[k].reservation);
+    EXPECT_EQ(straight.result.final_links[k].occupancy,
+              resumed.result.final_links[k].occupancy);
+    EXPECT_EQ(straight.result.final_links[k].enabled, resumed.result.final_links[k].enabled);
+  }
+  EXPECT_EQ(straight.metrics_json, resumed.metrics_json);
+  ASSERT_EQ(straight.trace_lines.size(), resumed.trace_lines.size());
+  for (std::size_t i = 0; i < straight.trace_lines.size(); ++i) {
+    ASSERT_EQ(straight.trace_lines[i], resumed.trace_lines[i]) << "trace line " << i;
+  }
+}
+
+// Captures the checkpoint AND the trace records buffered up to it, the way
+// the sweep harness does -- so the resumed stream can be prefixed.
+struct CapturingSink final : snapshot::CheckpointSink {
+  obs::VectorTraceSink* collector{nullptr};
+  std::vector<snapshot::ScenarioCheckpoint> captured;
+  std::vector<std::vector<obs::TraceRecord>> prefixes;
+
+  void on_checkpoint(const snapshot::ScenarioCheckpoint& ck) override {
+    captured.push_back(ck);
+    prefixes.push_back(collector != nullptr ? collector->records
+                                            : std::vector<obs::TraceRecord>{});
+  }
+};
+
+scenario::ScenarioEngineOptions base_engine(const Model& m, bool legacy) {
+  scenario::ScenarioEngineOptions engine;
+  engine.warmup = 10.0;
+  engine.policy_seed = 7;
+  engine.time_bins = 8;
+  engine.max_alt_hops = m.hops;
+  engine.legacy_event_queue = legacy;
+  return engine;
+}
+
+std::vector<std::string> render(const std::vector<obs::TraceRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const obs::TraceRecord& r : records) lines.push_back(obs::JsonlTraceSink::format(r));
+  return lines;
+}
+
+// The driver: straight run vs capture-at-T / restore / continue, with full
+// observability on both sides.  `capture_legacy` / `resume_legacy` choose
+// each phase's queue engine independently.
+void expect_golden_invariant(const Model& m, const std::string& policy_kind, double capture_at,
+                             bool capture_legacy, bool resume_legacy) {
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 11);
+  const int nodes = m.graph.node_count();
+
+  // Straight run (under the RESUME engine, the one whose output the
+  // stitched run must reproduce -- engines are bit-identical anyway).
+  RunFingerprint straight;
+  {
+    obs::MetricRegistry registry;
+    obs::VectorTraceSink collector;
+    obs::Probe probe(&registry, &collector);
+    probe.grid(10.0, 1.0, 20);
+    scenario::ScenarioEngineOptions engine = base_engine(m, resume_legacy);
+    engine.probe = &probe;
+    const std::unique_ptr<loss::RoutingPolicy> policy = fresh_policy(policy_kind, nodes);
+    straight.result = scenario::run_scenario(m.graph, m.traffic, *policy, trace, m.scen, engine);
+    straight.metrics_json = registry.to_json();
+    straight.trace_lines = render(collector.records);
+  }
+
+  // Capture run: same inputs, a sink at `capture_at`.
+  CapturingSink sink;
+  obs::VectorTraceSink capture_collector;
+  {
+    obs::MetricRegistry registry;
+    obs::Probe probe(&registry, &capture_collector);
+    probe.grid(10.0, 1.0, 20);
+    sink.collector = &capture_collector;
+    scenario::ScenarioEngineOptions engine = base_engine(m, capture_legacy);
+    engine.probe = &probe;
+    engine.checkpoint_at = capture_at;
+    engine.checkpoints = &sink;
+    const std::unique_ptr<loss::RoutingPolicy> policy = fresh_policy(policy_kind, nodes);
+    (void)scenario::run_scenario(m.graph, m.traffic, *policy, trace, m.scen, engine);
+  }
+  ASSERT_EQ(sink.captured.size(), 1u) << m.name << " capture_at=" << capture_at;
+
+  // Resumed run: a FRESH policy (its learning state comes from the blob),
+  // fresh obs seeded with the prefix records.
+  RunFingerprint resumed;
+  {
+    obs::MetricRegistry registry;
+    obs::VectorTraceSink collector;
+    collector.records = sink.prefixes.front();
+    obs::Probe probe(&registry, &collector);
+    probe.grid(10.0, 1.0, 20);
+    scenario::ScenarioEngineOptions engine = base_engine(m, resume_legacy);
+    engine.probe = &probe;
+    engine.resume = &sink.captured.front();
+    const std::unique_ptr<loss::RoutingPolicy> policy = fresh_policy(policy_kind, nodes);
+    resumed.result = scenario::run_scenario(m.graph, m.traffic, *policy, trace, m.scen, engine);
+    resumed.metrics_json = registry.to_json();
+    resumed.trace_lines = render(collector.records);
+  }
+  expect_identical(straight, resumed);
+}
+
+TEST(SnapshotIdentity, QuadrangleControlledBothEngines) {
+  const Model m = quadrangle_model();
+  for (const bool legacy : {false, true}) {
+    expect_golden_invariant(m, "controlled-alt", 30.0, legacy, legacy);
+  }
+}
+
+TEST(SnapshotIdentity, QuadrangleCrossEngineCaptureAndResume) {
+  // Saved under the calendar queue, resumed under the heap -- and the
+  // reverse.  The logical (time, seq) multiset is the whole contract.
+  const Model m = quadrangle_model();
+  expect_golden_invariant(m, "controlled-alt", 30.0, /*capture=*/false, /*resume=*/true);
+  expect_golden_invariant(m, "controlled-alt", 30.0, /*capture=*/true, /*resume=*/false);
+}
+
+TEST(SnapshotIdentity, QuadrangleStatefulPolicyBlobRestores) {
+  // Sticky-random learns per-pair state and owns an RNG; both live in the
+  // policy blob, so the stitched run must still match exactly.
+  const Model m = quadrangle_model();
+  expect_golden_invariant(m, "sticky-random", 30.0, false, false);
+  expect_golden_invariant(m, "sticky-random", 30.0, true, true);
+}
+
+TEST(SnapshotIdentity, CaptureBoundariesIncludingEventTimes) {
+  // Capture right before, exactly at, and right after a scenario event,
+  // at the warm-up edge, and past the last arrival (the post-loop path).
+  const Model m = quadrangle_model();
+  for (const double at : {10.0, 24.9, 25.0, 25.1, 59.9}) {
+    expect_golden_invariant(m, "controlled-alt", at, false, false);
+  }
+}
+
+TEST(SnapshotIdentity, NsfnetControlledBothEnginesAndSticky) {
+  const Model m = nsfnet_model();
+  expect_golden_invariant(m, "controlled-alt", 22.0, false, false);
+  expect_golden_invariant(m, "controlled-alt", 22.0, true, true);
+  expect_golden_invariant(m, "sticky-random", 22.0, false, true);
+}
+
+TEST(SnapshotIdentity, ForkedBaselineMatchesStraightRun) {
+  // fork_runs with the original scenario is exactly "restore and continue":
+  // the baseline branch must reproduce the uninterrupted result.
+  const Model m = quadrangle_model();
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 11);
+
+  core::ControlledAlternatePolicy straight_policy;
+  const scenario::ScenarioRunResult straight = scenario::run_scenario(
+      m.graph, m.traffic, straight_policy, trace, m.scen, base_engine(m, false));
+
+  snapshot::BufferCheckpointSink sink;
+  scenario::ScenarioEngineOptions capture = base_engine(m, false);
+  capture.checkpoint_at = 30.0;
+  capture.checkpoints = &sink;
+  core::ControlledAlternatePolicy capture_policy;
+  (void)scenario::run_scenario(m.graph, m.traffic, capture_policy, trace, m.scen, capture);
+
+  // Two branches: the original future, and a divergent one (extra failure
+  // after the capture point) -- the divergent branch must be accepted and
+  // must differ, the baseline must match.
+  scenario::Scenario divergent = m.scen;
+  divergent.events.push_back(scenario::ScenarioEvent::link_fail(50.0, 1, 2));
+  core::ControlledAlternatePolicy baseline_policy;
+  core::ControlledAlternatePolicy divergent_policy;
+  snapshot::ForkOptions options;
+  options.engine = base_engine(m, false);
+  options.threads = 2;
+  const std::vector<snapshot::ForkOutcome> outcomes =
+      snapshot::fork_runs(m.graph, m.traffic, trace, sink.captured.front(),
+                          {{"baseline", m.scen, &baseline_policy},
+                           {"extra-failure", divergent, &divergent_policy}},
+                          options);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].result.run.offered, straight.run.offered);
+  EXPECT_EQ(outcomes[0].result.run.blocked, straight.run.blocked);
+  EXPECT_EQ(outcomes[0].result.run.carried_alternate, straight.run.carried_alternate);
+  EXPECT_EQ(outcomes[0].result.dropped, straight.dropped);
+  // The extra failure kills in-flight calls the baseline kept.
+  EXPECT_EQ(outcomes[1].result.run.offered, straight.run.offered);
+  EXPECT_GT(outcomes[1].result.applied.size(), straight.applied.size());
+}
+
+TEST(SnapshotIdentity, ResumeValidationIsPointed) {
+  const Model m = quadrangle_model();
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 11);
+  snapshot::BufferCheckpointSink sink;
+  scenario::ScenarioEngineOptions capture = base_engine(m, false);
+  capture.checkpoint_at = 30.0;
+  capture.checkpoints = &sink;
+  core::ControlledAlternatePolicy policy;
+  (void)scenario::run_scenario(m.graph, m.traffic, policy, trace, m.scen, capture);
+  const snapshot::ScenarioCheckpoint& ckpt = sink.captured.front();
+
+  const auto expect_rejects = [&](const net::Graph& graph, const sim::CallTrace& t,
+                                  const scenario::Scenario& s,
+                                  const scenario::ScenarioEngineOptions& engine,
+                                  const char* expected) {
+    core::ControlledAlternatePolicy p;
+    try {
+      (void)scenario::run_scenario(graph, m.traffic, p, t, s, engine);
+      FAIL() << "expected rejection: " << expected;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos) << e.what();
+    }
+  };
+
+  scenario::ScenarioEngineOptions resume = base_engine(m, false);
+  resume.resume = &ckpt;
+
+  // Wrong topology (node count).
+  expect_rejects(net::full_mesh(5, 40), trace, m.scen, resume, "node count");
+  // Wrong trace (different seed -> different length).
+  expect_rejects(m.graph, scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 12),
+                 m.scen, resume, "resume checkpoint");
+  // A scenario whose PREFIX diverges (an extra event before the capture:
+  // the count of already-due events no longer matches what was applied).
+  scenario::Scenario early = m.scen;
+  early.events.insert(early.events.begin() + 1,
+                      scenario::ScenarioEvent::capacity_scale(5.0, 2, 3, 0.9));
+  expect_rejects(m.graph, trace, early, resume, "diverges before the checkpoint");
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Snapshot primitives, property-tested: every stateful piece the
+// checkpoint stores must reproduce its EXACT observable stream after a
+// save/restore -- RNG draws, queue pops (including FIFO tie groups, and
+// across the two queue engines), arena handle sequences, and the codec's
+// own bytes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/slab_arena.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/format.hpp"
+
+namespace sim = altroute::sim;
+namespace snapshot = altroute::snapshot;
+
+namespace {
+
+// --- RNG stream -------------------------------------------------------------
+
+TEST(SnapshotRng, SavedStateResumesTheExactDrawStream) {
+  sim::Rng rng(0xfeedface);
+  for (int i = 0; i < 1000; ++i) (void)rng.uniform01();  // advance mid-stream
+
+  const std::array<std::uint64_t, 4> saved = rng.state();
+  std::vector<double> expected;
+  for (int i = 0; i < 500; ++i) expected.push_back(rng.uniform01());
+
+  sim::Rng restored(1);  // different seed: state must fully overwrite it
+  restored.set_state(saved);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(restored.uniform01(), expected[static_cast<std::size_t>(i)]) << "draw " << i;
+  }
+}
+
+TEST(SnapshotRng, AllZeroStateIsRejected) {
+  sim::Rng rng(7);
+  EXPECT_THROW(rng.set_state({0, 0, 0, 0}), std::invalid_argument);
+}
+
+// --- departure queues -------------------------------------------------------
+// One generic driver: build a queue with FIFO tie groups, pop part of it,
+// snapshot the logical contents, restore into a DIFFERENT engine, and
+// demand the identical remaining pop stream.  (time, seq) is the whole
+// ordering contract, so heap -> calendar and calendar -> heap must both
+// hold bit-for-bit.
+
+template <typename Queue>
+void fill_with_ties(Queue& q, sim::Rng& rng, int count) {
+  for (int i = 0; i < count; ++i) {
+    // Coarse times force large tie groups; payload identifies insertions.
+    const double time = static_cast<double>(static_cast<int>(rng.uniform01() * 16.0));
+    q.schedule(time, static_cast<std::uint64_t>(i));
+  }
+}
+
+template <typename Queue>
+std::vector<snapshot::QueueEntry> capture_queue(const Queue& q) {
+  std::vector<snapshot::QueueEntry> entries;
+  q.visit([&](double time, std::uint64_t seq, const std::uint64_t& payload) {
+    entries.push_back({time, seq, payload});
+  });
+  return entries;
+}
+
+template <typename From, typename To>
+void expect_cross_engine_stream(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  From original;
+  fill_with_ties(original, rng, 400);
+  for (int i = 0; i < 150; ++i) (void)original.pop();  // a mid-run shape
+
+  To restored;
+  for (const snapshot::QueueEntry& e : capture_queue(original)) {
+    restored.restore_entry(e.time, e.seq, e.payload);
+  }
+  restored.set_next_seq(original.next_seq());
+
+  // Drain both, interleaving fresh schedules so the restored counter's
+  // effect on future tie groups is exercised too.
+  int step = 0;
+  while (!original.empty()) {
+    const std::pair<double, std::uint64_t> a = original.pop();
+    const std::pair<double, std::uint64_t> b = restored.pop();
+    ASSERT_EQ(a.first, b.first) << "pop " << step << " time";
+    ASSERT_EQ(a.second, b.second) << "pop " << step << " payload";
+    if (step % 7 == 0) {
+      const double time = a.first + static_cast<double>(step % 3);
+      original.schedule(time, 1000000u + static_cast<std::uint64_t>(step));
+      restored.schedule(time, 1000000u + static_cast<std::uint64_t>(step));
+    }
+    ++step;
+  }
+  EXPECT_TRUE(restored.empty());
+}
+
+using HeapQ = sim::EventQueue<std::uint64_t>;
+using CalQ = sim::CalendarQueue<std::uint64_t>;
+
+TEST(SnapshotQueue, HeapToHeapReproducesThePopStream) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_cross_engine_stream<HeapQ, HeapQ>(seed);
+  }
+}
+
+TEST(SnapshotQueue, CalendarToCalendarReproducesThePopStream) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_cross_engine_stream<CalQ, CalQ>(seed);
+  }
+}
+
+TEST(SnapshotQueue, HeapSaveRestoresIntoCalendar) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_cross_engine_stream<HeapQ, CalQ>(seed);
+  }
+}
+
+TEST(SnapshotQueue, CalendarSaveRestoresIntoHeap) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_cross_engine_stream<CalQ, HeapQ>(seed);
+  }
+}
+
+// --- slab arena -------------------------------------------------------------
+
+TEST(SnapshotArena, RestoredLayoutReplaysHandleSequenceAndStaleness) {
+  sim::SlabArena<int> original;
+  sim::Rng rng(42);
+  std::vector<sim::SlabArena<int>::Handle> live;
+  std::vector<sim::SlabArena<int>::Handle> released;
+  for (int i = 0; i < 300; ++i) {
+    if (!live.empty() && rng.uniform01() < 0.4) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.uniform01() * static_cast<double>(live.size()));
+      original.release(live[victim]);
+      released.push_back(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const auto h = original.acquire();
+      original.value(h) = i;
+      live.push_back(h);
+    }
+  }
+
+  sim::SlabArena<int> restored;
+  restored.restore_layout(original.layout());
+
+  // Same live handles, in the same admission order, all stale handles dead.
+  auto a = original.oldest();
+  auto b = restored.oldest();
+  while (a != sim::SlabArena<int>::kInvalid) {
+    ASSERT_EQ(a, b);
+    a = original.next(a);
+    b = restored.next(b);
+  }
+  EXPECT_EQ(b, sim::SlabArena<int>::kInvalid);
+  for (const auto h : released) {
+    EXPECT_EQ(original.alive(h), restored.alive(h));
+    EXPECT_FALSE(restored.alive(h));
+  }
+
+  // The future acquire/release sequence produces identical handles.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(original.acquire(), restored.acquire()) << "acquire " << i;
+  }
+}
+
+// --- checkpoint codec -------------------------------------------------------
+
+snapshot::ScenarioCheckpoint sample_checkpoint() {
+  snapshot::ScenarioCheckpoint c;
+  c.checkpoint_at = 40.0;
+  c.advanced_to = 39.5;
+  c.next_call = 123;
+  c.next_event = 2;
+  c.traffic_factor = 1.25;
+  c.horizon = 110.0;
+  c.warmup = 10.0;
+  c.policy_seed = 77;
+  c.node_count = 4;
+  c.link_count = 12;
+  c.trace_calls = 500;
+  c.scenario_events = 3;
+  c.legacy_event_queue = 1;
+  c.max_alt_hops = 3;
+  c.time_bins = 10;
+  c.link_enabled = {1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  c.link_capacity.assign(12, 100);
+  c.occupancy.assign(12, 7);
+  c.reservation.assign(12, 2);
+  c.engine_rng = {1, 2, 3, 4};
+  c.policy = "sticky-random";
+  c.policy_state = {9, 8, 7};
+  c.departures.next_seq = 321;
+  c.departures.entries = {{40.5, 10, 55}, {41.0, 11, 56}};
+  c.arena.gens = {1, 2, 1};
+  c.arena.live_order = {0, 2};
+  c.arena.free_order = {1};
+  c.arena.calls = {{{0, 1}, {0}, 1, 0}, {{2, 0, 3}, {4, 1}, 2, 1}};
+  c.counters.offered = 400;
+  c.counters.blocked = 31;
+  c.counters.carried_primary = 350;
+  c.counters.carried_alternate = 19;
+  c.counters.per_pair.assign(4 * 4 * 4, 5);
+  c.counters.class_bandwidth = {1, 2};
+  c.counters.class_offered = {300, 100};
+  c.counters.class_blocked = {20, 11};
+  c.counters.carried_by_hops = {0, 350, 19};
+  c.counters.bin_offered.assign(10, 40);
+  c.counters.bin_blocked.assign(10, 3);
+  c.counters.dropped = 2;
+  c.counters.applied = {{40.0, 0, 2, 2}};
+  c.obs.present = 1;
+  c.obs.grid_cursor = 17;
+  c.obs.ints = {1, 2, 3};
+  c.obs.reals = {0.5, 0.25};
+  c.memo_lambda = {3.0, 4.5};
+  c.memo_capacity = {100, 100};
+  return c;
+}
+
+TEST(SnapshotCodec, EncodeDecodeEncodeIsByteStable) {
+  // decode(encode(c)) must lose nothing: re-encoding yields identical
+  // bytes, which is equality over every field without listing them.
+  const snapshot::ScenarioCheckpoint c = sample_checkpoint();
+  const std::vector<std::uint8_t> image =
+      snapshot::render_container(snapshot::encode_checkpoint(c));
+  const snapshot::ScenarioCheckpoint back =
+      snapshot::decode_checkpoint(snapshot::parse_container(image, "image"), "image");
+  const std::vector<std::uint8_t> image2 =
+      snapshot::render_container(snapshot::encode_checkpoint(back));
+  EXPECT_EQ(image, image2);
+}
+
+TEST(SnapshotCodec, FileSaveLoadRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "altroute_roundtrip.ckpt").string();
+  const snapshot::ScenarioCheckpoint c = sample_checkpoint();
+  snapshot::save_checkpoint(path, c);
+  const snapshot::ScenarioCheckpoint back = snapshot::load_checkpoint(path);
+  EXPECT_EQ(snapshot::render_container(snapshot::encode_checkpoint(back)),
+            snapshot::render_container(snapshot::encode_checkpoint(c)));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotCodec, SweepCarryFilesRoundTripAndSelfIdentify) {
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  snapshot::SweepTaskResult res;
+  res.fingerprint = "sweep-v1|whatever";
+  res.task = 3;
+  res.slots.resize(2);
+  res.slots[0].blocking = 0.125;
+  res.slots[0].pair_offered = {1, 2, 3, 4};
+  res.slots[1].obs.present = 1;
+  res.slots[1].obs.ints = {10};
+  res.slots[1].obs.reals = {2.5};
+  const std::string res_path = dir + "/altroute_task.res";
+  snapshot::save_sweep_task_result(res_path, res);
+  const snapshot::SweepTaskResult res_back = snapshot::load_sweep_task_result(res_path);
+  EXPECT_EQ(res_back.fingerprint, res.fingerprint);
+  EXPECT_EQ(res_back.task, 3u);
+  ASSERT_EQ(res_back.slots.size(), 2u);
+  EXPECT_EQ(res_back.slots[0].blocking, 0.125);
+  EXPECT_EQ(res_back.slots[0].pair_offered, res.slots[0].pair_offered);
+  EXPECT_EQ(res_back.slots[1].obs.ints, res.slots[1].obs.ints);
+
+  // A scenario checkpoint is NOT a task result; kinds must not mix.
+  const std::string ckpt_path = dir + "/altroute_task.ckpt";
+  snapshot::save_checkpoint(ckpt_path, sample_checkpoint());
+  try {
+    (void)snapshot::load_sweep_task_result(ckpt_path);
+    FAIL() << "a scenario checkpoint was accepted as a task result";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario-checkpoint"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(res_path);
+  std::filesystem::remove(ckpt_path);
+}
+
+}  // namespace

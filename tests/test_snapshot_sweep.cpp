@@ -1,0 +1,249 @@
+// Crash-tolerant sweeps: a sweep killed mid-flight and rerun with the same
+// checkpoint_dir must produce results, merged metrics, and a forwarded
+// trace stream BIT-IDENTICAL to a sweep that never died -- at any thread
+// count, whether the crash fell between tasks (completion-granular .res
+// carries) or mid-replication (periodic .ckpt files).  A carry directory
+// written under a different configuration must be rejected, never mixed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netgraph/topologies.hpp"
+#include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
+#include "study/experiment.hpp"
+
+using namespace altroute;
+
+namespace {
+
+net::Graph quad() { return net::full_mesh(4, 40); }
+net::TrafficMatrix quad_traffic() { return net::TrafficMatrix::uniform(4, 35.0); }
+
+scenario::Scenario transient() {
+  scenario::Scenario s;
+  s.name = "sweep transient";
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(0.0));
+  s.events.push_back(scenario::ScenarioEvent::link_fail(20.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(20.0));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(32.0, 0, 1));
+  return s;
+}
+
+const std::vector<study::PolicyKind> kPolicies = {study::PolicyKind::kSinglePath,
+                                                  study::PolicyKind::kControlledAlternate};
+
+study::ScenarioSweepOptions scenario_options(int threads) {
+  study::ScenarioSweepOptions options;
+  options.seeds = 4;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.threads = threads;
+  options.time_bins = 6;
+  options.obs.metrics = true;
+  options.obs.occupancy_samples = 10;
+  return options;
+}
+
+// A scratch carry directory, wiped on construction and destruction.
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const char* name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(std::filesystem::path(path)); }
+};
+
+void expect_equal(const study::ScenarioSweepResult& a, const study::ScenarioSweepResult& b,
+                  const std::vector<obs::TraceRecord>& trace_a,
+                  const std::vector<obs::TraceRecord>& trace_b) {
+  EXPECT_EQ(a.bin_start, b.bin_start);
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    EXPECT_EQ(a.curves[i].name, b.curves[i].name);
+    EXPECT_EQ(a.curves[i].mean_blocking, b.curves[i].mean_blocking) << a.curves[i].name;
+    EXPECT_EQ(a.curves[i].ci95, b.curves[i].ci95) << a.curves[i].name;
+    EXPECT_EQ(a.curves[i].dropped, b.curves[i].dropped) << a.curves[i].name;
+    EXPECT_EQ(a.curves[i].bin_offered, b.curves[i].bin_offered) << a.curves[i].name;
+    EXPECT_EQ(a.curves[i].bin_blocked, b.curves[i].bin_blocked) << a.curves[i].name;
+  }
+  ASSERT_EQ(a.applied.size(), b.applied.size());
+  for (std::size_t i = 0; i < a.applied.size(); ++i) {
+    EXPECT_EQ(a.applied[i].time, b.applied[i].time);
+    EXPECT_EQ(a.applied[i].kind, b.applied[i].kind);
+    EXPECT_EQ(a.applied[i].calls_killed, b.applied[i].calls_killed);
+  }
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].to_json(), b.metrics[i].to_json()) << "policy " << i;
+  }
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    ASSERT_EQ(obs::JsonlTraceSink::format(trace_a[i]), obs::JsonlTraceSink::format(trace_b[i]))
+        << "trace record " << i;
+  }
+}
+
+// The driver: one uninterrupted reference, then crash + resume with the
+// given knobs; everything must match.
+void expect_crash_resume_identical(int threads, double checkpoint_every, long long crash_after,
+                                   const char* dirname) {
+  const net::Graph g = quad();
+  const net::TrafficMatrix traffic = quad_traffic();
+  const scenario::Scenario scen = transient();
+
+  obs::VectorTraceSink reference_trace;
+  study::ScenarioSweepOptions reference = scenario_options(threads);
+  reference.obs.trace = &reference_trace;
+  const study::ScenarioSweepResult expected =
+      study::run_scenario_sweep(g, traffic, scen, kPolicies, reference);
+
+  ScratchDir dir(dirname);
+  study::ScenarioSweepOptions crashed = scenario_options(threads);
+  crashed.checkpoint_dir = dir.path;
+  crashed.checkpoint_every = checkpoint_every;
+  crashed.crash_after = crash_after;
+  obs::VectorTraceSink crashed_trace;
+  crashed.obs.trace = &crashed_trace;
+  EXPECT_THROW((void)study::run_scenario_sweep(g, traffic, scen, kPolicies, crashed),
+               std::runtime_error);
+
+  // The tasks before the crash left .res files behind; a mid-run crash
+  // additionally left the dying task's periodic checkpoint.
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/task-0.res"));
+  if (checkpoint_every > 0.0) {
+    EXPECT_TRUE(std::filesystem::exists(dir.path + "/task-" + std::to_string(crash_after) +
+                                        "-p0.ckpt"));
+  }
+
+  obs::VectorTraceSink resumed_trace;
+  study::ScenarioSweepOptions resumed = scenario_options(threads);
+  resumed.checkpoint_dir = dir.path;
+  resumed.checkpoint_every = checkpoint_every;
+  resumed.obs.trace = &resumed_trace;
+  const study::ScenarioSweepResult actual =
+      study::run_scenario_sweep(g, traffic, scen, kPolicies, resumed);
+
+  expect_equal(expected, actual, reference_trace.records, resumed_trace.records);
+  // Completion cleans up the dying task's mid-run checkpoints.
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/task-" + std::to_string(crash_after) +
+                                       "-p0.ckpt"));
+}
+
+TEST(SnapshotSweep, CompletionGranularCrashResumeIsIdentical) {
+  expect_crash_resume_identical(/*threads=*/1, /*checkpoint_every=*/0.0, /*crash_after=*/2,
+                                "altroute_sweep_completion");
+}
+
+TEST(SnapshotSweep, MidRunCrashResumeIsIdentical) {
+  expect_crash_resume_identical(/*threads=*/1, /*checkpoint_every=*/7.0, /*crash_after=*/1,
+                                "altroute_sweep_midrun");
+}
+
+TEST(SnapshotSweep, ThreadedCrashResumeIsIdentical) {
+  expect_crash_resume_identical(/*threads=*/3, /*checkpoint_every=*/5.0, /*crash_after=*/2,
+                                "altroute_sweep_threaded");
+}
+
+TEST(SnapshotSweep, WarmDirectoryShortCircuitsACleanRerun) {
+  // A complete carry directory turns the rerun into pure file loads; the
+  // results still match an uninterrupted sweep exactly.
+  const net::Graph g = quad();
+  const net::TrafficMatrix traffic = quad_traffic();
+  const scenario::Scenario scen = transient();
+
+  const study::ScenarioSweepResult expected =
+      study::run_scenario_sweep(g, traffic, scen, kPolicies, scenario_options(1));
+
+  ScratchDir dir("altroute_sweep_warm");
+  study::ScenarioSweepOptions first = scenario_options(1);
+  first.checkpoint_dir = dir.path;
+  (void)study::run_scenario_sweep(g, traffic, scen, kPolicies, first);
+  const study::ScenarioSweepResult reloaded =
+      study::run_scenario_sweep(g, traffic, scen, kPolicies, first);
+  expect_equal(expected, reloaded, {}, {});
+}
+
+TEST(SnapshotSweep, ChangedConfigurationIsRejected) {
+  const net::Graph g = quad();
+  const net::TrafficMatrix traffic = quad_traffic();
+  const scenario::Scenario scen = transient();
+
+  ScratchDir dir("altroute_sweep_mismatch");
+  study::ScenarioSweepOptions options = scenario_options(1);
+  options.checkpoint_dir = dir.path;
+  (void)study::run_scenario_sweep(g, traffic, scen, kPolicies, options);
+
+  options.base_seed += 1;  // any fingerprinted knob
+  try {
+    (void)study::run_scenario_sweep(g, traffic, scen, kPolicies, options);
+    FAIL() << "stale carry directory was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep configuration changed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotSweep, CheckpointEveryWithoutDirIsRejected) {
+  study::ScenarioSweepOptions options = scenario_options(1);
+  options.checkpoint_every = 5.0;
+  EXPECT_THROW(
+      (void)study::run_scenario_sweep(quad(), quad_traffic(), transient(), kPolicies, options),
+      std::invalid_argument);
+}
+
+// --- load sweeps (run_sweep): completion-granular carries -------------------
+
+study::SweepOptions load_options(int threads) {
+  study::SweepOptions options;
+  options.load_factors = {0.9, 1.1};
+  options.seeds = 3;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.threads = threads;
+  options.erlang_bound = false;
+  options.obs.metrics = true;
+  return options;
+}
+
+void expect_equal(const study::SweepResult& a, const study::SweepResult& b) {
+  EXPECT_EQ(a.load_factors, b.load_factors);
+  EXPECT_EQ(a.offered_erlangs, b.offered_erlangs);
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    EXPECT_EQ(a.curves[i].name, b.curves[i].name);
+    EXPECT_EQ(a.curves[i].mean_blocking, b.curves[i].mean_blocking);
+    EXPECT_EQ(a.curves[i].ci95, b.curves[i].ci95);
+    EXPECT_EQ(a.curves[i].alternate_fraction, b.curves[i].alternate_fraction);
+  }
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].to_json(), b.metrics[i].to_json());
+  }
+}
+
+TEST(SnapshotSweep, LoadSweepCrashResumeIsIdentical) {
+  const net::Graph g = quad();
+  const net::TrafficMatrix traffic = quad_traffic();
+
+  const study::SweepResult expected = study::run_sweep(g, traffic, kPolicies, load_options(2));
+
+  ScratchDir dir("altroute_load_sweep");
+  study::SweepOptions crashed = load_options(2);
+  crashed.checkpoint_dir = dir.path;
+  crashed.crash_after = 3;  // 2 load points x 3 seeds = 6 tasks; die mid-way
+  EXPECT_THROW((void)study::run_sweep(g, traffic, kPolicies, crashed), std::runtime_error);
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/task-0.res"));
+
+  study::SweepOptions resumed = load_options(2);
+  resumed.checkpoint_dir = dir.path;
+  expect_equal(expected, study::run_sweep(g, traffic, kPolicies, resumed));
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// altroute_ckpt: checkpoint-file inspector.
+//
+// Works on any container produced by src/snapshot -- scenario checkpoints
+// (--checkpoint-out / mid-run sweep .ckpt files) and sweep carry .res
+// files all share the sectioned format (format.hpp).
+//
+//   usage: altroute_ckpt dump FILE
+//            prints the header, the section table (tag, offset, size,
+//            CRC-32), the META self-identification, and -- for scenario
+//            checkpoints -- a capture-point summary.
+//
+//          altroute_ckpt diff A B
+//            compares two files section by section.  For two scenario
+//            checkpoints the first diverging FIELD is named (e.g.
+//            "CONF: advanced_to: 12.5 vs 13.25"); otherwise the first
+//            diverging byte offset within the section is reported.
+//            exit 0 = identical, 1 = files differ, 2 = bad usage / error.
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/format.hpp"
+
+using namespace altroute;
+
+namespace {
+
+// META kind of a parsed container (every snapshot file self-identifies).
+std::string meta_kind(const std::vector<snapshot::Section>& sections, const std::string& name) {
+  for (const snapshot::Section& s : sections) {
+    if (s.tag == "META") {
+      snapshot::SectionReader r(s);
+      return r.str();
+    }
+  }
+  throw std::invalid_argument("checkpoint '" + name + "': missing section 'META'");
+}
+
+int dump(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = snapshot::read_file_bytes(path);
+  const std::vector<snapshot::SectionInfo> table = snapshot::read_section_table(bytes, path);
+  const std::vector<snapshot::Section> sections = snapshot::parse_container(bytes, path);
+
+  std::printf("%s: %zu bytes, format v%u, %zu sections\n", path.c_str(), bytes.size(),
+              snapshot::kFormatVersion, table.size());
+  std::printf("  %-4s  %10s  %10s  %s\n", "tag", "offset", "size", "crc32");
+  for (const snapshot::SectionInfo& s : table) {
+    std::printf("  %-4s  %10" PRIu64 "  %10" PRIu64 "  %08x\n", s.tag.c_str(), s.offset, s.size,
+                s.crc);
+  }
+
+  const std::string kind = meta_kind(sections, path);
+  std::printf("kind: %s\n", kind.c_str());
+  if (kind == "scenario-checkpoint") {
+    const snapshot::ScenarioCheckpoint c = snapshot::decode_checkpoint(sections, path);
+    std::printf("  captured at t=%g (advanced to %g), call %" PRIu64 "/%" PRIu64
+                ", scenario event %" PRIu64 "/%" PRIu64 "\n",
+                c.checkpoint_at, c.advanced_to, c.next_call, c.trace_calls, c.next_event,
+                c.scenario_events);
+    std::printf("  network: %d nodes, %d links; horizon %g, warmup %g, H=%d, bins=%d\n",
+                c.node_count, c.link_count, c.horizon, c.warmup, c.max_alt_hops, c.time_bins);
+    std::printf("  policy: %s (%zu state bytes), engine: %s\n", c.policy.c_str(),
+                c.policy_state.size(), c.legacy_event_queue != 0 ? "heap" : "calendar");
+    std::printf("  in flight: %zu calls, %zu queued departures (next seq %" PRIu64 ")\n",
+                c.arena.calls.size(), c.departures.entries.size(), c.departures.next_seq);
+    std::printf("  counters: offered %" PRId64 ", blocked %" PRId64 ", carried %" PRId64
+                "+%" PRId64 ", dropped %" PRId64 "\n",
+                c.counters.offered, c.counters.blocked, c.counters.carried_primary,
+                c.counters.carried_alternate, c.counters.dropped);
+  }
+  return 0;
+}
+
+// --- field-level diff of two scenario checkpoints ---------------------------
+// Walks the logical fields in section order and reports the FIRST
+// divergence by name.  Returns true when a difference was printed.
+
+std::string fmt_f(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+std::string fmt_i(std::int64_t v) { return std::to_string(v); }
+
+struct FieldDiff {
+  bool found{false};
+  std::string text;
+
+  // First hit wins; later checks are no-ops.
+  void hit(const char* section, const std::string& field, const std::string& a,
+           const std::string& b) {
+    if (found) return;
+    found = true;
+    text = std::string(section) + ": " + field + ": " + a + " vs " + b;
+  }
+  void f(const char* s, const char* n, double a, double b) {
+    if (a != b) hit(s, n, fmt_f(a), fmt_f(b));
+  }
+  void u(const char* s, const char* n, std::uint64_t a, std::uint64_t b) {
+    if (a != b) hit(s, n, fmt_u(a), fmt_u(b));
+  }
+  void i(const char* s, const char* n, std::int64_t a, std::int64_t b) {
+    if (a != b) hit(s, n, fmt_i(a), fmt_i(b));
+  }
+  void str(const char* s, const char* n, const std::string& a, const std::string& b) {
+    if (a != b) hit(s, n, "'" + a + "'", "'" + b + "'");
+  }
+  template <class T>
+  void vec(const char* s, const char* n, const std::vector<T>& a, const std::vector<T>& b) {
+    if (found) return;
+    if (a.size() != b.size()) {
+      hit(s, std::string(n) + ".size", fmt_u(a.size()), fmt_u(b.size()));
+      return;
+    }
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (!(a[k] == b[k])) {
+        hit(s, std::string(n) + "[" + std::to_string(k) + "]",
+            fmt_f(static_cast<double>(a[k])), fmt_f(static_cast<double>(b[k])));
+        return;
+      }
+    }
+  }
+};
+
+bool diff_checkpoints(const snapshot::ScenarioCheckpoint& a,
+                      const snapshot::ScenarioCheckpoint& b) {
+  FieldDiff d;
+  d.f("CONF", "checkpoint_at", a.checkpoint_at, b.checkpoint_at);
+  d.f("CONF", "advanced_to", a.advanced_to, b.advanced_to);
+  d.u("CONF", "next_call", a.next_call, b.next_call);
+  d.u("CONF", "next_event", a.next_event, b.next_event);
+  d.f("CONF", "traffic_factor", a.traffic_factor, b.traffic_factor);
+  d.f("CONF", "horizon", a.horizon, b.horizon);
+  d.f("CONF", "warmup", a.warmup, b.warmup);
+  d.u("CONF", "policy_seed", a.policy_seed, b.policy_seed);
+  d.i("CONF", "node_count", a.node_count, b.node_count);
+  d.i("CONF", "link_count", a.link_count, b.link_count);
+  d.u("CONF", "trace_calls", a.trace_calls, b.trace_calls);
+  d.u("CONF", "scenario_events", a.scenario_events, b.scenario_events);
+  d.u("CONF", "legacy_event_queue", a.legacy_event_queue, b.legacy_event_queue);
+  d.i("CONF", "max_alt_hops", a.max_alt_hops, b.max_alt_hops);
+  d.i("CONF", "time_bins", a.time_bins, b.time_bins);
+  d.vec("GRPH", "link_enabled", a.link_enabled, b.link_enabled);
+  d.vec("GRPH", "link_capacity", a.link_capacity, b.link_capacity);
+  d.vec("NETS", "occupancy", a.occupancy, b.occupancy);
+  d.vec("NETS", "reservation", a.reservation, b.reservation);
+  for (std::size_t k = 0; k < 4; ++k) {
+    d.u("RNGS", ("engine_rng[" + std::to_string(k) + "]").c_str(), a.engine_rng[k],
+        b.engine_rng[k]);
+  }
+  d.str("POLS", "policy", a.policy, b.policy);
+  d.vec("POLS", "policy_state", a.policy_state, b.policy_state);
+  d.u("EVTQ", "next_seq", a.departures.next_seq, b.departures.next_seq);
+  if (!d.found && a.departures.entries.size() != b.departures.entries.size()) {
+    d.hit("EVTQ", "entries.size", fmt_u(a.departures.entries.size()),
+          fmt_u(b.departures.entries.size()));
+  }
+  for (std::size_t k = 0; !d.found && k < a.departures.entries.size(); ++k) {
+    const std::string p = "entries[" + std::to_string(k) + "].";
+    d.f("EVTQ", (p + "time").c_str(), a.departures.entries[k].time, b.departures.entries[k].time);
+    d.u("EVTQ", (p + "seq").c_str(), a.departures.entries[k].seq, b.departures.entries[k].seq);
+    d.u("EVTQ", (p + "payload").c_str(), a.departures.entries[k].payload,
+        b.departures.entries[k].payload);
+  }
+  d.vec("ARNA", "gens", a.arena.gens, b.arena.gens);
+  d.vec("ARNA", "live_order", a.arena.live_order, b.arena.live_order);
+  d.vec("ARNA", "free_order", a.arena.free_order, b.arena.free_order);
+  if (!d.found && a.arena.calls.size() != b.arena.calls.size()) {
+    d.hit("ARNA", "calls.size", fmt_u(a.arena.calls.size()), fmt_u(b.arena.calls.size()));
+  }
+  for (std::size_t k = 0; !d.found && k < a.arena.calls.size(); ++k) {
+    const std::string p = "calls[" + std::to_string(k) + "].";
+    d.vec("ARNA", (p + "nodes").c_str(), a.arena.calls[k].nodes, b.arena.calls[k].nodes);
+    d.vec("ARNA", (p + "links").c_str(), a.arena.calls[k].links, b.arena.calls[k].links);
+    d.i("ARNA", (p + "units").c_str(), a.arena.calls[k].units, b.arena.calls[k].units);
+    d.u("ARNA", (p + "alternate").c_str(), a.arena.calls[k].alternate,
+        b.arena.calls[k].alternate);
+  }
+  d.i("CNTR", "offered", a.counters.offered, b.counters.offered);
+  d.i("CNTR", "blocked", a.counters.blocked, b.counters.blocked);
+  d.i("CNTR", "carried_primary", a.counters.carried_primary, b.counters.carried_primary);
+  d.i("CNTR", "carried_alternate", a.counters.carried_alternate, b.counters.carried_alternate);
+  d.vec("CNTR", "per_pair", a.counters.per_pair, b.counters.per_pair);
+  d.vec("CNTR", "class_bandwidth", a.counters.class_bandwidth, b.counters.class_bandwidth);
+  d.vec("CNTR", "class_offered", a.counters.class_offered, b.counters.class_offered);
+  d.vec("CNTR", "class_blocked", a.counters.class_blocked, b.counters.class_blocked);
+  d.vec("CNTR", "carried_by_hops", a.counters.carried_by_hops, b.counters.carried_by_hops);
+  d.vec("CNTR", "bin_offered", a.counters.bin_offered, b.counters.bin_offered);
+  d.vec("CNTR", "bin_blocked", a.counters.bin_blocked, b.counters.bin_blocked);
+  d.i("CNTR", "dropped", a.counters.dropped, b.counters.dropped);
+  if (!d.found && a.counters.applied.size() != b.counters.applied.size()) {
+    d.hit("CNTR", "applied.size", fmt_u(a.counters.applied.size()),
+          fmt_u(b.counters.applied.size()));
+  }
+  for (std::size_t k = 0; !d.found && k < a.counters.applied.size(); ++k) {
+    const std::string p = "applied[" + std::to_string(k) + "].";
+    d.f("CNTR", (p + "time").c_str(), a.counters.applied[k].time, b.counters.applied[k].time);
+    d.i("CNTR", (p + "kind").c_str(), a.counters.applied[k].kind, b.counters.applied[k].kind);
+    d.i("CNTR", (p + "links_changed").c_str(), a.counters.applied[k].links_changed,
+        b.counters.applied[k].links_changed);
+    d.i("CNTR", (p + "calls_killed").c_str(), a.counters.applied[k].calls_killed,
+        b.counters.applied[k].calls_killed);
+  }
+  d.u("OBSM", "present", a.obs.present, b.obs.present);
+  d.i("OBSM", "grid_cursor", a.obs.grid_cursor, b.obs.grid_cursor);
+  d.vec("OBSM", "ints", a.obs.ints, b.obs.ints);
+  d.vec("OBSM", "reals", a.obs.reals, b.obs.reals);
+  d.vec("MEMO", "memo_lambda", a.memo_lambda, b.memo_lambda);
+  d.vec("MEMO", "memo_capacity", a.memo_capacity, b.memo_capacity);
+  if (d.found) std::printf("%s\n", d.text.c_str());
+  return d.found;
+}
+
+int diff(const std::string& path_a, const std::string& path_b) {
+  const std::vector<snapshot::Section> a =
+      snapshot::parse_container(snapshot::read_file_bytes(path_a), path_a);
+  const std::vector<snapshot::Section> b =
+      snapshot::parse_container(snapshot::read_file_bytes(path_b), path_b);
+
+  // Section roster first: a missing/extra section is the coarsest diff.
+  bool differ = false;
+  for (const snapshot::Section& s : a) {
+    bool present = false;
+    for (const snapshot::Section& t : b) present = present || t.tag == s.tag;
+    if (!present) {
+      std::printf("%s: only in %s\n", s.tag.c_str(), path_a.c_str());
+      differ = true;
+    }
+  }
+  for (const snapshot::Section& t : b) {
+    bool present = false;
+    for (const snapshot::Section& s : a) present = present || s.tag == t.tag;
+    if (!present) {
+      std::printf("%s: only in %s\n", t.tag.c_str(), path_b.c_str());
+      differ = true;
+    }
+  }
+  if (differ) return 1;
+
+  const std::string kind_a = meta_kind(a, path_a);
+  const std::string kind_b = meta_kind(b, path_b);
+  if (kind_a != kind_b) {
+    std::printf("META: kind: '%s' vs '%s'\n", kind_a.c_str(), kind_b.c_str());
+    return 1;
+  }
+
+  if (kind_a == "scenario-checkpoint") {
+    // Same roster + decodable: name the first diverging logical field.
+    if (diff_checkpoints(snapshot::decode_checkpoint(a, path_a),
+                         snapshot::decode_checkpoint(b, path_b))) {
+      return 1;
+    }
+    std::printf("identical (%zu sections)\n", a.size());
+    return 0;
+  }
+
+  // Sweep carry files: byte-level per section, first diverging offset.
+  for (const snapshot::Section& s : a) {
+    for (const snapshot::Section& t : b) {
+      if (t.tag != s.tag) continue;
+      const std::size_t n = s.bytes.size() < t.bytes.size() ? s.bytes.size() : t.bytes.size();
+      std::size_t k = 0;
+      while (k < n && s.bytes[k] == t.bytes[k]) ++k;
+      if (k < n || s.bytes.size() != t.bytes.size()) {
+        std::printf("%s: first divergence at byte %zu (sizes %zu vs %zu)\n", s.tag.c_str(), k,
+                    s.bytes.size(), t.bytes.size());
+        differ = true;
+      }
+    }
+  }
+  if (!differ) std::printf("identical (%zu sections)\n", a.size());
+  return differ ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::string(argv[1]) == "dump") return dump(argv[2]);
+    if (argc == 4 && std::string(argv[1]) == "diff") return diff(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altroute_ckpt: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "usage: altroute_ckpt dump FILE | altroute_ckpt diff A B\n");
+  return 2;
+}
