@@ -1,0 +1,443 @@
+#include "check/case.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "loss/policies.hpp"
+#include "netgraph/io.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/json.hpp"
+#include "scenario/parse.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::check {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& why) {
+  throw std::invalid_argument("CaseSpec: " + why);
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf);
+}
+
+/// True when the unordered pair {a, b} is facility `f`.
+bool facility_matches(const FacilitySpec& f, int a, int b) {
+  return (f.a == a && f.b == b) || (f.a == b && f.b == a);
+}
+
+bool event_names_facility(const scenario::ScenarioEvent& e) {
+  switch (e.kind) {
+    case scenario::EventKind::kLinkFail:
+    case scenario::EventKind::kLinkRepair:
+    case scenario::EventKind::kCapacitySet:
+    case scenario::EventKind::kCapacityScale:
+      return true;
+    case scenario::EventKind::kTrafficScale:
+    case scenario::EventKind::kResolveProtection:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view policy_choice_name(PolicyChoice choice) {
+  switch (choice) {
+    case PolicyChoice::kSinglePath: return "single-path";
+    case PolicyChoice::kUncontrolled: return "uncontrolled-alt";
+    case PolicyChoice::kControlled: return "controlled-alt";
+  }
+  return "controlled-alt";
+}
+
+void CaseSpec::validate() const {
+  if (nodes < 2) reject("needs at least 2 nodes, has " + std::to_string(nodes));
+  if (facilities.empty()) reject("needs at least one facility");
+  for (std::size_t i = 0; i < facilities.size(); ++i) {
+    const FacilitySpec& f = facilities[i];
+    if (f.a < 0 || f.a >= nodes || f.b < 0 || f.b >= nodes) {
+      reject("facility " + std::to_string(i) + " endpoint outside [0, " +
+             std::to_string(nodes) + ")");
+    }
+    if (f.a == f.b) reject("facility " + std::to_string(i) + " is a self-loop");
+    if (f.capacity < 1) reject("facility " + std::to_string(i) + " has capacity < 1");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (facility_matches(facilities[j], f.a, f.b)) {
+        reject("facilities " + std::to_string(j) + " and " + std::to_string(i) +
+               " connect the same node pair");
+      }
+    }
+  }
+  if (demands.size() != static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes)) {
+    reject("demand matrix has " + std::to_string(demands.size()) + " entries, needs " +
+           std::to_string(nodes) + "x" + std::to_string(nodes));
+  }
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      const double d = demands[static_cast<std::size_t>(i) * nodes + j];
+      if (!(d >= 0.0) || !std::isfinite(d)) {
+        reject("demand (" + std::to_string(i) + ", " + std::to_string(j) +
+               ") is negative or non-finite");
+      }
+      if (i == j && d != 0.0) reject("demand diagonal must be zero");
+    }
+  }
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) reject("horizon must be positive");
+  if (!(warmup >= 0.0) || warmup >= horizon) reject("warmup must lie in [0, horizon)");
+  if (time_bins < 0) reject("time_bins must be >= 0");
+  if (max_alt_hops < 1) reject("max_alt_hops must be >= 1");
+  if (resume_at >= 0.0 && resume_at > horizon) reject("resume_at must be <= horizon");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const scenario::ScenarioEvent& e = events[i];
+    if (!event_names_facility(e)) continue;
+    const bool known = std::any_of(facilities.begin(), facilities.end(), [&](const auto& f) {
+      return facility_matches(f, e.node_a, e.node_b);
+    });
+    if (!known) {
+      reject("event " + std::to_string(i) + " names facility (" + std::to_string(e.node_a) +
+             ", " + std::to_string(e.node_b) + ") which does not exist");
+    }
+  }
+  scenario().validate();
+}
+
+net::Graph CaseSpec::graph() const {
+  net::Graph g(nodes);
+  for (const FacilitySpec& f : facilities) {
+    g.add_duplex(net::NodeId(f.a), net::NodeId(f.b), f.capacity);
+  }
+  return g;
+}
+
+net::TrafficMatrix CaseSpec::traffic() const {
+  net::TrafficMatrix t(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      const double d = demands[static_cast<std::size_t>(i) * nodes + j];
+      if (i != j && d > 0.0) t.set(net::NodeId(i), net::NodeId(j), d);
+    }
+  }
+  return t;
+}
+
+scenario::Scenario CaseSpec::scenario() const {
+  scenario::Scenario s;
+  s.name = "case-" + std::to_string(seed);
+  s.events = events;
+  return s;
+}
+
+sim::CallTrace CaseSpec::trace() const {
+  return scenario::make_scenario_trace(traffic(), scenario(), horizon, trace_seed);
+}
+
+std::unique_ptr<loss::RoutingPolicy> CaseSpec::make_policy() const {
+  switch (policy) {
+    case PolicyChoice::kSinglePath: return std::make_unique<loss::SinglePathPolicy>();
+    case PolicyChoice::kUncontrolled:
+      return std::make_unique<loss::UncontrolledAlternatePolicy>();
+    case PolicyChoice::kControlled:
+      return std::make_unique<core::ControlledAlternatePolicy>();
+  }
+  return std::make_unique<core::ControlledAlternatePolicy>();
+}
+
+std::vector<int> CaseSpec::reservations() const {
+  if (!protect) return {};
+  const net::Graph g = graph();
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, max_alt_hops);
+  return core::protection_levels(g, routes, traffic(), max_alt_hops);
+}
+
+CaseSpec generate_case(std::uint64_t case_seed) {
+  sim::Rng rng(case_seed, 0xCA5E);
+  CaseSpec spec;
+  spec.seed = case_seed;
+  spec.nodes = 2 + static_cast<int>(rng.below(7));  // 2..8
+
+  // Ring 0-1-...-(n-1)-0 guarantees a connected (indeed 2-connected) mesh
+  // with alternates around every facility; chords thicken it.
+  const int n = spec.nodes;
+  if (n == 2) {
+    spec.facilities.push_back({0, 1, 0});
+  } else {
+    for (int i = 0; i + 1 < n; ++i) spec.facilities.push_back({i, i + 1, 0});
+    spec.facilities.push_back({0, n - 1, 0});
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool ring = std::any_of(spec.facilities.begin(), spec.facilities.end(),
+                                    [&](const auto& f) { return facility_matches(f, a, b); });
+      if (!ring && rng.uniform01() < 0.35) spec.facilities.push_back({a, b, 0});
+    }
+  }
+  double capacity_sum = 0.0;
+  for (FacilitySpec& f : spec.facilities) {
+    f.capacity = 2 + static_cast<int>(rng.below(14));  // 2..15
+    capacity_sum += f.capacity;
+  }
+  const double mean_capacity = capacity_sum / static_cast<double>(spec.facilities.size());
+
+  // Per-pair loads comparable to the mean facility capacity: many pairs
+  // share links, so this reliably produces blocking AND alternate overflow
+  // without starving the clean-admission path.
+  spec.demands.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j || rng.uniform01() >= 0.75) continue;
+      spec.demands[static_cast<std::size_t>(i) * n + j] =
+          (0.2 + 0.8 * rng.uniform01()) * mean_capacity;
+    }
+  }
+
+  spec.horizon = 20.0 + 20.0 * rng.uniform01();
+  spec.warmup = rng.uniform01() < 0.6 ? 0.0 : 5.0 * rng.uniform01();
+  spec.time_bins = rng.uniform01() < 0.5 ? 0 : 4 + static_cast<int>(rng.below(5));
+  spec.max_alt_hops = 2 + static_cast<int>(rng.below(3));  // 2..4
+  const std::uint64_t policy_pick = rng.below(4);
+  spec.policy = policy_pick == 0   ? PolicyChoice::kSinglePath
+                : policy_pick == 1 ? PolicyChoice::kUncontrolled
+                                   : PolicyChoice::kControlled;
+  spec.protect = rng.uniform01() < 0.7;
+  spec.auto_resolve = rng.uniform01() < 0.3;
+  spec.trace_seed = rng();
+  spec.policy_seed = rng();
+  spec.resume_at = rng.uniform01() * spec.horizon;
+
+  const int event_count = static_cast<int>(rng.below(7));  // 0..6
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(event_count));
+  for (int e = 0; e < event_count; ++e) times.push_back(rng.uniform01() * spec.horizon);
+  std::sort(times.begin(), times.end());
+  for (const double t : times) {
+    const std::size_t f = rng.below(spec.facilities.size());
+    const int a = spec.facilities[f].a;
+    const int b = spec.facilities[f].b;
+    switch (rng.below(6)) {
+      case 0: spec.events.push_back(scenario::ScenarioEvent::link_fail(t, a, b)); break;
+      case 1: spec.events.push_back(scenario::ScenarioEvent::link_repair(t, a, b)); break;
+      case 2:
+        spec.events.push_back(scenario::ScenarioEvent::capacity_set(
+            t, a, b, 1 + static_cast<int>(rng.below(20))));
+        break;
+      case 3:
+        spec.events.push_back(
+            scenario::ScenarioEvent::capacity_scale(t, a, b, 0.3 + 2.2 * rng.uniform01()));
+        break;
+      case 4:
+        spec.events.push_back(
+            scenario::ScenarioEvent::traffic_scale(t, 0.25 + 1.75 * rng.uniform01()));
+        break;
+      default: spec.events.push_back(scenario::ScenarioEvent::resolve_protection(t)); break;
+    }
+  }
+  return spec;
+}
+
+// --- JSON --------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t u64_from_string(const std::string& text, const char* what) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("case json: field '" + std::string(what) +
+                                "' must be a decimal uint64 string, got '" + text + "'");
+  }
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("case json: field '" + std::string(what) +
+                                "' does not fit in 64 bits: '" + text + "'");
+  }
+}
+
+const scenario::JsonValue& require(const scenario::JsonValue& root, const char* key) {
+  const scenario::JsonValue* v = root.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("case json: missing required field '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+double require_number(const scenario::JsonValue& root, const char* key) {
+  const scenario::JsonValue& v = require(root, key);
+  if (!v.is_number()) {
+    throw std::invalid_argument("case json: field '" + std::string(key) + "' must be a number");
+  }
+  return v.number;
+}
+
+int require_int(const scenario::JsonValue& root, const char* key) {
+  const double d = require_number(root, key);
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    throw std::invalid_argument("case json: field '" + std::string(key) +
+                                "' must be an integer");
+  }
+  return i;
+}
+
+bool require_bool(const scenario::JsonValue& root, const char* key) {
+  const scenario::JsonValue& v = require(root, key);
+  if (v.kind != scenario::JsonValue::Kind::kBool) {
+    throw std::invalid_argument("case json: field '" + std::string(key) + "' must be a bool");
+  }
+  return v.boolean;
+}
+
+std::uint64_t require_seed(const scenario::JsonValue& root, const char* key) {
+  const scenario::JsonValue& v = require(root, key);
+  if (!v.is_string()) {
+    throw std::invalid_argument("case json: field '" + std::string(key) +
+                                "' must be a decimal string (u64 seeds do not survive JSON "
+                                "numbers)");
+  }
+  return u64_from_string(v.string, key);
+}
+
+}  // namespace
+
+std::string case_to_json(const CaseSpec& spec) {
+  std::string out = "{\n";
+  out += "  \"format\": 1,\n";
+  out += "  \"seed\": \"" + std::to_string(spec.seed) + "\",\n";
+  out += "  \"nodes\": " + std::to_string(spec.nodes) + ",\n";
+  out += "  \"horizon\": " + format_double(spec.horizon) + ",\n";
+  out += "  \"warmup\": " + format_double(spec.warmup) + ",\n";
+  out += "  \"time_bins\": " + std::to_string(spec.time_bins) + ",\n";
+  out += "  \"max_alt_hops\": " + std::to_string(spec.max_alt_hops) + ",\n";
+  out += "  \"policy\": \"" + std::string(policy_choice_name(spec.policy)) + "\",\n";
+  out += std::string("  \"protect\": ") + (spec.protect ? "true" : "false") + ",\n";
+  out += std::string("  \"auto_resolve\": ") + (spec.auto_resolve ? "true" : "false") + ",\n";
+  out += "  \"trace_seed\": \"" + std::to_string(spec.trace_seed) + "\",\n";
+  out += "  \"policy_seed\": \"" + std::to_string(spec.policy_seed) + "\",\n";
+  out += "  \"resume_at\": " + format_double(spec.resume_at) + ",\n";
+  out += "  \"facilities\": [";
+  for (std::size_t i = 0; i < spec.facilities.size(); ++i) {
+    const FacilitySpec& f = spec.facilities[i];
+    out += (i > 0 ? ", [" : "[") + std::to_string(f.a) + ", " + std::to_string(f.b) + ", " +
+           std::to_string(f.capacity) + "]";
+  }
+  out += "],\n";
+  out += "  \"demands\": [";
+  bool first = true;
+  for (int i = 0; i < spec.nodes; ++i) {
+    for (int j = 0; j < spec.nodes; ++j) {
+      const double d = spec.demands[static_cast<std::size_t>(i) * spec.nodes + j];
+      if (d == 0.0) continue;
+      out += (first ? "[" : ", [") + std::to_string(i) + ", " + std::to_string(j) + ", " +
+             format_double(d) + "]";
+      first = false;
+    }
+  }
+  out += "],\n";
+  out += "  \"scenario\": " + scenario::scenario_to_json(spec.scenario()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+CaseSpec case_from_json(std::string_view json_text) {
+  const scenario::JsonValue root = scenario::parse_json(json_text);
+  if (!root.is_object()) {
+    throw std::invalid_argument("case json: top-level value must be an object");
+  }
+  if (require_int(root, "format") != 1) {
+    throw std::invalid_argument("case json: unsupported format version");
+  }
+  CaseSpec spec;
+  spec.seed = require_seed(root, "seed");
+  spec.nodes = require_int(root, "nodes");
+  if (spec.nodes < 2) throw std::invalid_argument("case json: nodes must be >= 2");
+  spec.horizon = require_number(root, "horizon");
+  spec.warmup = require_number(root, "warmup");
+  spec.time_bins = require_int(root, "time_bins");
+  spec.max_alt_hops = require_int(root, "max_alt_hops");
+  const scenario::JsonValue& policy = require(root, "policy");
+  if (!policy.is_string()) throw std::invalid_argument("case json: 'policy' must be a string");
+  if (policy.string == "single-path") {
+    spec.policy = PolicyChoice::kSinglePath;
+  } else if (policy.string == "uncontrolled-alt") {
+    spec.policy = PolicyChoice::kUncontrolled;
+  } else if (policy.string == "controlled-alt") {
+    spec.policy = PolicyChoice::kControlled;
+  } else {
+    throw std::invalid_argument("case json: unknown policy '" + policy.string + "'");
+  }
+  spec.protect = require_bool(root, "protect");
+  spec.auto_resolve = require_bool(root, "auto_resolve");
+  spec.trace_seed = require_seed(root, "trace_seed");
+  spec.policy_seed = require_seed(root, "policy_seed");
+  spec.resume_at = require_number(root, "resume_at");
+
+  const scenario::JsonValue& facilities = require(root, "facilities");
+  if (!facilities.is_array()) {
+    throw std::invalid_argument("case json: 'facilities' must be an array");
+  }
+  for (const scenario::JsonValue& row : facilities.array) {
+    if (!row.is_array() || row.array.size() != 3 || !row.array[0].is_number() ||
+        !row.array[1].is_number() || !row.array[2].is_number()) {
+      throw std::invalid_argument("case json: each facility must be [a, b, capacity]");
+    }
+    spec.facilities.push_back({static_cast<int>(row.array[0].number),
+                               static_cast<int>(row.array[1].number),
+                               static_cast<int>(row.array[2].number)});
+  }
+  spec.demands.assign(
+      static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes), 0.0);
+  const scenario::JsonValue& demands = require(root, "demands");
+  if (!demands.is_array()) throw std::invalid_argument("case json: 'demands' must be an array");
+  for (const scenario::JsonValue& row : demands.array) {
+    if (!row.is_array() || row.array.size() != 3 || !row.array[0].is_number() ||
+        !row.array[1].is_number() || !row.array[2].is_number()) {
+      throw std::invalid_argument("case json: each demand must be [src, dst, erlangs]");
+    }
+    const int i = static_cast<int>(row.array[0].number);
+    const int j = static_cast<int>(row.array[1].number);
+    if (i < 0 || i >= spec.nodes || j < 0 || j >= spec.nodes) {
+      throw std::invalid_argument("case json: demand endpoint outside the node range");
+    }
+    spec.demands[static_cast<std::size_t>(i) * spec.nodes + j] = row.array[2].number;
+  }
+  spec.events = scenario::scenario_from_value(require(root, "scenario")).events;
+  spec.validate();
+  return spec;
+}
+
+CaseSpec load_case(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_case: cannot open '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("load_case: error reading '" + path + "'");
+  return case_from_json(text);
+}
+
+void dump_case_artifacts(const std::string& dir, const CaseSpec& spec,
+                         const std::vector<std::string>& failures) {
+  std::filesystem::create_directories(dir);
+  const auto write_file = [&](const char* name, const std::string& body) {
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+    if (!out) throw std::runtime_error("dump_case_artifacts: cannot write '" + path + "'");
+  };
+  write_file("case.json", case_to_json(spec));
+  write_file("scenario.json", scenario::scenario_to_json(spec.scenario()));
+  net::save_network(dir + "/network.txt", spec.graph());
+  net::save_traffic(dir + "/traffic.txt", spec.traffic());
+  std::string repro = "failing case seed " + std::to_string(spec.seed) + "\n\n";
+  for (const std::string& f : failures) repro += "  - " + f + "\n";
+  repro += "\nreplay with:\n  altroute_check --replay " + dir + "/case.json\n";
+  write_file("repro.txt", repro);
+}
+
+}  // namespace altroute::check

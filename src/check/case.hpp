@@ -1,0 +1,111 @@
+// Randomized test-case universe of the model-based checker.
+//
+// A CaseSpec is a COMPLETE, self-contained description of one simulation
+// scenario drawn from seeded distributions: a connected general mesh with
+// per-facility capacities, an offered-traffic matrix heavy enough to
+// block, a routing-policy configuration, a scripted event Scenario, and a
+// resume point.  Everything downstream -- graph, trace, reservations,
+// policy object -- is materialized deterministically from the spec, so a
+// case is reproduced exactly by its single uint64 seed (or by the case.json
+// artifact a failing run dumps).  Specs are plain data on purpose: the
+// shrinker (shrink.hpp) mutates them structurally and the oracle
+// (oracle.hpp) replays them through every engine configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "loss/policy.hpp"
+#include "netgraph/graph.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/call_trace.hpp"
+
+namespace altroute::check {
+
+/// Which routing scheme the case runs (the three schemes whose behaviour
+/// is fully specified by (routes, reservations) alone).
+enum class PolicyChoice { kSinglePath, kUncontrolled, kControlled };
+
+/// The policy's own display name ("single-path", ...); also the token used
+/// in case.json.
+[[nodiscard]] std::string_view policy_choice_name(PolicyChoice choice);
+
+/// One duplex facility: endpoints and per-direction circuit count.
+/// Facility f materializes as directed links 2f (a->b) and 2f+1 (b->a) --
+/// the invariant model relies on that mapping.
+struct FacilitySpec {
+  int a{0};
+  int b{1};
+  int capacity{1};
+};
+
+struct CaseSpec {
+  std::uint64_t seed{0};  ///< the case seed this spec was generated from
+  int nodes{2};
+  std::vector<FacilitySpec> facilities;
+  /// Offered Erlangs per ordered pair, row-major nodes x nodes, diagonal 0.
+  std::vector<double> demands;
+  double horizon{20.0};
+  double warmup{0.0};
+  int time_bins{0};
+  int max_alt_hops{3};
+  PolicyChoice policy{PolicyChoice::kControlled};
+  /// Install Eq.-15 protection levels computed from the initial topology.
+  bool protect{true};
+  bool auto_resolve{false};
+  std::uint64_t trace_seed{1};
+  std::uint64_t policy_seed{0x5eed};
+  /// Capture/resume equivalence is checked at this time; < 0 disables.
+  double resume_at{-1.0};
+  std::vector<scenario::ScenarioEvent> events;
+
+  /// Structural validity: node/facility indexing, unique facilities,
+  /// demand shape, warmup < horizon, every link event naming an existing
+  /// facility, and scenario::Scenario::validate on the event list.  Throws
+  /// std::invalid_argument with a pointed message.
+  void validate() const;
+
+  // --- materializers (deterministic in the spec) ---------------------------
+  [[nodiscard]] net::Graph graph() const;
+  [[nodiscard]] net::TrafficMatrix traffic() const;
+  [[nodiscard]] scenario::Scenario scenario() const;
+  [[nodiscard]] sim::CallTrace trace() const;
+  [[nodiscard]] std::unique_ptr<loss::RoutingPolicy> make_policy() const;
+  /// Initial per-link protection levels (empty when !protect).
+  [[nodiscard]] std::vector<int> reservations() const;
+};
+
+/// Expands one case seed into a spec: 2..8 nodes ringed for connectivity
+/// plus random chords, capacities 2..15, demands sized against the mean
+/// capacity so the mesh actually blocks, 0..6 events over all six kinds,
+/// and randomized engine knobs.  Deterministic in `case_seed`.
+[[nodiscard]] CaseSpec generate_case(std::uint64_t case_seed);
+
+// --- case.json ---------------------------------------------------------------
+// Schema: {"format": 1, "seed": "<u64 decimal>", "nodes": N, ...,
+// "facilities": [[a, b, capacity], ...], "demands": [[src, dst, erlangs],
+// ...] (non-zero entries only), "scenario": {<scenario schema>}}.  Seeds
+// travel as decimal STRINGS -- JSON numbers are doubles and lose u64
+// precision -- and every double is printed "%.17g", so
+// case_from_json(case_to_json(s)) round-trips bit-exactly.
+
+[[nodiscard]] std::string case_to_json(const CaseSpec& spec);
+[[nodiscard]] CaseSpec case_from_json(std::string_view json_text);
+
+/// Reads and parses a case.json file.  Throws std::runtime_error when the
+/// file cannot be read, std::invalid_argument on malformed content.
+[[nodiscard]] CaseSpec load_case(const std::string& path);
+
+/// Writes the replayable artifact bundle of a failing case into `dir`
+/// (created if needed): case.json, network.txt / traffic.txt /
+/// scenario.json replayable by the existing CLIs, and repro.txt listing
+/// `failures` and the replay command.  Throws std::runtime_error on I/O
+/// failure.
+void dump_case_artifacts(const std::string& dir, const CaseSpec& spec,
+                         const std::vector<std::string>& failures);
+
+}  // namespace altroute::check

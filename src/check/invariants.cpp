@@ -1,0 +1,469 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace altroute::check {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+struct Failures {
+  std::vector<std::string> list;
+
+  void add(std::string msg) { list.push_back(std::move(msg)); }
+
+  template <class A, class B>
+  void expect_eq(const A& actual, const B& expected, const std::string& what) {
+    if (!(actual == expected)) {
+      std::ostringstream os;
+      os << what << ": got " << actual << ", expected " << expected;
+      list.push_back(os.str());
+    }
+  }
+};
+
+/// One admitted call the model is still holding circuits for.
+struct ModelCall {
+  std::size_t order{0};  ///< admission order (preemption picks the newest)
+  double dep{0.0};
+  int units{1};
+  std::vector<int> links;
+};
+
+int facility_of(const CaseSpec& spec, int a, int b) {
+  for (std::size_t f = 0; f < spec.facilities.size(); ++f) {
+    const FacilitySpec& fac = spec.facilities[f];
+    if ((fac.a == a && fac.b == b) || (fac.a == b && fac.b == a)) return static_cast<int>(f);
+  }
+  return -1;
+}
+
+bool is_link_event(scenario::EventKind kind) {
+  switch (kind) {
+    case scenario::EventKind::kLinkFail:
+    case scenario::EventKind::kLinkRepair:
+    case scenario::EventKind::kCapacitySet:
+    case scenario::EventKind::kCapacityScale:
+      return true;
+    case scenario::EventKind::kTrafficScale:
+    case scenario::EventKind::kResolveProtection:
+      return false;
+  }
+  return false;
+}
+
+/// Replays the admitted-call records against an independent per-link
+/// state model and cross-checks every event's effect.  `track_occupancy`
+/// requires the full call stream (warmup == 0).
+class StateModel {
+ public:
+  StateModel(const CaseSpec& spec, bool track_occupancy, Failures& out)
+      : spec_(spec), track_(track_occupancy), out_(out) {
+    const std::size_t n = spec.facilities.size() * 2;
+    cap_.resize(n);
+    max_cap_.resize(n);
+    enabled_.assign(n, 1);
+    occ_.assign(n, 0);
+    for (std::size_t f = 0; f < spec.facilities.size(); ++f) {
+      cap_[2 * f] = cap_[2 * f + 1] = spec.facilities[f].capacity;
+      max_cap_[2 * f] = max_cap_[2 * f + 1] = spec.facilities[f].capacity;
+    }
+    for (const scenario::ScenarioEvent& e : spec.events) {
+      if (e.time <= spec.horizon) events_.push_back(&e);
+    }
+  }
+
+  void run(const ObservedRun& run) {
+    if (track_) {
+      for (const obs::TraceRecord& r : run.records) {
+        if (desynced_) break;
+        if (r.kind != obs::TraceKind::kCallAdmitted) continue;
+        advance(r.time);
+        book(r);
+      }
+    }
+    if (!desynced_) advance(spec_.horizon);
+    compare(run);
+  }
+
+ private:
+  void release(std::size_t idx) {
+    for (const int l : live_[idx].links) occ_[static_cast<std::size_t>(l)] -= live_[idx].units;
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+
+  /// Processes every departure and scenario event with time <= t, in the
+  /// runner's documented order: earliest first, departures before events
+  /// on ties.
+  void advance(double t) {
+    for (;;) {
+      std::size_t best = kNone;
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i].dep > t) continue;
+        if (best == kNone || live_[i].dep < live_[best].dep ||
+            (live_[i].dep == live_[best].dep && live_[i].order < live_[best].order)) {
+          best = i;
+        }
+      }
+      const double dep =
+          best == kNone ? std::numeric_limits<double>::infinity() : live_[best].dep;
+      const double ev = next_event_ < events_.size() ? events_[next_event_]->time
+                                                     : std::numeric_limits<double>::infinity();
+      if (best != kNone && dep <= ev) {
+        release(best);
+      } else if (next_event_ < events_.size() && ev <= t) {
+        apply_event(*events_[next_event_]);
+        ++next_event_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void book(const obs::TraceRecord& r) {
+    ModelCall call{next_order_++, r.time + r.hold, r.units, {}};
+    for (std::size_t i = 0; i < r.links.size(); ++i) {
+      const int l = r.links[i];
+      if (l < 0 || static_cast<std::size_t>(l) >= cap_.size()) {
+        out_.add("model: admitted record at t=" + std::to_string(r.time) +
+                 " books unknown link " + std::to_string(l));
+        desynced_ = true;
+        return;
+      }
+      const auto li = static_cast<std::size_t>(l);
+      if (!enabled_[li]) {
+        out_.add("model: admission at t=" + std::to_string(r.time) + " uses DISABLED link " +
+                 std::to_string(l));
+        desynced_ = true;
+        return;
+      }
+      occ_[li] += r.units;
+      if (occ_[li] > cap_[li]) {
+        out_.add("model: occupancy " + std::to_string(occ_[li]) + " exceeds capacity " +
+                 std::to_string(cap_[li]) + " on link " + std::to_string(l) + " at t=" +
+                 std::to_string(r.time));
+        desynced_ = true;
+        return;
+      }
+      if (i < r.occ.size() && r.occ[i] != occ_[li]) {
+        out_.add("model: post-booking occupancy of link " + std::to_string(l) + " at t=" +
+                 std::to_string(r.time) + " is " + std::to_string(r.occ[i]) +
+                 " in the trace but " + std::to_string(occ_[li]) + " in the model" +
+                 " (circuit leak or double booking)");
+        desynced_ = true;
+        return;
+      }
+      call.links.push_back(l);
+    }
+    live_.push_back(std::move(call));
+  }
+
+  void apply_event(const scenario::ScenarioEvent& e) {
+    int changed = 0;
+    long long kills = 0;
+    if (is_link_event(e.kind)) {
+      const int f = facility_of(spec_, e.node_a, e.node_b);
+      const auto l0 = static_cast<std::size_t>(2 * f);
+      const auto l1 = l0 + 1;
+      switch (e.kind) {
+        case scenario::EventKind::kLinkFail:
+          changed = (enabled_[l0] ? 1 : 0) + (enabled_[l1] ? 1 : 0);
+          // The runner kills every call whose booked path uses the facility
+          // even when the links were already disabled.
+          for (std::size_t i = 0; i < live_.size();) {
+            const std::vector<int>& links = live_[i].links;
+            const bool uses =
+                std::find(links.begin(), links.end(), static_cast<int>(l0)) != links.end() ||
+                std::find(links.begin(), links.end(), static_cast<int>(l1)) != links.end();
+            if (uses) {
+              ++kills;
+              release(i);
+            } else {
+              ++i;
+            }
+          }
+          enabled_[l0] = enabled_[l1] = 0;
+          break;
+        case scenario::EventKind::kLinkRepair:
+          changed = (enabled_[l0] ? 0 : 1) + (enabled_[l1] ? 0 : 1);
+          enabled_[l0] = enabled_[l1] = 1;
+          break;
+        case scenario::EventKind::kCapacitySet:
+        case scenario::EventKind::kCapacityScale:
+          for (const std::size_t l : {l0, l1}) {
+            const int new_cap =
+                e.kind == scenario::EventKind::kCapacitySet
+                    ? e.capacity
+                    : static_cast<int>(std::max<long long>(
+                          1, std::llround(static_cast<double>(cap_[l]) * e.factor)));
+            if (new_cap == cap_[l]) continue;
+            ++changed;
+            cap_[l] = new_cap;
+            max_cap_[l] = std::max(max_cap_[l], new_cap);
+            while (occ_[l] > cap_[l]) {
+              // Preempt newest-first, exactly as the runner documents.
+              std::size_t victim = kNone;
+              for (std::size_t i = 0; i < live_.size(); ++i) {
+                const std::vector<int>& links = live_[i].links;
+                if (std::find(links.begin(), links.end(), static_cast<int>(l)) == links.end()) {
+                  continue;
+                }
+                if (victim == kNone || live_[i].order > live_[victim].order) victim = i;
+              }
+              if (victim == kNone) {
+                if (track_) {
+                  out_.add("model: link " + std::to_string(l) +
+                           " over capacity after shrink at t=" + std::to_string(e.time) +
+                           " with no in-flight call to preempt (leaked circuits)");
+                  desynced_ = true;
+                }
+                break;
+              }
+              ++kills;
+              release(victim);
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    applied_changed_.push_back(is_link_event(e.kind) ? changed : -1);
+    applied_kills_.push_back(kills);
+    if (desynced_) return;
+  }
+
+  void compare(const ObservedRun& run) {
+    Failures& out = out_;
+    const auto& applied = run.result.applied;
+    out.expect_eq(applied.size(), events_.size(), "applied-event log length");
+    if (applied.size() == events_.size()) {
+      long long measured_kills = 0;
+      for (std::size_t i = 0; i < applied.size(); ++i) {
+        const scenario::ScenarioEvent& e = *events_[i];
+        const std::string tag = "applied event " + std::to_string(i);
+        out.expect_eq(applied[i].time, e.time, tag + " time");
+        out.expect_eq(static_cast<int>(applied[i].kind), static_cast<int>(e.kind),
+                      tag + " kind");
+        if (!desynced_ && i < applied_changed_.size() && applied_changed_[i] >= 0) {
+          out.expect_eq(applied[i].links_changed, applied_changed_[i], tag + " links_changed");
+        }
+        if (!desynced_ && track_ && i < applied_kills_.size()) {
+          out.expect_eq(applied[i].calls_killed, applied_kills_[i], tag + " calls_killed");
+        }
+        if (applied[i].time >= spec_.warmup) measured_kills += applied[i].calls_killed;
+      }
+      out.expect_eq(run.result.dropped, measured_kills,
+                    "dropped vs. post-warm-up kills in the applied log");
+    }
+
+    const auto& final_links = run.result.final_links;
+    out.expect_eq(final_links.size(), cap_.size(), "final_links length");
+    if (final_links.size() == cap_.size() && !desynced_) {
+      for (std::size_t l = 0; l < cap_.size(); ++l) {
+        const std::string tag = "final link " + std::to_string(l);
+        out.expect_eq(final_links[l].capacity, cap_[l], tag + " capacity");
+        out.expect_eq(final_links[l].enabled, enabled_[l] != 0, tag + " enabled");
+        if (track_) {
+          out.expect_eq(static_cast<long long>(final_links[l].occupancy), occ_[l],
+                        tag + " occupancy");
+        }
+      }
+    }
+
+    // Occupancy-grid bounds: each cell is one sampled occupancy of one
+    // link, so it can never be negative nor exceed the largest capacity
+    // the link ever had.
+    const obs::MetricRegistry& m = run.metrics;
+    if (m.occupancy_samples() > 0) {
+      out.expect_eq(m.link_count(), cap_.size(), "metric registry link count");
+      if (m.link_count() == cap_.size()) {
+        for (int s = 0; s < m.occupancy_samples(); ++s) {
+          for (std::size_t l = 0; l < cap_.size(); ++l) {
+            const long long v = m.occupancy_at(static_cast<std::size_t>(s), l);
+            if (v < 0 || v > max_cap_[l]) {
+              out.add("occupancy grid sample " + std::to_string(s) + " link " +
+                      std::to_string(l) + " is " + std::to_string(v) + ", outside [0, " +
+                      std::to_string(max_cap_[l]) + "]");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const CaseSpec& spec_;
+  bool track_;
+  Failures& out_;
+  std::vector<int> cap_;
+  std::vector<int> max_cap_;
+  std::vector<char> enabled_;
+  std::vector<long long> occ_;
+  std::vector<ModelCall> live_;
+  std::size_t next_order_{0};
+  std::vector<const scenario::ScenarioEvent*> events_;
+  std::size_t next_event_{0};
+  std::vector<int> applied_changed_;        ///< per applied event; -1 = not modeled
+  std::vector<long long> applied_kills_;    ///< per applied event
+  /// Set when the model can no longer follow the run (a booking the model
+  /// rejects); downstream state comparisons are suppressed to avoid an
+  /// avalanche of secondary messages.
+  bool desynced_{false};
+};
+
+void check_conservation(const CaseSpec& spec, const loss::RunResult& r, Failures& out) {
+  out.expect_eq(r.offered, r.blocked + r.carried_primary + r.carried_alternate,
+                "offered vs. blocked + carried");
+  out.expect_eq(r.node_count, spec.nodes, "result node_count");
+
+  out.expect_eq(r.per_pair.size(),
+                static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes),
+                "per_pair length");
+  long long po = 0, pb = 0, pp = 0, pa = 0;
+  for (const loss::PairCounters& p : r.per_pair) {
+    po += p.offered;
+    pb += p.blocked;
+    pp += p.carried_primary;
+    pa += p.carried_alternate;
+  }
+  out.expect_eq(po, r.offered, "per_pair offered sum");
+  out.expect_eq(pb, r.blocked, "per_pair blocked sum");
+  out.expect_eq(pp, r.carried_primary, "per_pair carried_primary sum");
+  out.expect_eq(pa, r.carried_alternate, "per_pair carried_alternate sum");
+
+  long long co = 0, cb = 0;
+  for (const loss::ClassCounters& c : r.per_class) {
+    co += c.offered;
+    cb += c.blocked;
+  }
+  out.expect_eq(co, r.offered, "per_class offered sum");
+  out.expect_eq(cb, r.blocked, "per_class blocked sum");
+
+  if (!r.bin_offered.empty() || !r.bin_blocked.empty()) {
+    out.expect_eq(r.bin_offered.size(), static_cast<std::size_t>(spec.time_bins),
+                  "bin_offered length");
+    out.expect_eq(r.bin_blocked.size(), static_cast<std::size_t>(spec.time_bins),
+                  "bin_blocked length");
+    long long bo = 0, bb = 0;
+    for (const long long v : r.bin_offered) bo += v;
+    for (const long long v : r.bin_blocked) bb += v;
+    out.expect_eq(bo, r.offered, "bin offered sum");
+    out.expect_eq(bb, r.blocked, "bin blocked sum");
+  }
+
+  long long carried_census = 0;
+  if (!r.carried_by_hops.empty() && r.carried_by_hops[0] != 0) {
+    out.add("carried_by_hops[0] is non-zero (a zero-link path was carried?)");
+  }
+  for (const long long v : r.carried_by_hops) carried_census += v;
+  out.expect_eq(carried_census, r.carried_primary + r.carried_alternate,
+                "carried_by_hops census vs. carried");
+}
+
+void check_counters(const CaseSpec& spec, const ObservedRun& run, Failures& out) {
+  const loss::RunResult& r = run.result.run;
+  const obs::MetricRegistry& m = run.metrics;
+  out.expect_eq(m.counter_value("calls_offered"), r.offered, "counter calls_offered");
+  out.expect_eq(m.counter_value("calls_blocked"), r.blocked, "counter calls_blocked");
+  out.expect_eq(m.counter_value("calls_admitted_primary"), r.carried_primary,
+                "counter calls_admitted_primary");
+  out.expect_eq(m.counter_value("calls_admitted_alternate"), r.carried_alternate,
+                "counter calls_admitted_alternate");
+  out.expect_eq(m.counter_value("calls_preempted") + m.counter_value("calls_killed_failure"),
+                run.result.dropped, "preempted + killed counters vs. dropped");
+  out.expect_eq(m.counter_value("events_applied"),
+                static_cast<long long>(run.result.applied.size()),
+                "counter events_applied vs. applied log");
+
+  long long hop_mass = 0;
+  for (const long long v : m.histogram_counts("carried_hops")) hop_mass += v;
+  out.expect_eq(hop_mass, r.carried_primary + r.carried_alternate,
+                "carried_hops histogram mass");
+  long long census_hops = 0;
+  for (std::size_t h = 0; h < r.carried_by_hops.size(); ++h) {
+    census_hops += r.carried_by_hops[h] * static_cast<long long>(h);
+  }
+  out.expect_eq(m.histogram_sum("carried_hops"), static_cast<double>(census_hops),
+                "carried_hops histogram sum vs. hop census");
+
+  // Theorem 1 / Eq. 15: a controlled policy probes alternates with the
+  // alternate class, so it can NEVER land one inside the protected band.
+  if (spec.policy == PolicyChoice::kControlled) {
+    out.expect_eq(m.counter_value("protected_band_alternate_admits"), 0LL,
+                  "protected-band alternate admits under the controlled policy");
+  }
+}
+
+void check_records(const CaseSpec& spec, const ObservedRun& run, Failures& out) {
+  out.expect_eq(run.trace_lines.size(), run.records.size(),
+                "rendered trace line count vs. record count");
+  double last = 0.0;
+  long long killed = 0, preempted = 0, event_records = 0, resolve_records = 0;
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    const obs::TraceRecord& r = run.records[i];
+    const std::string tag = "trace record " + std::to_string(i);
+    if (r.time < last) {
+      out.add(tag + ": time " + std::to_string(r.time) + " goes backwards (previous " +
+              std::to_string(last) + ")");
+    }
+    last = std::max(last, r.time);
+    if (r.time < 0.0 || r.time > spec.horizon) {
+      out.add(tag + ": time " + std::to_string(r.time) + " outside [0, horizon]");
+    }
+    switch (r.kind) {
+      case obs::TraceKind::kCallAdmitted:
+        out.expect_eq(r.occ.size(), r.links.size(), tag + " occ/links lengths");
+        out.expect_eq(static_cast<std::size_t>(r.hops), r.links.size(),
+                      tag + " hops vs. links");
+        if (r.links.empty()) out.add(tag + ": admitted call with an empty path");
+        if (!(r.hold > 0.0)) out.add(tag + ": admitted call with non-positive hold");
+        for (const int o : r.occ) {
+          if (o < r.units) {
+            out.add(tag + ": post-booking occupancy " + std::to_string(o) +
+                    " below the call's own " + std::to_string(r.units) + " circuits");
+            break;
+          }
+        }
+        break;
+      case obs::TraceKind::kCallKilled:
+        ++killed;
+        break;
+      case obs::TraceKind::kCallPreempted:
+        ++preempted;
+        break;
+      case obs::TraceKind::kEventApplied:
+        ++event_records;
+        break;
+      case obs::TraceKind::kProtectionResolved:
+        ++resolve_records;
+        break;
+      default:
+        break;
+    }
+  }
+  out.expect_eq(killed + preempted, run.result.dropped,
+                "killed + preempted trace records vs. dropped");
+  out.expect_eq(event_records, static_cast<long long>(run.result.applied.size()),
+                "event_applied trace records vs. applied log");
+  out.expect_eq(run.metrics.counter_value("protection_resolves"), resolve_records,
+                "counter protection_resolves vs. trace records");
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const CaseSpec& spec, const ObservedRun& run) {
+  Failures out;
+  check_conservation(spec, run.result.run, out);
+  check_counters(spec, run, out);
+  check_records(spec, run, out);
+  StateModel model(spec, /*track_occupancy=*/spec.warmup == 0.0, out);
+  model.run(run);
+  for (std::string& msg : out.list) msg = "invariant: " + msg;
+  return std::move(out.list);
+}
+
+}  // namespace altroute::check

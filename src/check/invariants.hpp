@@ -1,0 +1,68 @@
+// Stateful invariant oracle: independent re-derivation of what one
+// scenario run MUST have done.
+//
+// An ObservedRun bundles everything one engine run produced -- the result
+// struct, the full metric registry, the buffered trace records, and their
+// rendered JSONL lines.  check_invariants replays that evidence against a
+// from-scratch model that knows nothing of the engine's internals: per-link
+// capacity/enabled state evolved from the CaseSpec's events, and (when the
+// whole run is traced, i.e. warmup == 0) full per-link occupancy
+// reconstructed call by call from the admitted records' booked paths and
+// holding times, with failure kills and shrink preemptions re-derived by
+// the documented rules (kill every call on a failed facility; preempt
+// newest-first until occupancy <= capacity; scaled capacity =
+// max(1, round(old * factor))).
+//
+// Checked properties (each failure is one pointed message):
+//   * conservation -- offered == blocked + carried, with the per-pair,
+//     per-class, per-bin, and hop-census breakdowns summing to the totals;
+//   * counters vs. results -- every obs counter equals its RunResult twin,
+//     killed + preempted == dropped, carried_hops histogram mass and sum
+//     match the hop census;
+//   * Theorem-1 bookkeeping -- every admitted record carries the
+//     post-booking occupancy vector (the Eq. 4-6 kernel charge state), and
+//     a controlled policy never admits an alternate inside the protected
+//     band;
+//   * trace stream -- record times non-decreasing within [0, horizon],
+//     rendered line count matches the record count;
+//   * event application -- the applied log is exactly the spec's events
+//     with time <= horizon, in order, with the model's links_changed;
+//   * state model -- admissions land on enabled links only, occupancy
+//     never exceeds capacity, every admitted record's occupancy vector
+//     equals the model's prediction exactly, final per-link
+//     capacity/enabled/occupancy match, every event's kill count matches,
+//     and the occupancy grid stays within [0, max capacity ever].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/runner.hpp"
+
+namespace altroute::check {
+
+/// Everything one engine configuration produced, captured for comparison.
+struct ObservedRun {
+  scenario::ScenarioRunResult result;
+  /// Copy of the run's metric registry (counters, histograms, grid).
+  obs::MetricRegistry metrics;
+  /// metrics.to_json() -- the string the differential oracle compares.
+  std::string metrics_json;
+  /// Buffered trace records, in emission order.
+  std::vector<obs::TraceRecord> records;
+  /// JsonlTraceSink::format of each record (byte-stable rendering).
+  std::vector<std::string> trace_lines;
+};
+
+/// Runs every invariant against one observed run.  Returns one message per
+/// violated property (empty = all invariants hold).  The occupancy
+/// reconstruction runs only when spec.warmup == 0 (otherwise pre-warm-up
+/// admissions are untraced by design); the event/capacity model and all
+/// accounting checks run regardless.
+[[nodiscard]] std::vector<std::string> check_invariants(const CaseSpec& spec,
+                                                        const ObservedRun& run);
+
+}  // namespace altroute::check

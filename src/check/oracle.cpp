@@ -1,0 +1,405 @@
+#include "check/oracle.hpp"
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "loss/engine.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/runner.hpp"
+#include "sim/parallel_for.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+#include "snapshot/checkpoint.hpp"
+
+namespace altroute::check {
+
+namespace {
+
+/// One cell of the engine-configuration matrix.
+struct EngineConfig {
+  const char* name;
+  bool legacy_queue;
+  bool memoize;
+};
+
+/// Index 0 is the reference model: binary heap + direct re-solves.
+constexpr EngineConfig kConfigs[] = {
+    {"heap+direct", true, false},
+    {"heap+memo", true, true},
+    {"calendar+direct", false, false},
+    {"calendar+memo", false, true},
+};
+constexpr std::size_t kConfigCount = sizeof(kConfigs) / sizeof(kConfigs[0]);
+
+/// Everything a CaseSpec materializes, built once and shared (const) by
+/// every run of the matrix.
+struct Materialized {
+  net::Graph graph;
+  net::TrafficMatrix traffic;
+  scenario::Scenario scen;
+  sim::CallTrace trace;
+  std::vector<int> reservations;
+
+  explicit Materialized(const CaseSpec& spec)
+      : graph(spec.graph()),
+        traffic(spec.traffic()),
+        scen(spec.scenario()),
+        trace(spec.trace()),
+        reservations(spec.reservations()) {}
+};
+
+std::vector<std::string> render(const std::vector<obs::TraceRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const obs::TraceRecord& r : records) lines.push_back(obs::JsonlTraceSink::format(r));
+  return lines;
+}
+
+/// Buffers captured checkpoints together with the trace-record prefix at
+/// each capture instant, so a resumed run's collector can be pre-seeded.
+struct CapturingSink final : snapshot::CheckpointSink {
+  obs::VectorTraceSink* collector{nullptr};
+  std::vector<snapshot::ScenarioCheckpoint> captured;
+  std::vector<std::vector<obs::TraceRecord>> prefixes;
+
+  void on_checkpoint(const snapshot::ScenarioCheckpoint& ckpt) override {
+    captured.push_back(ckpt);
+    prefixes.push_back(collector != nullptr ? collector->records
+                                            : std::vector<obs::TraceRecord>{});
+  }
+};
+
+struct RunRequest {
+  EngineConfig config;
+  bool with_grid{true};
+  double checkpoint_at{-1.0};
+  CapturingSink* sink{nullptr};
+  const snapshot::ScenarioCheckpoint* resume{nullptr};
+  std::vector<obs::TraceRecord> prefix;
+};
+
+ObservedRun observe(const CaseSpec& spec, const Materialized& m, const CheckOptions& options,
+                    RunRequest request) {
+  ObservedRun out;
+  obs::VectorTraceSink collector;
+  collector.records = std::move(request.prefix);
+  if (request.sink != nullptr) request.sink->collector = &collector;
+  obs::Probe probe(&out.metrics, &collector);
+  if (request.with_grid) probe.grid(0.0, spec.horizon / 16.0, 16);
+
+  scenario::ScenarioEngineOptions engine;
+  engine.warmup = spec.warmup;
+  engine.policy_seed = spec.policy_seed;
+  engine.time_bins = spec.time_bins;
+  engine.max_alt_hops = spec.max_alt_hops;
+  engine.reservations = m.reservations;
+  engine.auto_resolve_protection = spec.auto_resolve;
+  engine.legacy_event_queue = request.config.legacy_queue;
+  engine.memoize_protection = request.config.memoize;
+  engine.fault_leak_release = options.inject_release_leak;
+  engine.probe = &probe;
+  engine.checkpoint_at = request.checkpoint_at;
+  engine.checkpoints = request.sink;
+  engine.resume = request.resume;
+
+  const std::unique_ptr<loss::RoutingPolicy> policy = spec.make_policy();
+  out.result = scenario::run_scenario(m.graph, m.traffic, *policy, m.trace, m.scen, engine);
+  out.metrics_json = out.metrics.to_json();
+  out.records = std::move(collector.records);
+  out.trace_lines = render(out.records);
+  return out;
+}
+
+/// Collects "label: field got X, reference Y" style messages.
+struct Diff {
+  std::string label;
+  std::vector<std::string>& out;
+
+  template <class A, class B>
+  void eq(const A& actual, const B& expected, const std::string& what) {
+    if (actual == expected) return;
+    std::ostringstream os;
+    os << label << ": " << what << " is " << actual << ", reference has " << expected;
+    out.push_back(os.str());
+  }
+
+  void lines(const std::vector<std::string>& actual, const std::vector<std::string>& expected,
+             const std::string& what) {
+    eq(actual.size(), expected.size(), what + " count");
+    for (std::size_t i = 0; i < actual.size() && i < expected.size(); ++i) {
+      if (actual[i] != expected[i]) {
+        out.push_back(label + ": first divergent " + what + " at index " + std::to_string(i) +
+                      ":\n    got " + actual[i] + "\n    ref " + expected[i]);
+        return;
+      }
+    }
+  }
+};
+
+/// Compares the RunResult fields both engines collect (the scenario runner
+/// leaves primary_losses_at_link / mean_link_occupancy empty, so those are
+/// compared only between scenario runs, where both sides agree on emptiness).
+void diff_run_result(Diff& d, const loss::RunResult& a, const loss::RunResult& ref) {
+  d.eq(a.offered, ref.offered, "offered");
+  d.eq(a.blocked, ref.blocked, "blocked");
+  d.eq(a.carried_primary, ref.carried_primary, "carried_primary");
+  d.eq(a.carried_alternate, ref.carried_alternate, "carried_alternate");
+  d.eq(a.node_count, ref.node_count, "node_count");
+  d.eq(a.per_class.size(), ref.per_class.size(), "per_class size");
+  for (std::size_t i = 0; i < a.per_class.size() && i < ref.per_class.size(); ++i) {
+    const std::string tag = "per_class[" + std::to_string(i) + "]";
+    d.eq(a.per_class[i].bandwidth, ref.per_class[i].bandwidth, tag + ".bandwidth");
+    d.eq(a.per_class[i].offered, ref.per_class[i].offered, tag + ".offered");
+    d.eq(a.per_class[i].blocked, ref.per_class[i].blocked, tag + ".blocked");
+  }
+  d.eq(a.per_pair.size(), ref.per_pair.size(), "per_pair size");
+  for (std::size_t i = 0; i < a.per_pair.size() && i < ref.per_pair.size(); ++i) {
+    if (a.per_pair[i].offered == ref.per_pair[i].offered &&
+        a.per_pair[i].blocked == ref.per_pair[i].blocked &&
+        a.per_pair[i].carried_primary == ref.per_pair[i].carried_primary &&
+        a.per_pair[i].carried_alternate == ref.per_pair[i].carried_alternate) {
+      continue;
+    }
+    d.out.push_back(d.label + ": per_pair[" + std::to_string(i) + "] diverges");
+    break;
+  }
+  d.eq(a.bin_offered == ref.bin_offered, true, "bin_offered equality");
+  d.eq(a.bin_blocked == ref.bin_blocked, true, "bin_blocked equality");
+  d.eq(a.carried_by_hops == ref.carried_by_hops, true, "carried_by_hops equality");
+}
+
+void diff_observed(std::vector<std::string>& out, const std::string& label,
+                   const ObservedRun& a, const ObservedRun& ref) {
+  Diff d{label, out};
+  diff_run_result(d, a.result.run, ref.result.run);
+  d.eq(a.result.run.primary_losses_at_link == ref.result.run.primary_losses_at_link, true,
+       "primary_losses_at_link equality");
+  d.eq(a.result.run.mean_link_occupancy == ref.result.run.mean_link_occupancy, true,
+       "mean_link_occupancy equality");
+  d.eq(a.result.dropped, ref.result.dropped, "dropped");
+  d.eq(a.result.applied.size(), ref.result.applied.size(), "applied log size");
+  for (std::size_t i = 0; i < a.result.applied.size() && i < ref.result.applied.size(); ++i) {
+    const auto& x = a.result.applied[i];
+    const auto& y = ref.result.applied[i];
+    if (x.time == y.time && x.kind == y.kind && x.links_changed == y.links_changed &&
+        x.calls_killed == y.calls_killed) {
+      continue;
+    }
+    d.out.push_back(label + ": applied[" + std::to_string(i) + "] diverges");
+    break;
+  }
+  d.eq(a.result.final_links.size(), ref.result.final_links.size(), "final_links size");
+  for (std::size_t i = 0; i < a.result.final_links.size() && i < ref.result.final_links.size();
+       ++i) {
+    const auto& x = a.result.final_links[i];
+    const auto& y = ref.result.final_links[i];
+    if (x.capacity == y.capacity && x.reservation == y.reservation &&
+        x.occupancy == y.occupancy && x.enabled == y.enabled) {
+      continue;
+    }
+    d.out.push_back(label + ": final_links[" + std::to_string(i) + "] diverges");
+    break;
+  }
+  if (a.metrics_json != ref.metrics_json) {
+    d.out.push_back(label + ": metrics JSON diverges from the reference rendering");
+  }
+  d.lines(a.trace_lines, ref.trace_lines, "trace line");
+}
+
+/// The static engine comparison: only the fields both engines produce.
+void diff_static(std::vector<std::string>& out, const ObservedRun& stat,
+                 const ObservedRun& scen) {
+  Diff d{"static-vs-scenario", out};
+  diff_run_result(d, stat.result.run, scen.result.run);
+  if (stat.metrics_json != scen.metrics_json) {
+    d.out.push_back(d.label + ": metrics JSON diverges");
+  }
+  d.lines(stat.trace_lines, scen.trace_lines, "trace line");
+}
+
+std::optional<ObservedRun> try_observe(const CaseSpec& spec, const Materialized& m,
+                                       const CheckOptions& options, RunRequest request,
+                                       const std::string& label,
+                                       std::vector<std::string>& failures) {
+  try {
+    return observe(spec, m, options, std::move(request));
+  } catch (const std::exception& e) {
+    failures.push_back(label + ": threw: " + std::string(e.what()));
+    return std::nullopt;
+  }
+}
+
+void check_resume(const CaseSpec& spec, const Materialized& m, const CheckOptions& options,
+                  const ObservedRun& reference, CaseReport& report) {
+  // Capture under the NON-reference configuration, resume under the
+  // reference one: the checkpoint must be engine-portable both ways.
+  CapturingSink sink;
+  RunRequest capture;
+  capture.config = kConfigs[3];  // calendar+memo
+  capture.checkpoint_at = spec.resume_at;
+  capture.sink = &sink;
+  const std::optional<ObservedRun> captured =
+      try_observe(spec, m, options, std::move(capture), "capture@calendar+memo",
+                  report.failures);
+  if (!captured.has_value()) return;
+  diff_observed(report.failures, "capture@calendar+memo", *captured, reference);
+  if (sink.captured.size() != 1) {
+    report.failures.push_back("capture@calendar+memo: expected exactly 1 checkpoint at t=" +
+                              std::to_string(spec.resume_at) + ", captured " +
+                              std::to_string(sink.captured.size()));
+    return;
+  }
+
+  // Round-trip through the binary container codec before resuming, so the
+  // serialized form (not just the in-memory struct) is what continues.
+  snapshot::ScenarioCheckpoint restored;
+  try {
+    restored = snapshot::decode_checkpoint(snapshot::encode_checkpoint(sink.captured.front()),
+                                           "case-" + std::to_string(spec.seed));
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("checkpoint codec round-trip threw: ") + e.what());
+    return;
+  }
+
+  RunRequest resume;
+  resume.config = kConfigs[0];  // heap+direct
+  resume.resume = &restored;
+  resume.prefix = sink.prefixes.front();
+  const std::optional<ObservedRun> resumed = try_observe(
+      spec, m, options, std::move(resume), "resume@heap+direct", report.failures);
+  if (!resumed.has_value()) return;
+  diff_observed(report.failures, "resume@heap+direct", *resumed, reference);
+}
+
+void check_static(const CaseSpec& spec, const Materialized& m, const CheckOptions& options,
+                  CaseReport& report) {
+  // Without events the scenario runner must degenerate to the static
+  // engine exactly (same trace, same RNG stream, same route table).  Grid
+  // sampling differs between the engines, so both sides run grid-free.
+  ObservedRun stat;
+  try {
+    obs::VectorTraceSink collector;
+    obs::Probe probe(&stat.metrics, &collector);
+    loss::EngineOptions engine;
+    engine.warmup = spec.warmup;
+    engine.policy_seed = spec.policy_seed;
+    engine.link_stats = false;
+    engine.reservations = m.reservations;
+    engine.time_bins = spec.time_bins;
+    engine.probe = &probe;
+    const routing::RouteTable routes =
+        routing::build_min_hop_routes(m.graph, spec.max_alt_hops);
+    const std::unique_ptr<loss::RoutingPolicy> policy = spec.make_policy();
+    stat.result.run = loss::run_trace(m.graph, routes, *policy, m.trace, engine);
+    stat.metrics_json = stat.metrics.to_json();
+    stat.records = std::move(collector.records);
+    stat.trace_lines = render(stat.records);
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("static loss::run_trace threw: ") + e.what());
+    return;
+  }
+  RunRequest request;
+  request.config = kConfigs[0];
+  request.with_grid = false;
+  const std::optional<ObservedRun> scen = try_observe(
+      spec, m, options, std::move(request), "scenario@heap+direct(no-grid)", report.failures);
+  if (!scen.has_value()) return;
+  // Static runs never drop calls; the event-free scenario must agree.
+  if (scen->result.dropped != 0) {
+    report.failures.push_back("static-vs-scenario: event-free scenario dropped " +
+                              std::to_string(scen->result.dropped) + " calls");
+  }
+  diff_static(report.failures, stat, *scen);
+}
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t corpus_seed, std::uint64_t index) {
+  return sim::Rng(corpus_seed, index)();
+}
+
+CaseReport check_case(const CaseSpec& spec, const CheckOptions& options) {
+  CaseReport report;
+  report.seed = spec.seed;
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("spec rejected: ") + e.what());
+    return report;
+  }
+
+  std::optional<Materialized> m;
+  try {
+    m.emplace(spec);
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("materialization threw: ") + e.what());
+    return report;
+  }
+
+  // Serial matrix.  Index 0 is the reference.
+  std::vector<std::optional<ObservedRun>> serial(kConfigCount);
+  for (std::size_t c = 0; c < kConfigCount; ++c) {
+    RunRequest request;
+    request.config = kConfigs[c];
+    serial[c] = try_observe(spec, *m, options, std::move(request), kConfigs[c].name,
+                            report.failures);
+    if (c == 0 && !serial[0].has_value()) return report;  // no reference, nothing to compare
+  }
+  const ObservedRun& reference = *serial[0];
+  report.offered = reference.result.run.offered;
+  report.blocked = reference.result.run.blocked;
+  report.carried_alternate = reference.result.run.carried_alternate;
+  report.dropped = reference.result.dropped;
+
+  if (options.differential) {
+    for (std::size_t c = 1; c < kConfigCount; ++c) {
+      if (serial[c].has_value()) {
+        diff_observed(report.failures, kConfigs[c].name, *serial[c], reference);
+      }
+    }
+  }
+
+  if (options.invariants) {
+    for (std::string& msg : check_invariants(spec, reference)) {
+      report.failures.push_back(std::move(msg));
+    }
+  }
+
+  if (options.threads && options.thread_count > 1) {
+    std::vector<std::optional<ObservedRun>> parallel(kConfigCount);
+    std::vector<std::string> thread_failures(kConfigCount);
+    sim::ThreadPool pool(options.thread_count);
+    sim::parallel_for(&pool, kConfigCount, [&](std::size_t c) {
+      try {
+        RunRequest request;
+        request.config = kConfigs[c];
+        parallel[c] = observe(spec, *m, options, std::move(request));
+      } catch (const std::exception& e) {
+        thread_failures[c] =
+            std::string("threads/") + kConfigs[c].name + ": threw: " + e.what();
+      }
+    });
+    for (std::size_t c = 0; c < kConfigCount; ++c) {
+      if (!thread_failures[c].empty()) {
+        report.failures.push_back(thread_failures[c]);
+      } else if (parallel[c].has_value() && serial[c].has_value()) {
+        diff_observed(report.failures, std::string("threads/") + kConfigs[c].name,
+                      *parallel[c], *serial[c]);
+      }
+    }
+  }
+
+  if (options.resume && spec.resume_at >= 0.0) {
+    check_resume(spec, *m, options, reference, report);
+  }
+
+  if (options.static_reference && spec.events.empty()) {
+    check_static(spec, *m, options, report);
+  }
+
+  return report;
+}
+
+}  // namespace altroute::check

@@ -1,0 +1,81 @@
+// Cross-engine differential oracle: one CaseSpec, every engine
+// configuration, bit-identical or bust.
+//
+// The reference model is the legacy binary-heap engine with direct
+// (memo-free) protection re-solves, run single-threaded.  check_case runs
+// the same case through the full configuration matrix --
+//
+//   {heap, calendar} x {memo, direct}            serial differential
+//   the whole matrix again on a thread pool      thread-count identity
+//   capture at resume_at, then resume            checkpoint equivalence
+//   loss::run_trace on the same trace            static cross-check
+//                                                (event-free cases only)
+//
+// -- and demands that every run agree with the reference on EVERY
+// observable: the RunResult counters down to the per-pair/per-bin/hop
+// breakdowns, the applied-event log, the final per-link states, the
+// rendered metrics JSON, and the byte-rendered trace stream.  The
+// reference run additionally passes through the stateful invariant oracle
+// (check/invariants.hpp).  Any disagreement becomes one human-readable
+// failure string; a CaseReport with failures is what the harness shrinks
+// and dumps as a replayable artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/invariants.hpp"
+
+namespace altroute::check {
+
+/// Which oracles to run.  Everything defaults on; the flags exist for the
+/// CLI's --no-* switches and for focused tests.
+struct CheckOptions {
+  /// Compare every engine configuration against the reference.
+  bool differential{true};
+  /// Re-run the whole matrix on a thread pool and compare to the serial
+  /// runs (the determinism-under-concurrency oracle).
+  bool threads{true};
+  int thread_count{4};
+  /// Capture a checkpoint at spec.resume_at (when >= 0), round-trip it
+  /// through the binary container codec, resume under the OTHER engine,
+  /// and compare to the straight reference run.
+  bool resume{true};
+  /// For event-free cases: compare the scenario runner against the static
+  /// loss::run_trace engine on the identical trace.
+  bool static_reference{true};
+  /// Run the stateful invariant oracle on the reference run.
+  bool invariants{true};
+  /// MUTATION TEST HOOK: inject the runner's release-leak fault into every
+  /// scenario run.  A correct checker must then FAIL the case; see
+  /// tests/test_check_mutation.cpp.
+  bool inject_release_leak{false};
+};
+
+/// Outcome of checking one case.
+struct CaseReport {
+  std::uint64_t seed{0};
+  /// One pointed message per violated oracle; empty = case passed.
+  std::vector<std::string> failures;
+  // Reference-run statistics, for corpus-level non-vacuity checks (a
+  // checker whose cases never block or never overflow onto alternates is
+  // not testing the interesting paths).
+  long long offered{0};
+  long long blocked{0};
+  long long carried_alternate{0};
+  long long dropped{0};
+
+  [[nodiscard]] bool passed() const { return failures.empty(); }
+};
+
+/// Case seed of corpus entry `index` under master seed `corpus_seed`
+/// (independent per-case streams; stable across corpus sizes).
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t corpus_seed, std::uint64_t index);
+
+/// Runs every enabled oracle against `spec`.  Engine exceptions are
+/// reported as failures (with the configuration name), never propagated.
+[[nodiscard]] CaseReport check_case(const CaseSpec& spec, const CheckOptions& options = {});
+
+}  // namespace altroute::check

@@ -1,0 +1,206 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace altroute::check {
+
+namespace {
+
+bool names_facility(const scenario::ScenarioEvent& e) {
+  switch (e.kind) {
+    case scenario::EventKind::kLinkFail:
+    case scenario::EventKind::kLinkRepair:
+    case scenario::EventKind::kCapacitySet:
+    case scenario::EventKind::kCapacityScale:
+      return true;
+    case scenario::EventKind::kTrafficScale:
+    case scenario::EventKind::kResolveProtection:
+      return false;
+  }
+  return false;
+}
+
+bool same_pair(int a1, int b1, int a2, int b2) {
+  return (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2);
+}
+
+/// Accepts `candidate` (into `current`) iff it validates and still fails.
+bool try_candidate(CaseSpec& current, CaseSpec candidate, const FailurePredicate& still_fails,
+                   ShrinkStats* stats) {
+  if (stats != nullptr) ++stats->attempted;
+  try {
+    candidate.validate();
+  } catch (...) {
+    return false;
+  }
+  bool fails = false;
+  try {
+    fails = still_fails(candidate);
+  } catch (...) {
+    fails = false;
+  }
+  if (!fails) return false;
+  current = std::move(candidate);
+  if (stats != nullptr) ++stats->accepted;
+  return true;
+}
+
+/// The spec with node `v` removed: incident facilities, its demand
+/// row/column, and events on incident facilities go too; higher node
+/// indices shift down by one.  nullopt when the removal is structurally
+/// impossible (2 nodes left, or no facility would survive).
+std::optional<CaseSpec> without_node(const CaseSpec& spec, int v) {
+  if (spec.nodes <= 2) return std::nullopt;
+  CaseSpec out = spec;
+  out.nodes = spec.nodes - 1;
+  out.facilities.clear();
+  for (const FacilitySpec& f : spec.facilities) {
+    if (f.a == v || f.b == v) continue;
+    FacilitySpec g = f;
+    if (g.a > v) --g.a;
+    if (g.b > v) --g.b;
+    out.facilities.push_back(g);
+  }
+  if (out.facilities.empty()) return std::nullopt;
+  out.demands.assign(static_cast<std::size_t>(out.nodes) * static_cast<std::size_t>(out.nodes),
+                     0.0);
+  for (int i = 0; i < spec.nodes; ++i) {
+    if (i == v) continue;
+    for (int j = 0; j < spec.nodes; ++j) {
+      if (j == v) continue;
+      const int ni = i > v ? i - 1 : i;
+      const int nj = j > v ? j - 1 : j;
+      out.demands[static_cast<std::size_t>(ni) * out.nodes + nj] =
+          spec.demands[static_cast<std::size_t>(i) * spec.nodes + j];
+    }
+  }
+  out.events.clear();
+  for (const scenario::ScenarioEvent& e : spec.events) {
+    if (!names_facility(e)) {
+      out.events.push_back(e);
+      continue;
+    }
+    if (e.node_a == v || e.node_b == v) continue;
+    scenario::ScenarioEvent g = e;
+    if (g.node_a > v) --g.node_a;
+    if (g.node_b > v) --g.node_b;
+    out.events.push_back(g);
+  }
+  return out;
+}
+
+/// The spec with facility `f` (and the events naming its pair) removed.
+std::optional<CaseSpec> without_facility(const CaseSpec& spec, std::size_t f) {
+  if (spec.facilities.size() <= 1) return std::nullopt;
+  CaseSpec out = spec;
+  const FacilitySpec removed = spec.facilities[f];
+  out.facilities.erase(out.facilities.begin() + static_cast<std::ptrdiff_t>(f));
+  out.events.clear();
+  for (const scenario::ScenarioEvent& e : spec.events) {
+    if (names_facility(e) && same_pair(e.node_a, e.node_b, removed.a, removed.b)) continue;
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+CaseSpec shrink_case(const CaseSpec& start, const FailurePredicate& still_fails,
+                     ShrinkStats* stats) {
+  {
+    bool fails = false;
+    try {
+      fails = still_fails(start);
+    } catch (...) {
+      fails = false;
+    }
+    if (!fails) return start;
+  }
+
+  CaseSpec current = start;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (stats != nullptr) ++stats->rounds;
+
+    for (int i = static_cast<int>(current.events.size()) - 1; i >= 0; --i) {
+      if (i >= static_cast<int>(current.events.size())) continue;
+      CaseSpec cand = current;
+      cand.events.erase(cand.events.begin() + i);
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+
+    for (int v = current.nodes - 1; v >= 0; --v) {
+      if (current.nodes <= 2) break;
+      if (v >= current.nodes) continue;
+      std::optional<CaseSpec> cand = without_node(current, v);
+      if (cand.has_value()) {
+        progress |= try_candidate(current, std::move(*cand), still_fails, stats);
+      }
+    }
+
+    for (int f = static_cast<int>(current.facilities.size()) - 1; f >= 0; --f) {
+      if (f >= static_cast<int>(current.facilities.size())) continue;
+      std::optional<CaseSpec> cand = without_facility(current, static_cast<std::size_t>(f));
+      if (cand.has_value()) {
+        progress |= try_candidate(current, std::move(*cand), still_fails, stats);
+      }
+    }
+
+    for (std::size_t k = 0; k < current.demands.size(); ++k) {
+      if (current.demands[k] == 0.0) continue;
+      CaseSpec cand = current;
+      cand.demands[k] = 0.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+
+    if (current.warmup != 0.0) {
+      CaseSpec cand = current;
+      cand.warmup = 0.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.time_bins != 0) {
+      CaseSpec cand = current;
+      cand.time_bins = 0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.auto_resolve) {
+      CaseSpec cand = current;
+      cand.auto_resolve = false;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.resume_at >= 0.0) {
+      CaseSpec cand = current;
+      cand.resume_at = -1.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.protect) {
+      CaseSpec cand = current;
+      cand.protect = false;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+
+    if (std::any_of(current.events.begin(), current.events.end(),
+                    [](const auto& e) { return e.time != 0.0; })) {
+      CaseSpec cand = current;
+      for (scenario::ScenarioEvent& e : cand.events) e.time = 0.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+
+    if (current.horizon > 1.0) {
+      CaseSpec cand = current;
+      cand.horizon = std::max(1.0, current.horizon / 2.0);
+      if (cand.warmup >= cand.horizon) cand.warmup = 0.0;
+      if (cand.resume_at > cand.horizon) cand.resume_at = cand.horizon;
+      cand.events.erase(std::remove_if(cand.events.begin(), cand.events.end(),
+                                       [&](const auto& e) { return e.time > cand.horizon; }),
+                        cand.events.end());
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+  }
+  return current;
+}
+
+}  // namespace altroute::check

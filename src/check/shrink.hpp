@@ -1,0 +1,48 @@
+// Greedy structural shrinker for failing CaseSpecs.
+//
+// Given a case that fails some predicate (usually "check_case reports
+// failures"), shrink_case repeatedly tries structurally smaller candidates
+// and keeps any candidate that still validates AND still fails, until a
+// full round of every pass accepts nothing -- a local minimum.  Passes, in
+// order, per round:
+//
+//   1. drop scenario events, last first;
+//   2. drop nodes, highest index first (incident facilities, demands, and
+//      facility events go with the node; surviving indices are remapped);
+//   3. drop facilities, last first (plus the events naming them);
+//   4. zero individual demand entries;
+//   5. simplify knobs: warmup -> 0, time_bins -> 0, auto_resolve -> off,
+//      resume_at -> disabled, protect -> off;
+//   6. move every event to t = 0;
+//   7. halve the horizon (floor 1.0; events past the new horizon dropped,
+//      warmup/resume_at clamped).
+//
+// The shrinker is deterministic: same input spec + same deterministic
+// predicate -> same minimal spec, which is what makes shrunk artifacts
+// reproducible and the shrink-determinism ctest possible.  A candidate
+// whose predicate THROWS counts as not-failing (never accepted), so a
+// flaky predicate cannot smuggle in an invalid "minimum".
+#pragma once
+
+#include <functional>
+
+#include "check/case.hpp"
+
+namespace altroute::check {
+
+/// Returns true when the candidate still exhibits the failure being
+/// minimized.  Must be deterministic for reproducible minima.
+using FailurePredicate = std::function<bool(const CaseSpec&)>;
+
+struct ShrinkStats {
+  int rounds{0};     ///< full passes over all shrinking strategies
+  int attempted{0};  ///< candidates generated
+  int accepted{0};   ///< candidates that still failed and were kept
+};
+
+/// Shrinks `start` (which must fail `still_fails`) to a local minimum.
+/// Returns `start` unchanged if it does not fail the predicate.
+[[nodiscard]] CaseSpec shrink_case(const CaseSpec& start, const FailurePredicate& still_fails,
+                                   ShrinkStats* stats = nullptr);
+
+}  // namespace altroute::check

@@ -15,6 +15,12 @@ const JsonValue* JsonValue::find(std::string_view key) const {
 
 namespace {
 
+/// Containers may nest at most this deep.  Scenario documents are two
+/// levels deep in practice; the bound exists so adversarial input like
+/// "[[[[..." is rejected with a pointed error instead of exhausting the
+/// call stack (the parser is recursive-descent).
+constexpr int kMaxNestingDepth = 64;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -62,10 +68,20 @@ class Parser {
     skip_whitespace();
     const char c = peek();
     switch (c) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
+      case '{': {
+        if (depth_ >= kMaxNestingDepth) fail("value nested too deeply");
+        ++depth_;
+        JsonValue v = parse_object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (depth_ >= kMaxNestingDepth) fail("value nested too deeply");
+        ++depth_;
+        JsonValue v = parse_array();
+        --depth_;
+        return v;
+      }
       case '"': {
         JsonValue v;
         v.kind = JsonValue::Kind::kString;
@@ -240,6 +256,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_{0};
+  int depth_{0};
 };
 
 }  // namespace

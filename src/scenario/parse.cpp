@@ -49,7 +49,10 @@ void check_keys(const JsonValue& event, std::size_t index,
 }  // namespace
 
 Scenario scenario_from_json(std::string_view json_text) {
-  const JsonValue root = parse_json(json_text);
+  return scenario_from_value(parse_json(json_text));
+}
+
+Scenario scenario_from_value(const JsonValue& root) {
   if (!root.is_object()) {
     throw std::invalid_argument("scenario_from_json: top-level value must be an object");
   }
@@ -106,6 +109,54 @@ Scenario scenario_from_json(std::string_view json_text) {
   }
   scenario.validate();
   return scenario;
+}
+
+std::string scenario_to_json(const Scenario& scenario) {
+  const auto number = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  std::string out = "{";
+  if (!scenario.name.empty()) {
+    // Scenario names are plain identifiers in practice; escape the two
+    // JSON-breaking characters so the writer is total anyway.
+    std::string escaped;
+    for (const char c : scenario.name) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    out += "\"name\": \"" + escaped + "\", ";
+  }
+  out += "\"events\": [";
+  for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+    const ScenarioEvent& e = scenario.events[i];
+    if (i > 0) out += ", ";
+    out += "\n  {\"time\": " + number(e.time) + ", \"type\": \"" +
+           std::string(event_kind_name(e.kind)) + "\"";
+    switch (e.kind) {
+      case EventKind::kLinkFail:
+      case EventKind::kLinkRepair:
+        out += ", \"a\": " + std::to_string(e.node_a) + ", \"b\": " + std::to_string(e.node_b);
+        break;
+      case EventKind::kCapacitySet:
+        out += ", \"a\": " + std::to_string(e.node_a) + ", \"b\": " + std::to_string(e.node_b) +
+               ", \"capacity\": " + std::to_string(e.capacity);
+        break;
+      case EventKind::kCapacityScale:
+        out += ", \"a\": " + std::to_string(e.node_a) + ", \"b\": " + std::to_string(e.node_b) +
+               ", \"factor\": " + number(e.factor);
+        break;
+      case EventKind::kTrafficScale:
+        out += ", \"factor\": " + number(e.factor);
+        break;
+      case EventKind::kResolveProtection:
+        break;
+    }
+    out += "}";
+  }
+  out += scenario.events.empty() ? "]}" : "\n]}";
+  return out;
 }
 
 Scenario load_scenario_file(const std::string& path) {

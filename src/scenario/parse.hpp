@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "scenario/json.hpp"
 #include "scenario/scenario.hpp"
 
 namespace altroute::scenario {
@@ -30,6 +31,15 @@ namespace altroute::scenario {
 /// Parses a scenario from JSON text and validates it.  Throws
 /// std::invalid_argument on malformed JSON or invalid scenario content.
 [[nodiscard]] Scenario scenario_from_json(std::string_view json_text);
+
+/// Same, from an already-parsed JSON object (embedded scenarios, e.g. the
+/// checker's case.json artifacts).  Validation is identical.
+[[nodiscard]] Scenario scenario_from_value(const JsonValue& root);
+
+/// Renders a scenario back to the JSON schema scenario_from_json reads.
+/// Doubles are printed with "%.17g", so times and factors round-trip
+/// bit-exactly: scenario_from_json(scenario_to_json(s)) == s.
+[[nodiscard]] std::string scenario_to_json(const Scenario& scenario);
 
 /// Reads `path` and parses it with scenario_from_json.  Throws
 /// std::runtime_error when the file cannot be read.

@@ -146,7 +146,14 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
 
   const auto release_call = [&](Arena::Handle h) {
     const InFlight& call = in_flight.value(h);
-    state.release(call.path, call.units);
+    if (options.fault_leak_release && !call.path.links.empty()) {
+      // TEST HOOK: leak one circuit on the path's last link per release.
+      routing::Path leaky = call.path;
+      leaky.links.pop_back();
+      state.release(leaky, call.units);
+    } else {
+      state.release(call.path, call.units);
+    }
     adjust_alt_occ(call, -1);
     in_flight.release(h);
   };

@@ -84,6 +84,11 @@ struct ScenarioEngineOptions {
   /// r* behind; results are bit-identical either way (differential ctests
   /// and tests/test_rstar_invalidation.cpp enforce it).
   bool memoize_protection{true};
+  /// TEST HOOK (src/check mutation tests only -- never set in real runs):
+  /// when true, every call release "forgets" the last link of the call's
+  /// booked path, leaking one circuit per departure.  The checker's
+  /// occupancy oracles must catch this; it exists to prove they can.
+  bool fault_leak_release{false};
   /// Observability hooks (metrics / structured tracing), nullptr = off.
   /// Call-level hooks and kill/preempt accounting fire post-warm-up only
   /// (matching the counters); event_applied and protection_resolved records

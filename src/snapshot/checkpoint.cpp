@@ -28,7 +28,7 @@ void put_ll_vec(SectionWriter& w, const std::vector<long long>& v) {
 }
 
 std::vector<long long> get_ll_vec(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(8, "i64 vector");
   std::vector<long long> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i64());
@@ -36,7 +36,7 @@ std::vector<long long> get_ll_vec(SectionReader& r) {
 }
 
 std::vector<std::int64_t> get_i64_vec(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(8, "i64 vector");
   std::vector<std::int64_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i64());
@@ -49,7 +49,7 @@ void put_i32_vec(SectionWriter& w, const std::vector<std::int32_t>& v) {
 }
 
 std::vector<std::int32_t> get_i32_vec(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(4, "i32 vector");
   std::vector<std::int32_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.i32());
@@ -62,7 +62,7 @@ void put_u32_vec(SectionWriter& w, const std::vector<std::uint32_t>& v) {
 }
 
 std::vector<std::uint32_t> get_u32_vec(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(4, "u32 vector");
   std::vector<std::uint32_t> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.u32());
@@ -75,7 +75,7 @@ void put_f64_vec(SectionWriter& w, const std::vector<double>& v) {
 }
 
 std::vector<double> get_f64_vec(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(8, "f64 vector");
   std::vector<double> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.f64());
@@ -93,7 +93,7 @@ void put_applied(SectionWriter& w, const std::vector<AppliedEventState>& v) {
 }
 
 std::vector<AppliedEventState> get_applied(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(24, "applied-event");
   std::vector<AppliedEventState> v;
   v.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -147,7 +147,7 @@ void put_trace_records(SectionWriter& w, const std::vector<obs::TraceRecord>& re
 }
 
 std::vector<obs::TraceRecord> get_trace_records(SectionReader& r) {
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(8, "trace-record");
   std::vector<obs::TraceRecord> records;
   records.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -338,7 +338,7 @@ ScenarioCheckpoint decode_checkpoint_body(const std::vector<Section>& sections,
   }
   {
     SectionReader r(find_section(sections, name, "GRPH"));
-    const std::uint64_t n = r.u64();
+    const std::uint64_t n = r.count(1, "link flag");
     c.link_enabled.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) c.link_enabled.push_back(r.u8());
     c.link_capacity = get_i32_vec(r);
@@ -364,7 +364,7 @@ ScenarioCheckpoint decode_checkpoint_body(const std::vector<Section>& sections,
   {
     SectionReader r(find_section(sections, name, "EVTQ"));
     c.departures.next_seq = r.u64();
-    const std::uint64_t n = r.u64();
+    const std::uint64_t n = r.count(24, "queue entry");
     c.departures.entries.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       QueueEntry e;
@@ -500,7 +500,7 @@ SweepTaskResult load_sweep_task_result(const std::string& path) {
   SweepTaskResult result;
   std::tie(result.fingerprint, result.task) = check_meta(sections, path, kKindTaskResult);
   SectionReader r(find_section(sections, path, "SLTS"));
-  const std::uint64_t n = r.u64();
+  const std::uint64_t n = r.count(1, "sweep slot");
   result.slots.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) result.slots.push_back(decode_slot(r));
   r.finish();

@@ -276,6 +276,18 @@ std::string SectionReader::str() {
   return v;
 }
 
+std::uint64_t SectionReader::count(std::size_t min_elem_bytes, const char* what) {
+  const std::uint64_t n = u64();
+  const std::uint64_t floor_bytes = min_elem_bytes > 0 ? min_elem_bytes : 1;
+  if (n > remaining() / floor_bytes) {
+    throw std::invalid_argument("checkpoint section '" + section_.tag + "': " + what + " count " +
+                                std::to_string(n) + " overruns the section (" +
+                                std::to_string(remaining()) + " bytes left, >= " +
+                                std::to_string(floor_bytes) + " needed per element)");
+  }
+  return n;
+}
+
 std::vector<std::uint8_t> SectionReader::blob() {
   const std::uint64_t size = u64();
   need(size, "blob body");

@@ -116,6 +116,13 @@ class SectionReader {
   [[nodiscard]] std::string str();
   [[nodiscard]] std::vector<std::uint8_t> blob();
 
+  /// Reads a u64 element count and validates it against the bytes actually
+  /// left in the section (each element occupies at least `min_elem_bytes`
+  /// on the wire).  A forged count -- e.g. 2^60 links -- is rejected with a
+  /// pointed error BEFORE any decoder reserves storage for it, instead of
+  /// attempting a giant allocation.
+  [[nodiscard]] std::uint64_t count(std::size_t min_elem_bytes, const char* what);
+
   /// Bytes not yet consumed.
   [[nodiscard]] std::size_t remaining() const { return section_.bytes.size() - pos_; }
 

@@ -1,0 +1,150 @@
+// The checker's case universe: generate_case must be deterministic in its
+// seed, every generated spec must validate and materialize, the corpus
+// must actually cover the interesting axes (all three policies, events of
+// several kinds, warmed and cold runs), and the case.json codec must
+// round-trip bit-exactly -- a dumped artifact that replays a DIFFERENT
+// case would make every shrunk repro worthless.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+
+using namespace altroute;
+
+namespace {
+
+constexpr int kCorpus = 300;  // seeds sampled by the statistics tests
+
+std::uint64_t seed_of(int index) {
+  return check::case_seed(42, static_cast<std::uint64_t>(index));
+}
+
+TEST(CheckGenerator, DeterministicInTheSeed) {
+  for (int i = 0; i < 25; ++i) {
+    const check::CaseSpec a = check::generate_case(seed_of(i));
+    const check::CaseSpec b = check::generate_case(seed_of(i));
+    EXPECT_EQ(check::case_to_json(a), check::case_to_json(b)) << "seed " << a.seed;
+  }
+}
+
+TEST(CheckGenerator, EveryGeneratedSpecValidatesAndMaterializes) {
+  for (int i = 0; i < kCorpus; ++i) {
+    const check::CaseSpec spec = check::generate_case(seed_of(i));
+    ASSERT_NO_THROW(spec.validate()) << "seed " << spec.seed;
+    EXPECT_GE(spec.nodes, 2);
+    EXPECT_LE(spec.nodes, 8);
+    // The ring guarantees connectivity: n facilities for n >= 3, one for 2.
+    EXPECT_GE(spec.facilities.size(), spec.nodes == 2 ? 1u : static_cast<std::size_t>(spec.nodes));
+    EXPECT_EQ(spec.demands.size(),
+              static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes));
+    EXPECT_GT(spec.horizon, spec.warmup);
+
+    const net::Graph graph = spec.graph();
+    EXPECT_EQ(graph.node_count(), spec.nodes);
+    EXPECT_EQ(graph.link_count(), static_cast<int>(2 * spec.facilities.size()));
+    const sim::CallTrace trace = spec.trace();
+    EXPECT_NO_THROW((void)spec.scenario());
+    EXPECT_NE(spec.make_policy(), nullptr);
+    if (!spec.reservations().empty()) {
+      EXPECT_EQ(spec.reservations().size(), static_cast<std::size_t>(graph.link_count()));
+    }
+    (void)trace;
+  }
+}
+
+TEST(CheckGenerator, CorpusCoversTheInterestingAxes) {
+  std::set<check::PolicyChoice> policies;
+  std::set<scenario::EventKind> event_kinds;
+  int with_events = 0, warmed = 0, binned = 0, protected_cases = 0, auto_resolved = 0;
+  for (int i = 0; i < kCorpus; ++i) {
+    const check::CaseSpec spec = check::generate_case(seed_of(i));
+    policies.insert(spec.policy);
+    for (const scenario::ScenarioEvent& e : spec.events) event_kinds.insert(e.kind);
+    if (!spec.events.empty()) ++with_events;
+    if (spec.warmup > 0.0) ++warmed;
+    if (spec.time_bins > 0) ++binned;
+    if (spec.protect) ++protected_cases;
+    if (spec.auto_resolve) ++auto_resolved;
+    EXPECT_GE(spec.resume_at, 0.0) << "every case exercises the resume oracle";
+  }
+  EXPECT_EQ(policies.size(), 3u) << "all three routing schemes must appear";
+  EXPECT_EQ(event_kinds.size(), 6u) << "all six event kinds must appear";
+  EXPECT_GT(with_events, kCorpus / 2);
+  EXPECT_GT(warmed, kCorpus / 8);
+  EXPECT_LT(warmed, kCorpus);  // cold runs keep the occupancy model active
+  EXPECT_GT(binned, kCorpus / 8);
+  EXPECT_GT(protected_cases, kCorpus / 4);
+  EXPECT_GT(auto_resolved, kCorpus / 16);
+}
+
+TEST(CheckGenerator, CaseSeedStreamsAreStableAndSpread) {
+  // The corpus seed schedule must not depend on corpus size (so a failure
+  // at --cases 2000 replays at any size) and must not collide trivially.
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < kCorpus; ++i) {
+    EXPECT_EQ(check::case_seed(7, static_cast<std::uint64_t>(i)),
+              check::case_seed(7, static_cast<std::uint64_t>(i)));
+    seeds.insert(check::case_seed(7, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(seeds.size(), static_cast<std::size_t>(kCorpus));
+}
+
+TEST(CheckGenerator, CaseJsonRoundTripsBitExactly) {
+  for (int i = 0; i < 50; ++i) {
+    const check::CaseSpec spec = check::generate_case(seed_of(i));
+    const std::string json = check::case_to_json(spec);
+    const check::CaseSpec back = check::case_from_json(json);
+    EXPECT_EQ(check::case_to_json(back), json) << "seed " << spec.seed;
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.trace_seed, spec.trace_seed);
+    EXPECT_EQ(back.policy_seed, spec.policy_seed);
+    EXPECT_EQ(back.policy, spec.policy);
+    EXPECT_EQ(back.demands, spec.demands);  // %.17g: bit-exact doubles
+    EXPECT_EQ(back.horizon, spec.horizon);
+    EXPECT_EQ(back.resume_at, spec.resume_at);
+    EXPECT_EQ(back.events.size(), spec.events.size());
+  }
+}
+
+TEST(CheckGenerator, LoadCaseReadsWhatDumpArtifactsWrote) {
+  const check::CaseSpec spec = check::generate_case(seed_of(3));
+  const std::string dir = ::testing::TempDir() + "check_gen_artifacts";
+  check::dump_case_artifacts(dir, spec, {"synthetic failure for the bundle"});
+
+  const check::CaseSpec back = check::load_case(dir + "/case.json");
+  EXPECT_EQ(check::case_to_json(back), check::case_to_json(spec));
+  // The bundle carries the human-facing repro pieces too.
+  EXPECT_TRUE(std::ifstream(dir + "/network.txt").good());
+  EXPECT_TRUE(std::ifstream(dir + "/traffic.txt").good());
+  EXPECT_TRUE(std::ifstream(dir + "/scenario.json").good());
+  EXPECT_TRUE(std::ifstream(dir + "/repro.txt").good());
+}
+
+TEST(CheckGenerator, MalformedCaseJsonIsRejectedPointedly) {
+  const auto expect_rejects = [](const std::string& json, const char* expected) {
+    try {
+      (void)check::case_from_json(json);
+      FAIL() << "accepted: " << json;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(expected), std::string::npos) << e.what();
+    }
+  };
+  expect_rejects("[]", "object");
+  expect_rejects(R"({"format": 2})", "format");
+  const check::CaseSpec spec = check::generate_case(seed_of(0));
+  std::string json = check::case_to_json(spec);
+  // A seed rendered as a JSON number would round through a double; the
+  // schema demands a decimal string.
+  const std::string needle = "\"seed\": \"" + std::to_string(spec.seed) + "\"";
+  const std::size_t at = json.find(needle);
+  ASSERT_NE(at, std::string::npos) << json.substr(0, 200);
+  json.replace(at, needle.size(), "\"seed\": 12");
+  expect_rejects(json, "seed");
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Mutation test of the whole checking pipeline: with the runner's
+// release-leak fault injected (scenario::ScenarioEngineOptions::
+// fault_leak_release), the oracles MUST fail a corpus case, the shrinker
+// MUST reduce it to a replayable minimum that still fails, and the dumped
+// artifact MUST round-trip into the same failing case.  A checker that
+// cannot catch a seeded occupancy bug is decoration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+
+using namespace altroute;
+
+namespace {
+
+check::CheckOptions injected_options() {
+  check::CheckOptions options;
+  options.inject_release_leak = true;
+  options.thread_count = 2;
+  return options;
+}
+
+// The first corpus entry of the pinned tier-1 run (--cases 200 --seed 1):
+// the same case the ctest corpus checks cleanly must fail once poisoned.
+check::CaseSpec first_corpus_case() { return check::generate_case(check::case_seed(1, 0)); }
+
+TEST(CheckMutation, CleanEnginePassesTheSameCase) {
+  const check::CaseReport report = check::check_case(first_corpus_case());
+  EXPECT_TRUE(report.passed()) << (report.failures.empty() ? "" : report.failures.front());
+}
+
+TEST(CheckMutation, InjectedLeakIsCaughtShrunkAndReplayable) {
+  const check::CaseSpec spec = first_corpus_case();
+  const check::CheckOptions options = injected_options();
+
+  const check::CaseReport report = check::check_case(spec, options);
+  ASSERT_FALSE(report.passed()) << "the injected circuit leak went unnoticed";
+  EXPECT_EQ(report.seed, spec.seed);
+
+  check::ShrinkStats stats;
+  const check::CaseSpec minimal = check::shrink_case(
+      spec, [&](const check::CaseSpec& cand) { return !check_case(cand, options).passed(); },
+      &stats);
+  EXPECT_GT(stats.accepted, 0) << "nothing shrank off a generated case";
+  // The leak needs only one call on one facility to show.
+  EXPECT_EQ(minimal.nodes, 2);
+  EXPECT_EQ(minimal.facilities.size(), 1u);
+  EXPECT_TRUE(minimal.events.empty());
+
+  const check::CaseReport minimal_report = check::check_case(minimal, options);
+  ASSERT_FALSE(minimal_report.passed()) << "shrunk case no longer fails";
+
+  // Artifact round-trip: what the bundle stores is the failing case.
+  const std::string dir = ::testing::TempDir() + "check_mutation_artifacts";
+  check::dump_case_artifacts(dir, minimal, minimal_report.failures);
+  const check::CaseSpec replayed = check::load_case(dir + "/case.json");
+  EXPECT_EQ(check::case_to_json(replayed), check::case_to_json(minimal));
+  EXPECT_FALSE(check::check_case(replayed, options).passed());
+  // ...and the case itself is sound: replayed against a CLEAN engine it
+  // passes, pinning the failure on the injected fault, not the spec.
+  EXPECT_TRUE(check::check_case(replayed).passed());
+}
+
+TEST(CheckMutation, EveryOracleFamilyAloneCatchesTheLeak) {
+  // The leak surfaces in final occupancy, so the invariant oracle catches
+  // it even with every cross-run comparison disabled -- and the resume
+  // oracle catches it even with invariants disabled (the checkpoint's
+  // stored occupancy disagrees with the re-booked calls).
+  const check::CaseSpec spec = first_corpus_case();
+
+  // The occupancy reconstruction needs the whole run traced.
+  check::CaseSpec cold = spec;
+  cold.warmup = 0.0;
+  check::CheckOptions invariants_only = injected_options();
+  invariants_only.differential = false;
+  invariants_only.threads = false;
+  invariants_only.resume = false;
+  invariants_only.static_reference = false;
+  EXPECT_FALSE(check::check_case(cold, invariants_only).passed());
+
+  check::CheckOptions resume_only = injected_options();
+  resume_only.differential = false;
+  resume_only.threads = false;
+  resume_only.static_reference = false;
+  resume_only.invariants = false;
+  EXPECT_FALSE(check::check_case(spec, resume_only).passed());
+}
+
+}  // namespace

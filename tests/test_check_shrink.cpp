@@ -1,0 +1,139 @@
+// Shrink determinism: for a deterministic predicate, shrink_case must
+// reach the SAME local minimum every time, and for a predicate with a
+// known structural trigger the minimum must be the obvious smallest case
+// -- two nodes, one facility, zero demand, one t=0 event, horizon 1, every
+// knob simplified away.  That exactness is what makes a dumped shrunk
+// artifact trustworthy as a bug report.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+
+using namespace altroute;
+
+namespace {
+
+// A mid-sized start: four nodes ringed, warmed, binned, auto-resolving,
+// resumable, protected -- everything the shrinker should strip away.  The
+// FIRST event is node-independent (resolve_protection), so the synthetic
+// predicate below pins exactly one survivor.
+check::CaseSpec synthetic_start() {
+  check::CaseSpec spec;
+  spec.seed = 4242;
+  spec.nodes = 4;
+  spec.facilities = {{0, 1, 5}, {1, 2, 5}, {2, 3, 5}, {3, 0, 5}};
+  spec.demands.assign(16, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) spec.demands[static_cast<std::size_t>(i) * 4 + j] = 2.0;
+    }
+  }
+  spec.horizon = 16.0;
+  spec.warmup = 4.0;
+  spec.time_bins = 6;
+  spec.max_alt_hops = 3;
+  spec.policy = check::PolicyChoice::kControlled;
+  spec.protect = true;
+  spec.auto_resolve = true;
+  spec.trace_seed = 5;
+  spec.policy_seed = 6;
+  spec.resume_at = 8.0;
+  spec.events.push_back(scenario::ScenarioEvent::resolve_protection(3.0));
+  spec.events.push_back(scenario::ScenarioEvent::link_fail(5.0, 1, 2));
+  spec.events.push_back(scenario::ScenarioEvent::traffic_scale(7.0, 1.5));
+  spec.validate();
+  return spec;
+}
+
+// "The bug reproduces whenever any scenario event exists" -- a pure
+// structural predicate, so the expected minimum is computable by hand.
+bool has_any_event(const check::CaseSpec& spec) { return !spec.events.empty(); }
+
+TEST(CheckShrink, ReachesTheExactStructuralMinimum) {
+  check::ShrinkStats stats;
+  const check::CaseSpec minimal = check::shrink_case(synthetic_start(), has_any_event, &stats);
+
+  EXPECT_EQ(minimal.nodes, 2);
+  ASSERT_EQ(minimal.facilities.size(), 1u);
+  EXPECT_EQ(minimal.facilities[0].a, 0);
+  EXPECT_EQ(minimal.facilities[0].b, 1);
+  EXPECT_EQ(minimal.demands, std::vector<double>(4, 0.0));
+  ASSERT_EQ(minimal.events.size(), 1u);
+  EXPECT_EQ(minimal.events[0].kind, scenario::EventKind::kResolveProtection);
+  EXPECT_EQ(minimal.events[0].time, 0.0);
+  EXPECT_EQ(minimal.horizon, 1.0);
+  EXPECT_EQ(minimal.warmup, 0.0);
+  EXPECT_EQ(minimal.time_bins, 0);
+  EXPECT_FALSE(minimal.auto_resolve);
+  EXPECT_FALSE(minimal.protect);
+  EXPECT_LT(minimal.resume_at, 0.0);
+  EXPECT_NO_THROW(minimal.validate());
+
+  EXPECT_GE(stats.rounds, 2);  // at least one productive round + the fixpoint round
+  EXPECT_GT(stats.accepted, 0);
+  EXPECT_LE(stats.accepted, stats.attempted);
+}
+
+TEST(CheckShrink, IsDeterministic) {
+  const check::CaseSpec a = check::shrink_case(synthetic_start(), has_any_event);
+  const check::CaseSpec b = check::shrink_case(synthetic_start(), has_any_event);
+  EXPECT_EQ(check::case_to_json(a), check::case_to_json(b));
+}
+
+TEST(CheckShrink, ReturnsTheStartWhenItDoesNotFail) {
+  const check::CaseSpec start = synthetic_start();
+  check::ShrinkStats stats;
+  const check::CaseSpec out =
+      check::shrink_case(start, [](const check::CaseSpec&) { return false; }, &stats);
+  EXPECT_EQ(check::case_to_json(out), check::case_to_json(start));
+  EXPECT_EQ(stats.rounds, 0);
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(CheckShrink, AThrowingPredicateNeverSmugglesInACandidate) {
+  // The predicate holds the start but throws on anything smaller; the
+  // shrinker must treat the throws as "does not fail" and return the start.
+  const check::CaseSpec start = synthetic_start();
+  const std::string start_json = check::case_to_json(start);
+  const check::CaseSpec out = check::shrink_case(start, [&](const check::CaseSpec& cand) {
+    if (check::case_to_json(cand) != start_json) throw std::runtime_error("flaky predicate");
+    return true;
+  });
+  EXPECT_EQ(check::case_to_json(out), start_json);
+}
+
+// Does the spec still carry an event no node/facility pass can remove?
+bool has_node_independent_event(const check::CaseSpec& spec) {
+  for (const scenario::ScenarioEvent& e : spec.events) {
+    if (e.kind == scenario::EventKind::kResolveProtection ||
+        e.kind == scenario::EventKind::kTrafficScale) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(CheckShrink, ShrinksAGeneratedCaseUnderAStructuralPredicate) {
+  // Generated cases carry extra structure (chords, uneven demands); a
+  // structural predicate must still strip them to the same minimum shape.
+  check::CaseSpec start;
+  bool found = false;
+  for (int i = 0; i < 64 && !found; ++i) {
+    start = check::generate_case(check::case_seed(3, static_cast<std::uint64_t>(i)));
+    found = has_node_independent_event(start);
+  }
+  ASSERT_TRUE(found) << "corpus never generated a node-independent event";
+  const check::CaseSpec minimal = check::shrink_case(start, has_node_independent_event);
+  EXPECT_EQ(minimal.nodes, 2);
+  EXPECT_EQ(minimal.facilities.size(), 1u);
+  EXPECT_EQ(minimal.events.size(), 1u);
+  EXPECT_EQ(minimal.horizon, 1.0);
+  const check::CaseSpec again = check::shrink_case(start, has_node_independent_event);
+  EXPECT_EQ(check::case_to_json(again), check::case_to_json(minimal));
+}
+
+}  // namespace

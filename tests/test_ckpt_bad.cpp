@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "snapshot/checkpoint.hpp"
 #include "snapshot/format.hpp"
 
 namespace snapshot = altroute::snapshot;
@@ -56,6 +57,24 @@ INSTANTIATE_TEST_SUITE_P(
       std::string name = info.param.file;
       return name.substr(0, name.find('.'));
     });
+
+// Found by the seeded fuzzer (tests/test_parser_fuzz.cpp): this file is a
+// VALID container whose GRPH section advertises 2^60 elements.  The
+// container layer accepts it, so the corpus harness above cannot cover it;
+// the checkpoint DECODER must reject the hostile count before a single
+// byte is allocated (not die in operator new).
+TEST(CkptBadCorpus, HostileElementCountIsRejectedByTheDecoder) {
+  const std::string path = std::string(CKPT_BAD_DIR) + "/huge_count.ckpt";
+  ASSERT_TRUE(std::ifstream(path).good()) << "missing corpus file " << path;
+  try {
+    (void)snapshot::load_checkpoint(path);
+    FAIL() << "huge_count.ckpt was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("overruns the section"), std::string::npos) << message;
+    EXPECT_NE(message.find("GRPH"), std::string::npos) << message;
+  }
+}
 
 // Sanity anchors: the defects above are what the reader rejects, not an
 // inability to read anything at all.

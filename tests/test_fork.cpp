@@ -1,0 +1,278 @@
+// Unit tests for snapshot::fork_runs: K continuations branched from ONE
+// mid-run checkpoint share an identical realized past (byte-identical
+// trace prefix) and diverge only in their scripted futures; each branch
+// reproduces exactly what a hand-wired resume of the same checkpoint
+// produces; branch order, labels, and thread count never change results;
+// and the argument validation is pointed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/call_trace.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/fork.hpp"
+
+using namespace altroute;
+
+namespace {
+
+constexpr double kCaptureAt = 30.0;
+
+struct Model {
+  net::Graph graph = net::full_mesh(4, 40);
+  net::TrafficMatrix traffic = net::TrafficMatrix::uniform(4, 35.0);
+  scenario::Scenario scen;
+  double horizon = 60.0;
+
+  Model() {
+    scen.name = "fork base";
+    scen.events.push_back(scenario::ScenarioEvent::resolve_protection(0.0));
+    scen.events.push_back(scenario::ScenarioEvent::link_fail(20.0, 0, 1));
+    scen.events.push_back(scenario::ScenarioEvent::resolve_protection(20.0));
+    scen.events.push_back(scenario::ScenarioEvent::link_repair(28.0, 0, 1));
+  }
+};
+
+scenario::ScenarioEngineOptions base_engine(const Model&) {
+  scenario::ScenarioEngineOptions engine;
+  engine.warmup = 5.0;
+  engine.policy_seed = 13;
+  engine.time_bins = 6;
+  engine.max_alt_hops = 3;
+  return engine;
+}
+
+// The three futures every test forks into: the original script, an extra
+// failure after the capture point, and a capacity cut after it.
+std::vector<scenario::Scenario> branch_scenarios(const Model& m) {
+  scenario::Scenario extra_failure = m.scen;
+  extra_failure.events.push_back(scenario::ScenarioEvent::link_fail(45.0, 1, 2));
+  scenario::Scenario capacity_cut = m.scen;
+  capacity_cut.events.push_back(scenario::ScenarioEvent::capacity_scale(40.0, 2, 3, 0.25));
+  capacity_cut.events.push_back(scenario::ScenarioEvent::resolve_protection(40.0));
+  return {m.scen, extra_failure, capacity_cut};
+}
+
+// Captures the checkpoint at kCaptureAt plus the trace-record prefix.
+struct CapturingSink final : snapshot::CheckpointSink {
+  obs::VectorTraceSink* collector{nullptr};
+  std::vector<snapshot::ScenarioCheckpoint> captured;
+  std::vector<std::vector<obs::TraceRecord>> prefixes;
+
+  void on_checkpoint(const snapshot::ScenarioCheckpoint& ck) override {
+    captured.push_back(ck);
+    prefixes.push_back(collector != nullptr ? collector->records
+                                            : std::vector<obs::TraceRecord>{});
+  }
+};
+
+struct Capture {
+  snapshot::ScenarioCheckpoint ckpt;
+  std::vector<obs::TraceRecord> prefix;
+};
+
+// fork_runs forbids a probe (K branches cannot share one registry), and a
+// checkpoint captured WITH a probe carries obs state a probe-less resume
+// rejects -- so the fork tests capture without observability, and the
+// trace-sharing test captures with it.
+Capture capture_at_30(const Model& m, const sim::CallTrace& trace, bool with_probe) {
+  CapturingSink sink;
+  obs::MetricRegistry registry;
+  obs::VectorTraceSink collector;
+  obs::Probe probe(&registry, &collector);
+  sink.collector = &collector;
+  scenario::ScenarioEngineOptions engine = base_engine(m);
+  if (with_probe) engine.probe = &probe;
+  engine.checkpoint_at = kCaptureAt;
+  engine.checkpoints = &sink;
+  core::ControlledAlternatePolicy policy;
+  (void)scenario::run_scenario(m.graph, m.traffic, policy, trace, m.scen, engine);
+  EXPECT_EQ(sink.captured.size(), 1u);
+  return {sink.captured.front(), sink.prefixes.front()};
+}
+
+// A hand-wired resume of one branch; observability mirrors the capture run
+// (the checkpoint and the resume must agree on whether a probe exists).
+struct BranchRun {
+  scenario::ScenarioRunResult result;
+  std::vector<std::string> lines;
+};
+
+BranchRun resume_by_hand(const Model& m, const sim::CallTrace& trace, const Capture& cap,
+                         const scenario::Scenario& branch, bool with_probe) {
+  obs::MetricRegistry registry;
+  obs::VectorTraceSink collector;
+  collector.records = cap.prefix;
+  obs::Probe probe(&registry, &collector);
+  scenario::ScenarioEngineOptions engine = base_engine(m);
+  if (with_probe) engine.probe = &probe;
+  engine.resume = &cap.ckpt;
+  core::ControlledAlternatePolicy policy;
+  BranchRun run;
+  run.result = scenario::run_scenario(m.graph, m.traffic, policy, trace, branch, engine);
+  run.lines.reserve(collector.records.size());
+  for (const obs::TraceRecord& r : collector.records) {
+    run.lines.push_back(obs::JsonlTraceSink::format(r));
+  }
+  return run;
+}
+
+void expect_same_result(const scenario::ScenarioRunResult& a,
+                        const scenario::ScenarioRunResult& b, const std::string& label) {
+  EXPECT_EQ(a.run.offered, b.run.offered) << label;
+  EXPECT_EQ(a.run.blocked, b.run.blocked) << label;
+  EXPECT_EQ(a.run.carried_primary, b.run.carried_primary) << label;
+  EXPECT_EQ(a.run.carried_alternate, b.run.carried_alternate) << label;
+  EXPECT_EQ(a.run.carried_by_hops, b.run.carried_by_hops) << label;
+  EXPECT_EQ(a.run.bin_offered, b.run.bin_offered) << label;
+  EXPECT_EQ(a.run.bin_blocked, b.run.bin_blocked) << label;
+  EXPECT_EQ(a.dropped, b.dropped) << label;
+  ASSERT_EQ(a.applied.size(), b.applied.size()) << label;
+  for (std::size_t i = 0; i < a.applied.size(); ++i) {
+    EXPECT_EQ(a.applied[i].time, b.applied[i].time) << label << " applied " << i;
+    EXPECT_EQ(a.applied[i].calls_killed, b.applied[i].calls_killed) << label << " applied " << i;
+  }
+  ASSERT_EQ(a.final_links.size(), b.final_links.size()) << label;
+  for (std::size_t k = 0; k < a.final_links.size(); ++k) {
+    EXPECT_EQ(a.final_links[k].occupancy, b.final_links[k].occupancy) << label << " link " << k;
+    EXPECT_EQ(a.final_links[k].capacity, b.final_links[k].capacity) << label << " link " << k;
+  }
+}
+
+TEST(Fork, ThreeWayForkMatchesHandWiredResumes) {
+  const Model m;
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 17);
+  const Capture cap = capture_at_30(m, trace, /*with_probe=*/false);
+  const std::vector<scenario::Scenario> branches = branch_scenarios(m);
+
+  core::ControlledAlternatePolicy p0, p1, p2;
+  snapshot::ForkOptions options;
+  options.engine = base_engine(m);
+  const std::vector<snapshot::ForkOutcome> outcomes =
+      snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                          {{"baseline", branches[0], &p0},
+                           {"extra-failure", branches[1], &p1},
+                           {"capacity-cut", branches[2], &p2}},
+                          options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].name, "baseline");
+  EXPECT_EQ(outcomes[1].name, "extra-failure");
+  EXPECT_EQ(outcomes[2].name, "capacity-cut");
+
+  for (std::size_t k = 0; k < 3; ++k) {
+    const BranchRun manual = resume_by_hand(m, trace, cap, branches[k], /*with_probe=*/false);
+    expect_same_result(outcomes[k].result, manual.result, outcomes[k].name);
+  }
+  // The futures genuinely diverge: the extra failure kills calls the
+  // baseline kept, the capacity cut forces preemptions.
+  EXPECT_GT(outcomes[1].result.dropped, outcomes[0].result.dropped);
+  EXPECT_GT(outcomes[2].result.dropped, outcomes[0].result.dropped);
+  EXPECT_EQ(outcomes[0].result.run.offered, outcomes[1].result.run.offered);
+  EXPECT_EQ(outcomes[0].result.run.offered, outcomes[2].result.run.offered);
+}
+
+TEST(Fork, BranchesShareTheRealizedPastByteForByte) {
+  const Model m;
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 17);
+  const Capture cap = capture_at_30(m, trace, /*with_probe=*/true);
+  const std::vector<scenario::Scenario> branches = branch_scenarios(m);
+  ASSERT_FALSE(cap.prefix.empty());
+
+  std::vector<BranchRun> runs;
+  runs.reserve(branches.size());
+  for (const scenario::Scenario& b : branches) {
+    runs.push_back(resume_by_hand(m, trace, cap, b, /*with_probe=*/true));
+  }
+  // Every branch's stream starts with the SAME realized past...
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    ASSERT_GE(runs[k].lines.size(), cap.prefix.size());
+    for (std::size_t i = 0; i < cap.prefix.size(); ++i) {
+      ASSERT_EQ(runs[k].lines[i], runs[0].lines[i])
+          << "branch " << k << " diverges INSIDE the shared past at record " << i;
+    }
+  }
+  // ...and any divergence between futures happens after the capture point.
+  bool diverged = false;
+  for (std::size_t i = cap.prefix.size(); i < runs[0].lines.size() && !diverged; ++i) {
+    diverged = i >= runs[1].lines.size() || runs[0].lines[i] != runs[1].lines[i];
+  }
+  EXPECT_TRUE(diverged || runs[0].lines.size() != runs[1].lines.size())
+      << "the extra-failure branch never diverged from the baseline";
+}
+
+TEST(Fork, ThreadCountDoesNotChangeOutcomes) {
+  const Model m;
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 17);
+  const Capture cap = capture_at_30(m, trace, /*with_probe=*/false);
+  const std::vector<scenario::Scenario> branches = branch_scenarios(m);
+
+  const auto fork_with = [&](int threads) {
+    core::ControlledAlternatePolicy p0, p1, p2;
+    snapshot::ForkOptions options;
+    options.engine = base_engine(m);
+    options.threads = threads;
+    return snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                               {{"baseline", branches[0], &p0},
+                                {"extra-failure", branches[1], &p1},
+                                {"capacity-cut", branches[2], &p2}},
+                               options);
+  };
+  const std::vector<snapshot::ForkOutcome> serial = fork_with(1);
+  const std::vector<snapshot::ForkOutcome> threaded = fork_with(3);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].name, threaded[k].name);
+    expect_same_result(serial[k].result, threaded[k].result, "threads=" + serial[k].name);
+  }
+}
+
+TEST(Fork, ValidationIsPointed) {
+  const Model m;
+  const sim::CallTrace trace = scenario::make_scenario_trace(m.traffic, m.scen, m.horizon, 17);
+  const Capture cap = capture_at_30(m, trace, /*with_probe=*/false);
+  snapshot::ForkOptions options;
+  options.engine = base_engine(m);
+
+  // A variant without a policy.
+  EXPECT_THROW((void)snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                                         {{"no-policy", m.scen, nullptr}}, options),
+               std::invalid_argument);
+
+  core::ControlledAlternatePolicy policy;
+  // threads < 1.
+  snapshot::ForkOptions zero_threads = options;
+  zero_threads.threads = 0;
+  EXPECT_THROW((void)snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                                         {{"baseline", m.scen, &policy}}, zero_threads),
+               std::invalid_argument);
+
+  // A shared probe across branches is rejected outright.
+  obs::MetricRegistry registry;
+  obs::Probe probe(&registry, nullptr);
+  snapshot::ForkOptions with_probe = options;
+  with_probe.engine.probe = &probe;
+  EXPECT_THROW((void)snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                                         {{"baseline", m.scen, &policy}}, with_probe),
+               std::invalid_argument);
+
+  // A branch whose scenario diverges BEFORE the capture point.
+  scenario::Scenario early = m.scen;
+  early.events.insert(early.events.begin() + 1,
+                      scenario::ScenarioEvent::capacity_scale(5.0, 2, 3, 0.9));
+  EXPECT_THROW((void)snapshot::fork_runs(m.graph, m.traffic, trace, cap.ckpt,
+                                         {{"early-divergence", early, &policy}}, options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Seeded fuzz regression for the two hand-written-input front doors: the
+// scenario JSON parser and the checkpoint container/decoder.  Mutated
+// inputs must either parse or be rejected with std::invalid_argument --
+// never crash, never throw bad_alloc off a hostile length field, never
+// leak any other exception type.  The corpus crashers these mutations
+// found live on as tests/data/scenario_bad/deep_nesting.json and
+// tests/data/ckpt_bad/huge_count.ckpt.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/rng.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/format.hpp"
+
+using namespace altroute;
+
+namespace {
+
+constexpr int kJsonRounds = 600;
+constexpr int kSectionRounds = 400;
+constexpr int kContainerRounds = 400;
+
+// Applies 1..4 random byte edits (overwrite / insert / erase / truncate).
+void mutate(std::string& bytes, sim::Rng& rng) {
+  const int edits = 1 + static_cast<int>(rng.below(4));
+  for (int e = 0; e < edits && !bytes.empty(); ++e) {
+    const std::size_t at = rng.below(bytes.size());
+    switch (rng.below(4)) {
+      case 0:
+        bytes[at] = static_cast<char>(rng.below(256));
+        break;
+      case 1:
+        bytes.insert(at, 1, static_cast<char>(rng.below(256)));
+        break;
+      case 2:
+        bytes.erase(at, 1);
+        break;
+      default:
+        bytes.resize(at);
+        break;
+    }
+  }
+}
+
+scenario::Scenario sample_scenario() {
+  scenario::Scenario s;
+  s.name = "fuzz base";
+  s.events.push_back(scenario::ScenarioEvent::resolve_protection(0.0));
+  s.events.push_back(scenario::ScenarioEvent::link_fail(4.0, 0, 1));
+  s.events.push_back(scenario::ScenarioEvent::capacity_set(5.0, 1, 2, 7));
+  s.events.push_back(scenario::ScenarioEvent::capacity_scale(6.0, 0, 2, 0.5));
+  s.events.push_back(scenario::ScenarioEvent::traffic_scale(7.0, 1.25));
+  s.events.push_back(scenario::ScenarioEvent::link_repair(8.0, 0, 1));
+  return s;
+}
+
+TEST(ParserFuzz, MutatedScenarioJsonNeverEscapesTheContract) {
+  const std::string base = scenario::scenario_to_json(sample_scenario());
+  // The unmutated form round-trips -- the fuzz starts from valid input.
+  ASSERT_EQ(scenario::scenario_from_json(base).events.size(), 6u);
+
+  sim::Rng rng(20260808, 1);
+  int rejected = 0, accepted = 0;
+  for (int round = 0; round < kJsonRounds; ++round) {
+    std::string mutated = base;
+    mutate(mutated, rng);
+    try {
+      (void)scenario::scenario_from_json(mutated);
+      ++accepted;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // the ONLY sanctioned failure mode
+    }
+    // Any other exception type (bad_alloc, length_error, ...) propagates
+    // out of the try and fails the test with its own message.
+  }
+  // Single-byte edits of valid JSON must actually trip the parser.
+  EXPECT_GT(rejected, kJsonRounds / 4) << "mutations were not reaching the parser";
+  EXPECT_GT(accepted, 0) << "even benign edits (e.g. inside the name) were rejected";
+}
+
+TEST(ParserFuzz, DeeplyNestedJsonIsRejectedNotOverflowed) {
+  // The in-memory twin of tests/data/scenario_bad/deep_nesting.json: 300
+  // unclosed arrays used to recurse the parser off the stack.
+  const std::string bomb(300, '[');
+  try {
+    (void)scenario::scenario_from_json(bomb);
+    FAIL() << "nesting bomb was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nested too deeply"), std::string::npos) << e.what();
+  }
+}
+
+// A real checkpoint captured from a small run -- the fuzz mutates ITS
+// serialized form, so every section decoder sees near-valid input.
+snapshot::ScenarioCheckpoint sample_checkpoint() {
+  const net::Graph graph = net::full_mesh(3, 10);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(3, 8.0);
+  scenario::Scenario scen;
+  scen.events.push_back(scenario::ScenarioEvent::link_fail(4.0, 0, 1));
+  const sim::CallTrace trace = scenario::make_scenario_trace(traffic, scen, 10.0, 5);
+  snapshot::BufferCheckpointSink sink;
+  scenario::ScenarioEngineOptions engine;
+  engine.warmup = 0.0;
+  engine.max_alt_hops = 2;
+  engine.checkpoint_at = 6.0;
+  engine.checkpoints = &sink;
+  core::ControlledAlternatePolicy policy;
+  (void)scenario::run_scenario(graph, traffic, policy, trace, scen, engine);
+  EXPECT_EQ(sink.captured.size(), 1u);
+  return sink.captured.front();
+}
+
+TEST(ParserFuzz, MutatedCheckpointSectionsNeverEscapeTheContract) {
+  const std::vector<snapshot::Section> sections =
+      snapshot::encode_checkpoint(sample_checkpoint());
+  // The unmutated sections decode -- the fuzz starts from a valid image.
+  ASSERT_NO_THROW((void)snapshot::decode_checkpoint(sections, "fuzz-base"));
+
+  sim::Rng rng(20260808, 2);
+  int rejected = 0;
+  for (int round = 0; round < kSectionRounds; ++round) {
+    std::vector<snapshot::Section> mutated = sections;
+    snapshot::Section& target = mutated[rng.below(mutated.size())];
+    // Overwrite, truncate, or extend the payload: hostile length fields
+    // and truncated arrays are exactly what the count guards exist for.
+    if (!target.bytes.empty() && rng.below(2) == 0) {
+      const std::size_t at = rng.below(target.bytes.size());
+      target.bytes[at] = static_cast<std::uint8_t>(rng.below(256));
+    } else if (rng.below(2) == 0) {
+      target.bytes.resize(rng.below(target.bytes.size() + 1));
+    } else {
+      target.bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    try {
+      (void)snapshot::decode_checkpoint(mutated, "fuzz");
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // the ONLY sanctioned failure mode
+    }
+  }
+  EXPECT_GT(rejected, kSectionRounds / 8) << "mutations were not reaching the decoders";
+}
+
+TEST(ParserFuzz, MutatedContainerBytesNeverEscapeTheContract) {
+  const std::vector<snapshot::Section> sections =
+      snapshot::encode_checkpoint(sample_checkpoint());
+  const std::vector<std::uint8_t> image = snapshot::render_container(sections);
+
+  sim::Rng rng(20260808, 3);
+  int rejected = 0;
+  for (int round = 0; round < kContainerRounds; ++round) {
+    std::string bytes(image.begin(), image.end());
+    mutate(bytes, rng);
+    const std::vector<std::uint8_t> mutated(bytes.begin(), bytes.end());
+    try {
+      const std::vector<snapshot::Section> parsed =
+          snapshot::parse_container(mutated, "fuzz-container");
+      (void)snapshot::decode_checkpoint(parsed, "fuzz-container");
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  // The CRC table makes nearly every byte edit detectable.
+  EXPECT_GT(rejected, kContainerRounds / 2) << "mutations were not reaching the reader";
+}
+
+TEST(ParserFuzz, HostileSectionCountIsRejectedNotAllocated) {
+  // The in-memory twin of tests/data/ckpt_bad/huge_count.ckpt: a GRPH
+  // element count of 2^60 must hit the count guard, not operator new.
+  std::vector<snapshot::Section> sections = snapshot::encode_checkpoint(sample_checkpoint());
+  for (snapshot::Section& s : sections) {
+    if (s.tag != "GRPH") continue;
+    ASSERT_GE(s.bytes.size(), 8u);
+    const std::uint64_t huge = std::uint64_t{1} << 60;
+    for (int b = 0; b < 8; ++b) {
+      s.bytes[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>((huge >> (8 * b)) & 0xff);
+    }
+    s.bytes.resize(8);  // the count now promises ~10^18 elements
+  }
+  try {
+    (void)snapshot::decode_checkpoint(sections, "huge");
+    FAIL() << "hostile count was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overruns the section"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace

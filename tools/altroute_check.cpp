@@ -1,0 +1,211 @@
+// altroute_check: model-based simulation checker.
+//
+// Draws randomized network/scenario cases from a seeded generator and runs
+// every engine configuration through the differential and invariant
+// oracles (src/check).  The first failing case is (optionally) shrunk to a
+// local minimum and dumped as a replayable artifact bundle.
+//
+//   usage: altroute_check --cases N --seed S [options]
+//          altroute_check --replay case.json [options]
+//
+//   --cases N        number of generated cases to check (default 50)
+//   --seed S         corpus master seed (default 1); case c runs under the
+//                    derived seed rng(S, c) -- stable across corpus sizes
+//   --replay FILE    check one case loaded from a case.json artifact
+//   --shrink         shrink the first failing case before reporting
+//   --artifacts DIR  dump the (shrunk) failing case bundle into DIR
+//   --inject occupancy-leak
+//                    mutation testing: inject a known circuit-leak fault
+//                    into every run; the checker MUST then fail
+//   --no-threads / --no-resume / --no-static / --no-invariants
+//                    disable one oracle family
+//   --quiet          only print the summary line and failures
+//
+// exit 0: every case passed (and the corpus was non-vacuous)
+// exit 1: a case failed every-oracle checking (details + artifacts)
+// exit 2: bad usage
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+
+using namespace altroute;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& why) {
+  std::fprintf(stderr, "altroute_check: %s\n", why.c_str());
+  std::fprintf(stderr,
+               "usage: altroute_check --cases N --seed S [--shrink] [--artifacts DIR]\n"
+               "       altroute_check --replay case.json\n"
+               "       options: --inject occupancy-leak, --no-threads, --no-resume,\n"
+               "                --no-static, --no-invariants, --quiet\n");
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (...) {
+    usage_error("option " + std::string(what) + " needs an unsigned integer, got '" + text +
+                "'");
+  }
+}
+
+struct Cli {
+  long long cases{50};
+  std::uint64_t seed{1};
+  std::string replay;
+  std::string artifacts;
+  bool shrink{false};
+  bool quiet{false};
+  check::CheckOptions options;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  const auto next = [&](int& i, const char* what) -> std::string {
+    if (i + 1 >= argc) usage_error("option " + std::string(what) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cases") {
+      cli.cases = static_cast<long long>(parse_u64(next(i, "--cases"), "--cases"));
+    } else if (arg == "--seed") {
+      cli.seed = parse_u64(next(i, "--seed"), "--seed");
+    } else if (arg == "--replay") {
+      cli.replay = next(i, "--replay");
+    } else if (arg == "--artifacts") {
+      cli.artifacts = next(i, "--artifacts");
+    } else if (arg == "--shrink") {
+      cli.shrink = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--inject") {
+      const std::string fault = next(i, "--inject");
+      if (fault != "occupancy-leak") usage_error("unknown fault '" + fault + "'");
+      cli.options.inject_release_leak = true;
+    } else if (arg == "--no-threads") {
+      cli.options.threads = false;
+    } else if (arg == "--no-resume") {
+      cli.options.resume = false;
+    } else if (arg == "--no-static") {
+      cli.options.static_reference = false;
+    } else if (arg == "--no-invariants") {
+      cli.options.invariants = false;
+    } else {
+      usage_error("unknown option '" + arg + "'");
+    }
+  }
+  if (cli.cases < 1) usage_error("--cases must be >= 1");
+  return cli;
+}
+
+void print_failures(const check::CaseReport& report) {
+  std::fprintf(stderr, "FAIL case seed %llu (%zu oracle failures):\n",
+               static_cast<unsigned long long>(report.seed), report.failures.size());
+  for (const std::string& f : report.failures) {
+    std::fprintf(stderr, "  - %s\n", f.c_str());
+  }
+}
+
+/// Shrinks, dumps artifacts, reports.  Returns the process exit code.
+int handle_failure(const Cli& cli, const check::CaseSpec& spec,
+                   const check::CaseReport& report) {
+  print_failures(report);
+  check::CaseSpec minimal = spec;
+  if (cli.shrink) {
+    check::ShrinkStats stats;
+    minimal = check::shrink_case(
+        spec, [&](const check::CaseSpec& cand) { return !check_case(cand, cli.options).passed(); },
+        &stats);
+    std::fprintf(stderr,
+                 "shrunk to %d nodes / %zu facilities / %zu events "
+                 "(%d rounds, %d/%d candidates kept)\n",
+                 minimal.nodes, minimal.facilities.size(), minimal.events.size(), stats.rounds,
+                 stats.accepted, stats.attempted);
+  }
+  if (!cli.artifacts.empty()) {
+    const check::CaseReport final_report = check::check_case(minimal, cli.options);
+    check::dump_case_artifacts(cli.artifacts, minimal,
+                               final_report.failures.empty() ? report.failures
+                                                             : final_report.failures);
+    std::fprintf(stderr, "artifacts written to %s (replay: altroute_check --replay %s/%s)\n",
+                 cli.artifacts.c_str(), cli.artifacts.c_str(), "case.json");
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  try {
+    if (!cli.replay.empty()) {
+      const check::CaseSpec spec = check::load_case(cli.replay);
+      const check::CaseReport report = check::check_case(spec, cli.options);
+      if (!report.passed()) return handle_failure(cli, spec, report);
+      std::printf("replay %s: PASS (offered %lld, blocked %lld, alt %lld, dropped %lld)\n",
+                  cli.replay.c_str(), report.offered, report.blocked, report.carried_alternate,
+                  report.dropped);
+      return 0;
+    }
+
+    long long offered = 0, blocked = 0, alternates = 0, dropped = 0, with_events = 0;
+    for (long long c = 0; c < cli.cases; ++c) {
+      const std::uint64_t seed = check::case_seed(cli.seed, static_cast<std::uint64_t>(c));
+      const check::CaseSpec spec = check::generate_case(seed);
+      const check::CaseReport report = check::check_case(spec, cli.options);
+      if (!report.passed()) {
+        std::fprintf(stderr, "case %lld/%lld (seed %llu) failed\n", c + 1, cli.cases,
+                     static_cast<unsigned long long>(seed));
+        return handle_failure(cli, spec, report);
+      }
+      offered += report.offered;
+      blocked += report.blocked;
+      alternates += report.carried_alternate;
+      dropped += report.dropped;
+      if (!spec.events.empty()) ++with_events;
+      if (!cli.quiet && (c + 1) % 50 == 0) {
+        std::printf("  %lld/%lld cases checked\n", c + 1, cli.cases);
+      }
+    }
+
+    // Non-vacuity: a corpus that never blocks, never overflows onto an
+    // alternate, or never scripts an event is not exercising the paths
+    // this checker exists for.  Only meaningful at corpus scale.
+    if (cli.cases >= 20) {
+      std::vector<std::string> vacuous;
+      if (blocked == 0) vacuous.push_back("no case ever blocked a call");
+      if (alternates == 0) vacuous.push_back("no case ever carried an alternate");
+      if (with_events == 0) vacuous.push_back("no case had scenario events");
+      if (!vacuous.empty()) {
+        for (const std::string& v : vacuous) {
+          std::fprintf(stderr, "VACUOUS corpus: %s\n", v.c_str());
+        }
+        return 1;
+      }
+    }
+
+    std::printf(
+        "checked %lld cases (seed %llu): all oracles passed; offered %lld, blocked %lld, "
+        "alternates %lld, dropped %lld\n",
+        cli.cases, static_cast<unsigned long long>(cli.seed), offered, blocked, alternates,
+        dropped);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "altroute_check: %s\n", e.what());
+    return 2;
+  }
+}
