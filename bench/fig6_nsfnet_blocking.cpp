@@ -7,9 +7,11 @@
 // in the same section has its own bench (exp_ott_krishnan).
 #include "bench_common.hpp"
 #include "netgraph/topologies.hpp"
+#include "sim/thread_pool.hpp"
 #include "study/analysis.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
+#include "study/prof_capture.hpp"
 
 namespace {
 
@@ -34,6 +36,11 @@ void run(const study::CliOptions& cli) {
                                                 study::PolicyKind::kControlledAlternate};
   bench::TraceCapture capture;
   capture.attach(cli, options.obs);
+  // Run health (--profile / --manifest-out / --flight-recorder /
+  // --progress).  Attached after the trace capture so the flight recorder
+  // tees in front of it without changing the trace bytes.
+  study::ProfCapture prof_capture("fig6_nsfnet_blocking");
+  prof_capture.attach(cli, options.obs, options.prof);
   study::SweepResult result =
       study::run_sweep(net::nsfnet_t3(), study::nsfnet_nominal_traffic(), policies, options);
   // Relabel the factor column in the paper's Load units.  (The analysis
@@ -54,6 +61,14 @@ void run(const study::CliOptions& cli) {
                                    options.measure),
         std::cout, cli.analysis_out);
   }
+  const int resolved_threads =
+      options.threads == 0 ? static_cast<int>(sim::ThreadPool::hardware_threads())
+                           : options.threads;
+  prof_capture.emit(cli,
+                    study::sweep_fingerprint(net::nsfnet_t3(),
+                                             study::nsfnet_nominal_traffic(), policies,
+                                             options),
+                    resolved_threads, std::cout);
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 // magnitude higher at modest loads.
 #include "bench_common.hpp"
 #include "netgraph/topologies.hpp"
+#include "sim/thread_pool.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
+#include "study/prof_capture.hpp"
 
 namespace {
 
@@ -23,16 +25,26 @@ void run(const study::CliOptions& cli) {
   options.measure = shape.measure;
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(11);
-  study::SweepResult result = study::run_sweep(
-      net::nsfnet_t3(), study::nsfnet_nominal_traffic(),
-      {study::PolicyKind::kSinglePath, study::PolicyKind::kUncontrolledAlternate,
-       study::PolicyKind::kControlledAlternate},
-      options);
+  const std::vector<study::PolicyKind> policies{study::PolicyKind::kSinglePath,
+                                                study::PolicyKind::kUncontrolledAlternate,
+                                                study::PolicyKind::kControlledAlternate};
+  study::ProfCapture prof_capture("fig7_nsfnet_blocking_log");
+  prof_capture.attach(cli, options.obs, options.prof);
+  study::SweepResult result =
+      study::run_sweep(net::nsfnet_t3(), study::nsfnet_nominal_traffic(), policies, options);
   for (std::size_t i = 0; i < result.load_factors.size(); ++i) {
     result.load_factors[i] = paper_loads[i];
   }
   bench::emit(study::sweep_table(result, /*scientific=*/true), cli,
               "Figure 7: Internet model, log-scale view (Load = 10 nominal)");
+  const int resolved_threads =
+      options.threads == 0 ? static_cast<int>(sim::ThreadPool::hardware_threads())
+                           : options.threads;
+  prof_capture.emit(cli,
+                    study::sweep_fingerprint(net::nsfnet_t3(),
+                                             study::nsfnet_nominal_traffic(), policies,
+                                             options),
+                    resolved_threads, std::cout);
 }
 
 }  // namespace

@@ -18,6 +18,8 @@
 #include "erlang/kaufman_roberts.hpp"
 #include "routing/fixed_point.hpp"
 #include "sim/rng.hpp"
+#include "obs/prof/counters.hpp"
+#include "scenario/parse.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "snapshot/checkpoint.hpp"
@@ -161,6 +163,12 @@ void BM_NsfnetSweepThreads(benchmark::State& state) {
   options.max_alt_hops = 11;
   options.erlang_bound = false;
   options.threads = static_cast<int>(state.range(0));
+  // Deterministic engine counters, surfaced as user counters so the bench
+  // recorder (tools/bench_record.py) tracks WHAT the run did alongside how
+  // long it took.  Tallies accumulate across iterations -> kAvgIterations
+  // reports the per-iteration value; peaks merge by max -> plain counter.
+  obs::prof::EngineCounters counters;
+  options.prof.counters = &counters;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         study::run_sweep(g, study::nsfnet_nominal_traffic(),
@@ -170,10 +178,64 @@ void BM_NsfnetSweepThreads(benchmark::State& state) {
                          options)
             .curves.size());
   }
+  state.counters["events_popped"] = benchmark::Counter(
+      static_cast<double>(counters.events_popped), benchmark::Counter::kAvgIterations);
+  state.counters["events_scheduled"] = benchmark::Counter(
+      static_cast<double>(counters.events_scheduled), benchmark::Counter::kAvgIterations);
+  state.counters["peak_queue_depth"] =
+      benchmark::Counter(static_cast<double>(counters.peak_queue_depth));
 }
 BENCHMARK(BM_NsfnetSweepThreads)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_FailureScenarioSweep(benchmark::State& state) {
+  // Scenario-engine sweep over the canonical 2<->3 fail/repair transient.
+  // The resolve_protection events re-solve Eq. 15 per link through the
+  // Erlang memo, so this is the bench that surfaces memo hit rates (the
+  // static sweep above never re-solves).
+  const net::Graph g = net::nsfnet_t3();
+  const scenario::Scenario scen = scenario::scenario_from_json(R"({
+    "name": "bench failure recovery",
+    "events": [
+      {"time": 20, "type": "link_fail",          "a": 2, "b": 3},
+      {"time": 20, "type": "resolve_protection"},
+      {"time": 35, "type": "link_repair",        "a": 2, "b": 3},
+      {"time": 35, "type": "resolve_protection"}
+    ]})");
+  study::ScenarioSweepOptions options;
+  options.seeds = 6;
+  options.measure = 40.0;
+  options.warmup = 10.0;
+  options.max_alt_hops = 11;
+  options.time_bins = 10;
+  options.threads = static_cast<int>(state.range(0));
+  obs::prof::EngineCounters counters;
+  options.prof.counters = &counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study::run_scenario_sweep(g, study::nsfnet_nominal_traffic(), scen,
+                                  {study::PolicyKind::kControlledAlternate}, options)
+            .curves.size());
+  }
+  state.counters["memo_hits"] = benchmark::Counter(static_cast<double>(counters.memo_hits),
+                                                   benchmark::Counter::kAvgIterations);
+  state.counters["memo_misses"] = benchmark::Counter(
+      static_cast<double>(counters.memo_misses), benchmark::Counter::kAvgIterations);
+  const double lookups =
+      static_cast<double>(counters.memo_hits) + static_cast<double>(counters.memo_misses);
+  state.counters["memo_hit_rate"] = benchmark::Counter(
+      lookups > 0.0 ? static_cast<double>(counters.memo_hits) / lookups : 0.0);
+  state.counters["protection_resolves"] = benchmark::Counter(
+      static_cast<double>(counters.protection_resolves), benchmark::Counter::kAvgIterations);
+  state.counters["calls_killed"] = benchmark::Counter(
+      static_cast<double>(counters.calls_killed), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FailureScenarioSweep)
+    ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

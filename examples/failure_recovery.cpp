@@ -21,7 +21,10 @@
 // --trace writes one JSON-lines record per admission/block/kill/event,
 // bit-identical at any --threads value; --analyze runs the trace-
 // analytics post-pass (Theorem-1 audit, attribution, CIs) over the same
-// stream.  See "Observability" and "Analysis" in DESIGN.md.
+// stream; --profile / --manifest-out / --flight-recorder / --progress
+// capture the sweep's run health (phase timings, deterministic counters,
+// last-N trace ring, run manifest).  See "Observability", "Analysis" and
+// "Profiling & run health" in DESIGN.md.
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -30,10 +33,12 @@
 #include "obs/trace.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/thread_pool.hpp"
 #include "study/analysis.hpp"
 #include "study/cli.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
+#include "study/prof_capture.hpp"
 #include "study/report.hpp"
 
 using namespace altroute;
@@ -100,6 +105,11 @@ int main(int argc, char** argv) {
     options.obs.occupancy_samples = 100;
   }
 
+  // Run health: counters / phase timings / task table / flight recorder /
+  // progress, all additive (never change results or the trace bytes).
+  study::ProfCapture prof_capture("failure_recovery");
+  prof_capture.attach(cli, options.obs, options.prof);
+
   study::ScenarioSweepResult result;
   try {
     result = study::run_scenario_sweep(
@@ -146,5 +156,16 @@ int main(int argc, char** argv) {
                                    options.measure, options.time_bins),
         std::cout, cli.analysis_out);
   }
+  const int resolved_threads =
+      options.threads == 0 ? static_cast<int>(sim::ThreadPool::hardware_threads())
+                           : options.threads;
+  prof_capture.emit(cli,
+                    study::scenario_sweep_fingerprint(
+                        net::nsfnet_t3(), study::nsfnet_nominal_traffic(), scen,
+                        {study::PolicyKind::kSinglePath,
+                         study::PolicyKind::kUncontrolledAlternate,
+                         study::PolicyKind::kControlledAlternate},
+                        options),
+                    resolved_threads, std::cout);
   return 0;
 }

@@ -18,7 +18,11 @@
 //   counters/histograms plus a structured event trace, both bit-identical
 //   at any thread count.  --analyze / --analysis-out report.json run the
 //   trace-analytics post-pass (Theorem-1 audit, per-OD attribution, CIs)
-//   over the same sweep.  See "Observability" and "Analysis" in DESIGN.md.
+//   over the same sweep.  --profile / --manifest-out / --flight-recorder /
+//   --progress add run-health capture (phase timings, deterministic engine
+//   counters, last-N trace ring, run manifest) to that same sweep; any of
+//   them alone also triggers it.  See "Observability", "Analysis" and
+//   "Profiling & run health" in DESIGN.md.
 #include <cstdlib>
 #include <memory>
 #include <iostream>
@@ -37,6 +41,7 @@
 #include "study/cli.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
+#include "study/prof_capture.hpp"
 #include "study/report.hpp"
 
 using namespace altroute;
@@ -148,8 +153,11 @@ int main(int argc, char** argv) {
 
   // 4. Optional instrumented sweep: --metrics / --trace / --analyze compare
   //    the three schemes at the requested load with full observability
-  //    (merged in slot order -- identical output at any thread count).
-  if (cli.metrics || cli.trace || cli.wants_analysis()) {
+  //    (merged in slot order -- identical output at any thread count);
+  //    --profile / --manifest-out / --flight-recorder / --progress capture
+  //    the sweep's run health through the same options.
+  if (cli.metrics || cli.trace || cli.wants_analysis() || cli.wants_prof()) {
+    study::ProfCapture prof_capture("nsfnet_study");
     study::SweepOptions sweep;
     sweep.load_factors = {factor};
     sweep.seeds = cli.seeds.value_or(5);
@@ -167,6 +175,7 @@ int main(int argc, char** argv) {
       sweep.obs.metrics = true;
       sweep.obs.occupancy_samples = 100;
     }
+    prof_capture.attach(cli, sweep.obs, sweep.prof);
     const std::vector<study::PolicyKind> policies{study::PolicyKind::kSinglePath,
                                                   study::PolicyKind::kUncontrolledAlternate,
                                                   study::PolicyKind::kControlledAlternate};
@@ -195,6 +204,13 @@ int main(int argc, char** argv) {
                                      sweep.measure, /*time_bins=*/20),
           std::cout, cli.analysis_out);
     }
+    const int resolved_threads =
+        sweep.threads == 0 ? static_cast<int>(sim::ThreadPool::hardware_threads())
+                           : sweep.threads;
+    prof_capture.emit(cli,
+                      study::sweep_fingerprint(g, study::nsfnet_nominal_traffic(),
+                                               policies, sweep),
+                      resolved_threads, std::cout);
   }
   return 0;
 }

@@ -422,7 +422,8 @@ CaseSpec load_case(const std::string& path) {
 }
 
 void dump_case_artifacts(const std::string& dir, const CaseSpec& spec,
-                         const std::vector<std::string>& failures) {
+                         const std::vector<std::string>& failures,
+                         const std::string& flight_dump) {
   std::filesystem::create_directories(dir);
   const auto write_file = [&](const char* name, const std::string& body) {
     const std::string path = dir + "/" + name;
@@ -434,9 +435,13 @@ void dump_case_artifacts(const std::string& dir, const CaseSpec& spec,
   write_file("scenario.json", scenario::scenario_to_json(spec.scenario()));
   net::save_network(dir + "/network.txt", spec.graph());
   net::save_traffic(dir + "/traffic.txt", spec.traffic());
+  if (!flight_dump.empty()) write_file("flight.jsonl", flight_dump);
   std::string repro = "failing case seed " + std::to_string(spec.seed) + "\n\n";
   for (const std::string& f : failures) repro += "  - " + f + "\n";
   repro += "\nreplay with:\n  altroute_check --replay " + dir + "/case.json\n";
+  if (!flight_dump.empty()) {
+    repro += "flight.jsonl holds the reference run's last trace records\n";
+  }
   write_file("repro.txt", repro);
 }
 

@@ -103,9 +103,12 @@ struct CaseSpec {
 /// Writes the replayable artifact bundle of a failing case into `dir`
 /// (created if needed): case.json, network.txt / traffic.txt /
 /// scenario.json replayable by the existing CLIs, and repro.txt listing
-/// `failures` and the replay command.  Throws std::runtime_error on I/O
-/// failure.
+/// `failures` and the replay command.  A non-empty `flight_dump` (the
+/// reference run's last-N trace records, CaseReport::flight_dump) is
+/// additionally written as flight.jsonl.  Throws std::runtime_error on
+/// I/O failure.
 void dump_case_artifacts(const std::string& dir, const CaseSpec& spec,
-                         const std::vector<std::string>& failures);
+                         const std::vector<std::string>& failures,
+                         const std::string& flight_dump = {});
 
 }  // namespace altroute::check

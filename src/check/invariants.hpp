@@ -55,6 +55,10 @@ struct ObservedRun {
   std::vector<obs::TraceRecord> records;
   /// JsonlTraceSink::format of each record (byte-stable rendering).
   std::vector<std::string> trace_lines;
+  /// Flight-recorder dump of the run's last N records (empty unless
+  /// CheckOptions::flight_recorder > 0).  Diagnostic only: the
+  /// differential oracle never compares it.
+  std::string flight_dump;
 };
 
 /// Runs every invariant against one observed run.  Returns one message per

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "loss/engine.hpp"
+#include "obs/prof/flight_recorder.hpp"
 #include "routing/route_table.hpp"
 #include "scenario/runner.hpp"
 #include "sim/parallel_for.hpp"
@@ -86,7 +87,22 @@ ObservedRun observe(const CaseSpec& spec, const Materialized& m, const CheckOpti
   obs::VectorTraceSink collector;
   collector.records = std::move(request.prefix);
   if (request.sink != nullptr) request.sink->collector = &collector;
-  obs::Probe probe(&out.metrics, &collector);
+  // Optional flight recorder, teed in FRONT of the collector: the compared
+  // record stream is unchanged, but the last N records survive a crash
+  // (dumped to stderr by the fatal-signal handler) and a failure (bundled
+  // into the case artifacts via flight_dump).
+  std::unique_ptr<obs::prof::FlightRecorder> recorder;
+  std::unique_ptr<obs::prof::CrashDumpScope> crash_scope;
+  obs::TraceSink* sink = &collector;
+  std::string flight_label;
+  if (options.flight_recorder > 0) {
+    recorder = std::make_unique<obs::prof::FlightRecorder>(
+        static_cast<std::size_t>(options.flight_recorder), obs::kAllTraceKinds, &collector);
+    sink = recorder.get();
+    flight_label = "case " + std::to_string(spec.seed) + "/" + request.config.name;
+    crash_scope = std::make_unique<obs::prof::CrashDumpScope>(recorder.get(), flight_label);
+  }
+  obs::Probe probe(&out.metrics, sink);
   if (request.with_grid) probe.grid(0.0, spec.horizon / 16.0, 16);
 
   scenario::ScenarioEngineOptions engine;
@@ -109,6 +125,7 @@ ObservedRun observe(const CaseSpec& spec, const Materialized& m, const CheckOpti
   out.metrics_json = out.metrics.to_json();
   out.records = std::move(collector.records);
   out.trace_lines = render(out.records);
+  if (recorder != nullptr) out.flight_dump = recorder->dump_string(flight_label);
   return out;
 }
 
@@ -398,6 +415,10 @@ CaseReport check_case(const CaseSpec& spec, const CheckOptions& options) {
   if (options.static_reference && spec.events.empty()) {
     check_static(spec, *m, options, report);
   }
+
+  // A failing case carries the reference run's last-N records out to the
+  // artifact bundle (flight.jsonl); passing cases stay lean.
+  if (!report.failures.empty()) report.flight_dump = reference.flight_dump;
 
   return report;
 }

@@ -52,6 +52,13 @@ struct CheckOptions {
   /// scenario run.  A correct checker must then FAIL the case; see
   /// tests/test_check_mutation.cpp.
   bool inject_release_leak{false};
+  /// When > 0, tee a flight recorder of this capacity (obs/prof) in front
+  /// of every run's trace collector: the last-N records survive into
+  /// ObservedRun::flight_dump / CaseReport::flight_dump, a fatal signal
+  /// during any run dumps them to stderr, and failing-case artifact
+  /// bundles include them as flight.jsonl.  The compared trace streams are
+  /// unchanged (the recorder forwards every record to the collector).
+  int flight_recorder{0};
 };
 
 /// Outcome of checking one case.
@@ -59,6 +66,10 @@ struct CaseReport {
   std::uint64_t seed{0};
   /// One pointed message per violated oracle; empty = case passed.
   std::vector<std::string> failures;
+  /// Reference run's flight-recorder dump (JSONL), filled only when the
+  /// case FAILED and CheckOptions::flight_recorder was > 0 -- the last-N
+  /// trace records leading into the failure, for the artifact bundle.
+  std::string flight_dump;
   // Reference-run statistics, for corpus-level non-vacuity checks (a
   // checker whose cases never block or never overflow onto alternates is
   // not testing the interesting paths).

@@ -248,6 +248,15 @@ RunResult run_trace_impl(const net::Graph& graph, const routing::RouteTable& rou
     adjust_alt_occ(*done.path, done.units, done.alternate, -1);
   }
   ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
+  if (options.counters != nullptr) {
+    const sim::QueueStats& q = departures.stats();
+    obs::prof::EngineCounters run;
+    run.events_scheduled = q.scheduled;
+    run.events_popped = q.popped;
+    run.peak_queue_depth = q.peak_size;
+    run.calendar_resizes = q.resizes;
+    options.counters->merge(run);
+  }
   std::sort(per_class.begin(), per_class.end(),
             [](const ClassCounters& a, const ClassCounters& b) {
               return a.bandwidth < b.bandwidth;

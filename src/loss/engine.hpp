@@ -13,6 +13,7 @@
 #include "loss/policy.hpp"
 #include "netgraph/graph.hpp"
 #include "obs/probe.hpp"
+#include "obs/prof/counters.hpp"
 #include "routing/route_table.hpp"
 #include "sim/call_trace.hpp"
 
@@ -45,6 +46,13 @@ struct EngineOptions {
   /// hook site is then one never-taken branch (see obs/probe.hpp).  Only
   /// post-warm-up calls are recorded, matching the counters above.
   obs::Probe* probe{nullptr};
+  /// When non-null, the run's deterministic operation counters are
+  /// ACCUMULATED into this struct at the end of the run (tallies add,
+  /// peaks take the max -- pass the same struct across runs to aggregate).
+  /// Always available, even under ALTROUTE_OBS_ENABLED=0; the values are
+  /// bit-identical across thread counts and engine configurations (see
+  /// obs/prof/counters.hpp).
+  obs::prof::EngineCounters* counters{nullptr};
 };
 
 /// Counters for one ordered O-D pair (post-warm-up).

@@ -1,0 +1,64 @@
+#include "obs/prof/counters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace altroute::obs::prof {
+
+namespace {
+
+constexpr CounterField kFields[] = {
+    {"events_scheduled", &EngineCounters::events_scheduled, false},
+    {"events_popped", &EngineCounters::events_popped, false},
+    {"peak_queue_depth", &EngineCounters::peak_queue_depth, true},
+    {"arena_allocations", &EngineCounters::arena_allocations, false},
+    {"arena_reuses", &EngineCounters::arena_reuses, false},
+    {"peak_arena_occupancy", &EngineCounters::peak_arena_occupancy, true},
+    {"calls_killed", &EngineCounters::calls_killed, false},
+    {"preemptions", &EngineCounters::preemptions, false},
+    {"route_rebuilds", &EngineCounters::route_rebuilds, false},
+    {"protection_resolves", &EngineCounters::protection_resolves, false},
+    {"calendar_resizes", &EngineCounters::calendar_resizes, false},
+    {"memo_hits", &EngineCounters::memo_hits, false},
+    {"memo_misses", &EngineCounters::memo_misses, false},
+};
+
+}  // namespace
+
+const CounterField* counter_fields(std::size_t* count) {
+  *count = sizeof(kFields) / sizeof(kFields[0]);
+  return kFields;
+}
+
+void EngineCounters::merge(const EngineCounters& other) {
+  for (const CounterField& f : kFields) {
+    if (f.peak) {
+      this->*f.member = std::max(this->*f.member, other.*f.member);
+    } else {
+      this->*f.member += other.*f.member;
+    }
+  }
+}
+
+bool EngineCounters::operator==(const EngineCounters& other) const {
+  for (const CounterField& f : kFields) {
+    if (this->*f.member != other.*f.member) return false;
+  }
+  return true;
+}
+
+std::string EngineCounters::to_json() const {
+  std::string out = "{";
+  char buf[64];
+  bool first = true;
+  for (const CounterField& f : kFields) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",", f.name,
+                  static_cast<unsigned long long>(this->*f.member));
+    out += buf;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace altroute::obs::prof

@@ -1,0 +1,80 @@
+// Deterministic engine counters: what the run DID, never how long it took.
+//
+// One EngineCounters struct summarizes a simulation run's operational
+// facts: events through the future event list, calendar rebucketings,
+// arena slot recycling, Erlang-memo cache behavior, route rebuilds,
+// Eq.-15 re-solves, preemptions and kills, and the queue/arena high-water
+// marks.  Every field is derived from the deterministic replay, so the
+// values are bit-identical at any --threads and independent of wall-clock
+// noise -- the counter-determinism ctests enforce it.
+//
+// Two determinism classes (tests/test_prof_counters.cpp pins both):
+//
+//  * ENGINE-INDEPENDENT -- identical across ALL of
+//    {heap,calendar} x {memo,direct} and every thread count, because the
+//    admission/departure/event stream is identical by construction:
+//    events_scheduled, events_popped, peak_queue_depth, arena_allocations,
+//    arena_reuses, peak_arena_occupancy, calls_killed, preemptions,
+//    route_rebuilds, protection_resolves.
+//
+//  * ENGINE-SPECIFIC -- identical across thread counts and across the
+//    ORTHOGONAL configuration axis, but legitimately different along their
+//    own axis: calendar_resizes (0 under the heap engine; same value for
+//    memo and direct), memo_hits/memo_misses (0 under direct re-solves;
+//    same value for heap and calendar).
+//
+// The struct is always-on (not gated by ALTROUTE_OBS_ENABLED): the
+// underlying increments are plain integer adds in already-cold paths plus
+// the container-internal tallies of sim/op_stats.hpp, so compiling them
+// out would buy nothing while making the deterministic record build-
+// dependent.  Only the TIMING side of the profiler compiles out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace altroute::obs::prof {
+
+struct EngineCounters {
+  // Engine-independent.
+  std::uint64_t events_scheduled{0};     ///< departure-queue schedule() calls
+  std::uint64_t events_popped{0};        ///< departure-queue pop() calls
+  std::uint64_t peak_queue_depth{0};     ///< largest pending-departure population
+  std::uint64_t arena_allocations{0};    ///< in-flight slots created fresh
+  std::uint64_t arena_reuses{0};         ///< in-flight slots recycled from the free-list
+  std::uint64_t peak_arena_occupancy{0}; ///< largest in-flight call population
+  std::uint64_t calls_killed{0};         ///< in-flight calls killed by link failures
+  std::uint64_t preemptions{0};          ///< in-flight calls preempted by capacity shrinks
+  std::uint64_t route_rebuilds{0};       ///< route-table rebuilds after topology changes
+  std::uint64_t protection_resolves{0};  ///< Eq.-15 re-solves (scenario events + auto)
+
+  // Engine-specific (see the header comment for the exact identity class).
+  std::uint64_t calendar_resizes{0};  ///< calendar-queue rebucketings (heap: 0)
+  std::uint64_t memo_hits{0};         ///< re-solved links served from the Erlang memo
+  std::uint64_t memo_misses{0};       ///< re-solved links whose (Lambda, C) key changed
+
+  /// Accumulates `other` into this: tallies add, peaks take the max.
+  void merge(const EngineCounters& other);
+
+  [[nodiscard]] bool operator==(const EngineCounters& other) const;
+  [[nodiscard]] bool operator!=(const EngineCounters& other) const {
+    return !(*this == other);
+  }
+
+  /// Deterministic single-line JSON object, fields in declaration order.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// One entry of the static field table below.
+struct CounterField {
+  const char* name;                        ///< field name as rendered in JSON
+  std::uint64_t EngineCounters::* member;  ///< pointer-to-member accessor
+  bool peak;                               ///< true: merge by max, not by sum
+};
+
+/// Every EngineCounters field, in declaration order -- the single source
+/// the JSON renderer, the OpenMetrics renderer, and merge() iterate, so a
+/// new counter added here flows through every output format.
+[[nodiscard]] const CounterField* counter_fields(std::size_t* count);
+
+}  // namespace altroute::obs::prof

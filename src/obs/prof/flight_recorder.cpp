@@ -1,0 +1,135 @@
+#include "obs/prof/flight_recorder.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace altroute::obs::prof {
+
+FlightRecorder::FlightRecorder(std::size_t capacity, unsigned ring_mask,
+                               TraceSink* downstream)
+    : TraceSink(ring_mask | (downstream != nullptr ? downstream->mask() : 0u)),
+      capacity_(capacity),
+      ring_mask_(ring_mask),
+      downstream_(downstream) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("FlightRecorder: capacity must be >= 1");
+  }
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::write(const TraceRecord& record) {
+  if ((ring_mask_ & static_cast<unsigned>(record.kind)) != 0) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[static_cast<std::size_t>(total_ % capacity_)] = record;
+    }
+    ++total_;
+  }
+  if (downstream_ != nullptr && downstream_->wants(record.kind)) {
+    downstream_->write(record);
+  }
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::vector<TraceRecord> FlightRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  const std::size_t n = ring_.size();
+  // Oldest record sits at total_ % capacity_ once the ring has wrapped.
+  const std::size_t start = n < capacity_ ? 0 : static_cast<std::size_t>(total_ % capacity_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out, const std::string& label) const {
+  out << "# flight recorder";
+  if (!label.empty()) out << " [" << label << "]";
+  out << ": " << size() << " of last " << capacity_ << " records retained, " << total_
+      << " seen\n";
+  for (const TraceRecord& r : snapshot()) {
+    out << JsonlTraceSink::format(r) << '\n';
+  }
+}
+
+std::string FlightRecorder::dump_string(const std::string& label) const {
+  std::ostringstream out;
+  dump(out, label);
+  return out.str();
+}
+
+// --- crash-dump registry ----------------------------------------------------
+
+namespace {
+
+constexpr int kMaxSlots = 64;
+
+struct Slot {
+  std::atomic<const FlightRecorder*> recorder{nullptr};
+  std::string label;  // written under the mutex before recorder is published
+};
+
+Slot g_slots[kMaxSlots];
+std::mutex g_registry_mutex;
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void flight_recorder_signal_handler(int sig) {
+  // Best-effort: format and write the dumps, then restore the default
+  // action and re-raise so the exit status still reflects the signal.
+  std::fprintf(stderr, "\n# fatal signal %d -- dumping flight recorders\n", sig);
+  dump_registered_recorders();
+  std::fflush(stderr);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_handlers_once() {
+  bool expected = false;
+  if (!g_handlers_installed.compare_exchange_strong(expected, true)) return;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    std::signal(sig, flight_recorder_signal_handler);
+  }
+}
+
+}  // namespace
+
+void dump_registered_recorders() {
+  for (Slot& slot : g_slots) {
+    const FlightRecorder* recorder = slot.recorder.load(std::memory_order_acquire);
+    if (recorder == nullptr) continue;
+    std::fputs(recorder->dump_string(slot.label).c_str(), stderr);
+  }
+}
+
+CrashDumpScope::CrashDumpScope(const FlightRecorder* recorder, std::string label)
+    : slot_(-1) {
+  install_handlers_once();
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (int i = 0; i < kMaxSlots; ++i) {
+    if (g_slots[i].recorder.load(std::memory_order_relaxed) == nullptr) {
+      g_slots[i].label = std::move(label);
+      g_slots[i].recorder.store(recorder, std::memory_order_release);
+      slot_ = i;
+      return;
+    }
+  }
+  // Table full: silently skip -- losing a crash-dump registration must
+  // never fail a healthy run.
+}
+
+CrashDumpScope::~CrashDumpScope() {
+  if (slot_ < 0) return;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  g_slots[slot_].recorder.store(nullptr, std::memory_order_release);
+  g_slots[slot_].label.clear();
+}
+
+}  // namespace altroute::obs::prof

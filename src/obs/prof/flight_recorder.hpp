@@ -1,0 +1,91 @@
+// Flight recorder: a fixed-size ring buffer of the last N trace records.
+//
+// When an invariant trips, a checkpoint validation rejects, or the process
+// takes a fatal signal, the question is always "what happened JUST
+// before?"  -- and by then the full trace is either disabled or megabytes
+// deep.  A FlightRecorder is a TraceSink that keeps only the most recent
+// `capacity` records in a ring, so every replication can afford one even
+// on runs that buffer no trace at all.  Dumps render through
+// JsonlTraceSink::format -- the exact bytes a real trace file would have
+// held for those records -- so existing trace tooling reads them as-is.
+//
+// Tee-ing: a recorder can wrap a downstream sink (the run's real trace
+// sink); records flow to both, each honoring its own kind mask.  That is
+// how the checker attaches a recorder without perturbing the byte-compared
+// trace streams.
+//
+// Crash dumps: recorders registered via CrashDumpScope are written to
+// stderr from a best-effort fatal-signal handler (SIGSEGV/SIGABRT/SIGBUS/
+// SIGFPE/SIGILL).  The handler allocates (it formats records), which is
+// formally outside async-signal-safety -- acceptable for a diagnostic of
+// last resort that runs right before the default signal action is
+// re-raised.  Registration is thread-safe; the handler itself takes no
+// locks and reads a fixed-size slot table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace altroute::obs::prof {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  /// Ring of the last `capacity` records whose kind is in `ring_mask`.
+  /// `downstream` (optional, not owned) receives every record its own mask
+  /// wants, unchanged.  capacity must be >= 1.
+  explicit FlightRecorder(std::size_t capacity, unsigned ring_mask = kAllTraceKinds,
+                          TraceSink* downstream = nullptr);
+
+  void write(const TraceRecord& record) override;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records currently held (min(total_written, capacity)).
+  [[nodiscard]] std::size_t size() const;
+  /// Records ever offered to the ring (accepted by ring_mask), including
+  /// the ones already overwritten.
+  [[nodiscard]] std::uint64_t total_written() const { return total_; }
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Renders the retained records as JSONL (JsonlTraceSink::format, one
+  /// line per record, oldest first) preceded by one "# flight recorder"
+  /// comment line carrying label/capacity/total counts.
+  void dump(std::ostream& out, const std::string& label = "") const;
+  /// dump() into a string.
+  [[nodiscard]] std::string dump_string(const std::string& label = "") const;
+
+ private:
+  std::size_t capacity_;
+  unsigned ring_mask_;
+  TraceSink* downstream_;
+  std::vector<TraceRecord> ring_;  ///< ring_[ (total_ - size() + i) % capacity_ ]
+  std::uint64_t total_{0};
+};
+
+/// Registers `recorder` for the fatal-signal dump while in scope, under
+/// `label` (shown in the dump header; keep it short and identifying, e.g.
+/// "case 42/cfg heap+direct").  Installs the signal handlers on first use.
+/// Scopes nest; destruction unregisters.  Thread-safe.
+class CrashDumpScope {
+ public:
+  CrashDumpScope(const FlightRecorder* recorder, std::string label);
+  ~CrashDumpScope();
+
+  CrashDumpScope(const CrashDumpScope&) = delete;
+  CrashDumpScope& operator=(const CrashDumpScope&) = delete;
+
+ private:
+  int slot_;
+};
+
+/// Writes every registered recorder's dump to stderr.  The fatal-signal
+/// handler calls this; tests may call it directly.
+void dump_registered_recorders();
+
+}  // namespace altroute::obs::prof

@@ -1,0 +1,158 @@
+#include "obs/prof/manifest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace altroute::obs::prof {
+
+namespace {
+
+/// Minimal JSON/label string escaping (quotes and backslashes; the strings
+/// here are shas, fingerprints, and phase paths -- never control-heavy).
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+const char* build_git_sha() {
+#ifdef ALTROUTE_GIT_SHA
+  return ALTROUTE_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunManifest::to_json() const {
+  std::string out = "{\n";
+  out += " \"tool\": \"" + escaped(tool) + "\",\n";
+  out += " \"git_sha\": \"" + escaped(git_sha) + "\",\n";
+  out += " \"config_fingerprint\": \"" + escaped(config_fingerprint) + "\",\n";
+  out += " \"threads\": " + std::to_string(threads) + ",\n";
+  out += " \"wall_seconds\": " + num(wall_seconds) + ",\n";
+  out += " \"cpu_seconds\": " + num(cpu_seconds) + ",\n";
+  out += " \"counters\": " + counters.to_json() + ",\n";
+  out += " \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStats& p = phases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"phase\": \"" + escaped(p.path) + "\", \"calls\": " + num(p.calls) +
+           ", \"wall_seconds\": " + num(p.wall_seconds) +
+           ", \"cpu_seconds\": " + num(p.cpu_seconds) + "}";
+  }
+  out += phases.empty() ? "],\n" : "\n ],\n";
+  out += " \"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskTiming& t = tasks[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"load\": " + num(t.load_factor) + ", \"seed\": " + num(t.seed) +
+           ", \"wall_seconds\": " + num(t.wall_seconds) + "}";
+  }
+  out += tasks.empty() ? "]\n" : "\n ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RunManifest::to_openmetrics() const {
+  std::string out;
+  const std::string run_labels = "tool=\"" + escaped(tool) + "\"";
+  out += "# TYPE altroute_run info\n";
+  out += "altroute_run_info{" + run_labels + ",git_sha=\"" + escaped(git_sha) +
+         "\",config_fingerprint=\"" + escaped(config_fingerprint) + "\"} 1\n";
+  out += "# TYPE altroute_threads gauge\n";
+  out += "altroute_threads{" + run_labels + "} " + std::to_string(threads) + "\n";
+  out += "# TYPE altroute_wall_seconds gauge\n";
+  out += "altroute_wall_seconds{" + run_labels + "} " + num(wall_seconds) + "\n";
+  out += "# TYPE altroute_cpu_seconds gauge\n";
+  out += "altroute_cpu_seconds{" + run_labels + "} " + num(cpu_seconds) + "\n";
+
+  std::size_t field_count = 0;
+  const CounterField* fields = counter_fields(&field_count);
+  for (std::size_t i = 0; i < field_count; ++i) {
+    const CounterField& f = fields[i];
+    const std::string name = std::string("altroute_") + f.name;
+    if (f.peak) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + "{" + run_labels + "} " + num(counters.*f.member) + "\n";
+    } else {
+      out += "# TYPE " + name + " counter\n";
+      out += name + "_total{" + run_labels + "} " + num(counters.*f.member) + "\n";
+    }
+  }
+
+  if (!phases.empty()) {
+    out += "# TYPE altroute_phase_calls counter\n";
+    for (const PhaseStats& p : phases) {
+      out += "altroute_phase_calls_total{" + run_labels + ",phase=\"" + escaped(p.path) +
+             "\"} " + num(p.calls) + "\n";
+    }
+    out += "# TYPE altroute_phase_wall_seconds gauge\n";
+    for (const PhaseStats& p : phases) {
+      out += "altroute_phase_wall_seconds{" + run_labels + ",phase=\"" + escaped(p.path) +
+             "\"} " + num(p.wall_seconds) + "\n";
+    }
+    out += "# TYPE altroute_phase_cpu_seconds gauge\n";
+    for (const PhaseStats& p : phases) {
+      out += "altroute_phase_cpu_seconds{" + run_labels + ",phase=\"" + escaped(p.path) +
+             "\"} " + num(p.cpu_seconds) + "\n";
+    }
+  }
+
+  if (!tasks.empty()) {
+    out += "# TYPE altroute_task_wall_seconds gauge\n";
+    for (const TaskTiming& t : tasks) {
+      out += "altroute_task_wall_seconds{" + run_labels + ",load=\"" + num(t.load_factor) +
+             "\",seed=\"" + num(t.seed) + "\"} " + num(t.wall_seconds) + "\n";
+    }
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+std::string phase_table(const std::vector<PhaseStats>& phases) {
+  std::string out = "phase                            calls    wall_ms     cpu_ms\n";
+  char buf[160];
+  for (const PhaseStats& p : phases) {
+    std::snprintf(buf, sizeof(buf), "%-30s %7llu %10.3f %10.3f\n", p.path.c_str(),
+                  static_cast<unsigned long long>(p.calls), p.wall_seconds * 1e3,
+                  p.cpu_seconds * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+std::string task_table(const std::vector<TaskTiming>& tasks) {
+  std::string out = "load    seed    wall_ms\n";
+  if (tasks.empty()) return out;
+  double slowest = 0.0;
+  for (const TaskTiming& t : tasks) slowest = std::max(slowest, t.wall_seconds);
+  char buf[96];
+  for (const TaskTiming& t : tasks) {
+    std::snprintf(buf, sizeof(buf), "%-7.3g %-7llu %9.3f%s\n", t.load_factor,
+                  static_cast<unsigned long long>(t.seed), t.wall_seconds * 1e3,
+                  (t.wall_seconds == slowest && tasks.size() > 1) ? "  <- slowest" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace altroute::obs::prof

@@ -1,0 +1,68 @@
+// Run manifest: one self-describing health record per run.
+//
+// A RunManifest bundles everything needed to interpret, compare, or
+// triage a run after the fact: which build produced it (git sha), which
+// configuration it ran (the hex-float fingerprint the checkpoint carries
+// reuse), how it was parallelised, where the time went (phase table), what
+// the engine actually did (deterministic counters, peaks), and the
+// per-task duration table that exposes thread-pool load imbalance.
+//
+// Two renderings of the same struct:
+//  * to_json()       -- the run's archival record (--manifest-out);
+//  * to_openmetrics() -- OpenMetrics text exposition, so external scrapers
+//    (Prometheus and friends) ingest it without a custom parser.  Counters
+//    render with the mandatory _total suffix; peaks and timings as gauges;
+//    one "# EOF" terminator as the spec requires.
+//
+// Determinism: every field except the wall/CPU durations is bit-identical
+// across thread counts; the golden-file test renders a manifest with
+// pinned durations, so the FORMAT is pinned even though live timings vary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/prof/counters.hpp"
+#include "obs/prof/profiler.hpp"
+
+namespace altroute::obs::prof {
+
+/// Wall-clock duration of one sweep task (one load point x seed, all
+/// policies), for the load-imbalance table.
+struct TaskTiming {
+  double load_factor{0.0};
+  std::uint64_t seed{0};
+  double wall_seconds{0.0};
+};
+
+struct RunManifest {
+  std::string tool;                ///< binary / entry point name
+  std::string git_sha;             ///< see build_git_sha()
+  std::string config_fingerprint;  ///< run-configuration fingerprint (hex-float scheme)
+  int threads{0};                  ///< worker threads the run used
+  double wall_seconds{0.0};        ///< end-to-end wall time
+  double cpu_seconds{0.0};         ///< whole-process CPU time
+  EngineCounters counters;         ///< deterministic totals across the run
+  std::vector<PhaseStats> phases;  ///< flattened phase tree, sorted by path
+  std::vector<TaskTiming> tasks;   ///< per-(load point x seed) durations
+
+  /// Multi-line JSON object, keys in a fixed order.
+  [[nodiscard]] std::string to_json() const;
+  /// OpenMetrics text exposition (ends with "# EOF\n").
+  [[nodiscard]] std::string to_openmetrics() const;
+};
+
+/// The git commit this binary was built from ("unknown" outside a git
+/// checkout) -- injected by CMake as ALTROUTE_GIT_SHA at configure time.
+[[nodiscard]] const char* build_git_sha();
+
+/// Renders the per-task duration table as aligned text (one row per task,
+/// slowest flagged), for --profile console output.
+[[nodiscard]] std::string task_table(const std::vector<TaskTiming>& tasks);
+
+/// Renders the flattened phase tree as aligned text (calls, wall, CPU per
+/// path; parents include their children), for --profile console output.
+[[nodiscard]] std::string phase_table(const std::vector<PhaseStats>& phases);
+
+}  // namespace altroute::obs::prof

@@ -1,0 +1,118 @@
+#include "obs/prof/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace altroute::obs::prof {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+#if defined(__linux__) || defined(__APPLE__)
+std::uint64_t clock_ns(clockid_t id) {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+#endif
+
+}  // namespace
+
+std::uint64_t thread_cpu_now_ns() {
+#if defined(__linux__) || defined(__APPLE__)
+  return clock_ns(CLOCK_THREAD_CPUTIME_ID);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t process_cpu_now_ns() {
+#if defined(__linux__) || defined(__APPLE__)
+  return clock_ns(CLOCK_PROCESS_CPUTIME_ID);
+#else
+  return 0;
+#endif
+}
+
+std::size_t PhaseAccumulator::row_of(const std::string& path) {
+  // Linear probe: phase tables are small (tens of rows), and the common
+  // case is re-hitting the row the previous iteration used.
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].path == path) return i;
+  }
+  phases_.push_back(PhaseStats{path, 0, 0.0, 0.0});
+  return phases_.size() - 1;
+}
+
+void PhaseAccumulator::add(const std::string& path, std::uint64_t calls,
+                           double wall_seconds, double cpu_seconds) {
+  PhaseStats& row = phases_[row_of(path)];
+  row.calls += calls;
+  row.wall_seconds += wall_seconds;
+  row.cpu_seconds += cpu_seconds;
+}
+
+void PhaseAccumulator::merge(const PhaseAccumulator& other) {
+  for (const PhaseStats& p : other.phases_) {
+    add(p.path, p.calls, p.wall_seconds, p.cpu_seconds);
+  }
+}
+
+std::vector<PhaseStats> PhaseAccumulator::phases() const {
+  std::vector<PhaseStats> out = phases_;
+  std::sort(out.begin(), out.end(),
+            [](const PhaseStats& a, const PhaseStats& b) { return a.path < b.path; });
+  return out;
+}
+
+std::string PhaseAccumulator::to_json() const {
+  std::string out = "[";
+  char buf[128];
+  bool first = true;
+  for (const PhaseStats& p : phases()) {
+    std::snprintf(buf, sizeof(buf), "%s{\"phase\":\"%s\",\"calls\":%llu,", first ? "" : ",",
+                  p.path.c_str(), static_cast<unsigned long long>(p.calls));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"wall_seconds\":%.9g,\"cpu_seconds\":%.9g}",
+                  p.wall_seconds, p.cpu_seconds);
+    out += buf;
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+ScopedPhase::ScopedPhase(PhaseAccumulator* acc, const char* name) : acc_(acc) {
+  if (acc_ == nullptr) return;
+  acc_->stack_.emplace_back(name);
+  if (!acc_->current_path_.empty()) acc_->current_path_ += '/';
+  acc_->current_path_ += name;
+  wall_start_ns_ = wall_now_ns();
+  cpu_start_ns_ = thread_cpu_now_ns();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (acc_ == nullptr) return;
+  const double wall =
+      static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
+  const double cpu = static_cast<double>(thread_cpu_now_ns() - cpu_start_ns_) * 1e-9;
+  acc_->add(acc_->current_path_, 1, wall, cpu);
+  const std::string& name = acc_->stack_.back();
+  const std::size_t cut = acc_->current_path_.size() - name.size();
+  acc_->current_path_.resize(cut > 0 ? cut - 1 : 0);  // drop "/name" or "name"
+  acc_->stack_.pop_back();
+}
+
+}  // namespace altroute::obs::prof

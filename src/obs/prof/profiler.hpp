@@ -1,0 +1,122 @@
+// Hierarchical phase profiler -- the TIMING half of the run-health layer.
+//
+// A PhaseAccumulator holds one table of named phases; a ScopedPhase is an
+// RAII timer that charges its enclosing scope's wall and thread-CPU time
+// to one phase on destruction.  Phases nest: a ScopedPhase opened while
+// another is live records under the composed path ("sweep/task/engine"),
+// so the table is a flattened call tree.  Self-time is implicit -- a
+// parent's numbers include its children, exactly like a sampling
+// profiler's inclusive view; subtract to taste when rendering.
+//
+// Threading model: one accumulator is SINGLE-THREADED.  The sweep harness
+// gives every replication its own accumulator (the same pattern as the
+// per-replication MetricRegistry) and merges them in slot order, so the
+// set of phases and their call counts are bit-identical at any --threads
+// value; only the measured durations vary run to run -- they are wall
+// clock, the one legitimately nondeterministic output of this subsystem.
+// Everything DETERMINISTIC about a run lives in counters.hpp instead.
+//
+// Cost: one steady_clock read + one CLOCK_THREAD_CPUTIME_ID read at each
+// end of a scope, against a null check when profiling is off (accumulator
+// pointer == nullptr).  Defining ALTROUTE_PROF_ENABLED=0 compiles the
+// ALTROUTE_PROF_SCOPE sites out entirely; it defaults to
+// ALTROUTE_OBS_ENABLED, so an OBS=0 build drops the profiler along with
+// the obs::Probe hooks, while -DALTROUTE_PROF_ENABLED=0 alone isolates
+// JUST the profiler's cost -- that is the axis the CI overhead gate
+// measures (tools/overhead_gate.py): scope sites must stay off the
+// per-event paths, cheap enough to leave compiled in everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef ALTROUTE_OBS_ENABLED
+#define ALTROUTE_OBS_ENABLED 1
+#endif
+#ifndef ALTROUTE_PROF_ENABLED
+#define ALTROUTE_PROF_ENABLED ALTROUTE_OBS_ENABLED
+#endif
+
+#if ALTROUTE_PROF_ENABLED
+/// Opens an RAII phase scope charging `acc_ptr` (may be null = off) under
+/// `name`.  The variable name encodes the line so two scopes can share a
+/// block.
+#define ALTROUTE_PROF_CONCAT2(a, b) a##b
+#define ALTROUTE_PROF_CONCAT(a, b) ALTROUTE_PROF_CONCAT2(a, b)
+#define ALTROUTE_PROF_SCOPE(acc_ptr, name) \
+  ::altroute::obs::prof::ScopedPhase ALTROUTE_PROF_CONCAT(prof_scope_, __LINE__)( \
+      (acc_ptr), (name))
+#else
+#define ALTROUTE_PROF_SCOPE(acc_ptr, name) \
+  do {                                     \
+  } while (0)
+#endif
+
+namespace altroute::obs::prof {
+
+/// One row of the flattened phase tree.
+struct PhaseStats {
+  std::string path;         ///< "/"-joined nesting, e.g. "sweep/task/engine"
+  std::uint64_t calls{0};   ///< scopes closed under this path
+  double wall_seconds{0.0}; ///< summed wall time (inclusive of children)
+  double cpu_seconds{0.0};  ///< summed thread-CPU time (inclusive)
+};
+
+/// Phase table of one replication (or one tool run).  Single-threaded.
+class PhaseAccumulator {
+ public:
+  /// Charges (calls, wall, cpu) to `path` directly -- the merge path and
+  /// tests use this; live timing goes through ScopedPhase.
+  void add(const std::string& path, std::uint64_t calls, double wall_seconds,
+           double cpu_seconds);
+
+  /// Folds `other` into this table.  Deterministic: the resulting table is
+  /// sorted by path, so merging per-replication accumulators in slot order
+  /// yields the same table at any thread count.
+  void merge(const PhaseAccumulator& other);
+
+  /// True when no phase was ever recorded.
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+
+  /// All phases, sorted by path.
+  [[nodiscard]] std::vector<PhaseStats> phases() const;
+
+  /// Deterministically ORDERED single-line JSON array (values are wall
+  /// clock, so bytes still vary run to run; structure does not).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  friend class ScopedPhase;
+
+  /// Index into phases_ for `path`, creating the row on first use.
+  std::size_t row_of(const std::string& path);
+
+  std::vector<PhaseStats> phases_;      ///< insertion order; sorted on read
+  std::vector<std::string> stack_;      ///< live scope names, outermost first
+  std::string current_path_;            ///< "/"-joined stack_ (cached)
+};
+
+/// RAII scope timer.  Null accumulator = disabled (two null checks).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseAccumulator* acc, const char* name);
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator* acc_;
+  std::uint64_t wall_start_ns_{0};
+  std::uint64_t cpu_start_ns_{0};
+};
+
+/// Monotonic wall clock in nanoseconds (std::chrono::steady_clock).
+[[nodiscard]] std::uint64_t wall_now_ns();
+/// This thread's consumed CPU time in nanoseconds; 0 where unsupported.
+[[nodiscard]] std::uint64_t thread_cpu_now_ns();
+/// Whole-process consumed CPU time in nanoseconds; 0 where unsupported.
+[[nodiscard]] std::uint64_t process_cpu_now_ns();
+
+}  // namespace altroute::obs::prof

@@ -158,8 +158,14 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
     in_flight.release(h);
   };
 
+  // Deterministic operation counters of THIS run; folded into
+  // options.counters at the end (restore-path route rebuilds and memo
+  // re-warms are part of the work and count like any other).
+  obs::prof::EngineCounters run_counters;
+
   const auto rebuild_routes = [&] {
     routes = routing::build_min_hop_routes(g, options.max_alt_hops, options.max_paths_per_pair);
+    ++run_counters.route_rebuilds;
   };
 
   // Eq.-15 re-solve.  The memoized path reuses each link's cached inverse
@@ -168,10 +174,13 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
   // Both paths produce bit-identical reservation vectors.
   erlang::NetworkErlangMemo memo;
   const auto resolve_protection = [&](double t) {
+    ++run_counters.protection_resolves;
     if (options.memoize_protection) {
       const std::vector<double> lambda =
           routing::primary_link_loads(g, routes, traffic.scaled(traffic_factor));
-      memo.configure(lambda, core::link_capacities(g));
+      const std::size_t rebuilt = memo.configure(lambda, core::link_capacities(g));
+      run_counters.memo_misses += rebuilt;
+      run_counters.memo_hits += memo.link_count() - rebuilt;
       state.set_reservations(memo.protection_levels(options.max_alt_hops));
     } else {
       state.set_reservations(core::protection_levels(g, routes, traffic.scaled(traffic_factor),
@@ -219,6 +228,7 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
             }
             release_call(h);
             ++applied.calls_killed;
+            ++run_counters.calls_killed;
           }
           h = following;
         }
@@ -261,6 +271,7 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
             }
             release_call(victim);
             ++applied.calls_killed;
+            ++run_counters.preemptions;
           }
         }
         break;
@@ -725,6 +736,19 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
   // horizon (late events still kill calls and belong in the log).
   advance_to(trace.horizon);
   ALTROUTE_OBS_HOOK(probe, finish_sampling(occ_of));
+
+  if (options.counters != nullptr) {
+    const sim::QueueStats& q = departures.stats();
+    run_counters.events_scheduled = q.scheduled;
+    run_counters.events_popped = q.popped;
+    run_counters.peak_queue_depth = q.peak_size;
+    run_counters.calendar_resizes = q.resizes;
+    const sim::ArenaStats& a = in_flight.stats();
+    run_counters.arena_allocations = a.allocations;
+    run_counters.arena_reuses = a.reuses;
+    run_counters.peak_arena_occupancy = a.peak_live;
+    options.counters->merge(run_counters);
+  }
 
   std::sort(per_class.begin(), per_class.end(),
             [](const loss::ClassCounters& a, const loss::ClassCounters& b) {

@@ -94,6 +94,12 @@ struct ScenarioEngineOptions {
   /// (matching the counters); event_applied and protection_resolved records
   /// cover the whole run.  See obs/probe.hpp.
   obs::Probe* probe{nullptr};
+  /// When non-null, the run's deterministic operation counters are
+  /// accumulated into this struct at the end of the run (tallies add,
+  /// peaks max).  Kill/preempt tallies here cover the WHOLE run, not just
+  /// the measured window -- they describe work done, not results.  See
+  /// obs/prof/counters.hpp for the cross-configuration identity classes.
+  obs::prof::EngineCounters* counters{nullptr};
 
   // --- checkpoint / restore (src/snapshot) ---------------------------------
   // Checkpoints are captured at CALL BOUNDARIES: the first arrival with

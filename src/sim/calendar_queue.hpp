@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/op_stats.hpp"
+
 namespace altroute::sim {
 
 /// Calendar queue of timed events carrying an arbitrary payload.  Drop-in
@@ -42,6 +44,8 @@ class CalendarQueue {
     if (!(time >= 0.0)) throw std::invalid_argument("CalendarQueue: negative or NaN time");
     insert(Entry{time, next_seq_++, std::move(payload)});
     ++count_;
+    ++stats_.scheduled;
+    if (count_ > stats_.peak_size) stats_.peak_size = count_;
     if (count_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
       resize(2 * buckets_.size());
     }
@@ -49,6 +53,9 @@ class CalendarQueue {
 
   [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Lifetime operation counters (see sim/op_stats.hpp).
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
   /// Time of the earliest pending event.  Queue must be non-empty.
   [[nodiscard]] double next_time() const {
@@ -65,6 +72,7 @@ class CalendarQueue {
     Entry top = std::move(bucket.back());
     bucket.pop_back();
     --count_;
+    ++stats_.popped;
     have_min_ = false;
     // Restart the next scan from the popped event's calendar position.
     last_time_ = top.time;
@@ -111,6 +119,7 @@ class CalendarQueue {
     if (!(time >= 0.0)) throw std::invalid_argument("CalendarQueue: negative or NaN time");
     insert(Entry{time, seq, std::move(payload)});
     ++count_;
+    if (count_ > stats_.peak_size) stats_.peak_size = count_;
     if (count_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
       resize(2 * buckets_.size());
     }
@@ -214,6 +223,7 @@ class CalendarQueue {
   /// the current event population (mean gap between adjacent events, times
   /// two -- Brown's rule keeps bucket occupancy near one).
   void resize(std::size_t nbuckets) {
+    ++stats_.resizes;
     std::vector<std::vector<Entry>> old = std::move(buckets_);
     double lo = 0.0;
     double hi = 0.0;
@@ -251,6 +261,7 @@ class CalendarQueue {
   double width_{1.0};
   std::size_t count_{0};
   std::uint64_t next_seq_{0};
+  QueueStats stats_;
 
   // Scan state: the calendar position dequeues resume from.
   double last_time_{0.0};

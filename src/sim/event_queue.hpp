@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/op_stats.hpp"
+
 namespace altroute::sim {
 
 /// Priority queue of timed events carrying an arbitrary payload.
@@ -24,10 +26,16 @@ class EventQueue {
     if (!(time >= 0.0)) throw std::invalid_argument("EventQueue: negative or NaN time");
     heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
     sift_up(heap_.size() - 1);
+    ++stats_.scheduled;
+    if (heap_.size() > stats_.peak_size) stats_.peak_size = heap_.size();
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Lifetime operation counters (see sim/op_stats.hpp); resizes stays 0,
+  /// the heap never rebuckets.
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
   /// Time of the earliest pending event.  Queue must be non-empty.
   [[nodiscard]] double next_time() const { return heap_.front().time; }
@@ -39,6 +47,7 @@ class EventQueue {
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
+    ++stats_.popped;
     return {top.time, std::move(top.payload)};
   }
 
@@ -69,6 +78,7 @@ class EventQueue {
     if (!(time >= 0.0)) throw std::invalid_argument("EventQueue: negative or NaN time");
     heap_.push_back(Entry{time, seq, std::move(payload)});
     sift_up(heap_.size() - 1);
+    if (heap_.size() > stats_.peak_size) stats_.peak_size = heap_.size();
   }
 
   void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
@@ -110,6 +120,7 @@ class EventQueue {
 
   std::vector<Entry> heap_;
   std::uint64_t next_seq_{0};
+  QueueStats stats_;
 };
 
 }  // namespace altroute::sim

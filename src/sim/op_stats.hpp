@@ -1,0 +1,34 @@
+// Lifetime operation counters of the hot-path containers.
+//
+// EventQueue, CalendarQueue, and SlabArena each keep one of these structs
+// and bump it with plain integer increments on the operations that matter
+// for run-health attribution: how many events moved through the future
+// event list, how often the calendar rebucketed itself, how often the
+// arena recycled a slot versus growing the slab, and the high-water marks.
+// The increments are unconditional (no branch, no indirection) and present
+// in every build -- they are DETERMINISTIC facts about the run, not
+// timing, so the profiler's ALTROUTE_OBS_ENABLED=0 switch does not touch
+// them (see obs/prof/counters.hpp for the aggregation layer).
+#pragma once
+
+#include <cstdint>
+
+namespace altroute::sim {
+
+/// Counters of one event queue since construction.  clear() does not reset
+/// them: they describe everything the queue ever did.
+struct QueueStats {
+  std::uint64_t scheduled{0};  ///< schedule() calls (restore_entry excluded)
+  std::uint64_t popped{0};     ///< pop() calls
+  std::uint64_t resizes{0};    ///< calendar rebucketings (always 0 for the heap)
+  std::uint64_t peak_size{0};  ///< largest pending-event population ever
+};
+
+/// Counters of one slab arena since construction.
+struct ArenaStats {
+  std::uint64_t allocations{0};  ///< acquires that grew the slab
+  std::uint64_t reuses{0};       ///< acquires served from the free-list
+  std::uint64_t peak_live{0};    ///< largest live population ever
+};
+
+}  // namespace altroute::sim

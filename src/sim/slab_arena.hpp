@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/op_stats.hpp"
+
 namespace altroute::sim {
 
 template <typename T>
@@ -39,9 +41,11 @@ class SlabArena {
     if (free_head_ != kNone) {
       index = free_head_;
       free_head_ = slots_[index].next;
+      ++stats_.reuses;
     } else {
       index = static_cast<std::uint32_t>(slots_.size());
       slots_.emplace_back();
+      ++stats_.allocations;
     }
     Slot& slot = slots_[index];
     slot.live = true;
@@ -54,6 +58,7 @@ class SlabArena {
     }
     tail_ = index;
     ++live_;
+    if (live_ > stats_.peak_live) stats_.peak_live = live_;
     return make_handle(index, slot.gen);
   }
 
@@ -95,6 +100,11 @@ class SlabArena {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   /// Slots ever allocated (live + free): the arena's high-water mark.
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Lifetime operation counters (see sim/op_stats.hpp).  restore_layout
+  /// raises peak_live to the restored population but leaves the
+  /// allocation/reuse tallies alone: they describe THIS process's work.
+  [[nodiscard]] const ArenaStats& stats() const { return stats_; }
 
   // Insertion-order traversal (kInvalid at either end).
   [[nodiscard]] Handle oldest() const { return handle_at(head_); }
@@ -154,6 +164,7 @@ class SlabArena {
     for (std::size_t i = 0; i < l.gens.size(); ++i) slots_[i].gen = l.gens[i];
     head_ = tail_ = free_head_ = kNone;
     live_ = l.live_order.size();
+    if (live_ > stats_.peak_live) stats_.peak_live = live_;
     std::uint32_t prev = kNone;
     for (const std::uint32_t index : l.live_order) {
       claim(index);
@@ -210,6 +221,7 @@ class SlabArena {
   std::uint32_t head_{kNone};
   std::uint32_t tail_{kNone};
   std::size_t live_{0};
+  ArenaStats stats_;
 };
 
 }  // namespace altroute::sim

@@ -111,13 +111,25 @@ CliOptions parse_cli(int argc, char** argv) {
       options.checkpoint_out = need_value(i, arg);
     } else if (arg == "--resume") {
       options.resume = need_value(i, arg);
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--manifest-out") {
+      options.manifest_out = need_value(i, arg);
+    } else if (arg == "--flight-recorder") {
+      options.flight_recorder = parse_int(arg, need_value(i, arg));
+      if (*options.flight_recorder < 1) {
+        throw std::invalid_argument("--flight-recorder: must be >= 1");
+      }
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else {
       throw std::invalid_argument("unknown flag '" + arg +
                                   "' (known: --seeds --measure --warmup --loads --hops "
                                   "--threads --csv --scenario --metrics --trace "
                                   "--trace-filter --analyze --analysis-out --fast "
                                   "--checkpoint-dir --checkpoint-every --crash-after "
-                                  "--checkpoint-at --checkpoint-out --resume)");
+                                  "--checkpoint-at --checkpoint-out --resume "
+                                  "--profile --manifest-out --flight-recorder --progress)");
     }
   }
   return options;

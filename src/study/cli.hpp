@@ -33,6 +33,20 @@
 //   --checkpoint-at T     single-run binaries: capture state at sim time T
 //   --checkpoint-out F    write the captured state to F (.ckpt)
 //   --resume F            single-run binaries: restore from F and continue
+//
+// Profiling / run health (src/obs/prof; DESIGN.md "Profiling & run health"):
+//   --profile             print the phase-timing and per-task duration
+//                         tables plus the deterministic engine counters
+//   --manifest-out F      write the run manifest (git sha, configuration
+//                         fingerprint, phase/counter totals, task table)
+//                         to F: JSON, or OpenMetrics text exposition when
+//                         F ends in .om or .prom
+//   --flight-recorder N   keep the last N trace records in a ring buffer,
+//                         dumped to stderr on a fatal signal.  Teed in
+//                         FRONT of any --trace sink, so the trace file's
+//                         bytes never change
+//   --progress            live completed/total + ETA meter on stderr
+//                         (stdout stays byte-identical)
 #pragma once
 
 #include <optional>
@@ -73,9 +87,28 @@ struct CliOptions {
   std::optional<double> checkpoint_at;
   std::optional<std::string> checkpoint_out;
   std::optional<std::string> resume;
+  /// Print the phase/task profile tables and counter totals.
+  bool profile{false};
+  /// Write the run manifest here (JSON; OpenMetrics text for .om/.prom).
+  std::optional<std::string> manifest_out;
+  /// Flight-recorder ring capacity in trace records; unset = off.
+  std::optional<int> flight_recorder;
+  /// Live progress meter on stderr (SweepProfOptions::progress).
+  bool progress{false};
 
   /// True when any analysis output was requested.
   [[nodiscard]] bool wants_analysis() const { return analyze || analysis_out.has_value(); }
+
+  /// True when the run should assemble a RunManifest (--profile and/or
+  /// --manifest-out).
+  [[nodiscard]] bool wants_manifest() const { return profile || manifest_out.has_value(); }
+
+  /// True when any prof/observability wiring beyond the defaults was
+  /// requested (the tools use this to decide whether to run their
+  /// instrumented sweep at all).
+  [[nodiscard]] bool wants_prof() const {
+    return wants_manifest() || flight_recorder.has_value() || progress;
+  }
 };
 
 /// Parses argv; throws std::invalid_argument (with a usage hint) on unknown

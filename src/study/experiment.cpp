@@ -1,5 +1,6 @@
 #include "study/experiment.hpp"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <filesystem>
@@ -121,6 +122,8 @@ std::string shape_fingerprint(const net::Graph& graph, const net::TrafficMatrix&
   return s;
 }
 
+}  // namespace
+
 std::string sweep_fingerprint(const net::Graph& graph, const net::TrafficMatrix& nominal,
                               const std::vector<PolicyKind>& policies,
                               const SweepOptions& o) {
@@ -152,6 +155,43 @@ std::string scenario_sweep_fingerprint(const net::Graph& graph,
        obs_fingerprint(o.obs);
   return s;
 }
+
+namespace {
+
+// Live progress meter for the replication fan-out.  Writes `\r`-rewritten
+// status lines to stderr ONLY (stdout stays byte-identical); each tick is
+// one fprintf, which stdio serializes across worker threads.  The ETA is
+// the usual linear extrapolation -- honest for the homogeneous tasks of a
+// sweep, indicative otherwise.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, const char* label, std::size_t total)
+      : enabled_(enabled), label_(label), total_(total),
+        start_ns_(enabled ? obs::prof::wall_now_ns() : 0) {}
+
+  /// Marks one task complete (cached tasks count too -- they are done).
+  void tick() {
+    if (!enabled_) return;
+    const std::size_t done = ++done_;
+    const double elapsed = (obs::prof::wall_now_ns() - start_ns_) * 1e-9;
+    const double eta = done > 0 && done < total_
+                           ? elapsed * static_cast<double>(total_ - done) /
+                                 static_cast<double>(done)
+                           : 0.0;
+    std::fprintf(stderr, "\r%s: %zu/%zu tasks (%.0f%%), elapsed %.1fs, ETA %.1fs%s",
+                 label_, done, total_,
+                 total_ > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total_)
+                            : 100.0,
+                 elapsed, eta, done == total_ ? "\n" : "");
+  }
+
+ private:
+  bool enabled_;
+  const char* label_;
+  std::size_t total_;
+  std::uint64_t start_ns_;
+  std::atomic<std::size_t> done_{0};
+};
 
 std::string task_result_path(const std::string& dir, std::size_t task) {
   return dir + "/task-" + std::to_string(task) + ".res";
@@ -307,18 +347,21 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
   // snapshot the state replications depend on (protection levels, primary
   // loads).  The controller is left at the last load point, as before.
   std::vector<LoadPointState> load_points;
-  load_points.reserve(options.load_factors.size());
-  for (const double factor : options.load_factors) {
-    LoadPointState state;
-    state.traffic = nominal.scaled(factor);
-    result.offered_erlangs.push_back(state.traffic.total());
-    controller.retarget(state.traffic);
-    if (options.erlang_bound) {
-      result.erlang_bound.push_back(erlang::erlang_bound(graph, state.traffic).bound);
+  {
+    ALTROUTE_PROF_SCOPE(options.prof.profile, "prologue");
+    load_points.reserve(options.load_factors.size());
+    for (const double factor : options.load_factors) {
+      LoadPointState state;
+      state.traffic = nominal.scaled(factor);
+      result.offered_erlangs.push_back(state.traffic.total());
+      controller.retarget(state.traffic);
+      if (options.erlang_bound) {
+        result.erlang_bound.push_back(erlang::erlang_bound(graph, state.traffic).bound);
+      }
+      state.primary_loads = controller.primary_loads();
+      state.reservations = controller.engine_options(options.warmup).reservations;
+      load_points.push_back(std::move(state));
     }
-    state.primary_loads = controller.primary_loads();
-    state.reservations = controller.engine_options(options.warmup).reservations;
-    load_points.push_back(std::move(state));
   }
 
   // Fan-out: one task per (load point, seed); each replays every policy
@@ -326,6 +369,17 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
   // own pre-sized slots.  Nothing below mutates shared state.
   const std::size_t task_count = load_points.size() * seed_count;
   std::vector<ReplicationOutcome> slots(task_count * policy_count);
+
+  // Self-profiling storage, pre-sized like the result slots so the fan-out
+  // only ever writes its own entries; the serial epilogue merges them in
+  // task order (bit-identical at any thread count).  All empty when the
+  // corresponding prof option is off.
+  std::vector<obs::prof::EngineCounters> task_counters(
+      options.prof.counters != nullptr ? task_count : 0);
+  std::vector<obs::prof::PhaseAccumulator> task_profiles(
+      options.prof.profile != nullptr ? task_count : 0);
+  std::vector<double> task_wall(options.prof.task_timings != nullptr ? task_count : 0, 0.0);
+  ProgressMeter progress(options.prof.progress, "run_sweep", task_count);
 
   // Crash-tolerant carries: tasks already completed by a previous (killed)
   // invocation of the same sweep load from disk in this serial prologue and
@@ -361,11 +415,17 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
   }
 
   const auto run_replication = [&](std::size_t task) {
+    [[maybe_unused]] obs::prof::PhaseAccumulator* const acc =
+        task_profiles.empty() ? nullptr : &task_profiles[task];
+    ALTROUTE_PROF_SCOPE(acc, "task");
     const std::size_t li = task / seed_count;
     const std::size_t s = task % seed_count;
     const LoadPointState& load = load_points[li];
     const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
-    const sim::CallTrace trace = sim::generate_trace(load.traffic, horizon, seed);
+    const sim::CallTrace trace = [&] {
+      ALTROUTE_PROF_SCOPE(acc, "trace-gen");
+      return sim::generate_trace(load.traffic, horizon, seed);
+    }();
     for (std::size_t pi = 0; pi < policy_count; ++pi) {
       const std::unique_ptr<loss::RoutingPolicy> policy =
           make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
@@ -374,10 +434,13 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
       engine.policy_seed = seed;
       engine.link_stats = false;
       engine.reservations = load.reservations;
+      if (!task_counters.empty()) engine.counters = &task_counters[task];
       ReplicationObs run_obs(options.obs, options.warmup, options.measure);
       if (options.obs.enabled()) engine.probe = &run_obs.probe;
-      const loss::RunResult run =
-          loss::run_trace(graph, controller.routes(), *policy, trace, engine);
+      const loss::RunResult run = [&] {
+        ALTROUTE_PROF_SCOPE(acc, "engine");
+        return loss::run_trace(graph, controller.routes(), *policy, trace, engine);
+      }();
       ReplicationOutcome& slot = slots[task * policy_count + pi];
       slot.blocking = run.blocking();
       slot.alternate_fraction = run.alternate_fraction();
@@ -392,12 +455,16 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
       }
     }
   };
-  const auto run_task = [&](std::size_t task) {
+  const auto run_task_body = [&](std::size_t task) {
     if (cached[task]) return;
     if (options.crash_after >= 0 && static_cast<long long>(task) >= options.crash_after) {
       return;  // the simulated crash never reached this task
     }
+    const std::uint64_t task_start = task_wall.empty() ? 0 : obs::prof::wall_now_ns();
     run_replication(task);
+    if (!task_wall.empty()) {
+      task_wall[task] = static_cast<double>(obs::prof::wall_now_ns() - task_start) * 1e-9;
+    }
     if (!carry) return;
     snapshot::SweepTaskResult res;
     res.fingerprint = fingerprint;
@@ -419,16 +486,24 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
     }
     snapshot::save_sweep_task_result(task_result_path(options.checkpoint_dir, task), res);
   };
-  if (threads > 1) {
-    sim::ThreadPool pool(threads);
-    sim::parallel_for(&pool, task_count, run_task);
-  } else {
-    sim::parallel_for(nullptr, task_count, run_task);
+  const auto run_task = [&](std::size_t task) {
+    run_task_body(task);
+    progress.tick();
+  };
+  {
+    ALTROUTE_PROF_SCOPE(options.prof.profile, "fanout");
+    if (threads > 1) {
+      sim::ThreadPool pool(threads);
+      sim::parallel_for(&pool, task_count, run_task);
+    } else {
+      sim::parallel_for(nullptr, task_count, run_task);
+    }
   }
   if (options.crash_after >= 0) {
     throw std::runtime_error("run_sweep: simulated crash (crash_after=" +
                              std::to_string(options.crash_after) + ")");
   }
+  ALTROUTE_PROF_SCOPE(options.prof.profile, "epilogue");
 
   // Serial epilogue: reduce slots in (load point, policy, seed-ascending)
   // order.  Each RunningStats object receives exactly the additions of the
@@ -493,6 +568,26 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
       }
     }
   }
+
+  // Self-profiling epilogue, serial and in task order like everything
+  // above: counter totals and the merged phase table are bit-identical at
+  // any thread count (durations legitimately vary; structure does not).
+  if (options.prof.counters != nullptr) {
+    for (const obs::prof::EngineCounters& c : task_counters) options.prof.counters->merge(c);
+  }
+  if (options.prof.profile != nullptr) {
+    for (const obs::prof::PhaseAccumulator& acc : task_profiles) {
+      options.prof.profile->merge(acc);
+    }
+  }
+  if (options.prof.task_timings != nullptr) {
+    for (std::size_t task = 0; task < task_count; ++task) {
+      options.prof.task_timings->push_back(
+          obs::prof::TaskTiming{options.load_factors[task / seed_count],
+                                options.base_seed + static_cast<std::uint64_t>(task % seed_count),
+                                task_wall[task]});
+    }
+  }
   return result;
 }
 
@@ -537,12 +632,15 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
   // from -- scaled traffic, min-hop primary demands, Eq. 15 levels on the
   // intact topology.  Mid-run changes are the scenario runner's business.
   LoadPointState load;
-  load.traffic = nominal.scaled(options.load_factor);
-  const routing::RouteTable routes =
-      routing::build_min_hop_routes(graph, options.max_alt_hops);
-  load.primary_loads = routing::primary_link_loads(graph, routes, load.traffic);
-  load.reservations =
-      core::protection_levels_from_lambda(graph, load.primary_loads, options.max_alt_hops);
+  {
+    ALTROUTE_PROF_SCOPE(options.prof.profile, "prologue");
+    load.traffic = nominal.scaled(options.load_factor);
+    const routing::RouteTable routes =
+        routing::build_min_hop_routes(graph, options.max_alt_hops);
+    load.primary_loads = routing::primary_link_loads(graph, routes, load.traffic);
+    load.reservations =
+        core::protection_levels_from_lambda(graph, load.primary_loads, options.max_alt_hops);
+  }
 
   struct ScenarioSlot {
     double blocking{0.0};
@@ -556,6 +654,15 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
   const std::size_t policy_count = policies.size();
   const std::size_t seed_count = static_cast<std::size_t>(options.seeds);
   std::vector<ScenarioSlot> slots(seed_count * policy_count);
+
+  // Self-profiling storage, one entry per seed task -- see
+  // run_with_controller for the slot-order merge discipline.
+  std::vector<obs::prof::EngineCounters> task_counters(
+      options.prof.counters != nullptr ? seed_count : 0);
+  std::vector<obs::prof::PhaseAccumulator> task_profiles(
+      options.prof.profile != nullptr ? seed_count : 0);
+  std::vector<double> task_wall(options.prof.task_timings != nullptr ? seed_count : 0, 0.0);
+  ProgressMeter progress(options.prof.progress, "run_scenario_sweep", seed_count);
 
   // Crash-tolerant carries: completed seed tasks load from `task-<s>.res`;
   // interrupted (seed, policy) runs additionally resume from their newest
@@ -612,9 +719,14 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
   // Fan-out: one task per seed, each replaying every policy against that
   // seed's trace (common random numbers) into its own slots.
   const auto run_replication = [&](std::size_t s) {
+    [[maybe_unused]] obs::prof::PhaseAccumulator* const acc =
+        task_profiles.empty() ? nullptr : &task_profiles[s];
+    ALTROUTE_PROF_SCOPE(acc, "task");
     const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(s);
-    const sim::CallTrace trace =
-        scenario::make_scenario_trace(load.traffic, scen, horizon, seed);
+    const sim::CallTrace trace = [&] {
+      ALTROUTE_PROF_SCOPE(acc, "trace-gen");
+      return scenario::make_scenario_trace(load.traffic, scen, horizon, seed);
+    }();
     for (std::size_t pi = 0; pi < policy_count; ++pi) {
       const std::unique_ptr<loss::RoutingPolicy> policy =
           make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
@@ -625,6 +737,7 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       engine.max_alt_hops = options.max_alt_hops;
       engine.reservations = load.reservations;
       engine.auto_resolve_protection = options.auto_resolve_protection;
+      if (!task_counters.empty()) engine.counters = &task_counters[s];
       ReplicationObs run_obs(options.obs, options.warmup, options.measure);
       if (options.obs.enabled()) engine.probe = &run_obs.probe;
       TaskCheckpointSink sink;
@@ -642,8 +755,10 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
         engine.resume = &resume_from->ckpt;
         run_obs.collector.records = resume_from->trace_records;
       }
-      const scenario::ScenarioRunResult r =
-          scenario::run_scenario(graph, load.traffic, *policy, trace, scen, engine);
+      const scenario::ScenarioRunResult r = [&] {
+        ALTROUTE_PROF_SCOPE(acc, "engine");
+        return scenario::run_scenario(graph, load.traffic, *policy, trace, scen, engine);
+      }();
       ScenarioSlot& slot = slots[s * policy_count + pi];
       slot.blocking = r.run.blocking();
       slot.dropped = r.dropped;
@@ -653,7 +768,7 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       if (options.obs.enabled()) run_obs.deposit(slot);
     }
   };
-  const auto run_task = [&](std::size_t s) {
+  const auto run_task_body = [&](std::size_t s) {
     if (cached[s]) return;
     if (options.crash_after >= 0) {
       // The task AT crash_after dies at its first mid-run capture; tasks
@@ -669,7 +784,11 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
         return;  // its state survives only as the .ckpt files on disk
       }
     }
+    const std::uint64_t task_start = task_wall.empty() ? 0 : obs::prof::wall_now_ns();
     run_replication(s);
+    if (!task_wall.empty()) {
+      task_wall[s] = static_cast<double>(obs::prof::wall_now_ns() - task_start) * 1e-9;
+    }
     if (!carry) return;
     snapshot::SweepTaskResult res;
     res.fingerprint = fingerprint;
@@ -696,16 +815,24 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       std::filesystem::remove(task_checkpoint_path(options.checkpoint_dir, s, pi), ec);
     }
   };
-  if (threads > 1) {
-    sim::ThreadPool pool(threads);
-    sim::parallel_for(&pool, seed_count, run_task);
-  } else {
-    sim::parallel_for(nullptr, seed_count, run_task);
+  const auto run_task = [&](std::size_t s) {
+    run_task_body(s);
+    progress.tick();
+  };
+  {
+    ALTROUTE_PROF_SCOPE(options.prof.profile, "fanout");
+    if (threads > 1) {
+      sim::ThreadPool pool(threads);
+      sim::parallel_for(&pool, seed_count, run_task);
+    } else {
+      sim::parallel_for(nullptr, seed_count, run_task);
+    }
   }
   if (options.crash_after >= 0) {
     throw std::runtime_error("run_scenario_sweep: simulated crash (crash_after=" +
                              std::to_string(options.crash_after) + ")");
   }
+  ALTROUTE_PROF_SCOPE(options.prof.profile, "epilogue");
 
   // Serial epilogue: reduce in (policy, seed-ascending) order so sums and
   // RunningStats match the serial run bit for bit.
@@ -761,6 +888,24 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
           options.obs.trace->write(record);
         }
       }
+    }
+  }
+
+  // Self-profiling epilogue (serial, task order) -- see run_with_controller.
+  if (options.prof.counters != nullptr) {
+    for (const obs::prof::EngineCounters& c : task_counters) options.prof.counters->merge(c);
+  }
+  if (options.prof.profile != nullptr) {
+    for (const obs::prof::PhaseAccumulator& acc : task_profiles) {
+      options.prof.profile->merge(acc);
+    }
+  }
+  if (options.prof.task_timings != nullptr) {
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      options.prof.task_timings->push_back(
+          obs::prof::TaskTiming{options.load_factor,
+                                options.base_seed + static_cast<std::uint64_t>(s),
+                                task_wall[s]});
     }
   }
   return result;

@@ -20,6 +20,9 @@
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/counters.hpp"
+#include "obs/prof/manifest.hpp"
+#include "obs/prof/profiler.hpp"
 #include "obs/trace.hpp"
 #include "routing/route_table.hpp"
 #include "scenario/runner.hpp"
@@ -70,6 +73,33 @@ struct SweepObsOptions {
   [[nodiscard]] bool enabled() const { return metrics || trace != nullptr; }
 };
 
+/// Self-profiling of a sweep (obs/prof).  Everything here is additive
+/// instrumentation: none of these options changes the sweep's results or
+/// its configuration fingerprint, so checkpoint carries stay compatible.
+///
+/// Interaction with checkpoint carries: counters, phases, and task timings
+/// describe work done by THIS process -- tasks loaded from a carry
+/// directory contribute nothing (their wall time is ~0 and their engine
+/// never ran here).
+struct SweepProfOptions {
+  /// When non-null, every replication's deterministic engine counters are
+  /// accumulated into this struct, merged in slot order by the serial
+  /// epilogue -- totals are bit-identical at any `threads` value.
+  obs::prof::EngineCounters* counters{nullptr};
+  /// When non-null, phase timings are charged here: the harness phases
+  /// ("prologue", "fanout", "epilogue") on the calling thread, plus one
+  /// private accumulator per task ("task", "task/trace-gen",
+  /// "task/engine") merged in slot order -- so the SET of phases and their
+  /// call counts are thread-count-invariant; only durations vary.
+  obs::prof::PhaseAccumulator* profile{nullptr};
+  /// When non-null, receives one wall-clock entry per (load point, seed)
+  /// task in task order -- the thread-pool load-imbalance table.
+  std::vector<obs::prof::TaskTiming>* task_timings{nullptr};
+  /// Live progress meter (completed/total tasks, ETA) on stderr.  stdout
+  /// is never touched, so piped output stays byte-identical.
+  bool progress{false};
+};
+
 struct SweepOptions {
   /// Multipliers applied to the nominal traffic matrix, one per load point.
   std::vector<double> load_factors{1.0};
@@ -96,6 +126,9 @@ struct SweepOptions {
   bool fairness{false};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
+  /// Self-profiling: counters / phase timings / task table / progress
+  /// (off by default; never changes results or the fingerprint).
+  SweepProfOptions prof;
 
   // --- crash tolerance (src/snapshot) --------------------------------------
   /// Directory for per-task carry files; empty disables.  Every completed
@@ -181,6 +214,9 @@ struct ScenarioSweepOptions {
   bool auto_resolve_protection{false};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
+  /// Self-profiling: counters / phase timings / task table / progress
+  /// (off by default; never changes results or the fingerprint).
+  SweepProfOptions prof;
 
   // --- crash tolerance (src/snapshot) --------------------------------------
   /// Directory for carry files; empty disables.  Completed seed tasks write
@@ -228,6 +264,25 @@ struct ScenarioSweepResult {
 /// at t = 0 come from Eq. 15 on the intact topology at the load-scaled
 /// matrix (the scenario's resolve_protection events update them mid-run).
 [[nodiscard]] ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
+                                                     const net::TrafficMatrix& nominal,
+                                                     const scenario::Scenario& scen,
+                                                     const std::vector<PolicyKind>& policies,
+                                                     const ScenarioSweepOptions& options);
+
+// ---------------------------------------------------------------------------
+// Configuration fingerprints.  One string rendering every input that shapes
+// a sweep's numbers (doubles in exact hex-float form) -- the checkpoint
+// carry files use it as their resume guard, and a run manifest records it
+// as its config_fingerprint so two manifests are comparable exactly when
+// their runs were.  Profiling options never enter the fingerprint: they
+// cannot change results.
+
+[[nodiscard]] std::string sweep_fingerprint(const net::Graph& graph,
+                                            const net::TrafficMatrix& nominal,
+                                            const std::vector<PolicyKind>& policies,
+                                            const SweepOptions& options);
+
+[[nodiscard]] std::string scenario_sweep_fingerprint(const net::Graph& graph,
                                                      const net::TrafficMatrix& nominal,
                                                      const scenario::Scenario& scen,
                                                      const std::vector<PolicyKind>& policies,

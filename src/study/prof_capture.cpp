@@ -1,0 +1,78 @@
+#include "study/prof_capture.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace altroute::study {
+
+bool manifest_path_is_openmetrics(const std::string& path) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s = suffix;
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".om") || ends_with(".prom");
+}
+
+ProfCapture::ProfCapture(std::string tool)
+    : tool_(std::move(tool)),
+      wall_start_ns_(obs::prof::wall_now_ns()),
+      cpu_start_ns_(obs::prof::process_cpu_now_ns()) {}
+
+void ProfCapture::attach(const CliOptions& cli, SweepObsOptions& obs,
+                         SweepProfOptions& prof) {
+  if (cli.wants_manifest()) {
+    prof.counters = &counters_;
+    prof.profile = &phases_;
+    prof.task_timings = &tasks_;
+  }
+  prof.progress = cli.progress;
+  if (cli.flight_recorder.has_value()) {
+    // Tee in FRONT of the run's trace sink: the ring sees everything, the
+    // downstream sink still filters with its own mask, so --trace output
+    // is byte-identical with or without the recorder.
+    recorder_ = std::make_unique<obs::prof::FlightRecorder>(
+        static_cast<std::size_t>(*cli.flight_recorder), obs::kAllTraceKinds, obs.trace);
+    obs.trace = recorder_.get();
+    crash_scope_ = std::make_unique<obs::prof::CrashDumpScope>(recorder_.get(), tool_);
+  }
+}
+
+obs::prof::RunManifest ProfCapture::manifest(const std::string& fingerprint,
+                                             int threads) const {
+  obs::prof::RunManifest m;
+  m.tool = tool_;
+  m.git_sha = obs::prof::build_git_sha();
+  m.config_fingerprint = fingerprint;
+  m.threads = threads;
+  m.wall_seconds = (obs::prof::wall_now_ns() - wall_start_ns_) * 1e-9;
+  const std::uint64_t cpu_now = obs::prof::process_cpu_now_ns();
+  m.cpu_seconds = cpu_now > cpu_start_ns_ ? (cpu_now - cpu_start_ns_) * 1e-9 : 0.0;
+  m.counters = counters_;
+  m.phases = phases_.phases();
+  m.tasks = tasks_;
+  return m;
+}
+
+void ProfCapture::emit(const CliOptions& cli, const std::string& fingerprint, int threads,
+                       std::ostream& out) const {
+  if (!cli.wants_manifest()) return;
+  const obs::prof::RunManifest m = manifest(fingerprint, threads);
+  if (cli.profile) {
+    out << "\n== run profile (" << m.tool << ", git " << m.git_sha << ", " << m.threads
+        << " threads) ==\n";
+    out << obs::prof::phase_table(m.phases);
+    out << "\n" << obs::prof::task_table(m.tasks);
+    out << "\ncounters: " << m.counters.to_json() << "\n";
+  }
+  if (cli.manifest_out.has_value()) {
+    std::ofstream file(*cli.manifest_out);
+    if (!file) {
+      throw std::runtime_error("--manifest-out: cannot open '" + *cli.manifest_out + "'");
+    }
+    file << (manifest_path_is_openmetrics(*cli.manifest_out) ? m.to_openmetrics()
+                                                             : m.to_json());
+  }
+}
+
+}  // namespace altroute::study

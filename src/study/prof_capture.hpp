@@ -1,0 +1,81 @@
+// One-stop --profile / --manifest-out / --flight-recorder / --progress
+// wiring for the sweep binaries (examples, figure benches, tools).
+//
+// Every tool that runs a sweep repeats the same four steps: hook the prof
+// options into the sweep, tee a flight recorder in front of the trace
+// sink, assemble the RunManifest afterwards, and emit tables/files
+// according to the flags.  ProfCapture bundles them so a binary adds run
+// health in three lines:
+//
+//   study::ProfCapture prof("nsfnet_study");
+//   prof.attach(cli, sweep.obs, sweep.prof);        // before the sweep
+//   ...run the sweep...
+//   prof.emit(cli, study::sweep_fingerprint(...), resolved_threads,
+//             std::cout);                           // after the sweep
+//
+// attach is a no-op when none of the prof flags was given, so adding this
+// to a binary changes nothing for existing invocations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/prof/counters.hpp"
+#include "obs/prof/flight_recorder.hpp"
+#include "obs/prof/manifest.hpp"
+#include "obs/prof/profiler.hpp"
+#include "study/cli.hpp"
+#include "study/experiment.hpp"
+
+namespace altroute::study {
+
+class ProfCapture {
+ public:
+  /// `tool` names the binary in the manifest and the crash-dump label.
+  /// Wall time is measured from construction, so construct before the
+  /// sweep's setup work.
+  explicit ProfCapture(std::string tool);
+
+  /// Wires the CLI's prof flags into a sweep's options: counters, phase
+  /// accumulator, and task-timing vector when a manifest is wanted;
+  /// progress unconditionally from --progress; and with --flight-recorder
+  /// a last-N ring teed in FRONT of any existing obs.trace sink (the
+  /// downstream sink's bytes never change) and registered for fatal-signal
+  /// dumps.  No-op when no prof flag was given.
+  void attach(const CliOptions& cli, SweepObsOptions& obs, SweepProfOptions& prof);
+
+  /// Assembles the manifest from everything collected so far.  `threads`
+  /// is the RESOLVED worker count (0 already expanded); the fingerprint is
+  /// the sweep's configuration fingerprint (study::sweep_fingerprint /
+  /// study::scenario_sweep_fingerprint).
+  [[nodiscard]] obs::prof::RunManifest manifest(const std::string& fingerprint,
+                                                int threads) const;
+
+  /// Emits according to the flags: --profile prints the phase, task, and
+  /// counter tables to `out`; --manifest-out writes the manifest file
+  /// (JSON, or OpenMetrics text when the path ends in .om / .prom).
+  /// No-op otherwise.
+  void emit(const CliOptions& cli, const std::string& fingerprint, int threads,
+            std::ostream& out) const;
+
+  /// The counters the sweep accumulated (valid after the sweep ran).
+  [[nodiscard]] const obs::prof::EngineCounters& counters() const { return counters_; }
+
+ private:
+  std::string tool_;
+  std::uint64_t wall_start_ns_;
+  std::uint64_t cpu_start_ns_;
+  obs::prof::EngineCounters counters_;
+  obs::prof::PhaseAccumulator phases_;
+  std::vector<obs::prof::TaskTiming> tasks_;
+  std::unique_ptr<obs::prof::FlightRecorder> recorder_;
+  std::unique_ptr<obs::prof::CrashDumpScope> crash_scope_;
+};
+
+/// True when `path` asks for the OpenMetrics text rendering (.om / .prom).
+[[nodiscard]] bool manifest_path_is_openmetrics(const std::string& path);
+
+}  // namespace altroute::study

@@ -1,0 +1,116 @@
+// Flight recorder end-to-end: when the checker's oracles trip (here via
+// the injected release-leak fault), the reference run's last-N trace
+// records must come out the other side -- in CaseReport::flight_dump, and
+// as flight.jsonl inside the failing-case artifact bundle.  A passing case
+// must NOT carry a dump (the ring is diagnostic payload for failures, not
+// a tax on healthy runs), and the compared trace streams must be
+// unaffected by the tee (a clean case passes the byte-level differential
+// with the recorder attached).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+
+using namespace altroute;
+
+namespace {
+
+constexpr int kRingCapacity = 16;
+
+check::CaseSpec first_corpus_case() { return check::generate_case(check::case_seed(1, 0)); }
+
+check::CheckOptions recorder_options(bool inject) {
+  check::CheckOptions options;
+  options.inject_release_leak = inject;
+  options.flight_recorder = kRingCapacity;
+  options.thread_count = 2;
+  return options;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+  return lines;
+}
+
+TEST(FlightRecorderFault, CleanCaseStillPassesWithRecorderAttached) {
+  // The tee must not perturb any compared observable: same case, same
+  // oracles, recorder on -- still green.
+  const check::CaseReport report =
+      check::check_case(first_corpus_case(), recorder_options(/*inject=*/false));
+  EXPECT_TRUE(report.passed()) << (report.failures.empty() ? "" : report.failures.front());
+  EXPECT_TRUE(report.flight_dump.empty()) << "passing case carried a flight dump";
+}
+
+TEST(FlightRecorderFault, InjectedFaultProducesBoundedDump) {
+  const check::CaseSpec spec = first_corpus_case();
+  const check::CaseReport report = check::check_case(spec, recorder_options(/*inject=*/true));
+  ASSERT_FALSE(report.passed()) << "the injected circuit leak went unnoticed";
+  ASSERT_FALSE(report.flight_dump.empty()) << "failing case carried no flight dump";
+
+  // Header line names the reference configuration and the ring geometry.
+  std::istringstream lines(report.flight_dump);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_NE(header.find("# flight recorder"), std::string::npos);
+  EXPECT_NE(header.find("case " + std::to_string(spec.seed)), std::string::npos);
+  EXPECT_NE(header.find("heap+direct"), std::string::npos);
+  EXPECT_NE(header.find("last " + std::to_string(kRingCapacity)), std::string::npos);
+
+  // Last-N semantics: at most capacity record lines, every one a JSONL
+  // object carrying a record kind.
+  std::size_t records = 0;
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_NE(line.find("\"kind\""), std::string::npos) << line;
+    ++records;
+  }
+  EXPECT_GT(records, 0u);
+  EXPECT_LE(records, static_cast<std::size_t>(kRingCapacity));
+  EXPECT_EQ(count_lines(report.flight_dump), records + 1);  // header + records
+}
+
+TEST(FlightRecorderFault, DumpLandsInTheArtifactBundle) {
+  const check::CaseSpec spec = first_corpus_case();
+  const check::CheckOptions options = recorder_options(/*inject=*/true);
+  const check::CaseReport report = check::check_case(spec, options);
+  ASSERT_FALSE(report.passed());
+  ASSERT_FALSE(report.flight_dump.empty());
+
+  const std::string dir = ::testing::TempDir() + "flight_recorder_artifacts";
+  check::dump_case_artifacts(dir, spec, report.failures, report.flight_dump);
+
+  std::ifstream in(dir + "/flight.jsonl", std::ios::binary);
+  ASSERT_TRUE(in.good()) << "artifact bundle has no flight.jsonl";
+  std::ostringstream written;
+  written << in.rdbuf();
+  EXPECT_EQ(written.str(), report.flight_dump);
+
+  // repro.txt points the reader at the dump.
+  std::ifstream repro_in(dir + "/repro.txt", std::ios::binary);
+  ASSERT_TRUE(repro_in.good());
+  std::ostringstream repro;
+  repro << repro_in.rdbuf();
+  EXPECT_NE(repro.str().find("flight.jsonl"), std::string::npos);
+}
+
+TEST(FlightRecorderFault, NoRecorderMeansNoDumpEvenOnFailure) {
+  check::CheckOptions options = recorder_options(/*inject=*/true);
+  options.flight_recorder = 0;
+  const check::CaseReport report = check::check_case(first_corpus_case(), options);
+  ASSERT_FALSE(report.passed());
+  EXPECT_TRUE(report.flight_dump.empty());
+
+  // And the artifact writer skips the file entirely for an empty dump.
+  const std::string dir = ::testing::TempDir() + "flight_recorder_no_dump";
+  check::dump_case_artifacts(dir, first_corpus_case(), report.failures, report.flight_dump);
+  std::ifstream in(dir + "/flight.jsonl");
+  EXPECT_FALSE(in.good());
+}
+
+}  // namespace

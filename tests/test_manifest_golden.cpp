@@ -1,0 +1,113 @@
+// Golden-file tests pinning the run-manifest render FORMATS byte-for-byte:
+// the manifest JSON, the OpenMetrics text exposition, the counter JSON,
+// and the --profile phase/task tables.  Live manifests carry wall-clock
+// durations, so the fixture pins every field (including the timings) to
+// fixed values -- any diff here is a REAL format change.
+//
+// When a change is intentional, regenerate and commit:
+//
+//     REGEN_GOLDENS=1 ctest -R ManifestGolden
+//
+// then review `git diff tests/data/golden`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/prof/counters.hpp"
+#include "obs/prof/manifest.hpp"
+#include "obs/prof/profiler.hpp"
+#include "study/report.hpp"
+
+namespace prof = altroute::obs::prof;
+namespace study = altroute::study;
+
+namespace {
+
+void check_or_regen(const std::string& name, const std::string& rendered) {
+  const std::string path = std::string(GOLDEN_DIR) + "/" + name;
+  if (std::getenv("REGEN_GOLDENS") != nullptr) {
+    study::write_file(path, rendered);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " -- regenerate with REGEN_GOLDENS=1 ctest -R ManifestGolden";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(rendered, want.str())
+      << "rendered output diverged from " << path
+      << "; if intentional: REGEN_GOLDENS=1 ctest -R ManifestGolden";
+}
+
+/// Every field pinned; distinctive values so a transposed column shows.
+prof::RunManifest fixture_manifest() {
+  prof::RunManifest m;
+  m.tool = "golden_tool";
+  m.git_sha = "0123abcd4567";
+  m.config_fingerprint = "sweep-v1|n=4|golden-fixture";
+  m.threads = 4;
+  m.wall_seconds = 1.25;
+  m.cpu_seconds = 4.5;
+  m.counters.events_scheduled = 120000;
+  m.counters.events_popped = 119000;
+  m.counters.peak_queue_depth = 850;
+  m.counters.arena_allocations = 310;
+  m.counters.arena_reuses = 9000;
+  m.counters.peak_arena_occupancy = 310;
+  m.counters.calls_killed = 12;
+  m.counters.preemptions = 3;
+  m.counters.route_rebuilds = 2;
+  m.counters.protection_resolves = 2;
+  m.counters.calendar_resizes = 7;
+  m.counters.memo_hits = 40;
+  m.counters.memo_misses = 20;
+  m.phases = {
+      {"epilogue", 1, 0.001, 0.001},
+      {"fanout", 1, 1.2, 4.4},
+      {"prologue", 1, 0.002, 0.002},
+      {"task", 4, 4.3, 4.3},
+      {"task/engine", 8, 3.5, 3.5},
+      {"task/trace-gen", 4, 0.75, 0.75},
+  };
+  m.tasks = {
+      {0.9, 1, 1.01},
+      {0.9, 2, 1.07},
+      {1.1, 1, 1.12},
+      {1.1, 2, 1.1},
+  };
+  return m;
+}
+
+TEST(ManifestGolden, Json) { check_or_regen("manifest.json", fixture_manifest().to_json()); }
+
+TEST(ManifestGolden, OpenMetrics) {
+  check_or_regen("manifest.om", fixture_manifest().to_openmetrics());
+}
+
+TEST(ManifestGolden, CountersJson) {
+  check_or_regen("counters.json", fixture_manifest().counters.to_json() + "\n");
+}
+
+TEST(ManifestGolden, PhaseTable) {
+  check_or_regen("phase_table.txt", prof::phase_table(fixture_manifest().phases));
+}
+
+TEST(ManifestGolden, TaskTable) {
+  check_or_regen("task_table.txt", prof::task_table(fixture_manifest().tasks));
+}
+
+// Structural spot-checks that hold regardless of the snapshot bytes, so a
+// bad regeneration cannot silently bless a spec violation.
+TEST(ManifestGolden, OpenMetricsSpecInvariants) {
+  const std::string om = fixture_manifest().to_openmetrics();
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  EXPECT_NE(om.find("altroute_memo_hits_total"), std::string::npos);
+  EXPECT_EQ(om.find("altroute_peak_queue_depth_total"), std::string::npos);
+  EXPECT_NE(om.find("phase=\"task/engine\""), std::string::npos);
+  EXPECT_NE(om.find("load=\"1.1\",seed=\"2\""), std::string::npos);
+}
+
+}  // namespace

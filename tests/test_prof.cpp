@@ -1,0 +1,271 @@
+// Unit tests for the run-health primitives (src/obs/prof): the phase
+// profiler's path composition and deterministic merge, the engine-counter
+// merge/equality/JSON contract, the flight recorder's ring + tee
+// semantics, and the manifest renderers' structural invariants.  The
+// end-to-end determinism guarantees live in test_prof_counters.cpp; the
+// byte-exact render formats in test_manifest_golden.cpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prof/counters.hpp"
+#include "obs/prof/flight_recorder.hpp"
+#include "obs/prof/manifest.hpp"
+#include "obs/prof/profiler.hpp"
+#include "obs/trace.hpp"
+#include "study/prof_capture.hpp"
+
+namespace obs = altroute::obs;
+namespace prof = altroute::obs::prof;
+
+namespace {
+
+// --- profiler --------------------------------------------------------------
+
+TEST(Profiler, ScopesComposePaths) {
+  prof::PhaseAccumulator acc;
+  {
+    prof::ScopedPhase outer(&acc, "sweep");
+    {
+      prof::ScopedPhase inner(&acc, "task");
+      prof::ScopedPhase innermost(&acc, "engine");
+    }
+    { prof::ScopedPhase again(&acc, "task"); }
+  }
+  const std::vector<prof::PhaseStats> rows = acc.phases();
+  ASSERT_EQ(rows.size(), 3u);  // sorted by path
+  EXPECT_EQ(rows[0].path, "sweep");
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[1].path, "sweep/task");
+  EXPECT_EQ(rows[1].calls, 2u);
+  EXPECT_EQ(rows[2].path, "sweep/task/engine");
+  EXPECT_EQ(rows[2].calls, 1u);
+  for (const prof::PhaseStats& r : rows) EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(Profiler, NullAccumulatorIsNoOp) {
+  prof::ScopedPhase scope(nullptr, "nothing");  // must not crash
+  prof::PhaseAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_TRUE(acc.phases().empty());
+}
+
+TEST(Profiler, MergeIsOrderInsensitiveOnStructure) {
+  prof::PhaseAccumulator a;
+  a.add("task", 2, 0.5, 0.4);
+  a.add("task/engine", 2, 0.3, 0.25);
+  prof::PhaseAccumulator b;
+  b.add("task/trace-gen", 1, 0.1, 0.1);
+  b.add("task", 1, 0.2, 0.2);
+
+  prof::PhaseAccumulator ab;
+  ab.merge(a);
+  ab.merge(b);
+  prof::PhaseAccumulator ba;
+  ba.merge(b);
+  ba.merge(a);
+
+  const auto rows_ab = ab.phases();
+  const auto rows_ba = ba.phases();
+  ASSERT_EQ(rows_ab.size(), rows_ba.size());
+  for (std::size_t i = 0; i < rows_ab.size(); ++i) {
+    EXPECT_EQ(rows_ab[i].path, rows_ba[i].path);
+    EXPECT_EQ(rows_ab[i].calls, rows_ba[i].calls);
+    EXPECT_DOUBLE_EQ(rows_ab[i].wall_seconds, rows_ba[i].wall_seconds);
+  }
+  ASSERT_EQ(rows_ab.size(), 3u);
+  EXPECT_EQ(rows_ab[0].path, "task");
+  EXPECT_EQ(rows_ab[0].calls, 3u);
+  EXPECT_DOUBLE_EQ(rows_ab[0].wall_seconds, 0.7);
+}
+
+TEST(Profiler, MergeWhileScopeOpenDoesNotInheritLiveStack) {
+  // The sweep epilogue merges per-task accumulators while its own
+  // "epilogue" scope is open; merged rows must keep their own paths.
+  prof::PhaseAccumulator main_acc;
+  prof::PhaseAccumulator task_acc;
+  task_acc.add("task", 1, 0.1, 0.1);
+  {
+    prof::ScopedPhase epilogue(&main_acc, "epilogue");
+    main_acc.merge(task_acc);
+  }
+  const auto rows = main_acc.phases();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].path, "epilogue");
+  EXPECT_EQ(rows[1].path, "task");
+}
+
+TEST(Profiler, ClocksAdvance) {
+  const std::uint64_t w0 = prof::wall_now_ns();
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i) * 1e-9;
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(prof::wall_now_ns(), w0);
+  EXPECT_GE(prof::process_cpu_now_ns(), 0u);
+}
+
+// --- counters ---------------------------------------------------------------
+
+TEST(Counters, MergeAddsTalliesAndMaxesPeaks) {
+  prof::EngineCounters a;
+  a.events_scheduled = 10;
+  a.events_popped = 8;
+  a.peak_queue_depth = 5;
+  a.memo_hits = 2;
+  prof::EngineCounters b;
+  b.events_scheduled = 1;
+  b.peak_queue_depth = 3;
+  b.peak_arena_occupancy = 7;
+  a.merge(b);
+  EXPECT_EQ(a.events_scheduled, 11u);
+  EXPECT_EQ(a.events_popped, 8u);
+  EXPECT_EQ(a.peak_queue_depth, 5u);  // max, not 8
+  EXPECT_EQ(a.peak_arena_occupancy, 7u);
+  EXPECT_EQ(a.memo_hits, 2u);
+}
+
+TEST(Counters, FieldTableCoversEveryField) {
+  std::size_t count = 0;
+  const prof::CounterField* fields = prof::counter_fields(&count);
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(count, 13u);  // update together with EngineCounters
+  // Setting each field through the table must reach a distinct member.
+  prof::EngineCounters c;
+  for (std::size_t i = 0; i < count; ++i) c.*fields[i].member = i + 1;
+  EXPECT_EQ(c.events_scheduled, 1u);
+  EXPECT_EQ(c.memo_misses, count);
+  // The JSON rendering names every field from the same table.
+  const std::string json = c.to_json();
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_NE(json.find("\"" + std::string(fields[i].name) + "\""), std::string::npos)
+        << fields[i].name;
+  }
+}
+
+TEST(Counters, EqualityIsFieldwise) {
+  prof::EngineCounters a, b;
+  EXPECT_EQ(a, b);
+  b.calendar_resizes = 1;
+  EXPECT_NE(a, b);
+  a.calendar_resizes = 1;
+  EXPECT_EQ(a, b);
+}
+
+// --- flight recorder --------------------------------------------------------
+
+obs::TraceRecord record_at(double t, obs::TraceKind kind = obs::TraceKind::kCallBlocked) {
+  obs::TraceRecord r;
+  r.time = t;
+  r.kind = kind;
+  return r;
+}
+
+TEST(FlightRecorder, KeepsOnlyTheLastN) {
+  prof::FlightRecorder ring(3);
+  for (int i = 0; i < 10; ++i) ring.write(record_at(i));
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_written(), 10u);
+  const std::vector<obs::TraceRecord> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].time, 7.0);  // oldest first
+  EXPECT_DOUBLE_EQ(kept[2].time, 9.0);
+}
+
+TEST(FlightRecorder, TeeForwardsEverythingDownstreamWantsUnchanged) {
+  // Downstream only wants blocks; the ring keeps everything.  The bytes
+  // the downstream sink sees must be identical to a direct connection.
+  obs::VectorTraceSink direct(static_cast<unsigned>(obs::TraceKind::kCallBlocked));
+  obs::VectorTraceSink teed(static_cast<unsigned>(obs::TraceKind::kCallBlocked));
+  prof::FlightRecorder ring(2, obs::kAllTraceKinds, &teed);
+  for (int i = 0; i < 5; ++i) {
+    const obs::TraceRecord blocked = record_at(i, obs::TraceKind::kCallBlocked);
+    const obs::TraceRecord admitted = record_at(i + 0.5, obs::TraceKind::kCallAdmitted);
+    // The probe consults the sink's mask before calling write; emulate it.
+    if (direct.wants(blocked.kind)) direct.write(blocked);
+    if (ring.wants(blocked.kind)) ring.write(blocked);
+    if (direct.wants(admitted.kind)) direct.write(admitted);
+    if (ring.wants(admitted.kind)) ring.write(admitted);
+  }
+  ASSERT_EQ(teed.records.size(), direct.records.size());
+  for (std::size_t i = 0; i < teed.records.size(); ++i) {
+    EXPECT_EQ(obs::JsonlTraceSink::format(teed.records[i]),
+              obs::JsonlTraceSink::format(direct.records[i]));
+  }
+  // Meanwhile the ring retained the last 2 of all 10 records.
+  EXPECT_EQ(ring.total_written(), 10u);
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(FlightRecorder, DumpRendersHeaderAndJsonlLines) {
+  prof::FlightRecorder ring(4);
+  ring.write(record_at(1.25));
+  ring.write(record_at(2.5, obs::TraceKind::kCallAdmitted));
+  const std::string dump = ring.dump_string("unit-test");
+  EXPECT_NE(dump.find("# flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("unit-test"), std::string::npos);
+  std::istringstream lines(dump);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("#", 0), 0u);  // header first
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, obs::JsonlTraceSink::format(record_at(1.25)));
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, obs::JsonlTraceSink::format(record_at(2.5, obs::TraceKind::kCallAdmitted)));
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(FlightRecorder, CrashDumpScopeRegistersAndUnregisters) {
+  // dump_registered_recorders() writes to stderr; capture it to assert the
+  // registered ring appears exactly while its scope lives.
+  prof::FlightRecorder ring(2);
+  ring.write(record_at(3.0));
+  testing::internal::CaptureStderr();
+  {
+    prof::CrashDumpScope scope(&ring, "scoped-ring");
+    prof::dump_registered_recorders();
+  }
+  prof::dump_registered_recorders();  // after unregistration: no output
+  const std::string err = testing::internal::GetCapturedStderr();
+  const std::size_t first = err.find("scoped-ring");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_EQ(err.find("scoped-ring", first + 1), std::string::npos);
+}
+
+// --- manifest helpers -------------------------------------------------------
+
+TEST(Manifest, OpenMetricsEndsWithEofAndSuffixesCounters) {
+  prof::RunManifest m;
+  m.tool = "unit";
+  m.git_sha = "abc";
+  m.config_fingerprint = "fp";
+  m.threads = 2;
+  m.counters.events_popped = 42;
+  const std::string om = m.to_openmetrics();
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  EXPECT_NE(om.find("altroute_events_popped_total{tool=\"unit\"} 42"), std::string::npos);
+  // Peaks are gauges: no _total suffix.
+  EXPECT_NE(om.find("altroute_peak_queue_depth{tool=\"unit\"} 0"), std::string::npos);
+  EXPECT_EQ(om.find("altroute_peak_queue_depth_total"), std::string::npos);
+}
+
+TEST(Manifest, TaskTableFlagsTheSlowest) {
+  std::vector<prof::TaskTiming> tasks{{1.0, 1, 0.010}, {1.0, 2, 0.030}, {1.1, 1, 0.020}};
+  const std::string table = prof::task_table(tasks);
+  const std::size_t flagged = table.find("<- slowest");
+  ASSERT_NE(flagged, std::string::npos);
+  // The flag sits on the 0.030 row (seed 2) and appears exactly once.
+  EXPECT_NE(table.find("2"), std::string::npos);
+  EXPECT_EQ(table.find("<- slowest", flagged + 1), std::string::npos);
+}
+
+TEST(Manifest, PathExtensionSelectsOpenMetrics) {
+  EXPECT_TRUE(altroute::study::manifest_path_is_openmetrics("run.om"));
+  EXPECT_TRUE(altroute::study::manifest_path_is_openmetrics("/a/b/run.prom"));
+  EXPECT_FALSE(altroute::study::manifest_path_is_openmetrics("run.json"));
+  EXPECT_FALSE(altroute::study::manifest_path_is_openmetrics("om"));
+}
+
+}  // namespace

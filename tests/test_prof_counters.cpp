@@ -1,0 +1,259 @@
+// Counter-determinism suite: ctest enforcement of the identity classes
+// pinned in obs/prof/counters.hpp.
+//
+// ENGINE-INDEPENDENT counters must be bit-identical across the full
+// {heap,calendar} x {memo,direct} configuration matrix and across every
+// worker thread count; ENGINE-SPECIFIC counters (calendar_resizes,
+// memo_hits/memo_misses) must be zero off their axis, identical along the
+// orthogonal axis, and thread-count invariant like everything else.  The
+// sweep-level tests additionally pin the harness contract: merged
+// counters, the phase-tree STRUCTURE (paths + call counts), and the
+// per-task timing table's (load, seed) spine are identical at any
+// SweepOptions::threads value.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/controlled_policy.hpp"
+#include "netgraph/topologies.hpp"
+#include "obs/prof/counters.hpp"
+#include "obs/prof/manifest.hpp"
+#include "obs/prof/profiler.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/parallel_for.hpp"
+#include "sim/thread_pool.hpp"
+#include "study/experiment.hpp"
+
+namespace core = altroute::core;
+namespace net = altroute::net;
+namespace prof = altroute::obs::prof;
+namespace scenario = altroute::scenario;
+namespace sim = altroute::sim;
+namespace study = altroute::study;
+
+namespace {
+
+constexpr int kSeeds = 3;
+constexpr double kHorizon = 50.0;
+
+// Fail/repair + re-solve events: kills, route rebuilds, protection
+// re-solves (the memo-relevant operation), all in one fixture.
+scenario::Scenario fixture_scenario() {
+  scenario::Scenario scen;
+  scen.name = "prof-counter-fixture";
+  scen.events.push_back(scenario::ScenarioEvent::link_fail(15.0, 0, 1));
+  scen.events.push_back(scenario::ScenarioEvent::resolve_protection(15.0));
+  scen.events.push_back(scenario::ScenarioEvent::link_repair(30.0, 0, 1));
+  scen.events.push_back(scenario::ScenarioEvent::resolve_protection(30.0));
+  return scen;
+}
+
+/// Runs kSeeds replications of the fixture under one engine configuration
+/// with `threads` workers and merges the per-seed counters in slot order
+/// -- the exact discipline the sweep harness uses.
+prof::EngineCounters run_matrix_cell(bool legacy_queue, bool memoize, int threads) {
+  const net::Graph g = net::full_mesh(4, 20);
+  const net::TrafficMatrix traffic = net::TrafficMatrix::uniform(4, 12.0);
+  const scenario::Scenario scen = fixture_scenario();
+  std::vector<prof::EngineCounters> slots(kSeeds);
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<sim::ThreadPool>(threads);
+  sim::parallel_for(pool.get(), slots.size(), [&](std::size_t s) {
+    const sim::CallTrace trace =
+        scenario::make_scenario_trace(traffic, scen, kHorizon, s + 1);
+    scenario::ScenarioEngineOptions options;
+    options.warmup = 5.0;
+    options.time_bins = 8;
+    options.max_alt_hops = 3;
+    options.legacy_event_queue = legacy_queue;
+    options.memoize_protection = memoize;
+    options.counters = &slots[s];
+    core::ControlledAlternatePolicy policy;
+    (void)scenario::run_scenario(g, traffic, policy, trace, scen, options);
+  });
+  prof::EngineCounters total;
+  for (const prof::EngineCounters& c : slots) total.merge(c);
+  return total;
+}
+
+struct Cell {
+  const char* name;
+  bool legacy_queue;
+  bool memoize;
+};
+constexpr Cell kCells[] = {
+    {"heap+direct", true, false},
+    {"heap+memo", true, true},
+    {"calendar+direct", false, false},
+    {"calendar+memo", false, true},
+};
+
+constexpr std::uint64_t prof::EngineCounters::* kEngineIndependent[] = {
+    &prof::EngineCounters::events_scheduled,
+    &prof::EngineCounters::events_popped,
+    &prof::EngineCounters::peak_queue_depth,
+    &prof::EngineCounters::arena_allocations,
+    &prof::EngineCounters::arena_reuses,
+    &prof::EngineCounters::peak_arena_occupancy,
+    &prof::EngineCounters::calls_killed,
+    &prof::EngineCounters::preemptions,
+    &prof::EngineCounters::route_rebuilds,
+    &prof::EngineCounters::protection_resolves,
+};
+
+TEST(ProfCounters, EngineIndependentClassIsIdenticalAcrossTheMatrix) {
+  prof::EngineCounters matrix[4];
+  for (int c = 0; c < 4; ++c) {
+    matrix[c] = run_matrix_cell(kCells[c].legacy_queue, kCells[c].memoize, /*threads=*/1);
+  }
+  // Non-vacuity: the fixture must actually exercise the counted paths.
+  EXPECT_GT(matrix[0].events_popped, 0u);
+  EXPECT_GT(matrix[0].peak_queue_depth, 0u);
+  EXPECT_GT(matrix[0].calls_killed, 0u);
+  EXPECT_EQ(matrix[0].route_rebuilds, 2u * kSeeds);        // fail + repair per seed
+  EXPECT_EQ(matrix[0].protection_resolves, 2u * kSeeds);   // two resolve events per seed
+  for (int c = 1; c < 4; ++c) {
+    for (const auto member : kEngineIndependent) {
+      EXPECT_EQ(matrix[c].*member, matrix[0].*member)
+          << kCells[c].name << " diverges from " << kCells[0].name;
+    }
+  }
+}
+
+TEST(ProfCounters, CalendarResizesAreZeroUnderHeapAndMemoInvariant) {
+  const prof::EngineCounters heap_direct = run_matrix_cell(true, false, 1);
+  const prof::EngineCounters heap_memo = run_matrix_cell(true, true, 1);
+  const prof::EngineCounters cal_direct = run_matrix_cell(false, false, 1);
+  const prof::EngineCounters cal_memo = run_matrix_cell(false, true, 1);
+  EXPECT_EQ(heap_direct.calendar_resizes, 0u);
+  EXPECT_EQ(heap_memo.calendar_resizes, 0u);
+  EXPECT_EQ(cal_direct.calendar_resizes, cal_memo.calendar_resizes);
+}
+
+TEST(ProfCounters, MemoCountersAreZeroUnderDirectAndQueueInvariant) {
+  const prof::EngineCounters heap_direct = run_matrix_cell(true, false, 1);
+  const prof::EngineCounters heap_memo = run_matrix_cell(true, true, 1);
+  const prof::EngineCounters cal_direct = run_matrix_cell(false, false, 1);
+  const prof::EngineCounters cal_memo = run_matrix_cell(false, true, 1);
+  EXPECT_EQ(heap_direct.memo_hits, 0u);
+  EXPECT_EQ(heap_direct.memo_misses, 0u);
+  EXPECT_EQ(cal_direct.memo_hits, 0u);
+  EXPECT_EQ(cal_direct.memo_misses, 0u);
+  EXPECT_EQ(heap_memo.memo_hits, cal_memo.memo_hits);
+  EXPECT_EQ(heap_memo.memo_misses, cal_memo.memo_misses);
+  // Non-vacuous: the re-solve events must actually consult the memo.
+  EXPECT_GT(heap_memo.memo_hits + heap_memo.memo_misses, 0u);
+}
+
+TEST(ProfCounters, EveryCellIsThreadCountInvariant) {
+  for (const Cell& cell : kCells) {
+    const prof::EngineCounters serial = run_matrix_cell(cell.legacy_queue, cell.memoize, 1);
+    for (const int threads : {2, 4}) {
+      const prof::EngineCounters parallel =
+          run_matrix_cell(cell.legacy_queue, cell.memoize, threads);
+      EXPECT_EQ(parallel, serial) << cell.name << " at " << threads << " threads: "
+                                  << parallel.to_json() << " vs " << serial.to_json();
+    }
+  }
+}
+
+// --- sweep harness ----------------------------------------------------------
+
+struct SweepProf {
+  prof::EngineCounters counters;
+  prof::PhaseAccumulator phases;
+  std::vector<prof::TaskTiming> tasks;
+};
+
+SweepProf run_load_sweep(int threads) {
+  SweepProf out;
+  study::SweepOptions options;
+  options.load_factors = {0.9, 1.1};
+  options.seeds = 2;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.erlang_bound = false;
+  options.threads = threads;
+  options.prof.counters = &out.counters;
+  options.prof.profile = &out.phases;
+  options.prof.task_timings = &out.tasks;
+  (void)study::run_sweep(net::full_mesh(4, 20), net::TrafficMatrix::uniform(4, 12.0),
+                         {study::PolicyKind::kSinglePath,
+                          study::PolicyKind::kControlledAlternate},
+                         options);
+  return out;
+}
+
+SweepProf run_scenario_sweep(int threads) {
+  SweepProf out;
+  study::ScenarioSweepOptions options;
+  options.seeds = 3;
+  options.measure = 30.0;
+  options.warmup = 5.0;
+  options.max_alt_hops = 3;
+  options.time_bins = 8;
+  options.threads = threads;
+  options.prof.counters = &out.counters;
+  options.prof.profile = &out.phases;
+  options.prof.task_timings = &out.tasks;
+  (void)study::run_scenario_sweep(net::full_mesh(4, 20), net::TrafficMatrix::uniform(4, 12.0),
+                                  fixture_scenario(),
+                                  {study::PolicyKind::kControlledAlternate}, options);
+  return out;
+}
+
+void expect_same_structure(const SweepProf& a, const SweepProf& ref, int threads) {
+  EXPECT_EQ(a.counters, ref.counters)
+      << "counters diverge at " << threads << " threads: " << a.counters.to_json() << " vs "
+      << ref.counters.to_json();
+  // Phase STRUCTURE (paths + call counts) is deterministic; durations are
+  // wall clock and legitimately differ.
+  const auto pa = a.phases.phases();
+  const auto pr = ref.phases.phases();
+  ASSERT_EQ(pa.size(), pr.size()) << "phase-tree shape diverges at " << threads << " threads";
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].path, pr[i].path);
+    EXPECT_EQ(pa[i].calls, pr[i].calls) << pa[i].path;
+  }
+  // Task table spine: same (load, seed) rows in the same slot order.
+  ASSERT_EQ(a.tasks.size(), ref.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].load_factor, ref.tasks[i].load_factor);
+    EXPECT_EQ(a.tasks[i].seed, ref.tasks[i].seed);
+    EXPECT_GE(a.tasks[i].wall_seconds, 0.0);
+  }
+}
+
+TEST(ProfCounters, LoadSweepProfIsThreadCountInvariant) {
+  const SweepProf serial = run_load_sweep(1);
+  EXPECT_GT(serial.counters.events_popped, 0u);
+  EXPECT_EQ(serial.tasks.size(), 4u);  // 2 loads x 2 seeds
+  for (const int threads : {2, 4}) {
+    expect_same_structure(run_load_sweep(threads), serial, threads);
+  }
+}
+
+TEST(ProfCounters, ScenarioSweepProfIsThreadCountInvariant) {
+  const SweepProf serial = run_scenario_sweep(1);
+  EXPECT_GT(serial.counters.calls_killed, 0u);
+  EXPECT_EQ(serial.tasks.size(), 3u);  // one task per seed
+  for (const int threads : {2, 4}) {
+    expect_same_structure(run_scenario_sweep(threads), serial, threads);
+  }
+}
+
+TEST(ProfCounters, SweepPhaseTreeHasTheDocumentedShape) {
+  const SweepProf serial = run_load_sweep(1);
+  const auto rows = serial.phases.phases();
+  std::vector<std::string> paths;
+  for (const auto& r : rows) paths.push_back(r.path);
+  EXPECT_EQ(paths, (std::vector<std::string>{"epilogue", "fanout", "prologue", "task",
+                                             "task/engine", "task/trace-gen"}));
+}
+
+}  // namespace

@@ -17,6 +17,11 @@
 //   --inject occupancy-leak
 //                    mutation testing: inject a known circuit-leak fault
 //                    into every run; the checker MUST then fail
+//   --flight-recorder N
+//                    tee a last-N trace ring into every run: dumped to
+//                    stderr on a fatal signal, bundled as flight.jsonl
+//                    with the failing-case artifacts (compared streams
+//                    are unchanged)
 //   --no-threads / --no-resume / --no-static / --no-invariants
 //                    disable one oracle family
 //   --quiet          only print the summary line and failures
@@ -45,8 +50,9 @@ namespace {
   std::fprintf(stderr,
                "usage: altroute_check --cases N --seed S [--shrink] [--artifacts DIR]\n"
                "       altroute_check --replay case.json\n"
-               "       options: --inject occupancy-leak, --no-threads, --no-resume,\n"
-               "                --no-static, --no-invariants, --quiet\n");
+               "       options: --inject occupancy-leak, --flight-recorder N,\n"
+               "                --no-threads, --no-resume, --no-static, --no-invariants,\n"
+               "                --quiet\n");
   std::exit(2);
 }
 
@@ -96,6 +102,10 @@ Cli parse_cli(int argc, char** argv) {
       const std::string fault = next(i, "--inject");
       if (fault != "occupancy-leak") usage_error("unknown fault '" + fault + "'");
       cli.options.inject_release_leak = true;
+    } else if (arg == "--flight-recorder") {
+      cli.options.flight_recorder =
+          static_cast<int>(parse_u64(next(i, "--flight-recorder"), "--flight-recorder"));
+      if (cli.options.flight_recorder < 1) usage_error("--flight-recorder must be >= 1");
     } else if (arg == "--no-threads") {
       cli.options.threads = false;
     } else if (arg == "--no-resume") {
@@ -138,9 +148,10 @@ int handle_failure(const Cli& cli, const check::CaseSpec& spec,
   }
   if (!cli.artifacts.empty()) {
     const check::CaseReport final_report = check::check_case(minimal, cli.options);
+    const bool use_final = !final_report.failures.empty();
     check::dump_case_artifacts(cli.artifacts, minimal,
-                               final_report.failures.empty() ? report.failures
-                                                             : final_report.failures);
+                               use_final ? final_report.failures : report.failures,
+                               use_final ? final_report.flight_dump : report.flight_dump);
     std::fprintf(stderr, "artifacts written to %s (replay: altroute_check --replay %s/%s)\n",
                  cli.artifacts.c_str(), cli.artifacts.c_str(), "case.json");
   }

@@ -10,11 +10,23 @@ perf record per commit.
     $ python3 tools/bench_record.py --bench build/bench/microbench \
           --out BENCH_sweep.json --repetitions 3
 
+Alongside the timings, the record carries the engine's deterministic
+perf counters (obs/prof/counters.hpp) that the benchmarks export as
+google-benchmark user counters -- events popped per sweep, peak queue
+depth, the protection-memo hit rate, and so on.  Counter rows come from
+the timing family plus the families named by --counter-filter (default
+BM_FailureScenarioSweep, which exercises the memo/kill/rebuild paths the
+plain load sweep never touches).
+
 With --baseline, the fresh record is also GATED against a previous
 BENCH_sweep.json: the run fails when the mean at threads=1 or at the
 highest thread count present in both records regresses by more than
 --max-regression percent (default 10).  A missing baseline file passes
 with a note, so the first run on a fresh runner records without gating.
+Counter drift against the baseline is reported too, but only ever as a
+WARNING: the counters are bit-deterministic for a fixed workload, so a
+drift usually just means the engine legitimately changed behaviour
+(e.g. a scheduling fix) -- flag it for review, don't fail the push.
 
 Override knobs, for when a regression is expected (e.g. an accepted
 trade-off or a known-noisy runner):
@@ -71,6 +83,76 @@ def run_benchmark(bench: str, bench_filter: str, repetitions: int) -> dict:
             return json.load(handle)
     finally:
         os.unlink(raw_path)
+
+
+# Keys google-benchmark itself writes into every row of the JSON output.
+# Anything numeric OUTSIDE this set is a user counter exported by the
+# benchmark body (state.counters[...]) and gets recorded verbatim.
+STANDARD_ROW_FIELDS = {
+    "name", "run_name", "run_type", "family_index",
+    "per_family_instance_index", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "aggregate_name", "aggregate_unit", "label", "error_occurred",
+    "error_message", "big_o", "rms", "allocs_per_iter",
+    "max_bytes_used", "total_allocated_bytes", "utilization",
+}
+
+
+def counter_row_key(name: str) -> str:
+    """BM_NsfnetSweepThreads/4/real_time -> BM_NsfnetSweepThreads/4."""
+    for suffix in ("/real_time", "/process_time"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def collect_counters(raw: dict) -> dict:
+    """User-counter medians per benchmark row, keyed 'Family/arg'.
+
+    The engine counters are deterministic for a fixed workload, so the
+    median across repetitions is just noise insurance for the few
+    rate-style counters (e.g. memo_hit_rate) that divide by wall time.
+    """
+    samples: dict[str, dict[str, list[float]]] = {}
+    for row in raw.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        key = counter_row_key(row.get("name", ""))
+        for field, value in row.items():
+            if field in STANDARD_ROW_FIELDS or not isinstance(value, (int, float)):
+                continue
+            samples.setdefault(key, {}).setdefault(field, []).append(float(value))
+    return {
+        key: {
+            counter: round(statistics.median(values), 6)
+            for counter, values in sorted(counters.items())
+        }
+        for key, counters in sorted(samples.items())
+    }
+
+
+def warn_counter_drift(fresh: dict, baseline: dict) -> int:
+    """Prints a WARNING per drifted counter shared by both records.
+
+    Deliberately never fails the run: see the module docstring.  Returns
+    the number of drifted counters (for the summary line / tests)."""
+    drifted = 0
+    for key in sorted(set(fresh) & set(baseline)):
+        for counter in sorted(set(fresh[key]) & set(baseline[key])):
+            old = float(baseline[key][counter])
+            new = float(fresh[key][counter])
+            scale = max(abs(old), abs(new), 1e-12)
+            if abs(new - old) / scale <= 1e-6:
+                continue
+            drifted += 1
+            print(f"bench_record: WARNING: counter drift {key}.{counter}: "
+                  f"{old:g} -> {new:g} (informational, not a gate)",
+                  file=sys.stderr)
+    if drifted:
+        print(f"bench_record: {drifted} counter(s) drifted vs baseline -- "
+              "review whether the engine change was intended",
+              file=sys.stderr)
+    return drifted
 
 
 def threads_of(name: str, base: str) -> str | None:
@@ -143,6 +225,10 @@ def main() -> int:
                         help="microbench binary (default build/bench/microbench)")
     parser.add_argument("--filter", default="BM_NsfnetSweepThreads",
                         help="benchmark family to record")
+    parser.add_argument("--counter-filter", default="BM_FailureScenarioSweep",
+                        help="extra famil(ies) run only for their user "
+                             "counters, '|'-separated regex alternatives "
+                             "(default BM_FailureScenarioSweep; '' disables)")
     parser.add_argument("--repetitions", type=int, default=3,
                         help="repetitions per row (default 3)")
     parser.add_argument("--out", default="BENCH_sweep.json",
@@ -156,12 +242,16 @@ def main() -> int:
                              "(default 10, or $BENCH_REGRESSION_TOLERANCE)")
     args = parser.parse_args()
 
-    raw = run_benchmark(args.bench, args.filter, args.repetitions)
+    bench_filter = args.filter
+    if args.counter_filter:
+        bench_filter = f"{args.filter}|{args.counter_filter}"
+    raw = run_benchmark(args.bench, bench_filter, args.repetitions)
     results = distil(raw, args.filter)
     if not results:
         print(f"bench_record: no '{args.filter}' rows in benchmark output",
               file=sys.stderr)
         return 1
+    counters = collect_counters(raw)
 
     record = {
         "benchmark": args.filter,
@@ -171,6 +261,7 @@ def main() -> int:
         "repetitions": args.repetitions,
         "unit": "milliseconds of real time per sweep",
         "threads": results,
+        "counters": counters,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -185,6 +276,8 @@ def main() -> int:
             print(f"bench_record: no baseline at {args.baseline}, recording only",
                   file=sys.stderr)
         else:
+            with open(args.baseline, encoding="utf-8") as handle:
+                warn_counter_drift(counters, json.load(handle).get("counters", {}))
             failures = check_regression(results, args.baseline, args.max_regression)
             if failures:
                 for failure in failures:

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Gate the profiler's compiled-in overhead on the serial sweep.
+
+The phase profiler is designed to be cheap enough to LEAVE compiled in:
+when no accumulator is attached, every ScopedPhase site is a null-pointer
+test, and the sites live on per-task paths, never per-event ones.  This
+script enforces that claim: it runs the same benchmark row from two
+microbench builds -- the default build (profiler compiled in, nothing
+attached) and a -DALTROUTE_PROF=OFF build (every ScopedPhase site
+compiled to a no-op, everything else identical) -- and fails when the
+default build is more than --max-overhead percent slower (default 3).
+
+    $ cmake -B build-noprof -S . -DALTROUTE_PROF=OFF
+    $ cmake --build build-noprof -j --target microbench
+    $ python3 tools/overhead_gate.py \
+          --bench-on build/bench/microbench \
+          --bench-off build-noprof/bench/microbench
+
+The gate is the tripwire that keeps ALTROUTE_PROF_SCOPE off the hot
+per-event paths as the profiler grows: today the delta is below
+measurement noise, and a future scope site inside the event loop would
+blow straight past 3%.
+
+Comparing against -DALTROUTE_OBS=OFF instead measures the WHOLE
+dormant observability layer (the per-event Probe hook sites of the
+metrics/trace subsystem plus the profiler) -- about 6% on this sweep,
+nearly all of it the long-standing probe sites.  CI reports that number
+on every push (OVERHEAD_SKIP_GATE=1, report-only) but gates only the
+profiler axis, so the gate stays red/green on what THIS layer controls.
+
+The watched row defaults to BM_NsfnetSweepThreads/1 (the serial sweep:
+no thread-pool noise, every event on the measured thread).  Both
+binaries are interleaved A/B/A/B across --rounds to cancel slow drift on
+shared runners, and the MINIMUM per-binary time is compared -- the
+standard technique for one-sided noise: interference only ever adds
+time, so the minimum is the best estimate of the true cost.
+
+Exits non-zero when either binary fails, the row is missing, or the
+gate trips.  OVERHEAD_SKIP_GATE=1 records the numbers but always
+passes.  Needs only the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def measure_once(bench: str, row: str, repetitions: int) -> float:
+    """Minimum real time for `row` in milliseconds across repetitions."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    try:
+        cmd = [
+            bench,
+            f"--benchmark_filter=^{row}$|^{row}/",
+            f"--benchmark_out={raw_path}",
+            "--benchmark_out_format=json",
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=false",
+        ]
+        subprocess.run(cmd, check=True, stdout=sys.stderr)
+        with open(raw_path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    finally:
+        os.unlink(raw_path)
+    times = []
+    for bench_row in raw.get("benchmarks", []):
+        if bench_row.get("run_type") == "aggregate":
+            continue
+        name = bench_row.get("name", "")
+        if name != row and not name.startswith(row + "/"):
+            continue
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[
+            bench_row.get("time_unit", "ns")]
+        times.append(float(bench_row["real_time"]) * scale)
+    if not times:
+        raise SystemExit(f"overhead_gate: no '{row}' rows from {bench}")
+    return min(times)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-on", required=True,
+                        help="microbench from the default (instrumented) build")
+    parser.add_argument("--bench-off", required=True,
+                        help="microbench from the -DALTROUTE_OBS=OFF build")
+    parser.add_argument("--row", default="BM_NsfnetSweepThreads/1",
+                        help="benchmark row to compare "
+                             "(default BM_NsfnetSweepThreads/1)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="interleaved A/B rounds per binary (default 3)")
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="benchmark repetitions per round (default 1)")
+    parser.add_argument("--max-overhead", type=float,
+                        default=float(os.environ.get("OVERHEAD_TOLERANCE", 3.0)),
+                        help="max tolerated overhead in percent "
+                             "(default 3, or $OVERHEAD_TOLERANCE)")
+    args = parser.parse_args()
+
+    on_ms = float("inf")
+    off_ms = float("inf")
+    for round_index in range(args.rounds):
+        print(f"overhead_gate: round {round_index + 1}/{args.rounds}",
+              file=sys.stderr)
+        on_ms = min(on_ms, measure_once(args.bench_on, args.row, args.repetitions))
+        off_ms = min(off_ms, measure_once(args.bench_off, args.row, args.repetitions))
+
+    overhead_pct = 100.0 * (on_ms - off_ms) / off_ms
+    verdict = "FAIL" if overhead_pct > args.max_overhead else "ok"
+    print(f"overhead_gate: {args.row}: instrumentation off {off_ms:.1f} ms, "
+          f"on {on_ms:.1f} ms -> {overhead_pct:+.2f}% overhead "
+          f"(tolerance {args.max_overhead:.1f}%) [{verdict}]",
+          file=sys.stderr)
+    if overhead_pct > args.max_overhead:
+        if os.environ.get("OVERHEAD_SKIP_GATE") == "1":
+            print("overhead_gate: OVERHEAD_SKIP_GATE=1, reporting only",
+                  file=sys.stderr)
+            return 0
+        print("overhead_gate: the instrumented build exceeds the overhead "
+              "budget; profile the ScopedPhase / counter sites, or override "
+              "with --max-overhead / $OVERHEAD_TOLERANCE / OVERHEAD_SKIP_GATE=1",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
