@@ -14,7 +14,10 @@
 //
 // N = 10 fully-connected, C = 120 per link, two-link alternates (H = 2):
 // the classic setting of the bistability literature.
+#include <memory>
+
 #include "bench_common.hpp"
+#include "control/dar.hpp"
 #include "core/controlled_policy.hpp"
 #include "core/protection.hpp"
 #include "erlang/state_protection.hpp"
@@ -48,13 +51,19 @@ void run(const study::CliOptions& cli) {
     const auto reservations = core::protection_levels_from_lambda(
         g, routing::primary_link_loads(g, routes, traffic), 2);
 
-    loss::UncontrolledAlternatePolicy uncontrolled;
-    core::ControlledAlternatePolicy controlled;
+    // DAR joins the probe because trunk reservation is ITS answer to this
+    // exact phenomenon: trunk=0 is plain sticky random (free overflow,
+    // metastable like the uncontrolled scheme), a modest static reserve
+    // restores a unique regime.  The sticky memory and resample RNG are
+    // per-replication state, so DAR gets a fresh policy per run.
     struct Scheme {
-      loss::RoutingPolicy* policy;
+      const char* name;
       bool use_reservations;
+      int dar_trunk;  // < 0: not DAR
     };
-    for (const Scheme scheme : {Scheme{&uncontrolled, false}, Scheme{&controlled, true}}) {
+    for (const Scheme scheme :
+         {Scheme{"uncontrolled", false, -1}, Scheme{"controlled", true, -1},
+          Scheme{"dar trunk=0", false, 0}, Scheme{"dar trunk=5", false, 5}}) {
       sim::RunningStats cold;
       sim::RunningStats hot;
       for (int s = 1; s <= shape.seeds; ++s) {
@@ -71,12 +80,21 @@ void run(const study::CliOptions& cli) {
         options.warmup = burst;  // measure [burst, burst + measure)
         options.link_stats = false;
         if (scheme.use_reservations) options.reservations = reservations;
-        cold.add(loss::run_trace(g, routes, *scheme.policy, cold_trace, options).blocking());
-        hot.add(loss::run_trace(g, routes, *scheme.policy, hot_trace, options).blocking());
+        const auto make_policy = [&]() -> std::unique_ptr<loss::RoutingPolicy> {
+          if (scheme.dar_trunk >= 0) {
+            control::DarConfig dar;
+            dar.trunk = scheme.dar_trunk;
+            return std::make_unique<control::DarPolicy>(n, seed, dar);
+          }
+          if (scheme.use_reservations)
+            return std::make_unique<core::ControlledAlternatePolicy>();
+          return std::make_unique<loss::UncontrolledAlternatePolicy>();
+        };
+        cold.add(loss::run_trace(g, routes, *make_policy(), cold_trace, options).blocking());
+        hot.add(loss::run_trace(g, routes, *make_policy(), hot_trace, options).blocking());
       }
-      table.add_row({study::fmt(load, 0), std::string(scheme.policy->name()),
-                     study::fmt(cold.mean(), 4), study::fmt(hot.mean(), 4),
-                     study::fmt(hot.mean() - cold.mean(), 4)});
+      table.add_row({study::fmt(load, 0), scheme.name, study::fmt(cold.mean(), 4),
+                     study::fmt(hot.mean(), 4), study::fmt(hot.mean() - cold.mean(), 4)});
     }
   }
   bench::emit(table, cli,

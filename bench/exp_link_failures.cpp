@@ -11,10 +11,13 @@
 // repaired at t = 70, protection re-solved at both instants.  The per-bin
 // series shows blocking degrade, plateau, and recover.  A JSON scenario
 // given with --scenario replaces the built-in fail -> repair script.
+#include <iostream>
+
 #include "bench_common.hpp"
 #include "netgraph/topologies.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/scenario.hpp"
+#include "study/analysis.hpp"
 #include "study/experiment.hpp"
 #include "study/nsfnet_traffic.hpp"
 
@@ -94,8 +97,18 @@ void run(const study::CliOptions& cli) {
   options.warmup = shape.warmup;
   options.max_alt_hops = cli.hops.value_or(11);
   options.time_bins = 10;
+  // --control turns on the closed-loop r* controller for every scheme;
+  // --policy dar[,trunk=N] adds the dynamic alternate policy as a curve.
+  std::vector<study::PolicyKind> transient_policies = policies;
+  if (cli.control) options.control = *cli.control;
+  if (cli.dar) {
+    options.dar_trunk = cli.dar->trunk;
+    transient_policies.push_back(study::PolicyKind::kDar);
+  }
+  bench::TraceCapture capture;
+  capture.attach(cli, options.obs);
   const study::ScenarioSweepResult r =
-      study::run_scenario_sweep(g, nominal, transient, policies, options);
+      study::run_scenario_sweep(g, nominal, transient, transient_policies, options);
   std::string title = "Transient: " + transient.name + " (per-bin blocking; dropped = ";
   for (std::size_t pi = 0; pi < r.curves.size(); ++pi) {
     if (pi > 0) title += ", ";
@@ -103,6 +116,15 @@ void run(const study::CliOptions& cli) {
   }
   title += " in-flight calls killed across seeds)";
   bench::emit(study::scenario_table(r), cli.csv ? study::CliOptions{} : cli, title);
+  capture.flush(cli);
+  if (cli.wants_analysis()) {
+    study::render_analysis(
+        capture.buffer.str(),
+        study::analysis_config_for(g, nominal, options.max_alt_hops, transient_policies,
+                                   {options.load_factor}, /*replications_per_point=*/0,
+                                   options.warmup, options.measure, options.time_bins),
+        std::cout, cli.analysis_out);
+  }
 }
 
 }  // namespace

@@ -240,6 +240,50 @@ BENCHMARK(BM_FailureScenarioSweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+void BM_AdaptiveControlSweep(benchmark::State& state) {
+  // The closed-loop control plane on the same fail/repair transient: the
+  // arg is the control epoch period (0 = control off, the zero-cost-when-
+  // off baseline -- its delta against epoch > 0 prices the estimator
+  // observe() per call plus one Eq.-15 re-solve per epoch).
+  const net::Graph g = net::nsfnet_t3();
+  const scenario::Scenario scen = scenario::scenario_from_json(R"({
+    "name": "bench adaptive control",
+    "events": [
+      {"time": 20, "type": "link_fail",   "a": 2, "b": 3},
+      {"time": 35, "type": "link_repair", "a": 2, "b": 3}
+    ]})");
+  study::ScenarioSweepOptions options;
+  options.seeds = 6;
+  options.measure = 40.0;
+  options.warmup = 10.0;
+  options.max_alt_hops = 11;
+  options.time_bins = 10;
+  options.control.epoch = static_cast<double>(state.range(0));
+  options.control.estimator = control::EstimatorKind::kEwma;
+  obs::prof::EngineCounters counters;
+  options.prof.counters = &counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        study::run_scenario_sweep(g, study::nsfnet_nominal_traffic(), scen,
+                                  {study::PolicyKind::kControlledAlternate}, options)
+            .curves.size());
+  }
+  state.counters["control_epochs"] = benchmark::Counter(
+      static_cast<double>(counters.control_epochs), benchmark::Counter::kAvgIterations);
+  state.counters["control_retargets"] = benchmark::Counter(
+      static_cast<double>(counters.control_retargets), benchmark::Counter::kAvgIterations);
+  state.counters["control_holds"] = benchmark::Counter(
+      static_cast<double>(counters.control_holds), benchmark::Counter::kAvgIterations);
+  state.counters["memo_hits"] = benchmark::Counter(static_cast<double>(counters.memo_hits),
+                                                   benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_AdaptiveControlSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(5)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_KaufmanRoberts(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));
   std::vector<erlang::RateClass> classes = {{0.5 * c, 1}, {0.06 * c, 5}};

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "control/dar.hpp"
 #include "core/controlled_policy.hpp"
 #include "core/protection.hpp"
 #include "loss/policies.hpp"
@@ -56,6 +57,7 @@ std::string_view policy_choice_name(PolicyChoice choice) {
     case PolicyChoice::kSinglePath: return "single-path";
     case PolicyChoice::kUncontrolled: return "uncontrolled-alt";
     case PolicyChoice::kControlled: return "controlled-alt";
+    case PolicyChoice::kDar: return "dar";
   }
   return "controlled-alt";
 }
@@ -108,7 +110,27 @@ void CaseSpec::validate() const {
              ", " + std::to_string(e.node_b) + ") which does not exist");
     }
   }
+  if (control_epoch < 0.0 || !std::isfinite(control_epoch)) {
+    reject("control_epoch must be >= 0 and finite");
+  }
+  if (control_estimator != 0 && control_estimator != 1) {
+    reject("control_estimator must be 0 (mle) or 1 (ewma)");
+  }
+  if (control_on()) control_config().validate();
+  if (dar_trunk < 0) reject("dar_trunk must be >= 0");
   scenario().validate();
+}
+
+control::ControlConfig CaseSpec::control_config() const {
+  control::ControlConfig c;
+  c.epoch = control_epoch;
+  c.estimator = control_estimator == 1 ? control::EstimatorKind::kEwma
+                                       : control::EstimatorKind::kWindowedMle;
+  c.window = control_window;
+  c.weight = control_weight;
+  c.deadband = control_deadband;
+  c.max_step = control_max_step;
+  return c;
 }
 
 net::Graph CaseSpec::graph() const {
@@ -148,6 +170,11 @@ std::unique_ptr<loss::RoutingPolicy> CaseSpec::make_policy() const {
       return std::make_unique<loss::UncontrolledAlternatePolicy>();
     case PolicyChoice::kControlled:
       return std::make_unique<core::ControlledAlternatePolicy>();
+    case PolicyChoice::kDar: {
+      control::DarConfig dc;
+      dc.trunk = dar_trunk;
+      return std::make_unique<control::DarPolicy>(nodes, policy_seed, dc);
+    }
   }
   return std::make_unique<core::ControlledAlternatePolicy>();
 }
@@ -241,6 +268,22 @@ CaseSpec generate_case(std::uint64_t case_seed) {
       default: spec.events.push_back(scenario::ScenarioEvent::resolve_protection(t)); break;
     }
   }
+
+  // Adaptive-control and DAR knobs, drawn AFTER the event loop: every
+  // pre-control corpus seed reproduces its exact historical spec prefix,
+  // and the new draws only extend the stream.
+  if (rng.uniform01() < 0.35) {
+    spec.control_epoch = 2.0 + rng.uniform01() * (spec.horizon / 2.0 - 2.0);
+    spec.control_estimator = rng.uniform01() < 0.5 ? 0 : 1;
+    spec.control_window = 1.0 + 4.0 * rng.uniform01();
+    spec.control_weight = 0.1 + 0.8 * rng.uniform01();
+    spec.control_deadband = rng.uniform01() < 0.5 ? 0.0 : 0.3 * rng.uniform01();
+    spec.control_max_step = static_cast<int>(rng.below(4));  // 0..3
+  }
+  if (rng.uniform01() < 0.2) {
+    spec.policy = PolicyChoice::kDar;
+    spec.dar_trunk = static_cast<int>(rng.below(4));  // 0..3 (0 = plain sticky)
+  }
   return spec;
 }
 
@@ -295,6 +338,27 @@ bool require_bool(const scenario::JsonValue& root, const char* key) {
   return v.boolean;
 }
 
+/// Optional-with-default number: case.json files written before the
+/// control plane existed simply omit the control fields.
+double optional_number(const scenario::JsonValue& root, const char* key, double fallback) {
+  const scenario::JsonValue* v = root.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw std::invalid_argument("case json: field '" + std::string(key) + "' must be a number");
+  }
+  return v->number;
+}
+
+int optional_int(const scenario::JsonValue& root, const char* key, int fallback) {
+  const scenario::JsonValue* v = root.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || static_cast<double>(static_cast<int>(v->number)) != v->number) {
+    throw std::invalid_argument("case json: field '" + std::string(key) +
+                                "' must be an integer");
+  }
+  return static_cast<int>(v->number);
+}
+
 std::uint64_t require_seed(const scenario::JsonValue& root, const char* key) {
   const scenario::JsonValue& v = require(root, key);
   if (!v.is_string()) {
@@ -322,6 +386,17 @@ std::string case_to_json(const CaseSpec& spec) {
   out += "  \"trace_seed\": \"" + std::to_string(spec.trace_seed) + "\",\n";
   out += "  \"policy_seed\": \"" + std::to_string(spec.policy_seed) + "\",\n";
   out += "  \"resume_at\": " + format_double(spec.resume_at) + ",\n";
+  out += "  \"control_epoch\": " + format_double(spec.control_epoch) + ",\n";
+  out += "  \"control_estimator\": \"" +
+         std::string(control::estimator_kind_name(
+             spec.control_estimator == 1 ? control::EstimatorKind::kEwma
+                                         : control::EstimatorKind::kWindowedMle)) +
+         "\",\n";
+  out += "  \"control_window\": " + format_double(spec.control_window) + ",\n";
+  out += "  \"control_weight\": " + format_double(spec.control_weight) + ",\n";
+  out += "  \"control_deadband\": " + format_double(spec.control_deadband) + ",\n";
+  out += "  \"control_max_step\": " + std::to_string(spec.control_max_step) + ",\n";
+  out += "  \"dar_trunk\": " + std::to_string(spec.dar_trunk) + ",\n";
   out += "  \"facilities\": [";
   for (std::size_t i = 0; i < spec.facilities.size(); ++i) {
     const FacilitySpec& f = spec.facilities[i];
@@ -370,6 +445,8 @@ CaseSpec case_from_json(std::string_view json_text) {
     spec.policy = PolicyChoice::kUncontrolled;
   } else if (policy.string == "controlled-alt") {
     spec.policy = PolicyChoice::kControlled;
+  } else if (policy.string == "dar") {
+    spec.policy = PolicyChoice::kDar;
   } else {
     throw std::invalid_argument("case json: unknown policy '" + policy.string + "'");
   }
@@ -378,6 +455,20 @@ CaseSpec case_from_json(std::string_view json_text) {
   spec.trace_seed = require_seed(root, "trace_seed");
   spec.policy_seed = require_seed(root, "policy_seed");
   spec.resume_at = require_number(root, "resume_at");
+  // Control/DAR fields are optional: pre-control case.json files omit them.
+  spec.control_epoch = optional_number(root, "control_epoch", 0.0);
+  if (const scenario::JsonValue* est = root.find("control_estimator"); est != nullptr) {
+    if (!est->is_string() || (est->string != "mle" && est->string != "ewma")) {
+      throw std::invalid_argument(
+          "case json: 'control_estimator' must be \"mle\" or \"ewma\"");
+    }
+    spec.control_estimator = est->string == "ewma" ? 1 : 0;
+  }
+  spec.control_window = optional_number(root, "control_window", spec.control_window);
+  spec.control_weight = optional_number(root, "control_weight", spec.control_weight);
+  spec.control_deadband = optional_number(root, "control_deadband", spec.control_deadband);
+  spec.control_max_step = optional_int(root, "control_max_step", spec.control_max_step);
+  spec.dar_trunk = optional_int(root, "dar_trunk", spec.dar_trunk);
 
   const scenario::JsonValue& facilities = require(root, "facilities");
   if (!facilities.is_array()) {

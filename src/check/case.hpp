@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "control/config.hpp"
 #include "loss/policy.hpp"
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
@@ -26,9 +27,11 @@
 
 namespace altroute::check {
 
-/// Which routing scheme the case runs (the three schemes whose behaviour
-/// is fully specified by (routes, reservations) alone).
-enum class PolicyChoice { kSinglePath, kUncontrolled, kControlled };
+/// Which routing scheme the case runs: the three schemes whose behaviour
+/// is fully specified by (routes, reservations) alone, plus the stateful
+/// DAR policy (sticky-random + trunk reservation, control/dar.hpp) whose
+/// learning state rides the policy snapshot blob.
+enum class PolicyChoice { kSinglePath, kUncontrolled, kControlled, kDar };
 
 /// The policy's own display name ("single-path", ...); also the token used
 /// in case.json.
@@ -63,6 +66,24 @@ struct CaseSpec {
   double resume_at{-1.0};
   std::vector<scenario::ScenarioEvent> events;
 
+  // --- adaptive control plane (src/control) --------------------------------
+  // 0 = control off (the pre-control engine, bit for bit).  When > 0 the
+  // oracle wires a control::ControlConfig into every engine run and the
+  // invariants add the epoch-purity check.
+  double control_epoch{0.0};
+  int control_estimator{0};  ///< 0 = mle, 1 = ewma (EstimatorKind value)
+  double control_window{5.0};
+  double control_weight{0.3};
+  double control_deadband{0.0};
+  int control_max_step{0};
+  /// Trunk reservation of the DAR policy (used only when policy == kDar).
+  int dar_trunk{1};
+
+  [[nodiscard]] bool control_on() const { return control_epoch > 0.0; }
+  /// The control::ControlConfig this spec describes (validate()d by
+  /// CaseSpec::validate when control_on()).
+  [[nodiscard]] control::ControlConfig control_config() const;
+
   /// Structural validity: node/facility indexing, unique facilities,
   /// demand shape, warmup < horizon, every link event naming an existing
   /// facility, and scenario::Scenario::validate on the event list.  Throws
@@ -82,7 +103,10 @@ struct CaseSpec {
 /// Expands one case seed into a spec: 2..8 nodes ringed for connectivity
 /// plus random chords, capacities 2..15, demands sized against the mean
 /// capacity so the mesh actually blocks, 0..6 events over all six kinds,
-/// and randomized engine knobs.  Deterministic in `case_seed`.
+/// and randomized engine knobs.  ~35% of cases run the adaptive control
+/// plane and ~20% the DAR policy (drawn AFTER the event loop, so every
+/// pre-control seed keeps its exact spec prefix).  Deterministic in
+/// `case_seed`.
 [[nodiscard]] CaseSpec generate_case(std::uint64_t case_seed);
 
 // --- case.json ---------------------------------------------------------------
@@ -91,7 +115,11 @@ struct CaseSpec {
 // ...] (non-zero entries only), "scenario": {<scenario schema>}}.  Seeds
 // travel as decimal STRINGS -- JSON numbers are doubles and lose u64
 // precision -- and every double is printed "%.17g", so
-// case_from_json(case_to_json(s)) round-trips bit-exactly.
+// case_from_json(case_to_json(s)) round-trips bit-exactly.  The control
+// fields (control_epoch, control_estimator "mle"|"ewma", control_window,
+// control_weight, control_deadband, control_max_step, dar_trunk) are
+// always written but OPTIONAL on read: pre-control case.json files still
+// parse, with control off and default DAR trunk.
 
 [[nodiscard]] std::string case_to_json(const CaseSpec& spec);
 [[nodiscard]] CaseSpec case_from_json(std::string_view json_text);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+
+#include "erlang/memo.hpp"
 
 namespace altroute::check {
 
@@ -392,7 +395,9 @@ void check_counters(const CaseSpec& spec, const ObservedRun& run, Failures& out)
 
   // Theorem 1 / Eq. 15: a controlled policy probes alternates with the
   // alternate class, so it can NEVER land one inside the protected band.
-  if (spec.policy == PolicyChoice::kControlled) {
+  // DAR probes with the alternate class too (its trunk reservation is an
+  // ADDITIONAL guard), so the same bound applies.
+  if (spec.policy == PolicyChoice::kControlled || spec.policy == PolicyChoice::kDar) {
     out.expect_eq(m.counter_value("protected_band_alternate_admits"), 0LL,
                   "protected-band alternate admits under the controlled policy");
   }
@@ -453,6 +458,119 @@ void check_records(const CaseSpec& spec, const ObservedRun& run, Failures& out) 
                 "counter protection_resolves vs. trace records");
 }
 
+/// The epoch records' "%.17g" lambda CSV, parsed back to doubles (the
+/// rendering round-trips bit-exactly, so == comparisons below are exact).
+std::vector<double> parse_lambda_csv(const std::string& csv) {
+  std::vector<double> out;
+  const char* p = csv.c_str();
+  const char* end = p + csv.size();
+  while (p < end) {
+    char* next = nullptr;
+    out.push_back(std::strtod(p, &next));
+    if (next == p) break;  // malformed tail; the caller checks the length
+    p = next;
+    if (p < end && *p == ',') ++p;
+  }
+  return out;
+}
+
+/// Epoch-purity oracle: the installed protection vector may change ONLY at
+/// control epochs, and each epoch's vector must be a PURE function of the
+/// recorded evidence -- re-solving Eq. 15 from the record's own lambda/cap
+/// vectors (plus the previous record and the documented hysteresis rules)
+/// must reproduce the installed r exactly.  Hysteresis leaves no slack to
+/// hide in: a link whose recorded lambda equals the previous record's is
+/// held (the controller echoes the reference lambda for held links, and an
+/// un-held re-solve always carries a strictly different lambda), so its r
+/// must not move; every other link must equal the fresh Eq.-15 candidate
+/// clamped to +/- max_step around the previous value.
+void check_control(const CaseSpec& spec, const ObservedRun& run, Failures& out) {
+  std::vector<const obs::TraceRecord*> epochs;
+  for (const obs::TraceRecord& r : run.records) {
+    if (r.kind == obs::TraceKind::kControlEpoch) epochs.push_back(&r);
+  }
+  if (!spec.control_on()) {
+    if (!epochs.empty()) {
+      out.add("control is off but the trace carries " + std::to_string(epochs.size()) +
+              " control_epoch records");
+    }
+    out.expect_eq(run.result.control_epochs, std::uint64_t{0},
+                  "control_epochs with control off");
+    out.expect_eq(run.result.control_retargets, std::uint64_t{0},
+                  "control_retargets with control off");
+    out.expect_eq(run.result.control_holds, std::uint64_t{0},
+                  "control_holds with control off");
+    return;
+  }
+
+  out.expect_eq(run.result.control_epochs, static_cast<std::uint64_t>(epochs.size()),
+                "control_epochs vs. control_epoch trace records");
+  out.expect_eq(run.metrics.counter_value("control_epochs"),
+                static_cast<long long>(epochs.size()),
+                "counter control_epochs vs. trace records");
+
+  const std::size_t links = spec.facilities.size() * 2;
+  std::vector<int> initial = spec.reservations();
+  if (initial.empty()) initial.assign(links, 0);
+  std::vector<double> prev_lam;
+  std::vector<int> prev_r;
+  std::uint64_t derived_retargets = 0;
+  std::uint64_t derived_holds = 0;
+  erlang::NetworkErlangMemo memo;
+  for (std::size_t m = 0; m < epochs.size(); ++m) {
+    const obs::TraceRecord& r = *epochs[m];
+    const std::string tag = "control epoch " + std::to_string(m + 1);
+    out.expect_eq(r.count, static_cast<long long>(m + 1), tag + " index");
+    // The runner schedules epoch k at (double)k * epoch; re-derive the
+    // same product for bit-equality.
+    out.expect_eq(r.time, static_cast<double>(m + 1) * spec.control_epoch,
+                  tag + " time on the epoch grid");
+    const std::vector<double> lam = parse_lambda_csv(r.detail);
+    if (r.links.size() != links || r.occ.size() != links || lam.size() != links) {
+      out.add(tag + ": r/cap/lam vectors do not all have " + std::to_string(links) +
+              " entries");
+      return;
+    }
+    memo.configure(lam, r.occ);
+    const std::vector<int> candidate = memo.protection_levels(spec.max_alt_hops);
+    int changed = 0;
+    int held = 0;
+    for (std::size_t k = 0; k < links; ++k) {
+      const int before = m == 0 ? initial[k] : prev_r[k];
+      // Held-link detection theorem: a link was held exactly when its
+      // recorded effective lambda is BIT-EQUAL to the previous epoch's
+      // (a hold replays the reference; an accepted re-solve installs the
+      // fresh estimate, and estimates repeat bit-equal only when the
+      // hold condition fired first).  A hold pins only the reference
+      // lambda -- r still walks toward the candidate for it under the
+      // rate limit, so the expected level below is one formula for both.
+      if (m > 0 && lam[k] == prev_lam[k]) ++held;
+      int expected = candidate[k];
+      if (spec.control_max_step > 0) {
+        expected = std::clamp(expected, before - spec.control_max_step,
+                              before + spec.control_max_step);
+      }
+      expected = std::clamp(expected, 0, r.occ[k]);
+      if (r.links[k] != expected) {
+        out.add(tag + ": link " + std::to_string(k) + " installs r=" +
+                std::to_string(r.links[k]) +
+                " but re-solving Eq. 15 from the recorded lambda/capacity gives " +
+                std::to_string(expected));
+      }
+      if (r.links[k] != before) ++changed;
+    }
+    out.expect_eq(r.links_changed, changed, tag + " links_changed vs. re-derivation");
+    derived_retargets += static_cast<std::uint64_t>(changed);
+    derived_holds += static_cast<std::uint64_t>(held);
+    prev_lam = lam;
+    prev_r = r.links;
+  }
+  out.expect_eq(run.result.control_retargets, derived_retargets,
+                "control_retargets vs. re-derived per-epoch changes");
+  out.expect_eq(run.result.control_holds, derived_holds,
+                "control_holds vs. re-derived held links");
+}
+
 }  // namespace
 
 std::vector<std::string> check_invariants(const CaseSpec& spec, const ObservedRun& run) {
@@ -460,6 +578,7 @@ std::vector<std::string> check_invariants(const CaseSpec& spec, const ObservedRu
   check_conservation(spec, run.result.run, out);
   check_counters(spec, run, out);
   check_records(spec, run, out);
+  check_control(spec, run, out);
   StateModel model(spec, /*track_occupancy=*/spec.warmup == 0.0, out);
   model.run(run);
   for (std::string& msg : out.list) msg = "invariant: " + msg;

@@ -27,6 +27,12 @@
 //     rendered line count matches the record count;
 //   * event application -- the applied log is exactly the spec's events
 //     with time <= horizon, in order, with the model's links_changed;
+//   * epoch purity (control-on cases) -- protection levels change only at
+//     control epochs, each epoch record sits exactly on the k * epoch
+//     grid, and its installed r vector is a pure function of the recorded
+//     estimator output: re-solving Eq. 15 from the record's own lambda/cap
+//     vectors (with the documented deadband-hold and max_step-clamp rules
+//     against the previous record) must reproduce it exactly;
 //   * state model -- admissions land on enabled links only, occupancy
 //     never exceeds capacity, every admitted record's occupancy vector
 //     equals the model's prediction exactly, final per-link

@@ -119,6 +119,11 @@ ObservedRun observe(const CaseSpec& spec, const Materialized& m, const CheckOpti
   engine.checkpoint_at = request.checkpoint_at;
   engine.checkpoints = request.sink;
   engine.resume = request.resume;
+  // The adaptive control plane runs in EVERY engine configuration when the
+  // spec enables it: epochs are deterministic in (estimator state, routes),
+  // so the differential oracle demands bit-identity across the matrix.
+  const control::ControlConfig control = spec.control_config();
+  if (spec.control_on()) engine.control = &control;
 
   const std::unique_ptr<loss::RoutingPolicy> policy = spec.make_policy();
   out.result = scenario::run_scenario(m.graph, m.traffic, *policy, m.trace, m.scen, engine);
@@ -412,7 +417,9 @@ CaseReport check_case(const CaseSpec& spec, const CheckOptions& options) {
     check_resume(spec, *m, options, reference, report);
   }
 
-  if (options.static_reference && spec.events.empty()) {
+  // The static engine has no control plane, so the degenerate-equivalence
+  // oracle only applies to control-off cases.
+  if (options.static_reference && spec.events.empty() && !spec.control_on()) {
     check_static(spec, *m, options, report);
   }
 

@@ -9,7 +9,8 @@
 //   the whole matrix again on a thread pool      thread-count identity
 //   capture at resume_at, then resume            checkpoint equivalence
 //   loss::run_trace on the same trace            static cross-check
-//                                                (event-free cases only)
+//                                                (event-free, control-off
+//                                                cases only)
 //
 // -- and demands that every run agree with the reference on EVERY
 // observable: the RunResult counters down to the per-pair/per-bin/hop

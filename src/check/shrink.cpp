@@ -181,6 +181,29 @@ CaseSpec shrink_case(const CaseSpec& start, const FailurePredicate& still_fails,
       cand.protect = false;
       progress |= try_candidate(current, std::move(cand), still_fails, stats);
     }
+    // Control-plane simplifications: drop the whole control loop first,
+    // then the hysteresis knobs one at a time; swap DAR for the stateless
+    // controlled policy when the failure is not DAR-specific.
+    if (current.control_on()) {
+      CaseSpec cand = current;
+      cand.control_epoch = 0.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.control_on() && current.control_deadband != 0.0) {
+      CaseSpec cand = current;
+      cand.control_deadband = 0.0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.control_on() && current.control_max_step != 0) {
+      CaseSpec cand = current;
+      cand.control_max_step = 0;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
+    if (current.policy == PolicyChoice::kDar) {
+      CaseSpec cand = current;
+      cand.policy = PolicyChoice::kControlled;
+      progress |= try_candidate(current, std::move(cand), still_fails, stats);
+    }
 
     if (std::any_of(current.events.begin(), current.events.end(),
                     [](const auto& e) { return e.time != 0.0; })) {

@@ -1,0 +1,155 @@
+#include "control/config.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace altroute::control {
+
+namespace {
+
+[[noreturn]] void fail_control(const std::string& why) {
+  throw std::invalid_argument("control spec: " + why);
+}
+
+[[noreturn]] void fail_policy(const std::string& why) {
+  throw std::invalid_argument("policy spec: " + why);
+}
+
+using FailFn = void (*)(const std::string&);
+
+/// Strict full-token double parse ("5", "0.25", "1e2"); rejects partial
+/// consumption, so "5x" and "" are errors, not silent truncations.
+double parse_double(std::string_view token, const std::string& key, FailFn fail) {
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || end != token.data() + token.size()) {
+    fail("value '" + std::string(token) + "' of '" + key + "' is not a number");
+  }
+  if (!std::isfinite(value)) {
+    fail("value of '" + key + "' must be finite");
+  }
+  return value;
+}
+
+int parse_int(std::string_view token, const std::string& key, FailFn fail) {
+  int value = 0;
+  const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || end != token.data() + token.size()) {
+    fail("value '" + std::string(token) + "' of '" + key + "' is not an integer");
+  }
+  return value;
+}
+
+/// Splits `spec` into key=value pairs and feeds them to `pair_fn`.
+template <class PairFn>
+void each_pair(std::string_view spec, void (*fail)(const std::string&), PairFn&& pair_fn) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view token = spec.substr(start, comma - start);
+    if (token.empty()) {
+      fail("empty key=value token (double comma or trailing comma?)");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      fail("token '" + std::string(token) + "' is not of the form key=value");
+    }
+    pair_fn(token.substr(0, eq), token.substr(eq + 1));
+    if (comma == spec.size()) break;
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::string_view estimator_kind_name(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kWindowedMle:
+      return "mle";
+    case EstimatorKind::kEwma:
+      return "ewma";
+  }
+  throw std::invalid_argument("estimator_kind_name: unknown kind");
+}
+
+void ControlConfig::validate() const {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("control config: " + why);
+  };
+  if (!(epoch >= 0.0) || !std::isfinite(epoch)) fail("epoch must be >= 0 and finite");
+  if (estimator != EstimatorKind::kWindowedMle && estimator != EstimatorKind::kEwma) {
+    fail("unknown estimator kind");
+  }
+  if (!(window > 0.0) || !std::isfinite(window)) fail("window must be > 0 and finite");
+  if (!(weight > 0.0) || !(weight <= 1.0)) fail("weight must lie in (0, 1]");
+  if (!(deadband >= 0.0) || !std::isfinite(deadband)) fail("deadband must be >= 0");
+  if (max_step < 0) fail("max-step must be >= 0");
+}
+
+void DarConfig::validate() const {
+  if (trunk < 0) throw std::invalid_argument("policy config: trunk must be >= 0");
+}
+
+ControlConfig parse_control_spec(std::string_view spec) {
+  ControlConfig cfg;
+  if (spec.empty()) fail_control("empty spec (expected epoch=... at least)");
+  bool saw_epoch = false;
+  each_pair(spec, fail_control, [&](std::string_view key, std::string_view value) {
+    const std::string k(key);
+    if (key == "epoch") {
+      cfg.epoch = parse_double(value, k, fail_control);
+      saw_epoch = true;
+    } else if (key == "estimator") {
+      if (value == "mle") {
+        cfg.estimator = EstimatorKind::kWindowedMle;
+      } else if (value == "ewma") {
+        cfg.estimator = EstimatorKind::kEwma;
+      } else {
+        fail_control("unknown estimator '" + std::string(value) + "' (known: mle ewma)");
+      }
+    } else if (key == "window") {
+      cfg.window = parse_double(value, k, fail_control);
+    } else if (key == "weight") {
+      cfg.weight = parse_double(value, k, fail_control);
+    } else if (key == "deadband") {
+      cfg.deadband = parse_double(value, k, fail_control);
+    } else if (key == "max-step") {
+      cfg.max_step = parse_int(value, k, fail_control);
+    } else {
+      fail_control("unknown key '" + k +
+                   "' (known: epoch estimator window weight deadband max-step)");
+    }
+  });
+  if (!saw_epoch) fail_control("missing required key 'epoch'");
+  if (!(cfg.epoch > 0.0)) fail_control("epoch must be > 0 (omit --control to disable)");
+  cfg.validate();
+  return cfg;
+}
+
+DarConfig parse_dar_spec(std::string_view spec) {
+  // `spec` is the full --policy value: "dar" or "dar,<key=value,...>".
+  DarConfig cfg;
+  std::size_t comma = spec.find(',');
+  const std::string_view name = spec.substr(0, comma == std::string_view::npos ? spec.size()
+                                                                               : comma);
+  if (name != "dar") {
+    fail_policy("unknown policy '" + std::string(name) + "' (known: dar)");
+  }
+  if (comma != std::string_view::npos) {
+    const std::string_view rest = spec.substr(comma + 1);
+    if (rest.empty()) fail_policy("trailing comma after 'dar'");
+    each_pair(rest, fail_policy, [&](std::string_view key, std::string_view value) {
+      if (key == "trunk") {
+        cfg.trunk = parse_int(value, "trunk", fail_policy);
+      } else {
+        fail_policy("unknown key '" + std::string(key) + "' (known: trunk)");
+      }
+    });
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace altroute::control

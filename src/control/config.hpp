@@ -1,0 +1,85 @@
+// Configuration of the adaptive control plane (src/control/).
+//
+// A ControlConfig describes one closed-loop controller: the control epoch
+// period on the EVENT timeline (epochs are deterministic simulation events
+// at t = epoch, 2*epoch, ..., interleaved with scenario events -- never
+// wall clock), the offered-load estimator variant feeding it, and the
+// hysteresis knobs (deadband, per-epoch change rate limit) that keep the
+// Eq.-15 protection levels from flapping on estimator noise.  The engines
+// take `const ControlConfig*` with nullptr / !enabled() meaning "off", so
+// an uncontrolled run pays one never-taken branch per arrival and nothing
+// else -- the same discipline as obs::Probe.
+//
+// parse_control_spec / parse_dar_spec are the CLI-facing parsers
+// ("--control epoch=5,estimator=ewma,deadband=0.1", "--policy dar,trunk=2");
+// they reject malformed input with one pointed std::invalid_argument line
+// in the style of the scenario JSON parser (tests/data/control_bad mirrors
+// tests/data/scenario_bad).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace altroute::control {
+
+/// Offered-load estimator variant (see estimator.hpp).
+enum class EstimatorKind : std::int32_t {
+  kWindowedMle = 0,  ///< pooled windowed MLE: converges on stationary traffic
+  kEwma = 1,         ///< exponentially weighted windows: tracks load shifts
+};
+
+/// Lower-case token used by --control and in error messages ("mle", "ewma").
+[[nodiscard]] std::string_view estimator_kind_name(EstimatorKind kind);
+
+struct ControlConfig {
+  /// Control epoch period in simulated time; 0 disables the control plane.
+  double epoch{0.0};
+  EstimatorKind estimator{EstimatorKind::kWindowedMle};
+  /// Estimator measurement-window length (arrival counts are binned into
+  /// jumping windows of this length; see estimator.hpp).
+  double window{5.0};
+  /// EWMA weight on the newest completed window (kEwma only).
+  double weight{0.3};
+  /// Relative deadband: a link whose estimated Lambda moved by at most
+  /// deadband * reference since its last accepted re-solve keeps its
+  /// REFERENCE lambda (hysteresis -- estimator noise cannot retarget it;
+  /// r still tracks the reference's Eq.-15 level, so a rate-limited walk
+  /// or a capacity change completes even while the link is held).
+  double deadband{0.0};
+  /// Per-epoch rate limit: |r_new - r_old| <= max_step per link
+  /// (0 = unlimited).
+  int max_step{0};
+
+  [[nodiscard]] bool enabled() const { return epoch > 0.0; }
+
+  /// Throws std::invalid_argument with a pointed "control config: ..."
+  /// message on out-of-range values (negative epoch, window <= 0, weight
+  /// outside (0, 1], negative deadband or max_step).
+  void validate() const;
+};
+
+/// Knobs of the DAR-style sticky-random alternate policy (dar.hpp).
+struct DarConfig {
+  /// Trunk reservation: an alternate is admitted only when every link of
+  /// the attempted path would keep at least this many free circuits after
+  /// booking (Gibbens & Kelly's DAR trunk reservation parameter).
+  int trunk{1};
+
+  void validate() const;
+};
+
+/// Parses a --control spec: comma-separated key=value pairs over the keys
+/// epoch, estimator (mle | ewma), window, weight, deadband, max-step.
+/// Example: "epoch=5,estimator=ewma,window=2,weight=0.25,deadband=0.1".
+/// The result is validate()d.  Throws std::invalid_argument with a pointed
+/// "control spec: ..." message naming the offending token.
+[[nodiscard]] ControlConfig parse_control_spec(std::string_view spec);
+
+/// Parses a --policy spec.  Currently the only dynamic policy is "dar",
+/// optionally with options: "dar" or "dar,trunk=2".  Throws
+/// std::invalid_argument with a pointed "policy spec: ..." message on an
+/// unknown policy name, key, or malformed value.
+[[nodiscard]] DarConfig parse_dar_spec(std::string_view spec);
+
+}  // namespace altroute::control

@@ -1,0 +1,129 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/protection.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::control {
+
+EpochController::EpochController(const ControlConfig& config, int nodes, std::size_t links,
+                                 const std::vector<int>& initial_reservation)
+    : config_(config), links_(links), estimator_(config, nodes) {
+  config_.validate();
+  if (!config_.enabled()) {
+    throw std::invalid_argument("EpochController: config has epoch = 0 (control disabled)");
+  }
+  if (!initial_reservation.empty() && initial_reservation.size() != links) {
+    throw std::invalid_argument(
+        "EpochController: initial reservation vector does not match the link count");
+  }
+  lambda_ref_.assign(links, -1.0);
+  reservation_ = initial_reservation.empty() ? std::vector<int>(links, 0)
+                                             : initial_reservation;
+}
+
+EpochController::Outcome EpochController::run_epoch(double t, const net::Graph& graph,
+                                                    const routing::RouteTable& routes,
+                                                    int max_alt_hops) {
+  if (static_cast<std::size_t>(graph.link_count()) != links_) {
+    throw std::invalid_argument("EpochController::run_epoch: graph link count changed");
+  }
+  estimator_.roll_to(t);
+
+  // Per-pair estimates -> per-link primary loads through the CURRENT routes.
+  const int n = estimator_.nodes();
+  net::TrafficMatrix estimated(n);
+  const std::vector<double>& pair_est = estimator_.estimates();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = pair_est[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                                static_cast<std::size_t>(j)];
+      if (v > 0.0) estimated.set(net::NodeId(i), net::NodeId(j), v);
+    }
+  }
+  const std::vector<double> lambda_hat =
+      routing::primary_link_loads(graph, routes, estimated);
+
+  Outcome out;
+  out.capacity = core::link_capacities(graph);
+  out.lambda_eff.resize(links_);
+  // Hysteresis first: held links keep their reference lambda, so their
+  // (lambda, C) memo key is unchanged and the solve below is a cache hit.
+  std::vector<char> held(links_, 0);
+  for (std::size_t k = 0; k < links_; ++k) {
+    const double ref = lambda_ref_[k];
+    if (ref >= 0.0 &&
+        std::abs(lambda_hat[k] - ref) <= config_.deadband * std::max(ref, 1e-12)) {
+      held[k] = 1;
+      out.lambda_eff[k] = ref;
+    } else {
+      out.lambda_eff[k] = lambda_hat[k];
+      lambda_ref_[k] = lambda_hat[k];
+    }
+  }
+  memo_.configure(out.lambda_eff, out.capacity);
+  const std::vector<int> candidate = memo_.protection_levels(max_alt_hops);
+
+  out.reservation.resize(links_);
+  for (std::size_t k = 0; k < links_; ++k) {
+    if (held[k]) ++out.links_held;
+    // A hold pins the REFERENCE lambda, not the reservation: r always
+    // walks toward the candidate for the effective lambda, so a
+    // rate-limited link still reaches its Eq.-15 level across epochs of
+    // unchanged estimates instead of freezing mid-walk.  On a quiet link
+    // the candidate equals the level already in force and nothing moves.
+    int r = candidate[k];
+    if (config_.max_step > 0) {
+      r = std::clamp(r, reservation_[k] - config_.max_step,
+                     reservation_[k] + config_.max_step);
+    }
+    // A capacity shrink between epochs can strand a held or rate-limited r
+    // above the link's new size; the admission state rejects reservations
+    // outside [0, capacity], so the installed level is always clamped.
+    r = std::clamp(r, 0, out.capacity[k]);
+    if (r != reservation_[k]) ++out.links_changed;
+    reservation_[k] = r;
+    out.reservation[k] = r;
+  }
+  ++epochs_done_;
+  retargets_ += static_cast<std::uint64_t>(out.links_changed);
+  holds_ += static_cast<std::uint64_t>(out.links_held);
+  return out;
+}
+
+ControlMemento EpochController::save() const {
+  ControlMemento m;
+  m.window_start = estimator_.window_start();
+  m.windows_done = estimator_.windows_done();
+  m.observations = estimator_.observations();
+  m.pair_estimate = estimator_.estimates();
+  m.pair_window_sum = estimator_.window_sums();
+  m.pair_hold_total = estimator_.hold_totals();
+  m.link_lambda_ref = lambda_ref_;
+  m.reservation.assign(reservation_.begin(), reservation_.end());
+  m.epochs_done = epochs_done_;
+  m.retargets = retargets_;
+  m.holds = holds_;
+  return m;
+}
+
+void EpochController::load(const ControlMemento& m) {
+  if (m.link_lambda_ref.size() != links_ || m.reservation.size() != links_) {
+    throw std::invalid_argument(
+        "EpochController::load: control state does not match this network's " +
+        std::to_string(links_) + "-link shape");
+  }
+  estimator_.restore(m.window_start, m.windows_done, m.observations, m.pair_estimate,
+                     m.pair_window_sum, m.pair_hold_total);
+  lambda_ref_ = m.link_lambda_ref;
+  reservation_.assign(m.reservation.begin(), m.reservation.end());
+  epochs_done_ = m.epochs_done;
+  retargets_ = m.retargets;
+  holds_ = m.holds;
+}
+
+}  // namespace altroute::control

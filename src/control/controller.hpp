@@ -1,0 +1,127 @@
+// The closed-loop epoch controller: estimated Lambda in, Eq.-15 r* out.
+//
+// An EpochController owns a LoadEstimator (fed one observation per call
+// request by the engine) and, at each control epoch t = k * config.epoch
+// on the event timeline, re-derives the per-link state-protection levels
+// r* from the ESTIMATED offered loads:
+//
+//   1. roll the estimator to t, map the per-pair estimates through the
+//      CURRENT primary routes (routing::primary_link_loads, the paper's
+//      Eq. 1) -- this is the control plane's per-link load tracker, and it
+//      follows failures/repairs automatically because the engine rebuilds
+//      routes before the next epoch fires;
+//   2. hysteresis: a link whose estimate moved by at most
+//      deadband * reference since its last ACCEPTED re-solve keeps its
+//      reference lambda, so estimator noise cannot flap protection levels
+//      (the no-oscillation property test).  Only the reference is pinned:
+//      r keeps walking toward the reference's Eq.-15 level, so holds never
+//      freeze an unfinished rate-limit walk or a stale capacity clamp;
+//   3. re-solve Eq. 15 for the effective lambda vector through a private
+//      NetworkErlangMemo (held links keep an unchanged (Lambda, C) key, so
+//      they are memo hits, not recomputes);
+//   4. rate limit: clamp each accepted link's new r to within max_step of
+//      the level currently in force (0 = unlimited).
+//
+// The Outcome reports everything the hooks need -- the reservation vector
+// now in force, the effective lambda vector, the capacities used, and the
+// changed/held census -- and the engine records it as a kControlEpoch
+// trace record.  That record makes r* a PURE FUNCTION of recorded state:
+// the checker re-derives r from (lambda_eff, capacity, H, max_step, the
+// previous record) and rejects any drift (the epoch-purity invariant).
+//
+// Determinism: the controller reads only event-timeline inputs and solves
+// through the same inverse Erlang-B sequences as the offline Controller,
+// so adaptive runs stay bit-identical at any thread count on both queue
+// engines (ctest-pinned).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/estimator.hpp"
+#include "erlang/memo.hpp"
+#include "netgraph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace altroute::control {
+
+/// Complete mid-run state of the control plane, as plain data -- the
+/// snapshot layer serializes exactly these fields (section CTRL), so
+/// capture/resume of an adaptive run is bit-identical.
+struct ControlMemento {
+  // Estimator.
+  double window_start{0.0};
+  std::uint64_t windows_done{0};
+  std::uint64_t observations{0};
+  std::vector<double> pair_estimate;
+  std::vector<double> pair_window_sum;
+  std::vector<double> pair_hold_total;
+  // Controller.
+  std::vector<double> link_lambda_ref;  ///< -1 = no accepted solve yet
+  std::vector<std::int32_t> reservation;
+  std::uint64_t epochs_done{0};
+  std::uint64_t retargets{0};  ///< links whose r changed, cumulative
+  std::uint64_t holds{0};      ///< links held inside the deadband, cumulative
+};
+
+class EpochController {
+ public:
+  /// `initial_reservation` is the per-link protection vector in force at
+  /// run start (empty = all zeros); the rate limiter clamps the first
+  /// epoch's changes against it.
+  EpochController(const ControlConfig& config, int nodes, std::size_t links,
+                  const std::vector<int>& initial_reservation);
+
+  /// Feeds one observed call request to the estimator.
+  void observe(double t, int src, int dst, double hold) {
+    estimator_.observe(t, src, dst, hold);
+  }
+
+  /// What one epoch did (the engine's hook payload).
+  struct Outcome {
+    int links_changed{0};
+    int links_held{0};
+    std::vector<int> reservation;    ///< per link, now in force
+    std::vector<double> lambda_eff;  ///< per link, lambda the solve used
+    std::vector<int> capacity;       ///< per link, capacity the solve used
+  };
+
+  /// Runs the control epoch at time t against the engine's current graph
+  /// and routes.  Returns the outcome; the caller installs
+  /// outcome.reservation into the network state.
+  [[nodiscard]] Outcome run_epoch(double t, const net::Graph& graph,
+                                  const routing::RouteTable& routes, int max_alt_hops);
+
+  [[nodiscard]] const ControlConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t epochs_done() const { return epochs_done_; }
+  [[nodiscard]] std::uint64_t retargets() const { return retargets_; }
+  [[nodiscard]] std::uint64_t holds() const { return holds_; }
+  [[nodiscard]] std::uint64_t observations() const { return estimator_.observations(); }
+  /// Event time of the next pending epoch (k * epoch for the smallest
+  /// unfired k >= 1).
+  [[nodiscard]] double next_epoch_time() const {
+    return static_cast<double>(epochs_done_ + 1) * config_.epoch;
+  }
+
+  /// The estimator, for audits and tests.
+  [[nodiscard]] const LoadEstimator& estimator() const { return estimator_; }
+
+  // --- checkpoint support ---------------------------------------------------
+  [[nodiscard]] ControlMemento save() const;
+  /// Restores a memento; throws std::invalid_argument with a pointed
+  /// message when its shape does not match this controller's network.
+  void load(const ControlMemento& memento);
+
+ private:
+  ControlConfig config_;
+  std::size_t links_{0};
+  LoadEstimator estimator_;
+  erlang::NetworkErlangMemo memo_;
+  std::vector<double> lambda_ref_;      ///< per link; -1 = no accepted solve yet
+  std::vector<int> reservation_;        ///< per link, last applied
+  std::uint64_t epochs_done_{0};
+  std::uint64_t retargets_{0};
+  std::uint64_t holds_{0};
+};
+
+}  // namespace altroute::control

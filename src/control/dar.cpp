@@ -1,0 +1,119 @@
+#include "control/dar.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace altroute::control {
+
+namespace {
+
+constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+
+// Little-endian u64 push/pull for the policy-state blob (opaque to the
+// snapshot container; only this policy reads it back).
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t pull_u64(const std::vector<std::uint8_t>& in, std::size_t word) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[word * 8 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+DarPolicy::DarPolicy(int nodes, std::uint64_t seed, const DarConfig& config)
+    : nodes_(nodes),
+      config_(config),
+      rng_(seed, 0xDA85),
+      sticky_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes), kUnset) {
+  if (nodes < 1) throw std::invalid_argument("DarPolicy: nodes < 1");
+  config_.validate();
+}
+
+loss::RouteDecision DarPolicy::route(const loss::RoutingContext& ctx) {
+  loss::RouteDecision d;
+  const std::size_t p = loss::pick_primary(ctx.routes, ctx.primary_pick);
+  if (p == std::numeric_limits<std::size_t>::max()) return d;
+  const routing::Path& primary = ctx.routes.primaries[p];
+  if (ctx.state.path_admissible(primary, loss::CallClass::kPrimary, ctx.bandwidth)) {
+    d.path = &primary;
+    d.call_class = loss::CallClass::kPrimary;
+    return d;
+  }
+  // Candidate alternates exclude the primary itself.
+  std::size_t candidates = 0;
+  for (const routing::Path& alt : ctx.routes.alternates) {
+    if (!(alt == primary)) ++candidates;
+  }
+  if (candidates == 0) return d;
+  const auto nth_candidate = [&](std::size_t n) -> const routing::Path& {
+    for (const routing::Path& alt : ctx.routes.alternates) {
+      if (alt == primary) continue;
+      if (n == 0) return alt;
+      --n;
+    }
+    return ctx.routes.alternates.front();  // unreachable by construction
+  };
+  // Trunk reservation: the alternate may carry the overflow only if every
+  // hop keeps >= trunk circuits free after it (free >= bandwidth + trunk).
+  const auto clears_trunk = [&](const routing::Path& path) {
+    for (const net::LinkId id : path.links) {
+      if (ctx.state.link(id).free_circuits() < ctx.bandwidth + config_.trunk) return false;
+    }
+    return true;
+  };
+
+  std::size_t& remembered = sticky_[pair_index(ctx.src, ctx.dst)];
+  if (remembered == kUnset || remembered >= candidates) {
+    remembered = rng_.below(candidates);
+  }
+  const routing::Path& attempt = nth_candidate(remembered);
+  ++d.alternates_probed;
+  if (clears_trunk(attempt) &&
+      ctx.state.path_admissible(attempt, loss::CallClass::kAlternate, ctx.bandwidth)) {
+    d.path = &attempt;  // success: the choice sticks
+    d.call_class = loss::CallClass::kAlternate;
+    return d;
+  }
+  // Blocked: lose the call and resample a fresh random alternate for the
+  // pair's next overflow.
+  remembered = rng_.below(candidates);
+  return d;
+}
+
+std::vector<std::uint8_t> DarPolicy::snapshot_state() const {
+  // 4 words of RNG state, trunk, pair count, one word per pair.
+  std::vector<std::uint8_t> blob;
+  blob.reserve((6 + sticky_.size()) * 8);
+  for (const std::uint64_t word : rng_.state()) push_u64(blob, word);
+  push_u64(blob, static_cast<std::uint64_t>(config_.trunk));
+  push_u64(blob, sticky_.size());
+  for (const std::size_t s : sticky_) push_u64(blob, static_cast<std::uint64_t>(s));
+  return blob;
+}
+
+void DarPolicy::restore_state(const std::vector<std::uint8_t>& blob) {
+  const std::size_t expected = (6 + sticky_.size()) * 8;
+  if (blob.size() != expected || pull_u64(blob, 5) != sticky_.size()) {
+    throw std::invalid_argument(
+        "DarPolicy::restore_state: blob does not match this policy's " +
+        std::to_string(sticky_.size()) + "-pair memory (got " + std::to_string(blob.size()) +
+        " bytes, expected " + std::to_string(expected) + ")");
+  }
+  if (pull_u64(blob, 4) != static_cast<std::uint64_t>(config_.trunk)) {
+    throw std::invalid_argument(
+        "DarPolicy::restore_state: checkpoint was taken with trunk=" +
+        std::to_string(pull_u64(blob, 4)) + " but this run has trunk=" +
+        std::to_string(config_.trunk) + " (resume with the same --policy spec)");
+  }
+  rng_.set_state({pull_u64(blob, 0), pull_u64(blob, 1), pull_u64(blob, 2), pull_u64(blob, 3)});
+  for (std::size_t q = 0; q < sticky_.size(); ++q) {
+    sticky_[q] = static_cast<std::size_t>(pull_u64(blob, 5 + 1 + q));
+  }
+}
+
+}  // namespace altroute::control

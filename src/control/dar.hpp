@@ -1,0 +1,69 @@
+// Dynamic Alternative Routing (Gibbens, Kelly & Key) with trunk
+// reservation, the British Telecom scheme the paper positions its Eq.-15
+// state protection against.
+//
+// DAR is sticky-random alternate selection (each ordered pair remembers
+// ONE current alternate; keep it while it admits, resample uniformly on
+// block) plus DAR's own stability mechanism: TRUNK RESERVATION.  An
+// overflow call is carried on its remembered alternate only when every
+// link of that alternate would still have at least `trunk` free circuits
+// AFTER carrying it -- i.e. free >= bandwidth + trunk on every hop.  That
+// static reserve is DAR's defense against overflow crowding: with trunk=0
+// it degenerates to plain sticky random, whose single probe per call is
+// too gentle to show the uncontrolled scheme's hysteresis but pays a
+// measured 2-3x blocking penalty above the critical load, which a small
+// trunk reserve removes (see EXPERIMENTS.md, ext-n).
+//
+// The alternate probes with class kAlternate, so when the engine's Eq.-15
+// protection levels are ALSO in force the call must clear both guards;
+// run DAR with r = 0 (the usual configuration) to study trunk reservation
+// in isolation.  One probe per overflow, local state only -- the
+// signaling-cost contrast with the paper's sequential probing carries
+// over from StickyRandomPolicy (loss/dynamic_policies.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/config.hpp"
+#include "loss/policy.hpp"
+#include "sim/rng.hpp"
+
+namespace altroute::control {
+
+class DarPolicy final : public loss::RoutingPolicy {
+ public:
+  /// `nodes` sizes the per-pair memory; `seed` drives the random resamples
+  /// (stream-split from the engine's policy seed, so DAR runs share the
+  /// common-random-numbers structure of the other dynamic policies).
+  DarPolicy(int nodes, std::uint64_t seed, const DarConfig& config);
+
+  [[nodiscard]] loss::RouteDecision route(const loss::RoutingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const override { return "dar"; }
+
+  [[nodiscard]] int trunk() const { return config_.trunk; }
+
+  /// Currently remembered alternate index for a pair (for tests); SIZE_MAX
+  /// when unset.
+  [[nodiscard]] std::size_t current_alternate(net::NodeId src, net::NodeId dst) const {
+    return sticky_[pair_index(src, dst)];
+  }
+
+  /// Checkpoint support: RNG state, the trunk parameter (echoed so a
+  /// resume under a different --policy spec is rejected, not silently
+  /// re-parameterized), and the per-pair sticky memory.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(const std::vector<std::uint8_t>& blob) override;
+
+ private:
+  [[nodiscard]] std::size_t pair_index(net::NodeId src, net::NodeId dst) const {
+    return src.index() * static_cast<std::size_t>(nodes_) + dst.index();
+  }
+
+  int nodes_;
+  DarConfig config_;
+  sim::Rng rng_;
+  std::vector<std::size_t> sticky_;
+};
+
+}  // namespace altroute::control

@@ -1,0 +1,65 @@
+#include "control/estimator.hpp"
+
+#include <stdexcept>
+
+namespace altroute::control {
+
+LoadEstimator::LoadEstimator(const ControlConfig& config, int nodes)
+    : config_(config), nodes_(nodes) {
+  config_.validate();
+  if (nodes < 1) throw std::invalid_argument("LoadEstimator: nodes must be >= 1");
+  const auto pairs = static_cast<std::size_t>(nodes) * static_cast<std::size_t>(nodes);
+  estimate_.assign(pairs, 0.0);
+  window_sum_.assign(pairs, 0.0);
+  hold_total_.assign(pairs, 0.0);
+}
+
+void LoadEstimator::roll_to(double t) {
+  while (window_start_ + config_.window <= t) {
+    for (std::size_t q = 0; q < estimate_.size(); ++q) {
+      const double window_load = window_sum_[q] / config_.window;
+      if (config_.estimator == EstimatorKind::kWindowedMle) {
+        hold_total_[q] += window_sum_[q];
+        estimate_[q] = hold_total_[q] /
+                       (static_cast<double>(windows_done_ + 1) * config_.window);
+      } else {
+        estimate_[q] = windows_done_ == 0
+                           ? window_load
+                           : (1.0 - config_.weight) * estimate_[q] +
+                                 config_.weight * window_load;
+      }
+      window_sum_[q] = 0.0;
+    }
+    ++windows_done_;
+    window_start_ += config_.window;
+  }
+}
+
+void LoadEstimator::observe(double t, int src, int dst, double hold) {
+  roll_to(t);
+  if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
+    throw std::invalid_argument("LoadEstimator::observe: node outside the network");
+  }
+  window_sum_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nodes_) +
+              static_cast<std::size_t>(dst)] += hold;
+  ++observations_;
+}
+
+void LoadEstimator::restore(double window_start, std::uint64_t windows_done,
+                            std::uint64_t observations, std::vector<double> estimate,
+                            std::vector<double> window_sum, std::vector<double> hold_total) {
+  const std::size_t pairs = estimate_.size();
+  if (estimate.size() != pairs || window_sum.size() != pairs || hold_total.size() != pairs) {
+    throw std::invalid_argument(
+        "LoadEstimator::restore: state does not match this network's " +
+        std::to_string(pairs) + "-pair shape");
+  }
+  window_start_ = window_start;
+  windows_done_ = windows_done;
+  observations_ = observations;
+  estimate_ = std::move(estimate);
+  window_sum_ = std::move(window_sum);
+  hold_total_ = std::move(hold_total);
+}
+
+}  // namespace altroute::control

@@ -1,0 +1,86 @@
+// Online offered-load estimation from observed arrivals.
+//
+// The paper's Eq.-15 solves assume the offered-load matrix Lambda is known
+// exactly; a closed-loop controller must MEASURE it.  A LoadEstimator
+// tracks, per ordered O-D pair, the classic holding-time-weighted arrival
+// census: arrivals are binned into jumping windows of length `window` on
+// the event timeline, and each completed window w contributes its observed
+// offered load
+//
+//     L_w(i, j) = sum of holding times of (i, j) arrivals in w / window
+//
+// (for Poisson arrivals with mean holding h, E[L_w] = lambda * h -- the
+// offered load in Erlangs, exactly the quantity Eq. 15 wants).  Two
+// reductions over completed windows are selectable (config.hpp):
+//
+//   kWindowedMle  pooled estimate sum_w L_w / #windows -- the maximum-
+//                 likelihood estimate over all completed windows, which
+//                 converges to the true Lambda on stationary traffic
+//                 (the property tests pin the tolerance);
+//   kEwma         estimate <- (1 - weight) * estimate + weight * L_w on
+//                 each completed window -- bounded memory of the past, so
+//                 it tracks load shifts (failures, traffic scaling) at the
+//                 cost of stationary variance.
+//
+// Empty windows count: a pair that stops receiving traffic decays toward
+// zero under both reductions.  Windows roll deterministically from observed
+// event times only -- the estimator never reads a wall clock -- so the
+// whole control plane inherits the engines' bit-identical replay.
+//
+// The per-LINK tracker of the control plane is derived, not duplicated:
+// the controller maps the per-pair estimates through the current primary
+// routes with routing::primary_link_loads (the paper's Eq. 1), so link
+// estimates follow topology changes automatically (see controller.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/config.hpp"
+
+namespace altroute::control {
+
+class LoadEstimator {
+ public:
+  /// `nodes` sizes the per-ordered-pair state; the estimator starts its
+  /// first window at t = 0.
+  LoadEstimator(const ControlConfig& config, int nodes);
+
+  /// One observed call request from src to dst at time t with holding time
+  /// `hold` (counted whether the call is later admitted or blocked --
+  /// offered load is what Eq. 15 wants).  Rolls completed windows first;
+  /// t must be non-decreasing across calls (event-timeline order).
+  void observe(double t, int src, int dst, double hold);
+
+  /// Completes every window that ends at or before t (controllers call
+  /// this at each epoch so estimates reflect all windows ending by then).
+  void roll_to(double t);
+
+  /// Current per-pair offered-load estimates, row-major nodes x nodes
+  /// (diagonal stays 0).  Zero until the first window completes.
+  [[nodiscard]] const std::vector<double>& estimates() const { return estimate_; }
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] std::uint64_t windows_done() const { return windows_done_; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+
+  // --- checkpoint support (plain-data state; see controller.hpp) -----------
+  [[nodiscard]] double window_start() const { return window_start_; }
+  [[nodiscard]] const std::vector<double>& window_sums() const { return window_sum_; }
+  [[nodiscard]] const std::vector<double>& hold_totals() const { return hold_total_; }
+  void restore(double window_start, std::uint64_t windows_done, std::uint64_t observations,
+               std::vector<double> estimate, std::vector<double> window_sum,
+               std::vector<double> hold_total);
+
+ private:
+  ControlConfig config_;
+  int nodes_{0};
+  double window_start_{0.0};
+  std::uint64_t windows_done_{0};
+  std::uint64_t observations_{0};
+  std::vector<double> estimate_;    ///< per pair, current reduction value
+  std::vector<double> window_sum_;  ///< per pair, holding-time sum of the open window
+  std::vector<double> hold_total_;  ///< per pair, sum over completed windows (kWindowedMle)
+};
+
+}  // namespace altroute::control

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -31,7 +32,30 @@ struct RepAccum {
   /// admission state s.
   std::vector<double> link_kernel;
   std::vector<double> bin_occupancy;
+  /// Adaptive control plane: epoch count and the latest epoch's estimated
+  /// per-link loads / installed reservations (kControlEpoch records).
+  long long control_epochs{0};
+  long long control_retargets{0};
+  std::vector<double> control_last_lambda;
+  std::vector<int> control_last_r;
 };
+
+/// Parses the kControlEpoch detail payload: per-link estimated loads as a
+/// %.17g CSV (bit-exact round trip; see obs::Probe::on_control_epoch).
+std::vector<double> parse_control_lambda(const std::string& csv) {
+  std::vector<double> out;
+  const char* p = csv.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    out.push_back(std::strtod(p, &end));
+    if (end == p) {
+      throw std::invalid_argument("analyze: malformed control epoch lambda payload '" +
+                                  csv + "'");
+    }
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
 
 /// Kernel table for one (load point, link): entry s in [0, C] is the
 /// expected extra primary losses caused by occupying one more circuit when
@@ -206,6 +230,25 @@ AnalysisReport analyze_records(const std::vector<TraceRecord>& records,
         ++pair.reserved_rejections;
         break;
       }
+      case TraceKind::kControlEpoch: {
+        ++acc.control_epochs;
+        acc.control_retargets += r.links_changed;
+        acc.control_last_lambda = parse_control_lambda(r.detail);
+        if (acc.control_last_lambda.size() != config.link_count) {
+          throw std::invalid_argument(
+              "analyze: control epoch carries " +
+              std::to_string(acc.control_last_lambda.size()) + " loads for a " +
+              std::to_string(config.link_count) + "-link topology");
+        }
+        if (r.links.size() != config.link_count) {
+          throw std::invalid_argument("analyze: control epoch carries " +
+                                      std::to_string(r.links.size()) +
+                                      " reservations for a " +
+                                      std::to_string(config.link_count) + "-link topology");
+        }
+        acc.control_last_r = r.links;
+        break;
+      }
       case TraceKind::kCallPreempted:
       case TraceKind::kCallKilled:
       case TraceKind::kEventApplied:
@@ -344,6 +387,33 @@ AnalysisReport analyze_records(const std::vector<TraceRecord>& records,
         section.stationarity = sim::batch_means(section.bin_occupancy, batches);
         section.stationary =
             std::abs(section.stationarity.lag1_autocorrelation) <= 0.2;
+      }
+    }
+
+    // (d) control plane: estimated vs nominal Lambda, folded over the last
+    // control epoch of each replication.
+    for (const auto& [rep, acc] : group.reps) {
+      section.control_epochs += acc.control_epochs;
+      section.control_retargets += acc.control_retargets;
+    }
+    if (section.control_epochs > 0) {
+      for (std::size_t k = 0; k < config.link_count; ++k) {
+        sim::RunningStats est, final_r;
+        for (const auto& [rep, acc] : group.reps) {
+          if (acc.control_epochs == 0) continue;
+          est.add(acc.control_last_lambda[k]);
+          final_r.add(static_cast<double>(acc.control_last_r[k]));
+        }
+        ControlLinkAudit audit;
+        audit.link = static_cast<int>(k);
+        audit.lambda_true = config.lambda[k] * section.load_factor;
+        audit.samples = est.count();
+        audit.est_mean = est.mean();
+        audit.est_stderr = est.stderr_mean();
+        audit.est_ci95 = est.ci95_halfwidth();
+        audit.abs_error = std::abs(audit.est_mean - audit.lambda_true);
+        audit.final_r_mean = final_r.mean();
+        section.control_links.push_back(audit);
       }
     }
 

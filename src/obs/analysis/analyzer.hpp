@@ -127,6 +127,24 @@ struct PairLinkCell {
   long long blocked_at{0};         ///< the pair's losses attributed to the link
 };
 
+/// Estimated-vs-true offered-load comparison for one link, from the
+/// adaptive control plane's kControlEpoch records.  The estimate audited
+/// is the LAST epoch of each replication (the estimator's most-converged
+/// state); "true" is the nominal per-link primary load at the section's
+/// load factor -- on scenarios that rewire routes mid-run the comparison
+/// is against that intact-topology nominal, so read large errors there as
+/// "the controller tracked the post-event network", not estimator bias.
+struct ControlLinkAudit {
+  int link{-1};
+  double lambda_true{0.0};   ///< config.lambda[k] * load factor
+  double est_mean{0.0};      ///< mean over replications of the last estimate
+  double est_stderr{0.0};
+  double est_ci95{0.0};
+  double abs_error{0.0};     ///< |est_mean - lambda_true|
+  double final_r_mean{0.0};  ///< mean over replications of the final r*
+  std::size_t samples{0};    ///< replications with >= 1 control epoch
+};
+
 /// One across-replication statistic (Student-t, two-sided 95%).
 struct MetricStat {
   std::string name;
@@ -149,6 +167,10 @@ struct AnalysisSection {
   // (b) attribution.
   std::vector<PairStats> pairs;      ///< active pairs, worst-blocked first
   std::vector<PairLinkCell> cells;   ///< heaviest alternate-riding cells
+  // (d) adaptive control plane (empty when the run had control off).
+  std::vector<ControlLinkAudit> control_links;
+  long long control_epochs{0};     ///< kControlEpoch records in the section
+  long long control_retargets{0};  ///< summed links_changed over those epochs
   // (c) statistics.
   std::vector<MetricStat> metrics;
   std::vector<double> bin_time;       ///< bin left edges

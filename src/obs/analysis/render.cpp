@@ -86,6 +86,19 @@ void render_section_table(const AnalysisReport& report, const AnalysisSection& s
            pad(std::to_string(c.alternate_carried), 13) + std::to_string(c.blocked_at) + "\n";
   }
 
+  if (!s.control_links.empty()) {
+    out += "-- control plane: estimated vs nominal Lambda (last epoch per replication; " +
+           std::to_string(s.control_epochs) + " epoch(s), " +
+           std::to_string(s.control_retargets) + " retarget(s)) --\n";
+    out += pad("link", 6) + pad("lambda", 10) + pad("est_mean", 12) + pad("ci95", 12) +
+           pad("abs_err", 12) + "r_final\n";
+    for (const ControlLinkAudit& a : s.control_links) {
+      out += pad(std::to_string(a.link), 6) + pad(num(a.lambda_true, "%.4g"), 10) +
+             pad(num(a.est_mean, "%.4g"), 12) + pad(num(a.est_ci95, "%.4g"), 12) +
+             pad(num(a.abs_error, "%.4g"), 12) + num(a.final_r_mean, "%.4g") + "\n";
+    }
+  }
+
   if (!s.bin_time.empty()) {
     out += "-- booked occupancy per bin (mean circuits; batch-means lag1=" +
            num(s.stationarity.lag1_autocorrelation, "%.3g") +
@@ -128,6 +141,22 @@ void render_section_json(const AnalysisSection& s, std::string& out) {
            ",\"l_pooled\":" + json_num(a.l_pooled) + ",\"l_mean\":" + json_num(a.l_mean) +
            ",\"l_ci95\":" + json_num(a.l_ci95) + ",\"samples\":" +
            std::to_string(a.samples) + ",\"verdict\":\"" + verdict_name(a.verdict) + "\"}";
+  }
+  out += "]}";
+
+  out += ",\"control\":{\"epochs\":" + std::to_string(s.control_epochs) +
+         ",\"retargets\":" + std::to_string(s.control_retargets) + ",\"links\":[";
+  for (std::size_t i = 0; i < s.control_links.size(); ++i) {
+    const ControlLinkAudit& a = s.control_links[i];
+    if (i != 0) out += ',';
+    out += "{\"link\":" + std::to_string(a.link) +
+           ",\"lambda_true\":" + json_num(a.lambda_true) +
+           ",\"est_mean\":" + json_num(a.est_mean) +
+           ",\"est_stderr\":" + json_num(a.est_stderr) +
+           ",\"est_ci95\":" + json_num(a.est_ci95) +
+           ",\"abs_error\":" + json_num(a.abs_error) +
+           ",\"final_r_mean\":" + json_num(a.final_r_mean) +
+           ",\"samples\":" + std::to_string(a.samples) + "}";
   }
   out += "]}";
 

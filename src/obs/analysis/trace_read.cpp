@@ -119,6 +119,14 @@ TraceRecord parse_trace_line(std::string_view line) {
         r.links_changed = static_cast<int>(s.number_value());
       } else if (key == "killed") {
         r.count = static_cast<long long>(s.number_value());
+      } else if (key == "epoch") {
+        r.count = static_cast<long long>(s.number_value());
+      } else if (key == "r") {
+        r.links = s.array_value();
+      } else if (key == "cap") {
+        r.occ = s.array_value();
+      } else if (key == "lam") {
+        r.detail = std::string(s.string_value());
       } else {
         fail(line, "unknown key '" + std::string(key) + "'");
       }

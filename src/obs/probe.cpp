@@ -1,6 +1,26 @@
 #include "obs/probe.hpp"
 
+#include <cstdio>
+
 namespace altroute::obs {
+
+namespace {
+
+// Round-trip-exact CSV of the effective lambda vector.  "%.17g" (not the
+// sinks' display-grade "%.9g") because the checker re-derives r* from this
+// string: any rounding would make the epoch-purity re-solve diverge.
+std::string lambda_csv(const std::vector<double>& lambda) {
+  std::string out;
+  char buffer[40];
+  for (std::size_t k = 0; k < lambda.size(); ++k) {
+    if (k != 0) out += ',';
+    std::snprintf(buffer, sizeof buffer, "%.17g", lambda[k]);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace
 
 void Probe::bind(std::size_t link_count) {
   links_ = link_count;
@@ -21,6 +41,14 @@ void Probe::bind(std::size_t link_count) {
   link_reserved_rejections_ = metrics_->link_counter("reserved_rejections");
   link_preemptions_ = metrics_->link_counter("preemptions");
   link_kills_ = metrics_->link_counter("kills_on_failure");
+}
+
+void Probe::bind_control() {
+  if (metrics_ == nullptr) return;
+  control_epochs_ = metrics_->counter("control_epochs");
+  control_retargets_ = metrics_->counter("control_retargets");
+  control_holds_ = metrics_->counter("control_holds");
+  control_est_error_ = metrics_->gauge("control_est_error");
 }
 
 void Probe::grid(double t0, double dt, int samples) {
@@ -143,6 +171,31 @@ void Probe::on_protection_resolved(double t, int links) {
   r.kind = TraceKind::kProtectionResolved;
   r.links_changed = links;
   trace(r);
+}
+
+void Probe::on_control_epoch(double t, long long epoch_index, int links_changed,
+                             int links_held, const std::vector<int>& reservation,
+                             const std::vector<int>& capacity,
+                             const std::vector<double>& lambda_eff, double est_abs_error) {
+  if (metrics_ != nullptr) {
+    metrics_->add(control_epochs_);
+    if (links_changed > 0) metrics_->add(control_retargets_, links_changed);
+    if (links_held > 0) metrics_->add(control_holds_, links_held);
+    metrics_->add_gauge(control_est_error_, est_abs_error);
+  }
+  // The epoch record carries three vectors and allocates for them, so it
+  // is only built when a sink actually wants the kind.
+  if (sink_ != nullptr && sink_->wants(TraceKind::kControlEpoch)) {
+    TraceRecord r;
+    r.time = t;
+    r.kind = TraceKind::kControlEpoch;
+    r.count = epoch_index;
+    r.links_changed = links_changed;
+    r.links = reservation;
+    r.occ = capacity;
+    r.detail = lambda_csv(lambda_eff);
+    sink_->write(r);
+  }
 }
 
 }  // namespace altroute::obs

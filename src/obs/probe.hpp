@@ -63,6 +63,13 @@ class Probe {
   /// first via grid().
   void bind(std::size_t link_count);
 
+  /// Registers the adaptive-control instruments (epoch/retarget/hold
+  /// counters and the estimator-error gauge).  Separate from bind() on
+  /// purpose: runs without control keep the exact metric schema they had
+  /// before the control plane existed, so goldens and merge compatibility
+  /// are untouched.  Call after bind(), only when control is enabled.
+  void bind_control();
+
   /// Configures the registry's per-link occupancy sampling grid: `samples`
   /// points t0 + i*dt.  Call before the run (before bind is fine).
   void grid(double t0, double dt, int samples);
@@ -115,6 +122,18 @@ class Probe {
 
   /// Protection levels were re-solved for `links` links.
   void on_protection_resolved(double t, int links);
+
+  /// A control epoch fired (epoch index `epoch_index`, 1-based).
+  /// `reservation` is the per-link protection vector now in force,
+  /// `capacity` and `lambda_eff` the inputs the Eq.-15 re-solve used, and
+  /// `est_abs_error` the sum over links of |estimated - true| offered load
+  /// when the caller can supply the truth (0 otherwise; accumulated into
+  /// the control_est_error gauge, divide by control_epochs for the mean).
+  /// Requires bind_control().
+  void on_control_epoch(double t, long long epoch_index, int links_changed, int links_held,
+                        const std::vector<int>& reservation,
+                        const std::vector<int>& capacity,
+                        const std::vector<double>& lambda_eff, double est_abs_error);
 
   /// Samples per-link occupancy for every grid point strictly before `t`.
   /// `occ(k)` must return link k's current occupancy.  Call with the
@@ -172,6 +191,11 @@ class Probe {
   MetricId link_reserved_rejections_{0};
   MetricId link_preemptions_{0};
   MetricId link_kills_{0};
+  // Control-plane instruments (valid after bind_control()).
+  MetricId control_epochs_{0};
+  MetricId control_retargets_{0};
+  MetricId control_holds_{0};
+  MetricId control_est_error_{0};
 };
 
 }  // namespace altroute::obs

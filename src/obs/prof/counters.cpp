@@ -21,6 +21,10 @@ constexpr CounterField kFields[] = {
     {"calendar_resizes", &EngineCounters::calendar_resizes, false},
     {"memo_hits", &EngineCounters::memo_hits, false},
     {"memo_misses", &EngineCounters::memo_misses, false},
+    {"control_epochs", &EngineCounters::control_epochs, false},
+    {"control_retargets", &EngineCounters::control_retargets, false},
+    {"control_holds", &EngineCounters::control_holds, false},
+    {"estimator_updates", &EngineCounters::estimator_updates, false},
 };
 
 }  // namespace

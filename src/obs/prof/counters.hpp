@@ -53,6 +53,12 @@ struct EngineCounters {
   std::uint64_t memo_hits{0};         ///< re-solved links served from the Erlang memo
   std::uint64_t memo_misses{0};       ///< re-solved links whose (Lambda, C) key changed
 
+  // Engine-independent, control plane (all 0 when --control is off).
+  std::uint64_t control_epochs{0};     ///< control epochs fired on the event timeline
+  std::uint64_t control_retargets{0};  ///< links whose protection level r changed
+  std::uint64_t control_holds{0};      ///< links held by the deadband at an epoch
+  std::uint64_t estimator_updates{0};  ///< call observations fed to the load estimator
+
   /// Accumulates `other` into this: tallies add, peaks take the max.
   void merge(const EngineCounters& other);
 

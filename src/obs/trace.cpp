@@ -32,6 +32,8 @@ std::string_view trace_kind_name(TraceKind kind) {
       return "protection_resolved";
     case TraceKind::kReservedRejection:
       return "reserved_rejection";
+    case TraceKind::kControlEpoch:
+      return "control_epoch";
   }
   throw std::invalid_argument("trace_kind_name: unknown kind");
 }
@@ -146,6 +148,22 @@ std::string JsonlTraceSink::format(const TraceRecord& r) {
       break;
     case TraceKind::kProtectionResolved:
       out += ",\"links\":" + std::to_string(r.links_changed);
+      break;
+    case TraceKind::kControlEpoch:
+      out += ",\"epoch\":" + std::to_string(r.count) +
+             ",\"links_changed\":" + std::to_string(r.links_changed) + ",\"r\":[";
+      for (std::size_t i = 0; i < r.links.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(r.links[i]);
+      }
+      out += "],\"cap\":[";
+      for (std::size_t i = 0; i < r.occ.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(r.occ[i]);
+      }
+      out += "],\"lam\":\"";
+      out += r.detail;
+      out += '"';
       break;
   }
   out += '}';

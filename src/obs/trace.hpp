@@ -35,9 +35,16 @@ enum class TraceKind : unsigned {
   /// that would still have admitted a primary-class call (the protection
   /// cost the Eq.-15 audit accounts per O-D pair).
   kReservedRejection = 1u << 6,
+  /// A control epoch fired: the adaptive controller re-derived the
+  /// protection vector from estimated loads.  `count` carries the epoch
+  /// index, `links` the reservation vector now in force, `occ` the
+  /// capacities the solve used, and `detail` the effective per-link lambda
+  /// vector as a "%.17g" CSV -- enough for the checker to re-derive r*
+  /// from recorded state alone (the epoch-purity invariant).
+  kControlEpoch = 1u << 7,
 };
 
-inline constexpr unsigned kAllTraceKinds = (1u << 7) - 1;
+inline constexpr unsigned kAllTraceKinds = (1u << 8) - 1;
 
 /// Lower-case token used in JSONL output and --trace-filter lists
 /// ("call_admitted", ...).

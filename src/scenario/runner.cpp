@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "control/controller.hpp"
 #include "core/protection.hpp"
 #include "erlang/memo.hpp"
 #include "routing/route_table.hpp"
@@ -80,6 +82,17 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
 
   obs::Probe* const probe = options.probe;
   ALTROUTE_OBS_HOOK(probe, bind(static_cast<std::size_t>(g.link_count())));
+
+  // Adaptive control plane: built only when enabled, so a control-off run
+  // carries a null pointer and the never-taken branches below.
+  const bool control_on = options.control != nullptr && options.control->enabled();
+  std::unique_ptr<control::EpochController> ctrl;
+  if (control_on) {
+    ctrl = std::make_unique<control::EpochController>(
+        *options.control, g.node_count(), static_cast<std::size_t>(g.link_count()),
+        options.reservations);
+    ALTROUTE_OBS_HOOK(probe, bind_control());
+  }
   const auto occ_of = [&state](std::size_t k) {
     return static_cast<long long>(
         state.link(net::LinkId(static_cast<std::int32_t>(k))).occupancy());
@@ -294,26 +307,64 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
     out.applied.push_back(applied);
   };
 
-  // Advances the system to time t: departures and scenario events with
-  // time <= t apply in time order, departures first on ties (a freed
-  // circuit is visible to an event at the same instant, mirroring the
-  // static engine's departure-before-arrival rule).
+  // Control epoch at time t: re-solve Eq. 15 from the estimated loads and
+  // install the resulting protection vector.  Runs strictly on the event
+  // timeline; the outcome is recorded (trace + counters) so the checker
+  // can re-derive r* from recorded state alone.
+  const auto apply_epoch = [&](double t) {
+    const control::EpochController::Outcome outcome =
+        ctrl->run_epoch(t, g, routes, options.max_alt_hops);
+    state.set_reservations(outcome.reservation);
+    ++run_counters.control_epochs;
+    run_counters.control_retargets += static_cast<std::uint64_t>(outcome.links_changed);
+    run_counters.control_holds += static_cast<std::uint64_t>(outcome.links_held);
+    if (probe != nullptr) {
+      // Estimator audit (cold path, metrics only): sum over links of
+      // |effective - true| offered load, the truth being what an
+      // oracle-fed resolve_protection would use at this instant.
+      double est_abs_error = 0.0;
+      if (probe->metrics() != nullptr) {
+        const std::vector<double> truth =
+            routing::primary_link_loads(g, routes, traffic.scaled(traffic_factor));
+        for (std::size_t k = 0; k < truth.size(); ++k) {
+          est_abs_error += std::abs(outcome.lambda_eff[k] - truth[k]);
+        }
+      }
+      probe->on_control_epoch(t, static_cast<long long>(ctrl->epochs_done()),
+                              outcome.links_changed, outcome.links_held, outcome.reservation,
+                              outcome.capacity, outcome.lambda_eff, est_abs_error);
+    }
+  };
+
+  // Advances the system to time t: departures, scenario events, and
+  // control epochs with time <= t apply in time order; ties resolve
+  // departures first (a freed circuit is visible to an event at the same
+  // instant, mirroring the static engine's departure-before-arrival rule),
+  // then scenario events, then epochs (an epoch sees the post-event
+  // topology, routes, and capacities -- fail/repair at the same instant
+  // are already in force when the controller re-solves).
   std::size_t next_event = 0;
   const auto advance_to = [&](double t) {
+    constexpr double kNever = std::numeric_limits<double>::infinity();
     for (;;) {
       const bool dep_due = !departures.empty() && departures.next_time() <= t;
       const bool event_due =
           next_event < scenario.events.size() && scenario.events[next_event].time <= t;
+      const double epoch_time = control_on ? ctrl->next_epoch_time() : kNever;
+      const bool epoch_due = epoch_time <= t;
       if (dep_due &&
-          (!event_due || departures.next_time() <= scenario.events[next_event].time)) {
+          (!event_due || departures.next_time() <= scenario.events[next_event].time) &&
+          (!epoch_due || departures.next_time() <= epoch_time)) {
         const auto [time, h] = departures.pop();
         if (in_flight.alive(h)) {  // killed calls: stale handle, no-op
           ALTROUTE_OBS_HOOK(probe, sample_occupancy_to(time, occ_of));
           release_call(h);
         }
-      } else if (event_due) {
+      } else if (event_due && (!epoch_due || scenario.events[next_event].time <= epoch_time)) {
         apply_event(scenario.events[next_event]);
         ++next_event;
+      } else if (epoch_due) {
+        apply_epoch(epoch_time);
       } else {
         break;
       }
@@ -416,6 +467,31 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
       ck.memo_lambda.push_back(memo.link(k).lambda());
       ck.memo_capacity.push_back(memo.link(k).capacity());
     }
+    if (control_on) {
+      snapshot::ControlState& cs = ck.control;
+      cs.present = 1;
+      // Config echo: a resume under a different --control spec must be
+      // rejected, not silently re-parameterized (validated on restore).
+      const control::ControlConfig& cc = ctrl->config();
+      cs.epoch = cc.epoch;
+      cs.estimator = static_cast<std::int32_t>(cc.estimator);
+      cs.window = cc.window;
+      cs.weight = cc.weight;
+      cs.deadband = cc.deadband;
+      cs.max_step = cc.max_step;
+      control::ControlMemento m = ctrl->save();
+      cs.window_start = m.window_start;
+      cs.windows_done = m.windows_done;
+      cs.observations = m.observations;
+      cs.pair_estimate = std::move(m.pair_estimate);
+      cs.pair_window_sum = std::move(m.pair_window_sum);
+      cs.pair_hold_total = std::move(m.pair_hold_total);
+      cs.link_lambda_ref = std::move(m.link_lambda_ref);
+      cs.reservation = std::move(m.reservation);
+      cs.epochs_done = m.epochs_done;
+      cs.retargets = m.retargets;
+      cs.holds = m.holds;
+    }
     options.checkpoints->on_checkpoint(ck);
   };
 
@@ -478,6 +554,43 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
     }
     if (ck.obs.present == 0 && have_metrics) {
       fail("carries no observability state but this run has a metric registry attached");
+    }
+    // Control plane: present in the checkpoint iff enabled in this run,
+    // with the exact same knobs.  Old checkpoints (captured before the
+    // control plane existed) decode with present = 0 and resume fine in a
+    // control-off run.
+    if (ck.control.present != 0 && !control_on) {
+      fail("carries adaptive-control state but this run does not enable --control");
+    }
+    if (ck.control.present == 0 && control_on) {
+      fail("carries no adaptive-control state but this run enables --control");
+    }
+    if (control_on) {
+      const control::ControlConfig& cc = ctrl->config();
+      if (ck.control.epoch != cc.epoch ||
+          ck.control.estimator != static_cast<std::int32_t>(cc.estimator) ||
+          ck.control.window != cc.window || ck.control.weight != cc.weight ||
+          ck.control.deadband != cc.deadband || ck.control.max_step != cc.max_step) {
+        fail("was captured under a different --control spec (epoch/estimator/window/"
+             "weight/deadband/max-step must match the capturing run)");
+      }
+      // The control clock is derived: exactly the epochs k * E <= the
+      // restored simulation clock must already have fired.
+      std::uint64_t due_epochs = 0;
+      if (ck.advanced_to >= cc.epoch) {
+        due_epochs = static_cast<std::uint64_t>(std::floor(ck.advanced_to / cc.epoch));
+        // Guard the floor against representation: k * E <= t is authoritative.
+        while (static_cast<double>(due_epochs + 1) * cc.epoch <= ck.advanced_to) ++due_epochs;
+        while (due_epochs > 0 && static_cast<double>(due_epochs) * cc.epoch > ck.advanced_to) {
+          --due_epochs;
+        }
+      }
+      if (ck.control.epochs_done != due_epochs) {
+        fail("recorded " + std::to_string(ck.control.epochs_done) +
+             " control epochs, but " + std::to_string(due_epochs) +
+             " fall at or before the restored clock t=" + std::to_string(ck.advanced_to) +
+             " -- the control clock is inconsistent");
+      }
     }
 
     // Graph + admission state, then routes from the restored topology.
@@ -594,6 +707,25 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
       memo.configure(ck.memo_lambda,
                      std::vector<int>(ck.memo_capacity.begin(), ck.memo_capacity.end()));
     }
+    if (control_on) {
+      control::ControlMemento m;
+      m.window_start = ck.control.window_start;
+      m.windows_done = ck.control.windows_done;
+      m.observations = ck.control.observations;
+      m.pair_estimate = ck.control.pair_estimate;
+      m.pair_window_sum = ck.control.pair_window_sum;
+      m.pair_hold_total = ck.control.pair_hold_total;
+      m.link_lambda_ref = ck.control.link_lambda_ref;
+      m.reservation = ck.control.reservation;
+      m.epochs_done = ck.control.epochs_done;
+      m.retargets = ck.control.retargets;
+      m.holds = ck.control.holds;
+      try {
+        ctrl->load(m);
+      } catch (const std::invalid_argument& e) {
+        fail(std::string("control state rejected: ") + e.what());
+      }
+    }
 
     traffic_factor = ck.traffic_factor;
     next_event = ck.next_event;
@@ -627,6 +759,14 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
       while (next_periodic <= call.arrival) next_periodic += options.checkpoint_every;
     }
     advance_to(call.arrival);
+    if (control_on) {
+      // Every REQUEST feeds the estimator (admitted or not -- offered load
+      // is what Eq. 15 wants), warm-up included: the estimator's windows
+      // measure traffic, not results.
+      ctrl->observe(call.arrival, static_cast<int>(call.src.index()),
+                    static_cast<int>(call.dst.index()), call.holding);
+      ++run_counters.estimator_updates;
+    }
 
     const routing::RouteSet& routes_for_pair = routes.at(call.src, call.dst);
     const loss::RoutingContext ctx{g,               state,
@@ -748,6 +888,13 @@ ScenarioRunResult run_scenario_impl(const net::Graph& graph, const net::TrafficM
     run_counters.arena_reuses = a.reuses;
     run_counters.peak_arena_occupancy = a.peak_live;
     options.counters->merge(run_counters);
+  }
+
+  if (control_on) {
+    // Cumulative across a capture/resume chain (restored with the memento).
+    out.control_epochs = ctrl->epochs_done();
+    out.control_retargets = ctrl->retargets();
+    out.control_holds = ctrl->holds();
   }
 
   std::sort(per_class.begin(), per_class.end(),

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "control/config.hpp"
 #include "loss/engine.hpp"
 #include "loss/policy.hpp"
 #include "netgraph/graph.hpp"
@@ -100,6 +101,16 @@ struct ScenarioEngineOptions {
   /// the measured window -- they describe work done, not results.  See
   /// obs/prof/counters.hpp for the cross-configuration identity classes.
   obs::prof::EngineCounters* counters{nullptr};
+  /// Adaptive control plane (src/control): when non-null and enabled()
+  /// (epoch > 0), the runner feeds every call request to an online load
+  /// estimator and, at every multiple of the epoch period ON THE EVENT
+  /// TIMELINE, re-solves Eq. 15 from the ESTIMATED loads and installs the
+  /// resulting protection vector.  Epochs interleave deterministically
+  /// with departures and scenario events (departures, then events, then
+  /// epochs on ties -- an epoch sees the post-event topology and routes).
+  /// nullptr or a disabled config = the pre-control engine, bit for bit:
+  /// the hot path pays one never-taken branch per call.
+  const control::ControlConfig* control{nullptr};
 
   // --- checkpoint / restore (src/snapshot) ---------------------------------
   // Checkpoints are captured at CALL BOUNDARIES: the first arrival with
@@ -161,6 +172,11 @@ struct ScenarioRunResult {
   /// Every link's capacity/reservation/occupancy/enabled at the horizon.
   /// Occupancy counts calls still in flight; it never exceeds capacity.
   std::vector<FinalLinkState> final_links;
+  /// Adaptive-control summary (all zero when options.control is off).
+  /// Cumulative across a capture/resume chain, like the run counters.
+  std::uint64_t control_epochs{0};     ///< epochs fired
+  std::uint64_t control_retargets{0};  ///< links whose r changed, summed over epochs
+  std::uint64_t control_holds{0};      ///< links held by the deadband, summed over epochs
 };
 
 /// Replays `trace` against `policy` on a working copy of `graph`, applying

@@ -123,6 +123,50 @@ ObsState get_obs(SectionReader& r) {
   return obs;
 }
 
+void put_control(SectionWriter& w, const ControlState& ctrl) {
+  w.u8(ctrl.present);
+  w.f64(ctrl.epoch);
+  w.i32(ctrl.estimator);
+  w.f64(ctrl.window);
+  w.f64(ctrl.weight);
+  w.f64(ctrl.deadband);
+  w.i32(ctrl.max_step);
+  w.f64(ctrl.window_start);
+  w.u64(ctrl.windows_done);
+  w.u64(ctrl.observations);
+  put_f64_vec(w, ctrl.pair_estimate);
+  put_f64_vec(w, ctrl.pair_window_sum);
+  put_f64_vec(w, ctrl.pair_hold_total);
+  put_f64_vec(w, ctrl.link_lambda_ref);
+  put_i32_vec(w, ctrl.reservation);
+  w.u64(ctrl.epochs_done);
+  w.u64(ctrl.retargets);
+  w.u64(ctrl.holds);
+}
+
+ControlState get_control(SectionReader& r) {
+  ControlState ctrl;
+  ctrl.present = r.u8();
+  ctrl.epoch = r.f64();
+  ctrl.estimator = r.i32();
+  ctrl.window = r.f64();
+  ctrl.weight = r.f64();
+  ctrl.deadband = r.f64();
+  ctrl.max_step = r.i32();
+  ctrl.window_start = r.f64();
+  ctrl.windows_done = r.u64();
+  ctrl.observations = r.u64();
+  ctrl.pair_estimate = get_f64_vec(r);
+  ctrl.pair_window_sum = get_f64_vec(r);
+  ctrl.pair_hold_total = get_f64_vec(r);
+  ctrl.link_lambda_ref = get_f64_vec(r);
+  ctrl.reservation = get_i32_vec(r);
+  ctrl.epochs_done = r.u64();
+  ctrl.retargets = r.u64();
+  ctrl.holds = r.u64();
+  return ctrl;
+}
+
 void put_trace_records(SectionWriter& w, const std::vector<obs::TraceRecord>& records) {
   w.u64(records.size());
   for (const obs::TraceRecord& rec : records) {
@@ -311,6 +355,14 @@ std::vector<Section> encode_checkpoint_body(const ScenarioCheckpoint& c) {
     put_i32_vec(w, c.memo_capacity);
     sections.push_back(w.take());
   }
+  // CTRL is OPTIONAL: written only when the capturing run had the control
+  // plane on, so control-off checkpoints stay byte-identical to the
+  // pre-control format (and old files keep loading -- see ControlState).
+  if (c.control.present != 0) {
+    SectionWriter w("CTRL");
+    put_control(w, c.control);
+    sections.push_back(w.take());
+  }
   return sections;
 }
 
@@ -424,6 +476,16 @@ ScenarioCheckpoint decode_checkpoint_body(const std::vector<Section>& sections,
     c.memo_lambda = get_f64_vec(r);
     c.memo_capacity = get_i32_vec(r);
     r.finish();
+  }
+  // CTRL is optional (absent from control-off checkpoints and from every
+  // file captured before the control plane existed): look it up without
+  // find_section's missing-section error.
+  for (const Section& s : sections) {
+    if (s.tag != "CTRL") continue;
+    SectionReader r(s);
+    c.control = get_control(r);
+    r.finish();
+    break;
   }
   return c;
 }

@@ -114,6 +114,34 @@ struct ObsState {
   std::vector<double> reals;
 };
 
+/// Adaptive control plane state (control::EpochController memento plus a
+/// config echo).  Serialized as the OPTIONAL section CTRL: written only
+/// when present, and checkpoints without it -- including every checkpoint
+/// captured before the control plane existed -- decode with present = 0,
+/// so old files keep loading.
+struct ControlState {
+  std::uint8_t present{0};
+  // Config echo (restore rejects a resume under different control knobs).
+  double epoch{0.0};
+  std::int32_t estimator{0};
+  double window{0.0};
+  double weight{0.0};
+  double deadband{0.0};
+  std::int32_t max_step{0};
+  // control::ControlMemento fields.
+  double window_start{0.0};
+  std::uint64_t windows_done{0};
+  std::uint64_t observations{0};
+  std::vector<double> pair_estimate;
+  std::vector<double> pair_window_sum;
+  std::vector<double> pair_hold_total;
+  std::vector<double> link_lambda_ref;
+  std::vector<std::int32_t> reservation;
+  std::uint64_t epochs_done{0};
+  std::uint64_t retargets{0};
+  std::uint64_t holds{0};
+};
+
 struct ScenarioCheckpoint {
   // CONF -- capture point & run fingerprint.
   double checkpoint_at{0.0};  ///< requested capture time (diagnostic)
@@ -141,13 +169,14 @@ struct ScenarioCheckpoint {
   std::string policy;
   std::vector<std::uint8_t> policy_state;
 
-  // EVTQ / ARNA / CNTR / OBSM / MEMO.
+  // EVTQ / ARNA / CNTR / OBSM / MEMO / CTRL.
   EventQueueState departures;
   ArenaState arena;
   CountersState counters;
   ObsState obs;
   std::vector<double> memo_lambda;
   std::vector<std::int32_t> memo_capacity;
+  ControlState control;
 };
 
 /// Receives checkpoints captured by scenario::run_scenario.  The runner

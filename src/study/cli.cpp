@@ -89,6 +89,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.analysis_out = need_value(i, arg);
     } else if (arg == "--fast") {
       options.fast = true;
+    } else if (arg == "--control") {
+      options.control = control::parse_control_spec(need_value(i, arg));
+    } else if (arg == "--policy") {
+      options.dar = control::parse_dar_spec(need_value(i, arg));
     } else if (arg == "--checkpoint-dir") {
       options.checkpoint_dir = need_value(i, arg);
       if (options.checkpoint_dir->empty()) {
@@ -127,6 +131,7 @@ CliOptions parse_cli(int argc, char** argv) {
                                   "' (known: --seeds --measure --warmup --loads --hops "
                                   "--threads --csv --scenario --metrics --trace "
                                   "--trace-filter --analyze --analysis-out --fast "
+                                  "--control --policy "
                                   "--checkpoint-dir --checkpoint-every --crash-after "
                                   "--checkpoint-at --checkpoint-out --resume "
                                   "--profile --manifest-out --flight-recorder --progress)");

@@ -22,6 +22,16 @@
 //                    (implies --analyze)
 //   --fast           shrink seeds/horizon for a quick smoke run
 //
+// Adaptive control plane (src/control; DESIGN.md "Control plane"):
+//   --control SPEC   comma-separated key=value pairs turning on the
+//                    closed-loop r* controller in scenario sweeps, e.g.
+//                    "epoch=5,estimator=ewma,window=2,deadband=0.1"
+//                    (keys: epoch, estimator=mle|ewma, window, weight,
+//                    deadband, max-step)
+//   --policy SPEC    adds a dynamic alternate policy to the compared
+//                    schemes; currently "dar" or "dar,trunk=N"
+//                    (sticky-random with trunk reservation)
+//
 // Checkpoint / resume (src/snapshot; see DESIGN.md "Checkpoint & fork"):
 //   --checkpoint-dir D    sweep carry directory: completed tasks persist
 //                         task-<k>.res there and a rerun of the same
@@ -53,6 +63,8 @@
 #include <string>
 #include <vector>
 
+#include "control/config.hpp"
+
 namespace altroute::study {
 
 struct CliOptions {
@@ -76,6 +88,13 @@ struct CliOptions {
   /// Also write the analysis report as JSON here (implies analyze).
   std::optional<std::string> analysis_out;
   bool fast{false};
+  /// Parsed --control spec (validated at parse time); unset = control off.
+  /// Binaries with a scenario section forward it to
+  /// ScenarioSweepOptions::control.
+  std::optional<control::ControlConfig> control;
+  /// Parsed --policy spec; set = add PolicyKind::kDar with this trunk
+  /// level to the compared schemes.
+  std::optional<control::DarConfig> dar;
   /// Sweep carry directory (SweepOptions/ScenarioSweepOptions
   /// checkpoint_dir): resume a killed sweep with bit-identical results.
   std::optional<std::string> checkpoint_dir;

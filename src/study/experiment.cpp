@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "control/dar.hpp"
 #include "core/adaptive_policy.hpp"
 #include "core/controlled_policy.hpp"
 #include "core/controller.hpp"
@@ -45,6 +46,8 @@ std::string policy_name(PolicyKind kind) {
       return "sticky-random";
     case PolicyKind::kStickyRandomProtected:
       return "sticky-random-protected";
+    case PolicyKind::kDar:
+      return "dar";
   }
   throw std::invalid_argument("policy_name: unknown kind");
 }
@@ -127,12 +130,12 @@ std::string shape_fingerprint(const net::Graph& graph, const net::TrafficMatrix&
 std::string sweep_fingerprint(const net::Graph& graph, const net::TrafficMatrix& nominal,
                               const std::vector<PolicyKind>& policies,
                               const SweepOptions& o) {
-  std::string s = "sweep-v1" + shape_fingerprint(graph, nominal, policies) + "|loads=";
+  std::string s = "sweep-v2" + shape_fingerprint(graph, nominal, policies) + "|loads=";
   for (const double factor : o.load_factors) s += fp(factor) + ",";
   s += "|seeds=" + std::to_string(o.seeds) + "|measure=" + fp(o.measure) +
        "|warmup=" + fp(o.warmup) + "|H=" + std::to_string(o.max_alt_hops) +
        "|base=" + std::to_string(o.base_seed) + "|fair=" + (o.fairness ? "1" : "0") +
-       obs_fingerprint(o.obs);
+       "|dar=" + std::to_string(o.dar_trunk) + obs_fingerprint(o.obs);
   return s;
 }
 
@@ -141,7 +144,7 @@ std::string scenario_sweep_fingerprint(const net::Graph& graph,
                                        const scenario::Scenario& scen,
                                        const std::vector<PolicyKind>& policies,
                                        const ScenarioSweepOptions& o) {
-  std::string s = "scenario-sweep-v1" + shape_fingerprint(graph, nominal, policies) +
+  std::string s = "scenario-sweep-v2" + shape_fingerprint(graph, nominal, policies) +
                   "|events=";
   for (const scenario::ScenarioEvent& e : scen.events) {
     s += std::string(scenario::event_kind_name(e.kind)) + ":" + fp(e.time) + ":" +
@@ -152,6 +155,10 @@ std::string scenario_sweep_fingerprint(const net::Graph& graph,
        "|warmup=" + fp(o.warmup) + "|H=" + std::to_string(o.max_alt_hops) +
        "|base=" + std::to_string(o.base_seed) + "|bins=" + std::to_string(o.time_bins) +
        "|load=" + fp(o.load_factor) + "|auto=" + (o.auto_resolve_protection ? "1" : "0") +
+       "|ctrl=" + fp(o.control.epoch) + ":" +
+       std::string(control::estimator_kind_name(o.control.estimator)) + ":" +
+       fp(o.control.window) + ":" + fp(o.control.weight) + ":" + fp(o.control.deadband) +
+       ":" + std::to_string(o.control.max_step) + "|dar=" + std::to_string(o.dar_trunk) +
        obs_fingerprint(o.obs);
   return s;
 }
@@ -287,7 +294,8 @@ class TaskCheckpointSink final : public snapshot::CheckpointSink {
 std::unique_ptr<loss::RoutingPolicy> make_policy(PolicyKind kind, const net::Graph& graph,
                                                  const LoadPointState& load,
                                                  const std::vector<int>& capacities,
-                                                 int max_alt_hops, std::uint64_t seed) {
+                                                 int max_alt_hops, std::uint64_t seed,
+                                                 int dar_trunk) {
   switch (kind) {
     case PolicyKind::kSinglePath:
       return std::make_unique<loss::SinglePathPolicy>();
@@ -313,6 +321,11 @@ std::unique_ptr<loss::RoutingPolicy> make_policy(PolicyKind kind, const net::Gra
       return std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, false);
     case PolicyKind::kStickyRandomProtected:
       return std::make_unique<loss::StickyRandomPolicy>(graph.node_count(), seed, true);
+    case PolicyKind::kDar: {
+      control::DarConfig dar;
+      dar.trunk = dar_trunk;
+      return std::make_unique<control::DarPolicy>(graph.node_count(), seed, dar);
+    }
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }
@@ -428,7 +441,8 @@ SweepResult run_with_controller(core::Controller& controller, const net::Graph& 
     }();
     for (std::size_t pi = 0; pi < policy_count; ++pi) {
       const std::unique_ptr<loss::RoutingPolicy> policy =
-          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
+          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed,
+                      options.dar_trunk);
       loss::EngineOptions engine;
       engine.warmup = options.warmup;
       engine.policy_seed = seed;
@@ -729,7 +743,8 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
     }();
     for (std::size_t pi = 0; pi < policy_count; ++pi) {
       const std::unique_ptr<loss::RoutingPolicy> policy =
-          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed);
+          make_policy(policies[pi], graph, load, capacities, options.max_alt_hops, seed,
+                      options.dar_trunk);
       scenario::ScenarioEngineOptions engine;
       engine.warmup = options.warmup;
       engine.policy_seed = seed;
@@ -737,6 +752,7 @@ ScenarioSweepResult run_scenario_sweep(const net::Graph& graph,
       engine.max_alt_hops = options.max_alt_hops;
       engine.reservations = load.reservations;
       engine.auto_resolve_protection = options.auto_resolve_protection;
+      if (options.control.enabled()) engine.control = &options.control;
       if (!task_counters.empty()) engine.counters = &task_counters[s];
       ReplicationObs run_obs(options.obs, options.warmup, options.measure);
       if (options.obs.enabled()) engine.probe = &run_obs.probe;

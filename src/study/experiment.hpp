@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "control/config.hpp"
 #include "netgraph/graph.hpp"
 #include "netgraph/traffic_matrix.hpp"
 #include "obs/metrics.hpp"
@@ -45,6 +46,11 @@ enum class PolicyKind {
   /// Gibbens-Kelly sticky random (DAR), unprotected / protected.
   kStickyRandom,
   kStickyRandomProtected,
+  /// BT-style dynamic alternate routing: sticky random with a TRUNK
+  /// reservation guard on every alternate leg (control::DarPolicy).  The
+  /// trunk level comes from SweepOptions::dar_trunk /
+  /// ScenarioSweepOptions::dar_trunk.
+  kDar,
 };
 
 /// Human-readable policy name (matches RoutingPolicy::name()).
@@ -124,6 +130,9 @@ struct SweepOptions {
   bool erlang_bound{true};
   /// Collect per-O-D fairness summaries (costs one extra pass per run).
   bool fairness{false};
+  /// Trunk reservation for PolicyKind::kDar replications (ignored unless
+  /// that policy is in the request).
+  int dar_trunk{1};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
   /// Self-profiling: counters / phase timings / task table / progress
@@ -212,6 +221,14 @@ struct ScenarioSweepOptions {
   double load_factor{1.0};
   /// Forwarded to ScenarioEngineOptions::auto_resolve_protection.
   bool auto_resolve_protection{false};
+  /// Adaptive control plane (src/control): control.epoch > 0 runs the
+  /// closed-loop r* controller inside EVERY replication's engine --
+  /// estimators are per-replication, so results stay bit-identical at any
+  /// `threads` value.  Disabled by default (epoch = 0).
+  control::ControlConfig control{};
+  /// Trunk reservation for PolicyKind::kDar replications (ignored unless
+  /// that policy is in the request).
+  int dar_trunk{1};
   /// Metrics / tracing for the sweep (off by default: zero overhead).
   SweepObsOptions obs;
   /// Self-profiling: counters / phase timings / task table / progress

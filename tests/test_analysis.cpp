@@ -119,6 +119,18 @@ std::vector<TraceRecord> records_of_every_kind() {
   reserved.link = 13;
   records.push_back(reserved);
 
+  TraceRecord epoch;  // adaptive control plane: r/cap/lam are per-link
+  epoch.time = 50.0;
+  epoch.kind = TraceKind::kControlEpoch;
+  epoch.count = 2;  // 1-based epoch index
+  epoch.links_changed = 3;
+  epoch.links = {1, 0, 2};
+  epoch.occ = {10, 10, 12};
+  epoch.detail = "7.25,0.5,12.062500000000002";  // lambda CSV, %.17g exact
+  epoch.replication = 1;
+  epoch.policy = 1;
+  records.push_back(epoch);
+
   return records;
 }
 

@@ -61,6 +61,7 @@ TEST(CheckGenerator, CorpusCoversTheInterestingAxes) {
   std::set<check::PolicyChoice> policies;
   std::set<scenario::EventKind> event_kinds;
   int with_events = 0, warmed = 0, binned = 0, protected_cases = 0, auto_resolved = 0;
+  int control_cases = 0, ewma_cases = 0, deadbanded = 0, stepped = 0, dar_trunkless = 0;
   for (int i = 0; i < kCorpus; ++i) {
     const check::CaseSpec spec = check::generate_case(seed_of(i));
     policies.insert(spec.policy);
@@ -70,9 +71,16 @@ TEST(CheckGenerator, CorpusCoversTheInterestingAxes) {
     if (spec.time_bins > 0) ++binned;
     if (spec.protect) ++protected_cases;
     if (spec.auto_resolve) ++auto_resolved;
+    if (spec.control_on()) {
+      ++control_cases;
+      if (spec.control_estimator == 1) ++ewma_cases;
+      if (spec.control_deadband > 0.0) ++deadbanded;
+      if (spec.control_max_step > 0) ++stepped;
+    }
+    if (spec.policy == check::PolicyChoice::kDar && spec.dar_trunk == 0) ++dar_trunkless;
     EXPECT_GE(spec.resume_at, 0.0) << "every case exercises the resume oracle";
   }
-  EXPECT_EQ(policies.size(), 3u) << "all three routing schemes must appear";
+  EXPECT_EQ(policies.size(), 4u) << "all four routing schemes must appear";
   EXPECT_EQ(event_kinds.size(), 6u) << "all six event kinds must appear";
   EXPECT_GT(with_events, kCorpus / 2);
   EXPECT_GT(warmed, kCorpus / 8);
@@ -80,6 +88,16 @@ TEST(CheckGenerator, CorpusCoversTheInterestingAxes) {
   EXPECT_GT(binned, kCorpus / 8);
   EXPECT_GT(protected_cases, kCorpus / 4);
   EXPECT_GT(auto_resolved, kCorpus / 16);
+  // The adaptive control plane and DAR must both be exercised, including
+  // their interesting sub-axes (EWMA estimator, hysteresis knobs, the
+  // trunk=0 sticky-random degeneration) -- but neither may take over the
+  // corpus: control-off and non-DAR cases guard the pre-control engine.
+  EXPECT_GT(control_cases, kCorpus / 8);
+  EXPECT_LT(control_cases, kCorpus / 2);
+  EXPECT_GT(ewma_cases, kCorpus / 32);
+  EXPECT_GT(deadbanded, kCorpus / 32);
+  EXPECT_GT(stepped, kCorpus / 32);
+  EXPECT_GT(dar_trunkless, 0);
 }
 
 TEST(CheckGenerator, CaseSeedStreamsAreStableAndSpread) {

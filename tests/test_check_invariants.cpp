@@ -76,6 +76,8 @@ check::ObservedRun observe_reference(const check::CaseSpec& spec) {
   engine.legacy_event_queue = true;  // the reference engine
   engine.memoize_protection = false;
   engine.probe = &probe;
+  const control::ControlConfig control = spec.control_config();
+  if (spec.control_on()) engine.control = &control;
 
   const std::unique_ptr<loss::RoutingPolicy> policy = spec.make_policy();
   out.result = scenario::run_scenario(spec.graph(), spec.traffic(), *policy, spec.trace(),

@@ -52,7 +52,11 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"wrong_version.ckpt", "unsupported format version 99"},
         BadCase{"truncated_section.ckpt", "section 'CONF' overruns the file"},
         BadCase{"crc_flip.ckpt", "section 'CONF' CRC mismatch"},
-        BadCase{"trailing_bytes.ckpt", "4 trailing bytes after the last section"}),
+        BadCase{"trailing_bytes.ckpt", "4 trailing bytes after the last section"},
+        // Adaptive-control state travels in the optional CTRL section;
+        // a flipped bit there is caught by the container CRC like any
+        // other section (the file was captured from a control-on run).
+        BadCase{"ctrl_crc_flip.ckpt", "section 'CTRL' CRC mismatch"}),
     [](const ::testing::TestParamInfo<BadCase>& info) {
       std::string name = info.param.file;
       return name.substr(0, name.find('.'));
@@ -73,6 +77,23 @@ TEST(CkptBadCorpus, HostileElementCountIsRejectedByTheDecoder) {
     const std::string message = e.what();
     EXPECT_NE(message.find("overruns the section"), std::string::npos) << message;
     EXPECT_NE(message.find("GRPH"), std::string::npos) << message;
+  }
+}
+
+// A VALID container whose CTRL payload was cut short mid-vector: the
+// container layer accepts it (CRC matches the short payload), so the
+// CHECKPOINT decoder must reject the truncation at the field level
+// instead of resuming a control-on run with half its estimator state.
+TEST(CkptBadCorpus, TruncatedControlSectionIsRejectedByTheDecoder) {
+  const std::string path = std::string(CKPT_BAD_DIR) + "/ctrl_truncated.ckpt";
+  ASSERT_TRUE(std::ifstream(path).good()) << "missing corpus file " << path;
+  try {
+    (void)snapshot::load_checkpoint(path);
+    FAIL() << "ctrl_truncated.ckpt was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("section 'CTRL'"), std::string::npos) << message;
+    EXPECT_NE(message.find("overruns the section"), std::string::npos) << message;
   }
 }
 

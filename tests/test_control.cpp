@@ -1,0 +1,354 @@
+// Closed-loop control plane acceptance (src/control):
+//
+//  (a) the pinned NSFNet failure experiment -- fail the 2<->3 facility at
+//      t = 40, repair it at t = 70, and compare protection levels FROZEN
+//      for the intact network against the adaptive controller re-solving
+//      Eq. 15 from estimated loads every epoch: adaptive must block fewer
+//      calls inside the failure window (the ISSUE's acceptance oracle);
+//  (b) adaptive runs are bit-identical across both event-queue engines and
+//      both Eq.-15 solvers, and scenario sweeps with control (and DAR) in
+//      force are bit-identical at any thread count;
+//  (c) a checkpoint captured MID-EPOCH resumes bit-identically -- result
+//      counters, control summary, metrics JSON, and every rendered trace
+//      record (kControlEpoch lines included).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/config.hpp"
+#include "core/controlled_policy.hpp"
+#include "core/protection.hpp"
+#include "netgraph/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "routing/route_table.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "study/experiment.hpp"
+#include "study/nsfnet_traffic.hpp"
+
+using namespace altroute;
+
+namespace {
+
+// The canonical transient: NSFNet T3, nominal load, 2<->3 fails at t = 40
+// with calls in flight and comes back at t = 70.  No resolve_protection
+// events -- the static scheme runs the whole outage on levels engineered
+// for the intact network, which is exactly the operating mode the adaptive
+// controller exists to fix.
+struct Transient {
+  net::Graph graph = net::nsfnet_t3();
+  net::TrafficMatrix traffic = study::nsfnet_nominal_traffic();
+  scenario::Scenario scen;
+  double horizon{110.0};
+  int hops{11};
+  std::vector<int> intact_reservations;
+  sim::CallTrace trace;
+
+  explicit Transient(std::uint64_t seed = 17) {
+    scen.name = "fail 2<->3 at 40, repair at 70";
+    scen.events.push_back(scenario::ScenarioEvent::link_fail(40.0, 2, 3));
+    scen.events.push_back(scenario::ScenarioEvent::link_repair(70.0, 2, 3));
+    const routing::RouteTable routes = routing::build_min_hop_routes(graph, hops);
+    intact_reservations = core::protection_levels(graph, routes, traffic, hops);
+    trace = scenario::make_scenario_trace(traffic, scen, horizon, seed);
+  }
+};
+
+control::ControlConfig ewma_control(double epoch = 5.0) {
+  control::ControlConfig c;
+  c.epoch = epoch;
+  c.estimator = control::EstimatorKind::kEwma;
+  c.window = 5.0;
+  c.weight = 0.3;
+  return c;
+}
+
+scenario::ScenarioEngineOptions base_engine(const Transient& t) {
+  scenario::ScenarioEngineOptions engine;
+  engine.warmup = 10.0;
+  engine.policy_seed = 7;
+  engine.time_bins = 10;  // bin k covers [10 + 10k, 20 + 10k)
+  engine.max_alt_hops = t.hops;
+  engine.reservations = t.intact_reservations;
+  return engine;
+}
+
+scenario::ScenarioRunResult run_transient(const Transient& t,
+                                          const control::ControlConfig* control,
+                                          scenario::ScenarioEngineOptions engine) {
+  engine.control = control;
+  core::ControlledAlternatePolicy policy;
+  return scenario::run_scenario(t.graph, t.traffic, policy, t.trace, t.scen, engine);
+}
+
+long long blocked_in_window(const loss::RunResult& run, int first_bin, int last_bin) {
+  long long blocked = 0;
+  for (int b = first_bin; b <= last_bin; ++b) {
+    blocked += run.bin_blocked[static_cast<std::size_t>(b)];
+  }
+  return blocked;
+}
+
+// ---------------------------------------------------------------------------
+// (a) The pinned oracle: adaptive r* beats the frozen-static levels while
+// the topology disagrees with what those levels were engineered for.
+
+TEST(ControlPlane, AdaptiveBeatsFrozenStaticInsideTheFailureWindow) {
+  // Summed over three seeds so one lucky trace cannot flip the verdict;
+  // every run replays the same per-seed trace (common random numbers).
+  long long static_blocked = 0, adaptive_blocked = 0;
+  long long static_total = 0, adaptive_total = 0;
+  const control::ControlConfig adaptive = ewma_control();
+  for (const std::uint64_t seed : {17u, 18u, 19u}) {
+    const Transient t(seed);
+    const scenario::ScenarioRunResult frozen = run_transient(t, nullptr, base_engine(t));
+    const scenario::ScenarioRunResult controlled =
+        run_transient(t, &adaptive, base_engine(t));
+    ASSERT_GT(controlled.control_epochs, 0u);
+    // Failure window [40, 70) = bins 3..5.
+    static_blocked += blocked_in_window(frozen.run, 3, 5);
+    adaptive_blocked += blocked_in_window(controlled.run, 3, 5);
+    static_total += frozen.run.blocked;
+    adaptive_total += controlled.run.blocked;
+  }
+  // The oracle: fewer blocked calls under adaptive control while the
+  // frozen levels are wrong for the degraded topology.
+  EXPECT_LT(adaptive_blocked, static_blocked)
+      << "failure-window blocked: adaptive " << adaptive_blocked << " vs static "
+      << static_blocked;
+  // Honest margin, measured then pinned: the adaptive controller saves a
+  // bit over 1% of the window's blocked calls (10231 vs 10353 at these
+  // seeds -- small but systematic, and the runs are fully deterministic,
+  // so regressions that erase the control loop trip this hard).
+  EXPECT_LE(adaptive_blocked * 100, static_blocked * 99)
+      << "failure-window blocked: adaptive " << adaptive_blocked << " vs static "
+      << static_blocked << " (whole-run: " << adaptive_total << " vs " << static_total
+      << ")";
+}
+
+TEST(ControlPlane, ControlOffMatchesThePreControlEngineBitForBit) {
+  // A null config and a disabled config are both "off", and off means OFF:
+  // identical counters, bins, and final state to a run with no control
+  // member at all (the zero-cost-when-off acceptance criterion).
+  const Transient t;
+  control::ControlConfig disabled;  // epoch = 0
+  const scenario::ScenarioRunResult off = run_transient(t, nullptr, base_engine(t));
+  const scenario::ScenarioRunResult off2 = run_transient(t, &disabled, base_engine(t));
+  EXPECT_EQ(off.run.offered, off2.run.offered);
+  EXPECT_EQ(off.run.blocked, off2.run.blocked);
+  EXPECT_EQ(off.run.carried_primary, off2.run.carried_primary);
+  EXPECT_EQ(off.run.carried_alternate, off2.run.carried_alternate);
+  EXPECT_EQ(off.run.bin_blocked, off2.run.bin_blocked);
+  EXPECT_EQ(off2.control_epochs, 0u);
+  EXPECT_EQ(off2.control_retargets, 0u);
+  EXPECT_EQ(off2.control_holds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Determinism: engines, solvers, threads.
+
+void expect_same_result(const scenario::ScenarioRunResult& a,
+                        const scenario::ScenarioRunResult& b, const char* what) {
+  EXPECT_EQ(a.run.offered, b.run.offered) << what;
+  EXPECT_EQ(a.run.blocked, b.run.blocked) << what;
+  EXPECT_EQ(a.run.carried_primary, b.run.carried_primary) << what;
+  EXPECT_EQ(a.run.carried_alternate, b.run.carried_alternate) << what;
+  EXPECT_EQ(a.run.bin_offered, b.run.bin_offered) << what;
+  EXPECT_EQ(a.run.bin_blocked, b.run.bin_blocked) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.control_epochs, b.control_epochs) << what;
+  EXPECT_EQ(a.control_retargets, b.control_retargets) << what;
+  EXPECT_EQ(a.control_holds, b.control_holds) << what;
+  ASSERT_EQ(a.final_links.size(), b.final_links.size()) << what;
+  for (std::size_t k = 0; k < a.final_links.size(); ++k) {
+    EXPECT_EQ(a.final_links[k].reservation, b.final_links[k].reservation)
+        << what << " link " << k;
+    EXPECT_EQ(a.final_links[k].occupancy, b.final_links[k].occupancy)
+        << what << " link " << k;
+  }
+}
+
+TEST(ControlPlane, AdaptiveRunsAreBitIdenticalAcrossEnginesAndSolvers) {
+  const Transient t;
+  const control::ControlConfig adaptive = ewma_control();
+  scenario::ScenarioEngineOptions reference = base_engine(t);
+  reference.legacy_event_queue = true;
+  reference.memoize_protection = false;
+  const scenario::ScenarioRunResult ref = run_transient(t, &adaptive, reference);
+  ASSERT_GT(ref.control_epochs, 0u);
+  for (const bool legacy : {false, true}) {
+    for (const bool memo : {false, true}) {
+      if (legacy && !memo) continue;  // the reference itself
+      scenario::ScenarioEngineOptions engine = base_engine(t);
+      engine.legacy_event_queue = legacy;
+      engine.memoize_protection = memo;
+      const scenario::ScenarioRunResult got = run_transient(t, &adaptive, engine);
+      expect_same_result(ref, got,
+                         legacy ? (memo ? "heap+memo" : "heap+direct")
+                                : (memo ? "calendar+memo" : "calendar+direct"));
+    }
+  }
+}
+
+TEST(ControlPlane, SweepWithControlAndDarIsThreadCountInvariant) {
+  const net::Graph g = net::nsfnet_t3();
+  const net::TrafficMatrix nominal = study::nsfnet_nominal_traffic();
+  scenario::Scenario scen;
+  scen.events.push_back(scenario::ScenarioEvent::link_fail(25.0, 2, 3));
+  scen.events.push_back(scenario::ScenarioEvent::link_repair(40.0, 2, 3));
+  const std::vector<study::PolicyKind> policies = {study::PolicyKind::kControlledAlternate,
+                                                   study::PolicyKind::kDar};
+  const auto sweep_at = [&](int threads) {
+    study::ScenarioSweepOptions options;
+    options.seeds = 4;
+    options.measure = 40.0;
+    options.warmup = 10.0;
+    options.max_alt_hops = 11;
+    options.threads = threads;
+    options.time_bins = 5;
+    options.control = ewma_control(4.0);
+    options.dar_trunk = 2;
+    options.obs.metrics = true;
+    return study::run_scenario_sweep(g, nominal, scen, policies, options);
+  };
+  const study::ScenarioSweepResult serial = sweep_at(1);
+  const study::ScenarioSweepResult pooled = sweep_at(4);
+  ASSERT_EQ(serial.curves.size(), pooled.curves.size());
+  for (std::size_t pi = 0; pi < serial.curves.size(); ++pi) {
+    EXPECT_EQ(serial.curves[pi].name, pooled.curves[pi].name);
+    EXPECT_EQ(serial.curves[pi].mean_blocking, pooled.curves[pi].mean_blocking)
+        << serial.curves[pi].name;
+    EXPECT_EQ(serial.curves[pi].bin_offered, pooled.curves[pi].bin_offered);
+    EXPECT_EQ(serial.curves[pi].bin_blocked, pooled.curves[pi].bin_blocked);
+  }
+  ASSERT_EQ(serial.metrics.size(), pooled.metrics.size());
+  for (std::size_t pi = 0; pi < serial.metrics.size(); ++pi) {
+    EXPECT_EQ(serial.metrics[pi].to_json(), pooled.metrics[pi].to_json())
+        << serial.curves[pi].name;
+  }
+  // The controlled curve actually controlled: its merged registry carries
+  // fired epochs.
+  EXPECT_GT(serial.metrics[0].counter_value("control_epochs"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Mid-epoch checkpoint/resume bit-identity.
+
+struct CapturingSink final : snapshot::CheckpointSink {
+  obs::VectorTraceSink* collector{nullptr};
+  std::vector<snapshot::ScenarioCheckpoint> captured;
+  std::vector<std::vector<obs::TraceRecord>> prefixes;
+
+  void on_checkpoint(const snapshot::ScenarioCheckpoint& ck) override {
+    captured.push_back(ck);
+    prefixes.push_back(collector != nullptr ? collector->records
+                                            : std::vector<obs::TraceRecord>{});
+  }
+};
+
+std::vector<std::string> render(const std::vector<obs::TraceRecord>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const obs::TraceRecord& r : records) lines.push_back(obs::JsonlTraceSink::format(r));
+  return lines;
+}
+
+TEST(ControlPlane, MidEpochCheckpointResumesBitIdentically) {
+  const Transient t;
+  const control::ControlConfig adaptive = ewma_control();  // epochs at 5, 10, ...
+
+  // Straight run with full observability.
+  scenario::ScenarioRunResult straight;
+  std::string straight_metrics;
+  std::vector<std::string> straight_lines;
+  {
+    obs::MetricRegistry registry;
+    obs::VectorTraceSink collector;
+    obs::Probe probe(&registry, &collector);
+    scenario::ScenarioEngineOptions engine = base_engine(t);
+    engine.probe = &probe;
+    straight = run_transient(t, &adaptive, engine);
+    straight_metrics = registry.to_json();
+    straight_lines = render(collector.records);
+  }
+  ASSERT_GT(straight.control_epochs, 0u);
+
+  // Capture between two epochs (estimator has an OPEN window and the
+  // controller a live lambda reference -- the CTRL section must carry
+  // both), then mid-outage at t = 53.
+  for (const double capture_at : {12.5, 53.0}) {
+    CapturingSink sink;
+    obs::VectorTraceSink capture_collector;
+    {
+      obs::MetricRegistry registry;
+      obs::Probe probe(&registry, &capture_collector);
+      sink.collector = &capture_collector;
+      scenario::ScenarioEngineOptions engine = base_engine(t);
+      engine.probe = &probe;
+      engine.checkpoint_at = capture_at;
+      engine.checkpoints = &sink;
+      (void)run_transient(t, &adaptive, engine);
+    }
+    ASSERT_EQ(sink.captured.size(), 1u) << "capture_at=" << capture_at;
+
+    scenario::ScenarioRunResult resumed;
+    std::string resumed_metrics;
+    std::vector<std::string> resumed_lines;
+    {
+      obs::MetricRegistry registry;
+      obs::VectorTraceSink collector;
+      collector.records = sink.prefixes.front();
+      obs::Probe probe(&registry, &collector);
+      scenario::ScenarioEngineOptions engine = base_engine(t);
+      engine.probe = &probe;
+      engine.resume = &sink.captured.front();
+      resumed = run_transient(t, &adaptive, engine);
+      resumed_metrics = registry.to_json();
+      resumed_lines = render(collector.records);
+    }
+    expect_same_result(straight, resumed, "mid-epoch resume");
+    EXPECT_EQ(straight_metrics, resumed_metrics) << "capture_at=" << capture_at;
+    ASSERT_EQ(straight_lines.size(), resumed_lines.size()) << "capture_at=" << capture_at;
+    for (std::size_t i = 0; i < straight_lines.size(); ++i) {
+      ASSERT_EQ(straight_lines[i], resumed_lines[i])
+          << "capture_at=" << capture_at << " trace line " << i;
+    }
+  }
+}
+
+TEST(ControlPlane, ControlOffCheckpointsCarryNoControlStateAndStillLoad) {
+  // A capture from a control-off run must round-trip through the codec
+  // with an absent/empty CTRL payload -- the format old checkpoints used,
+  // so this is the backward-compatibility guarantee in executable form.
+  const Transient t;
+  CapturingSink sink;
+  scenario::ScenarioEngineOptions engine = base_engine(t);
+  engine.checkpoint_at = 30.0;
+  engine.checkpoints = &sink;
+  (void)run_transient(t, nullptr, engine);
+  ASSERT_EQ(sink.captured.size(), 1u);
+  EXPECT_EQ(sink.captured.front().control.epochs_done, 0u);
+  EXPECT_TRUE(sink.captured.front().control.reservation.empty());
+
+  const std::vector<snapshot::Section> sections =
+      snapshot::encode_checkpoint(sink.captured.front());
+  const snapshot::ScenarioCheckpoint back =
+      snapshot::decode_checkpoint(sections, "control-off checkpoint");
+  EXPECT_EQ(back.control.present, 0);
+  EXPECT_EQ(back.control.epochs_done, 0u);
+  EXPECT_TRUE(back.control.reservation.empty());
+
+  // And it resumes: the continued run matches the straight one.
+  const scenario::ScenarioRunResult straight = run_transient(t, nullptr, base_engine(t));
+  scenario::ScenarioEngineOptions resume_engine = base_engine(t);
+  resume_engine.resume = &back;
+  const scenario::ScenarioRunResult resumed = run_transient(t, nullptr, resume_engine);
+  expect_same_result(straight, resumed, "control-off resume");
+}
+
+}  // namespace

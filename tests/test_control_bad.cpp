@@ -1,0 +1,95 @@
+// Malformed --control / --policy corpus: every file under
+// tests/data/control_bad is a way a command-line control-plane spec can go
+// wrong -- non-numeric values, missing or unknown keys, out-of-range
+// knobs, stray commas.  Each must be REJECTED with one pointed message
+// naming the offending token, mirroring tests/data/scenario_bad.
+//
+// File format: line 1 names the flag ("control" or "policy"), line 2 is
+// the spec string passed verbatim (possibly empty).  To add a case, drop a
+// .spec file in the corpus directory and add a row below.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "control/config.hpp"
+
+namespace control = altroute::control;
+
+namespace {
+
+struct BadSpec {
+  const char* file;      // relative to tests/data/control_bad
+  const char* expected;  // substring the rejection message must contain
+};
+
+class ControlBadCorpus : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(ControlBadCorpus, IsRejectedWithAPointedMessage) {
+  const BadSpec& c = GetParam();
+  const std::string path = std::string(CONTROL_BAD_DIR) + "/" + c.file;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing corpus file " << path;
+  std::string flag, spec;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, flag))) << path;
+  std::getline(in, spec);  // may legitimately be empty
+  ASSERT_TRUE(flag == "control" || flag == "policy") << path << ": bad flag " << flag;
+  try {
+    if (flag == "control") {
+      (void)control::parse_control_spec(spec);
+    } else {
+      (void)control::parse_dar_spec(spec);
+    }
+    FAIL() << c.file << " (--" << flag << " '" << spec << "') was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(c.expected), std::string::npos)
+        << c.file << " rejected, but the message was: " << e.what();
+    // Every rejection identifies which flag's grammar was violated.
+    const std::string prefix = flag == "control" ? "control" : "policy";
+    EXPECT_EQ(std::string(e.what()).find(prefix), 0u) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ControlBadCorpus,
+    ::testing::Values(
+        BadSpec{"empty_spec.spec", "empty spec"},
+        BadSpec{"epoch_not_number.spec", "value 'bogus' of 'epoch' is not a number"},
+        BadSpec{"missing_epoch.spec", "missing required key 'epoch'"},
+        BadSpec{"epoch_zero.spec", "epoch must be > 0"},
+        BadSpec{"unknown_key.spec", "unknown key 'foo'"},
+        BadSpec{"unknown_estimator.spec", "unknown estimator 'kalman' (known: mle ewma)"},
+        BadSpec{"weight_out_of_range.spec", "weight must lie in (0, 1]"},
+        BadSpec{"window_negative.spec", "window must be > 0"},
+        BadSpec{"double_comma.spec", "empty key=value token"},
+        BadSpec{"no_equals.spec", "token 'deadband' is not of the form key=value"},
+        BadSpec{"max_step_fraction.spec", "value '1.5' of 'max-step' is not an integer"},
+        BadSpec{"policy_unknown.spec", "unknown policy 'nope' (known: dar)"},
+        BadSpec{"policy_trailing_comma.spec", "trailing comma after 'dar'"},
+        BadSpec{"policy_unknown_key.spec", "unknown key 'reserve' (known: trunk)"},
+        BadSpec{"policy_trunk_not_integer.spec", "value 'two' of 'trunk' is not an integer"},
+        BadSpec{"policy_trunk_negative.spec", "trunk must be >= 0"}),
+    [](const ::testing::TestParamInfo<BadSpec>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// Sanity anchors: the well-formed siblings parse, so the rejections above
+// are about the defects, not the harness.
+TEST(ControlBadCorpus, WellFormedSiblingsParse) {
+  const control::ControlConfig c = control::parse_control_spec(
+      "epoch=5,estimator=ewma,window=2,weight=0.25,deadband=0.1,max-step=2");
+  EXPECT_DOUBLE_EQ(c.epoch, 5.0);
+  EXPECT_EQ(c.estimator, control::EstimatorKind::kEwma);
+  EXPECT_DOUBLE_EQ(c.window, 2.0);
+  EXPECT_DOUBLE_EQ(c.weight, 0.25);
+  EXPECT_DOUBLE_EQ(c.deadband, 0.1);
+  EXPECT_EQ(c.max_step, 2);
+  EXPECT_TRUE(c.enabled());
+
+  EXPECT_EQ(control::parse_dar_spec("dar").trunk, 1);
+  EXPECT_EQ(control::parse_dar_spec("dar,trunk=3").trunk, 3);
+}
+
+}  // namespace

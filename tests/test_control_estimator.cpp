@@ -1,0 +1,254 @@
+// Property tests of the control plane's building blocks: estimator
+// convergence and tracking, empty-window decay, and the epoch controller's
+// hysteresis / rate-limit discipline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/config.hpp"
+#include "control/controller.hpp"
+#include "control/estimator.hpp"
+#include "netgraph/topologies.hpp"
+#include "netgraph/traffic_matrix.hpp"
+#include "routing/route_table.hpp"
+#include "sim/call_trace.hpp"
+
+using namespace altroute;
+
+namespace {
+
+control::ControlConfig config_of(control::EstimatorKind kind, double window = 1.0,
+                                 double weight = 0.3) {
+  control::ControlConfig c;
+  c.epoch = 1.0;  // enabled; the estimator itself never reads it
+  c.estimator = kind;
+  c.window = window;
+  c.weight = weight;
+  return c;
+}
+
+void feed(control::LoadEstimator& est, const sim::CallTrace& trace) {
+  for (const sim::CallRecord& call : trace.calls) {
+    est.observe(call.arrival, static_cast<int>(call.src.index()),
+                static_cast<int>(call.dst.index()), call.holding);
+  }
+  est.roll_to(trace.horizon);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence: on stationary Poisson traffic the windowed MLE approaches
+// the true offered load.  Tolerance measured once and pinned -- at 400
+// windows of 5 Erlang the relative error stays well inside 10%.
+
+TEST(LoadEstimator, WindowedMleConvergesOnStationaryTraffic) {
+  const int nodes = 4;
+  net::TrafficMatrix traffic(nodes);
+  traffic.set(net::NodeId(0), net::NodeId(1), 5.0);
+  traffic.set(net::NodeId(1), net::NodeId(2), 8.0);
+  traffic.set(net::NodeId(3), net::NodeId(0), 2.5);
+  const double horizon = 400.0;
+  const sim::CallTrace trace = sim::generate_trace(traffic, horizon, /*seed=*/99);
+
+  control::LoadEstimator est(config_of(control::EstimatorKind::kWindowedMle), nodes);
+  feed(est, trace);
+  EXPECT_EQ(est.windows_done(), 400u);
+  EXPECT_EQ(est.observations(), trace.calls.size());
+
+  const std::vector<double>& e = est.estimates();
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < nodes; ++j) {
+      const double truth = traffic.at(net::NodeId(i), net::NodeId(j));
+      const double got = e[static_cast<std::size_t>(i * nodes + j)];
+      if (truth == 0.0) {
+        EXPECT_EQ(got, 0.0) << i << "->" << j;
+      } else {
+        EXPECT_LT(std::abs(got - truth) / truth, 0.10)
+            << i << "->" << j << ": estimated " << got << " vs " << truth;
+      }
+    }
+  }
+}
+
+// EWMA is also unbiased on stationary traffic, just noisier: same setup,
+// looser pinned tolerance.
+TEST(LoadEstimator, EwmaIsUnbiasedOnStationaryTraffic) {
+  const int nodes = 3;
+  net::TrafficMatrix traffic(nodes);
+  traffic.set(net::NodeId(0), net::NodeId(2), 6.0);
+  const sim::CallTrace trace = sim::generate_trace(traffic, 400.0, /*seed=*/7);
+  control::LoadEstimator est(config_of(control::EstimatorKind::kEwma, 1.0, 0.1), nodes);
+  feed(est, trace);
+  const double got = est.estimates()[2];
+  EXPECT_LT(std::abs(got - 6.0) / 6.0, 0.25) << "estimated " << got;
+}
+
+// ---------------------------------------------------------------------------
+// Tracking: after a load shift, EWMA locks onto the new level while the
+// all-history MLE is still dragging the old one -- the reason kEwma exists.
+// Deterministic traffic: one observation per window with holding L * window
+// makes every window's observed load exactly L.
+
+TEST(LoadEstimator, EwmaTracksLoadShiftMleAverages) {
+  const int nodes = 2;
+  const double low = 2.0, high = 10.0;
+  control::LoadEstimator mle(config_of(control::EstimatorKind::kWindowedMle), nodes);
+  control::LoadEstimator ewma(config_of(control::EstimatorKind::kEwma, 1.0, 0.3), nodes);
+  for (int w = 0; w < 100; ++w) {
+    const double load = w < 50 ? low : high;
+    const double t = w + 0.5;
+    mle.observe(t, 0, 1, load);
+    ewma.observe(t, 0, 1, load);
+  }
+  mle.roll_to(100.0);
+  ewma.roll_to(100.0);
+  const double mle_est = mle.estimates()[1];
+  const double ewma_est = ewma.estimates()[1];
+  // MLE pools all history: exactly the midpoint.
+  EXPECT_NEAR(mle_est, (low + high) / 2.0, 1e-12);
+  // EWMA with weight 0.3 after 50 post-shift windows is within 1e-7 of the
+  // new level -- and strictly closer to it than the MLE.
+  EXPECT_NEAR(ewma_est, high, 1e-6);
+  EXPECT_LT(std::abs(ewma_est - high), std::abs(mle_est - high));
+}
+
+// Empty windows count: a silenced pair decays toward zero under both
+// reductions (EWMA geometrically, MLE as 1/#windows).
+TEST(LoadEstimator, SilencedPairDecaysTowardZero) {
+  const int nodes = 2;
+  control::LoadEstimator mle(config_of(control::EstimatorKind::kWindowedMle), nodes);
+  control::LoadEstimator ewma(config_of(control::EstimatorKind::kEwma, 1.0, 0.3), nodes);
+  for (int w = 0; w < 10; ++w) {
+    mle.observe(w + 0.5, 0, 1, 8.0);
+    ewma.observe(w + 0.5, 0, 1, 8.0);
+  }
+  mle.roll_to(10.0);
+  ewma.roll_to(10.0);
+  const double ewma_before = ewma.estimates()[1];
+  ASSERT_GT(ewma_before, 7.0);
+  mle.roll_to(100.0);   // 90 empty windows
+  ewma.roll_to(100.0);
+  EXPECT_NEAR(mle.estimates()[1], 8.0 * 10.0 / 100.0, 1e-12);
+  EXPECT_NEAR(ewma.estimates()[1], ewma_before * std::pow(0.7, 90), 1e-12);
+  EXPECT_LT(ewma.estimates()[1], 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Hysteresis: once the controller has accepted a solve, estimates that
+// jitter inside the deadband must hold every link -- no r* oscillation.
+
+TEST(EpochController, DeadbandHoldsJitteringEstimatesWithoutOscillation) {
+  const net::Graph g = net::ring(4, 20);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 4);
+  control::ControlConfig cfg;
+  cfg.epoch = 1.0;
+  cfg.estimator = control::EstimatorKind::kEwma;
+  cfg.window = 1.0;
+  cfg.weight = 0.5;
+  cfg.deadband = 0.10;
+  control::EpochController ctl(cfg, g.node_count(), static_cast<std::size_t>(g.link_count()),
+                               std::vector<int>(static_cast<std::size_t>(g.link_count()), 0));
+
+  // Deterministic per-window loads jittering +-4% around 8 Erlangs on
+  // every adjacent pair: inside the 10% deadband after the first accept.
+  std::vector<int> history;
+  for (int w = 0; w < 12; ++w) {
+    const double load = 8.0 * (w % 2 == 0 ? 1.04 : 0.96);
+    for (int n = 0; n < 4; ++n) {
+      ctl.observe(w + 0.5, n, (n + 1) % 4, load);
+    }
+    const control::EpochController::Outcome out =
+        ctl.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+    if (w == 0) continue;  // first epoch: the initial accept (ref was -1)
+    EXPECT_EQ(out.links_changed, 0) << "epoch " << w + 1;
+    EXPECT_EQ(out.links_held, static_cast<int>(g.link_count())) << "epoch " << w + 1;
+    history.push_back(out.reservation[0]);
+  }
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_EQ(history[i], history[0]) << "r* oscillated at epoch " << i;
+  }
+  EXPECT_EQ(ctl.holds(), static_cast<std::uint64_t>(11 * g.link_count()));
+}
+
+// Rate limit: a load step that wants a big r* jump is walked there at most
+// max_step circuits per epoch.
+TEST(EpochController, MaxStepWalksReservationGradually) {
+  const net::Graph g = net::ring(4, 30);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 4);
+  control::ControlConfig cfg;
+  cfg.epoch = 1.0;
+  cfg.estimator = control::EstimatorKind::kEwma;
+  cfg.window = 1.0;
+  cfg.weight = 1.0;  // each window fully replaces the estimate
+  cfg.max_step = 1;
+  control::EpochController ctl(cfg, g.node_count(), static_cast<std::size_t>(g.link_count()),
+                               std::vector<int>(static_cast<std::size_t>(g.link_count()), 0));
+
+  control::ControlConfig free_cfg = cfg;
+  free_cfg.max_step = 0;
+  control::EpochController free_ctl(
+      free_cfg, g.node_count(), static_cast<std::size_t>(g.link_count()),
+      std::vector<int>(static_cast<std::size_t>(g.link_count()), 0));
+
+  std::vector<int> prev(static_cast<std::size_t>(g.link_count()), 0);
+  int unlimited_r = 0;
+  for (int w = 0; w < 12; ++w) {
+    for (int n = 0; n < 4; ++n) {
+      ctl.observe(w + 0.5, n, (n + 1) % 4, 20.0);
+      free_ctl.observe(w + 0.5, n, (n + 1) % 4, 20.0);
+    }
+    const control::EpochController::Outcome out =
+        ctl.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+    const control::EpochController::Outcome free_out =
+        free_ctl.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+    for (std::size_t k = 0; k < out.reservation.size(); ++k) {
+      EXPECT_LE(std::abs(out.reservation[k] - prev[k]), 1) << "epoch " << w + 1;
+    }
+    prev = out.reservation;
+    unlimited_r = free_out.reservation[0];
+  }
+  // The unlimited controller jumped straight to the Eq.-15 level; the
+  // rate-limited one reaches the same fixed point, one circuit at a time.
+  ASSERT_GT(unlimited_r, 1);
+  EXPECT_EQ(prev[0], unlimited_r);
+}
+
+// Memento round-trip: save/load restores the full estimator + controller
+// state, so a restored controller continues bit-identically.
+TEST(EpochController, MementoRoundTripContinuesIdentically) {
+  const net::Graph g = net::ring(4, 20);
+  const routing::RouteTable routes = routing::build_min_hop_routes(g, 4);
+  control::ControlConfig cfg;
+  cfg.epoch = 1.0;
+  cfg.estimator = control::EstimatorKind::kWindowedMle;
+  cfg.window = 1.0;
+  cfg.deadband = 0.05;
+  const std::vector<int> zero(static_cast<std::size_t>(g.link_count()), 0);
+  control::EpochController a(cfg, g.node_count(), static_cast<std::size_t>(g.link_count()),
+                             zero);
+  for (int w = 0; w < 5; ++w) {
+    a.observe(w + 0.37, 0, 1, 7.0);
+    a.observe(w + 0.61, 2, 3, 4.0);
+    (void)a.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+  }
+  control::EpochController b(cfg, g.node_count(), static_cast<std::size_t>(g.link_count()),
+                             zero);
+  b.load(a.save());
+  for (int w = 5; w < 9; ++w) {
+    a.observe(w + 0.37, 0, 1, 7.0);
+    b.observe(w + 0.37, 0, 1, 7.0);
+    const control::EpochController::Outcome oa =
+        a.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+    const control::EpochController::Outcome ob =
+        b.run_epoch(static_cast<double>(w + 1), g, routes, 4);
+    EXPECT_EQ(oa.reservation, ob.reservation) << "epoch " << w + 1;
+    EXPECT_EQ(oa.lambda_eff, ob.lambda_eff) << "epoch " << w + 1;
+    EXPECT_EQ(oa.links_changed, ob.links_changed) << "epoch " << w + 1;
+    EXPECT_EQ(oa.links_held, ob.links_held) << "epoch " << w + 1;
+  }
+  EXPECT_EQ(a.epochs_done(), b.epochs_done());
+  EXPECT_EQ(a.retargets(), b.retargets());
+  EXPECT_EQ(a.holds(), b.holds());
+}
+
+}  // namespace

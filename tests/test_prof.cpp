@@ -130,12 +130,12 @@ TEST(Counters, FieldTableCoversEveryField) {
   std::size_t count = 0;
   const prof::CounterField* fields = prof::counter_fields(&count);
   ASSERT_NE(fields, nullptr);
-  EXPECT_EQ(count, 13u);  // update together with EngineCounters
+  EXPECT_EQ(count, 17u);  // update together with EngineCounters
   // Setting each field through the table must reach a distinct member.
   prof::EngineCounters c;
   for (std::size_t i = 0; i < count; ++i) c.*fields[i].member = i + 1;
   EXPECT_EQ(c.events_scheduled, 1u);
-  EXPECT_EQ(c.memo_misses, count);
+  EXPECT_EQ(c.estimator_updates, count);
   // The JSON rendering names every field from the same table.
   const std::string json = c.to_json();
   for (std::size_t i = 0; i < count; ++i) {

@@ -15,8 +15,10 @@ perf counters (obs/prof/counters.hpp) that the benchmarks export as
 google-benchmark user counters -- events popped per sweep, peak queue
 depth, the protection-memo hit rate, and so on.  Counter rows come from
 the timing family plus the families named by --counter-filter (default
-BM_FailureScenarioSweep, which exercises the memo/kill/rebuild paths the
-plain load sweep never touches).
+BM_FailureScenarioSweep|BM_AdaptiveControlSweep, which exercise the
+memo/kill/rebuild paths and the closed-loop control counters -- epochs
+fired, links re-targeted, deadband holds -- that the plain load sweep
+never touches).
 
 With --baseline, the fresh record is also GATED against a previous
 BENCH_sweep.json: the run fails when the mean at threads=1 or at the
@@ -225,10 +227,12 @@ def main() -> int:
                         help="microbench binary (default build/bench/microbench)")
     parser.add_argument("--filter", default="BM_NsfnetSweepThreads",
                         help="benchmark family to record")
-    parser.add_argument("--counter-filter", default="BM_FailureScenarioSweep",
+    parser.add_argument("--counter-filter",
+                        default="BM_FailureScenarioSweep|BM_AdaptiveControlSweep",
                         help="extra famil(ies) run only for their user "
                              "counters, '|'-separated regex alternatives "
-                             "(default BM_FailureScenarioSweep; '' disables)")
+                             "(default BM_FailureScenarioSweep|"
+                             "BM_AdaptiveControlSweep; '' disables)")
     parser.add_argument("--repetitions", type=int, default=3,
                         help="repetitions per row (default 3)")
     parser.add_argument("--out", default="BENCH_sweep.json",
